@@ -1,0 +1,191 @@
+"""Ablations for the design choices DESIGN.md calls out.
+
+* sibling tracking: counter-disambiguation reads vs metadata fix-up writes;
+* kick policy: random-walk (the paper's choice) vs MinCounter;
+* deletion mode: RESET (loses the zero-counter screen) vs TOMBSTONE;
+* stash screening: McCuckoo's counter+flag screen vs CHS's always-check.
+"""
+
+from repro import McCuckoo, MinCounterPolicy
+from repro.analysis import (
+    Scale,
+    ablation_deletion_mode,
+    ablation_kick_policy,
+    ablation_sibling_tracking,
+    ablation_stash_screen,
+)
+from repro.workloads import distinct_keys
+
+
+def _scale(bench_scale):
+    return Scale(n_single=max(400, bench_scale.n_single // 2),
+                 repeats=bench_scale.repeats, n_queries=bench_scale.n_queries)
+
+
+def test_ablation_sibling_tracking(benchmark, bench_scale, save_result):
+    result = ablation_sibling_tracking(_scale(bench_scale))
+    save_result(result)
+    for load in (0.85,):
+        rows = {row["mode"]: row for row in result.filter_rows(load=load)}
+        # metadata mode trades disambiguation reads for fix-up writes
+        assert rows["metadata"]["writes_per_insert"] >= rows["read"]["writes_per_insert"]
+        assert rows["metadata"]["reads_per_insert"] <= rows["read"]["reads_per_insert"] * 1.2
+
+    from repro import SiblingTracking
+
+    table = McCuckoo(400, d=3, seed=120, sibling_tracking=SiblingTracking.METADATA)
+    keys = distinct_keys(int(table.capacity * 0.8), seed=121)
+    state = {"i": 0}
+
+    def metadata_insert():
+        if state["i"] < len(keys):
+            table.put(keys[state["i"]])
+            state["i"] += 1
+        else:
+            table.lookup(keys[0])
+
+    benchmark(metadata_insert)
+
+
+def test_ablation_kick_policy(benchmark, bench_scale, save_result):
+    result = ablation_kick_policy(_scale(bench_scale))
+    save_result(result)
+    rows = {(row["policy"], row["load"]): row["kicks_per_insert"]
+            for row in result.rows}
+    # both policies must resolve collisions; MinCounter should not be
+    # drastically worse than random-walk at high load
+    assert rows[("mincounter", 0.9)] <= rows[("random-walk", 0.9)] * 1.5
+
+    table = McCuckoo(300, d=3, seed=122, kick_policy=MinCounterPolicy())
+    keys = distinct_keys(int(table.capacity * 0.85), seed=123)
+    state = {"i": 0}
+
+    def mincounter_insert():
+        if state["i"] < len(keys):
+            table.put(keys[state["i"]])
+            state["i"] += 1
+        else:
+            table.lookup(keys[0])
+
+    benchmark(mincounter_insert)
+
+
+def test_ablation_deletion_mode(benchmark, bench_scale, save_result):
+    result = ablation_deletion_mode(_scale(bench_scale))
+    save_result(result)
+    rows = {row["mode"]: row["accesses_per_missing_lookup"] for row in result.rows}
+    # tombstones keep the zero-counter screen sound -> cheaper missing lookups
+    assert rows["tombstone"] <= rows["reset"]
+
+    from repro import DeletionMode
+
+    table = McCuckoo(400, d=3, seed=124, deletion_mode=DeletionMode.TOMBSTONE)
+    keys = distinct_keys(int(table.capacity * 0.6), seed=125)
+    for key in keys:
+        table.put(key)
+    victim = keys[0]
+
+    def tombstone_cycle():
+        table.delete(victim)
+        table.put(victim)
+
+    benchmark(tombstone_cycle)
+
+
+def test_ablation_stash_screen(benchmark, bench_scale, save_result):
+    result = ablation_stash_screen(_scale(bench_scale))
+    save_result(result)
+    rows = {row["scheme"]: row["stash_visit_pct"] for row in result.rows}
+    assert rows["CHS"] == 100.0  # every failed lookup probes the stash
+    assert rows["McCuckoo"] < 2.0  # the screen removes essentially all
+
+    table = McCuckoo(400, d=3, seed=126, maxloop=0)
+    keys = distinct_keys(table.capacity, seed=127)
+    for key in keys[: int(table.capacity * 0.9)]:
+        table.put(key)
+    absent = distinct_keys(256, seed=128)
+    state = {"i": 0}
+
+    def screened_missing_lookup():
+        table.lookup(absent[state["i"] % len(absent)])
+        state["i"] += 1
+
+    benchmark(screened_missing_lookup)
+
+
+def test_ablation_d_sweep(benchmark, bench_scale, save_result):
+    from repro.analysis import ablation_d_sweep
+
+    result = ablation_d_sweep(_scale(bench_scale))
+    save_result(result)
+    rows = {row["d"]: row for row in result.rows}
+    assert rows[2]["first_failure_load"] < rows[3]["first_failure_load"]
+    assert rows[4]["first_failure_load"] > rows[3]["first_failure_load"]
+    assert rows[3]["counter_bits"] == 2 and rows[4]["counter_bits"] == 4
+
+    table = McCuckoo(300, d=4, seed=129)
+    keys = distinct_keys(int(table.capacity * 0.9), seed=130)
+    state = {"i": 0}
+
+    def d4_insert():
+        if state["i"] < len(keys):
+            table.put(keys[state["i"]])
+            state["i"] += 1
+        else:
+            table.lookup(keys[0])
+
+    benchmark(d4_insert)
+
+
+def test_ablation_blocked_counter_screen(benchmark, bench_scale, save_result):
+    from repro import BlockedMcCuckoo
+    from repro.analysis import ablation_blocked_counter_screen
+
+    result = ablation_blocked_counter_screen(_scale(bench_scale))
+    save_result(result)
+    by_cell = {(row["load"], row["screen"]): row for row in result.rows}
+    # at low load the screen wins missing lookups; near full the old way
+    # wins existing lookups (the paper's §IV.C remark)
+    assert (by_cell[(0.2, "on")]["latency_us_missing"]
+            < by_cell[(0.2, "off")]["latency_us_missing"])
+    assert (by_cell[(0.98, "off")]["latency_us_existing"]
+            <= by_cell[(0.98, "on")]["latency_us_existing"])
+
+    table = BlockedMcCuckoo(200, d=3, slots=3, seed=131,
+                            lookup_counter_screen=False)
+    keys = distinct_keys(int(table.capacity * 0.95), seed=132)
+    for key in keys:
+        table.put(key)
+    state = {"i": 0}
+
+    def old_way_lookup():
+        table.lookup(keys[state["i"] % len(keys)])
+        state["i"] += 1
+
+    benchmark(old_way_lookup)
+
+
+def test_ablation_path_insert(benchmark, bench_scale, save_result):
+    from repro import ConcurrentMcCuckoo
+    from repro.analysis import ablation_path_insert
+
+    result = ablation_path_insert(_scale(bench_scale))
+    save_result(result)
+    rows = {row["strategy"]: row for row in result.rows}
+    # counter-guided path search moves far fewer items per insert...
+    assert rows["path"]["kicks_per_insert"] < rows["random-walk"]["kicks_per_insert"] * 0.6
+    # ...without paying more off-chip reads (terminals are found on-chip)
+    assert rows["path"]["reads_per_insert"] < rows["random-walk"]["reads_per_insert"] * 1.3
+
+    table = ConcurrentMcCuckoo(McCuckoo(300, d=3, seed=133, maxloop=500))
+    keys = distinct_keys(int(table.table.capacity * 0.88), seed=134)
+    state = {"i": 0}
+
+    def path_insert():
+        if state["i"] < len(keys):
+            table.insert(keys[state["i"]])
+            state["i"] += 1
+        else:
+            table.lookup(keys[0])
+
+    benchmark(path_insert)

@@ -1,0 +1,265 @@
+"""Extension benches beyond the paper's exhibits.
+
+* on-chip memory: McCuckoo's 2-bit counters vs an EMOMA-style Bloom front
+  vs SmartCuckoo's pseudoforest (the paper's contribution 2);
+* SmartCuckoo's walk-free failure prediction vs blind d=2 random walk;
+* AMAC composition: batched lookups on top of the counter screen;
+* hash-family robustness: the Fig. 9/13 shapes hold across BOB hash,
+  tabulation and double hashing.
+"""
+
+from repro import (
+    BloomFrontedCuckoo,
+    CuckooTable,
+    McCuckoo,
+    SmartCuckoo,
+    batched_lookup,
+)
+from repro.analysis import ExperimentResult, Scale
+from repro.hashing import FAMILIES
+from repro.workloads import distinct_keys, key_stream, missing_keys, sample_keys
+
+
+def test_onchip_memory_comparison(benchmark, bench_scale, save_result):
+    """Counters must screen missing lookups with several times less on-chip
+    memory than a Bloom front sized at 1 % fp."""
+    n_buckets = bench_scale.n_single
+    result = ExperimentResult(
+        "ext-onchip",
+        "On-chip memory vs missing-lookup screening at 50 % load",
+        columns=("scheme", "onchip_bytes", "offchip_probe_pct"),
+    )
+    seed = 901
+    mccuckoo = McCuckoo(n_buckets, d=3, seed=seed)
+    bloom = BloomFrontedCuckoo(n_buckets, d=3, fp_rate=0.01, seed=seed)
+    keys = distinct_keys(int(mccuckoo.capacity * 0.5), seed=seed + 1)
+    for key in keys:
+        mccuckoo.put(key)
+        bloom.put(key)
+    absent = missing_keys(bench_scale.n_queries, set(keys), seed=seed + 2)
+
+    def probe_pct(table):
+        probed = 0
+        for key in absent:
+            before = table.mem.off_chip.reads
+            table.lookup(key)
+            if table.mem.off_chip.reads > before:
+                probed += 1
+        return probed / len(absent) * 100.0
+
+    rows = {
+        "McCuckoo-counters": (mccuckoo.onchip_bytes, probe_pct(mccuckoo)),
+        "Bloom-front-1pct": (bloom.onchip_bytes, probe_pct(bloom)),
+    }
+    for name, (size, pct) in rows.items():
+        result.add_row(scheme=name, onchip_bytes=size, offchip_probe_pct=pct)
+    save_result(result)
+
+    assert rows["McCuckoo-counters"][0] * 3 < rows["Bloom-front-1pct"][0]
+    assert rows["McCuckoo-counters"][1] < 60.0
+    assert rows["Bloom-front-1pct"][1] < 5.0
+
+    state = {"i": 0}
+
+    def screened_lookup():
+        mccuckoo.lookup(absent[state["i"] % len(absent)])
+        state["i"] += 1
+
+    benchmark(screened_lookup)
+
+
+def test_smartcuckoo_walk_free_failures(benchmark, bench_scale, save_result):
+    """SmartCuckoo predicts doomed inserts with zero kicks; the blind d=2
+    walk burns maxloop kicks on each."""
+    result = ExperimentResult(
+        "ext-smartcuckoo",
+        "d=2 insertion failure cost: pseudoforest prediction vs blind walk",
+        columns=("scheme", "total_kicks", "failures", "kicks_per_failure"),
+    )
+    n_buckets = bench_scale.n_single // 2
+    offered = int(n_buckets * 2 * 0.9)
+    smart = SmartCuckoo(n_buckets, seed=902, maxloop=200)
+    blind = CuckooTable(n_buckets, d=2, seed=902, maxloop=200)
+    keys = distinct_keys(offered, seed=903)
+    for key in keys:
+        smart.put(key)
+        blind.put(key)
+    smart_failures = smart.predicted_failures + smart.walked_failures
+    blind_failures = offered - len(blind)
+    result.add_row(
+        scheme="SmartCuckoo",
+        total_kicks=smart.total_kicks,
+        failures=smart_failures,
+        kicks_per_failure=0.0,
+    )
+    result.add_row(
+        scheme="Cuckoo(d=2)",
+        total_kicks=blind.total_kicks,
+        failures=blind_failures,
+        kicks_per_failure=(blind.total_kicks / blind_failures
+                           if blind_failures else 0.0),
+    )
+    save_result(result)
+
+    assert smart.walked_failures == 0
+    assert smart_failures > 0 and blind_failures > 0
+    assert smart.total_kicks < blind.total_kicks
+
+    keys_iter = key_stream(seed=904)
+
+    def predicted_insert():
+        smart.put(next(keys_iter))
+
+    benchmark(predicted_insert)
+
+
+def test_amac_composition(benchmark, bench_scale, save_result):
+    """Batched (AMAC-style) lookups: epochs(McCuckoo) < epochs(Cuckoo) at
+    every pipeline depth — screening and overlap compose."""
+    result = ExperimentResult(
+        "ext-amac",
+        "Batched lookup epochs vs pipeline depth (50 % existing / 50 % missing)",
+        columns=("scheme", "depth", "epochs", "overlap_factor"),
+    )
+    n_buckets = bench_scale.n_single
+    seed = 905
+    mccuckoo = McCuckoo(n_buckets, d=3, seed=seed)
+    cuckoo = CuckooTable(n_buckets, d=3, seed=seed)
+    keys = distinct_keys(int(mccuckoo.capacity * 0.6), seed=seed + 1)
+    for key in keys:
+        mccuckoo.put(key)
+        cuckoo.put(key)
+    probes = sample_keys(keys, 500, seed=seed + 2) + missing_keys(
+        500, set(keys), seed=seed + 3
+    )
+    epochs = {}
+    for depth in (1, 4, 8, 16):
+        for name, table in (("McCuckoo", mccuckoo), ("Cuckoo", cuckoo)):
+            batch = batched_lookup(table, probes, depth=depth)
+            epochs[(name, depth)] = batch.epochs
+            result.add_row(
+                scheme=name,
+                depth=depth,
+                epochs=batch.epochs,
+                overlap_factor=batch.overlap_factor,
+            )
+    save_result(result)
+
+    for depth in (1, 4, 8, 16):
+        assert epochs[("McCuckoo", depth)] < epochs[("Cuckoo", depth)]
+    assert epochs[("McCuckoo", 16)] < epochs[("McCuckoo", 1)] / 4
+
+    def batched_pass():
+        batched_lookup(mccuckoo, probes[:100], depth=8)
+
+    benchmark(batched_pass)
+
+
+def test_hash_family_robustness(benchmark, bench_scale, save_result):
+    """The headline shapes are hash-agnostic: for every family, McCuckoo
+    kicks less than Cuckoo at 85 % load and screens missing lookups."""
+    result = ExperimentResult(
+        "ext-hash-families",
+        "Kick and screening advantages across hash families",
+        columns=("family", "cuckoo_kicks", "mccuckoo_kicks",
+                 "missing_reads_per_lookup"),
+    )
+    n_buckets = max(300, bench_scale.n_single // 3)
+    for family_name in ("splitmix", "bob", "tabulation", "double"):
+        family = FAMILIES[family_name]
+        seed = 906
+        mccuckoo = McCuckoo(n_buckets, d=3, seed=seed, family=family)
+        cuckoo = CuckooTable(n_buckets, d=3, seed=seed, family=family)
+        keys = distinct_keys(int(mccuckoo.capacity * 0.85), seed=seed + 1)
+        for key in keys:
+            mccuckoo.put(key)
+            cuckoo.put(key)
+        absent = missing_keys(300, set(keys), seed=seed + 2)
+        before = mccuckoo.mem.off_chip.reads
+        for key in absent:
+            mccuckoo.lookup(key)
+        missing_reads = (mccuckoo.mem.off_chip.reads - before) / len(absent)
+        result.add_row(
+            family=family_name,
+            cuckoo_kicks=cuckoo.total_kicks,
+            mccuckoo_kicks=mccuckoo.total_kicks,
+            missing_reads_per_lookup=missing_reads,
+        )
+        assert mccuckoo.total_kicks < cuckoo.total_kicks, family_name
+        assert missing_reads < 3.0, family_name
+    save_result(result)
+
+    bob_table = McCuckoo(200, d=3, seed=907, family=FAMILIES["bob"])
+    fresh = distinct_keys(int(bob_table.capacity * 0.5), seed=908)
+    state = {"i": 0}
+
+    def bob_insert():
+        if state["i"] < len(fresh):
+            bob_table.put(fresh[state["i"]])
+            state["i"] += 1
+        else:
+            bob_table.lookup(fresh[0])
+
+    benchmark(bob_insert)
+
+
+def test_incremental_resize_availability(benchmark, bench_scale, save_result):
+    """The paper's §I criticism of rehashing, quantified: growing online
+    keeps the worst single-insert cost bounded, while stop-the-world
+    rehashing pays the whole table in one operation."""
+    from repro import FailurePolicy
+    from repro.core.resize import ResizableMcCuckoo
+
+    result = ExperimentResult(
+        "ext-resize",
+        "Worst single-insert off-chip cost: online growth vs rehashing",
+        columns=("scheme", "final_items", "worst_op_accesses", "mean_op_accesses"),
+    )
+    n_keys = bench_scale.n_single * 3  # forces at least one growth round
+    keys = distinct_keys(n_keys, seed=910)
+
+    def drive(table):
+        worst = 0
+        total = 0
+        for key in keys:
+            with table.mem.measure() as measurement:
+                table.put(key)
+            accesses = measurement.delta.off_chip.total
+            worst = max(worst, accesses)
+            total += accesses
+        return worst, total / len(keys)
+
+    online = ResizableMcCuckoo(
+        bench_scale.n_single // 2, d=3, seed=911, maxloop=500,
+        grow_at=0.85, migrate_batch=8,
+    )
+    rehashing = McCuckoo(
+        bench_scale.n_single // 2, d=3, seed=911, maxloop=500,
+        on_failure=FailurePolicy.REHASH,
+    )
+    online_worst, online_mean = drive(online)
+    rehash_worst, rehash_mean = drive(rehashing)
+    result.add_row(scheme="incremental", final_items=len(online),
+                   worst_op_accesses=online_worst, mean_op_accesses=online_mean)
+    result.add_row(scheme="rehash", final_items=len(rehashing),
+                   worst_op_accesses=rehash_worst, mean_op_accesses=rehash_mean)
+    save_result(result)
+
+    assert len(online) == n_keys and len(rehashing) == n_keys
+    assert online.generations >= 1 and rehashing.rehash_count >= 1
+    # the availability claim: worst op at least 5x cheaper online
+    assert online_worst * 5 < rehash_worst
+    for key in keys[::37]:
+        assert online.lookup(key).found
+
+    fresh = distinct_keys(512, seed=912)
+    state = {"i": 0}
+
+    def online_insert():
+        if state["i"] < len(fresh):
+            online.put(fresh[state["i"]])
+            state["i"] += 1
+        else:
+            online.lookup(fresh[0])
+
+    benchmark(online_insert)

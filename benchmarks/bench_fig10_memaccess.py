@@ -1,0 +1,49 @@
+"""Fig. 10 — off-chip reads (a) and writes (b) per insertion vs load.
+
+Paper shape: multi-copy reads ≈0 at low load and always below single-copy;
+multi-copy writes higher at low load with a crossover near half load.
+"""
+
+from repro import McCuckoo
+from repro.analysis import fig10_memaccess
+from repro.workloads import distinct_keys
+
+
+def test_fig10_memaccess(benchmark, bench_scale, core_sweep, save_result):
+    result = fig10_memaccess(bench_scale, sweep=core_sweep)
+    save_result(result)
+
+    mc_reads = result.series("load", "reads_per_insert", scheme="McCuckoo")
+    cu_reads = result.series("load", "reads_per_insert", scheme="Cuckoo")
+    mc_writes = result.series("load", "writes_per_insert", scheme="McCuckoo")
+    cu_writes = result.series("load", "writes_per_insert", scheme="Cuckoo")
+
+    # (a) reads: multi-copy near zero at low load, below single-copy always
+    assert mc_reads[0.1] < 0.2
+    for load in (0.1, 0.3, 0.5, 0.7, 0.85):
+        assert mc_reads[load] < cu_reads[load]
+    # (b) writes: multi-copy pays redundancy early, wins (or ties) late
+    assert mc_writes[0.1] > cu_writes[0.1]
+    crossover = min(
+        (load for load in sorted(mc_writes) if mc_writes[load] <= cu_writes[load] * 1.1),
+        default=None,
+    )
+    assert crossover is not None and crossover <= 0.7
+
+    blocked_reads = result.series("load", "reads_per_insert", scheme="B-McCuckoo")
+    bcht_reads = result.series("load", "reads_per_insert", scheme="BCHT")
+    assert blocked_reads[0.9] < bcht_reads[0.9]
+
+    # timed op: low-load insertion (the multi-copy redundant-write path)
+    table = McCuckoo(bench_scale.n_single, d=3, seed=101)
+    fresh = distinct_keys(int(table.capacity * 0.3), seed=102)
+    state = {"i": 0}
+
+    def insert_low_load():
+        if state["i"] < len(fresh):
+            table.put(fresh[state["i"]])
+            state["i"] += 1
+        else:
+            table.lookup(fresh[0])
+
+    benchmark(insert_low_load)

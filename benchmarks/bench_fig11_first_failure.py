@@ -1,0 +1,47 @@
+"""Fig. 11 — load ratio at the first insertion failure vs maxloop (50-500).
+
+Paper shape: failure load increases with maxloop; multi-copy schemes reach
+higher failure-free load at the same maxloop (equivalently, the same load
+with a smaller maxloop); blocked schemes fail far later than single-slot.
+"""
+
+from repro import McCuckoo
+from repro.analysis import Scale, fig11_first_failure
+from repro.workloads import key_stream
+
+MAXLOOPS = (50, 100, 200, 300, 400, 500)
+
+
+def test_fig11_first_failure(benchmark, bench_scale, save_result):
+    scale = Scale(n_single=bench_scale.n_single, repeats=bench_scale.repeats,
+                  n_queries=bench_scale.n_queries)
+    result = fig11_first_failure(scale, maxloops=MAXLOOPS)
+    save_result(result)
+
+    for scheme in ("Cuckoo", "McCuckoo", "BCHT", "B-McCuckoo"):
+        series = result.series("maxloop", "first_failure_load", scheme=scheme)
+        assert series[500] >= series[50], f"{scheme}: maxloop does not help"
+
+    for maxloop in MAXLOOPS:
+        loads = {
+            row["scheme"]: row["first_failure_load"]
+            for row in result.filter_rows(maxloop=maxloop)
+        }
+        assert loads["McCuckoo"] >= loads["Cuckoo"] * 0.98
+        assert loads["B-McCuckoo"] >= loads["BCHT"] * 0.98
+        assert loads["BCHT"] > loads["Cuckoo"]
+
+    # multi-copy reaches single-copy's maxloop-500 load with maxloop <= 200
+    cu500 = result.series("maxloop", "first_failure_load", scheme="Cuckoo")[500]
+    mc200 = result.series("maxloop", "first_failure_load", scheme="McCuckoo")[200]
+    assert mc200 >= cu500 * 0.97
+
+    # timed op: fill a small table to its first failure
+    def fill_until_failure():
+        table = McCuckoo(150, d=3, maxloop=100, seed=105)
+        keys = key_stream(seed=106)
+        while table.events.first_failure_items is None:
+            table.put(next(keys))
+        return table.events.first_failure_items
+
+    benchmark(fill_until_failure)

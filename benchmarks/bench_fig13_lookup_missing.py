@@ -1,0 +1,51 @@
+"""Fig. 13 — memory accesses per lookup for non-existing items vs load.
+
+Paper shape: single-copy schemes must read all d buckets to conclude
+absence; the multi-copy schemes answer mostly from the on-chip counters
+(zero accesses at low/moderate load), with the blocked variant's advantage
+fading as the table approaches full.
+"""
+
+import pytest
+
+from repro import McCuckoo
+from repro.analysis import fig13_lookup_missing
+from repro.workloads import distinct_keys, missing_keys
+
+
+def test_fig13_lookup_missing(benchmark, bench_scale, core_sweep, save_result):
+    result = fig13_lookup_missing(bench_scale, sweep=core_sweep)
+    save_result(result)
+
+    mc = result.series("load", "offchip_accesses_per_lookup", scheme="McCuckoo")
+    cu = result.series("load", "offchip_accesses_per_lookup", scheme="Cuckoo")
+    bmc = result.series("load", "offchip_accesses_per_lookup", scheme="B-McCuckoo")
+    bcht = result.series("load", "offchip_accesses_per_lookup", scheme="BCHT")
+
+    # blind baselines: always exactly d bucket reads
+    for load, value in cu.items():
+        assert value == pytest.approx(3.0)
+    for load, value in bcht.items():
+        assert value == pytest.approx(3.0)
+
+    # counters screen almost everything at low/moderate load
+    assert mc[0.2] < 0.5
+    assert mc[0.5] < 1.2
+    for load in mc:
+        assert mc[load] < cu[load]
+    # blocked advantage fades near full (paper's remark in §IV.C)
+    assert bmc[0.98] > bmc[0.5]
+
+    # timed op: missing-item lookup at 50 % load (mostly on-chip)
+    table = McCuckoo(bench_scale.n_single, d=3, seed=110)
+    keys = distinct_keys(int(table.capacity * 0.5), seed=111)
+    for key in keys:
+        table.put(key)
+    absent = missing_keys(256, set(keys), seed=112)
+    state = {"i": 0}
+
+    def lookup_missing():
+        table.lookup(absent[state["i"] % len(absent)])
+        state["i"] += 1
+
+    benchmark(lookup_missing)

@@ -1,0 +1,41 @@
+"""Fig. 14 — memory accesses per deletion.
+
+Paper shape: multi-copy schemes read somewhat more (every copy must be
+located) but write exactly zero off-chip words (counters only); the
+single-copy schemes always pay exactly one off-chip write.
+"""
+
+from repro import DeletionMode, McCuckoo
+from repro.analysis import fig14_deletion
+from repro.workloads import distinct_keys
+
+LOADS = (0.3, 0.5, 0.7, 0.85)
+
+
+def test_fig14_deletion(benchmark, bench_scale, save_result):
+    result = fig14_deletion(bench_scale, loads=LOADS)
+    save_result(result)
+
+    for load in LOADS:
+        rows = {row["scheme"]: row for row in result.filter_rows(load=load)}
+        assert rows["McCuckoo"]["writes_per_delete"] == 0
+        assert rows["B-McCuckoo"]["writes_per_delete"] == 0
+        assert rows["Cuckoo"]["writes_per_delete"] == 1
+        assert rows["BCHT"]["writes_per_delete"] == 1
+    # multi-copy reads more at low load (more copies to confirm)
+    low = {row["scheme"]: row for row in result.filter_rows(load=0.3)}
+    assert low["McCuckoo"]["reads_per_delete"] > low["Cuckoo"]["reads_per_delete"]
+
+    # timed op: delete+reinsert cycle at 70 % load
+    table = McCuckoo(bench_scale.n_single, d=3, seed=113,
+                     deletion_mode=DeletionMode.RESET)
+    keys = distinct_keys(int(table.capacity * 0.7), seed=114)
+    for key in keys:
+        table.put(key)
+    victim = keys[0]
+
+    def delete_reinsert_cycle():
+        table.delete(victim)
+        table.put(victim)
+
+    benchmark(delete_reinsert_cycle)

@@ -1,0 +1,55 @@
+"""Fig. 15 — insertion latency vs load, throughput vs record size (FPGA model).
+
+Paper shape: multi-copy insertion avoids expensive off-chip reads, so its
+modelled latency is lower at moderate-to-high load and its throughput
+advantage grows with record size.
+"""
+
+from repro.analysis import fig15_insert_latency
+from repro.analysis.experiments import RECORD_SIZES
+from repro.memory.latency import PAPER_FPGA
+from repro.memory.model import OpStats
+
+
+def test_fig15_insert_latency(benchmark, bench_scale, core_sweep, save_result):
+    result = fig15_insert_latency(bench_scale, sweep=core_sweep)
+    save_result(result)
+
+    def series(scheme, record_bytes=8):
+        return {
+            row["load"]: row["latency_us"]
+            for row in result.filter_rows(scheme=scheme, record_bytes=record_bytes)
+        }
+
+    mc = series("McCuckoo")
+    cu = series("Cuckoo")
+    # single-copy latency blows up at high load; multi-copy stays flatter
+    assert mc[0.85] < cu[0.85]
+    assert cu[0.9] > cu[0.1] * 2
+
+    # throughput vs record size at 50 % load: advantage grows with records
+    def throughput(scheme, record_bytes):
+        return [
+            row["throughput_mops"]
+            for row in result.filter_rows(
+                scheme=scheme, load=0.5, record_bytes=record_bytes
+            )
+        ][0]
+
+    gains = [
+        throughput("McCuckoo", size) / throughput("Cuckoo", size)
+        for size in RECORD_SIZES
+    ]
+    assert gains[-1] > gains[0], "record-size scaling should favour McCuckoo"
+    assert all(gain > 1.0 for gain in gains)
+
+    # timed op: converting a sweep's stats through the latency model
+    cell = core_sweep[("McCuckoo", 0.5)]
+
+    def model_conversion():
+        total = 0.0
+        for size in RECORD_SIZES:
+            total += PAPER_FPGA.with_record_bytes(size).latency_us(cell.insert)
+        return total
+
+    benchmark(model_conversion)

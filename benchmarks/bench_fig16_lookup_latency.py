@@ -1,0 +1,62 @@
+"""Fig. 16 — lookup latency and throughput, existing & non-existing (FPGA model).
+
+Paper shape: skipping buckets pays off more as records grow; non-existing
+lookups are dramatically cheaper for the multi-copy schemes because the
+counters answer most of them on-chip.
+"""
+
+from repro.analysis import fig16_lookup_latency
+from repro.analysis.experiments import RECORD_SIZES
+
+
+def test_fig16_lookup_latency(benchmark, bench_scale, core_sweep, save_result):
+    result = fig16_lookup_latency(bench_scale, sweep=core_sweep)
+    save_result(result)
+
+    def row(scheme, population, load=0.5, record_bytes=8):
+        return [
+            r
+            for r in result.filter_rows(
+                scheme=scheme, population=population, record_bytes=record_bytes
+            )
+            if r["load"] == load
+        ][0]
+
+    # (b)/(d): non-existing lookups — multi-copy wins big
+    assert (
+        row("McCuckoo", "missing")["latency_us"]
+        < row("Cuckoo", "missing")["latency_us"] * 0.5
+    )
+    # (a)/(c): existing lookups — at tiny 8 B records the counter-checking
+    # overhead can cancel the saved bucket reads (the paper's own §IV.F
+    # remark: "we can actually just skip checking the counters"); at 128 B
+    # records skipping buckets must win clearly.
+    assert (
+        row("McCuckoo", "existing")["latency_us"]
+        < row("Cuckoo", "existing")["latency_us"] * 1.25
+    )
+    # missing-item lookups at moderate load answer almost purely on-chip:
+    # more than 4x faster than the blind d-read baseline
+    assert (
+        row("McCuckoo", "missing", load=0.3)["latency_us"]
+        < row("Cuckoo", "missing", load=0.3)["latency_us"] / 4
+    )
+
+    # throughput gain grows with record size for existing lookups
+    gains = []
+    for size in RECORD_SIZES:
+        mc = row("McCuckoo", "existing", record_bytes=size)["throughput_mops"]
+        cu = row("Cuckoo", "existing", record_bytes=size)["throughput_mops"]
+        gains.append(mc / cu)
+    assert gains[-1] > gains[0]
+
+    # timed op: the latency-model arithmetic over both populations
+    cell = core_sweep[("McCuckoo", 0.5)]
+    from repro.memory.latency import PAPER_FPGA
+
+    def model_conversion():
+        return PAPER_FPGA.latency_us(cell.lookup_existing) + PAPER_FPGA.latency_us(
+            cell.lookup_missing
+        )
+
+    benchmark(model_conversion)

@@ -1,0 +1,97 @@
+"""Scale sensitivity: the headline shapes must hold across table sizes.
+
+The paper ran at 70M keys; this repo defaults to thousands.  This bench
+sweeps three sizes and asserts that the qualitative results — kick
+reduction, missing-lookup screening, first-collision ordering — are not
+artifacts of one size, and that the *scale-dependent* quantity
+(first-collision load) moves the way theory says it must (larger tables
+collide at relatively lower load, ~S^(-1/4) for single-copy cuckoo).
+"""
+
+from repro import CuckooTable, McCuckoo
+from repro.analysis import ExperimentResult
+from repro.analysis.theory import expected_first_collision_load
+from repro.workloads import distinct_keys, key_stream, missing_keys
+
+SIZES = (200, 800, 3200)  # buckets per sub-table
+
+
+def test_scale_sensitivity(benchmark, save_result):
+    result = ExperimentResult(
+        "ext-scale",
+        "Headline shapes across table sizes (buckets/sub-table)",
+        columns=(
+            "n_single",
+            "kick_ratio_mc_over_cu",
+            "missing_reads_mccuckoo",
+            "first_collision_cuckoo",
+            "first_collision_predicted",
+        ),
+    )
+    kick_ratios = []
+    collision_onsets = []
+    for n_single in SIZES:
+        seed = 950 + n_single
+        mccuckoo = McCuckoo(n_single, d=3, seed=seed, maxloop=500)
+        cuckoo = CuckooTable(n_single, d=3, seed=seed, maxloop=500)
+        keys = distinct_keys(int(mccuckoo.capacity * 0.85), seed=seed + 1)
+        for key in keys:
+            mccuckoo.put(key)
+            cuckoo.put(key)
+        kick_ratio = (
+            mccuckoo.total_kicks / cuckoo.total_kicks if cuckoo.total_kicks else 0.0
+        )
+        kick_ratios.append(kick_ratio)
+        absent = missing_keys(400, set(keys), seed=seed + 2)
+        before = mccuckoo.mem.off_chip.reads
+        for key in absent:
+            mccuckoo.lookup(key)
+        missing_reads = (mccuckoo.mem.off_chip.reads - before) / len(absent)
+
+        # first-collision onset is the minimum of many random draws and has
+        # high variance: average several independent fills
+        onsets = []
+        for repeat in range(5):
+            fresh = CuckooTable(n_single, d=3, seed=seed + 3 + repeat)
+            stream = key_stream(seed=seed + 40 + repeat)
+            while fresh.events.first_collision_items is None:
+                fresh.put(next(stream))
+            onsets.append(fresh.events.first_collision_items / fresh.capacity)
+        onset = sum(onsets) / len(onsets)
+        collision_onsets.append(onset)
+        result.add_row(
+            n_single=n_single,
+            kick_ratio_mc_over_cu=kick_ratio,
+            missing_reads_mccuckoo=missing_reads,
+            first_collision_cuckoo=onset,
+            first_collision_predicted=expected_first_collision_load(
+                3 * n_single
+            ),
+        )
+        # shape assertions at every size
+        assert kick_ratio < 0.8, f"kick advantage lost at n={n_single}"
+        assert missing_reads < 3.0, f"screening lost at n={n_single}"
+    save_result(result)
+
+    # scale law: bigger tables collide relatively earlier
+    assert collision_onsets[0] > collision_onsets[-1]
+    # and within a factor ~2 of the closed-form prediction at every size
+    for row in result.rows:
+        assert (
+            row["first_collision_predicted"] / 2
+            < row["first_collision_cuckoo"]
+            < row["first_collision_predicted"] * 2.5
+        )
+
+    table = McCuckoo(SIZES[0], d=3, seed=999)
+    fill = distinct_keys(int(table.capacity * 0.6), seed=1000)
+    state = {"i": 0}
+
+    def small_scale_insert():
+        if state["i"] < len(fill):
+            table.put(fill[state["i"]])
+            state["i"] += 1
+        else:
+            table.lookup(fill[0])
+
+    benchmark(small_scale_insert)

@@ -1,0 +1,33 @@
+"""Table I — load ratio at which the first real collision occurs.
+
+Paper shape (70M-key run): Cuckoo 9.27 %, McCuckoo 23.20 %, BCHT 46.03 %,
+B-McCuckoo 61.42 %.  The absolute onset depends on table size (smaller
+tables collide relatively later), but the strict ordering and the roughly
+2x multi-copy advantage must hold.
+"""
+
+from repro.analysis import Scale, table1_first_collision
+from repro.analysis.sweep import make_schemes
+from repro.workloads import key_stream
+
+
+def test_table1_first_collision(benchmark, bench_scale, save_result):
+    result = table1_first_collision(bench_scale)
+    save_result(result)
+
+    loads = {row["scheme"]: row["first_collision_load"] for row in result.rows}
+    assert loads["Cuckoo"] < loads["McCuckoo"] < loads["BCHT"] < loads["B-McCuckoo"]
+    assert loads["McCuckoo"] > loads["Cuckoo"] * 1.3
+    assert loads["B-McCuckoo"] > loads["BCHT"] * 1.1
+
+    # timed op: fill a fresh McCuckoo until its first collision
+    small = Scale(n_single=200, repeats=1)
+
+    def fill_until_collision():
+        table = make_schemes(small, seed=103)["McCuckoo"]()
+        keys = key_stream(seed=104)
+        while table.events.first_collision_items is None:
+            table.put(next(keys))
+        return table.events.first_collision_items
+
+    benchmark(fill_until_collision)

@@ -1,0 +1,45 @@
+"""Table II — stash statistics for 3-hash 1-slot McCuckoo at 88-93 % load.
+
+Paper shape: the stash is empty (or nearly) at 88 %, ramps steeply toward
+93 % (reaching ~1 % of all items), the larger maxloop keeps it smaller at
+any load, and the fraction of non-existing-item lookups that actually
+visit the stash stays essentially 0 %.
+"""
+
+from repro import McCuckoo
+from repro.analysis import table2_stash_single
+from repro.workloads import key_stream
+
+LOADS = (0.88, 0.89, 0.90, 0.91, 0.92, 0.93)
+MAXLOOPS = (200, 500)
+
+
+def test_table2_stash_single(benchmark, bench_scale, save_result):
+    result = table2_stash_single(bench_scale, loads=LOADS, maxloops=MAXLOOPS)
+    save_result(result)
+
+    for maxloop in MAXLOOPS:
+        series = result.series("load", "stash_items", maxloop=maxloop)
+        assert series[0.93] > series[0.88], "stash must ramp with load"
+    # larger maxloop defers stash growth (summed over the sweep to dampen
+    # the noise of individual saturation-edge points)
+    small = result.series("load", "stash_items", maxloop=200)
+    large = result.series("load", "stash_items", maxloop=500)
+    assert sum(large.values()) <= sum(small.values()) * 1.1
+    # screened stash is essentially never visited by missing lookups
+    for row in result.rows:
+        assert row["stash_visit_pct_missing_lookups"] < 0.5
+    # stash stays a tiny fraction of all items
+    for row in result.rows:
+        assert row["stash_pct_of_items"] < 5.0
+
+    # timed op: overload insertion straight into the stash path (maxloop 0)
+    table = McCuckoo(32, d=3, seed=115, maxloop=0)
+    keys = key_stream(seed=116)
+    for _ in range(table.capacity):
+        table.put(next(keys))
+
+    def stash_path_insert():
+        table.put(next(keys))
+
+    benchmark(stash_path_insert)

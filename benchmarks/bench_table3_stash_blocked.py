@@ -1,0 +1,41 @@
+"""Table III — stash statistics for 3-hash 3-slot B-McCuckoo at 97.5-100 %.
+
+Paper shape: the blocked multi-copy table keeps the stash empty until
+~99 % load, then ramps; stash-visit rate on non-existing lookups stays
+≈0 %.
+"""
+
+from repro import BlockedMcCuckoo
+from repro.analysis import table3_stash_blocked
+from repro.workloads import distinct_keys, missing_keys
+
+LOADS = (0.975, 0.98, 0.985, 0.99, 0.995, 1.0)
+MAXLOOPS = (200, 500)
+
+
+def test_table3_stash_blocked(benchmark, bench_scale, save_result):
+    result = table3_stash_blocked(bench_scale, loads=LOADS, maxloops=MAXLOOPS)
+    save_result(result)
+
+    for maxloop in MAXLOOPS:
+        series = result.series("load", "stash_items", maxloop=maxloop)
+        assert series[0.975] <= 1.0, "stash should be ~empty at 97.5 %"
+        assert series[1.0] >= series[0.975], "stash must ramp toward 100 %"
+    for row in result.rows:
+        assert row["stash_visit_pct_missing_lookups"] < 0.5
+        assert row["stash_pct_of_items"] < 5.0
+
+    # timed op: missing lookups against a 99 %-full blocked table
+    table = BlockedMcCuckoo(bench_scale.n_blocked, d=3, slots=3, seed=117,
+                            maxloop=500)
+    keys = distinct_keys(int(table.capacity * 0.99), seed=118)
+    for key in keys:
+        table.put(key)
+    absent = missing_keys(256, set(keys), seed=119)
+    state = {"i": 0}
+
+    def lookup_missing_at_99():
+        table.lookup(absent[state["i"] % len(absent)])
+        state["i"] += 1
+
+    benchmark(lookup_missing_at_99)

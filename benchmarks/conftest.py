@@ -1,0 +1,46 @@
+"""Shared fixtures for the benchmark suite.
+
+Every ``bench_*`` module reproduces one table or figure of the paper: it
+computes the experiment's series, prints it in the paper's shape, saves the
+rendered table under ``benchmarks/results/`` (the source for
+EXPERIMENTS.md), asserts the expected qualitative shape, and times a
+representative operation with pytest-benchmark.
+
+The expensive load sweep shared by Figs. 9/10/12/13/15/16 is computed once
+per session.
+"""
+
+import pathlib
+
+import pytest
+
+from repro.analysis import Scale, render, run_core_sweep, to_markdown
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+BENCH_SCALE = Scale(n_single=1200, repeats=2, n_queries=1000)
+
+
+@pytest.fixture(scope="session")
+def bench_scale() -> Scale:
+    return BENCH_SCALE
+
+
+@pytest.fixture(scope="session")
+def core_sweep(bench_scale):
+    return run_core_sweep(bench_scale)
+
+
+@pytest.fixture(scope="session")
+def save_result():
+    """Print an ExperimentResult and persist it for EXPERIMENTS.md."""
+
+    def _save(result):
+        text = render(result)
+        print("\n" + text)
+        RESULTS_DIR.mkdir(exist_ok=True)
+        path = RESULTS_DIR / f"{result.experiment_id}.md"
+        path.write_text(to_markdown(result) + "\n", encoding="utf-8")
+        return text
+
+    return _save

@@ -1,0 +1,57 @@
+#!/usr/bin/env python3
+"""Packet-forwarding flow table with one writer and many readers.
+
+Switches (CuckooSwitch, MemC3) keep flow → action tables that are read for
+every packet while a control plane occasionally installs new flows.  §III.H
+of the paper notes McCuckoo's fast cuckoo-path discovery makes MemC3-style
+one-writer-many-readers concurrency cheap.
+
+This example installs flows through the path-ordered concurrent writer
+while reader probes run at every atomic step boundary, and verifies no
+lookup ever misses an installed flow — then serves a Zipf packet stream.
+
+Run:  python examples/flow_table.py
+"""
+
+from repro import ConcurrentMcCuckoo, McCuckoo
+from repro.concurrency import InterleavingHarness
+from repro.workloads import ZipfSampler, distinct_keys
+
+
+def main() -> None:
+    table = ConcurrentMcCuckoo(McCuckoo(n_buckets=700, d=3, maxloop=500, seed=9))
+    harness = InterleavingHarness(table, probe_sample=6, seed=2)
+
+    flows = distinct_keys(1800, seed=21)  # ~86 % load
+    actions = [f"port-{i % 48}" for i in range(len(flows))]
+
+    print(f"installing {len(flows)} flows with reader probes interleaved ...")
+    from repro.concurrency import InterleaveReport
+
+    report = InterleaveReport()
+    for flow, action in zip(flows, actions):
+        harness.insert_with_probes(flow, action, report=report)
+
+    print(f"  writer steps observed: {report.steps}")
+    print(f"  reader probes executed: {report.probes}")
+    print(f"  probes that missed an installed flow: {len(report.missed_keys)}")
+    print(f"  probes that saw a wrong action:       {len(report.wrong_values)}")
+    assert report.linearizable, "a reader observed a vanished flow!"
+    print("  no reader ever lost a flow mid-insertion (path-ordered moves)\n")
+
+    # Serve a skewed packet stream (a few elephant flows dominate).
+    sampler = ZipfSampler(len(flows), s=1.1, seed=4)
+    packets = 20000
+    before = table.table.mem.off_chip.reads
+    for _ in range(packets):
+        flow = flows[sampler.sample()]
+        outcome = table.lookup(flow)
+        assert outcome.found
+    reads = table.table.mem.off_chip.reads - before
+    print(f"served {packets} packets at load {table.table.load_ratio:.2%}")
+    print(f"off-chip reads per packet: {reads / packets:.3f} "
+          f"(d={table.table.d} candidate buckets exist per flow)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,58 @@
+#!/usr/bin/env python3
+"""Regenerate every table and figure of the paper's evaluation (§IV).
+
+Prints each exhibit as a text table.  Pass ``--scale N`` to change the
+per-sub-table bucket count (default 2000 → capacity 6000 items) and
+``--only fig9,table2`` to run a subset.
+
+Run:  python examples/reproduce_paper.py [--scale 2000] [--only fig9,fig10]
+"""
+
+import argparse
+import time
+
+from repro.analysis import ALL_EXPERIMENTS, Scale, render, run_core_sweep
+
+SWEEP_BASED = {"fig9", "fig10", "fig12", "fig13", "fig15", "fig16"}
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--scale", type=int, default=2000,
+                        help="buckets per sub-table for single-slot schemes")
+    parser.add_argument("--repeats", type=int, default=3)
+    parser.add_argument("--only", type=str, default="",
+                        help="comma-separated experiment ids (default: all)")
+    args = parser.parse_args()
+
+    scale = Scale(n_single=args.scale, repeats=args.repeats)
+    selected = (
+        [name.strip() for name in args.only.split(",") if name.strip()]
+        if args.only
+        else list(ALL_EXPERIMENTS)
+    )
+    unknown = [name for name in selected if name not in ALL_EXPERIMENTS]
+    if unknown:
+        raise SystemExit(f"unknown experiments: {unknown}; "
+                         f"options: {sorted(ALL_EXPERIMENTS)}")
+
+    sweep = None
+    if any(name in SWEEP_BASED for name in selected):
+        print("running the shared load sweep (all four schemes) ...")
+        start = time.time()
+        sweep = run_core_sweep(scale)
+        print(f"sweep finished in {time.time() - start:.1f}s\n")
+
+    for name in selected:
+        function = ALL_EXPERIMENTS[name]
+        start = time.time()
+        if name in SWEEP_BASED:
+            result = function(scale, sweep=sweep)
+        else:
+            result = function(scale)
+        print(render(result))
+        print(f"[{name} took {time.time() - start:.1f}s]\n")
+
+
+if __name__ == "__main__":
+    main()

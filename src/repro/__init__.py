@@ -1,0 +1,84 @@
+"""repro — a full reproduction of *Multi-copy Cuckoo Hashing* (ICDE 2019).
+
+Public API highlights:
+
+* :class:`McCuckoo` / :class:`BlockedMcCuckoo` — the paper's contribution.
+* :class:`CuckooTable`, :class:`BCHT`, :class:`CHS` — the baselines.
+* :class:`MemoryModel` / :class:`LatencyModel` — the memory-hierarchy
+  simulator every scheme reports its accesses to.
+* :mod:`repro.workloads` — key streams and the synthetic DocWords corpus.
+* :mod:`repro.analysis` — one function per table/figure of the paper.
+"""
+
+from .baselines import (
+    BCHT,
+    CHS,
+    BloomFrontedCuckoo,
+    ChainedHashTable,
+    CuckooTable,
+    LinearProbingTable,
+    SmartCuckoo,
+)
+from .concurrency import ConcurrentMcCuckoo, find_cuckoo_path
+from .core import (
+    BatchResult,
+    BlockedMcCuckoo,
+    DeletionMode,
+    FailurePolicy,
+    HashTable,
+    InsertOutcome,
+    InsertStatus,
+    McCuckoo,
+    McCuckooMultiMap,
+    MinCounterPolicy,
+    RandomWalkPolicy,
+    ResizableMcCuckoo,
+    ShardedMcCuckoo,
+    SiblingTracking,
+    TableFullError,
+    batched_lookup,
+    load_snapshot,
+    save_snapshot,
+)
+from .filters import BloomFilter, CuckooFilter
+from .hashing import canonical_key
+from .memory import PAPER_FPGA, LatencyModel, MemoryModel
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "BCHT",
+    "BatchResult",
+    "BloomFilter",
+    "BloomFrontedCuckoo",
+    "BlockedMcCuckoo",
+    "CHS",
+    "ChainedHashTable",
+    "ConcurrentMcCuckoo",
+    "CuckooTable",
+    "DeletionMode",
+    "FailurePolicy",
+    "HashTable",
+    "InsertOutcome",
+    "InsertStatus",
+    "LatencyModel",
+    "LinearProbingTable",
+    "McCuckoo",
+    "McCuckooMultiMap",
+    "MemoryModel",
+    "MinCounterPolicy",
+    "PAPER_FPGA",
+    "RandomWalkPolicy",
+    "ResizableMcCuckoo",
+    "ShardedMcCuckoo",
+    "SiblingTracking",
+    "SmartCuckoo",
+    "TableFullError",
+    "batched_lookup",
+    "canonical_key",
+    "CuckooFilter",
+    "find_cuckoo_path",
+    "load_snapshot",
+    "save_snapshot",
+    "__version__",
+]

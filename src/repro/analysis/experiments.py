@@ -1,0 +1,906 @@
+"""Reproductions of every table and figure in the paper's §IV.
+
+Each ``fig*``/``table*`` function regenerates one exhibit and returns an
+:class:`ExperimentResult` whose rows mirror the paper's series.  Absolute
+numbers differ from the paper (Python simulator at reduced scale instead of
+a C++/FPGA testbed on 70M keys) but each function's docstring states the
+shape that must hold, and the benchmark suite asserts it.
+
+The heavy lifting — filling the four schemes along a load grid while
+measuring marginal insertion cost and probing lookups — happens once in
+:func:`run_core_sweep`; the per-figure functions are views over it.  Pass
+its result via the ``sweep=`` parameter to share one run across figures.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..baselines import CHS
+from ..core import (
+    BlockedMcCuckoo,
+    DeletionMode,
+    McCuckoo,
+    MinCounterPolicy,
+    RandomWalkPolicy,
+    SiblingTracking,
+)
+from ..hashing import Key
+from ..memory.latency import PAPER_FPGA, LatencyModel
+from ..memory.model import OpStats
+from ..workloads import key_stream, missing_keys, sample_keys
+from .sweep import (
+    Scale,
+    fill_fresh,
+    loads_for,
+    make_schemes,
+    measure_deletes,
+    measured_fill,
+    measure_lookups,
+)
+from .tables import ExperimentResult
+
+SCHEMES = ("Cuckoo", "McCuckoo", "BCHT", "B-McCuckoo")
+
+
+# ---------------------------------------------------------------------------
+# the shared load sweep
+# ---------------------------------------------------------------------------
+
+
+class SweepRow:
+    """Measurements for one (scheme, load) cell, merged across repeats."""
+
+    def __init__(self, scheme: str, load: float) -> None:
+        self.scheme = scheme
+        self.load = load
+        self.insert = OpStats()
+        self.lookup_existing = OpStats()
+        self.lookup_missing = OpStats()
+
+
+def run_core_sweep(scale: Scale = Scale()) -> Dict[Tuple[str, float], SweepRow]:
+    """Fill all four schemes along their load grids, ``scale.repeats`` times.
+
+    At every grid point the marginal insertion statistics of the band are
+    recorded, then ``scale.n_queries`` lookups for existing keys and the
+    same number for never-inserted keys are measured on the live table.
+    """
+    cells: Dict[Tuple[str, float], SweepRow] = {}
+    for repeat in range(scale.repeats):
+        seed = scale.seed + repeat * 1009
+        schemes = make_schemes(scale, seed=seed)
+        for scheme_name, factory in schemes.items():
+            table = factory()
+            keys = key_stream(seed=seed ^ 0xF111)
+            inserted: List[Key] = []
+            for load in loads_for(scheme_name):
+                # Fill one band, then measure lookups on the table *at this
+                # load* before the next band fills it further.
+                points = measured_fill(table, (load,), keys)
+                point = points[0]
+                inserted.extend(point.inserted_keys)
+                cell = cells.setdefault(
+                    (scheme_name, point.load), SweepRow(scheme_name, point.load)
+                )
+                cell.insert.merge(point.insert_stats)
+                if not inserted:
+                    continue
+                n_queries = min(scale.n_queries, len(inserted))
+                existing = sample_keys(inserted, n_queries, seed=seed)
+                cell.lookup_existing.merge(measure_lookups(table, existing))
+                absent = missing_keys(n_queries, set(inserted), seed=seed + 1)
+                cell.lookup_missing.merge(measure_lookups(table, absent))
+                if len(table) < int(load * table.capacity):
+                    break  # saturated: later grid points are unreachable
+    return cells
+
+
+def _sweep(scale: Scale, sweep: Optional[Dict]) -> Dict[Tuple[str, float], SweepRow]:
+    return sweep if sweep is not None else run_core_sweep(scale)
+
+
+def _sorted_cells(cells: Dict[Tuple[str, float], SweepRow]) -> List[SweepRow]:
+    ordered = sorted(
+        cells.values(), key=lambda cell: (SCHEMES.index(cell.scheme), cell.load)
+    )
+    return ordered
+
+
+# ---------------------------------------------------------------------------
+# Fig. 9 / Fig. 10 — insertion cost
+# ---------------------------------------------------------------------------
+
+
+def fig9_kickouts(
+    scale: Scale = Scale(), sweep: Optional[Dict] = None
+) -> ExperimentResult:
+    """Fig. 9: kick-outs per insertion vs load.
+
+    Expected shape: near zero for everyone at low load; at high load the
+    multi-copy schemes kick far less than their single-copy counterparts
+    (paper: −59.3 % for ternary at 85 %, −77.9 % for blocked at 95 %).
+    """
+    result = ExperimentResult(
+        "fig9",
+        "Kick-outs per insertion vs load ratio",
+        columns=("scheme", "load", "kicks_per_insert"),
+        notes="marginal cost of the insertions in the band ending at each load",
+    )
+    for cell in _sorted_cells(_sweep(scale, sweep)):
+        result.add_row(
+            scheme=cell.scheme, load=cell.load, kicks_per_insert=cell.insert.kicks_per_op
+        )
+    return result
+
+
+def fig10_memaccess(
+    scale: Scale = Scale(), sweep: Optional[Dict] = None
+) -> ExperimentResult:
+    """Fig. 10: off-chip reads (a) and writes (b) per insertion vs load.
+
+    Expected shape: multi-copy reads ≈ 0 at low load and far below
+    single-copy everywhere; multi-copy writes higher at low load (redundant
+    copies) with a crossover near half load, lower beyond.
+    """
+    result = ExperimentResult(
+        "fig10",
+        "Off-chip memory accesses per insertion vs load ratio",
+        columns=("scheme", "load", "reads_per_insert", "writes_per_insert"),
+    )
+    for cell in _sorted_cells(_sweep(scale, sweep)):
+        result.add_row(
+            scheme=cell.scheme,
+            load=cell.load,
+            reads_per_insert=cell.insert.offchip_reads_per_op,
+            writes_per_insert=cell.insert.offchip_writes_per_op,
+        )
+    return result
+
+
+# ---------------------------------------------------------------------------
+# Table I / Fig. 11 — collision and failure onset
+# ---------------------------------------------------------------------------
+
+
+def table1_first_collision(scale: Scale = Scale()) -> ExperimentResult:
+    """Table I: load ratio at which the first real collision occurs.
+
+    Expected shape: multi-copy schemes collide much later than single-copy
+    (paper: 9.27 % → 23.20 % single-slot; 46.03 % → 61.42 % blocked).
+    """
+    result = ExperimentResult(
+        "table1",
+        "Load ratio when the first collision occurs",
+        columns=("scheme", "first_collision_load"),
+        notes="averaged over repeats; collision = no candidate is usable",
+    )
+    sums = {name: 0.0 for name in SCHEMES}
+    for repeat in range(scale.repeats):
+        seed = scale.seed + repeat * 2003
+        for scheme_name, factory in make_schemes(scale, seed=seed).items():
+            table = factory()
+            keys = key_stream(seed=seed ^ 0xAB1E)
+            while table.events.first_collision_items is None:
+                table.put(next(keys))
+            sums[scheme_name] += table.events.first_collision_items / table.capacity
+    for scheme_name in SCHEMES:
+        result.add_row(
+            scheme=scheme_name,
+            first_collision_load=sums[scheme_name] / scale.repeats,
+        )
+    return result
+
+
+def fig11_first_failure(
+    scale: Scale = Scale(), maxloops: Sequence[int] = (50, 100, 200, 300, 400, 500)
+) -> ExperimentResult:
+    """Fig. 11: load ratio at the first insertion failure vs maxloop.
+
+    Expected shape: failure load rises with maxloop for every scheme, and
+    multi-copy schemes reach a given load with a smaller maxloop (or a
+    higher failure-free load at the same maxloop).
+    """
+    result = ExperimentResult(
+        "fig11",
+        "Load ratio at first insertion failure vs maxloop",
+        columns=("scheme", "maxloop", "first_failure_load"),
+    )
+    for maxloop in maxloops:
+        sums = {name: 0.0 for name in SCHEMES}
+        for repeat in range(scale.repeats):
+            seed = scale.seed + repeat * 3001
+            scaled = Scale(
+                n_single=scale.n_single,
+                d=scale.d,
+                slots=scale.slots,
+                maxloop=maxloop,
+                repeats=scale.repeats,
+                n_queries=scale.n_queries,
+                seed=scale.seed,
+                stash_buckets=scale.stash_buckets,
+            )
+            for scheme_name, factory in make_schemes(scaled, seed=seed).items():
+                table = factory()
+                keys = key_stream(seed=seed ^ 0xFA11)
+                while table.events.first_failure_items is None:
+                    table.put(next(keys))
+                sums[scheme_name] += table.events.first_failure_items / table.capacity
+        for scheme_name in SCHEMES:
+            result.add_row(
+                scheme=scheme_name,
+                maxloop=maxloop,
+                first_failure_load=sums[scheme_name] / scale.repeats,
+            )
+    return result
+
+
+# ---------------------------------------------------------------------------
+# Fig. 12 / Fig. 13 — lookup cost
+# ---------------------------------------------------------------------------
+
+
+def fig12_lookup_existing(
+    scale: Scale = Scale(), sweep: Optional[Dict] = None
+) -> ExperimentResult:
+    """Fig. 12: off-chip accesses per lookup of existing items vs load.
+
+    Expected shape: the multi-copy schemes read fewer buckets than their
+    single-copy counterparts at every load (impossible buckets skipped,
+    redundant copies found sooner).
+    """
+    result = ExperimentResult(
+        "fig12",
+        "Memory accesses per lookup (existing items)",
+        columns=("scheme", "load", "offchip_accesses_per_lookup"),
+    )
+    for cell in _sorted_cells(_sweep(scale, sweep)):
+        if not cell.lookup_existing.operations:
+            continue
+        result.add_row(
+            scheme=cell.scheme,
+            load=cell.load,
+            offchip_accesses_per_lookup=cell.lookup_existing.offchip_accesses_per_op,
+        )
+    return result
+
+
+def fig13_lookup_missing(
+    scale: Scale = Scale(), sweep: Optional[Dict] = None
+) -> ExperimentResult:
+    """Fig. 13: off-chip accesses per lookup of non-existing items vs load.
+
+    Expected shape: single-copy schemes always read all d buckets; the
+    multi-copy schemes often answer from the counters alone (≈0 accesses at
+    low/moderate load), with B-McCuckoo's advantage fading near full load.
+    """
+    result = ExperimentResult(
+        "fig13",
+        "Memory accesses per lookup (non-existing items)",
+        columns=("scheme", "load", "offchip_accesses_per_lookup"),
+    )
+    for cell in _sorted_cells(_sweep(scale, sweep)):
+        if not cell.lookup_missing.operations:
+            continue
+        result.add_row(
+            scheme=cell.scheme,
+            load=cell.load,
+            offchip_accesses_per_lookup=cell.lookup_missing.offchip_accesses_per_op,
+        )
+    return result
+
+
+# ---------------------------------------------------------------------------
+# Fig. 14 — deletion cost
+# ---------------------------------------------------------------------------
+
+
+def fig14_deletion(
+    scale: Scale = Scale(), loads: Sequence[float] = (0.3, 0.5, 0.7, 0.85)
+) -> ExperimentResult:
+    """Fig. 14: off-chip reads per deletion vs load.
+
+    Expected shape: multi-copy schemes read *more* per deletion (all copies
+    must be confirmed) but write zero (only counters are reset), whereas
+    single-copy schemes always pay exactly one write.
+    """
+    result = ExperimentResult(
+        "fig14",
+        "Memory accesses per deletion",
+        columns=("scheme", "load", "reads_per_delete", "writes_per_delete"),
+        notes="multi-copy deletion writes are counter-only (0 off-chip writes)",
+    )
+    stats: Dict[Tuple[str, float], OpStats] = {}
+    for repeat in range(scale.repeats):
+        seed = scale.seed + repeat * 4001
+        schemes = make_schemes(scale, seed=seed, deletion_mode=DeletionMode.RESET)
+        for scheme_name, factory in schemes.items():
+            for load in loads:
+                table, inserted = fill_fresh(factory, load, seed=seed ^ 0xDE1E)
+                if not inserted:
+                    continue
+                n_deletes = min(scale.n_queries, len(inserted))
+                victims = sample_keys(inserted, n_deletes, seed=seed)
+                merged = stats.setdefault((scheme_name, load), OpStats())
+                merged.merge(measure_deletes(table, victims))
+    for scheme_name in SCHEMES:
+        for load in loads:
+            merged = stats.get((scheme_name, load))
+            if merged is None:
+                continue
+            result.add_row(
+                scheme=scheme_name,
+                load=load,
+                reads_per_delete=merged.offchip_reads_per_op,
+                writes_per_delete=merged.offchip_writes_per_op,
+            )
+    return result
+
+
+# ---------------------------------------------------------------------------
+# Tables II / III — stash behaviour at very high load
+# ---------------------------------------------------------------------------
+
+
+def _stash_experiment(
+    experiment_id: str,
+    title: str,
+    factory_name: str,
+    scale: Scale,
+    loads: Sequence[float],
+    maxloops: Sequence[int],
+) -> ExperimentResult:
+    result = ExperimentResult(
+        experiment_id,
+        title,
+        columns=(
+            "load",
+            "maxloop",
+            "stash_items",
+            "stash_pct_of_items",
+            "stash_visit_pct_missing_lookups",
+        ),
+    )
+    for load in loads:
+        for maxloop in maxloops:
+            stash_items = 0.0
+            stash_pct = 0.0
+            visit_pct = 0.0
+            for repeat in range(scale.repeats):
+                seed = scale.seed + repeat * 5003
+                scaled = Scale(
+                    n_single=scale.n_single,
+                    d=scale.d,
+                    slots=scale.slots,
+                    maxloop=maxloop,
+                    repeats=scale.repeats,
+                    n_queries=scale.n_queries,
+                    seed=scale.seed,
+                    stash_buckets=scale.stash_buckets,
+                )
+                factory = make_schemes(scaled, seed=seed)[factory_name]
+                table, inserted = fill_fresh(factory, load, seed=seed ^ 0x57A5)
+                stash = table.stash
+                assert stash is not None
+                stash_items += len(stash)
+                if inserted:
+                    stash_pct += len(stash) / len(table) * 100.0
+                    absent = missing_keys(
+                        scale.n_queries, set(inserted), seed=seed + 11
+                    )
+                    visits = sum(
+                        1 for key in absent if table.lookup(key).checked_stash
+                    )
+                    visit_pct += visits / len(absent) * 100.0
+            result.add_row(
+                load=load,
+                maxloop=maxloop,
+                stash_items=stash_items / scale.repeats,
+                stash_pct_of_items=stash_pct / scale.repeats,
+                stash_visit_pct_missing_lookups=visit_pct / scale.repeats,
+            )
+    return result
+
+
+def table2_stash_single(
+    scale: Scale = Scale(),
+    loads: Sequence[float] = (0.88, 0.89, 0.90, 0.91, 0.92, 0.93),
+    maxloops: Sequence[int] = (200, 500),
+) -> ExperimentResult:
+    """Table II: stash statistics for 3-hash 1-slot McCuckoo at 88–93 % load.
+
+    Expected shape: stash population ramps steeply over the last few load
+    points (earlier with the smaller maxloop) while the fraction of
+    non-existing-item lookups that actually visit the stash stays ≈0 %.
+    """
+    return _stash_experiment(
+        "table2",
+        "Stash performance, 3-hash 1-slot McCuckoo",
+        "McCuckoo",
+        scale,
+        loads,
+        maxloops,
+    )
+
+
+def table3_stash_blocked(
+    scale: Scale = Scale(),
+    loads: Sequence[float] = (0.975, 0.98, 0.985, 0.99, 0.995, 1.0),
+    maxloops: Sequence[int] = (200, 500),
+) -> ExperimentResult:
+    """Table III: stash statistics for 3-hash 3-slot B-McCuckoo at 97.5–100 %.
+
+    Expected shape: essentially empty stash until ~99 %, then a sharp ramp;
+    stash-visit rate on non-existing lookups stays ≈0 %.
+    """
+    return _stash_experiment(
+        "table3",
+        "Stash performance, 3-hash 3-slot B-McCuckoo",
+        "B-McCuckoo",
+        scale,
+        loads,
+        maxloops,
+    )
+
+
+# ---------------------------------------------------------------------------
+# Figs. 15 / 16 — FPGA latency and throughput model
+# ---------------------------------------------------------------------------
+
+RECORD_SIZES = (8, 16, 32, 64, 128)
+
+
+def fig15_insert_latency(
+    scale: Scale = Scale(),
+    sweep: Optional[Dict] = None,
+    record_sizes: Sequence[int] = RECORD_SIZES,
+    model: LatencyModel = PAPER_FPGA,
+) -> ExperimentResult:
+    """Fig. 15: insertion latency vs load, and throughput vs record size at
+    50 % load, on the paper's FPGA cost model.
+
+    Expected shape: multi-copy insertion latency lower at moderate-to-high
+    load (fewer expensive off-chip reads); throughput advantage grows with
+    record size.
+    """
+    result = ExperimentResult(
+        "fig15",
+        "Insertion latency (us) vs load; throughput (Mops) vs record size",
+        columns=("scheme", "load", "record_bytes", "latency_us", "throughput_mops"),
+    )
+    cells = _sweep(scale, sweep)
+    for cell in _sorted_cells(cells):
+        result.add_row(
+            scheme=cell.scheme,
+            load=cell.load,
+            record_bytes=model.record_bytes,
+            latency_us=model.latency_us(cell.insert),
+            throughput_mops=model.throughput_mops(cell.insert),
+        )
+    for record_bytes in record_sizes:
+        sized = model.with_record_bytes(record_bytes)
+        for scheme_name in SCHEMES:
+            cell = cells.get((scheme_name, 0.5))
+            if cell is None:
+                continue
+            result.add_row(
+                scheme=scheme_name,
+                load=0.5,
+                record_bytes=record_bytes,
+                latency_us=sized.latency_us(cell.insert),
+                throughput_mops=sized.throughput_mops(cell.insert),
+            )
+    return result
+
+
+def fig16_lookup_latency(
+    scale: Scale = Scale(),
+    sweep: Optional[Dict] = None,
+    record_sizes: Sequence[int] = RECORD_SIZES,
+    model: LatencyModel = PAPER_FPGA,
+) -> ExperimentResult:
+    """Fig. 16: lookup latency and throughput for existing and non-existing
+    items on the FPGA cost model.
+
+    Expected shape: skipping buckets pays off more as records grow; for
+    non-existing items the multi-copy schemes answer mostly on-chip.
+    """
+    result = ExperimentResult(
+        "fig16",
+        "Lookup latency (us) and throughput (Mops), existing/non-existing",
+        columns=(
+            "scheme",
+            "load",
+            "record_bytes",
+            "population",
+            "latency_us",
+            "throughput_mops",
+        ),
+    )
+    cells = _sweep(scale, sweep)
+    for cell in _sorted_cells(cells):
+        for population, stats in (
+            ("existing", cell.lookup_existing),
+            ("missing", cell.lookup_missing),
+        ):
+            if not stats.operations:
+                continue
+            result.add_row(
+                scheme=cell.scheme,
+                load=cell.load,
+                record_bytes=model.record_bytes,
+                population=population,
+                latency_us=model.latency_us(stats),
+                throughput_mops=model.throughput_mops(stats),
+            )
+    for record_bytes in record_sizes:
+        sized = model.with_record_bytes(record_bytes)
+        for scheme_name in SCHEMES:
+            cell = cells.get((scheme_name, 0.5))
+            if cell is None:
+                continue
+            for population, stats in (
+                ("existing", cell.lookup_existing),
+                ("missing", cell.lookup_missing),
+            ):
+                if not stats.operations:
+                    continue
+                result.add_row(
+                    scheme=scheme_name,
+                    load=0.5,
+                    record_bytes=record_bytes,
+                    population=population,
+                    latency_us=sized.latency_us(stats),
+                    throughput_mops=sized.throughput_mops(stats),
+                )
+    return result
+
+
+# ---------------------------------------------------------------------------
+# Ablations (design choices DESIGN.md calls out)
+# ---------------------------------------------------------------------------
+
+
+def ablation_sibling_tracking(
+    scale: Scale = Scale(), loads: Sequence[float] = (0.5, 0.7, 0.85, 0.9)
+) -> ExperimentResult:
+    """READ vs METADATA sibling tracking: extra reads vs extra writes."""
+    result = ExperimentResult(
+        "ablation-sibling",
+        "Sibling tracking: disambiguation reads vs metadata fix-up writes",
+        columns=("mode", "load", "reads_per_insert", "writes_per_insert"),
+    )
+    for mode in (SiblingTracking.READ, SiblingTracking.METADATA):
+        merged: Dict[float, OpStats] = {}
+        for repeat in range(scale.repeats):
+            seed = scale.seed + repeat * 6007
+            table = McCuckoo(
+                scale.n_single,
+                d=scale.d,
+                maxloop=scale.maxloop,
+                seed=seed,
+                sibling_tracking=mode,
+                stash_buckets=scale.stash_buckets,
+            )
+            points = measured_fill(table, loads, key_stream(seed=seed ^ 0x51B))
+            for point in points:
+                merged.setdefault(point.load, OpStats()).merge(point.insert_stats)
+        for load in loads:
+            stats = merged.get(load)
+            if stats is None:
+                continue
+            result.add_row(
+                mode=mode.value,
+                load=load,
+                reads_per_insert=stats.offchip_reads_per_op,
+                writes_per_insert=stats.offchip_writes_per_op,
+            )
+    return result
+
+
+def ablation_kick_policy(
+    scale: Scale = Scale(), loads: Sequence[float] = (0.7, 0.85, 0.9)
+) -> ExperimentResult:
+    """Random-walk vs MinCounter victim selection inside McCuckoo."""
+    result = ExperimentResult(
+        "ablation-policy",
+        "Kick policy: random-walk vs MinCounter",
+        columns=("policy", "load", "kicks_per_insert"),
+    )
+    for policy_name, policy_factory in (
+        ("random-walk", RandomWalkPolicy),
+        ("mincounter", MinCounterPolicy),
+    ):
+        merged: Dict[float, OpStats] = {}
+        for repeat in range(scale.repeats):
+            seed = scale.seed + repeat * 7001
+            table = McCuckoo(
+                scale.n_single,
+                d=scale.d,
+                maxloop=scale.maxloop,
+                seed=seed,
+                kick_policy=policy_factory(),
+                stash_buckets=scale.stash_buckets,
+            )
+            points = measured_fill(table, loads, key_stream(seed=seed ^ 0x91C))
+            for point in points:
+                merged.setdefault(point.load, OpStats()).merge(point.insert_stats)
+        for load in loads:
+            stats = merged.get(load)
+            if stats is None:
+                continue
+            result.add_row(
+                policy=policy_name, load=load, kicks_per_insert=stats.kicks_per_op
+            )
+    return result
+
+
+def ablation_deletion_mode(
+    scale: Scale = Scale(), load: float = 0.6, delete_fraction: float = 0.3
+) -> ExperimentResult:
+    """RESET vs TOMBSTONE deletion: missing-lookup cost after churn.
+
+    RESET disables the zero-counter absence proof, so non-existing lookups
+    must probe buckets; TOMBSTONE keeps the proof sound at the price of
+    tombstone scars that slowly erode selectivity.
+    """
+    result = ExperimentResult(
+        "ablation-deletion",
+        "Deletion mode: missing-lookup accesses after deleting a fraction",
+        columns=("mode", "accesses_per_missing_lookup"),
+    )
+    for mode in (DeletionMode.RESET, DeletionMode.TOMBSTONE):
+        merged = OpStats()
+        for repeat in range(scale.repeats):
+            seed = scale.seed + repeat * 8009
+            table = McCuckoo(
+                scale.n_single,
+                d=scale.d,
+                maxloop=scale.maxloop,
+                seed=seed,
+                deletion_mode=mode,
+                stash_buckets=scale.stash_buckets,
+            )
+            keys = key_stream(seed=seed ^ 0xDE7)
+            inserted: List[Key] = []
+            target = int(load * table.capacity)
+            while len(table) < target:
+                key = next(keys)
+                table.put(key)
+                inserted.append(table._canonical(key))
+            victims = sample_keys(
+                inserted, int(delete_fraction * len(inserted)), seed=seed
+            )
+            for key in victims:
+                table.delete(key)
+            absent = missing_keys(scale.n_queries, set(inserted), seed=seed + 3)
+            merged.merge(measure_lookups(table, absent))
+        result.add_row(
+            mode=mode.value,
+            accesses_per_missing_lookup=merged.offchip_accesses_per_op,
+        )
+    return result
+
+
+def ablation_stash_screen(
+    scale: Scale = Scale(), load: float = 0.92
+) -> ExperimentResult:
+    """McCuckoo's screened off-chip stash vs CHS's always-checked stash.
+
+    Measures what fraction of non-existing-item lookups reach the stash.
+    """
+    result = ExperimentResult(
+        "ablation-stash",
+        "Stash checking rate on non-existing lookups at high load",
+        columns=("scheme", "stash_visit_pct"),
+    )
+    for scheme_name in ("McCuckoo", "CHS"):
+        visit_pct = 0.0
+        for repeat in range(scale.repeats):
+            seed = scale.seed + repeat * 9001
+            if scheme_name == "McCuckoo":
+                table = McCuckoo(
+                    scale.n_single,
+                    d=scale.d,
+                    maxloop=scale.maxloop,
+                    seed=seed,
+                    stash_buckets=scale.stash_buckets,
+                )
+            else:
+                table = CHS(
+                    scale.n_single,
+                    d=scale.d,
+                    maxloop=scale.maxloop,
+                    seed=seed,
+                    stash_capacity=max(4, scale.capacity),
+                )
+            keys = key_stream(seed=seed ^ 0x5C4)
+            inserted: List[Key] = []
+            target = int(load * table.capacity)
+            while len(table) < target:
+                key = next(keys)
+                outcome = table.put(key)
+                if not outcome.failed:
+                    inserted.append(table._canonical(key))
+            absent = missing_keys(scale.n_queries, set(inserted), seed=seed + 17)
+            visits = sum(1 for key in absent if table.lookup(key).checked_stash)
+            visit_pct += visits / len(absent) * 100.0
+        result.add_row(scheme=scheme_name, stash_visit_pct=visit_pct / scale.repeats)
+    return result
+
+
+def ablation_path_insert(
+    scale: Scale = Scale(), load: float = 0.88
+) -> ExperimentResult:
+    """Random-walk kicks vs path-ordered insertion (find the whole cuckoo
+    path first, as §III.H prescribes for concurrency).
+
+    BFS path search finds the *shortest* eviction chain, so it moves fewer
+    items than the walk; the price is the search's own off-chip reads
+    (each expansion must learn an occupant's key).
+    """
+    from ..concurrency import ConcurrentMcCuckoo
+
+    result = ExperimentResult(
+        "ablation-path",
+        "Insertion at high load: random-walk vs path-ordered (BFS) kicks",
+        columns=("strategy", "kicks_per_insert", "reads_per_insert",
+                 "writes_per_insert"),
+    )
+    walk_stats, path_stats = OpStats(), OpStats()
+    for repeat in range(scale.repeats):
+        seed = scale.seed + repeat * 13009
+        walk = McCuckoo(scale.n_single, d=3, maxloop=scale.maxloop, seed=seed,
+                        stash_buckets=scale.stash_buckets)
+        path = ConcurrentMcCuckoo(
+            McCuckoo(scale.n_single, d=3, maxloop=scale.maxloop, seed=seed,
+                     stash_buckets=scale.stash_buckets)
+        )
+        keys = key_stream(seed=seed ^ 0x9A7)
+        target = int(load * walk.capacity)
+        while len(walk) < target:
+            key = next(keys)
+            with walk.mem.measure() as measurement:
+                outcome = walk.put(key)
+            walk_stats.add(measurement.delta, kicks=outcome.kicks)
+            with path.table.mem.measure() as measurement:
+                outcome = path.insert(key)
+            path_stats.add(measurement.delta, kicks=outcome.kicks)
+    for strategy, stats in (("random-walk", walk_stats), ("path", path_stats)):
+        result.add_row(
+            strategy=strategy,
+            kicks_per_insert=stats.kicks_per_op,
+            reads_per_insert=stats.offchip_reads_per_op,
+            writes_per_insert=stats.offchip_writes_per_op,
+        )
+    return result
+
+
+def ablation_blocked_counter_screen(
+    scale: Scale = Scale(),
+    loads: Sequence[float] = (0.2, 0.5, 0.98),
+    model: LatencyModel = PAPER_FPGA,
+) -> ExperimentResult:
+    """§IV.C's remark, quantified: at very high load the blocked table can
+    "just do the lookup the old way" — the counter words cost on-chip time
+    but barely skip any bucket once nearly every bucket is non-empty.
+
+    Compares existing-item lookup latency (FPGA model) with the counter
+    screen on vs off at moderate and near-full load.
+    """
+    result = ExperimentResult(
+        "ablation-screen",
+        "B-McCuckoo lookup: counter screen on vs off (modelled latency)",
+        columns=("load", "screen", "latency_us_existing", "latency_us_missing"),
+    )
+    for load in loads:
+        for screen in (True, False):
+            existing_stats = OpStats()
+            missing_stats = OpStats()
+            for repeat in range(scale.repeats):
+                seed = scale.seed + repeat * 12007
+                table = BlockedMcCuckoo(
+                    scale.n_blocked,
+                    d=scale.d,
+                    slots=scale.slots,
+                    maxloop=scale.maxloop,
+                    seed=seed,
+                    lookup_counter_screen=screen,
+                    stash_buckets=scale.stash_buckets,
+                )
+                keys = key_stream(seed=seed ^ 0x5CE)
+                inserted: List[Key] = []
+                target = int(load * table.capacity)
+                while len(table) < target:
+                    key = next(keys)
+                    table.put(key)
+                    inserted.append(table._canonical(key))
+                n_queries = min(scale.n_queries, len(inserted))
+                existing_stats.merge(
+                    measure_lookups(table, sample_keys(inserted, n_queries, seed))
+                )
+                missing_stats.merge(
+                    measure_lookups(
+                        table, missing_keys(n_queries, set(inserted), seed + 9)
+                    )
+                )
+            result.add_row(
+                load=load,
+                screen="on" if screen else "off",
+                latency_us_existing=model.latency_us(existing_stats),
+                latency_us_missing=model.latency_us(missing_stats),
+            )
+    return result
+
+
+def ablation_d_sweep(
+    scale: Scale = Scale(), ds: Sequence[int] = (2, 3, 4)
+) -> ExperimentResult:
+    """How the hash-function count d shapes McCuckoo.
+
+    The paper fixes d=3 ("sufficient for most practical scenarios"); this
+    ablation shows why: d=2 fails early (≈50 % threshold), d=4 buys little
+    extra load for 2x the counter bits and an extra bucket per lookup.
+    """
+    result = ExperimentResult(
+        "ablation-d",
+        "McCuckoo vs d: first-failure load, counter bits, lookup cost",
+        columns=(
+            "d",
+            "first_failure_load",
+            "counter_bits",
+            "missing_accesses_per_lookup",
+        ),
+    )
+    for d in ds:
+        failure_sum = 0.0
+        lookup_stats = OpStats()
+        counter_bits = 0
+        for repeat in range(scale.repeats):
+            seed = scale.seed + repeat * 11003
+            table = McCuckoo(
+                scale.n_single,
+                d=d,
+                maxloop=scale.maxloop,
+                seed=seed,
+                stash_buckets=scale.stash_buckets,
+            )
+            counter_bits = table._counters.bits
+            keys = key_stream(seed=seed ^ 0xD5)
+            inserted: List[Key] = []
+            while table.events.first_failure_items is None:
+                key = next(keys)
+                table.put(key)
+                inserted.append(table._canonical(key))
+            failure_sum += table.events.first_failure_items / table.capacity
+            absent = missing_keys(scale.n_queries, set(inserted), seed=seed + 5)
+            lookup_stats.merge(measure_lookups(table, absent))
+        result.add_row(
+            d=d,
+            first_failure_load=failure_sum / scale.repeats,
+            counter_bits=counter_bits,
+            missing_accesses_per_lookup=lookup_stats.offchip_accesses_per_op,
+        )
+    return result
+
+
+ALL_EXPERIMENTS = {
+    "fig9": fig9_kickouts,
+    "fig10": fig10_memaccess,
+    "table1": table1_first_collision,
+    "fig11": fig11_first_failure,
+    "fig12": fig12_lookup_existing,
+    "fig13": fig13_lookup_missing,
+    "fig14": fig14_deletion,
+    "table2": table2_stash_single,
+    "table3": table3_stash_blocked,
+    "fig15": fig15_insert_latency,
+    "fig16": fig16_lookup_latency,
+    "ablation-sibling": ablation_sibling_tracking,
+    "ablation-policy": ablation_kick_policy,
+    "ablation-deletion": ablation_deletion_mode,
+    "ablation-stash": ablation_stash_screen,
+    "ablation-d": ablation_d_sweep,
+    "ablation-screen": ablation_blocked_counter_screen,
+    "ablation-path": ablation_path_insert,
+}

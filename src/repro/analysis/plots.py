@@ -1,0 +1,136 @@
+"""Terminal plots for experiment series.
+
+The paper's figures are line charts; for a dependency-free library the
+closest useful rendering is a character grid.  :func:`line_chart` draws an
+:class:`ExperimentResult`-style family of series, :func:`sparkline`
+condenses one series to a single line (handy in CLI summaries).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+_SPARK_LEVELS = "▁▂▃▄▅▆▇█"
+_MARKERS = "ox+*#@%&"
+
+
+def sparkline(values: Sequence[float]) -> str:
+    """One-line bar rendering of a numeric series."""
+    values = list(values)
+    if not values:
+        return ""
+    low = min(values)
+    high = max(values)
+    if high == low:
+        return _SPARK_LEVELS[0] * len(values)
+    span = high - low
+    return "".join(
+        _SPARK_LEVELS[
+            min(len(_SPARK_LEVELS) - 1, int((v - low) / span * len(_SPARK_LEVELS)))
+        ]
+        for v in values
+    )
+
+
+def line_chart(
+    series: Dict[str, Dict[float, float]],
+    width: int = 60,
+    height: int = 16,
+    title: str = "",
+    x_label: str = "",
+    y_label: str = "",
+    log_y: bool = False,
+) -> str:
+    """Plot several named series on a shared character grid.
+
+    ``series`` maps a legend label to an ``{x: y}`` mapping (the shape
+    :meth:`ExperimentResult.series` returns).  Each series gets a marker
+    from ``oxX*#@%&``; overlapping points show the later series' marker.
+    """
+    if not series:
+        return "(no data)"
+    import math
+
+    points = [
+        (x, y) for mapping in series.values() for x, y in mapping.items()
+    ]
+    if not points:
+        return "(no data)"
+    xs = [x for x, _ in points]
+    ys = [y for _, y in points]
+    if log_y:
+        floor = min((y for y in ys if y > 0), default=1.0) / 2
+        transform = lambda y: math.log10(max(y, floor))  # noqa: E731
+        ys = [transform(y) for y in ys]
+    else:
+        transform = lambda y: y  # noqa: E731
+    x_low, x_high = min(xs), max(xs)
+    y_low, y_high = min(ys), max(ys)
+    x_span = (x_high - x_low) or 1.0
+    y_span = (y_high - y_low) or 1.0
+
+    grid: List[List[str]] = [[" "] * width for _ in range(height)]
+    for index, (label, mapping) in enumerate(series.items()):
+        marker = _MARKERS[index % len(_MARKERS)]
+        for x, y in sorted(mapping.items()):
+            col = int((x - x_low) / x_span * (width - 1))
+            row = int((transform(y) - y_low) / y_span * (height - 1))
+            grid[height - 1 - row][col] = marker
+
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    top_value = 10**y_high if log_y else y_high
+    low_value = 10**y_low if log_y else y_low
+    axis_width = max(len(f"{top_value:.3g}"), len(f"{low_value:.3g}"))
+    for row_index, row in enumerate(grid):
+        if row_index == 0:
+            label = f"{top_value:.3g}"
+        elif row_index == height - 1:
+            label = f"{low_value:.3g}"
+        else:
+            label = ""
+        lines.append(f"{label:>{axis_width}} |" + "".join(row))
+    lines.append(" " * axis_width + " +" + "-" * width)
+    x_axis = f"{x_low:.3g}" + " " * (width - len(f"{x_low:.3g}") - len(f"{x_high:.3g}")) + f"{x_high:.3g}"
+    lines.append(" " * axis_width + "  " + x_axis)
+    legend = "   ".join(
+        f"{_MARKERS[index % len(_MARKERS)]}={label}"
+        for index, label in enumerate(series)
+    )
+    footer = []
+    if y_label:
+        footer.append(f"y: {y_label}" + (" (log)" if log_y else ""))
+    if x_label:
+        footer.append(f"x: {x_label}")
+    lines.append(legend)
+    if footer:
+        lines.append("; ".join(footer))
+    return "\n".join(lines)
+
+
+def chart_experiment(
+    result,
+    x_col: str,
+    y_col: str,
+    group_col: str = "scheme",
+    groups: Optional[Sequence[str]] = None,
+    **kwargs,
+) -> str:
+    """Convenience: chart an :class:`ExperimentResult` directly."""
+    names = groups
+    if names is None:
+        seen = []
+        for row in result.rows:
+            value = row.get(group_col)
+            if value not in seen:
+                seen.append(value)
+        names = seen
+    series = {
+        str(name): result.series(x_col, y_col, **{group_col: name})
+        for name in names
+    }
+    kwargs.setdefault("title", f"{result.experiment_id}: {result.title}")
+    kwargs.setdefault("x_label", x_col)
+    kwargs.setdefault("y_label", y_col)
+    return line_chart(series, **kwargs)

@@ -1,0 +1,93 @@
+"""One-shot report generation: every exhibit, rendered to markdown.
+
+``python -m repro report -o report.md`` (or :func:`generate_report`) runs
+the complete evaluation — the shared load sweep, every table/figure
+function, and the ablations — and writes a self-contained markdown report
+with the result tables and terminal charts for the headline figures.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Dict, List, Optional
+
+from .experiments import ALL_EXPERIMENTS, run_core_sweep
+from .plots import chart_experiment
+from .sweep import Scale
+from .tables import ExperimentResult, to_markdown
+
+SWEEP_BASED = {"fig9", "fig10", "fig12", "fig13", "fig15", "fig16"}
+
+#: experiment id -> (x column, y column) for the chart rendering
+CHARTED: Dict[str, tuple] = {
+    "fig9": ("load", "kicks_per_insert"),
+    "fig10": ("load", "reads_per_insert"),
+    "fig12": ("load", "offchip_accesses_per_lookup"),
+    "fig13": ("load", "offchip_accesses_per_lookup"),
+}
+
+
+def run_all(
+    scale: Scale = Scale(), only: Optional[List[str]] = None
+) -> Dict[str, ExperimentResult]:
+    """Run the selected experiments (default: all) sharing one sweep."""
+    selected = list(only) if only else list(ALL_EXPERIMENTS)
+    unknown = [name for name in selected if name not in ALL_EXPERIMENTS]
+    if unknown:
+        raise ValueError(f"unknown experiments: {unknown}")
+    sweep = (
+        run_core_sweep(scale)
+        if any(name in SWEEP_BASED for name in selected)
+        else None
+    )
+    results: Dict[str, ExperimentResult] = {}
+    for name in selected:
+        function = ALL_EXPERIMENTS[name]
+        if name in SWEEP_BASED:
+            results[name] = function(scale, sweep=sweep)
+        else:
+            results[name] = function(scale)
+    return results
+
+
+def generate_report(
+    scale: Scale = Scale(),
+    only: Optional[List[str]] = None,
+    include_charts: bool = True,
+) -> str:
+    """Produce the full markdown report as a string."""
+    start = time.time()
+    results = run_all(scale, only=only)
+    elapsed = time.time() - start
+    lines: List[str] = [
+        "# Multi-copy Cuckoo Hashing — reproduction report",
+        "",
+        f"Scale: {scale.n_single} buckets/sub-table "
+        f"(capacity {scale.capacity} items), {scale.repeats} repeats, "
+        f"{scale.n_queries} queries per probe batch.",
+        f"Generated in {elapsed:.1f}s by `repro.analysis.report`.",
+        "",
+    ]
+    for name, result in results.items():
+        lines.append(to_markdown(result))
+        lines.append("")
+        if include_charts and name in CHARTED:
+            x_col, y_col = CHARTED[name]
+            lines.append("```")
+            lines.append(chart_experiment(result, x_col, y_col, height=12))
+            lines.append("```")
+            lines.append("")
+    return "\n".join(lines)
+
+
+def write_report(
+    path: str,
+    scale: Scale = Scale(),
+    only: Optional[List[str]] = None,
+    include_charts: bool = True,
+) -> str:
+    """Generate the report and write it to ``path``; returns the text."""
+    text = generate_report(scale, only=only, include_charts=include_charts)
+    with open(path, "w", encoding="utf-8") as handle:
+        handle.write(text + "\n")
+    return text

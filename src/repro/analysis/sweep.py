@@ -1,0 +1,214 @@
+"""Sweep utilities: fill tables along a load grid and measure per-op costs.
+
+All figure experiments share one shape — build the four schemes at matched
+capacity, fill them while measuring marginal insertion cost per load band,
+and probe lookups/deletions at grid points.  This module provides those
+building blocks; :mod:`repro.analysis.experiments` composes them per figure.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Iterator, List, Optional, Sequence
+
+from ..baselines import BCHT, CuckooTable
+from ..core import BlockedMcCuckoo, DeletionMode, FailurePolicy, McCuckoo
+from ..core.interface import HashTable
+from ..hashing import HashFamily, Key
+from ..memory.model import MemoryModel, OpStats
+from ..workloads import key_stream
+
+SchemeFactory = Callable[[], HashTable]
+
+
+@dataclass(frozen=True)
+class Scale:
+    """Experiment scale knobs (kept laptop-friendly by default).
+
+    ``n_single`` is the bucket count per sub-table of the single-slot
+    schemes; blocked schemes use ``n_single / slots`` buckets so all four
+    schemes have identical capacity (3 * n_single items for d=3, l=3).
+    """
+
+    n_single: int = 2000
+    d: int = 3
+    slots: int = 3
+    maxloop: int = 500
+    repeats: int = 3
+    n_queries: int = 2000
+    seed: int = 7
+    stash_buckets: int = 256
+
+    @property
+    def capacity(self) -> int:
+        return self.d * self.n_single
+
+    @property
+    def n_blocked(self) -> int:
+        return max(1, self.n_single // self.slots)
+
+
+def make_schemes(
+    scale: Scale,
+    seed: int,
+    family: Optional[HashFamily] = None,
+    deletion_mode: DeletionMode = DeletionMode.DISABLED,
+) -> Dict[str, SchemeFactory]:
+    """Factories for the paper's four schemes at matched capacity.
+
+    Single-copy baselines use ``FailurePolicy.FAIL`` (roll back and keep
+    going) so fill sweeps can push them to their load limit; the multi-copy
+    schemes use the paper's off-chip stash.
+    """
+
+    def cuckoo() -> HashTable:
+        return CuckooTable(
+            scale.n_single,
+            d=scale.d,
+            maxloop=scale.maxloop,
+            seed=seed,
+            family=family,
+            on_failure=FailurePolicy.FAIL,
+        )
+
+    def mccuckoo() -> HashTable:
+        return McCuckoo(
+            scale.n_single,
+            d=scale.d,
+            maxloop=scale.maxloop,
+            seed=seed,
+            family=family,
+            stash_buckets=scale.stash_buckets,
+            deletion_mode=deletion_mode,
+        )
+
+    def bcht() -> HashTable:
+        return BCHT(
+            scale.n_blocked,
+            d=scale.d,
+            slots=scale.slots,
+            maxloop=scale.maxloop,
+            seed=seed,
+            family=family,
+            on_failure=FailurePolicy.FAIL,
+        )
+
+    def blocked_mccuckoo() -> HashTable:
+        return BlockedMcCuckoo(
+            scale.n_blocked,
+            d=scale.d,
+            slots=scale.slots,
+            maxloop=scale.maxloop,
+            seed=seed,
+            family=family,
+            stash_buckets=scale.stash_buckets,
+            deletion_mode=deletion_mode,
+        )
+
+    return {
+        "Cuckoo": cuckoo,
+        "McCuckoo": mccuckoo,
+        "BCHT": bcht,
+        "B-McCuckoo": blocked_mccuckoo,
+    }
+
+
+SINGLE_SLOT_LOADS = (0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.85, 0.9)
+BLOCKED_LOADS = (0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9, 0.95, 0.98)
+
+
+def loads_for(scheme_name: str) -> Sequence[float]:
+    """The paper sweeps blocked schemes to higher loads than single-slot."""
+    return BLOCKED_LOADS if scheme_name in ("BCHT", "B-McCuckoo") else SINGLE_SLOT_LOADS
+
+
+@dataclass
+class FillPoint:
+    """Marginal insertion statistics for the band ending at ``load``."""
+
+    load: float
+    insert_stats: OpStats = field(default_factory=OpStats)
+    inserted_keys: List[Key] = field(default_factory=list)
+
+
+def measured_fill(
+    table: HashTable,
+    loads: Sequence[float],
+    keys: Iterator[Key],
+    max_consecutive_failures: int = 64,
+) -> List[FillPoint]:
+    """Fill ``table`` to each target load, measuring each band's insertions.
+
+    The statistics of a :class:`FillPoint` cover only the insertions between
+    the previous grid point and its own — i.e. the *marginal* cost of
+    inserting at that load, which is what the paper's per-load curves show.
+    Filling stops early if the table saturates (repeated failures).
+    """
+    points: List[FillPoint] = []
+    consecutive_failures = 0
+    for load in sorted(loads):
+        point = FillPoint(load=load)
+        target = int(load * table.capacity)
+        while len(table) < target:
+            key = next(keys)
+            with table.mem.measure() as measurement:
+                outcome = table.put(key)
+            assert measurement.delta is not None
+            point.insert_stats.add(measurement.delta, kicks=outcome.kicks)
+            if outcome.failed:
+                consecutive_failures += 1
+                if consecutive_failures >= max_consecutive_failures:
+                    points.append(point)
+                    return points
+            else:
+                consecutive_failures = 0
+                point.inserted_keys.append(table._canonical(key))
+        points.append(point)
+    return points
+
+
+def measure_lookups(
+    table: HashTable, query_keys: Sequence[Key], mem: Optional[MemoryModel] = None
+) -> OpStats:
+    """Per-lookup access statistics over a batch of queries."""
+    memory = mem if mem is not None else table.mem
+    stats = OpStats()
+    for key in query_keys:
+        with memory.measure() as measurement:
+            table.lookup(key)
+        assert measurement.delta is not None
+        stats.add(measurement.delta)
+    return stats
+
+
+def measure_deletes(table: HashTable, keys_to_delete: Sequence[Key]) -> OpStats:
+    """Per-deletion access statistics."""
+    stats = OpStats()
+    for key in keys_to_delete:
+        with table.mem.measure() as measurement:
+            table.delete(key)
+        assert measurement.delta is not None
+        stats.add(measurement.delta)
+    return stats
+
+
+def fill_fresh(
+    factory: SchemeFactory, load: float, seed: int
+) -> tuple:
+    """Build a fresh table and fill it to ``load``; returns (table, keys)."""
+    table = factory()
+    keys = key_stream(seed=seed)
+    inserted: List[Key] = []
+    target = int(load * table.capacity)
+    consecutive_failures = 0
+    while len(table) < target:
+        key = next(keys)
+        outcome = table.put(key)
+        if outcome.failed:
+            consecutive_failures += 1
+            if consecutive_failures >= 64:
+                break
+        else:
+            consecutive_failures = 0
+            inserted.append(table._canonical(key))
+    return table, inserted

@@ -1,0 +1,96 @@
+"""Result containers and plain-text table rendering for experiments."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Sequence
+
+
+@dataclass
+class ExperimentResult:
+    """One reproduced table or figure: named rows of named columns."""
+
+    experiment_id: str
+    title: str
+    columns: Sequence[str]
+    rows: List[Dict[str, Any]] = field(default_factory=list)
+    notes: str = ""
+
+    def add_row(self, **values: Any) -> None:
+        self.rows.append(values)
+
+    def column(self, name: str) -> List[Any]:
+        return [row.get(name) for row in self.rows]
+
+    def filter_rows(self, **match: Any) -> List[Dict[str, Any]]:
+        return [
+            row
+            for row in self.rows
+            if all(row.get(key) == value for key, value in match.items())
+        ]
+
+    def series(self, key_col: str, value_col: str, **match: Any) -> Dict[Any, Any]:
+        """A {key: value} view over the matched rows, for shape assertions."""
+        return {
+            row[key_col]: row[value_col] for row in self.filter_rows(**match)
+        }
+
+
+def _format_cell(value: Any) -> str:
+    if isinstance(value, float):
+        if value != 0 and abs(value) < 0.001:
+            return f"{value:.2e}"
+        return f"{value:.4f}".rstrip("0").rstrip(".") or "0"
+    return str(value)
+
+
+def render(result: ExperimentResult) -> str:
+    """Render an :class:`ExperimentResult` as an aligned text table."""
+    header = list(result.columns)
+    body = [[_format_cell(row.get(col, "")) for col in header] for row in result.rows]
+    widths = [
+        max(len(header[i]), *(len(line[i]) for line in body)) if body else len(header[i])
+        for i in range(len(header))
+    ]
+    lines = [f"== {result.experiment_id}: {result.title} =="]
+    lines.append("  ".join(name.ljust(widths[i]) for i, name in enumerate(header)))
+    lines.append("  ".join("-" * widths[i] for i in range(len(header))))
+    for line in body:
+        lines.append("  ".join(line[i].ljust(widths[i]) for i in range(len(header))))
+    if result.notes:
+        lines.append(f"note: {result.notes}")
+    return "\n".join(lines)
+
+
+def to_csv(result: ExperimentResult) -> str:
+    """Render as CSV (for external plotting tools).
+
+    Values are formatted with :func:`repr`-free plain text; cells containing
+    commas or quotes are quoted per RFC 4180.
+    """
+
+    def cell(value: Any) -> str:
+        text = "" if value is None else str(value)
+        if any(ch in text for ch in ",\"\n"):
+            text = '"' + text.replace('"', '""') + '"'
+        return text
+
+    lines = [",".join(cell(col) for col in result.columns)]
+    for row in result.rows:
+        lines.append(",".join(cell(row.get(col)) for col in result.columns))
+    return "\n".join(lines)
+
+
+def to_markdown(result: ExperimentResult) -> str:
+    """Render as a GitHub-flavoured markdown table (for EXPERIMENTS.md)."""
+    header = list(result.columns)
+    lines = [f"### {result.experiment_id}: {result.title}", ""]
+    lines.append("| " + " | ".join(header) + " |")
+    lines.append("|" + "|".join(["---"] * len(header)) + "|")
+    for row in result.rows:
+        lines.append(
+            "| " + " | ".join(_format_cell(row.get(col, "")) for col in header) + " |"
+        )
+    if result.notes:
+        lines.extend(["", f"*{result.notes}*"])
+    return "\n".join(lines)

@@ -1,0 +1,5 @@
+"""Application layers built on the core tables (the paper's motivating uses)."""
+
+from .kvstore import LogRecord, LogStructuredStore, ValueLog
+
+__all__ = ["LogRecord", "LogStructuredStore", "ValueLog"]

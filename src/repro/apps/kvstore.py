@@ -1,0 +1,193 @@
+"""A SILT-style log-structured key-value store indexed by McCuckoo.
+
+The paper motivates McCuckoo with memory-efficient key-value stores
+(SILT [6], ChunkStash [5], MemC3 [9]): values live in an append-only log
+on flash/disk, and a compact in-memory index maps each key to its log
+offset.  The index is the hot, latency-critical structure — exactly the
+role McCuckoo is designed for.
+
+:class:`LogStructuredStore` composes the pieces this library already has:
+
+* an append-only :class:`ValueLog` holding (key, value) records;
+* a :class:`ResizableMcCuckoo` index mapping key → log offset (growing
+  online as the store fills);
+* compaction that rewrites only live records into a fresh log;
+* crash recovery by replaying the log (the index is rebuilt, not stored).
+
+Everything is in-memory but structured as the real system would be, with
+all index traffic accounted through the usual :class:`MemoryModel`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Iterator, List, Optional, Tuple
+
+from ..core.config import DeletionMode
+from ..core.resize import ResizableMcCuckoo
+from ..hashing import Key, KeyLike, canonical_key
+from ..memory.model import MemoryModel
+
+_TOMBSTONE = object()
+
+
+@dataclass(frozen=True)
+class LogRecord:
+    """One appended record; ``value`` is ``_TOMBSTONE`` for deletions."""
+
+    key: Key
+    value: Any
+
+    @property
+    def is_tombstone(self) -> bool:
+        return self.value is _TOMBSTONE
+
+
+class ValueLog:
+    """Append-only record log with sequential offsets."""
+
+    def __init__(self) -> None:
+        self._records: List[LogRecord] = []
+
+    def append(self, key: Key, value: Any) -> int:
+        """Append a record; returns its offset."""
+        self._records.append(LogRecord(key, value))
+        return len(self._records) - 1
+
+    def append_tombstone(self, key: Key) -> int:
+        return self.append(key, _TOMBSTONE)
+
+    def read(self, offset: int) -> LogRecord:
+        if not 0 <= offset < len(self._records):
+            raise IndexError(f"log offset {offset} out of range")
+        return self._records[offset]
+
+    def __len__(self) -> int:
+        return len(self._records)
+
+    def records(self) -> Iterator[Tuple[int, LogRecord]]:
+        yield from enumerate(self._records)
+
+
+class LogStructuredStore:
+    """Append-only KV store with a multi-copy cuckoo index.
+
+    ``get`` costs one index lookup (mostly on-chip at moderate load) plus
+    one log read; ``put`` appends and updates the index; ``delete`` appends
+    a tombstone and drops the index entry.  ``garbage_ratio`` tracks dead
+    log space; :meth:`compact` rewrites live records into a fresh log and
+    rebuilds the index mapping in place.
+    """
+
+    def __init__(
+        self,
+        expected_items: int = 1024,
+        seed: int = 0,
+        mem: Optional[MemoryModel] = None,
+    ) -> None:
+        if expected_items <= 0:
+            raise ValueError("expected_items must be positive")
+        self.mem = mem if mem is not None else MemoryModel()
+        n_buckets = max(8, expected_items // 2)  # d=3 -> ~66 % initial load
+        self._index = ResizableMcCuckoo(
+            n_buckets,
+            d=3,
+            seed=seed,
+            grow_at=0.85,
+            deletion_mode=DeletionMode.RESET,
+            mem=self.mem,
+        )
+        self._log = ValueLog()
+        self._live = 0
+
+    # ------------------------------------------------------------------
+    # operations
+    # ------------------------------------------------------------------
+
+    def put(self, key: KeyLike, value: Any) -> None:
+        """Insert or update: appends to the log, points the index at it."""
+        k = canonical_key(key)
+        offset = self._log.append(k, value)
+        outcome = self._index.try_update(k, offset)
+        if outcome is None:
+            self._index.put(k, offset)
+            self._live += 1
+
+    def get(self, key: KeyLike, default: Any = None) -> Any:
+        k = canonical_key(key)
+        lookup = self._index.lookup(k)
+        if not lookup.found:
+            return default
+        self.mem.offchip_read("value-log")
+        record = self._log.read(lookup.value)
+        assert record.key == k and not record.is_tombstone
+        return record.value
+
+    def __contains__(self, key: KeyLike) -> bool:
+        return self._index.lookup(canonical_key(key)).found
+
+    def delete(self, key: KeyLike) -> bool:
+        k = canonical_key(key)
+        if not self._index.delete(k).deleted:
+            return False
+        self._log.append_tombstone(k)
+        self._live -= 1
+        return True
+
+    def __len__(self) -> int:
+        return self._live
+
+    def items(self) -> Iterator[Tuple[Key, Any]]:
+        for key, offset in self._index.items():
+            yield key, self._log.read(offset).value
+
+    # ------------------------------------------------------------------
+    # maintenance
+    # ------------------------------------------------------------------
+
+    @property
+    def log_records(self) -> int:
+        return len(self._log)
+
+    @property
+    def garbage_ratio(self) -> float:
+        """Fraction of log records that are dead (superseded or tombstones)."""
+        if not len(self._log):
+            return 0.0
+        return 1.0 - self._live / len(self._log)
+
+    def compact(self) -> int:
+        """Rewrite live records into a fresh log; returns records dropped.
+
+        Offsets change, so every surviving key's index entry is updated in
+        place (all copies rewritten — an ordinary ``try_update``).
+        """
+        old_size = len(self._log)
+        fresh = ValueLog()
+        for key, offset in list(self._index.items()):
+            record = self._log.read(offset)
+            new_offset = fresh.append(record.key, record.value)
+            updated = self._index.try_update(key, new_offset)
+            assert updated is not None
+        self._log = fresh
+        return old_size - len(self._log)
+
+    def recover(self) -> "LogStructuredStore":
+        """Crash recovery: rebuild a store by replaying this store's log.
+
+        The index is volatile in a real deployment; the log is the source
+        of truth.  Returns the recovered store (self is untouched).
+        """
+        recovered = LogStructuredStore(
+            expected_items=max(1024, self._live), seed=1, mem=MemoryModel()
+        )
+        for _, record in self._log.records():
+            if record.is_tombstone:
+                recovered.delete(record.key)
+            else:
+                recovered.put(record.key, record.value)
+        return recovered
+
+    @property
+    def index(self) -> ResizableMcCuckoo:
+        return self._index

@@ -1,0 +1,19 @@
+"""Baseline hash tables the paper compares against or discusses (§II)."""
+
+from .bcht import BCHT
+from .bloomfront import BloomFrontedCuckoo
+from .chained import ChainedHashTable
+from .chs import CHS
+from .cuckoo import CuckooTable
+from .linear_probing import LinearProbingTable
+from .smartcuckoo import SmartCuckoo
+
+__all__ = [
+    "BCHT",
+    "BloomFrontedCuckoo",
+    "CHS",
+    "ChainedHashTable",
+    "CuckooTable",
+    "LinearProbingTable",
+    "SmartCuckoo",
+]

@@ -1,0 +1,222 @@
+"""BCHT: blocked cuckoo hash table [18] — the paper's blocked baseline.
+
+Single-copy, d hash functions, l slots per bucket.  One off-chip access
+retrieves or writes a whole bucket.  The set-associativity among slots
+raises the achievable load ratio well past single-slot cuckoo hashing; the
+paper pairs it against B-McCuckoo.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Any, Iterator, List, Optional, Tuple
+
+from ..core.config import FailurePolicy
+from ..core.errors import ConfigurationError, TableFullError
+from ..core.interface import HashTable
+from ..core.results import DeleteOutcome, InsertOutcome, InsertStatus, LookupOutcome
+from ..core.stash import OnChipStash
+from ..hashing import DEFAULT_FAMILY, HashFamily, Key, KeyLike
+from ..memory.model import MemoryModel
+
+
+class BCHT(HashTable):
+    """Blocked cuckoo hash table (d hashes, l slots per bucket, one copy)."""
+
+    name = "BCHT"
+
+    def __init__(
+        self,
+        n_buckets: int,
+        d: int = 3,
+        slots: int = 3,
+        family: Optional[HashFamily] = None,
+        seed: int = 0,
+        maxloop: int = 500,
+        on_failure: FailurePolicy = FailurePolicy.FAIL,
+        stash_capacity: int = 4,
+        mem: Optional[MemoryModel] = None,
+    ) -> None:
+        super().__init__(mem)
+        if n_buckets <= 0:
+            raise ConfigurationError("n_buckets must be positive")
+        if d < 2:
+            raise ConfigurationError("cuckoo hashing needs d >= 2")
+        if slots < 1:
+            raise ConfigurationError("slots must be positive")
+        self.d = d
+        self.slots = slots
+        self.n_buckets = n_buckets
+        self.maxloop = maxloop
+        self.on_failure = on_failure
+        self._family = family or DEFAULT_FAMILY
+        self._functions = self._family.functions(d, seed)
+        self._rng = random.Random(seed ^ 0xBC47)
+        total = d * n_buckets * slots
+        self._keys: List[Optional[Key]] = [None] * total
+        self._values: List[Any] = [None] * total
+        self._stash: Optional[OnChipStash] = None
+        if on_failure is FailurePolicy.STASH:
+            self._stash = OnChipStash(stash_capacity, self.mem)
+        elif on_failure is FailurePolicy.REHASH:
+            raise ConfigurationError("BCHT supports FailurePolicy.FAIL or STASH")
+        self._n_main = 0
+        self.total_kicks = 0
+
+    # ------------------------------------------------------------------
+
+    @property
+    def capacity(self) -> int:
+        return self.d * self.n_buckets * self.slots
+
+    def __len__(self) -> int:
+        return self._n_main + (len(self._stash) if self._stash is not None else 0)
+
+    @property
+    def main_items(self) -> int:
+        return self._n_main
+
+    @property
+    def stash(self) -> Optional[OnChipStash]:
+        return self._stash
+
+    def _candidates(self, key: Key) -> List[int]:
+        return [
+            table * self.n_buckets + fn.bucket(key, self.n_buckets)
+            for table, fn in enumerate(self._functions)
+        ]
+
+    def _slot_index(self, bucket: int, slot: int) -> int:
+        return bucket * self.slots + slot
+
+    def _read_bucket(self, bucket: int) -> List[Optional[Key]]:
+        self.mem.offchip_read("bucket")
+        base = self._slot_index(bucket, 0)
+        return self._keys[base : base + self.slots]
+
+    def _write_slot(self, bucket: int, slot: int, key: Optional[Key], value: Any) -> None:
+        self.mem.offchip_write("bucket")
+        index = self._slot_index(bucket, slot)
+        self._keys[index] = key
+        self._values[index] = value
+
+    def _free_slot(self, bucket_keys: List[Optional[Key]]) -> Optional[int]:
+        for slot, stored in enumerate(bucket_keys):
+            if stored is None:
+                return slot
+        return None
+
+    # ------------------------------------------------------------------
+
+    def put(self, key: KeyLike, value: Any = None) -> InsertOutcome:
+        k = self._canonical(key)
+        cands = self._candidates(k)
+        for bucket in cands:
+            slot = self._free_slot(self._read_bucket(bucket))
+            if slot is not None:
+                self._write_slot(bucket, slot, k, value)
+                self._n_main += 1
+                return InsertOutcome(InsertStatus.STORED, copies=1)
+        self.events.note_collision(len(self) + 1)
+        return self._insert_random_walk(k, value, cands)
+
+    def _insert_random_walk(
+        self, k: Key, value: Any, cands: List[int]
+    ) -> InsertOutcome:
+        moves: List[Tuple[int, int, Key, Any]] = []
+        cur_key, cur_value = k, value
+        prev_bucket: Optional[int] = None
+        kicks = 0
+        while kicks < self.maxloop:
+            choices = [bucket for bucket in cands if bucket != prev_bucket]
+            victim_bucket = choices[self._rng.randrange(len(choices))]
+            victim_slot = self._rng.randrange(self.slots)
+            index = self._slot_index(victim_bucket, victim_slot)
+            victim_key, victim_value = self._keys[index], self._values[index]
+            assert victim_key is not None
+            self._write_slot(victim_bucket, victim_slot, cur_key, cur_value)
+            moves.append((victim_bucket, victim_slot, victim_key, victim_value))
+            kicks += 1
+            self.total_kicks += 1
+            cur_key, cur_value = victim_key, victim_value
+            prev_bucket = victim_bucket
+            cands = self._candidates(cur_key)
+            for bucket in cands:
+                if bucket == prev_bucket:
+                    continue
+                slot = self._free_slot(self._read_bucket(bucket))
+                if slot is not None:
+                    self._write_slot(bucket, slot, cur_key, cur_value)
+                    self._n_main += 1
+                    return InsertOutcome(
+                        InsertStatus.STORED, kicks=kicks, copies=1, collided=True
+                    )
+        self.events.note_failure(len(self) + 1)
+        if self._stash is not None:
+            if not self._stash.full:
+                self._stash.add(cur_key, cur_value)
+                return InsertOutcome(InsertStatus.STASHED, kicks=kicks, collided=True)
+            raise TableFullError("on-chip stash full")
+        for bucket, slot, old_key, old_value in reversed(moves):
+            self._write_slot(bucket, slot, old_key, old_value)
+        return InsertOutcome(InsertStatus.FAILED, kicks=kicks, collided=True)
+
+    # ------------------------------------------------------------------
+
+    def lookup(self, key: KeyLike) -> LookupOutcome:
+        k = self._canonical(key)
+        buckets_read = 0
+        for bucket in self._candidates(k):
+            bucket_keys = self._read_bucket(bucket)
+            buckets_read += 1
+            for slot, stored in enumerate(bucket_keys):
+                if stored == k:
+                    value = self._values[self._slot_index(bucket, slot)]
+                    return LookupOutcome(
+                        found=True, value=value, buckets_read=buckets_read
+                    )
+        if self._stash is not None:
+            found, value = self._stash.lookup(k)
+            return LookupOutcome(
+                found=found,
+                value=value if found else None,
+                from_stash=found,
+                checked_stash=True,
+                buckets_read=buckets_read,
+            )
+        return LookupOutcome(found=False, buckets_read=buckets_read)
+
+    def delete(self, key: KeyLike) -> DeleteOutcome:
+        k = self._canonical(key)
+        for bucket in self._candidates(k):
+            bucket_keys = self._read_bucket(bucket)
+            for slot, stored in enumerate(bucket_keys):
+                if stored == k:
+                    self._write_slot(bucket, slot, None, None)
+                    self._n_main -= 1
+                    return DeleteOutcome(deleted=True, copies_removed=1)
+        if self._stash is not None and self._stash.delete(k):
+            return DeleteOutcome(
+                deleted=True, copies_removed=1, from_stash=True, checked_stash=True
+            )
+        return DeleteOutcome(deleted=False)
+
+    def try_update(self, key: KeyLike, value: Any) -> Optional[InsertOutcome]:
+        k = self._canonical(key)
+        for bucket in self._candidates(k):
+            bucket_keys = self._read_bucket(bucket)
+            for slot, stored in enumerate(bucket_keys):
+                if stored == k:
+                    self._write_slot(bucket, slot, k, value)
+                    return InsertOutcome(InsertStatus.UPDATED, copies=1)
+        if self._stash is not None and self._stash.delete(k):
+            self._stash.add(k, value)
+            return InsertOutcome(InsertStatus.UPDATED, copies=1)
+        return None
+
+    def items(self) -> Iterator[Tuple[Key, Any]]:
+        for index in range(self.capacity):
+            if self._keys[index] is not None:
+                yield self._keys[index], self._values[index]
+        if self._stash is not None:
+            yield from self._stash.items()

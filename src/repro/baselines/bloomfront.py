@@ -1,0 +1,101 @@
+"""Bloom-fronted cuckoo table — an EMOMA/DEHT-style comparator (§II.B).
+
+EMOMA [24] and DEHT [25] attack the same problem as McCuckoo's counters —
+avoiding off-chip probes — by keeping an *on-chip Bloom filter* (or
+discriminator vectors) in front of the off-chip table.  This baseline
+captures that design point: a standard cuckoo table whose inserted keys are
+mirrored into an on-chip Bloom filter that pre-screens every lookup.
+
+It exists so the paper's second contribution can be measured: McCuckoo's
+2-bit counter array should achieve comparable (better, on non-existing
+queries at matched memory) screening with *less on-chip memory* than a
+Bloom filter sized for a useful false-positive rate, while additionally
+accelerating insertion and deletion — which a Bloom front cannot do.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterator, Optional, Tuple
+
+from ..core.config import FailurePolicy
+from ..core.results import DeleteOutcome, InsertOutcome, LookupOutcome
+from ..filters.bloom import BloomFilter
+from ..hashing import HashFamily, Key, KeyLike
+from ..memory.model import MemoryModel
+from .cuckoo import CuckooTable
+
+
+class BloomFrontedCuckoo(CuckooTable):
+    """Standard d-ary cuckoo table behind an on-chip Bloom pre-screen.
+
+    The filter is sized for ``expected_items`` at ``fp_rate``.  Lookups
+    consult it first (charged as ``k`` on-chip reads); a negative answers
+    immediately, a positive falls through to the normal off-chip probes.
+    Deletions cannot remove filter bits (Bloom filters do not support
+    deletion), so the screen degrades under churn — one of the asymmetries
+    the paper holds against this class of design.
+    """
+
+    name = "BloomCuckoo"
+
+    def __init__(
+        self,
+        n_buckets: int,
+        d: int = 3,
+        expected_items: Optional[int] = None,
+        fp_rate: float = 0.01,
+        family: Optional[HashFamily] = None,
+        seed: int = 0,
+        maxloop: int = 500,
+        on_failure: FailurePolicy = FailurePolicy.FAIL,
+        mem: Optional[MemoryModel] = None,
+    ) -> None:
+        super().__init__(
+            n_buckets,
+            d=d,
+            family=family,
+            seed=seed,
+            maxloop=maxloop,
+            strategy="random",
+            on_failure=on_failure,
+            mem=mem,
+        )
+        if expected_items is None:
+            expected_items = self.capacity
+        self._filter = BloomFilter.for_capacity(
+            expected_items, fp_rate, family=family, seed=seed ^ 0xB100
+        )
+
+    @property
+    def bloom(self) -> BloomFilter:
+        return self._filter
+
+    @property
+    def onchip_bytes(self) -> int:
+        """On-chip SRAM the Bloom front occupies (the comparison metric
+        against McCuckoo's 2-bit-per-bucket counter array)."""
+        return (self._filter.m_bits + 7) // 8
+
+    def put(self, key: KeyLike, value: Any = None) -> InsertOutcome:
+        outcome = super().put(key, value)
+        if not outcome.failed:
+            k = self._canonical(key)
+            self._filter.add(k)
+            self.mem.onchip_write("bloom", count=self._filter.k_hashes)
+        return outcome
+
+    def lookup(self, key: KeyLike) -> LookupOutcome:
+        k = self._canonical(key)
+        self.mem.onchip_read("bloom", count=self._filter.k_hashes)
+        if k not in self._filter:
+            return LookupOutcome(found=False)
+        return super().lookup(key)
+
+    def delete(self, key: KeyLike) -> DeleteOutcome:
+        # The table entry goes away; the filter bits cannot (no deletion in
+        # a plain Bloom filter), so future lookups of this key pay the
+        # off-chip probes again — the screen only ever loses selectivity.
+        return super().delete(key)
+
+    def items(self) -> Iterator[Tuple[Key, Any]]:
+        return super().items()

@@ -1,0 +1,104 @@
+"""Chaining hash table — one of the introduction's classical comparators.
+
+Collisions are resolved by appending to a per-bucket linked chain.  Lookup
+cost grows with load (the chain must be walked), which is exactly the
+behaviour cuckoo hashing's worst-case-constant lookup is designed to avoid;
+the quickstart example contrasts the two.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterator, List, Optional, Tuple
+
+from ..core.errors import ConfigurationError
+from ..core.interface import HashTable
+from ..core.results import DeleteOutcome, InsertOutcome, InsertStatus, LookupOutcome
+from ..hashing import DEFAULT_FAMILY, HashFamily, Key, KeyLike
+from ..memory.model import MemoryModel
+
+
+class ChainedHashTable(HashTable):
+    """Separate-chaining hash table with off-chip chain nodes."""
+
+    name = "Chained"
+
+    def __init__(
+        self,
+        n_buckets: int,
+        family: Optional[HashFamily] = None,
+        seed: int = 0,
+        mem: Optional[MemoryModel] = None,
+    ) -> None:
+        super().__init__(mem)
+        if n_buckets <= 0:
+            raise ConfigurationError("n_buckets must be positive")
+        self.n_buckets = n_buckets
+        self._hash = (family or DEFAULT_FAMILY).functions(1, seed)[0]
+        self._buckets: List[List[Tuple[Key, Any]]] = [[] for _ in range(n_buckets)]
+        self._n_items = 0
+
+    @property
+    def capacity(self) -> int:
+        # Chaining has no hard capacity; the bucket count doubles as the
+        # nominal capacity so load_ratio matches the usual n/m definition.
+        return self.n_buckets
+
+    def __len__(self) -> int:
+        return self._n_items
+
+    def _chain(self, k: Key) -> List[Tuple[Key, Any]]:
+        return self._buckets[self._hash.bucket(k, self.n_buckets)]
+
+    def put(self, key: KeyLike, value: Any = None) -> InsertOutcome:
+        k = self._canonical(key)
+        chain = self._chain(k)
+        self.mem.offchip_read("chain-head")
+        self.mem.offchip_write("chain-append")
+        chain.append((k, value))
+        self._n_items += 1
+        return InsertOutcome(InsertStatus.STORED, copies=1)
+
+    def lookup(self, key: KeyLike) -> LookupOutcome:
+        k = self._canonical(key)
+        chain = self._chain(k)
+        reads = 0
+        for stored_key, value in chain:
+            self.mem.offchip_read("chain-node")
+            reads += 1
+            if stored_key == k:
+                return LookupOutcome(found=True, value=value, buckets_read=reads)
+        if not chain:
+            self.mem.offchip_read("chain-head")
+            reads += 1
+        return LookupOutcome(found=False, buckets_read=reads)
+
+    def delete(self, key: KeyLike) -> DeleteOutcome:
+        k = self._canonical(key)
+        chain = self._chain(k)
+        for position, (stored_key, _) in enumerate(chain):
+            self.mem.offchip_read("chain-node")
+            if stored_key == k:
+                chain.pop(position)
+                self.mem.offchip_write("chain-unlink")
+                self._n_items -= 1
+                return DeleteOutcome(deleted=True, copies_removed=1)
+        return DeleteOutcome(deleted=False)
+
+    def try_update(self, key: KeyLike, value: Any) -> Optional[InsertOutcome]:
+        k = self._canonical(key)
+        chain = self._chain(k)
+        for position, (stored_key, _) in enumerate(chain):
+            self.mem.offchip_read("chain-node")
+            if stored_key == k:
+                chain[position] = (k, value)
+                self.mem.offchip_write("chain-node")
+                return InsertOutcome(InsertStatus.UPDATED, copies=1)
+        return None
+
+    def items(self) -> Iterator[Tuple[Key, Any]]:
+        for chain in self._buckets:
+            yield from chain
+
+    @property
+    def max_chain_length(self) -> int:
+        return max((len(chain) for chain in self._buckets), default=0)

@@ -1,0 +1,45 @@
+"""CHS: Cuckoo Hashing with a (small, on-chip) Stash [22].
+
+The classic failure-handling baseline the paper contrasts its off-chip
+stash against: a stash of ~4 entries kept on-chip because it must be
+scanned on *every* lookup that misses the main table.  Functionally this is
+:class:`~repro.baselines.cuckoo.CuckooTable` with ``FailurePolicy.STASH``;
+the class exists so experiments can name the scheme directly.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..core.config import FailurePolicy
+from ..hashing import HashFamily
+from ..memory.model import MemoryModel
+from .cuckoo import CuckooTable
+
+
+class CHS(CuckooTable):
+    """d-ary cuckoo table backed by a small on-chip stash."""
+
+    name = "CHS"
+
+    def __init__(
+        self,
+        n_buckets: int,
+        d: int = 3,
+        family: Optional[HashFamily] = None,
+        seed: int = 0,
+        maxloop: int = 500,
+        stash_capacity: int = 4,
+        mem: Optional[MemoryModel] = None,
+    ) -> None:
+        super().__init__(
+            n_buckets,
+            d=d,
+            family=family,
+            seed=seed,
+            maxloop=maxloop,
+            strategy="random",
+            on_failure=FailurePolicy.STASH,
+            stash_capacity=stash_capacity,
+            mem=mem,
+        )

@@ -1,0 +1,388 @@
+"""Standard single-copy d-ary cuckoo hashing — the paper's main baseline.
+
+Exactly one copy of each item is stored.  There is no on-chip helper, so
+every bucket inspection is an off-chip read — the "blindness" the paper's
+introduction describes: during kick-outs each candidate bucket must be read
+back just to learn whether it is empty.
+
+Two collision-resolution strategies are provided: ``random`` walk (evict a
+random candidate's occupant) and ``bfs`` (breadth-first search for the
+shortest eviction path).  Failure handling is selectable: roll back and
+report failure, rehash into a bigger table, or spill to a small on-chip
+stash (which turns this class into the CHS baseline, see
+:mod:`repro.baselines.chs`).
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Any, Dict, Iterator, List, Optional, Tuple
+
+from ..core.config import FailurePolicy
+from ..core.errors import ConfigurationError, TableFullError
+from ..core.interface import HashTable
+from ..core.results import DeleteOutcome, InsertOutcome, InsertStatus, LookupOutcome
+from ..core.stash import OnChipStash
+from ..hashing import DEFAULT_FAMILY, HashFamily, Key, KeyLike
+from ..memory.model import MemoryModel
+
+
+class CuckooTable(HashTable):
+    """Standard d-ary cuckoo hash table (one slot per bucket)."""
+
+    name = "Cuckoo"
+
+    def __init__(
+        self,
+        n_buckets: int,
+        d: int = 3,
+        family: Optional[HashFamily] = None,
+        seed: int = 0,
+        maxloop: int = 500,
+        strategy: str = "random",
+        on_failure: FailurePolicy = FailurePolicy.FAIL,
+        stash_capacity: int = 4,
+        growth_factor: float = 2.0,
+        max_rehash_attempts: int = 8,
+        mem: Optional[MemoryModel] = None,
+    ) -> None:
+        super().__init__(mem)
+        if n_buckets <= 0:
+            raise ConfigurationError("n_buckets must be positive")
+        if d < 2:
+            raise ConfigurationError("cuckoo hashing needs d >= 2")
+        if strategy not in ("random", "bfs"):
+            raise ConfigurationError("strategy must be 'random' or 'bfs'")
+        self.d = d
+        self.n_buckets = n_buckets
+        self.maxloop = maxloop
+        self.strategy = strategy
+        self.on_failure = on_failure
+        self._family = family or DEFAULT_FAMILY
+        self._seed = seed
+        self._growth_factor = growth_factor
+        self._max_rehash_attempts = max_rehash_attempts
+        self._rng = random.Random(seed ^ 0xC0C0)
+        self._stash: Optional[OnChipStash] = None
+        if on_failure is FailurePolicy.STASH:
+            self._stash = OnChipStash(stash_capacity, self.mem)
+        self._in_rehash = False
+        self._rehash_overflow: List[Tuple[Key, Any]] = []
+        self.rehash_count = 0
+        self.total_kicks = 0
+        self._init_storage()
+
+    def _init_storage(self) -> None:
+        total = self.d * self.n_buckets
+        self._functions = self._family.functions(self.d, self._seed)
+        self._keys: List[Optional[Key]] = [None] * total
+        self._values: List[Any] = [None] * total
+        self._n_main = 0
+
+    # ------------------------------------------------------------------
+    # geometry and accounting helpers
+    # ------------------------------------------------------------------
+
+    @property
+    def capacity(self) -> int:
+        return self.d * self.n_buckets
+
+    def __len__(self) -> int:
+        return self._n_main + (len(self._stash) if self._stash is not None else 0)
+
+    @property
+    def main_items(self) -> int:
+        return self._n_main
+
+    @property
+    def stash(self) -> Optional[OnChipStash]:
+        return self._stash
+
+    def _candidates(self, key: Key) -> List[int]:
+        return [
+            table * self.n_buckets + fn.bucket(key, self.n_buckets)
+            for table, fn in enumerate(self._functions)
+        ]
+
+    def _read(self, bucket: int) -> Tuple[Optional[Key], Any]:
+        self.mem.offchip_read("bucket")
+        return self._keys[bucket], self._values[bucket]
+
+    def _write(self, bucket: int, key: Optional[Key], value: Any) -> None:
+        self.mem.offchip_write("bucket")
+        self._keys[bucket] = key
+        self._values[bucket] = value
+
+    # ------------------------------------------------------------------
+    # insertion
+    # ------------------------------------------------------------------
+
+    def put(self, key: KeyLike, value: Any = None) -> InsertOutcome:
+        k = self._canonical(key)
+        return self._insert_canonical(k, value)
+
+    def _insert_canonical(self, k: Key, value: Any) -> InsertOutcome:
+        cands = self._candidates(k)
+        for bucket in cands:
+            stored_key, _ = self._read(bucket)
+            if stored_key is None:
+                self._write(bucket, k, value)
+                self._n_main += 1
+                return InsertOutcome(InsertStatus.STORED, copies=1)
+        self.events.note_collision(len(self) + 1)
+        if self.strategy == "bfs":
+            return self._insert_bfs(k, value, cands)
+        return self._insert_random_walk(k, value, cands)
+
+    def _insert_random_walk(
+        self, k: Key, value: Any, cands: List[int]
+    ) -> InsertOutcome:
+        # `moves` records (bucket, previous key, previous value) so FAIL mode
+        # can roll the chain back and leave the table untouched.
+        moves: List[Tuple[int, Key, Any]] = []
+        cur_key, cur_value = k, value
+        prev_bucket: Optional[int] = None
+        kicks = 0
+        while kicks < self.maxloop:
+            choices = [bucket for bucket in cands if bucket != prev_bucket]
+            victim_bucket = choices[self._rng.randrange(len(choices))]
+            victim_key, victim_value = self._keys[victim_bucket], self._values[
+                victim_bucket
+            ]
+            assert victim_key is not None
+            self._write(victim_bucket, cur_key, cur_value)
+            moves.append((victim_bucket, victim_key, victim_value))
+            kicks += 1
+            self.total_kicks += 1
+            cur_key, cur_value = victim_key, victim_value
+            prev_bucket = victim_bucket
+            cands = self._candidates(cur_key)
+            for bucket in cands:
+                if bucket == prev_bucket:
+                    continue
+                stored_key, _ = self._read(bucket)
+                if stored_key is None:
+                    self._write(bucket, cur_key, cur_value)
+                    self._n_main += 1
+                    return InsertOutcome(
+                        InsertStatus.STORED, kicks=kicks, copies=1, collided=True
+                    )
+        self.events.note_failure(len(self) + 1)
+        return self._handle_failure(k, value, cur_key, cur_value, kicks, moves)
+
+    def _insert_bfs(self, k: Key, value: Any, cands: List[int]) -> InsertOutcome:
+        """Breadth-first search for the shortest eviction path.
+
+        Nodes are occupied buckets; expanding a node reads the occupant's
+        alternative buckets.  ``maxloop`` bounds the number of expansions.
+        """
+        parents: Dict[int, Optional[int]] = {bucket: None for bucket in cands}
+        queue: List[int] = list(cands)
+        expansions = 0
+        while queue and expansions < self.maxloop:
+            bucket = queue.pop(0)
+            occupant = self._keys[bucket]
+            assert occupant is not None
+            expansions += 1
+            for alt in self._candidates(occupant):
+                if alt == bucket or alt in parents:
+                    continue
+                stored_key, _ = self._read(alt)
+                parents[alt] = bucket
+                if stored_key is None:
+                    self._apply_bfs_path(k, value, alt, parents)
+                    self._n_main += 1
+                    kicks = self._path_length(alt, parents)
+                    self.total_kicks += kicks
+                    return InsertOutcome(
+                        InsertStatus.STORED, kicks=kicks, copies=1, collided=True
+                    )
+                queue.append(alt)
+        self.events.note_failure(len(self) + 1)
+        # BFS commits no moves before finding a hole, so there is nothing to
+        # roll back: the displaced item is the new one itself.
+        return self._handle_failure(k, value, k, value, expansions, moves=[])
+
+    def _path_length(self, leaf: int, parents: Dict[int, Optional[int]]) -> int:
+        length = 0
+        bucket: Optional[int] = leaf
+        while parents[bucket] is not None:
+            length += 1
+            bucket = parents[bucket]
+        return length
+
+    def _apply_bfs_path(
+        self, k: Key, value: Any, hole: int, parents: Dict[int, Optional[int]]
+    ) -> None:
+        """Shift occupants toward the hole, then drop the new item in the root."""
+        path: List[int] = [hole]
+        while parents[path[-1]] is not None:
+            path.append(parents[path[-1]])
+        # path = [hole, ..., root]; move root-ward occupants outward starting
+        # nearest the hole so no item is ever overwritten before moving.
+        for i in range(len(path) - 1):
+            src = path[i + 1]
+            dst = path[i]
+            self._write(dst, self._keys[src], self._values[src])
+        self._write(path[-1], k, value)
+
+    def _handle_failure(
+        self,
+        original_key: Key,
+        original_value: Any,
+        displaced_key: Key,
+        displaced_value: Any,
+        kicks: int,
+        moves: List[Tuple[int, Key, Any]],
+    ) -> InsertOutcome:
+        if self._in_rehash:
+            self._rehash_overflow.append((displaced_key, displaced_value))
+            return InsertOutcome(
+                InsertStatus.STORED, kicks=kicks, copies=1, collided=True
+            )
+        if self._stash is not None:
+            if self._stash.full:
+                self._retry_stash()
+            if not self._stash.full:
+                # The original item is in the table (if any kick happened)
+                # and the displaced one is in the stash, so the distinct
+                # main-table count is net unchanged.
+                self._stash.add(displaced_key, displaced_value)
+                return InsertOutcome(InsertStatus.STASHED, kicks=kicks, collided=True)
+            # Roll the kick chain back so no stored item is lost, then give
+            # up — a real CHS deployment would have to rehash here.
+            for bucket, old_key, old_value in reversed(moves):
+                self._write(bucket, old_key, old_value)
+            raise TableFullError("on-chip stash full and no item could re-enter")
+        if self.on_failure is FailurePolicy.REHASH:
+            self._rehash_with(displaced_key, displaced_value)
+            return InsertOutcome(
+                InsertStatus.STORED, kicks=kicks, copies=1, collided=True
+            )
+        # FAIL: undo the kick chain so the table is exactly as before.
+        for bucket, old_key, old_value in reversed(moves):
+            self._write(bucket, old_key, old_value)
+        return InsertOutcome(InsertStatus.FAILED, kicks=kicks, collided=True)
+
+    def _retry_stash(self) -> None:
+        """Try to push stashed items back into the main table (CHS behaviour)."""
+        for key, value in self._stash.pop_all():
+            outcome = self._reinsert_without_stash(key, value)
+            if not outcome:
+                self._stash.add(key, value)
+
+    def _reinsert_without_stash(self, k: Key, value: Any) -> bool:
+        cands = self._candidates(k)
+        for bucket in cands:
+            stored_key, _ = self._read(bucket)
+            if stored_key is None:
+                self._write(bucket, k, value)
+                self._n_main += 1
+                return True
+        return False
+
+    # ------------------------------------------------------------------
+    # rehashing
+    # ------------------------------------------------------------------
+
+    def _drain_main(self) -> List[Tuple[Key, Any]]:
+        items: List[Tuple[Key, Any]] = []
+        for bucket in range(self.capacity):
+            if self._keys[bucket] is not None:
+                self.mem.offchip_read("rehash-drain")
+                items.append((self._keys[bucket], self._values[bucket]))
+        self._n_main = 0
+        return items
+
+    def _rehash_with(self, key: Key, value: Any) -> None:
+        pending: List[Tuple[Key, Any]] = [(key, value)]
+        for _ in range(self._max_rehash_attempts):
+            self.rehash_count += 1
+            pending = self._drain_main() + pending
+            self.n_buckets = max(
+                self.n_buckets + 1, int(self.n_buckets * self._growth_factor)
+            )
+            self._seed += 1
+            self._init_storage()
+            self._rehash_overflow = []
+            self._in_rehash = True
+            try:
+                for item_key, item_value in pending:
+                    self._insert_canonical(item_key, item_value)
+            finally:
+                self._in_rehash = False
+            if not self._rehash_overflow:
+                return
+            pending = list(self._rehash_overflow)
+        raise TableFullError(
+            f"rehashing failed {self._max_rehash_attempts} times in a row"
+        )
+
+    # ------------------------------------------------------------------
+    # lookup / delete / update
+    # ------------------------------------------------------------------
+
+    def lookup(self, key: KeyLike) -> LookupOutcome:
+        steps = self.lookup_steps(key)
+        while True:
+            try:
+                next(steps)
+            except StopIteration as stop:
+                return stop.value
+
+    def lookup_steps(self, key: KeyLike):
+        """Generator form of :meth:`lookup` (yields before each off-chip
+        read); used by the batch pipeline in :mod:`repro.core.batch`."""
+        k = self._canonical(key)
+        buckets_read = 0
+        for bucket in self._candidates(k):
+            yield "bucket"
+            stored_key, stored_value = self._read(bucket)
+            buckets_read += 1
+            if stored_key == k:
+                return LookupOutcome(
+                    found=True, value=stored_value, buckets_read=buckets_read
+                )
+        if self._stash is not None:
+            found, value = self._stash.lookup(k)
+            return LookupOutcome(
+                found=found,
+                value=value if found else None,
+                from_stash=found,
+                checked_stash=True,
+                buckets_read=buckets_read,
+            )
+        return LookupOutcome(found=False, buckets_read=buckets_read)
+
+    def delete(self, key: KeyLike) -> DeleteOutcome:
+        k = self._canonical(key)
+        for bucket in self._candidates(k):
+            stored_key, _ = self._read(bucket)
+            if stored_key == k:
+                self._write(bucket, None, None)
+                self._n_main -= 1
+                return DeleteOutcome(deleted=True, copies_removed=1)
+        if self._stash is not None and self._stash.delete(k):
+            return DeleteOutcome(
+                deleted=True, copies_removed=1, from_stash=True, checked_stash=True
+            )
+        return DeleteOutcome(deleted=False)
+
+    def try_update(self, key: KeyLike, value: Any) -> Optional[InsertOutcome]:
+        k = self._canonical(key)
+        for bucket in self._candidates(k):
+            stored_key, _ = self._read(bucket)
+            if stored_key == k:
+                self._write(bucket, k, value)
+                return InsertOutcome(InsertStatus.UPDATED, copies=1)
+        if self._stash is not None and self._stash.delete(k):
+            self._stash.add(k, value)
+            return InsertOutcome(InsertStatus.UPDATED, copies=1)
+        return None
+
+    def items(self) -> Iterator[Tuple[Key, Any]]:
+        for bucket in range(self.capacity):
+            if self._keys[bucket] is not None:
+                yield self._keys[bucket], self._values[bucket]
+        if self._stash is not None:
+            yield from self._stash.items()

@@ -1,0 +1,118 @@
+"""Linear probing — the other classical comparator from the introduction.
+
+Open addressing with step-1 probing and tombstone deletion.  Probe
+sequences lengthen sharply as load grows, illustrating the degradation the
+paper's introduction attributes to traditional collision resolution.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterator, List, Optional, Tuple
+
+from ..core.errors import ConfigurationError
+from ..core.interface import HashTable
+from ..core.results import DeleteOutcome, InsertOutcome, InsertStatus, LookupOutcome
+from ..hashing import DEFAULT_FAMILY, HashFamily, Key, KeyLike
+from ..memory.model import MemoryModel
+
+_TOMBSTONE = object()
+
+
+class LinearProbingTable(HashTable):
+    """Open-addressed hash table with linear probing."""
+
+    name = "LinearProbing"
+
+    def __init__(
+        self,
+        n_buckets: int,
+        family: Optional[HashFamily] = None,
+        seed: int = 0,
+        mem: Optional[MemoryModel] = None,
+    ) -> None:
+        super().__init__(mem)
+        if n_buckets <= 0:
+            raise ConfigurationError("n_buckets must be positive")
+        self.n_buckets = n_buckets
+        self._hash = (family or DEFAULT_FAMILY).functions(1, seed)[0]
+        self._keys: List[Any] = [None] * n_buckets
+        self._values: List[Any] = [None] * n_buckets
+        self._n_items = 0
+
+    @property
+    def capacity(self) -> int:
+        return self.n_buckets
+
+    def __len__(self) -> int:
+        return self._n_items
+
+    def _probe_from(self, k: Key) -> Iterator[int]:
+        start = self._hash.bucket(k, self.n_buckets)
+        for step in range(self.n_buckets):
+            yield (start + step) % self.n_buckets
+
+    def put(self, key: KeyLike, value: Any = None) -> InsertOutcome:
+        k = self._canonical(key)
+        probes = 0
+        for bucket in self._probe_from(k):
+            self.mem.offchip_read("probe")
+            probes += 1
+            if self._keys[bucket] is None or self._keys[bucket] is _TOMBSTONE:
+                self.mem.offchip_write("store")
+                self._keys[bucket] = k
+                self._values[bucket] = value
+                self._n_items += 1
+                return InsertOutcome(
+                    InsertStatus.STORED, copies=1, collided=probes > 1
+                )
+        self.events.note_failure(len(self) + 1)
+        return InsertOutcome(InsertStatus.FAILED, collided=True)
+
+    def lookup(self, key: KeyLike) -> LookupOutcome:
+        k = self._canonical(key)
+        reads = 0
+        for bucket in self._probe_from(k):
+            self.mem.offchip_read("probe")
+            reads += 1
+            stored = self._keys[bucket]
+            if stored is None:
+                return LookupOutcome(found=False, buckets_read=reads)
+            if stored is not _TOMBSTONE and stored == k:
+                return LookupOutcome(
+                    found=True, value=self._values[bucket], buckets_read=reads
+                )
+        return LookupOutcome(found=False, buckets_read=reads)
+
+    def delete(self, key: KeyLike) -> DeleteOutcome:
+        k = self._canonical(key)
+        for bucket in self._probe_from(k):
+            self.mem.offchip_read("probe")
+            stored = self._keys[bucket]
+            if stored is None:
+                return DeleteOutcome(deleted=False)
+            if stored is not _TOMBSTONE and stored == k:
+                self.mem.offchip_write("tombstone")
+                self._keys[bucket] = _TOMBSTONE
+                self._values[bucket] = None
+                self._n_items -= 1
+                return DeleteOutcome(deleted=True, copies_removed=1)
+        return DeleteOutcome(deleted=False)
+
+    def try_update(self, key: KeyLike, value: Any) -> Optional[InsertOutcome]:
+        k = self._canonical(key)
+        for bucket in self._probe_from(k):
+            self.mem.offchip_read("probe")
+            stored = self._keys[bucket]
+            if stored is None:
+                return None
+            if stored is not _TOMBSTONE and stored == k:
+                self.mem.offchip_write("store")
+                self._values[bucket] = value
+                return InsertOutcome(InsertStatus.UPDATED, copies=1)
+        return None
+
+    def items(self) -> Iterator[Tuple[Key, Any]]:
+        for bucket in range(self.n_buckets):
+            stored = self._keys[bucket]
+            if stored is not None and stored is not _TOMBSTONE:
+                yield stored, self._values[bucket]

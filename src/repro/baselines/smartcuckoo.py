@@ -1,0 +1,221 @@
+"""SmartCuckoo (USENIX ATC'17, the paper's [15]): loop prediction for d=2.
+
+SmartCuckoo represents a 2-hash cuckoo table as a *directed pseudoforest*:
+each occupied bucket is a vertex, each item an edge between its two
+candidate buckets, directed from the bucket it occupies toward its
+alternative.  A connected component of an undirected graph with as many
+edges as vertices contains exactly one cycle; in cuckoo terms, a component
+is **maximal** once it carries a cycle — every bucket in it is full — and
+inserting another item whose endpoints both land in maximal subgraphs must
+fail.  Tracking component sizes and edge counts in a union-find therefore
+*predetermines* endless kick-out loops without a single probe.
+
+The paper positions McCuckoo against this line of work (SmartCuckoo only
+handles d = 2 and pays an auxiliary structure); this implementation exists
+as the comparator for the walk-free failure-detection experiments.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Iterator, List, Optional, Tuple
+
+from ..core.errors import ConfigurationError
+from ..core.interface import HashTable
+from ..core.results import DeleteOutcome, InsertOutcome, InsertStatus, LookupOutcome
+from ..hashing import DEFAULT_FAMILY, HashFamily, Key, KeyLike
+from ..memory.model import MemoryModel
+
+
+class _UnionFind:
+    """Union-find over buckets, tracking vertex and edge counts per set."""
+
+    def __init__(self, n: int) -> None:
+        self.parent = list(range(n))
+        self.size = [1] * n
+        self.edges = [0] * n
+
+    def find(self, x: int) -> int:
+        root = x
+        while self.parent[root] != root:
+            root = self.parent[root]
+        while self.parent[x] != root:  # path compression
+            self.parent[x], x = root, self.parent[x]
+        return root
+
+    def add_edge(self, a: int, b: int) -> int:
+        """Connect a-b with one edge; returns the merged root."""
+        ra, rb = self.find(a), self.find(b)
+        if ra == rb:
+            self.edges[ra] += 1
+            return ra
+        if self.size[ra] < self.size[rb]:
+            ra, rb = rb, ra
+        self.parent[rb] = ra
+        self.size[ra] += self.size[rb]
+        self.edges[ra] += self.edges[rb] + 1
+        return ra
+
+    def is_maximal(self, x: int) -> bool:
+        """A component with edges >= vertices carries a cycle: no bucket in
+        it can absorb another item."""
+        root = self.find(x)
+        return self.edges[root] >= self.size[root]
+
+
+class SmartCuckoo(HashTable):
+    """2-hash single-copy cuckoo table with pseudoforest loop prediction.
+
+    Insertion first consults the on-chip union-find: if both candidate
+    components are maximal the insertion is rejected *immediately* — zero
+    kicks, zero off-chip probes — where classic cuckoo hashing would burn a
+    full ``maxloop`` walk before giving up.  Deletion is not supported
+    (removing edges from a union-find is not incremental), matching the
+    published system's insert/lookup focus.
+    """
+
+    name = "SmartCuckoo"
+
+    def __init__(
+        self,
+        n_buckets: int,
+        family: Optional[HashFamily] = None,
+        seed: int = 0,
+        maxloop: int = 500,
+        mem: Optional[MemoryModel] = None,
+    ) -> None:
+        super().__init__(mem)
+        if n_buckets <= 0:
+            raise ConfigurationError("n_buckets must be positive")
+        self.d = 2
+        self.n_buckets = n_buckets
+        self.maxloop = maxloop
+        self._functions = (family or DEFAULT_FAMILY).functions(2, seed)
+        total = 2 * n_buckets
+        self._keys: List[Optional[Key]] = [None] * total
+        self._values: List[Any] = [None] * total
+        self._forest = _UnionFind(total)
+        self._n_items = 0
+        self.total_kicks = 0
+        self.predicted_failures = 0
+        self.walked_failures = 0
+
+    @property
+    def capacity(self) -> int:
+        return 2 * self.n_buckets
+
+    def __len__(self) -> int:
+        return self._n_items
+
+    def _candidates(self, key: Key) -> List[int]:
+        return [
+            table * self.n_buckets + fn.bucket(key, self.n_buckets)
+            for table, fn in enumerate(self._functions)
+        ]
+
+    def _read(self, bucket: int) -> Tuple[Optional[Key], Any]:
+        self.mem.offchip_read("bucket")
+        return self._keys[bucket], self._values[bucket]
+
+    def _write(self, bucket: int, key: Key, value: Any) -> None:
+        self.mem.offchip_write("bucket")
+        self._keys[bucket] = key
+        self._values[bucket] = value
+
+    def put(self, key: KeyLike, value: Any = None) -> InsertOutcome:
+        k = self._canonical(key)
+        b1, b2 = self._candidates(k)
+        # on-chip pseudoforest consultation
+        self.mem.onchip_read("forest", count=2)
+        if self._forest.is_maximal(b1) and self._forest.is_maximal(b2):
+            # both components already carry a cycle: provably unplaceable
+            self.predicted_failures += 1
+            self.events.note_failure(len(self) + 1)
+            return InsertOutcome(InsertStatus.FAILED, collided=True)
+        for bucket in (b1, b2):
+            stored, _ = self._read(bucket)
+            if stored is None:
+                self._write(bucket, k, value)
+                self._commit_edge(b1, b2)
+                return InsertOutcome(InsertStatus.STORED, copies=1)
+        self.events.note_collision(len(self) + 1)
+        return self._insert_with_kicks(k, value, b1, b2)
+
+    def _commit_edge(self, b1: int, b2: int) -> None:
+        self._forest.add_edge(b1, b2)
+        self.mem.onchip_write("forest")
+        self._n_items += 1
+
+    def _insert_with_kicks(
+        self, k: Key, value: Any, b1: int, b2: int
+    ) -> InsertOutcome:
+        # The prediction said a slot exists somewhere in a non-maximal
+        # component, so the walk is guaranteed to terminate; the walk stays
+        # bounded by maxloop anyway as a safety net.
+        moves: List[Tuple[int, Key, Any]] = []
+        cur_key, cur_value = k, value
+        bucket = b2 if self._forest.is_maximal(b1) else b1
+        kicks = 0
+        while kicks < self.maxloop:
+            victim_key, victim_value = self._keys[bucket], self._values[bucket]
+            assert victim_key is not None
+            self._write(bucket, cur_key, cur_value)
+            moves.append((bucket, victim_key, victim_value))
+            kicks += 1
+            self.total_kicks += 1
+            cur_key, cur_value = victim_key, victim_value
+            alt = [c for c in self._candidates(cur_key) if c != bucket][0]
+            stored, _ = self._read(alt)
+            if stored is None:
+                self._write(alt, cur_key, cur_value)
+                self._commit_edge(b1, b2)
+                return InsertOutcome(
+                    InsertStatus.STORED, kicks=kicks, copies=1, collided=True
+                )
+            bucket = alt
+        # should be unreachable when the prediction is sound; roll back
+        for bucket, old_key, old_value in reversed(moves):
+            self._write(bucket, old_key, old_value)
+        self.walked_failures += 1
+        self.events.note_failure(len(self) + 1)
+        return InsertOutcome(InsertStatus.FAILED, kicks=kicks, collided=True)
+
+    def lookup(self, key: KeyLike) -> LookupOutcome:
+        k = self._canonical(key)
+        buckets_read = 0
+        for bucket in self._candidates(k):
+            stored, value = self._read(bucket)
+            buckets_read += 1
+            if stored == k:
+                return LookupOutcome(found=True, value=value,
+                                     buckets_read=buckets_read)
+        return LookupOutcome(found=False, buckets_read=buckets_read)
+
+    def delete(self, key: KeyLike) -> DeleteOutcome:
+        from ..core.errors import UnsupportedOperationError
+
+        raise UnsupportedOperationError(
+            "SmartCuckoo's pseudoforest does not support edge removal"
+        )
+
+    def try_update(self, key: KeyLike, value: Any) -> Optional[InsertOutcome]:
+        k = self._canonical(key)
+        for bucket in self._candidates(k):
+            stored, _ = self._read(bucket)
+            if stored == k:
+                self._write(bucket, k, value)
+                return InsertOutcome(InsertStatus.UPDATED, copies=1)
+        return None
+
+    def items(self) -> Iterator[Tuple[Key, Any]]:
+        for bucket in range(self.capacity):
+            if self._keys[bucket] is not None:
+                yield self._keys[bucket], self._values[bucket]
+
+    @property
+    def onchip_bytes(self) -> int:
+        """Rough footprint of the auxiliary pseudoforest (parent + counts),
+        the cost the paper holds against this approach."""
+        import math
+
+        per_entry_bits = 3 * max(1, math.ceil(math.log2(self.capacity)))
+        return (self.capacity * per_entry_bits + 7) // 8

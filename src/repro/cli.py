@@ -1,0 +1,289 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands
+--------
+``experiments``
+    Regenerate paper exhibits (all, or a comma-separated subset) at a
+    chosen scale, printing each as a text table.
+``list``
+    List the available experiment ids with their titles.
+``fill``
+    Fill one scheme to a target load and report its access accounting,
+    counter histogram, and FPGA-model latency estimates.
+``workload``
+    Replay a mixed insert/lookup/delete trace against one scheme and
+    report the trace statistics (zero false results expected).
+``report``
+    Run every experiment and write a self-contained markdown report.
+``validate``
+    Quick PASS/FAIL re-check of the paper's headline claims.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from typing import List, Optional
+
+from .analysis import ALL_EXPERIMENTS, Scale, render, run_core_sweep
+from .analysis.sweep import make_schemes
+from .core import DeletionMode
+from .memory.latency import PAPER_FPGA
+from .memory.model import OpStats
+from .workloads import TraceGenerator, key_stream, replay
+
+SWEEP_BASED = {"fig9", "fig10", "fig12", "fig13", "fig15", "fig16"}
+SCHEME_NAMES = ("Cuckoo", "McCuckoo", "BCHT", "B-McCuckoo")
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Multi-copy Cuckoo Hashing (ICDE 2019) reproduction toolkit",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    experiments = sub.add_parser(
+        "experiments", help="regenerate paper tables/figures"
+    )
+    experiments.add_argument("--only", default="",
+                             help="comma-separated experiment ids")
+    experiments.add_argument("--scale", type=int, default=2000,
+                             help="buckets per sub-table (single-slot schemes)")
+    experiments.add_argument("--repeats", type=int, default=3)
+
+    sub.add_parser("list", help="list experiment ids")
+
+    fill = sub.add_parser("fill", help="fill one scheme and report stats")
+    fill.add_argument("scheme", choices=SCHEME_NAMES)
+    fill.add_argument("--load", type=float, default=0.85)
+    fill.add_argument("--scale", type=int, default=2000)
+    fill.add_argument("--seed", type=int, default=7)
+
+    workload = sub.add_parser("workload", help="replay a mixed op trace")
+    workload.add_argument("scheme", choices=SCHEME_NAMES)
+    workload.add_argument("--ops", type=int, default=5000)
+    workload.add_argument("--scale", type=int, default=2000)
+    workload.add_argument("--seed", type=int, default=7)
+    workload.add_argument("--insert", type=float, default=0.4)
+    workload.add_argument("--lookup", type=float, default=0.35)
+    workload.add_argument("--missing", type=float, default=0.15)
+    workload.add_argument("--delete", type=float, default=0.1)
+
+    report = sub.add_parser("report", help="write a full markdown report")
+    report.add_argument("-o", "--output", default="report.md")
+    report.add_argument("--scale", type=int, default=1000)
+    report.add_argument("--repeats", type=int, default=2)
+    report.add_argument("--only", default="",
+                        help="comma-separated experiment ids")
+    report.add_argument("--no-charts", action="store_true")
+
+    validate = sub.add_parser(
+        "validate",
+        help="re-check the paper's headline claims (DESIGN.md §6) quickly",
+    )
+    validate.add_argument("--scale", type=int, default=600)
+    validate.add_argument("--repeats", type=int, default=1)
+    return parser
+
+
+def _cmd_list() -> int:
+    for name, function in ALL_EXPERIMENTS.items():
+        doc = (function.__doc__ or "").strip().splitlines()[0]
+        print(f"{name:18s} {doc}")
+    return 0
+
+
+def _cmd_experiments(args: argparse.Namespace) -> int:
+    scale = Scale(n_single=args.scale, repeats=args.repeats)
+    selected = (
+        [name.strip() for name in args.only.split(",") if name.strip()]
+        if args.only
+        else list(ALL_EXPERIMENTS)
+    )
+    unknown = [name for name in selected if name not in ALL_EXPERIMENTS]
+    if unknown:
+        print(f"unknown experiments: {unknown}", file=sys.stderr)
+        print(f"available: {sorted(ALL_EXPERIMENTS)}", file=sys.stderr)
+        return 2
+    sweep = None
+    if any(name in SWEEP_BASED for name in selected):
+        start = time.time()
+        sweep = run_core_sweep(scale)
+        print(f"[shared load sweep: {time.time() - start:.1f}s]")
+    for name in selected:
+        function = ALL_EXPERIMENTS[name]
+        result = function(scale, sweep=sweep) if name in SWEEP_BASED else function(scale)
+        print(render(result))
+        print()
+    return 0
+
+
+def _cmd_fill(args: argparse.Namespace) -> int:
+    scale = Scale(n_single=args.scale, repeats=1)
+    factory = make_schemes(scale, seed=args.seed,
+                           deletion_mode=DeletionMode.DISABLED)[args.scheme]
+    table = factory()
+    keys = key_stream(seed=args.seed ^ 0xF111)
+    stats = OpStats()
+    target = int(args.load * table.capacity)
+    start = time.time()
+    while len(table) < target:
+        with table.mem.measure() as measurement:
+            outcome = table.put(next(keys))
+        stats.add(measurement.delta, kicks=outcome.kicks)
+        if outcome.failed:
+            break
+    elapsed = time.time() - start
+    print(f"{args.scheme}: filled to {table.load_ratio:.2%} "
+          f"({len(table)} items) in {elapsed:.2f}s")
+    for metric, value in stats.as_row().items():
+        print(f"  {metric:24s} {value:.4f}")
+    print(f"  access totals            {table.mem.summary()}")
+    print(f"  modelled insert latency  {PAPER_FPGA.latency_us(stats):.3f} us/op")
+    if hasattr(table, "counter_histogram"):
+        print(f"  counter histogram        "
+              f"{dict(sorted(table.counter_histogram().items()))}")
+    if hasattr(table, "onchip_bytes"):
+        print(f"  on-chip footprint        {table.onchip_bytes} bytes")
+    stash = getattr(table, "stash", None)
+    if stash is not None:
+        print(f"  stash population         {len(stash)}")
+    return 0
+
+
+def _cmd_workload(args: argparse.Namespace) -> int:
+    scale = Scale(n_single=args.scale, repeats=1)
+    factory = make_schemes(scale, seed=args.seed,
+                           deletion_mode=DeletionMode.RESET)[args.scheme]
+    table = factory()
+    trace = TraceGenerator(
+        args.ops,
+        insert_ratio=args.insert,
+        lookup_ratio=args.lookup,
+        missing_ratio=args.missing,
+        delete_ratio=args.delete,
+        seed=args.seed,
+    )
+    start = time.time()
+    stats = replay(table, iter(trace))
+    elapsed = time.time() - start
+    print(f"{args.scheme}: {args.ops} ops in {elapsed:.2f}s "
+          f"({args.ops / elapsed:,.0f} ops/s)")
+    print(f"  inserts={stats.inserts} (stashed={stats.stashed}, "
+          f"failed={stats.failed})")
+    print(f"  lookups={stats.lookups} hits={stats.hits} "
+          f"stash_checks={stats.stash_checks}")
+    print(f"  deletes={stats.deletes} misses={stats.delete_misses}")
+    print(f"  false_negatives={stats.false_negatives} "
+          f"false_positives={stats.false_positives}")
+    print(f"  access totals {table.mem.summary()}")
+    return 1 if (stats.false_negatives or stats.false_positives) else 0
+
+
+def _cmd_report(args: argparse.Namespace) -> int:
+    from .analysis.report import write_report
+
+    only = [name.strip() for name in args.only.split(",") if name.strip()] or None
+    scale = Scale(n_single=args.scale, repeats=args.repeats)
+    try:
+        write_report(args.output, scale, only=only,
+                     include_charts=not args.no_charts)
+    except ValueError as error:
+        print(str(error), file=sys.stderr)
+        return 2
+    print(f"report written to {args.output}")
+    return 0
+
+
+def _cmd_validate(args: argparse.Namespace) -> int:
+    """Quick pass/fail re-check of the acceptance criteria in DESIGN.md §6."""
+    from .analysis import (
+        fig9_kickouts,
+        fig10_memaccess,
+        fig12_lookup_existing,
+        fig13_lookup_missing,
+        run_core_sweep,
+        table1_first_collision,
+    )
+
+    scale = Scale(n_single=args.scale, repeats=args.repeats, n_queries=400)
+    print(f"validating at n_single={args.scale}, repeats={args.repeats} ...")
+    sweep = run_core_sweep(scale)
+    checks: List[tuple] = []
+
+    fig9 = fig9_kickouts(scale, sweep=sweep)
+    mc = fig9.series("load", "kicks_per_insert", scheme="McCuckoo")
+    cu = fig9.series("load", "kicks_per_insert", scheme="Cuckoo")
+    checks.append(("fig9: McCuckoo kicks < 70% of Cuckoo @85%",
+                   mc[0.85] < cu[0.85] * 0.7))
+    bmc = fig9.series("load", "kicks_per_insert", scheme="B-McCuckoo")
+    bcht = fig9.series("load", "kicks_per_insert", scheme="BCHT")
+    checks.append(("fig9: B-McCuckoo kicks < 50% of BCHT @95%",
+                   bmc[0.95] < bcht[0.95] * 0.5))
+
+    fig10 = fig10_memaccess(scale, sweep=sweep)
+    mc_reads = fig10.series("load", "reads_per_insert", scheme="McCuckoo")
+    cu_reads = fig10.series("load", "reads_per_insert", scheme="Cuckoo")
+    checks.append(("fig10a: McCuckoo reads ~0 at 10% load", mc_reads[0.1] < 0.2))
+    checks.append(("fig10a: McCuckoo reads below Cuckoo at 85%",
+                   mc_reads[0.85] < cu_reads[0.85]))
+    mc_writes = fig10.series("load", "writes_per_insert", scheme="McCuckoo")
+    cu_writes = fig10.series("load", "writes_per_insert", scheme="Cuckoo")
+    checks.append(("fig10b: McCuckoo writes higher at 10% (redundancy)",
+                   mc_writes[0.1] > cu_writes[0.1]))
+
+    table1 = table1_first_collision(scale)
+    loads = {row["scheme"]: row["first_collision_load"] for row in table1.rows}
+    checks.append(("table1: Cuckoo < McCuckoo < BCHT < B-McCuckoo",
+                   loads["Cuckoo"] < loads["McCuckoo"]
+                   < loads["BCHT"] < loads["B-McCuckoo"]))
+
+    fig12 = fig12_lookup_existing(scale, sweep=sweep)
+    checks.append((
+        "fig12: McCuckoo existing-lookup accesses below Cuckoo @50%",
+        fig12.series("load", "offchip_accesses_per_lookup", scheme="McCuckoo")[0.5]
+        < fig12.series("load", "offchip_accesses_per_lookup", scheme="Cuckoo")[0.5],
+    ))
+
+    fig13 = fig13_lookup_missing(scale, sweep=sweep)
+    checks.append((
+        "fig13: Cuckoo missing lookups read all 3 buckets",
+        abs(fig13.series("load", "offchip_accesses_per_lookup",
+                         scheme="Cuckoo")[0.5] - 3.0) < 1e-9,
+    ))
+    checks.append((
+        "fig13: McCuckoo missing lookups < 1.2 accesses @50%",
+        fig13.series("load", "offchip_accesses_per_lookup",
+                     scheme="McCuckoo")[0.5] < 1.2,
+    ))
+
+    failed = 0
+    for label, ok in checks:
+        print(f"  [{'PASS' if ok else 'FAIL'}] {label}")
+        if not ok:
+            failed += 1
+    print(f"{len(checks) - failed}/{len(checks)} checks passed")
+    return 1 if failed else 0
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = _build_parser().parse_args(argv)
+    if args.command == "list":
+        return _cmd_list()
+    if args.command == "experiments":
+        return _cmd_experiments(args)
+    if args.command == "fill":
+        return _cmd_fill(args)
+    if args.command == "workload":
+        return _cmd_workload(args)
+    if args.command == "report":
+        return _cmd_report(args)
+    if args.command == "validate":
+        return _cmd_validate(args)
+    raise AssertionError(f"unhandled command {args.command!r}")
+
+
+if __name__ == "__main__":
+    sys.exit(main())

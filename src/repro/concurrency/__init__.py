@@ -1,0 +1,12 @@
+"""One-writer-many-readers concurrency support (§III.H)."""
+
+from .concurrent_table import ConcurrentMcCuckoo
+from .interleave import InterleaveReport, InterleavingHarness
+from .paths import find_cuckoo_path
+
+__all__ = [
+    "ConcurrentMcCuckoo",
+    "InterleaveReport",
+    "InterleavingHarness",
+    "find_cuckoo_path",
+]

@@ -1,0 +1,192 @@
+"""One-writer-many-readers McCuckoo (§III.H).
+
+Standard cuckoo insertion makes evicted items temporarily vanish, so a
+concurrent reader can miss a stored key.  Following MemC3's recipe, the
+writer here first discovers the whole cuckoo path (cheap, thanks to the
+counters — see :mod:`repro.concurrency.paths`), then executes the moves
+from the far end of the path backwards: each hop *duplicates* an item into
+its next bucket before the old location is overwritten, so every stored
+item is findable at every instant.
+
+The writer is exposed both as a plain :meth:`insert` and as
+:meth:`insert_stepwise`, a generator yielding between atomic steps so the
+deterministic interleaving harness can run readers at every boundary.  A
+seqlock-style version counter lets readers detect concurrent mutation and
+retry, mirroring what a real shared-memory implementation would do.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterator, List, Optional, Tuple
+
+from ..core.mccuckoo import McCuckoo
+from ..core.results import InsertOutcome, InsertStatus, LookupOutcome
+from ..hashing import Key, KeyLike
+from .paths import find_cuckoo_path
+
+
+class ConcurrentMcCuckoo:
+    """Single-writer/multi-reader wrapper around :class:`McCuckoo`."""
+
+    def __init__(self, table: McCuckoo, max_path_nodes: int = 512) -> None:
+        self.table = table
+        self.max_path_nodes = max_path_nodes
+        self.version = 0  # even: quiescent; odd: writer mid-step
+        self.last_outcome: Optional[InsertOutcome] = None
+        self.last_delete = None
+
+    # -- writer side -------------------------------------------------------
+
+    def _begin_step(self) -> None:
+        self.version += 1
+
+    def _end_step(self) -> None:
+        self.version += 1
+
+    def insert(self, key: KeyLike, value: Any = None) -> InsertOutcome:
+        """Blocking insert: runs all steps back to back."""
+        for _ in self.insert_stepwise(key, value):
+            pass
+        assert self.last_outcome is not None
+        return self.last_outcome
+
+    def insert_stepwise(self, key: KeyLike, value: Any = None) -> Iterator[str]:
+        """Generator-based insert; yields a label between atomic steps.
+
+        The interleaving harness drives this generator and runs reader
+        operations at every yield point.  ``last_outcome`` carries the
+        final result once the generator is exhausted.
+        """
+        self.last_outcome: Optional[InsertOutcome] = None
+        k = self.table._canonical(key)
+        yield "path-search:start"
+        path = find_cuckoo_path(self.table, k, self.max_path_nodes)
+        yield "path-search:done"
+        if path is None:
+            # No path: fall back to the table's failure handling (stash).
+            self._begin_step()
+            cands = self.table._candidates(k)
+            self.table.events.note_failure(len(self.table) + 1)
+            self.last_outcome = self.table._handle_failure(k, value, cands, kicks=0)
+            self._end_step()
+            return
+        if len(path) == 1:
+            # Direct placement through the normal multi-copy principles.
+            self._begin_step()
+            self.last_outcome = self.table._insert_canonical(k, value)
+            self._end_step()
+            return
+        # Execute moves from the far end backwards; every hop duplicates
+        # before anything is overwritten, so readers never miss an item.
+        hops: List[Tuple[int, int]] = list(zip(path[:-1], path[1:]))
+        for src, dst in reversed(hops):
+            self._begin_step()
+            self._move_occupant(src, dst)
+            self._end_step()
+            yield f"moved:{src}->{dst}"
+        self._begin_step()
+        occupant_bucket = path[0]
+        self.table._write_entry(
+            occupant_bucket, k, value, 1 << self.table._position_of(occupant_bucket)
+        )
+        self.table._counters.set(occupant_bucket, 1)
+        self.table._n_main += 1
+        self._end_step()
+        self.last_outcome = InsertOutcome(
+            InsertStatus.STORED, kicks=len(hops), copies=1, collided=True
+        )
+        yield "placed"
+
+    def _move_occupant(self, src: int, dst: int) -> None:
+        """Copy the occupant of ``src`` into ``dst`` (which is a terminal or
+        an already-vacated hop), leaving ``src`` intact for readers."""
+        table = self.table
+        occupant, occ_value, _, _ = table._read_entry(src)
+        assert occupant is not None
+        dst_value = table._counters.get(dst)
+        if dst_value >= 2:
+            # Terminal holds a redundant copy: retire it first.
+            decremented = table._claim_overwrite(dst, dst_value)
+            del decremented
+        table._write_entry(dst, occupant, occ_value, 1 << table._position_of(dst))
+        table._counters.set(dst, 1)
+        # src still physically holds the occupant with counter 1; the next
+        # (earlier) hop or the final placement will overwrite it.
+
+    # -- writer side: deletion ---------------------------------------------
+
+    def delete(self, key: KeyLike):
+        """Blocking delete: runs all steps back to back."""
+        for _ in self.delete_stepwise(key):
+            pass
+        assert self.last_delete is not None
+        return self.last_delete
+
+    def delete_stepwise(self, key: KeyLike) -> Iterator[str]:
+        """Generator-based delete; yields between atomic counter resets.
+
+        Deletion only mutates on-chip counters (and tombstone marks), one
+        bucket per step.  Readers of *other* keys are unaffected at every
+        boundary; readers of the deleted key linearize at whichever step
+        they observe.  ``last_delete`` carries the outcome at exhaustion.
+        """
+        from ..core.config import DeletionMode
+        from ..core.errors import UnsupportedOperationError
+
+        table = self.table
+        if table.deletion_mode is DeletionMode.DISABLED:
+            raise UnsupportedOperationError(
+                "underlying table was built with DeletionMode.DISABLED"
+            )
+        self.last_delete = None
+        k = table._canonical(key)
+        yield "scan:start"
+        cands = table._candidates(k)
+        vals = table._counters.get_many(cands)
+        if table._never_inserted(cands, vals):
+            from ..core.results import DeleteOutcome
+
+            self.last_delete = DeleteOutcome(deleted=False)
+            return
+        copies, _ = table._find_copies(k, cands, vals)
+        if not copies:
+            # main-table miss: fall back to the table's stash handling
+            self._begin_step()
+            self.last_delete = table.delete(key)
+            self._end_step()
+            return
+        for bucket in copies:
+            self._begin_step()
+            table._counters.set(bucket, 0)
+            if table._tombstones is not None:
+                table._tombstones.mark(bucket)
+            self._end_step()
+            yield f"zeroed:{bucket}"
+        table._n_main -= 1
+        from ..core.results import DeleteOutcome
+
+        self.last_delete = DeleteOutcome(deleted=True, copies_removed=len(copies))
+
+    # -- reader side -------------------------------------------------------
+
+    def lookup(self, key: KeyLike, max_retries: int = 16) -> LookupOutcome:
+        """Optimistic seqlock read: retry while the writer is mid-step."""
+        for _ in range(max_retries):
+            before = self.version
+            if before % 2 == 1:
+                continue  # writer mid-step; a real reader would spin
+            outcome = self.table.lookup(key)
+            if self.version == before:
+                return outcome
+        # Fall back to an uncontended read (the harness never hits this).
+        return self.table.lookup(key)
+
+    def get(self, key: KeyLike, default: Any = None) -> Any:
+        outcome = self.lookup(key)
+        return outcome.value if outcome.found else default
+
+    def __contains__(self, key: KeyLike) -> bool:
+        return self.lookup(key).found
+
+    def __len__(self) -> int:
+        return len(self.table)

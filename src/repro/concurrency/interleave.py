@@ -1,0 +1,79 @@
+"""Deterministic interleaving harness for the concurrency tests.
+
+Python cannot demonstrate shared-memory races natively, so the harness
+simulates them: the writer's :meth:`insert_stepwise` generator is advanced
+one atomic step at a time, and between steps every registered reader probe
+runs.  A probe that ever misses a key that is logically present is a
+linearizability violation — the property the paper's path-ordered insertion
+is meant to guarantee.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Any, List, Optional, Set, Tuple
+
+from ..hashing import Key, KeyLike
+from .concurrent_table import ConcurrentMcCuckoo
+
+
+@dataclass
+class InterleaveReport:
+    """What the harness observed across all interleaving points."""
+
+    steps: int = 0
+    probes: int = 0
+    missed_keys: List[Tuple[Key, str]] = field(default_factory=list)
+    wrong_values: List[Tuple[Key, str]] = field(default_factory=list)
+
+    @property
+    def linearizable(self) -> bool:
+        return not self.missed_keys and not self.wrong_values
+
+
+class InterleavingHarness:
+    """Runs writer inserts step by step with reader probes in between."""
+
+    def __init__(
+        self,
+        table: ConcurrentMcCuckoo,
+        probe_sample: int = 8,
+        seed: int = 0,
+    ) -> None:
+        self.table = table
+        self.probe_sample = probe_sample
+        self._rng = random.Random(seed)
+        self._present: dict = {}
+
+    def insert_with_probes(
+        self, key: KeyLike, value: Any = None, report: Optional[InterleaveReport] = None
+    ) -> InterleaveReport:
+        """Insert ``key`` while probing previously inserted keys at every
+        step boundary; records any reader-visible anomaly."""
+        if report is None:
+            report = InterleaveReport()
+        stepper = self.table.insert_stepwise(key, value)
+        for label in stepper:
+            report.steps += 1
+            self._probe(report, label)
+        outcome = self.table.last_outcome
+        if outcome is not None and not outcome.failed:
+            self._present[self.table.table._canonical(key)] = value
+        return report
+
+    def _probe(self, report: InterleaveReport, label: str) -> None:
+        if not self._present:
+            return
+        keys = list(self._present)
+        sample_size = min(self.probe_sample, len(keys))
+        for probe_key in self._rng.sample(keys, sample_size):
+            report.probes += 1
+            outcome = self.table.lookup(probe_key)
+            if not outcome.found:
+                report.missed_keys.append((probe_key, label))
+            elif outcome.value != self._present[probe_key]:
+                report.wrong_values.append((probe_key, label))
+
+    def known_keys(self) -> Set[Key]:
+        return set(self._present)

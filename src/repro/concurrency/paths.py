@@ -1,0 +1,63 @@
+"""Cuckoo-path search guided by McCuckoo's counters (§III.H).
+
+MemC3 showed that one-writer-many-readers concurrency needs the eviction
+sequence (the *cuckoo path*) discovered **before** any item moves, so the
+moves can then be executed from the path's far end backwards and no item is
+ever absent from the table mid-insertion.  MemC3 left path discovery slow;
+McCuckoo's on-chip counters make it fast: any counter other than 1 marks a
+terminal bucket (empty, or holding an overwritable redundant copy), so the
+search only expands sole-copy buckets and recognises terminals without
+touching off-chip memory.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from ..core.mccuckoo import McCuckoo
+from ..hashing import Key
+
+
+def find_cuckoo_path(
+    table: McCuckoo, key: Key, max_nodes: int = 512
+) -> Optional[List[int]]:
+    """BFS for the shortest eviction path for ``key``.
+
+    Returns a bucket list ``[b0, .., bt]`` where the new item will land in
+    ``b0``, each ``b_i``'s occupant moves to ``b_{i+1}``, and ``b_t`` is a
+    terminal (counter != 1, i.e. empty or overwritable).  A single-element
+    path means the key can be placed directly.  Returns None when no path
+    exists within the node budget.
+
+    Expanding a node costs one off-chip read (the occupant's key must be
+    learned); terminal detection is pure on-chip counter work.
+    """
+    cands = table._candidates(key)
+    vals = table._counters.get_many(cands)
+    for bucket, value in zip(cands, vals):
+        if value != 1:
+            return [bucket]
+    parents: Dict[int, Optional[int]] = {bucket: None for bucket in cands}
+    queue: List[int] = list(cands)
+    expansions = 0
+    while queue and expansions < max_nodes:
+        bucket = queue.pop(0)
+        occupant = table._read_entry(bucket)[0]
+        assert occupant is not None
+        expansions += 1
+        for alt in table._candidates(occupant):
+            if alt == bucket or alt in parents:
+                continue
+            parents[alt] = bucket
+            if table._counters.get(alt) != 1:
+                return _reconstruct(alt, parents)
+            queue.append(alt)
+    return None
+
+
+def _reconstruct(terminal: int, parents: Dict[int, Optional[int]]) -> List[int]:
+    path: List[int] = [terminal]
+    while parents[path[-1]] is not None:
+        path.append(parents[path[-1]])
+    path.reverse()
+    return path

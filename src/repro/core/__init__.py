@@ -1,0 +1,67 @@
+"""Core McCuckoo implementation: single-slot and blocked multi-copy tables."""
+
+from .batch import BatchResult, batched_lookup, serial_epochs
+from .blocked import BlockedMcCuckoo
+from .config import DeletionMode, FailurePolicy, SiblingTracking
+from .counters import BitArray, PackedArray
+from .errors import (
+    ConfigurationError,
+    InvariantViolationError,
+    ReproError,
+    TableFullError,
+    UnsupportedOperationError,
+)
+from .interface import HashTable
+from .invariants import check_blocked, check_mccuckoo
+from .mccuckoo import McCuckoo
+from .multimap import McCuckooMultiMap
+from .resize import ResizableMcCuckoo
+from .sharded import ShardedMcCuckoo
+from .policies import KickPolicy, MinCounterPolicy, RandomWalkPolicy, make_policy
+from .snapshot import load as load_snapshot
+from .snapshot import save as save_snapshot
+from .results import (
+    DeleteOutcome,
+    InsertOutcome,
+    InsertStatus,
+    LookupOutcome,
+    TableEvents,
+)
+from .stash import OffChipStash, OnChipStash
+
+__all__ = [
+    "BatchResult",
+    "BitArray",
+    "BlockedMcCuckoo",
+    "ConfigurationError",
+    "DeleteOutcome",
+    "DeletionMode",
+    "FailurePolicy",
+    "HashTable",
+    "InsertOutcome",
+    "InsertStatus",
+    "InvariantViolationError",
+    "KickPolicy",
+    "LookupOutcome",
+    "McCuckoo",
+    "McCuckooMultiMap",
+    "MinCounterPolicy",
+    "OffChipStash",
+    "OnChipStash",
+    "PackedArray",
+    "RandomWalkPolicy",
+    "ResizableMcCuckoo",
+    "ShardedMcCuckoo",
+    "ReproError",
+    "SiblingTracking",
+    "TableEvents",
+    "TableFullError",
+    "UnsupportedOperationError",
+    "batched_lookup",
+    "check_blocked",
+    "check_mccuckoo",
+    "make_policy",
+    "load_snapshot",
+    "save_snapshot",
+    "serial_epochs",
+]

@@ -1,0 +1,562 @@
+"""B-McCuckoo: the blocked (multi-slot) multi-copy cuckoo table (§III.G).
+
+Each of the ``d`` sub-tables has ``m`` buckets of ``l`` slots; one whole
+bucket is retrieved per off-chip access (the blocked-cuckoo assumption the
+paper adopts from [33]).  One 2-bit counter per *slot* lives on-chip, read a
+bucket-word at a time.
+
+Because a copy's location inside a bucket is invisible to the on-chip
+structure, each stored entry carries sibling-slot metadata — which slot the
+item's copy occupies in each of its candidate buckets (Fig. 5 of the paper,
+(d−1)·⌈log₂ l⌉ bits per slot).  The metadata is kept fresh: whenever a copy
+is lost, the remaining copies' metadata is patched with cheap off-chip
+writes, so deletions can zero all copy counters without re-reading buckets.
+
+Insertion, lookup and deletion follow Algorithms 1–3 of the paper.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Any, Dict, Iterator, List, Optional, Sequence, Tuple
+
+from ..hashing import DEFAULT_FAMILY, HashFamily, Key, KeyLike
+from ..memory.model import MemoryModel
+from .config import DeletionMode, FailurePolicy
+from .counters import BitArray, PackedArray
+from .errors import (
+    ConfigurationError,
+    InvariantViolationError,
+    TableFullError,
+    UnsupportedOperationError,
+)
+from .interface import HashTable
+from .policies import KickPolicy, RandomWalkPolicy
+from .results import DeleteOutcome, InsertOutcome, InsertStatus, LookupOutcome
+from .stash import OffChipStash
+
+SlotMap = Tuple[Optional[int], ...]
+"""Per-entry sibling metadata: slot index of the item's copy in each of the
+d candidate buckets (None where it has no copy)."""
+
+
+class BlockedMcCuckoo(HashTable):
+    """Multi-copy cuckoo table with ``l`` slots per bucket (B-McCuckoo)."""
+
+    name = "B-McCuckoo"
+
+    def __init__(
+        self,
+        n_buckets: int,
+        d: int = 3,
+        slots: int = 3,
+        family: Optional[HashFamily] = None,
+        seed: int = 0,
+        maxloop: int = 500,
+        kick_policy: Optional[KickPolicy] = None,
+        on_failure: FailurePolicy = FailurePolicy.STASH,
+        stash_buckets: int = 64,
+        deletion_mode: DeletionMode = DeletionMode.DISABLED,
+        lookup_counter_screen: bool = True,
+        mem: Optional[MemoryModel] = None,
+    ) -> None:
+        super().__init__(mem)
+        if n_buckets <= 0:
+            raise ConfigurationError("n_buckets must be positive")
+        if not lookup_counter_screen and deletion_mode is not DeletionMode.DISABLED:
+            raise ConfigurationError(
+                "the counter screen can only be skipped without deletions: "
+                "with deletions, stale slots are indistinguishable from live "
+                "ones off-chip"
+            )
+        if d < 2:
+            raise ConfigurationError("cuckoo hashing needs d >= 2")
+        if slots < 1:
+            raise ConfigurationError("slots must be positive")
+        if maxloop < 0:
+            raise ConfigurationError("maxloop must be non-negative")
+        self.d = d
+        self.slots = slots
+        self.n_buckets = n_buckets
+        self.maxloop = maxloop
+        self.deletion_mode = deletion_mode
+        self.on_failure = on_failure
+        self.lookup_counter_screen = lookup_counter_screen
+        self._family = family or DEFAULT_FAMILY
+        self._seed = seed
+        self._functions = self._family.functions(d, seed)
+        self._rng = random.Random(seed ^ 0xB10C)
+        self._policy = kick_policy if kick_policy is not None else RandomWalkPolicy()
+        n_bucket_total = d * n_buckets
+        n_slot_total = n_bucket_total * slots
+        bits = 2 if d <= 3 else 4
+        self._counters = PackedArray(
+            n_slot_total, bits=bits, mem=self.mem, label="slot-counter"
+        )
+        self._flags = BitArray(n_bucket_total, mem=None, label="stash-flag")
+        if deletion_mode is DeletionMode.TOMBSTONE:
+            self._tombstones: Optional[BitArray] = BitArray(
+                n_slot_total, mem=self.mem, label="tombstone"
+            )
+        else:
+            self._tombstones = None
+        self._keys: List[Optional[Key]] = [None] * n_slot_total
+        self._values: List[Any] = [None] * n_slot_total
+        self._slotmaps: List[Optional[SlotMap]] = [None] * n_slot_total
+        self._stash: Optional[OffChipStash] = None
+        if on_failure is FailurePolicy.STASH:
+            self._stash = OffChipStash(stash_buckets, self.mem, self._family)
+        self._policy.attach(n_bucket_total, self.mem)
+        self._n_main = 0
+        self.total_kicks = 0
+
+    # ------------------------------------------------------------------
+    # geometry
+    # ------------------------------------------------------------------
+
+    @property
+    def capacity(self) -> int:
+        return self.d * self.n_buckets * self.slots
+
+    def __len__(self) -> int:
+        return self._n_main + (len(self._stash) if self._stash is not None else 0)
+
+    @property
+    def main_items(self) -> int:
+        return self._n_main
+
+    @property
+    def stash(self) -> Optional[OffChipStash]:
+        return self._stash
+
+    def _candidates(self, key: Key) -> List[int]:
+        """Global *bucket* index per sub-table."""
+        return [
+            table * self.n_buckets + fn.bucket(key, self.n_buckets)
+            for table, fn in enumerate(self._functions)
+        ]
+
+    def _position_of(self, bucket: int) -> int:
+        return bucket // self.n_buckets
+
+    def _slot_index(self, bucket: int, slot: int) -> int:
+        return bucket * self.slots + slot
+
+    # ------------------------------------------------------------------
+    # on-chip counter words
+    # ------------------------------------------------------------------
+
+    def _read_counter_word(self, bucket: int) -> List[int]:
+        """All l slot counters of a bucket: one on-chip read (one word)."""
+        self.mem.onchip_read("counter-word")
+        return [
+            self._counters.peek(self._slot_index(bucket, slot))
+            for slot in range(self.slots)
+        ]
+
+    def _set_counter(self, bucket: int, slot: int, value: int) -> None:
+        self._counters.set(self._slot_index(bucket, slot), value)
+
+    # ------------------------------------------------------------------
+    # off-chip bucket access
+    # ------------------------------------------------------------------
+
+    def _read_bucket(
+        self, bucket: int
+    ) -> Tuple[List[Optional[Key]], List[Any], List[Optional[SlotMap]], bool]:
+        """One off-chip access retrieves the whole bucket plus its flag."""
+        self.mem.offchip_read("bucket")
+        base = self._slot_index(bucket, 0)
+        return (
+            self._keys[base : base + self.slots],
+            self._values[base : base + self.slots],
+            self._slotmaps[base : base + self.slots],
+            self._flags.test(bucket),
+        )
+
+    def _write_slot(
+        self, bucket: int, slot: int, key: Key, value: Any, slotmap: SlotMap
+    ) -> None:
+        self.mem.offchip_write("bucket")
+        index = self._slot_index(bucket, slot)
+        self._keys[index] = key
+        self._values[index] = value
+        self._slotmaps[index] = slotmap
+
+    def _patch_slotmap(self, bucket: int, slot: int, slotmap: SlotMap) -> None:
+        """Refresh a surviving copy's sibling metadata (cheap off-chip write)."""
+        self.mem.offchip_write("slotmap-fixup")
+        self._slotmaps[self._slot_index(bucket, slot)] = slotmap
+
+    # ------------------------------------------------------------------
+    # insertion (Algorithm 1)
+    # ------------------------------------------------------------------
+
+    def put(self, key: KeyLike, value: Any = None) -> InsertOutcome:
+        k = self._canonical(key)
+        return self._insert_canonical(k, value)
+
+    def _insert_canonical(self, k: Key, value: Any) -> InsertOutcome:
+        cands = self._candidates(k)
+        words = {bucket: self._read_counter_word(bucket) for bucket in cands}
+        placements = self._place_by_algorithm1(k, value, cands, words)
+        if placements:
+            self._n_main += 1
+            return InsertOutcome(InsertStatus.STORED, kicks=0, copies=placements)
+        self.events.note_collision(len(self) + 1)
+        return self._insert_with_kicks(k, value, cands)
+
+    def _find_slot_with(self, word: List[int], target: int) -> Optional[int]:
+        for slot, value in enumerate(word):
+            if value == target:
+                return slot
+        return None
+
+    def _place_by_algorithm1(
+        self,
+        k: Key,
+        value: Any,
+        cands: Sequence[int],
+        words: Dict[int, List[int]],
+    ) -> int:
+        """Algorithm 1's placement phases; returns copies placed (0 = collision).
+
+        ``words`` is a live local mirror of the candidates' counter words;
+        sibling decrements triggered by our own overwrites are folded back
+        into it so later phases see fresh values.
+        """
+        chosen: Dict[int, int] = {}  # bucket -> slot we will occupy
+        remaining = list(cands)
+        # Phase A: occupy one empty slot in every bucket that has one.
+        for bucket in list(remaining):
+            slot = self._find_slot_with(words[bucket], 0)
+            if slot is not None:
+                chosen[bucket] = slot
+                remaining.remove(bucket)
+        # Phases B/C generalised: overwrite counter-c slots for c from d down
+        # to 2, fullest buckets first, while the overwrite leaves the
+        # inserted item with no more copies than the victim retains
+        # (len(chosen)+1 <= c-1).  For d=3 this is exactly Algorithm 1's
+        # counter-3 then counter-2 phases with their early-return conditions.
+        remaining.sort(key=lambda bucket: -sum(words[bucket]))
+        for c in range(self.d, 1, -1):
+            for bucket in list(remaining):
+                if len(chosen) > c - 2:
+                    break
+                slot = self._find_slot_with(words[bucket], c)
+                if slot is None:
+                    continue
+                self._claim_overwrite(bucket, slot, c, words)
+                chosen[bucket] = slot
+                remaining.remove(bucket)
+        if not chosen:
+            return 0
+        self._commit_placements(k, value, cands, chosen)
+        return len(chosen)
+
+    def _commit_placements(
+        self, k: Key, value: Any, cands: Sequence[int], chosen: Dict[int, int]
+    ) -> None:
+        slotmap_list: List[Optional[int]] = [None] * self.d
+        for bucket, slot in chosen.items():
+            slotmap_list[self._position_of(bucket)] = slot
+        slotmap = tuple(slotmap_list)
+        total = len(chosen)
+        for bucket, slot in chosen.items():
+            self._write_slot(bucket, slot, k, value, slotmap)
+            self._set_counter(bucket, slot, total)
+            if self._tombstones is not None:
+                self._tombstones.clear_bit(self._slot_index(bucket, slot))
+
+    def _claim_overwrite(
+        self, bucket: int, slot: int, victim_value: int, words: Dict[int, List[int]]
+    ) -> None:
+        """Retire the copy in (bucket, slot), decrementing the victim's
+        remaining copies and patching their metadata."""
+        keys, values, slotmaps, _ = self._read_bucket(bucket)
+        victim_key = keys[slot]
+        victim_map = slotmaps[slot]
+        if victim_key is None or victim_map is None:
+            raise InvariantViolationError(
+                f"overwrite target ({bucket}, {slot}) holds no live entry"
+            )
+        lost_position = self._position_of(bucket)
+        victim_cands = self._candidates(victim_key)
+        new_map_list = list(victim_map)
+        new_map_list[lost_position] = None
+        new_map = tuple(new_map_list)
+        for position, sibling_slot in enumerate(victim_map):
+            if sibling_slot is None or position == lost_position:
+                continue
+            sibling_bucket = victim_cands[position]
+            self._set_counter(sibling_bucket, sibling_slot, victim_value - 1)
+            self._patch_slotmap(sibling_bucket, sibling_slot, new_map)
+            if sibling_bucket in words:
+                words[sibling_bucket][sibling_slot] = victim_value - 1
+
+    # ------------------------------------------------------------------
+    # kicks
+    # ------------------------------------------------------------------
+
+    def _insert_with_kicks(
+        self, k: Key, value: Any, cands: List[int]
+    ) -> InsertOutcome:
+        kicks = 0
+        cur_key, cur_value = k, value
+        prev_bucket: Optional[int] = None
+        while kicks < self.maxloop:
+            choices = [bucket for bucket in cands if bucket != prev_bucket]
+            victim_bucket = self._policy.choose(choices, self._rng)
+            self._policy.on_kick(victim_bucket)
+            victim_slot = self._rng.randrange(self.slots)
+            keys, values, slotmaps, _ = self._read_bucket(victim_bucket)
+            victim_key = keys[victim_slot]
+            victim_value_stored = values[victim_slot]
+            assert victim_key is not None
+            own_map_list: List[Optional[int]] = [None] * self.d
+            own_map_list[self._position_of(victim_bucket)] = victim_slot
+            self._write_slot(
+                victim_bucket, victim_slot, cur_key, cur_value, tuple(own_map_list)
+            )
+            # Sole copy replaced by another sole copy: counter stays 1.
+            kicks += 1
+            self.total_kicks += 1
+            cur_key, cur_value = victim_key, victim_value_stored
+            prev_bucket = victim_bucket
+            cands = self._candidates(cur_key)
+            words = {bucket: self._read_counter_word(bucket) for bucket in cands}
+            placements = self._place_by_algorithm1(cur_key, cur_value, cands, words)
+            if placements:
+                self._n_main += 1
+                return InsertOutcome(
+                    InsertStatus.STORED, kicks=kicks, copies=placements, collided=True
+                )
+        self.events.note_failure(len(self) + 1)
+        return self._handle_failure(cur_key, cur_value, cands, kicks)
+
+    def _handle_failure(
+        self, key: Key, value: Any, cands: List[int], kicks: int
+    ) -> InsertOutcome:
+        if self._stash is not None:
+            for bucket in cands:
+                self._flags.mark(bucket)
+                self.mem.offchip_write("flag")
+            self._stash.add(key, value)
+            return InsertOutcome(InsertStatus.STASHED, kicks=kicks, collided=True)
+        if self.on_failure is FailurePolicy.REHASH:
+            raise UnsupportedOperationError(
+                "B-McCuckoo supports FailurePolicy.STASH or FAIL; use McCuckoo "
+                "for the rehash path"
+            )
+        raise TableFullError(
+            f"insertion failed after {kicks} kicks; displaced key {key:#x}"
+        )
+
+    # ------------------------------------------------------------------
+    # lookup (Algorithm 2)
+    # ------------------------------------------------------------------
+
+    def _bucket_sum_is_dead(self, bucket: int, word: List[int]) -> bool:
+        """True when the bucket provably holds nothing (sum of counters 0,
+        no tombstones)."""
+        if any(word):
+            return False
+        if self._tombstones is None:
+            return True
+        return not any(
+            self._tombstones.peek(self._slot_index(bucket, slot))
+            for slot in range(self.slots)
+        )
+
+    def lookup(self, key: KeyLike) -> LookupOutcome:
+        k = self._canonical(key)
+        cands = self._candidates(k)
+        if not self.lookup_counter_screen:
+            # §IV.C: at very high load "it may be a good idea just to do the
+            # lookup the old way" — skip the on-chip counters entirely.
+            # Only sound without deletions (no stale slots can exist).
+            buckets_read = 0
+            flags_read: List[bool] = []
+            for bucket in cands:
+                keys, values, _, flag = self._read_bucket(bucket)
+                buckets_read += 1
+                flags_read.append(flag)
+                for slot in range(self.slots):
+                    if keys[slot] == k:
+                        return LookupOutcome(
+                            found=True,
+                            value=values[slot],
+                            buckets_read=buckets_read,
+                        )
+            if (
+                self._stash is None
+                or len(self._stash) == 0
+                or not all(flags_read)
+            ):
+                return LookupOutcome(found=False, buckets_read=buckets_read)
+            found, value = self._stash.lookup(k)
+            return LookupOutcome(
+                found=found,
+                value=value if found else None,
+                from_stash=found,
+                checked_stash=True,
+                buckets_read=buckets_read,
+            )
+        words = {bucket: self._read_counter_word(bucket) for bucket in cands}
+        dead = [bucket for bucket in cands
+                if self._bucket_sum_is_dead(bucket, words[bucket])]
+        if dead and self.deletion_mode is not DeletionMode.RESET:
+            # An insertion of k would have left a copy in every candidate
+            # (or found it full): an untouched bucket proves absence.
+            return LookupOutcome(found=False)
+        buckets_read = 0
+        flags_read: List[bool] = []
+        for bucket in cands:
+            if bucket in dead:
+                continue
+            word = words[bucket]
+            keys, values, _, flag = self._read_bucket(bucket)
+            buckets_read += 1
+            flags_read.append(flag)
+            for slot in range(self.slots):
+                if keys[slot] == k and word[slot] > 0:
+                    return LookupOutcome(
+                        found=True, value=values[slot], buckets_read=buckets_read
+                    )
+        if (
+            self._stash is None
+            or len(self._stash) == 0  # on-chip population register
+            or not flags_read
+            or not all(flags_read)
+        ):
+            return LookupOutcome(found=False, buckets_read=buckets_read)
+        found, value = self._stash.lookup(k)
+        return LookupOutcome(
+            found=found,
+            value=value if found else None,
+            from_stash=found,
+            checked_stash=True,
+            buckets_read=buckets_read,
+        )
+
+    # ------------------------------------------------------------------
+    # deletion (Algorithm 3)
+    # ------------------------------------------------------------------
+
+    def delete(self, key: KeyLike) -> DeleteOutcome:
+        if self.deletion_mode is DeletionMode.DISABLED:
+            raise UnsupportedOperationError(
+                "this table was built with DeletionMode.DISABLED"
+            )
+        k = self._canonical(key)
+        cands = self._candidates(k)
+        flags_read: List[bool] = []
+        for bucket in cands:
+            word = self._read_counter_word(bucket)
+            if self._bucket_sum_is_dead(bucket, word):
+                if self.deletion_mode is not DeletionMode.RESET:
+                    return DeleteOutcome(deleted=False)
+                continue
+            keys, _, slotmaps, flag = self._read_bucket(bucket)
+            flags_read.append(flag)
+            for slot in range(self.slots):
+                if keys[slot] == k and word[slot] > 0:
+                    slotmap = slotmaps[slot]
+                    assert slotmap is not None
+                    copies = self._zero_copies(k, slotmap)
+                    self._n_main -= 1
+                    return DeleteOutcome(deleted=True, copies_removed=copies)
+        if (self._stash is not None and len(self._stash) and flags_read
+                and all(flags_read)):
+            if self._stash.delete(k):
+                return DeleteOutcome(
+                    deleted=True, copies_removed=1, from_stash=True, checked_stash=True
+                )
+            return DeleteOutcome(deleted=False, checked_stash=True)
+        return DeleteOutcome(deleted=False)
+
+    def _zero_copies(self, k: Key, slotmap: SlotMap) -> int:
+        """Reset all copy counters named by the (fresh) sibling metadata."""
+        cands = self._candidates(k)
+        copies = 0
+        for position, slot in enumerate(slotmap):
+            if slot is None:
+                continue
+            bucket = cands[position]
+            self._set_counter(bucket, slot, 0)
+            if self._tombstones is not None:
+                self._tombstones.mark(self._slot_index(bucket, slot))
+            copies += 1
+        return copies
+
+    def try_update(self, key: KeyLike, value: Any) -> Optional[InsertOutcome]:
+        k = self._canonical(key)
+        cands = self._candidates(k)
+        flags_read: List[bool] = []
+        for bucket in cands:
+            word = self._read_counter_word(bucket)
+            if self._bucket_sum_is_dead(bucket, word):
+                if self.deletion_mode is not DeletionMode.RESET:
+                    return None
+                continue
+            keys, _, slotmaps, flag = self._read_bucket(bucket)
+            flags_read.append(flag)
+            for slot in range(self.slots):
+                if keys[slot] == k and word[slot] > 0:
+                    slotmap = slotmaps[slot]
+                    assert slotmap is not None
+                    copies = 0
+                    for position, sibling_slot in enumerate(slotmap):
+                        if sibling_slot is None:
+                            continue
+                        self._write_slot(
+                            cands[position], sibling_slot, k, value, slotmap
+                        )
+                        copies += 1
+                    return InsertOutcome(InsertStatus.UPDATED, copies=copies)
+        if (self._stash is not None and len(self._stash) and flags_read
+                and all(flags_read)):
+            if self._stash.delete(k):
+                self._stash.add(k, value)
+                return InsertOutcome(InsertStatus.UPDATED, copies=1)
+        return None
+
+    # ------------------------------------------------------------------
+    # introspection (unaccounted)
+    # ------------------------------------------------------------------
+
+    def copies_of(self, key: KeyLike) -> List[Tuple[int, int]]:
+        """(bucket, slot) pairs currently holding live copies of ``key``."""
+        k = self._canonical(key)
+        found: List[Tuple[int, int]] = []
+        for bucket in self._candidates(k):
+            for slot in range(self.slots):
+                index = self._slot_index(bucket, slot)
+                if self._counters.peek(index) > 0 and self._keys[index] == k:
+                    found.append((bucket, slot))
+        return found
+
+    def items(self) -> Iterator[Tuple[Key, Any]]:
+        seen: set = set()
+        for index in range(self.capacity):
+            if self._counters.peek(index) == 0:
+                continue
+            key = self._keys[index]
+            if key not in seen:
+                seen.add(key)
+                yield key, self._values[index]
+        if self._stash is not None:
+            yield from self._stash.items()
+
+    @property
+    def onchip_bytes(self) -> int:
+        total = self._counters.storage_bytes
+        if self._tombstones is not None:
+            total += self._tombstones.storage_bytes
+        return total
+
+    def counter_histogram(self) -> Dict[int, int]:
+        histogram: Dict[int, int] = {}
+        for value in self._counters:
+            histogram[value] = histogram.get(value, 0) + 1
+        return histogram

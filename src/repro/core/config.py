@@ -1,0 +1,58 @@
+"""Configuration enums shared by the table implementations."""
+
+from __future__ import annotations
+
+from enum import Enum
+
+
+class DeletionMode(Enum):
+    """How a McCuckoo table supports deletions (§III.D of the paper).
+
+    The choice trades deletion support against the strength of the
+    counter-based "Bloom filter" lookup rule (principle 1: any zero counter
+    proves the key was never inserted):
+
+    * ``DISABLED`` — no deletions; principle 1 is sound and the stash can be
+      screened purely from counter values.
+    * ``RESET`` — deleting zeroes the counters of all copies; principle 1
+      must be switched off (a zero may be a deletion scar), and stash
+      screening falls back to the off-chip flags actually read.
+    * ``TOMBSTONE`` — deleted buckets are marked: the mark reads as *zero
+      for insertion* but *non-zero for lookup*, so principle 1 stays sound;
+      the filter's selectivity fades as tombstones accumulate (the paper's
+      "second solution", recommended when deletions are rare).
+    """
+
+    DISABLED = "disabled"
+    RESET = "reset"
+    TOMBSTONE = "tombstone"
+
+
+class SiblingTracking(Enum):
+    """How the other copies of an overwritten item are located (DESIGN.md §4).
+
+    * ``READ`` — resolve which candidate buckets hold the victim's remaining
+      copies from counter values alone when unambiguous, paying extra
+      off-chip reads only for the rare ambiguous case.
+    * ``METADATA`` — store a d-bit copy bitmap with every entry (the
+      single-slot analogue of the paper's multi-slot sibling-slot metadata)
+      and keep it fresh with cheap off-chip writes.
+    """
+
+    READ = "read"
+    METADATA = "metadata"
+
+
+class FailurePolicy(Enum):
+    """What an insertion does when collision resolution exhausts maxloop."""
+
+    STASH = "stash"
+    """Move the displaced item to the stash (the paper's approach)."""
+
+    REHASH = "rehash"
+    """Read out every item and rebuild into a bigger table with new hashes
+    (the traditional remedy the paper argues against)."""
+
+    FAIL = "fail"
+    """Raise :class:`~repro.core.errors.TableFullError`.  The displaced item
+    is reported in the exception; the table keeps every other item."""

@@ -1,0 +1,134 @@
+"""Packed fixed-width counter arrays (the on-chip helper structure).
+
+McCuckoo keeps one small counter per off-chip bucket (2 bits when d=3)
+recording how many copies the occupying item currently has in the table.
+:class:`PackedArray` packs such counters into a ``bytearray`` exactly as a
+hardware SRAM block would, and reports its traffic to a
+:class:`~repro.memory.model.MemoryModel` so experiments can charge on-chip
+accesses separately from off-chip ones.
+
+``get``/``set`` are the *accounted* accessors used on the operation paths;
+``peek``/``poke`` bypass accounting and exist for construction, invariant
+checking and tests.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, List, Optional
+
+from ..memory.model import MemoryModel, Op, Tier
+
+_SUPPORTED_BITS = (1, 2, 4, 8)
+
+
+class PackedArray:
+    """``length`` unsigned integers of ``bits`` bits each, byte-packed."""
+
+    def __init__(
+        self,
+        length: int,
+        bits: int,
+        mem: Optional[MemoryModel] = None,
+        tier: Tier = Tier.ON_CHIP,
+        label: str = "counter",
+    ) -> None:
+        if length <= 0:
+            raise ValueError("length must be positive")
+        if bits not in _SUPPORTED_BITS:
+            raise ValueError(f"bits must be one of {_SUPPORTED_BITS}")
+        self.length = length
+        self.bits = bits
+        self.max_value = (1 << bits) - 1
+        self._per_byte = 8 // bits
+        self._mask = self.max_value
+        self._data = bytearray((length + self._per_byte - 1) // self._per_byte)
+        self._mem = mem
+        self._tier = tier
+        self._label = label
+
+    # -- unaccounted access ------------------------------------------------
+
+    def peek(self, index: int) -> int:
+        """Read without charging a memory access (for checks and tests)."""
+        if not 0 <= index < self.length:
+            raise IndexError(f"index {index} out of range [0, {self.length})")
+        byte, shift = divmod(index, self._per_byte)
+        return (self._data[byte] >> (shift * self.bits)) & self._mask
+
+    def poke(self, index: int, value: int) -> None:
+        """Write without charging a memory access."""
+        if not 0 <= index < self.length:
+            raise IndexError(f"index {index} out of range [0, {self.length})")
+        if not 0 <= value <= self.max_value:
+            raise ValueError(f"value {value} does not fit in {self.bits} bits")
+        byte, shift = divmod(index, self._per_byte)
+        offset = shift * self.bits
+        self._data[byte] = (self._data[byte] & ~(self._mask << offset)) | (
+            value << offset
+        )
+
+    # -- accounted access ----------------------------------------------------
+
+    def get(self, index: int) -> int:
+        """Read one counter, charging one on-chip read."""
+        if self._mem is not None:
+            self._mem.record(self._tier, Op.READ, self._label)
+        return self.peek(index)
+
+    def set(self, index: int, value: int) -> None:
+        """Write one counter, charging one on-chip write."""
+        if self._mem is not None:
+            self._mem.record(self._tier, Op.WRITE, self._label)
+        self.poke(index, value)
+
+    def get_many(self, indices: List[int]) -> List[int]:
+        """Read several counters (one charged access each)."""
+        return [self.get(i) for i in indices]
+
+    # -- bulk helpers --------------------------------------------------------
+
+    def fill(self, value: int = 0) -> None:
+        """Unaccounted bulk reset (table construction / clear)."""
+        if not 0 <= value <= self.max_value:
+            raise ValueError(f"value {value} does not fit in {self.bits} bits")
+        pattern = 0
+        for slot in range(self._per_byte):
+            pattern |= value << (slot * self.bits)
+        self._data = bytearray([pattern]) * len(self._data)
+
+    def __len__(self) -> int:
+        return self.length
+
+    def __iter__(self) -> Iterator[int]:
+        return (self.peek(i) for i in range(self.length))
+
+    def nonzero_count(self) -> int:
+        """How many counters are non-zero (unaccounted; used by tests)."""
+        return sum(1 for v in self if v)
+
+    @property
+    def storage_bytes(self) -> int:
+        """Bytes of on-chip SRAM this array would occupy."""
+        return len(self._data)
+
+
+class BitArray(PackedArray):
+    """1-bit specialisation used for tombstone marks and stash flags."""
+
+    def __init__(
+        self,
+        length: int,
+        mem: Optional[MemoryModel] = None,
+        tier: Tier = Tier.ON_CHIP,
+        label: str = "bit",
+    ) -> None:
+        super().__init__(length, bits=1, mem=mem, tier=tier, label=label)
+
+    def test(self, index: int) -> bool:
+        return bool(self.peek(index))
+
+    def mark(self, index: int) -> None:
+        self.poke(index, 1)
+
+    def clear_bit(self, index: int) -> None:
+        self.poke(index, 0)

@@ -1,0 +1,33 @@
+"""Exception hierarchy for the repro library."""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all library-specific errors."""
+
+
+class TableFullError(ReproError):
+    """An insertion could not be completed and no stash is configured."""
+
+
+class UnsupportedOperationError(ReproError):
+    """The table was configured without support for the requested operation.
+
+    Raised, for example, when deleting from a table built with
+    ``deletion_mode=DeletionMode.DISABLED`` (the mode under which lookup
+    principle 1 — "any zero counter proves absence" — is sound).
+    """
+
+
+class InvariantViolationError(ReproError):
+    """An internal structural invariant was found broken.
+
+    This always indicates a bug in the implementation, never a user error;
+    the invariant checkers in :mod:`repro.core.invariants` raise it with a
+    description of every violated condition.
+    """
+
+
+class ConfigurationError(ReproError):
+    """Invalid construction parameters (sizes, modes, policies)."""

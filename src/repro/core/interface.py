@@ -1,0 +1,124 @@
+"""The common hash-table interface every scheme in this library implements.
+
+The paper compares four schemes (Cuckoo, McCuckoo, BCHT, B-McCuckoo) plus a
+stash; the experiment harness treats them uniformly through
+:class:`HashTable`.  All tables:
+
+* take a shared :class:`~repro.memory.model.MemoryModel` and report every
+  on-chip/off-chip access to it;
+* use 64-bit integer keys (see :func:`repro.hashing.canonical_key`);
+* store an arbitrary Python value per key;
+* count *distinct logical items*, never physical copies, in ``len``.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import Any, Iterator, Optional, Tuple
+
+from ..hashing import Key, KeyLike, canonical_key
+from ..memory.model import MemoryModel
+from .results import DeleteOutcome, InsertOutcome, LookupOutcome, TableEvents
+
+
+class HashTable(ABC):
+    """Abstract key-value hash table with memory-access accounting."""
+
+    #: short scheme name used in experiment tables ("Cuckoo", "McCuckoo", ...)
+    name: str = "table"
+
+    def __init__(self, mem: Optional[MemoryModel] = None) -> None:
+        self.mem = mem if mem is not None else MemoryModel()
+        self.events = TableEvents()
+
+    # -- abstract operations -------------------------------------------------
+
+    @abstractmethod
+    def put(self, key: KeyLike, value: Any = None) -> InsertOutcome:
+        """Insert a key assumed absent (the paper's workload model).
+
+        Inserting a key that is already present creates a duplicate logical
+        item; use :meth:`upsert` when presence is possible.
+        """
+
+    @abstractmethod
+    def lookup(self, key: KeyLike) -> LookupOutcome:
+        """Find a key, returning the detailed outcome."""
+
+    @abstractmethod
+    def delete(self, key: KeyLike) -> DeleteOutcome:
+        """Remove a key (all physical copies)."""
+
+    @property
+    @abstractmethod
+    def capacity(self) -> int:
+        """Total number of item slots in the main table."""
+
+    @abstractmethod
+    def __len__(self) -> int:
+        """Distinct items currently stored (main table plus stash)."""
+
+    @abstractmethod
+    def items(self) -> Iterator[Tuple[Key, Any]]:
+        """Iterate distinct ``(key, value)`` pairs (unaccounted; for tests)."""
+
+    # -- shared conveniences ---------------------------------------------------
+
+    def upsert(self, key: KeyLike, value: Any = None) -> InsertOutcome:
+        """Insert or update: safe when the key may already exist."""
+        outcome = self.try_update(key, value)
+        if outcome is not None:
+            return outcome
+        return self.put(key, value)
+
+    def try_update(self, key: KeyLike, value: Any) -> Optional[InsertOutcome]:
+        """Update the value of an existing key, or return None if absent.
+
+        Subclasses with physical copies override this to rewrite every copy.
+        """
+        raise NotImplementedError(
+            f"{type(self).__name__} does not support in-place updates"
+        )
+
+    def get(self, key: KeyLike, default: Any = None) -> Any:
+        """Plain dict-style accessor."""
+        outcome = self.lookup(key)
+        return outcome.value if outcome.found else default
+
+    def __contains__(self, key: KeyLike) -> bool:
+        return self.lookup(key).found
+
+    @property
+    def load_ratio(self) -> float:
+        """Distinct items divided by main-table capacity (paper's definition)."""
+        return len(self) / self.capacity if self.capacity else 0.0
+
+    @staticmethod
+    def _canonical(key: KeyLike) -> Key:
+        return canonical_key(key)
+
+    def fill_to(self, load: float, key_iter: Iterator[KeyLike]) -> int:
+        """Insert keys from ``key_iter`` until ``load_ratio`` reaches ``load``.
+
+        Returns the number of keys inserted.  Stops early (and returns what it
+        managed) if the iterator runs dry.
+        """
+        if not 0.0 <= load <= 1.0:
+            raise ValueError("load must be within [0, 1]")
+        target = int(load * self.capacity)
+        inserted = 0
+        consecutive_failures = 0
+        while len(self) < target:
+            try:
+                key = next(key_iter)
+            except StopIteration:
+                break
+            outcome = self.put(key)
+            inserted += 1
+            if outcome.failed:
+                consecutive_failures += 1
+                if consecutive_failures >= 64:
+                    break
+            else:
+                consecutive_failures = 0
+        return inserted

@@ -1,0 +1,674 @@
+"""McCuckoo: single-slot multi-copy cuckoo hashing (the paper's §III).
+
+A d-ary cuckoo table that stores an item in *all* of its free candidate
+buckets and tracks the number of live copies per bucket in an on-chip
+2-bit counter array.  The counters drive:
+
+* the insertion principles (occupy every empty candidate; never overwrite a
+  sole copy; overwrite redundant copies largest-first while it improves
+  redundancy balance — Theorem 1);
+* the lookup principles (a zero counter proves absence; candidate buckets
+  partitioned by counter value; a partition of size S and value V needs at
+  most S−V+1 probes — Theorem 3);
+* write-free deletion (only counters are reset);
+* stash pre-screening (an item can be in the off-chip stash only if all of
+  its candidates still hold sole copies and all of its per-bucket flags are
+  set).
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Any, Dict, Iterator, List, Optional, Sequence, Tuple
+
+from ..hashing import DEFAULT_FAMILY, HashFamily, Key, KeyLike
+from ..memory.model import MemoryModel
+from .config import DeletionMode, FailurePolicy, SiblingTracking
+from .counters import BitArray, PackedArray
+from .errors import (
+    ConfigurationError,
+    InvariantViolationError,
+    TableFullError,
+    UnsupportedOperationError,
+)
+from .interface import HashTable
+from .policies import KickPolicy, RandomWalkPolicy
+from .results import DeleteOutcome, InsertOutcome, InsertStatus, LookupOutcome
+from .stash import OffChipStash
+
+
+def _counter_bits(d: int) -> int:
+    """Smallest packable width that can hold copy counts 0..d."""
+    for bits in (1, 2, 4, 8):
+        if d <= (1 << bits) - 1:
+            return bits
+    raise ConfigurationError(f"d={d} is too large for packed counters")
+
+
+class McCuckoo(HashTable):
+    """Multi-copy cuckoo hash table (d sub-tables, one slot per bucket).
+
+    Parameters
+    ----------
+    n_buckets:
+        Buckets per sub-table; total capacity is ``d * n_buckets`` items.
+    d:
+        Number of hash functions / sub-tables (the paper uses 3).
+    maxloop:
+        Kick-out budget before an insertion is declared failed.
+    stash_buckets:
+        Size of the off-chip stash's chained hash (ignored unless
+        ``on_failure`` is ``FailurePolicy.STASH``).
+    deletion_mode / sibling_tracking / on_failure:
+        See :mod:`repro.core.config`.
+    """
+
+    name = "McCuckoo"
+
+    def __init__(
+        self,
+        n_buckets: int,
+        d: int = 3,
+        family: Optional[HashFamily] = None,
+        seed: int = 0,
+        maxloop: int = 500,
+        kick_policy: Optional[KickPolicy] = None,
+        on_failure: FailurePolicy = FailurePolicy.STASH,
+        stash_buckets: int = 64,
+        deletion_mode: DeletionMode = DeletionMode.DISABLED,
+        sibling_tracking: SiblingTracking = SiblingTracking.READ,
+        growth_factor: float = 2.0,
+        max_rehash_attempts: int = 8,
+        mem: Optional[MemoryModel] = None,
+    ) -> None:
+        super().__init__(mem)
+        if n_buckets <= 0:
+            raise ConfigurationError("n_buckets must be positive")
+        if d < 2:
+            raise ConfigurationError("cuckoo hashing needs d >= 2")
+        if maxloop < 0:
+            raise ConfigurationError("maxloop must be non-negative")
+        if growth_factor < 1.0:
+            raise ConfigurationError("growth_factor must be >= 1.0")
+        self.d = d
+        self.n_buckets = n_buckets
+        self.maxloop = maxloop
+        self.deletion_mode = deletion_mode
+        self.sibling_tracking = sibling_tracking
+        self.on_failure = on_failure
+        self._family = family or DEFAULT_FAMILY
+        self._seed = seed
+        self._growth_factor = growth_factor
+        self._max_rehash_attempts = max_rehash_attempts
+        self._rng = random.Random(seed ^ 0x5EED)
+        self._policy = kick_policy if kick_policy is not None else RandomWalkPolicy()
+        self._stash: Optional[OffChipStash] = None
+        if on_failure is FailurePolicy.STASH:
+            self._stash = OffChipStash(stash_buckets, self.mem, self._family)
+        self._in_rehash = False
+        self._rehash_overflow: List[Tuple[Key, Any]] = []
+        self.rehash_count = 0
+        self.total_kicks = 0
+        self._init_storage()
+
+    # ------------------------------------------------------------------
+    # storage
+    # ------------------------------------------------------------------
+
+    def _init_storage(self) -> None:
+        total = self.d * self.n_buckets
+        self._functions = self._family.functions(self.d, self._seed)
+        self._keys: List[Optional[Key]] = [None] * total
+        self._values: List[Any] = [None] * total
+        self._counters = PackedArray(
+            total, bits=_counter_bits(self.d), mem=self.mem, label="copy-counter"
+        )
+        # Stash flags physically live with the off-chip buckets: reading one
+        # is free alongside a bucket read, setting one is an off-chip write
+        # (charged explicitly at the call sites).
+        self._flags = BitArray(total, mem=None, label="stash-flag")
+        if self.deletion_mode is DeletionMode.TOMBSTONE:
+            self._tombstones: Optional[BitArray] = BitArray(
+                total, mem=self.mem, label="tombstone"
+            )
+        else:
+            self._tombstones = None
+        if self.sibling_tracking is SiblingTracking.METADATA:
+            self._masks: Optional[List[int]] = [0] * total
+        else:
+            self._masks = None
+        self._policy.attach(total, self.mem)
+        self._n_main = 0
+
+    @property
+    def capacity(self) -> int:
+        return self.d * self.n_buckets
+
+    def __len__(self) -> int:
+        return self._n_main + (len(self._stash) if self._stash is not None else 0)
+
+    @property
+    def stash(self) -> Optional[OffChipStash]:
+        return self._stash
+
+    @property
+    def main_items(self) -> int:
+        """Distinct items living in the main table (excludes the stash)."""
+        return self._n_main
+
+    def _candidates(self, key: Key) -> List[int]:
+        """Global bucket index of the key's candidate in each sub-table."""
+        return [
+            table * self.n_buckets + fn.bucket(key, self.n_buckets)
+            for table, fn in enumerate(self._functions)
+        ]
+
+    def _position_of(self, bucket: int) -> int:
+        """Which sub-table a global bucket index belongs to."""
+        return bucket // self.n_buckets
+
+    # -- accounted off-chip bucket access ---------------------------------
+
+    def _read_entry(self, bucket: int) -> Tuple[Optional[Key], Any, bool, int]:
+        """Read a bucket: (key, value, stash flag, copy bitmap)."""
+        self.mem.offchip_read("bucket")
+        mask = self._masks[bucket] if self._masks is not None else 0
+        return self._keys[bucket], self._values[bucket], self._flags.test(bucket), mask
+
+    def _write_entry(self, bucket: int, key: Key, value: Any, mask: int) -> None:
+        self.mem.offchip_write("bucket")
+        self._keys[bucket] = key
+        self._values[bucket] = value
+        if self._masks is not None:
+            self._masks[bucket] = mask
+
+    # ------------------------------------------------------------------
+    # insertion
+    # ------------------------------------------------------------------
+
+    def put(self, key: KeyLike, value: Any = None) -> InsertOutcome:
+        k = self._canonical(key)
+        return self._insert_canonical(k, value)
+
+    def _insert_canonical(self, k: Key, value: Any) -> InsertOutcome:
+        cands = self._candidates(k)
+        vals = self._counters.get_many(cands)
+        copies = self._place_by_principles(k, value, cands, vals)
+        if copies:
+            self._n_main += 1
+            return InsertOutcome(InsertStatus.STORED, kicks=0, copies=copies)
+        # Every candidate holds the sole copy of another item: a real
+        # collision (Table I milestone), resolved by counter-guided kicks.
+        self.events.note_collision(len(self) + 1)
+        return self._insert_with_kicks(k, value, cands)
+
+    def _mask_for(self, buckets: Sequence[int]) -> int:
+        mask = 0
+        for bucket in buckets:
+            mask |= 1 << self._position_of(bucket)
+        return mask
+
+    def _is_free(self, counter_value: int) -> bool:
+        # Tombstoned buckets have counter zero and are free for insertion.
+        return counter_value == 0
+
+    def _place_by_principles(
+        self, k: Key, value: Any, cands: Sequence[int], vals: Sequence[int]
+    ) -> int:
+        """Apply insertion principles 1-3; returns copies placed (0 = collision).
+
+        Overwrite targets are claimed one at a time because decrementing a
+        victim's sibling counters can change another candidate's value
+        mid-insertion (two candidates may hold copies of the same victim).
+        ``current`` mirrors the candidates' live counter values locally so
+        the principle-3 condition is always evaluated against fresh state.
+        """
+        current: Dict[int, int] = dict(zip(cands, vals))
+        free = [bucket for bucket in cands if self._is_free(current[bucket])]
+        claimed: List[int] = []
+        total = len(free)
+        while True:
+            overwritable = [
+                bucket
+                for bucket in cands
+                if bucket not in claimed and current[bucket] >= 2
+            ]
+            if not overwritable:
+                break
+            top = max(overwritable, key=lambda bucket: current[bucket])
+            v = current[top]
+            # Principle 3: overwriting must leave the inserted item with no
+            # more copies than the overwritten one retains (v-1 >= total+1).
+            if v < total + 2:
+                break
+            decremented = self._claim_overwrite(top, v)
+            for bucket in decremented:
+                if bucket in current:
+                    current[bucket] -= 1
+            claimed.append(top)
+            total += 1
+        if total == 0:
+            return 0
+        positions = free + claimed
+        mask = self._mask_for(positions)
+        for bucket in positions:
+            self._write_entry(bucket, k, value, mask)
+            self._counters.set(bucket, total)
+            if self._tombstones is not None:
+                # Clearing the mark shares the counter word's on-chip write.
+                self._tombstones.clear_bit(bucket)
+        return total
+
+    def _claim_overwrite(self, bucket: int, victim_value: int) -> List[int]:
+        """Retire the copy in ``bucket``; returns the buckets whose counters
+        were decremented (the victim's remaining copies)."""
+        victim_key, _, _, victim_mask = self._read_entry(bucket)
+        assert victim_key is not None
+        return self._decrement_siblings(victim_key, bucket, victim_value, victim_mask)
+
+    def _decrement_siblings(
+        self, victim_key: Key, exclude: int, value: int, victim_mask: int
+    ) -> List[int]:
+        """Drop the victim's remaining copies from ``value`` to ``value - 1``."""
+        need = value - 1
+        if need == 0:
+            return []
+        siblings = self._locate_siblings(victim_key, exclude, value, victim_mask)
+        if len(siblings) != need:
+            raise InvariantViolationError(
+                f"item {victim_key:#x} should have {need} sibling copies, "
+                f"found {len(siblings)}"
+            )
+        for bucket in siblings:
+            self._counters.set(bucket, value - 1)
+            if self._masks is not None:
+                # Keep the stored copy bitmap fresh: drop the lost position.
+                self._masks[bucket] &= ~(1 << self._position_of(exclude))
+                self.mem.offchip_write("mask-fixup")
+        return siblings
+
+    def _locate_siblings(
+        self, victim_key: Key, exclude: int, value: int, victim_mask: int
+    ) -> List[int]:
+        others = [b for b in self._candidates(victim_key) if b != exclude]
+        if self._masks is not None:
+            exclude_pos = self._position_of(exclude)
+            return [
+                b
+                for b in others
+                if victim_mask & (1 << self._position_of(b))
+                and self._position_of(b) != exclude_pos
+            ]
+        need = value - 1
+        matches = [b for b in others if self._counters.get(b) == value]
+        if len(matches) < need:
+            raise InvariantViolationError(
+                f"counter array inconsistent for item {victim_key:#x}"
+            )
+        if len(matches) == need:
+            return matches
+        # Ambiguous: another item coincidentally shares the counter value.
+        # Confirm holders with off-chip reads (charged), stopping as soon as
+        # the remaining unchecked matches must all be holders.
+        confirmed: List[int] = []
+        pending = list(matches)
+        while len(confirmed) < need:
+            if len(pending) == need - len(confirmed):
+                confirmed.extend(pending)
+                break
+            bucket = pending.pop(0)
+            stored_key = self._read_entry(bucket)[0]
+            if stored_key == victim_key:
+                confirmed.append(bucket)
+        return confirmed
+
+    def _insert_with_kicks(
+        self, k: Key, value: Any, cands: List[int]
+    ) -> InsertOutcome:
+        kicks = 0
+        cur_key, cur_value = k, value
+        prev_bucket: Optional[int] = None
+        while kicks < self.maxloop:
+            choices = [bucket for bucket in cands if bucket != prev_bucket]
+            victim_bucket = self._policy.choose(choices, self._rng)
+            self._policy.on_kick(victim_bucket)
+            victim_key, victim_value, _, _ = self._read_entry(victim_bucket)
+            assert victim_key is not None
+            self._write_entry(
+                victim_bucket, cur_key, cur_value, 1 << self._position_of(victim_bucket)
+            )
+            # The bucket held a sole copy and now holds another sole copy:
+            # its counter stays 1, so no on-chip write is needed.
+            kicks += 1
+            self.total_kicks += 1
+            cur_key, cur_value = victim_key, victim_value
+            prev_bucket = victim_bucket
+            cands = self._candidates(cur_key)
+            vals = self._counters.get_many(cands)
+            copies = self._place_by_principles(cur_key, cur_value, cands, vals)
+            if copies:
+                self._n_main += 1
+                return InsertOutcome(
+                    InsertStatus.STORED, kicks=kicks, copies=copies, collided=True
+                )
+        # maxloop exhausted: the displaced item (cur) leaves the main table.
+        self.events.note_failure(len(self) + 1)
+        return self._handle_failure(cur_key, cur_value, cands, kicks)
+
+    def _handle_failure(
+        self, key: Key, value: Any, cands: List[int], kicks: int
+    ) -> InsertOutcome:
+        # The original item is in the table (if any kick happened); `key` is
+        # whatever item ended up displaced, so the main table's distinct
+        # count is unchanged either way and only the stash/overflow grows.
+        if self._in_rehash:
+            self._rehash_overflow.append((key, value))
+            return InsertOutcome(
+                InsertStatus.STORED, kicks=kicks, copies=1, collided=True
+            )
+        if self._stash is not None:
+            for bucket in cands:
+                self._flags.mark(bucket)
+                self.mem.offchip_write("flag")
+            self._stash.add(key, value)
+            return InsertOutcome(InsertStatus.STASHED, kicks=kicks, collided=True)
+        if self.on_failure is FailurePolicy.REHASH:
+            self._rehash_with(key, value)
+            return InsertOutcome(
+                InsertStatus.STORED, kicks=kicks, copies=1, collided=True
+            )
+        raise TableFullError(
+            f"insertion failed after {kicks} kicks; displaced key {key:#x}"
+        )
+
+    # ------------------------------------------------------------------
+    # rehashing
+    # ------------------------------------------------------------------
+
+    def _drain_main(self) -> List[Tuple[Key, Any]]:
+        """Read out every distinct item (charged) and empty the main table."""
+        items: List[Tuple[Key, Any]] = []
+        seen: set = set()
+        for bucket in range(self.capacity):
+            if self._counters.peek(bucket) == 0:
+                continue
+            self.mem.offchip_read("rehash-drain")
+            key = self._keys[bucket]
+            if key not in seen:
+                seen.add(key)
+                items.append((key, self._values[bucket]))
+        self._n_main = 0
+        return items
+
+    def _rehash_with(self, key: Key, value: Any) -> None:
+        pending: List[Tuple[Key, Any]] = [(key, value)]
+        for _ in range(self._max_rehash_attempts):
+            self.rehash_count += 1
+            pending = self._drain_main() + pending
+            self.n_buckets = max(
+                self.n_buckets + 1, int(self.n_buckets * self._growth_factor)
+            )
+            self._seed += 1
+            self._init_storage()
+            self._rehash_overflow = []
+            self._in_rehash = True
+            try:
+                for item_key, item_value in pending:
+                    self._insert_canonical(item_key, item_value)
+            finally:
+                self._in_rehash = False
+            if not self._rehash_overflow:
+                return
+            pending = list(self._rehash_overflow)
+        raise TableFullError(
+            f"rehashing failed {self._max_rehash_attempts} times in a row"
+        )
+
+    # ------------------------------------------------------------------
+    # lookup
+    # ------------------------------------------------------------------
+
+    def _rule1_active(self) -> bool:
+        """Whether "a zero counter proves absence" is sound (§III.D)."""
+        return self.deletion_mode is not DeletionMode.RESET
+
+    def _never_inserted(self, cands: Sequence[int], vals: Sequence[int]) -> bool:
+        """Principle 1: a zero, non-tombstoned counter proves the key was
+        never inserted (neither main table nor stash)."""
+        if not self._rule1_active():
+            return False
+        for bucket, v in zip(cands, vals):
+            if v == 0:
+                if self._tombstones is None:
+                    return True
+                if not self._tombstones.get(bucket):
+                    return True
+        return False
+
+    def _partitions(
+        self, cands: Sequence[int], vals: Sequence[int]
+    ) -> List[Tuple[int, List[int]]]:
+        """Non-zero candidates grouped by counter value, largest value first."""
+        groups: Dict[int, List[int]] = {}
+        for bucket, v in zip(cands, vals):
+            if v > 0:
+                groups.setdefault(v, []).append(bucket)
+        return [(v, groups[v]) for v in sorted(groups, reverse=True)]
+
+    def lookup(self, key: KeyLike) -> LookupOutcome:
+        steps = self.lookup_steps(key)
+        while True:
+            try:
+                next(steps)
+            except StopIteration as stop:
+                return stop.value
+
+    def lookup_steps(self, key: KeyLike):
+        """Generator form of :meth:`lookup`: yields once before every
+        off-chip access, returning the :class:`LookupOutcome` at the end.
+
+        This is the hook the AMAC-style batch pipeline
+        (:mod:`repro.core.batch`) uses to interleave many lookups so their
+        off-chip reads overlap; driving the generator straight through is
+        exactly a plain lookup.
+        """
+        k = self._canonical(key)
+        cands = self._candidates(k)
+        vals = self._counters.get_many(cands)
+        if self._never_inserted(cands, vals):
+            return LookupOutcome(found=False)
+        buckets_read = 0
+        flags_read: List[bool] = []
+        for v, members in self._partitions(cands, vals):
+            if len(members) < v:
+                continue  # not enough buckets to carry v copies: skip all
+            limit = len(members) - v + 1
+            for bucket in members[:limit]:
+                yield "bucket"
+                stored_key, stored_value, flag, _ = self._read_entry(bucket)
+                buckets_read += 1
+                flags_read.append(flag)
+                if stored_key == k:
+                    return LookupOutcome(
+                        found=True, value=stored_value, buckets_read=buckets_read
+                    )
+        if self._stash is None or not self._should_check_stash(vals, flags_read):
+            return LookupOutcome(found=False, buckets_read=buckets_read)
+        yield "stash"
+        found, value = self._stash.lookup(k)
+        return LookupOutcome(
+            found=found,
+            value=value if found else None,
+            from_stash=found,
+            checked_stash=True,
+            buckets_read=buckets_read,
+        )
+
+    def _should_check_stash(
+        self, vals: Sequence[int], flags_read: Sequence[bool]
+    ) -> bool:
+        """Stash pre-screen (§III.E/F).
+
+        Without deletions a stashed item's candidates all carried value 1 at
+        stash time, counter-1 buckets are never overwritten, and counters
+        never silently change — so any other value proves absence from the
+        stash.  With deletions enabled only the flags gathered during the
+        failed lookup can be trusted.
+
+        An empty stash is never probed: keeping the stash population in an
+        on-chip register is free in hardware and spares the conservative
+        probe that deletion modes otherwise force on zero-flag lookups.
+        """
+        if self._stash is not None and len(self._stash) == 0:
+            return False
+        if self.deletion_mode is DeletionMode.DISABLED:
+            if any(v != 1 for v in vals):
+                return False
+            return all(flags_read) and len(flags_read) > 0
+        return all(flags_read)  # vacuously true when nothing was read
+
+    # ------------------------------------------------------------------
+    # deletion and update
+    # ------------------------------------------------------------------
+
+    def _find_copies(
+        self, k: Key, cands: Sequence[int], vals: Sequence[int]
+    ) -> Tuple[List[int], List[bool]]:
+        """Locate every bucket holding ``k`` per the deletion principles.
+
+        Returns the copy buckets (empty if not in the main table) and the
+        stash flags observed along the way.
+        """
+        flags_read: List[bool] = []
+        for v, members in self._partitions(cands, vals):
+            if len(members) < v:
+                continue
+            limit = len(members) - v + 1
+            found_at: List[int] = []
+            for index, bucket in enumerate(members):
+                if not found_at and index >= limit:
+                    break
+                stored_key, _, flag, _ = self._read_entry(bucket)
+                flags_read.append(flag)
+                if stored_key == k:
+                    found_at.append(bucket)
+                    if len(found_at) == v:
+                        break
+            if found_at:
+                if len(found_at) != v:
+                    raise InvariantViolationError(
+                        f"key {k:#x}: found {len(found_at)} copies, counter says {v}"
+                    )
+                return found_at, flags_read
+        return [], flags_read
+
+    def delete(self, key: KeyLike) -> DeleteOutcome:
+        if self.deletion_mode is DeletionMode.DISABLED:
+            raise UnsupportedOperationError(
+                "this table was built with DeletionMode.DISABLED"
+            )
+        k = self._canonical(key)
+        cands = self._candidates(k)
+        vals = self._counters.get_many(cands)
+        if self._never_inserted(cands, vals):
+            return DeleteOutcome(deleted=False)
+        copies, flags_read = self._find_copies(k, cands, vals)
+        if copies:
+            for bucket in copies:
+                self._counters.set(bucket, 0)
+                if self._tombstones is not None:
+                    self._tombstones.mark(bucket)
+            self._n_main -= 1
+            return DeleteOutcome(deleted=True, copies_removed=len(copies))
+        if self._stash is not None and len(self._stash) and all(flags_read):
+            if self._stash.delete(k):
+                # The flags are Bloom-style and cannot be cleared (§III.F);
+                # stash deletions leave them stale until a refresh.
+                return DeleteOutcome(deleted=True, copies_removed=1, from_stash=True,
+                                     checked_stash=True)
+            return DeleteOutcome(deleted=False, checked_stash=True)
+        return DeleteOutcome(deleted=False)
+
+    def try_update(self, key: KeyLike, value: Any) -> Optional[InsertOutcome]:
+        k = self._canonical(key)
+        cands = self._candidates(k)
+        vals = self._counters.get_many(cands)
+        if self._never_inserted(cands, vals):
+            return None
+        copies, flags_read = self._find_copies(k, cands, vals)
+        if copies:
+            mask = self._mask_for(copies)
+            for bucket in copies:
+                self._write_entry(bucket, k, value, mask)
+            return InsertOutcome(InsertStatus.UPDATED, copies=len(copies))
+        if self._stash is not None and len(self._stash) and all(flags_read):
+            if self._stash.delete(k):
+                self._stash.add(k, value)
+                return InsertOutcome(InsertStatus.UPDATED, copies=1)
+        return None
+
+    # ------------------------------------------------------------------
+    # stash flag refresh (§III.F)
+    # ------------------------------------------------------------------
+
+    def refresh_stash(self) -> int:
+        """Re-synchronise the stash flags after deletions have staled them.
+
+        Resets every flag, drains the stash, and re-inserts the drained
+        items through the normal path (items that fail again re-enter the
+        stash, setting fresh flags).  Returns the number of drained items
+        that made it back into the main table.
+        """
+        if self._stash is None:
+            raise UnsupportedOperationError("table has no stash")
+        items = self._stash.pop_all()
+        for bucket in range(self.capacity):
+            if self._flags.test(bucket):
+                self._flags.clear_bit(bucket)
+                self.mem.offchip_write("flag-clear")
+        returned = 0
+        for key, value in items:
+            outcome = self._insert_canonical(key, value)
+            if outcome.status is InsertStatus.STORED:
+                returned += 1
+        return returned
+
+    # ------------------------------------------------------------------
+    # introspection (unaccounted; for tests, invariants and iteration)
+    # ------------------------------------------------------------------
+
+    def copies_of(self, key: KeyLike) -> List[int]:
+        """Global bucket indices currently holding live copies of ``key``."""
+        k = self._canonical(key)
+        return [
+            bucket
+            for bucket in self._candidates(k)
+            if self._counters.peek(bucket) > 0 and self._keys[bucket] == k
+        ]
+
+    def items(self) -> Iterator[Tuple[Key, Any]]:
+        seen: set = set()
+        for bucket in range(self.capacity):
+            if self._counters.peek(bucket) == 0:
+                continue
+            key = self._keys[bucket]
+            if key not in seen:
+                seen.add(key)
+                yield key, self._values[bucket]
+        if self._stash is not None:
+            yield from self._stash.items()
+
+    @property
+    def onchip_bytes(self) -> int:
+        """On-chip SRAM footprint of the helper structures."""
+        total = self._counters.storage_bytes
+        if self._tombstones is not None:
+            total += self._tombstones.storage_bytes
+        return total
+
+    def counter_histogram(self) -> Dict[int, int]:
+        """Counter value distribution (unaccounted; used by experiments)."""
+        histogram: Dict[int, int] = {}
+        for value in self._counters:
+            histogram[value] = histogram.get(value, 0) + 1
+        return histogram

@@ -1,0 +1,100 @@
+"""Multiset support via indirection (§III.H).
+
+McCuckoo's redundant copies of one key must stay identical, so a multiset
+cannot be expressed by giving copies different values.  The paper instead
+suggests using the table as an *index*: the stored value is a pointer to an
+external record area holding all values of the key.  :class:`McCuckooMultiMap`
+implements exactly that on top of any :class:`HashTable`.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, Iterator, List, Tuple
+
+from ..hashing import Key, KeyLike
+from .interface import HashTable
+from .results import InsertOutcome, InsertStatus
+
+
+class McCuckooMultiMap:
+    """Key → multiset-of-values, indexed by a multi-copy cuckoo table.
+
+    The underlying table maps each distinct key to a record-area handle;
+    every copy of the key stores the same handle, preserving the
+    copies-are-identical invariant.
+    """
+
+    def __init__(self, table_factory: Callable[[], HashTable]) -> None:
+        self._index = table_factory()
+        self._records: Dict[int, List[Any]] = {}
+        self._next_handle = 0
+
+    @property
+    def index(self) -> HashTable:
+        """The underlying cuckoo index (for stats and accounting)."""
+        return self._index
+
+    def add(self, key: KeyLike, value: Any) -> InsertOutcome:
+        """Append one value under ``key``."""
+        outcome = self._index.lookup(key)
+        if outcome.found:
+            self._records[outcome.value].append(value)
+            return InsertOutcome(InsertStatus.UPDATED)
+        handle = self._next_handle
+        self._next_handle += 1
+        self._records[handle] = [value]
+        result = self._index.put(key, handle)
+        if result.failed:
+            del self._records[handle]
+        return result
+
+    def get(self, key: KeyLike) -> List[Any]:
+        """All values stored under ``key`` (empty list when absent)."""
+        outcome = self._index.lookup(key)
+        if not outcome.found:
+            return []
+        return list(self._records[outcome.value])
+
+    def count(self, key: KeyLike) -> int:
+        return len(self.get(key))
+
+    def remove_value(self, key: KeyLike, value: Any) -> bool:
+        """Remove one occurrence of ``value`` under ``key``."""
+        outcome = self._index.lookup(key)
+        if not outcome.found:
+            return False
+        values = self._records[outcome.value]
+        try:
+            values.remove(value)
+        except ValueError:
+            return False
+        if not values:
+            self._discard_key(key, outcome.value)
+        return True
+
+    def remove_all(self, key: KeyLike) -> int:
+        """Remove every value under ``key``; returns how many were removed."""
+        outcome = self._index.lookup(key)
+        if not outcome.found:
+            return 0
+        removed = len(self._records[outcome.value])
+        self._discard_key(key, outcome.value)
+        return removed
+
+    def _discard_key(self, key: KeyLike, handle: int) -> None:
+        del self._records[handle]
+        self._index.delete(key)
+
+    def __contains__(self, key: KeyLike) -> bool:
+        return key in self._index
+
+    def __len__(self) -> int:
+        """Total number of stored values across all keys."""
+        return sum(len(values) for values in self._records.values())
+
+    def distinct_keys(self) -> int:
+        return len(self._index)
+
+    def items(self) -> Iterator[Tuple[Key, List[Any]]]:
+        for key, handle in self._index.items():
+            yield key, list(self._records[handle])

@@ -1,0 +1,105 @@
+"""Victim-selection policies for collision resolution (kick-outs).
+
+When every candidate bucket holds the sole copy of some item, a cuckoo
+scheme must evict one occupant.  The paper uses random-walk for McCuckoo and
+mentions MinCounter (5-bit kick-history counters per bucket) as a drop-in
+alternative; both are provided here behind one interface so that McCuckoo
+and the baselines can share them, and so ablation benches can swap them.
+"""
+
+from __future__ import annotations
+
+import random
+from abc import ABC, abstractmethod
+from typing import Optional, Sequence
+
+from ..memory.model import MemoryModel
+from .counters import PackedArray
+from .errors import ConfigurationError
+
+
+class KickPolicy(ABC):
+    """Chooses which candidate bucket's occupant to evict."""
+
+    name: str = "policy"
+
+    def attach(self, n_buckets: int, mem: MemoryModel) -> None:
+        """Called once by the owning table; policies with state override."""
+
+    @abstractmethod
+    def choose(self, candidates: Sequence[int], rng: random.Random) -> int:
+        """Pick one global bucket index from ``candidates`` to evict."""
+
+    def on_kick(self, bucket: int) -> None:
+        """Notification that the chosen bucket's occupant was evicted."""
+
+
+class RandomWalkPolicy(KickPolicy):
+    """Uniform random victim — the paper's default resolution for McCuckoo."""
+
+    name = "random-walk"
+
+    def choose(self, candidates: Sequence[int], rng: random.Random) -> int:
+        if not candidates:
+            raise ValueError("no candidates to choose a victim from")
+        return candidates[rng.randrange(len(candidates))]
+
+
+class MinCounterPolicy(KickPolicy):
+    """MinCounter [17]: evict from the bucket kicked least often so far.
+
+    A saturating 5-bit counter per bucket records its kick history; the
+    "coldest" candidate is chosen (ties broken at random) and its counter is
+    incremented.  The counters live on-chip, so reads/writes are charged to
+    the on-chip tier of the attached :class:`MemoryModel`.
+    """
+
+    name = "mincounter"
+
+    def __init__(self, bits: int = 8, saturate_at: int = 31) -> None:
+        # The paper specifies 5-bit counters; PackedArray packs byte-aligned
+        # widths, so we store 8 bits and saturate at the 5-bit maximum.
+        self._history: Optional[PackedArray] = None
+        self._bits = bits
+        self._saturate_at = saturate_at
+
+    def attach(self, n_buckets: int, mem: MemoryModel) -> None:
+        self._history = PackedArray(
+            n_buckets, bits=self._bits, mem=mem, label="kick-history"
+        )
+
+    def _require_history(self) -> PackedArray:
+        if self._history is None:
+            raise ConfigurationError("MinCounterPolicy used before attach()")
+        return self._history
+
+    def choose(self, candidates: Sequence[int], rng: random.Random) -> int:
+        if not candidates:
+            raise ValueError("no candidates to choose a victim from")
+        history = self._require_history()
+        values = [history.get(bucket) for bucket in candidates]
+        best = min(values)
+        coldest = [b for b, v in zip(candidates, values) if v == best]
+        return coldest[rng.randrange(len(coldest))]
+
+    def on_kick(self, bucket: int) -> None:
+        history = self._require_history()
+        current = history.get(bucket)
+        if current < self._saturate_at:
+            history.set(bucket, current + 1)
+
+
+POLICIES = {
+    RandomWalkPolicy.name: RandomWalkPolicy,
+    MinCounterPolicy.name: MinCounterPolicy,
+}
+
+
+def make_policy(name: str) -> KickPolicy:
+    """Instantiate a policy by its registry name."""
+    try:
+        return POLICIES[name]()
+    except KeyError:
+        raise ConfigurationError(
+            f"unknown kick policy {name!r}; options: {sorted(POLICIES)}"
+        ) from None

@@ -1,0 +1,224 @@
+"""Incremental (online) resizing for McCuckoo.
+
+The paper's introduction holds stop-the-world rehashing against classic
+cuckoo tables: "reading out all inserted items and using a different set of
+hash functions to put them into a bigger table, during which the hash table
+is completely unusable".  A stash absorbs transient overload, but a
+persistently growing key set eventually needs more buckets.
+
+:class:`ResizableMcCuckoo` keeps the table usable throughout growth.  When
+the load ratio crosses ``grow_at``, it allocates a fresh table
+``growth_factor`` times bigger and then *migrates a few buckets per
+subsequent write operation*:
+
+* new insertions go to the new table;
+* lookups/deletes consult the new table first, then the old one;
+* each ``put``/``delete`` also advances a migration cursor over the old
+  table's buckets, moving ``migrate_batch`` distinct items across;
+* when the cursor completes (including draining the old stash), the old
+  table is dropped.
+
+Worst-case per-operation work stays bounded, there is no unavailability
+window, and the invariant checkers hold on both halves at every step.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterator, List, Optional, Tuple
+
+from ..hashing import Key, KeyLike
+from ..memory.model import MemoryModel
+from .config import DeletionMode, SiblingTracking
+from .errors import ConfigurationError
+from .interface import HashTable
+from .mccuckoo import McCuckoo
+from .results import DeleteOutcome, InsertOutcome, InsertStatus, LookupOutcome
+
+
+class ResizableMcCuckoo(HashTable):
+    """A McCuckoo table that grows online, a few buckets per write."""
+
+    name = "ResizableMcCuckoo"
+
+    def __init__(
+        self,
+        n_buckets: int,
+        d: int = 3,
+        grow_at: float = 0.85,
+        growth_factor: float = 2.0,
+        migrate_batch: int = 8,
+        seed: int = 0,
+        maxloop: int = 500,
+        deletion_mode: DeletionMode = DeletionMode.RESET,
+        sibling_tracking: SiblingTracking = SiblingTracking.READ,
+        stash_buckets: int = 64,
+        mem: Optional[MemoryModel] = None,
+        **table_kwargs: Any,
+    ) -> None:
+        super().__init__(mem)
+        if not 0.0 < grow_at < 1.0:
+            raise ConfigurationError("grow_at must be within (0, 1)")
+        if growth_factor <= 1.0:
+            raise ConfigurationError("growth_factor must exceed 1.0")
+        if migrate_batch < 1:
+            raise ConfigurationError("migrate_batch must be positive")
+        if deletion_mode is DeletionMode.DISABLED:
+            raise ConfigurationError(
+                "online migration removes items from the old half, so the "
+                "deletion mode cannot be DISABLED"
+            )
+        self.grow_at = grow_at
+        self.growth_factor = growth_factor
+        self.migrate_batch = migrate_batch
+        self._seed = seed
+        self._table_kwargs = dict(
+            d=d,
+            maxloop=maxloop,
+            deletion_mode=deletion_mode,
+            sibling_tracking=sibling_tracking,
+            stash_buckets=stash_buckets,
+            **table_kwargs,
+        )
+        self._active = self._make_table(n_buckets, seed)
+        self._retiring: Optional[McCuckoo] = None
+        self._cursor = 0
+        self.generations = 0
+
+    def _make_table(self, n_buckets: int, seed: int) -> McCuckoo:
+        return McCuckoo(n_buckets, seed=seed, mem=self.mem, **self._table_kwargs)
+
+    # ------------------------------------------------------------------
+    # geometry
+    # ------------------------------------------------------------------
+
+    @property
+    def capacity(self) -> int:
+        total = self._active.capacity
+        if self._retiring is not None:
+            total += self._retiring.capacity
+        return total
+
+    def __len__(self) -> int:
+        total = len(self._active)
+        if self._retiring is not None:
+            total += len(self._retiring)
+        return total
+
+    @property
+    def resizing(self) -> bool:
+        return self._retiring is not None
+
+    @property
+    def active_table(self) -> McCuckoo:
+        return self._active
+
+    @property
+    def retiring_table(self) -> Optional[McCuckoo]:
+        return self._retiring
+
+    # ------------------------------------------------------------------
+    # growth machinery
+    # ------------------------------------------------------------------
+
+    def _maybe_start_resize(self) -> None:
+        if self._retiring is not None:
+            return
+        if self._active.load_ratio < self.grow_at:
+            return
+        self.generations += 1
+        bigger = max(
+            self._active.n_buckets + 1,
+            int(self._active.n_buckets * self.growth_factor),
+        )
+        self._retiring = self._active
+        self._active = self._make_table(bigger, self._seed + self.generations)
+        self._cursor = 0
+
+    def migrate_step(self, batch: Optional[int] = None) -> int:
+        """Move up to ``batch`` distinct items old → new; returns how many.
+
+        Called automatically by every write; callable directly to drain the
+        old table faster (e.g. from an idle loop).
+        """
+        if self._retiring is None:
+            return 0
+        moved = 0
+        budget = batch if batch is not None else self.migrate_batch
+        old = self._retiring
+        while moved < budget and self._cursor < old.capacity:
+            bucket = self._cursor
+            self._cursor += 1
+            if old._counters.peek(bucket) == 0:
+                continue
+            key = old._keys[bucket]
+            value = old._values[bucket]
+            assert key is not None
+            old.delete(key)
+            # A fresher version may already live in the new half (a put of
+            # the same key during migration); never shadow it.
+            if not self._active.lookup(key).found:
+                self._active.put(key, value)
+            moved += 1
+        if self._cursor >= old.capacity and self._retiring is not None:
+            # main table drained: move any stashed stragglers and finish
+            if old.stash is not None:
+                for key, value in old.stash.pop_all():
+                    if not self._active.lookup(key).found:
+                        self._active.put(key, value)
+                    moved += 1
+            self._retiring = None
+        return moved
+
+    def finish_resize(self) -> int:
+        """Drain the old table completely; returns items moved."""
+        total = 0
+        while self._retiring is not None:
+            total += self.migrate_step(batch=1024)
+        return total
+
+    # ------------------------------------------------------------------
+    # operations
+    # ------------------------------------------------------------------
+
+    def put(self, key: KeyLike, value: Any = None) -> InsertOutcome:
+        self._maybe_start_resize()
+        outcome = self._active.put(key, value)
+        self.migrate_step()
+        return outcome
+
+    def lookup(self, key: KeyLike) -> LookupOutcome:
+        outcome = self._active.lookup(key)
+        if outcome.found or self._retiring is None:
+            return outcome
+        return self._retiring.lookup(key)
+
+    def delete(self, key: KeyLike) -> DeleteOutcome:
+        outcome = self._active.delete(key)
+        if not outcome.deleted and self._retiring is not None:
+            outcome = self._retiring.delete(key)
+        self.migrate_step()
+        return outcome
+
+    def try_update(self, key: KeyLike, value: Any) -> Optional[InsertOutcome]:
+        outcome = self._active.try_update(key, value)
+        if outcome is None and self._retiring is not None:
+            outcome = self._retiring.try_update(key, value)
+        return outcome
+
+    def items(self) -> Iterator[Tuple[Key, Any]]:
+        yield from self._active.items()
+        if self._retiring is not None:
+            yield from self._retiring.items()
+
+    @property
+    def load_ratio(self) -> float:
+        # during migration, report pressure on the *active* half: that is
+        # what decides whether another growth round is needed
+        return self._active.load_ratio
+
+    @property
+    def onchip_bytes(self) -> int:
+        total = self._active.onchip_bytes
+        if self._retiring is not None:
+            total += self._retiring.onchip_bytes
+        return total

@@ -1,0 +1,89 @@
+"""Operation outcome types shared by every table implementation."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+from typing import Any, Optional
+
+
+class InsertStatus(Enum):
+    """How an insertion ended."""
+
+    STORED = "stored"
+    """The item lives in the main table (possibly after kick-outs)."""
+
+    STASHED = "stashed"
+    """Collision resolution failed; the item went to the stash."""
+
+    FAILED = "failed"
+    """Collision resolution failed and no stash is configured."""
+
+    UPDATED = "updated"
+    """An upsert found the key already present and refreshed its value."""
+
+
+@dataclass(frozen=True)
+class InsertOutcome:
+    """Result of one ``put``/``upsert`` call."""
+
+    status: InsertStatus
+    kicks: int = 0
+    copies: int = 0
+    collided: bool = False
+    """True when every candidate held a sole copy (a "real" collision)."""
+
+    @property
+    def stored(self) -> bool:
+        return self.status in (InsertStatus.STORED, InsertStatus.UPDATED)
+
+    @property
+    def stashed(self) -> bool:
+        return self.status is InsertStatus.STASHED
+
+    @property
+    def failed(self) -> bool:
+        return self.status is InsertStatus.FAILED
+
+
+@dataclass(frozen=True)
+class LookupOutcome:
+    """Result of one ``lookup`` call."""
+
+    found: bool
+    value: Any = None
+    from_stash: bool = False
+    checked_stash: bool = False
+    buckets_read: int = 0
+
+
+@dataclass(frozen=True)
+class DeleteOutcome:
+    """Result of one ``delete`` call."""
+
+    deleted: bool
+    copies_removed: int = 0
+    from_stash: bool = False
+    checked_stash: bool = False
+
+
+@dataclass
+class TableEvents:
+    """Milestones recorded while a table fills up (Table I / Fig. 11).
+
+    ``first_collision_items`` is the distinct-item count at the moment an
+    insertion first found every candidate bucket holding a sole copy (the
+    paper's "real collision"); ``first_failure_items`` is the count at the
+    first insertion that had to stash/fail.
+    """
+
+    first_collision_items: Optional[int] = None
+    first_failure_items: Optional[int] = None
+
+    def note_collision(self, items: int) -> None:
+        if self.first_collision_items is None:
+            self.first_collision_items = items
+
+    def note_failure(self, items: int) -> None:
+        if self.first_failure_items is None:
+            self.first_failure_items = items

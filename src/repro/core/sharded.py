@@ -1,0 +1,119 @@
+"""Sharded McCuckoo: hash-partitioned tables for multi-writer scaling.
+
+§III.H gives McCuckoo one-writer-many-readers concurrency.  The standard
+way production systems scale *writers* is orthogonal sharding: partition
+the key space across N independent tables, each with its own writer (and,
+here, its own stash and counters).  Lookups hash to exactly one shard, so
+the per-operation cost is unchanged; writers on different shards never
+touch shared state.
+
+The shard selector is drawn from a different hash stream than the
+in-shard candidate functions, so sharding does not bias bucket choice.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterator, List, Optional, Tuple
+
+from ..hashing import Key, KeyLike
+from ..hashing.splitmix import splitmix64
+from ..memory.model import MemoryModel
+from .config import DeletionMode, SiblingTracking
+from .errors import ConfigurationError
+from .interface import HashTable
+from .mccuckoo import McCuckoo
+from .results import DeleteOutcome, InsertOutcome, LookupOutcome
+
+
+class ShardedMcCuckoo(HashTable):
+    """N independent McCuckoo shards behind one HashTable facade."""
+
+    name = "ShardedMcCuckoo"
+
+    def __init__(
+        self,
+        n_shards: int,
+        n_buckets_per_shard: int,
+        d: int = 3,
+        seed: int = 0,
+        maxloop: int = 500,
+        deletion_mode: DeletionMode = DeletionMode.DISABLED,
+        sibling_tracking: SiblingTracking = SiblingTracking.READ,
+        stash_buckets: int = 64,
+        mem: Optional[MemoryModel] = None,
+        shared_accounting: bool = True,
+    ) -> None:
+        super().__init__(mem)
+        if n_shards <= 0:
+            raise ConfigurationError("n_shards must be positive")
+        if n_buckets_per_shard <= 0:
+            raise ConfigurationError("n_buckets_per_shard must be positive")
+        self.n_shards = n_shards
+        self._salt = splitmix64(seed ^ 0x5AAD)
+        self._shards: List[McCuckoo] = [
+            McCuckoo(
+                n_buckets_per_shard,
+                d=d,
+                seed=seed + 101 * index + 1,
+                maxloop=maxloop,
+                deletion_mode=deletion_mode,
+                sibling_tracking=sibling_tracking,
+                stash_buckets=stash_buckets,
+                mem=self.mem if shared_accounting else MemoryModel(),
+            )
+            for index in range(n_shards)
+        ]
+
+    # ------------------------------------------------------------------
+
+    def shard_index(self, key: KeyLike) -> int:
+        """Which shard owns ``key`` (stable, salt-keyed)."""
+        return splitmix64(self._canonical(key) ^ self._salt) % self.n_shards
+
+    def shard_for(self, key: KeyLike) -> McCuckoo:
+        return self._shards[self.shard_index(key)]
+
+    @property
+    def shards(self) -> List[McCuckoo]:
+        return list(self._shards)
+
+    @property
+    def capacity(self) -> int:
+        return sum(shard.capacity for shard in self._shards)
+
+    def __len__(self) -> int:
+        return sum(len(shard) for shard in self._shards)
+
+    # ------------------------------------------------------------------
+
+    def put(self, key: KeyLike, value: Any = None) -> InsertOutcome:
+        return self.shard_for(key).put(key, value)
+
+    def lookup(self, key: KeyLike) -> LookupOutcome:
+        return self.shard_for(key).lookup(key)
+
+    def delete(self, key: KeyLike) -> DeleteOutcome:
+        return self.shard_for(key).delete(key)
+
+    def try_update(self, key: KeyLike, value: Any) -> Optional[InsertOutcome]:
+        return self.shard_for(key).try_update(key, value)
+
+    def items(self) -> Iterator[Tuple[Key, Any]]:
+        for shard in self._shards:
+            yield from shard.items()
+
+    # ------------------------------------------------------------------
+
+    def shard_loads(self) -> List[float]:
+        """Per-shard load ratios (balance diagnostics)."""
+        return [shard.load_ratio for shard in self._shards]
+
+    def imbalance(self) -> float:
+        """max/mean shard load; 1.0 is perfect balance."""
+        loads = self.shard_loads()
+        mean = sum(loads) / len(loads)
+        return max(loads) / mean if mean else 1.0
+
+    @property
+    def onchip_bytes(self) -> int:
+        return sum(shard.onchip_bytes for shard in self._shards)

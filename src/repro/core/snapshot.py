@@ -1,0 +1,216 @@
+"""Snapshot and restore table state.
+
+A deduplication index or flow table must survive restarts without a full
+rebuild (re-inserting millions of keys would also re-randomise the layout
+and invalidate warm counters).  These helpers capture the complete state of
+a :class:`McCuckoo` or :class:`BlockedMcCuckoo` — bucket contents, on-chip
+counters, flags, tombstones, sibling metadata, stash, RNG state and event
+milestones — and restore it bit-for-bit.
+
+Snapshots are plain picklable dicts; :func:`save` / :func:`load` wrap them
+in a versioned pickle file.  Restored tables are verified against the
+structural invariant checkers before being returned.
+"""
+
+from __future__ import annotations
+
+import pickle
+from typing import Any, Dict
+
+from .blocked import BlockedMcCuckoo
+from .config import DeletionMode, FailurePolicy, SiblingTracking
+from .errors import ConfigurationError
+from .invariants import check_blocked, check_mccuckoo
+from .mccuckoo import McCuckoo
+from .results import TableEvents
+
+SNAPSHOT_VERSION = 1
+
+
+def _stash_state(table) -> Dict[str, Any]:
+    if table._stash is None:
+        return {"present": False}
+    return {
+        "present": True,
+        "n_buckets": len(table._stash._buckets),
+        "items": list(table._stash.items()),
+    }
+
+
+def _restore_stash(table, state: Dict[str, Any]) -> None:
+    if not state["present"]:
+        return
+    stash = table._stash
+    for chain in stash._buckets:
+        chain.clear()
+    stash._count = 0
+    for key, value in state["items"]:
+        stash._bucket_of(key).append((key, value))
+        stash._count += 1
+
+
+def snapshot_mccuckoo(table: McCuckoo) -> Dict[str, Any]:
+    """Capture a single-slot McCuckoo table's full state."""
+    return {
+        "version": SNAPSHOT_VERSION,
+        "kind": "mccuckoo",
+        "config": {
+            "n_buckets": table.n_buckets,
+            "d": table.d,
+            "seed": table._seed,
+            "maxloop": table.maxloop,
+            "on_failure": table.on_failure.value,
+            "deletion_mode": table.deletion_mode.value,
+            "sibling_tracking": table.sibling_tracking.value,
+            "stash_buckets": (
+                len(table._stash._buckets) if table._stash is not None else 0
+            ),
+        },
+        "keys": list(table._keys),
+        "values": list(table._values),
+        "counters": bytes(table._counters._data),
+        "flags": bytes(table._flags._data),
+        "tombstones": (
+            bytes(table._tombstones._data) if table._tombstones is not None else None
+        ),
+        "masks": list(table._masks) if table._masks is not None else None,
+        "n_main": table._n_main,
+        "total_kicks": table.total_kicks,
+        "rng_state": table._rng.getstate(),
+        "events": (
+            table.events.first_collision_items,
+            table.events.first_failure_items,
+        ),
+        "stash": _stash_state(table),
+    }
+
+
+def restore_mccuckoo(data: Dict[str, Any]) -> McCuckoo:
+    """Rebuild a McCuckoo table from :func:`snapshot_mccuckoo` output."""
+    if data.get("kind") != "mccuckoo":
+        raise ConfigurationError("snapshot is not a single-slot McCuckoo table")
+    if data.get("version") != SNAPSHOT_VERSION:
+        raise ConfigurationError(f"unsupported snapshot version {data.get('version')}")
+    cfg = data["config"]
+    table = McCuckoo(
+        cfg["n_buckets"],
+        d=cfg["d"],
+        seed=cfg["seed"],
+        maxloop=cfg["maxloop"],
+        on_failure=FailurePolicy(cfg["on_failure"]),
+        deletion_mode=DeletionMode(cfg["deletion_mode"]),
+        sibling_tracking=SiblingTracking(cfg["sibling_tracking"]),
+        stash_buckets=max(1, cfg["stash_buckets"]),
+    )
+    table._keys = list(data["keys"])
+    table._values = list(data["values"])
+    table._counters._data = bytearray(data["counters"])
+    table._flags._data = bytearray(data["flags"])
+    if table._tombstones is not None and data["tombstones"] is not None:
+        table._tombstones._data = bytearray(data["tombstones"])
+    if table._masks is not None and data["masks"] is not None:
+        table._masks = list(data["masks"])
+    table._n_main = data["n_main"]
+    table.total_kicks = data["total_kicks"]
+    table._rng.setstate(data["rng_state"])
+    table.events = TableEvents(*data["events"])
+    _restore_stash(table, data["stash"])
+    check_mccuckoo(table)
+    return table
+
+
+def snapshot_blocked(table: BlockedMcCuckoo) -> Dict[str, Any]:
+    """Capture a blocked B-McCuckoo table's full state."""
+    return {
+        "version": SNAPSHOT_VERSION,
+        "kind": "blocked",
+        "config": {
+            "n_buckets": table.n_buckets,
+            "d": table.d,
+            "slots": table.slots,
+            "seed": table._seed,
+            "maxloop": table.maxloop,
+            "on_failure": table.on_failure.value,
+            "deletion_mode": table.deletion_mode.value,
+            "stash_buckets": (
+                len(table._stash._buckets) if table._stash is not None else 0
+            ),
+        },
+        "keys": list(table._keys),
+        "values": list(table._values),
+        "slotmaps": list(table._slotmaps),
+        "counters": bytes(table._counters._data),
+        "flags": bytes(table._flags._data),
+        "tombstones": (
+            bytes(table._tombstones._data) if table._tombstones is not None else None
+        ),
+        "n_main": table._n_main,
+        "total_kicks": table.total_kicks,
+        "rng_state": table._rng.getstate(),
+        "events": (
+            table.events.first_collision_items,
+            table.events.first_failure_items,
+        ),
+        "stash": _stash_state(table),
+    }
+
+
+def restore_blocked(data: Dict[str, Any]) -> BlockedMcCuckoo:
+    """Rebuild a B-McCuckoo table from :func:`snapshot_blocked` output."""
+    if data.get("kind") != "blocked":
+        raise ConfigurationError("snapshot is not a blocked B-McCuckoo table")
+    if data.get("version") != SNAPSHOT_VERSION:
+        raise ConfigurationError(f"unsupported snapshot version {data.get('version')}")
+    cfg = data["config"]
+    table = BlockedMcCuckoo(
+        cfg["n_buckets"],
+        d=cfg["d"],
+        slots=cfg["slots"],
+        seed=cfg["seed"],
+        maxloop=cfg["maxloop"],
+        on_failure=FailurePolicy(cfg["on_failure"]),
+        deletion_mode=DeletionMode(cfg["deletion_mode"]),
+        stash_buckets=max(1, cfg["stash_buckets"]),
+    )
+    table._keys = list(data["keys"])
+    table._values = list(data["values"])
+    table._slotmaps = list(data["slotmaps"])
+    table._counters._data = bytearray(data["counters"])
+    table._flags._data = bytearray(data["flags"])
+    if table._tombstones is not None and data["tombstones"] is not None:
+        table._tombstones._data = bytearray(data["tombstones"])
+    table._n_main = data["n_main"]
+    table.total_kicks = data["total_kicks"]
+    table._rng.setstate(data["rng_state"])
+    table.events = TableEvents(*data["events"])
+    _restore_stash(table, data["stash"])
+    check_blocked(table)
+    return table
+
+
+def save(table, path: str) -> None:
+    """Snapshot ``table`` (McCuckoo or BlockedMcCuckoo) to a pickle file."""
+    if isinstance(table, McCuckoo):
+        data = snapshot_mccuckoo(table)
+    elif isinstance(table, BlockedMcCuckoo):
+        data = snapshot_blocked(table)
+    else:
+        raise ConfigurationError(
+            f"cannot snapshot a {type(table).__name__}; only the multi-copy "
+            "tables are supported"
+        )
+    with open(path, "wb") as handle:
+        pickle.dump(data, handle, protocol=pickle.HIGHEST_PROTOCOL)
+
+
+def load(path: str):
+    """Restore a table saved with :func:`save`."""
+    with open(path, "rb") as handle:
+        data = pickle.load(handle)
+    if not isinstance(data, dict) or "kind" not in data:
+        raise ConfigurationError("file does not contain a repro snapshot")
+    if data["kind"] == "mccuckoo":
+        return restore_mccuckoo(data)
+    if data["kind"] == "blocked":
+        return restore_blocked(data)
+    raise ConfigurationError(f"unknown snapshot kind {data['kind']!r}")

@@ -1,0 +1,155 @@
+"""Stashes: where items go when collision resolution fails.
+
+Two variants are provided:
+
+* :class:`OffChipStash` — the paper's contribution (§III.E): a chained hash
+  table living in abundant off-chip memory.  It can grow far beyond the
+  classic 4-entry on-chip stash, and McCuckoo's counter + per-bucket-flag
+  pre-screening keeps it almost never visited.
+* :class:`OnChipStash` — the traditional CHS-style stash [22]: a tiny
+  linear-scanned array in on-chip memory, checked on *every* failed main
+  table lookup.  Used by the CHS baseline.
+
+Both report their traffic to the shared :class:`MemoryModel`.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterator, List, Optional, Tuple
+
+from ..hashing import DEFAULT_FAMILY, HashFamily, Key
+from ..memory.model import MemoryModel
+from .errors import TableFullError
+
+
+class OffChipStash:
+    """Chained hash table in off-chip memory.
+
+    Each probe charges one off-chip read for the bucket head plus one per
+    additional chain node traversed; inserts and deletes charge one off-chip
+    write.  Chains stay short because the stash holds a small fraction of
+    all items (Tables II/III of the paper).
+    """
+
+    def __init__(
+        self,
+        n_buckets: int,
+        mem: MemoryModel,
+        family: Optional[HashFamily] = None,
+        seed: int = 0x57A5,
+    ) -> None:
+        if n_buckets <= 0:
+            raise ValueError("n_buckets must be positive")
+        self._buckets: List[List[Tuple[Key, Any]]] = [[] for _ in range(n_buckets)]
+        self._mem = mem
+        self._hash = (family or DEFAULT_FAMILY).functions(1, seed)[0]
+        self._count = 0
+
+    def _bucket_of(self, key: Key) -> List[Tuple[Key, Any]]:
+        return self._buckets[self._hash.bucket(key, len(self._buckets))]
+
+    def add(self, key: Key, value: Any) -> None:
+        self._mem.offchip_write("stash-insert")
+        self._bucket_of(key).append((key, value))
+        self._count += 1
+
+    def lookup(self, key: Key) -> Tuple[bool, Any]:
+        chain = self._bucket_of(key)
+        self._mem.offchip_read("stash-probe")
+        for position, (stored_key, value) in enumerate(chain):
+            if position > 0:
+                self._mem.offchip_read("stash-chain")
+            if stored_key == key:
+                return True, value
+        return False, None
+
+    def delete(self, key: Key) -> bool:
+        chain = self._bucket_of(key)
+        self._mem.offchip_read("stash-probe")
+        for position, (stored_key, _) in enumerate(chain):
+            if position > 0:
+                self._mem.offchip_read("stash-chain")
+            if stored_key == key:
+                chain.pop(position)
+                self._mem.offchip_write("stash-delete")
+                self._count -= 1
+                return True
+        return False
+
+    def pop_all(self) -> List[Tuple[Key, Any]]:
+        """Drain the stash (used by the flag-refresh procedure, §III.F)."""
+        drained: List[Tuple[Key, Any]] = []
+        for chain in self._buckets:
+            drained.extend(chain)
+            chain.clear()
+        self._mem.offchip_read("stash-drain", count=len(drained))
+        self._count = 0
+        return drained
+
+    def items(self) -> Iterator[Tuple[Key, Any]]:
+        """Unaccounted iteration for tests and invariant checks."""
+        for chain in self._buckets:
+            yield from chain
+
+    def __len__(self) -> int:
+        return self._count
+
+    def __contains__(self, key: Key) -> bool:
+        return any(stored == key for stored, _ in self.items())
+
+    @property
+    def max_chain_length(self) -> int:
+        return max((len(chain) for chain in self._buckets), default=0)
+
+
+class OnChipStash:
+    """Tiny fixed-capacity stash scanned linearly, kept in on-chip memory."""
+
+    def __init__(self, capacity: int, mem: MemoryModel) -> None:
+        if capacity <= 0:
+            raise ValueError("capacity must be positive")
+        self.capacity = capacity
+        self._entries: List[Tuple[Key, Any]] = []
+        self._mem = mem
+
+    def add(self, key: Key, value: Any) -> None:
+        if len(self._entries) >= self.capacity:
+            raise TableFullError("on-chip stash overflow (rehash would be needed)")
+        self._mem.onchip_write("stash-insert")
+        self._entries.append((key, value))
+
+    @property
+    def full(self) -> bool:
+        return len(self._entries) >= self.capacity
+
+    def lookup(self, key: Key) -> Tuple[bool, Any]:
+        for position, (stored_key, value) in enumerate(self._entries):
+            self._mem.onchip_read("stash-scan")
+            if stored_key == key:
+                return True, value
+        if not self._entries:
+            self._mem.onchip_read("stash-scan")
+        return False, None
+
+    def delete(self, key: Key) -> bool:
+        for position, (stored_key, _) in enumerate(self._entries):
+            self._mem.onchip_read("stash-scan")
+            if stored_key == key:
+                self._entries.pop(position)
+                self._mem.onchip_write("stash-delete")
+                return True
+        return False
+
+    def pop_all(self) -> List[Tuple[Key, Any]]:
+        drained = list(self._entries)
+        self._entries.clear()
+        return drained
+
+    def items(self) -> Iterator[Tuple[Key, Any]]:
+        yield from self._entries
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __contains__(self, key: Key) -> bool:
+        return any(stored == key for stored, _ in self._entries)

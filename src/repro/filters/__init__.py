@@ -1,0 +1,6 @@
+"""Filter substrates: Bloom filter and cuckoo filter."""
+
+from .bloom import BloomFilter
+from .cuckoo_filter import CuckooFilter
+
+__all__ = ["BloomFilter", "CuckooFilter"]

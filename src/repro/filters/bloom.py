@@ -1,0 +1,86 @@
+"""Standard Bloom filter.
+
+§III.B.2 of the paper observes that McCuckoo's on-chip counters, viewed as
+zero/non-zero, *are* a Bloom filter over the inserted key set: every
+insertion leaves all d candidate counters non-zero, so a zero counter proves
+absence.  This module provides the classic structure both as a library
+primitive and as the reference the equivalence tests compare against.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Iterable, Optional
+
+from ..hashing import DEFAULT_FAMILY, HashFamily, Key
+
+
+class BloomFilter:
+    """Fixed-size Bloom filter over 64-bit keys.
+
+    ``m`` bits, ``k`` hash functions.  Supports only ``add`` and membership;
+    deletions are intentionally unsupported (the paper leans on exactly this
+    property when discussing stale stash flags).
+    """
+
+    def __init__(
+        self,
+        m_bits: int,
+        k_hashes: int,
+        family: Optional[HashFamily] = None,
+        seed: int = 0,
+    ) -> None:
+        if m_bits <= 0:
+            raise ValueError("m_bits must be positive")
+        if k_hashes <= 0:
+            raise ValueError("k_hashes must be positive")
+        self.m_bits = m_bits
+        self.k_hashes = k_hashes
+        self._bits = bytearray((m_bits + 7) // 8)
+        self._functions = (family or DEFAULT_FAMILY).functions(k_hashes, seed)
+        self._count = 0
+
+    @classmethod
+    def for_capacity(
+        cls,
+        n_items: int,
+        fp_rate: float,
+        family: Optional[HashFamily] = None,
+        seed: int = 0,
+    ) -> "BloomFilter":
+        """Size a filter for ``n_items`` at the target false-positive rate."""
+        if n_items <= 0:
+            raise ValueError("n_items must be positive")
+        if not 0.0 < fp_rate < 1.0:
+            raise ValueError("fp_rate must be in (0, 1)")
+        m = math.ceil(-n_items * math.log(fp_rate) / (math.log(2) ** 2))
+        k = max(1, round(m / n_items * math.log(2)))
+        return cls(m, k, family=family, seed=seed)
+
+    def _positions(self, key: Key) -> Iterable[int]:
+        for fn in self._functions:
+            yield fn.bucket(key, self.m_bits)
+
+    def add(self, key: Key) -> None:
+        for pos in self._positions(key):
+            self._bits[pos >> 3] |= 1 << (pos & 7)
+        self._count += 1
+
+    def __contains__(self, key: Key) -> bool:
+        return all(self._bits[pos >> 3] & (1 << (pos & 7)) for pos in self._positions(key))
+
+    def __len__(self) -> int:
+        return self._count
+
+    @property
+    def bits_set(self) -> int:
+        return sum(bin(byte).count("1") for byte in self._bits)
+
+    def expected_fp_rate(self) -> float:
+        """Theoretical false-positive rate at the current fill."""
+        fill = self.bits_set / self.m_bits
+        return fill**self.k_hashes
+
+    def clear(self) -> None:
+        self._bits = bytearray(len(self._bits))
+        self._count = 0

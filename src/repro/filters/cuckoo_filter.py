@@ -1,0 +1,159 @@
+"""Cuckoo filter (Fan et al., CoNEXT 2014 — the paper's reference [12]).
+
+An approximate-membership structure built from cuckoo hashing itself:
+buckets hold small fingerprints and partial-key cuckoo hashing derives an
+item's alternate bucket from its *fingerprint* (``alt = bucket XOR
+hash(fp)``), so relocation never needs the original key.  Included here as
+the canonical downstream application of the cuckoo machinery this library
+reproduces — and because the paper leans on the counters-as-Bloom analogy,
+a real cuckoo filter makes a useful comparison point for the membership
+benchmarks.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List, Optional
+
+from ..hashing import Key, KeyLike, canonical_key
+from ..hashing.splitmix import splitmix64
+
+
+class CuckooFilter:
+    """Partial-key cuckoo filter with b-slot buckets.
+
+    Parameters
+    ----------
+    n_buckets:
+        Number of buckets; rounded up to a power of two so the XOR
+        alternate-bucket trick is a bijection.
+    fingerprint_bits:
+        Size of each stored fingerprint (1..32).  Larger fingerprints lower
+        the false-positive rate (~ 2b / 2^f).
+    slots_per_bucket:
+        b in the original paper; 4 reaches ~95 % load.
+    """
+
+    def __init__(
+        self,
+        n_buckets: int,
+        fingerprint_bits: int = 12,
+        slots_per_bucket: int = 4,
+        maxloop: int = 500,
+        seed: int = 0,
+    ) -> None:
+        if n_buckets <= 0:
+            raise ValueError("n_buckets must be positive")
+        if not 1 <= fingerprint_bits <= 32:
+            raise ValueError("fingerprint_bits must be in 1..32")
+        if slots_per_bucket < 1:
+            raise ValueError("slots_per_bucket must be positive")
+        if maxloop < 0:
+            raise ValueError("maxloop must be non-negative")
+        self.n_buckets = 1 << (n_buckets - 1).bit_length()
+        self.fingerprint_bits = fingerprint_bits
+        self.slots_per_bucket = slots_per_bucket
+        self.maxloop = maxloop
+        self._seed = seed
+        self._rng = random.Random(seed ^ 0xF117E5)
+        self._buckets: List[List[int]] = [[] for _ in range(self.n_buckets)]
+        self._count = 0
+        # one-entry victim cache, as in the reference implementation: holds
+        # the fingerprint displaced by a failed relocation chain
+        self._victim: Optional[tuple] = None  # (bucket, fingerprint)
+
+    # -- hashing -----------------------------------------------------------
+
+    def _fingerprint(self, key: Key) -> int:
+        fp = splitmix64(key ^ self._seed) & ((1 << self.fingerprint_bits) - 1)
+        return fp or 1  # 0 is reserved for "empty" in packed implementations
+
+    def _bucket1(self, key: Key) -> int:
+        return splitmix64(key + 0x9E3779B97F4A7C15 + self._seed) % self.n_buckets
+
+    def _alt_bucket(self, bucket: int, fingerprint: int) -> int:
+        return (bucket ^ splitmix64(fingerprint)) % self.n_buckets
+
+    def _candidates(self, key: Key) -> tuple:
+        fp = self._fingerprint(key)
+        b1 = self._bucket1(key)
+        return fp, b1, self._alt_bucket(b1, fp)
+
+    # -- operations ----------------------------------------------------------
+
+    @property
+    def capacity(self) -> int:
+        return self.n_buckets * self.slots_per_bucket
+
+    @property
+    def load_ratio(self) -> float:
+        return self._count / self.capacity
+
+    def __len__(self) -> int:
+        return self._count
+
+    def add(self, key: KeyLike) -> bool:
+        """Insert; returns False when the filter is too full (the caller
+        should rebuild bigger, as with a failed cuckoo insertion)."""
+        if self._victim is not None:
+            return False  # a prior failure must be resolved by rebuilding
+        fp, b1, b2 = self._candidates(canonical_key(key))
+        for bucket in (b1, b2):
+            if len(self._buckets[bucket]) < self.slots_per_bucket:
+                self._buckets[bucket].append(fp)
+                self._count += 1
+                return True
+        # relocate fingerprints, partial-key style
+        bucket = self._rng.choice((b1, b2))
+        current = fp
+        for _ in range(self.maxloop):
+            slot = self._rng.randrange(self.slots_per_bucket)
+            current, self._buckets[bucket][slot] = self._buckets[bucket][slot], current
+            bucket = self._alt_bucket(bucket, current)
+            if len(self._buckets[bucket]) < self.slots_per_bucket:
+                self._buckets[bucket].append(current)
+                self._count += 1
+                return True
+        # A fingerprint chain cannot be undone without the original keys;
+        # park the displaced fingerprint in the victim cache (still queryable)
+        # and report failure so the caller rebuilds a bigger filter.
+        self._victim = (bucket, current)
+        self._count += 1
+        return False
+
+    def __contains__(self, key: KeyLike) -> bool:
+        fp, b1, b2 = self._candidates(canonical_key(key))
+        if fp in self._buckets[b1] or fp in self._buckets[b2]:
+            return True
+        return self._victim is not None and self._victim[1] == fp and (
+            self._victim[0] in (b1, b2)
+        )
+
+    def remove(self, key: KeyLike) -> bool:
+        """Delete one copy of the key's fingerprint (cuckoo filters support
+        deletion, unlike Bloom filters — but only of items actually added)."""
+        fp, b1, b2 = self._candidates(canonical_key(key))
+        for bucket in (b1, b2):
+            if fp in self._buckets[bucket]:
+                self._buckets[bucket].remove(fp)
+                self._count -= 1
+                return True
+        if self._victim is not None and self._victim[1] == fp and (
+            self._victim[0] in (b1, b2)
+        ):
+            self._victim = None
+            self._count -= 1
+            return True
+        return False
+
+    def expected_fp_rate(self) -> float:
+        """Approximate false-positive probability at the current fill."""
+        return min(
+            1.0,
+            2 * self.slots_per_bucket * self.load_ratio / (1 << self.fingerprint_bits),
+        )
+
+    @property
+    def storage_bits(self) -> int:
+        """Bits a packed implementation would occupy."""
+        return self.capacity * self.fingerprint_bits

@@ -1,0 +1,57 @@
+"""Hash function families for cuckoo tables.
+
+The default family is :class:`SplitMixFamily`; the paper's software hash is
+:class:`BobFamily` and its FPGA hash is :class:`ModFamily`.
+"""
+
+from .bob import BobFamily, BobHash, bobhash
+from .double import DoubleHash, DoubleHashFamily
+from .family import (
+    MASK64,
+    HashFamily,
+    HashFunction,
+    Key,
+    KeyLike,
+    candidate_buckets,
+    canonical_key,
+)
+from .modhash import ModFamily, ModHash
+from .splitmix import SplitMixFamily, SplitMixHash, splitmix64
+from .tabulation import TabulationFamily, TabulationHash
+
+DEFAULT_FAMILY = SplitMixFamily()
+
+FAMILIES = {
+    family.name: family
+    for family in (
+        SplitMixFamily(),
+        BobFamily(),
+        TabulationFamily(),
+        ModFamily(),
+        DoubleHashFamily(),
+    )
+}
+
+__all__ = [
+    "BobFamily",
+    "BobHash",
+    "DoubleHash",
+    "DoubleHashFamily",
+    "DEFAULT_FAMILY",
+    "FAMILIES",
+    "HashFamily",
+    "HashFunction",
+    "Key",
+    "KeyLike",
+    "MASK64",
+    "ModFamily",
+    "ModHash",
+    "SplitMixFamily",
+    "SplitMixHash",
+    "TabulationFamily",
+    "TabulationHash",
+    "bobhash",
+    "candidate_buckets",
+    "canonical_key",
+    "splitmix64",
+]

@@ -1,0 +1,47 @@
+"""Double hashing: derive all d functions from two base hashes.
+
+Mitzenmacher, Panagiotou & Walzer (SWAT 2018, the paper's [21]) show that
+cuckoo hashing loses nothing when the d hash functions are generated as
+``h_i(x) = h1(x) + i * h2(x)``: the load thresholds are unchanged while the
+scheme computes only two real hashes per key.  This family implements that
+construction over SplitMix64 bases, letting experiments check that the
+McCuckoo shapes are insensitive to it.
+"""
+
+from __future__ import annotations
+
+from .family import MASK64, HashFamily, HashFunction, Key
+from .splitmix import SplitMixHash, splitmix64
+
+
+class DoubleHash(HashFunction):
+    """``h1 + index * h2`` over two shared base functions.
+
+    ``h2`` is forced odd so that for power-of-two table sizes the stride is
+    invertible and distinct indices give distinct functions.
+    """
+
+    __slots__ = ("index", "_h1", "_h2")
+
+    def __init__(self, index: int, h1: SplitMixHash, h2: SplitMixHash) -> None:
+        if index < 0:
+            raise ValueError("index must be non-negative")
+        self.index = index
+        self._h1 = h1
+        self._h2 = h2
+
+    def hash64(self, key: Key) -> int:
+        stride = self._h2.hash64(key) | 1
+        return (self._h1.hash64(key) + self.index * stride) & MASK64
+
+
+class DoubleHashFamily(HashFamily):
+    """Family where every member shares the same two base hashes."""
+
+    name = "double"
+
+    def make(self, index: int, seed: int) -> DoubleHash:
+        base = splitmix64(seed ^ 0xD0B1E)
+        h1 = SplitMixHash(base)
+        h2 = SplitMixHash(splitmix64(base))
+        return DoubleHash(index, h1, h2)

@@ -1,0 +1,82 @@
+"""Seeded hash families used to derive the d candidate buckets.
+
+Cuckoo hashing needs ``d`` independent hash functions ``h_1..h_d`` mapping a
+key to a bucket index in each sub-table.  A :class:`HashFamily` produces the
+``d`` functions from a seed; every table in this library takes a family so
+experiments can swap hash implementations without touching table code.
+
+Keys are 64-bit integers throughout the library (the DocWords workload packs
+DocID and WordID into one).  :func:`canonical_key` converts ints, bytes and
+strings into that canonical form.
+"""
+
+from __future__ import annotations
+
+import zlib
+from abc import ABC, abstractmethod
+from typing import List, Sequence, Union
+
+MASK64 = (1 << 64) - 1
+
+Key = int
+KeyLike = Union[int, bytes, str]
+
+
+def canonical_key(key: KeyLike) -> Key:
+    """Map an int/bytes/str key to the canonical unsigned 64-bit integer.
+
+    Ints are reduced mod 2^64; bytes and strings are digested with CRC32
+    folded over 8-byte chunks, which is stable across processes (unlike
+    built-in ``hash``).
+    """
+    if isinstance(key, bool):
+        raise TypeError("bool is not a valid key type")
+    if isinstance(key, int):
+        return key & MASK64
+    if isinstance(key, str):
+        key = key.encode("utf-8")
+    if isinstance(key, bytes):
+        acc = len(key) & MASK64
+        for offset in range(0, len(key), 8):
+            chunk = key[offset : offset + 8]
+            word = int.from_bytes(chunk.ljust(8, b"\0"), "little")
+            acc = ((acc * 0x9E3779B97F4A7C15) ^ word ^ zlib.crc32(chunk)) & MASK64
+        return acc
+    raise TypeError(f"unsupported key type: {type(key).__name__}")
+
+
+class HashFunction(ABC):
+    """One seeded hash function mapping a 64-bit key to a 64-bit value."""
+
+    @abstractmethod
+    def hash64(self, key: Key) -> int:
+        """Return a 64-bit hash of ``key``."""
+
+    def bucket(self, key: Key, n_buckets: int) -> int:
+        """Reduce the 64-bit hash to a bucket index in ``[0, n_buckets)``."""
+        if n_buckets <= 0:
+            raise ValueError("n_buckets must be positive")
+        return self.hash64(key) % n_buckets
+
+
+class HashFamily(ABC):
+    """Factory for ``d`` independent hash functions."""
+
+    name: str = "family"
+
+    @abstractmethod
+    def make(self, index: int, seed: int) -> HashFunction:
+        """Build the ``index``-th function for a family seeded with ``seed``."""
+
+    def functions(self, d: int, seed: int) -> List[HashFunction]:
+        """The full list of ``d`` functions for one table instance."""
+        if d <= 0:
+            raise ValueError("d must be positive")
+        return [self.make(i, seed) for i in range(d)]
+
+
+def candidate_buckets(
+    functions: Sequence[HashFunction], key: Key, n_buckets: int
+) -> List[int]:
+    """Candidate bucket index per sub-table for ``key``."""
+    return [fn.bucket(key, n_buckets) for fn in functions]

@@ -1,0 +1,54 @@
+"""Modulo/bit-operation hash — the paper's FPGA implementation.
+
+For the FPGA evaluation the paper replaces BOB hash with "a much simpler
+hash implementation that only involves modulo and bit operations".  This
+module reproduces that flavour: a per-function odd multiplier, a rotate, and
+a xor-fold, all of which synthesize to trivial hardware.  Quality is lower
+than the other families, which is exactly why it is worth benchmarking — the
+latency experiments in the paper run on it.
+"""
+
+from __future__ import annotations
+
+from .family import MASK64, HashFamily, HashFunction, Key
+
+_ODD_MULTIPLIERS = (
+    0x9E3779B97F4A7C15,
+    0xC2B2AE3D27D4EB4F,
+    0x165667B19E3779F9,
+    0xD6E8FEB86659FD93,
+    0xA0761D6478BD642F,
+)
+
+
+def _rotl(x: int, r: int) -> int:
+    r %= 64
+    return ((x << r) | (x >> (64 - r))) & MASK64
+
+
+class ModHash(HashFunction):
+    """Multiply + rotate + fold, indexable directly in hardware."""
+
+    __slots__ = ("multiplier", "rotation")
+
+    def __init__(self, multiplier: int, rotation: int) -> None:
+        if multiplier % 2 == 0:
+            raise ValueError("multiplier must be odd for a bijective multiply")
+        self.multiplier = multiplier & MASK64
+        self.rotation = rotation % 64
+
+    def hash64(self, key: Key) -> int:
+        x = (key * self.multiplier) & MASK64
+        x = _rotl(x, self.rotation)
+        return x ^ (x >> 29)
+
+
+class ModFamily(HashFamily):
+    """Family of hardware-style modulo/bit hashes."""
+
+    name = "mod"
+
+    def make(self, index: int, seed: int) -> ModHash:
+        multiplier = _ODD_MULTIPLIERS[index % len(_ODD_MULTIPLIERS)]
+        multiplier = (multiplier ^ (seed << 1)) | 1
+        return ModHash(multiplier & MASK64, rotation=17 + 11 * index)

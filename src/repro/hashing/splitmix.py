@@ -1,0 +1,46 @@
+"""SplitMix64-style multiply-xorshift hashing — the library default.
+
+The paper's software experiments use BOB hash; any uniform 64-bit hash gives
+the same table behaviour, and SplitMix64's finalizer is the fastest
+high-quality option in pure Python, so it is the default family for
+experiments.  (BOB hash itself is in :mod:`repro.hashing.bob` and is used by
+the hash-quality tests and available to every table.)
+"""
+
+from __future__ import annotations
+
+from .family import MASK64, HashFamily, HashFunction, Key
+
+_GOLDEN = 0x9E3779B97F4A7C15
+
+
+def splitmix64(x: int) -> int:
+    """One round of the SplitMix64 output function."""
+    x = (x + _GOLDEN) & MASK64
+    x = ((x ^ (x >> 30)) * 0xBF58476D1CE4E5B9) & MASK64
+    x = ((x ^ (x >> 27)) * 0x94D049BB133111EB) & MASK64
+    return x ^ (x >> 31)
+
+
+class SplitMixHash(HashFunction):
+    """A single SplitMix64-derived hash function with a 64-bit seed."""
+
+    __slots__ = ("seed",)
+
+    def __init__(self, seed: int) -> None:
+        self.seed = seed & MASK64
+
+    def hash64(self, key: Key) -> int:
+        return splitmix64(key ^ self.seed)
+
+
+class SplitMixFamily(HashFamily):
+    """Derives per-function seeds by walking SplitMix64 from the family seed."""
+
+    name = "splitmix"
+
+    def make(self, index: int, seed: int) -> SplitMixHash:
+        derived = seed & MASK64
+        for _ in range(index + 1):
+            derived = splitmix64(derived + _GOLDEN)
+        return SplitMixHash(derived)

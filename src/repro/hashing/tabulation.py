@@ -1,0 +1,43 @@
+"""Simple tabulation hashing.
+
+Tabulation hashing is 3-independent and known to make cuckoo hashing behave
+as if fully random (Pătraşcu & Thorup), which makes it a useful third family
+for checking that experiment shapes are not artifacts of one hash choice.
+The key's 8 bytes index 8 tables of 256 random 64-bit words that are XORed
+together.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List
+
+from .family import MASK64, HashFamily, HashFunction, Key
+
+
+class TabulationHash(HashFunction):
+    """8x256-entry tabulation hash seeded deterministically."""
+
+    __slots__ = ("_tables",)
+
+    def __init__(self, seed: int) -> None:
+        rng = random.Random(seed)
+        self._tables: List[List[int]] = [
+            [rng.getrandbits(64) for _ in range(256)] for _ in range(8)
+        ]
+
+    def hash64(self, key: Key) -> int:
+        key &= MASK64
+        result = 0
+        for byte_index in range(8):
+            result ^= self._tables[byte_index][(key >> (8 * byte_index)) & 0xFF]
+        return result
+
+
+class TabulationFamily(HashFamily):
+    """Family of independent tabulation hashes."""
+
+    name = "tabulation"
+
+    def make(self, index: int, seed: int) -> TabulationHash:
+        return TabulationHash((seed << 8) ^ (index * 0x1F1F1F1F) ^ 0xABCDEF)

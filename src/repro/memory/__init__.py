@@ -1,0 +1,15 @@
+"""Memory-hierarchy simulation: access accounting and the FPGA latency model."""
+
+from .latency import PAPER_FPGA, LatencyModel
+from .model import AccessCounts, MemoryModel, Op, OpStats, Snapshot, Tier
+
+__all__ = [
+    "AccessCounts",
+    "LatencyModel",
+    "MemoryModel",
+    "Op",
+    "OpStats",
+    "PAPER_FPGA",
+    "Snapshot",
+    "Tier",
+]

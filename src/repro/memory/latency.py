@@ -1,0 +1,123 @@
+"""Cycle-level latency and throughput model of the paper's FPGA platform.
+
+The paper's §IV.F evaluation runs on an Altera Stratix V board:
+
+* hash calculation and scheme logic: 1 CLK at 333 MHz;
+* on-chip SRAM: read 3 CLK, write 1 CLK (at 333 MHz);
+* off-chip DDR3 (controller at 200 MHz): read ≈18 CLK, write 1 CLK — writes
+  are fire-and-forget into the controller, reads stall the pipeline.
+
+We do not have the board, so Figures 15 and 16 are reproduced by applying
+exactly this arithmetic to the access counts gathered by
+:class:`repro.memory.model.MemoryModel`.  Record size enters through a burst
+term: DDR3 moves 64-bit words, so a record of ``record_bytes`` needs
+``ceil(record_bytes / bus_bytes)`` bus beats beyond the fixed access setup.
+This preserves the paper's qualitative findings (skipping bucket reads pays
+off more as records grow; counter checking is relatively expensive for tiny
+records) without pretending to be cycle-exact for a board we cannot run.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from .model import OpStats, Snapshot
+
+
+@dataclass(frozen=True)
+class LatencyModel:
+    """Latency parameters, defaulting to the paper's published numbers."""
+
+    logic_clk_hz: float = 333e6
+    mem_clk_hz: float = 200e6
+    logic_cycles_per_op: int = 1
+    onchip_read_cycles: int = 3
+    onchip_write_cycles: int = 1
+    offchip_read_setup_cycles: int = 18
+    offchip_write_cycles: int = 1
+    bus_bytes: int = 8
+    record_bytes: int = 8
+
+    def _burst_beats(self) -> int:
+        return max(1, math.ceil(self.record_bytes / self.bus_bytes))
+
+    def offchip_read_cycles(self) -> int:
+        """Memory-clock cycles one off-chip bucket/record read costs."""
+        return self.offchip_read_setup_cycles + self._burst_beats() - 1
+
+    def logic_seconds(self, cycles: float) -> float:
+        return cycles / self.logic_clk_hz
+
+    def mem_seconds(self, cycles: float) -> float:
+        return cycles / self.mem_clk_hz
+
+    def seconds_for(self, delta: Snapshot, logic_ops: int = 1) -> float:
+        """Wall-clock seconds implied by one operation's access delta.
+
+        The paper's implementation is unpipelined, so the latency of an
+        operation is the plain sum of its component latencies.
+        """
+        logic = self.logic_cycles_per_op * logic_ops
+        onchip = (
+            delta.on_chip.reads * self.onchip_read_cycles
+            + delta.on_chip.writes * self.onchip_write_cycles
+        )
+        offchip = (
+            delta.off_chip.reads * self.offchip_read_cycles()
+            + delta.off_chip.writes * self.offchip_write_cycles
+        )
+        return self.logic_seconds(logic + onchip) + self.mem_seconds(offchip)
+
+    def latency_us(self, stats: OpStats) -> float:
+        """Average per-operation latency in microseconds for a batch."""
+        if not stats.operations:
+            return 0.0
+        snapshot = Snapshot(on_chip=stats.on_chip, off_chip=stats.off_chip)
+        total = self.seconds_for(snapshot, logic_ops=stats.operations)
+        return total / stats.operations * 1e6
+
+    def throughput_mops(self, stats: OpStats) -> float:
+        """Sustained throughput in million operations per second."""
+        us = self.latency_us(stats)
+        if us == 0.0:
+            return 0.0
+        return 1.0 / us
+
+    def batch_seconds(self, epochs: int, total_reads: int, logic_ops: int = 0) -> float:
+        """Wall-clock seconds for an AMAC-style batched run.
+
+        The paper's board is unpipelined, so a *serial* run pays one full
+        off-chip read latency per read.  With memory-level parallelism the
+        controller overlaps outstanding reads: each scheduler *epoch* (see
+        :func:`repro.core.batch.batched_lookup`) costs one read latency
+        regardless of how many reads it overlaps, plus one bus burst per
+        read actually transferred (bandwidth is still serial).
+        """
+        if epochs < 0 or total_reads < 0 or logic_ops < 0:
+            raise ValueError("epochs, total_reads and logic_ops must be >= 0")
+        setup = epochs * self.offchip_read_setup_cycles
+        bursts = total_reads * self._burst_beats()
+        return self.mem_seconds(setup + bursts) + self.logic_seconds(
+            logic_ops * self.logic_cycles_per_op
+        )
+
+    def with_record_bytes(self, record_bytes: int) -> "LatencyModel":
+        """A copy of this model for a different record size (Fig. 15/16 sweeps)."""
+        if record_bytes <= 0:
+            raise ValueError("record_bytes must be positive")
+        return LatencyModel(
+            logic_clk_hz=self.logic_clk_hz,
+            mem_clk_hz=self.mem_clk_hz,
+            logic_cycles_per_op=self.logic_cycles_per_op,
+            onchip_read_cycles=self.onchip_read_cycles,
+            onchip_write_cycles=self.onchip_write_cycles,
+            offchip_read_setup_cycles=self.offchip_read_setup_cycles,
+            offchip_write_cycles=self.offchip_write_cycles,
+            bus_bytes=self.bus_bytes,
+            record_bytes=record_bytes,
+        )
+
+
+PAPER_FPGA = LatencyModel()
+"""The model instantiated with the paper's Stratix V / DDR3 numbers."""

@@ -1,0 +1,43 @@
+"""Workload generators: key streams, synthetic DocWords, Zipf, traces."""
+
+from .adversarial import (
+    attack_overload_factor,
+    expected_capacity_of_window,
+    mine_colliding_keys,
+)
+from .docwords import (
+    DocWordsConfig,
+    DocWordsGenerator,
+    combine_ids,
+    load_docwords_file,
+    split_key,
+)
+from .keys import distinct_keys, key_stream, missing_keys, sample_keys
+from .traces import OpKind, TraceGenerator, TraceOp, TraceStats, replay
+from .ycsb import MIXES, YCSBConfig, YCSBWorkload
+from .zipf import ZipfSampler, zipf_choices
+
+__all__ = [
+    "DocWordsConfig",
+    "attack_overload_factor",
+    "expected_capacity_of_window",
+    "mine_colliding_keys",
+    "DocWordsGenerator",
+    "OpKind",
+    "TraceGenerator",
+    "TraceOp",
+    "TraceStats",
+    "ZipfSampler",
+    "combine_ids",
+    "distinct_keys",
+    "key_stream",
+    "load_docwords_file",
+    "missing_keys",
+    "replay",
+    "sample_keys",
+    "split_key",
+    "MIXES",
+    "YCSBConfig",
+    "YCSBWorkload",
+    "zipf_choices",
+]

@@ -1,0 +1,69 @@
+"""Adversarial key sets: stress the collision-resolution machinery.
+
+Cuckoo tables in security-sensitive settings (the paper cites private set
+intersection, ORAM, history-independent hashing) face inputs chosen to
+collide.  An attacker who can predict the hash functions can mine keys
+whose candidate buckets concentrate on a small region, overloading it far
+below the nominal load threshold.
+
+:func:`mine_colliding_keys` plays that attacker: it searches a key stream
+for keys all of whose candidates land inside a chosen window of each
+sub-table.  A window of W buckets per sub-table can hold at most ``d*W``
+items (single-slot), so offering more than that *guarantees* insertion
+failures regardless of maxloop — which is exactly what the stash exists to
+absorb.  The tests use these sets to verify graceful degradation: no lost
+items, no false results, stash takes the overflow.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+from ..hashing import Key
+from .keys import key_stream
+
+
+def mine_colliding_keys(
+    table,
+    count: int,
+    window: int = 4,
+    seed: int = 0,
+    max_draws: int = 2_000_000,
+) -> List[Key]:
+    """Mine ``count`` keys whose every candidate falls in the first
+    ``window`` buckets of its sub-table.
+
+    ``table`` provides the hash functions (``_candidates``) — the attacker
+    model where the hash family and seed are known.  Raises RuntimeError if
+    the stream budget runs out (window too small for the table size).
+    """
+    if count <= 0:
+        raise ValueError("count must be positive")
+    if window <= 0:
+        raise ValueError("window must be positive")
+    n = table.n_buckets
+    mined: List[Key] = []
+    stream = key_stream(seed=seed)
+    for _ in range(max_draws):
+        key = next(stream)
+        cands = table._candidates(key)
+        if all(bucket % n < window for bucket in cands):
+            mined.append(key)
+            if len(mined) == count:
+                return mined
+    raise RuntimeError(
+        f"mined only {len(mined)}/{count} colliding keys in {max_draws} draws; "
+        "increase window or max_draws"
+    )
+
+
+def expected_capacity_of_window(table, window: int) -> int:
+    """Items a window of ``window`` buckets per sub-table can hold at most."""
+    slots = getattr(table, "slots", 1)
+    return table.d * window * slots
+
+
+def attack_overload_factor(keys: Sequence[Key], table, window: int) -> float:
+    """How far past the window's capacity an attack set pushes it."""
+    capacity = expected_capacity_of_window(table, window)
+    return len(keys) / capacity if capacity else float("inf")

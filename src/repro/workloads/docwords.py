@@ -1,0 +1,128 @@
+"""Synthetic DocWords workload.
+
+The paper's software evaluation inserts the NYTimes collection of the UCI
+*Bag of Words* dataset: each record is a (DocID, WordID, count) triple, and
+"the DocID and WordID are combined to form the key of each item".  The real
+corpus is not redistributable here, so this module generates a statistically
+faithful stand-in:
+
+* a vocabulary of ``n_words`` word ids with Zipf-distributed frequencies
+  (word frequency in news text is classically Zipfian, s ≈ 1);
+* documents draw ``words_per_doc`` words from that distribution;
+* each *distinct* (doc, word) pair becomes one item, keyed as
+  ``(doc_id << 32) | word_id`` — the natural combination of the two ids.
+
+The hash tables only ever see the resulting 64-bit keys, so what matters is
+that the keys are distinct and plentiful, which this generator guarantees.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, List, Set, Tuple
+
+from ..hashing import Key
+from .zipf import ZipfSampler
+
+
+@dataclass(frozen=True)
+class DocWordsConfig:
+    """Shape of the synthetic corpus."""
+
+    n_docs: int = 1000
+    n_words: int = 20000
+    words_per_doc: int = 120
+    zipf_s: float = 1.0
+    seed: int = 42
+
+    def __post_init__(self) -> None:
+        if self.n_docs <= 0 or self.n_words <= 0 or self.words_per_doc <= 0:
+            raise ValueError("corpus dimensions must be positive")
+        if self.n_words > 1 << 32 or self.n_docs > 1 << 32:
+            raise ValueError("doc and word ids must fit in 32 bits")
+
+
+def combine_ids(doc_id: int, word_id: int) -> Key:
+    """Pack a (DocID, WordID) pair into the 64-bit table key."""
+    if not 0 <= doc_id < 1 << 32:
+        raise ValueError("doc_id out of 32-bit range")
+    if not 0 <= word_id < 1 << 32:
+        raise ValueError("word_id out of 32-bit range")
+    return (doc_id << 32) | word_id
+
+
+def split_key(key: Key) -> Tuple[int, int]:
+    """Inverse of :func:`combine_ids`."""
+    return key >> 32, key & 0xFFFFFFFF
+
+
+def load_docwords_file(path: str, limit: int = 0) -> List[Key]:
+    """Load keys from a real UCI *Bag of Words* ``docword.*.txt`` file.
+
+    The format is three header lines (D, W, NNZ) followed by one
+    ``docID wordID count`` triple per line.  Users who have the actual
+    NYTimes collection the paper used can feed it straight into the
+    experiments; everyone else uses :class:`DocWordsGenerator`.
+
+    Doc and word ids are 1-based in the file and are kept as-is; each
+    (doc, word) pair becomes one combined 64-bit key.  ``limit`` caps the
+    number of keys (0 = all).
+    """
+    keys: List[Key] = []
+    with open(path, "r", encoding="utf-8") as handle:
+        header: List[int] = []
+        for line in handle:
+            line = line.strip()
+            if not line:
+                continue
+            if len(header) < 3:
+                header.append(int(line))
+                continue
+            parts = line.split()
+            if len(parts) < 2:
+                raise ValueError(f"malformed docword line: {line!r}")
+            doc_id, word_id = int(parts[0]), int(parts[1])
+            keys.append(combine_ids(doc_id, word_id))
+            if limit and len(keys) >= limit:
+                break
+    if len(header) < 3:
+        raise ValueError("file is missing the three D/W/NNZ header lines")
+    return keys
+
+
+class DocWordsGenerator:
+    """Streams the distinct (doc, word) items of a synthetic corpus."""
+
+    def __init__(self, config: DocWordsConfig = DocWordsConfig()) -> None:
+        self.config = config
+
+    def pairs(self) -> Iterator[Tuple[int, int]]:
+        """Distinct (doc_id, word_id) pairs, document by document.
+
+        Every call restarts the corpus from scratch, so the stream is
+        reproducible and the generator can be iterated repeatedly.
+        """
+        sampler = ZipfSampler(
+            self.config.n_words, s=self.config.zipf_s, seed=self.config.seed
+        )
+        for doc_id in range(self.config.n_docs):
+            seen: Set[int] = set()
+            for _ in range(self.config.words_per_doc):
+                word_id = sampler.sample()
+                if word_id not in seen:
+                    seen.add(word_id)
+                    yield doc_id, word_id
+
+    def keys(self) -> Iterator[Key]:
+        """The combined 64-bit keys, in corpus order."""
+        for doc_id, word_id in self.pairs():
+            yield combine_ids(doc_id, word_id)
+
+    def materialise(self, limit: int = 0) -> List[Key]:
+        """Collect up to ``limit`` keys (all of them when limit is 0)."""
+        keys: List[Key] = []
+        for key in self.keys():
+            keys.append(key)
+            if limit and len(keys) >= limit:
+                break
+        return keys

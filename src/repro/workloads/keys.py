@@ -1,0 +1,69 @@
+"""Key-stream generators for experiments.
+
+Experiments need streams of *distinct* 64-bit keys (insertions assume
+absence) plus disjoint streams of fresh keys for non-existing-item queries.
+Everything is deterministic given a seed.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Iterator, List, Set
+
+from ..hashing import MASK64, Key
+from ..hashing.splitmix import splitmix64
+
+
+def distinct_keys(count: int, seed: int = 0) -> List[Key]:
+    """``count`` distinct pseudo-random 64-bit keys.
+
+    Keys are produced by walking SplitMix64 from the seed, which guarantees
+    distinctness for far more than 2^32 draws in practice; collisions are
+    checked anyway because experiments rely on distinctness.
+    """
+    if count < 0:
+        raise ValueError("count must be non-negative")
+    keys: List[Key] = []
+    seen: Set[Key] = set()
+    state = seed & MASK64
+    while len(keys) < count:
+        state = (state + 0x9E3779B97F4A7C15) & MASK64
+        key = splitmix64(state)
+        if key not in seen:
+            seen.add(key)
+            keys.append(key)
+    return keys
+
+
+def key_stream(seed: int = 0) -> Iterator[Key]:
+    """Endless stream of distinct keys (for fill-until-failure sweeps)."""
+    seen: Set[Key] = set()
+    state = seed & MASK64
+    while True:
+        state = (state + 0x9E3779B97F4A7C15) & MASK64
+        key = splitmix64(state)
+        if key not in seen:
+            seen.add(key)
+            yield key
+
+
+def missing_keys(count: int, present: Set[Key], seed: int = 1) -> List[Key]:
+    """``count`` distinct keys guaranteed absent from ``present``."""
+    keys: List[Key] = []
+    seen: Set[Key] = set(present)
+    state = (seed ^ 0xDEADBEEF) & MASK64
+    while len(keys) < count:
+        state = (state + 0x9E3779B97F4A7C15) & MASK64
+        key = splitmix64(state)
+        if key not in seen:
+            seen.add(key)
+            keys.append(key)
+    return keys
+
+
+def sample_keys(keys: List[Key], count: int, seed: int = 2) -> List[Key]:
+    """A reproducible sample (without replacement) of existing keys."""
+    if count > len(keys):
+        raise ValueError(f"cannot sample {count} from {len(keys)} keys")
+    rng = random.Random(seed)
+    return rng.sample(keys, count)

@@ -1,0 +1,174 @@
+"""Operation traces: mixed insert/lookup/delete streams.
+
+Dynamic-workload experiments (deletion aftermath, stash-flag staleness,
+concurrency interleavings) replay a trace of operations rather than a pure
+fill.  :class:`TraceGenerator` builds reproducible traces with configurable
+mix ratios; :func:`replay` runs one against any table and reports outcome
+counts, validating results against a shadow dict.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import Dict, Iterator, List, Optional, Tuple
+
+from ..core.interface import HashTable
+from ..hashing import Key
+from .keys import key_stream
+
+
+class OpKind(Enum):
+    INSERT = "insert"
+    LOOKUP = "lookup"
+    LOOKUP_MISSING = "lookup_missing"
+    DELETE = "delete"
+    UPDATE = "update"
+
+
+@dataclass(frozen=True)
+class TraceOp:
+    kind: OpKind
+    key: Key
+    value: Optional[int] = None
+
+
+@dataclass
+class TraceStats:
+    """Counts gathered while replaying a trace."""
+
+    inserts: int = 0
+    stashed: int = 0
+    failed: int = 0
+    updates: int = 0
+    lookups: int = 0
+    hits: int = 0
+    false_negatives: int = 0
+    false_positives: int = 0
+    deletes: int = 0
+    delete_misses: int = 0
+    stash_checks: int = 0
+    per_kind: Dict[str, int] = field(default_factory=dict)
+
+
+class TraceGenerator:
+    """Generates a reproducible mixed-operation trace.
+
+    Ratios need not sum to 1; they are normalised.  Lookup and delete
+    operations target previously inserted keys; ``lookup_missing`` draws
+    keys guaranteed never inserted.
+    """
+
+    def __init__(
+        self,
+        n_ops: int,
+        insert_ratio: float = 0.5,
+        lookup_ratio: float = 0.3,
+        missing_ratio: float = 0.1,
+        delete_ratio: float = 0.1,
+        seed: int = 0,
+    ) -> None:
+        if n_ops <= 0:
+            raise ValueError("n_ops must be positive")
+        ratios = [insert_ratio, lookup_ratio, missing_ratio, delete_ratio]
+        if any(r < 0 for r in ratios) or sum(ratios) <= 0:
+            raise ValueError("ratios must be non-negative with a positive sum")
+        self.n_ops = n_ops
+        total = sum(ratios)
+        self._weights = [r / total for r in ratios]
+        self._seed = seed
+
+    def __iter__(self) -> Iterator[TraceOp]:
+        rng = random.Random(self._seed)
+        fresh = key_stream(seed=self._seed)
+        missing = key_stream(seed=self._seed ^ 0xFFFF_FFFF)
+        live: List[Key] = []
+        live_set: set = set()
+        kinds = [OpKind.INSERT, OpKind.LOOKUP, OpKind.LOOKUP_MISSING, OpKind.DELETE]
+        emitted = 0
+        value_counter = 0
+        while emitted < self.n_ops:
+            kind = rng.choices(kinds, weights=self._weights)[0]
+            if kind is OpKind.INSERT or not live:
+                key = next(fresh)
+                while key in live_set:
+                    key = next(fresh)
+                live.append(key)
+                live_set.add(key)
+                yield TraceOp(OpKind.INSERT, key, value_counter)
+                value_counter += 1
+            elif kind is OpKind.LOOKUP:
+                yield TraceOp(OpKind.LOOKUP, live[rng.randrange(len(live))])
+            elif kind is OpKind.LOOKUP_MISSING:
+                key = next(missing)
+                while key in live_set:
+                    key = next(missing)
+                yield TraceOp(OpKind.LOOKUP_MISSING, key)
+            else:
+                index = rng.randrange(len(live))
+                key = live.pop(index)
+                live_set.discard(key)
+                yield TraceOp(OpKind.DELETE, key)
+            emitted += 1
+
+
+def replay(
+    table: HashTable, trace: Iterator[TraceOp], check: bool = True
+) -> TraceStats:
+    """Run a trace against ``table``, optionally validating with a shadow dict.
+
+    ``false_negatives`` counts keys the shadow says are present but the
+    table missed; ``false_positives`` the reverse.  Both must stay zero for
+    a correct implementation.
+    """
+    stats = TraceStats()
+    shadow: Dict[Key, Optional[int]] = {}
+    for op in trace:
+        stats.per_kind[op.kind.value] = stats.per_kind.get(op.kind.value, 0) + 1
+        if op.kind is OpKind.INSERT:
+            outcome = table.put(op.key, op.value)
+            stats.inserts += 1
+            if outcome.stashed:
+                stats.stashed += 1
+            if outcome.failed:
+                stats.failed += 1
+            else:
+                shadow[op.key] = op.value
+        elif op.kind is OpKind.UPDATE:
+            outcome = table.upsert(op.key, op.value)
+            stats.updates += 1
+            if check:
+                expected = op.key in shadow
+                updated = outcome.status.value == "updated"
+                if expected and not updated:
+                    stats.false_negatives += 1
+                if not expected and updated:
+                    stats.false_positives += 1
+            if not outcome.failed:
+                shadow[op.key] = op.value
+        elif op.kind in (OpKind.LOOKUP, OpKind.LOOKUP_MISSING):
+            outcome = table.lookup(op.key)
+            stats.lookups += 1
+            if outcome.checked_stash:
+                stats.stash_checks += 1
+            if outcome.found:
+                stats.hits += 1
+            if check:
+                expected = op.key in shadow
+                if expected and not outcome.found:
+                    stats.false_negatives += 1
+                if not expected and outcome.found:
+                    stats.false_positives += 1
+        else:
+            outcome = table.delete(op.key)
+            stats.deletes += 1
+            if not outcome.deleted:
+                stats.delete_misses += 1
+            if check and (op.key in shadow) != outcome.deleted:
+                if op.key in shadow:
+                    stats.false_negatives += 1
+                else:
+                    stats.false_positives += 1
+            shadow.pop(op.key, None)
+    return stats

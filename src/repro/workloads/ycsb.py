@@ -1,0 +1,122 @@
+"""YCSB-style workload mixes.
+
+The Yahoo! Cloud Serving Benchmark's core workloads are the lingua franca
+for key-value store evaluation; hash-table papers (including several of the
+systems McCuckoo cites — MemC3, SILT) report against them.  This module
+generates the standard mixes as :class:`~repro.workloads.traces.TraceOp`
+streams so they replay through the same harness as the paper's own
+workloads.
+
+Implemented mixes (scan-based workload E is omitted — hash tables have no
+range scans):
+
+=====  =====================================  ====================
+ name  operation mix                          request distribution
+=====  =====================================  ====================
+ A     50 % read / 50 % update                zipfian
+ B     95 % read / 5 % update                 zipfian
+ C     100 % read                             zipfian
+ D     95 % read / 5 % insert                 latest
+ F     50 % read / 50 % read-modify-write     zipfian
+=====  =====================================  ====================
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Dict, Iterator, List
+
+from ..hashing import Key
+from .keys import distinct_keys, key_stream
+from .traces import OpKind, TraceOp
+from .zipf import ZipfSampler
+
+#: per-mix (read, update, insert, rmw) fractions
+MIXES: Dict[str, Dict[str, float]] = {
+    "A": {"read": 0.5, "update": 0.5, "insert": 0.0, "rmw": 0.0},
+    "B": {"read": 0.95, "update": 0.05, "insert": 0.0, "rmw": 0.0},
+    "C": {"read": 1.0, "update": 0.0, "insert": 0.0, "rmw": 0.0},
+    "D": {"read": 0.95, "update": 0.0, "insert": 0.05, "rmw": 0.0},
+    "F": {"read": 0.5, "update": 0.0, "insert": 0.0, "rmw": 0.5},
+}
+
+
+@dataclass(frozen=True)
+class YCSBConfig:
+    """Workload shape: record count, op count, mix and skew."""
+
+    workload: str = "A"
+    n_records: int = 1000
+    n_ops: int = 5000
+    zipf_s: float = 0.99
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.workload not in MIXES:
+            raise ValueError(
+                f"unknown workload {self.workload!r}; options: {sorted(MIXES)}"
+            )
+        if self.n_records <= 0 or self.n_ops <= 0:
+            raise ValueError("n_records and n_ops must be positive")
+
+
+class YCSBWorkload:
+    """Generates the load phase and the run phase of one YCSB mix."""
+
+    def __init__(self, config: YCSBConfig) -> None:
+        self.config = config
+        self._records: List[Key] = distinct_keys(config.n_records, seed=config.seed)
+
+    @property
+    def records(self) -> List[Key]:
+        return list(self._records)
+
+    def load_phase(self) -> Iterator[TraceOp]:
+        """Insert every record once (YCSB's load stage)."""
+        for position, key in enumerate(self._records):
+            yield TraceOp(OpKind.INSERT, key, position)
+
+    def run_phase(self) -> Iterator[TraceOp]:
+        """The transaction stage: ``n_ops`` draws from the mix."""
+        mix = MIXES[self.config.workload]
+        rng = random.Random(self.config.seed ^ 0x5C5B)
+        zipf = ZipfSampler(
+            len(self._records), s=self.config.zipf_s, seed=self.config.seed + 1
+        )
+        fresh = key_stream(seed=self.config.seed ^ 0xD15C)
+        live = list(self._records)
+        live_set = set(live)
+        kinds = ["read", "update", "insert", "rmw"]
+        weights = [mix[kind] for kind in kinds]
+        value_counter = len(live)
+        for _ in range(self.config.n_ops):
+            kind = rng.choices(kinds, weights=weights)[0]
+            if kind == "insert":
+                key = next(fresh)
+                while key in live_set:
+                    key = next(fresh)
+                live.append(key)
+                live_set.add(key)
+                yield TraceOp(OpKind.INSERT, key, value_counter)
+                value_counter += 1
+            elif kind == "read":
+                yield TraceOp(OpKind.LOOKUP, self._choose(live, zipf, rng))
+            elif kind == "update":
+                yield TraceOp(
+                    OpKind.UPDATE, self._choose(live, zipf, rng), value_counter
+                )
+                value_counter += 1
+            else:  # read-modify-write: a read immediately followed by update
+                key = self._choose(live, zipf, rng)
+                yield TraceOp(OpKind.LOOKUP, key)
+                yield TraceOp(OpKind.UPDATE, key, value_counter)
+                value_counter += 1
+
+    def _choose(self, live: List[Key], zipf: ZipfSampler, rng: random.Random) -> Key:
+        if self.config.workload == "D":
+            # "latest" distribution: strongly favour recently inserted keys
+            rank = min(zipf.sample(), len(live) - 1)
+            return live[len(live) - 1 - rank]
+        rank = zipf.sample()
+        return live[rank % len(live)]

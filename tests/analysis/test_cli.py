@@ -1,0 +1,83 @@
+"""Tests for the ``python -m repro`` command-line interface."""
+
+import pytest
+
+from repro.cli import main
+
+
+class TestList:
+    def test_lists_all_experiments(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        for name in ("fig9", "fig16", "table2", "ablation-stash"):
+            assert name in out
+
+
+class TestExperiments:
+    def test_single_experiment(self, capsys):
+        code = main(["experiments", "--only", "table1",
+                     "--scale", "200", "--repeats", "1"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "first_collision_load" in out
+        assert "B-McCuckoo" in out
+
+    def test_sweep_based_experiment(self, capsys):
+        code = main(["experiments", "--only", "fig9",
+                     "--scale", "200", "--repeats", "1"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "kicks_per_insert" in out
+        assert "shared load sweep" in out
+
+    def test_unknown_experiment_rejected(self, capsys):
+        code = main(["experiments", "--only", "fig99", "--scale", "200"])
+        assert code == 2
+        assert "unknown" in capsys.readouterr().err
+
+
+class TestFill:
+    def test_fill_reports_stats(self, capsys):
+        code = main(["fill", "McCuckoo", "--scale", "200", "--load", "0.6"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "filled to 60.00%" in out
+        assert "counter histogram" in out
+        assert "modelled insert latency" in out
+
+    def test_fill_baseline_scheme(self, capsys):
+        code = main(["fill", "Cuckoo", "--scale", "200", "--load", "0.5"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "Cuckoo: filled" in out
+
+    def test_fill_rejects_unknown_scheme(self):
+        with pytest.raises(SystemExit):
+            main(["fill", "NotATable"])
+
+
+class TestWorkload:
+    def test_workload_clean_run(self, capsys):
+        code = main(["workload", "McCuckoo", "--ops", "600", "--scale", "200"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "false_negatives=0" in out
+        assert "false_positives=0" in out
+
+    def test_workload_custom_mix(self, capsys):
+        code = main([
+            "workload", "BCHT", "--ops", "400", "--scale", "200",
+            "--insert", "1.0", "--lookup", "0", "--missing", "0",
+            "--delete", "0",
+        ])
+        assert code == 0
+        assert "deletes=0" in capsys.readouterr().out
+
+
+class TestValidate:
+    def test_validate_passes_at_small_scale(self, capsys):
+        code = main(["validate", "--scale", "400", "--repeats", "1"])
+        out = capsys.readouterr().out
+        assert code == 0, out
+        assert "FAIL" not in out
+        assert "9/9 checks passed" in out

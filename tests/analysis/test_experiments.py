@@ -1,0 +1,242 @@
+"""Tests for the per-figure experiment functions (tiny scale, shape only).
+
+A single shared sweep is computed once per module and reused, so this file
+stays fast despite touching every experiment.
+"""
+
+import pytest
+
+from repro.analysis import (
+    ALL_EXPERIMENTS,
+    Scale,
+    ablation_deletion_mode,
+    ablation_kick_policy,
+    ablation_sibling_tracking,
+    ablation_stash_screen,
+    fig9_kickouts,
+    fig10_memaccess,
+    fig11_first_failure,
+    fig12_lookup_existing,
+    fig13_lookup_missing,
+    fig14_deletion,
+    fig15_insert_latency,
+    fig16_lookup_latency,
+    run_core_sweep,
+    table1_first_collision,
+    table2_stash_single,
+    table3_stash_blocked,
+)
+
+TINY = Scale(n_single=240, repeats=1, n_queries=120)
+
+
+@pytest.fixture(scope="module")
+def sweep():
+    return run_core_sweep(TINY)
+
+
+class TestCoreSweep:
+    def test_covers_all_schemes_and_loads(self, sweep):
+        schemes = {scheme for scheme, _ in sweep}
+        assert schemes == {"Cuckoo", "McCuckoo", "BCHT", "B-McCuckoo"}
+
+    def test_each_cell_has_insert_stats(self, sweep):
+        for cell in sweep.values():
+            assert cell.insert.operations > 0
+
+
+class TestFig9(object):
+    def test_rows_and_shape(self, sweep):
+        result = fig9_kickouts(TINY, sweep=sweep)
+        assert set(result.columns) == {"scheme", "load", "kicks_per_insert"}
+        mc = result.series("load", "kicks_per_insert", scheme="McCuckoo")
+        cu = result.series("load", "kicks_per_insert", scheme="Cuckoo")
+        assert mc[0.85] < cu[0.85]  # the headline claim
+
+    def test_low_load_kick_free(self, sweep):
+        result = fig9_kickouts(TINY, sweep=sweep)
+        for scheme in ("Cuckoo", "McCuckoo"):
+            assert result.series("load", "kicks_per_insert", scheme=scheme)[0.1] == 0
+
+
+class TestFig10:
+    def test_multicopy_reads_lower(self, sweep):
+        result = fig10_memaccess(TINY, sweep=sweep)
+        mc = result.series("load", "reads_per_insert", scheme="McCuckoo")
+        cu = result.series("load", "reads_per_insert", scheme="Cuckoo")
+        for load in (0.1, 0.5, 0.85):
+            assert mc[load] < cu[load]
+
+    def test_multicopy_writes_higher_at_low_load(self, sweep):
+        result = fig10_memaccess(TINY, sweep=sweep)
+        mc = result.series("load", "writes_per_insert", scheme="McCuckoo")
+        cu = result.series("load", "writes_per_insert", scheme="Cuckoo")
+        assert mc[0.1] > cu[0.1]
+
+
+class TestTable1:
+    def test_multicopy_collides_later(self):
+        result = table1_first_collision(TINY)
+        loads = {row["scheme"]: row["first_collision_load"] for row in result.rows}
+        assert loads["McCuckoo"] > loads["Cuckoo"]
+        assert loads["B-McCuckoo"] > loads["BCHT"]
+        assert loads["BCHT"] > loads["Cuckoo"]
+
+
+class TestFig11:
+    def test_failure_load_rises_with_maxloop(self):
+        result = fig11_first_failure(TINY, maxloops=(20, 200))
+        for scheme in ("Cuckoo", "McCuckoo"):
+            series = result.series(
+                "maxloop", "first_failure_load", scheme=scheme
+            )
+            assert series[200] >= series[20]
+
+    def test_blocked_schemes_fail_later(self):
+        result = fig11_first_failure(TINY, maxloops=(100,))
+        loads = {row["scheme"]: row["first_failure_load"] for row in result.rows}
+        assert loads["B-McCuckoo"] > loads["Cuckoo"]
+
+
+class TestFig12And13:
+    def test_lookup_existing_mccuckoo_cheaper(self, sweep):
+        result = fig12_lookup_existing(TINY, sweep=sweep)
+        mc = result.series("load", "offchip_accesses_per_lookup", scheme="McCuckoo")
+        cu = result.series("load", "offchip_accesses_per_lookup", scheme="Cuckoo")
+        assert mc[0.5] < cu[0.5]
+
+    def test_lookup_missing_near_zero_at_low_load(self, sweep):
+        result = fig13_lookup_missing(TINY, sweep=sweep)
+        mc = result.series("load", "offchip_accesses_per_lookup", scheme="McCuckoo")
+        cu = result.series("load", "offchip_accesses_per_lookup", scheme="Cuckoo")
+        assert mc[0.2] < 0.3
+        assert cu[0.2] == pytest.approx(3.0)  # blind d-probe baseline
+
+
+class TestFig14:
+    def test_deletion_shape(self):
+        result = fig14_deletion(TINY, loads=(0.5,))
+        rows = {row["scheme"]: row for row in result.rows}
+        assert rows["McCuckoo"]["writes_per_delete"] == 0
+        assert rows["Cuckoo"]["writes_per_delete"] == 1
+        assert rows["McCuckoo"]["reads_per_delete"] > rows["Cuckoo"]["reads_per_delete"] * 0.5
+
+
+class TestStashTables:
+    def test_table2_ramp(self):
+        result = table2_stash_single(TINY, loads=(0.88, 0.93), maxloops=(100,))
+        series = result.series("load", "stash_items", maxloop=100)
+        assert series[0.93] >= series[0.88]
+
+    def test_table2_visit_rate_near_zero(self):
+        result = table2_stash_single(TINY, loads=(0.9,), maxloops=(200,))
+        assert result.rows[0]["stash_visit_pct_missing_lookups"] < 1.0
+
+    def test_table3_blocked_stays_empty_longer(self):
+        result = table3_stash_blocked(TINY, loads=(0.975,), maxloops=(200,))
+        assert result.rows[0]["stash_items"] == pytest.approx(0.0, abs=1.0)
+
+
+class TestLatencyFigures:
+    def test_fig15_latency_rows(self, sweep):
+        result = fig15_insert_latency(TINY, sweep=sweep)
+        assert all(row["latency_us"] > 0 for row in result.rows)
+        # throughput advantage grows with record size at 50 % load
+        mc = result.series("record_bytes", "throughput_mops",
+                           scheme="McCuckoo", load=0.5)
+        assert mc[8] > mc[128]
+
+    def test_fig16_existing_and_missing_populations(self, sweep):
+        result = fig16_lookup_latency(TINY, sweep=sweep)
+        populations = {row["population"] for row in result.rows}
+        assert populations == {"existing", "missing"}
+
+    def test_fig16_missing_lookups_faster_for_mccuckoo(self, sweep):
+        result = fig16_lookup_latency(TINY, sweep=sweep)
+        mc = [
+            row
+            for row in result.filter_rows(scheme="McCuckoo", population="missing")
+            if row["load"] == 0.5 and row["record_bytes"] == 8
+        ][0]
+        cu = [
+            row
+            for row in result.filter_rows(scheme="Cuckoo", population="missing")
+            if row["load"] == 0.5 and row["record_bytes"] == 8
+        ][0]
+        assert mc["latency_us"] < cu["latency_us"]
+
+
+class TestAblations:
+    def test_sibling_tracking_tradeoff(self):
+        result = ablation_sibling_tracking(TINY, loads=(0.7,))
+        rows = {row["mode"]: row for row in result.rows}
+        # metadata mode trades reads for writes
+        assert rows["metadata"]["writes_per_insert"] >= rows["read"]["writes_per_insert"]
+
+    def test_kick_policy_rows(self):
+        result = ablation_kick_policy(TINY, loads=(0.85,))
+        policies = {row["policy"] for row in result.rows}
+        assert policies == {"random-walk", "mincounter"}
+
+    def test_deletion_mode_rows(self):
+        result = ablation_deletion_mode(TINY)
+        modes = {row["mode"] for row in result.rows}
+        assert modes == {"reset", "tombstone"}
+
+    def test_stash_screen_gap(self):
+        result = ablation_stash_screen(TINY, load=0.9)
+        rows = {row["scheme"]: row["stash_visit_pct"] for row in result.rows}
+        assert rows["CHS"] == 100.0
+        assert rows["McCuckoo"] < 5.0
+
+
+class TestRegistry:
+    def test_all_experiments_registered(self):
+        assert {"fig9", "fig10", "fig11", "fig12", "fig13", "fig14", "fig15",
+                "fig16", "table1", "table2", "table3"} <= set(ALL_EXPERIMENTS)
+
+
+class TestAblationDSweep:
+    def test_d_sweep_shape(self):
+        from repro.analysis import ablation_d_sweep
+
+        result = ablation_d_sweep(TINY, ds=(2, 3))
+        rows = {row["d"]: row for row in result.rows}
+        # d=2 hits its first failure far earlier than d=3
+        assert rows[2]["first_failure_load"] < rows[3]["first_failure_load"]
+        # 2-bit counters suffice up to d=3
+        assert rows[2]["counter_bits"] == 2
+        assert rows[3]["counter_bits"] == 2
+
+    def test_d4_needs_wider_counters(self):
+        from repro.analysis import ablation_d_sweep
+
+        result = ablation_d_sweep(TINY, ds=(4,))
+        assert result.rows[0]["counter_bits"] == 4
+
+
+class TestAblationCounterScreen:
+    def test_screen_helps_missing_lookups_at_low_load(self):
+        from repro.analysis import ablation_blocked_counter_screen
+
+        result = ablation_blocked_counter_screen(TINY, loads=(0.2,))
+        rows = {row["screen"]: row for row in result.rows}
+        assert rows["on"]["latency_us_missing"] < rows["off"]["latency_us_missing"]
+
+    def test_old_way_wins_for_existing_at_high_load(self):
+        """§IV.C: near full, counter checking is pure overhead for existing
+        items with tiny records."""
+        from repro.analysis import ablation_blocked_counter_screen
+
+        result = ablation_blocked_counter_screen(TINY, loads=(0.98,))
+        rows = {row["screen"]: row for row in result.rows}
+        assert rows["off"]["latency_us_existing"] <= rows["on"]["latency_us_existing"]
+
+
+class TestAblationPathInsert:
+    def test_path_reduces_kicks(self):
+        from repro.analysis import ablation_path_insert
+
+        result = ablation_path_insert(TINY, load=0.85)
+        rows = {row["strategy"]: row for row in result.rows}
+        assert rows["path"]["kicks_per_insert"] < rows["random-walk"]["kicks_per_insert"]

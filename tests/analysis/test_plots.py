@@ -1,0 +1,88 @@
+"""Tests for the terminal plotting helpers."""
+
+import pytest
+
+from repro.analysis.plots import chart_experiment, line_chart, sparkline
+from repro.analysis.tables import ExperimentResult
+
+
+class TestSparkline:
+    def test_empty(self):
+        assert sparkline([]) == ""
+
+    def test_flat_series(self):
+        assert sparkline([5, 5, 5]) == "▁▁▁"
+
+    def test_monotone_series_monotone_blocks(self):
+        line = sparkline([0, 1, 2, 3, 4, 5, 6, 7])
+        assert line == "".join(sorted(line))
+        assert line[0] == "▁" and line[-1] == "█"
+
+    def test_length_matches(self):
+        assert len(sparkline(range(13))) == 13
+
+
+class TestLineChart:
+    def _series(self):
+        return {
+            "A": {0.1: 1.0, 0.5: 2.0, 0.9: 8.0},
+            "B": {0.1: 0.5, 0.5: 0.7, 0.9: 1.0},
+        }
+
+    def test_no_data(self):
+        assert line_chart({}) == "(no data)"
+        assert line_chart({"A": {}}) == "(no data)"
+
+    def test_contains_markers_and_legend(self):
+        chart = line_chart(self._series(), title="t")
+        assert "o" in chart and "x" in chart
+        assert "o=A" in chart and "x=B" in chart
+        assert chart.splitlines()[0] == "t"
+
+    def test_axis_extremes_labelled(self):
+        chart = line_chart(self._series())
+        assert "8" in chart  # y max
+        assert "0.5" in chart  # y min
+        assert "0.1" in chart and "0.9" in chart  # x range
+
+    def test_height_and_width_respected(self):
+        chart = line_chart(self._series(), width=30, height=8)
+        rows = [line for line in chart.splitlines() if "|" in line]
+        assert len(rows) == 8
+        assert all(len(line.split("|", 1)[1]) == 30 for line in rows)
+
+    def test_log_scale(self):
+        series = {"A": {1: 1.0, 2: 10.0, 3: 1000.0}}
+        chart = line_chart(series, log_y=True)
+        assert "(log)" not in chart  # only shown with y_label
+        chart = line_chart(series, log_y=True, y_label="v")
+        assert "(log)" in chart
+
+    def test_single_point(self):
+        chart = line_chart({"A": {1.0: 2.0}})
+        assert "o" in chart
+
+    def test_labels_in_footer(self):
+        chart = line_chart(self._series(), x_label="load", y_label="kicks")
+        assert "x: load" in chart
+        assert "y: kicks" in chart
+
+
+class TestChartExperiment:
+    def _result(self):
+        result = ExperimentResult("figX", "Demo", columns=("scheme", "load", "v"))
+        for scheme in ("A", "B"):
+            for load in (0.1, 0.5, 0.9):
+                result.add_row(scheme=scheme, load=load,
+                               v=load * (2 if scheme == "A" else 1))
+        return result
+
+    def test_auto_groups(self):
+        chart = chart_experiment(self._result(), "load", "v")
+        assert "o=A" in chart and "x=B" in chart
+        assert chart.splitlines()[0].startswith("figX:")
+
+    def test_explicit_groups_subset(self):
+        chart = chart_experiment(self._result(), "load", "v", groups=["B"])
+        assert "o=B" in chart
+        assert "=A" not in chart

@@ -1,0 +1,73 @@
+"""Tests for the markdown report generator."""
+
+import pytest
+
+from repro.analysis.report import generate_report, run_all, write_report
+from repro.analysis.sweep import Scale
+from repro.cli import main
+
+TINY = Scale(n_single=150, repeats=1, n_queries=60)
+
+
+class TestRunAll:
+    def test_subset(self):
+        results = run_all(TINY, only=["table1"])
+        assert set(results) == {"table1"}
+        assert results["table1"].rows
+
+    def test_unknown_rejected(self):
+        with pytest.raises(ValueError):
+            run_all(TINY, only=["nope"])
+
+    def test_sweep_shared_across_figures(self):
+        results = run_all(TINY, only=["fig9", "fig10"])
+        assert set(results) == {"fig9", "fig10"}
+        # both derive from one sweep: identical (scheme, load) coverage
+        fig9_cells = {(r["scheme"], r["load"]) for r in results["fig9"].rows}
+        fig10_cells = {(r["scheme"], r["load"]) for r in results["fig10"].rows}
+        assert fig9_cells == fig10_cells
+
+
+class TestGenerateReport:
+    def test_contains_tables_and_charts(self):
+        text = generate_report(TINY, only=["fig9"])
+        assert "### fig9" in text
+        assert "| scheme |" in text
+        assert "```" in text  # the chart block
+        assert "o=Cuckoo" in text
+
+    def test_charts_can_be_disabled(self):
+        text = generate_report(TINY, only=["fig9"], include_charts=False)
+        assert "```" not in text
+
+    def test_header_mentions_scale(self):
+        text = generate_report(TINY, only=["table1"])
+        assert "150 buckets/sub-table" in text
+
+    def test_non_charted_experiment(self):
+        text = generate_report(TINY, only=["table1"])
+        assert "first_collision_load" in text
+        assert "```" not in text
+
+
+class TestWriteReport:
+    def test_writes_file(self, tmp_path):
+        path = tmp_path / "report.md"
+        text = write_report(str(path), TINY, only=["table1"])
+        assert path.read_text(encoding="utf-8").startswith(
+            "# Multi-copy Cuckoo Hashing"
+        )
+        assert text in path.read_text(encoding="utf-8")
+
+    def test_cli_report_command(self, tmp_path, capsys):
+        path = tmp_path / "cli-report.md"
+        code = main(["report", "-o", str(path), "--scale", "150",
+                     "--repeats", "1", "--only", "table1"])
+        assert code == 0
+        assert path.exists()
+        assert "report written" in capsys.readouterr().out
+
+    def test_cli_report_unknown_experiment(self, tmp_path):
+        code = main(["report", "-o", str(tmp_path / "x.md"),
+                     "--scale", "150", "--only", "nope"])
+        assert code == 2

@@ -1,0 +1,106 @@
+"""Tests for the sweep building blocks."""
+
+import pytest
+
+from repro.analysis.sweep import (
+    BLOCKED_LOADS,
+    SINGLE_SLOT_LOADS,
+    Scale,
+    fill_fresh,
+    loads_for,
+    make_schemes,
+    measure_deletes,
+    measured_fill,
+    measure_lookups,
+)
+from repro.core import DeletionMode
+from repro.workloads import key_stream, sample_keys
+
+
+SMALL = Scale(n_single=120, repeats=1, n_queries=50)
+
+
+class TestScale:
+    def test_capacity(self):
+        assert Scale(n_single=100).capacity == 300
+
+    def test_blocked_buckets_match_capacity(self):
+        scale = Scale(n_single=120)
+        blocked_capacity = scale.d * scale.n_blocked * scale.slots
+        assert blocked_capacity == scale.capacity
+
+
+class TestMakeSchemes:
+    def test_all_four_schemes(self):
+        schemes = make_schemes(SMALL, seed=1)
+        assert set(schemes) == {"Cuckoo", "McCuckoo", "BCHT", "B-McCuckoo"}
+
+    def test_matched_capacity(self):
+        schemes = make_schemes(SMALL, seed=2)
+        capacities = {name: factory().capacity for name, factory in schemes.items()}
+        assert len(set(capacities.values())) == 1
+
+    def test_deletion_mode_propagates(self):
+        schemes = make_schemes(SMALL, seed=3, deletion_mode=DeletionMode.RESET)
+        assert schemes["McCuckoo"]().deletion_mode is DeletionMode.RESET
+        assert schemes["B-McCuckoo"]().deletion_mode is DeletionMode.RESET
+
+
+class TestLoadGrids:
+    def test_blocked_schemes_go_higher(self):
+        assert max(loads_for("B-McCuckoo")) > max(loads_for("McCuckoo"))
+        assert loads_for("BCHT") == BLOCKED_LOADS
+        assert loads_for("Cuckoo") == SINGLE_SLOT_LOADS
+
+
+class TestMeasuredFill:
+    def test_reaches_each_target(self):
+        table = make_schemes(SMALL, seed=4)["McCuckoo"]()
+        points = measured_fill(table, (0.2, 0.4, 0.6), key_stream(seed=5))
+        assert [point.load for point in points] == [0.2, 0.4, 0.6]
+        assert len(table) == int(0.6 * table.capacity)
+
+    def test_band_stats_are_marginal(self):
+        table = make_schemes(SMALL, seed=6)["McCuckoo"]()
+        points = measured_fill(table, (0.3, 0.6), key_stream(seed=7))
+        total_ops = sum(point.insert_stats.operations for point in points)
+        assert total_ops == len(table)
+        assert points[0].insert_stats.operations == int(0.3 * table.capacity)
+
+    def test_inserted_keys_recorded(self):
+        table = make_schemes(SMALL, seed=8)["McCuckoo"]()
+        points = measured_fill(table, (0.5,), key_stream(seed=9))
+        assert len(points[0].inserted_keys) == len(table)
+
+    def test_saturation_stops_early(self):
+        table = make_schemes(Scale(n_single=30), seed=10)["Cuckoo"]()
+        points = measured_fill(table, (0.5, 0.99), key_stream(seed=11))
+        # single-copy d=3 cuckoo cannot reach 99 %: the fill must bail out
+        assert table.load_ratio < 0.99
+
+
+class TestMeasureOps:
+    def test_measure_lookups_counts_each_query(self):
+        table, inserted = fill_fresh(
+            make_schemes(SMALL, seed=12)["McCuckoo"], 0.5, seed=13
+        )
+        stats = measure_lookups(table, sample_keys(inserted, 20, seed=14))
+        assert stats.operations == 20
+        assert stats.offchip_reads_per_op >= 0
+
+    def test_measure_deletes(self):
+        factory = make_schemes(SMALL, seed=15, deletion_mode=DeletionMode.RESET)[
+            "McCuckoo"
+        ]
+        table, inserted = fill_fresh(factory, 0.5, seed=16)
+        victims = sample_keys(inserted, 10, seed=17)
+        stats = measure_deletes(table, victims)
+        assert stats.operations == 10
+        assert stats.offchip_writes_per_op == 0.0  # multi-copy deletes are free
+
+    def test_fill_fresh_returns_inserted_keys(self):
+        table, inserted = fill_fresh(
+            make_schemes(SMALL, seed=18)["BCHT"], 0.4, seed=19
+        )
+        assert len(inserted) == len(table)
+        assert len(table) == int(0.4 * table.capacity)

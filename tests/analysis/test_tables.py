@@ -1,0 +1,99 @@
+"""Tests for the ExperimentResult container and its renderers."""
+
+from repro.analysis.tables import ExperimentResult, render, to_markdown
+
+
+def sample_result():
+    result = ExperimentResult(
+        "figX",
+        "Sample",
+        columns=("scheme", "load", "value"),
+        notes="a note",
+    )
+    result.add_row(scheme="A", load=0.5, value=1.25)
+    result.add_row(scheme="A", load=0.9, value=2.0)
+    result.add_row(scheme="B", load=0.5, value=0.0001)
+    return result
+
+
+class TestContainer:
+    def test_add_and_column(self):
+        result = sample_result()
+        assert result.column("scheme") == ["A", "A", "B"]
+        assert result.column("value") == [1.25, 2.0, 0.0001]
+
+    def test_filter_rows(self):
+        result = sample_result()
+        assert len(result.filter_rows(scheme="A")) == 2
+        assert result.filter_rows(scheme="B", load=0.5)[0]["value"] == 0.0001
+        assert result.filter_rows(scheme="C") == []
+
+    def test_series(self):
+        result = sample_result()
+        assert result.series("load", "value", scheme="A") == {0.5: 1.25, 0.9: 2.0}
+
+    def test_missing_column_gives_none(self):
+        result = sample_result()
+        assert result.column("nonexistent") == [None, None, None]
+
+
+class TestRender:
+    def test_contains_header_and_rows(self):
+        text = render(sample_result())
+        assert "figX" in text
+        assert "scheme" in text
+        assert "0.9" in text
+
+    def test_notes_included(self):
+        assert "a note" in render(sample_result())
+
+    def test_small_floats_scientific(self):
+        assert "1.00e-04" in render(sample_result())
+
+    def test_empty_result_renders(self):
+        empty = ExperimentResult("e", "Empty", columns=("a", "b"))
+        text = render(empty)
+        assert "a" in text and "Empty" in text
+
+    def test_alignment_consistent(self):
+        lines = render(sample_result()).splitlines()
+        data_lines = lines[1:-1]  # drop title and note
+        widths = {len(line) for line in data_lines}
+        assert len(widths) == 1
+
+
+class TestMarkdown:
+    def test_table_structure(self):
+        md = to_markdown(sample_result())
+        lines = md.splitlines()
+        assert lines[0].startswith("### figX")
+        assert lines[2].startswith("| scheme")
+        assert lines[3].startswith("|---")
+        assert md.count("| A") == 2
+
+    def test_notes_italicised(self):
+        assert "*a note*" in to_markdown(sample_result())
+
+    def test_no_notes_no_italics(self):
+        result = ExperimentResult("e", "t", columns=("a",))
+        result.add_row(a=1)
+        assert "*" not in to_markdown(result)
+
+
+class TestCsv:
+    def test_basic_structure(self):
+        from repro.analysis.tables import to_csv
+
+        csv = to_csv(sample_result())
+        lines = csv.splitlines()
+        assert lines[0] == "scheme,load,value"
+        assert lines[1] == "A,0.5,1.25"
+        assert len(lines) == 4
+
+    def test_quoting(self):
+        from repro.analysis.tables import to_csv
+
+        result = ExperimentResult("e", "t", columns=("a", "b"))
+        result.add_row(a='say "hi", ok', b=None)
+        csv = to_csv(result)
+        assert '"say ""hi"", ok",' in csv

@@ -1,0 +1,120 @@
+"""The closed-form expectations, and the simulator checked against them."""
+
+import pytest
+
+from repro import CuckooTable, McCuckoo
+from repro.analysis import theory
+from repro.workloads import distinct_keys, key_stream, missing_keys
+
+
+class TestFormulas:
+    def test_theorem2_d3_is_five_sixths(self):
+        assert theory.max_redundant_writes_fraction(3) == pytest.approx(5 / 6)
+
+    def test_theorem2_d2_is_half(self):
+        assert theory.max_redundant_writes_fraction(2) == pytest.approx(0.5)
+
+    def test_theorem2_monotone_in_d(self):
+        values = [theory.max_redundant_writes_fraction(d) for d in range(2, 8)]
+        assert values == sorted(values)
+
+    def test_theorem2_rejects_small_d(self):
+        with pytest.raises(ValueError):
+            theory.max_redundant_writes_fraction(1)
+
+    def test_first_collision_scales_down_with_capacity(self):
+        small = theory.expected_first_collision_load(3_000)
+        large = theory.expected_first_collision_load(70_000_000)
+        assert small > large
+
+    def test_dary_thresholds(self):
+        assert theory.dary_load_threshold(2) == 0.5
+        assert theory.dary_load_threshold(3) == pytest.approx(0.9179)
+        with pytest.raises(ValueError):
+            theory.dary_load_threshold(12)
+
+    def test_bloom_fp_rate_limits(self):
+        assert theory.bloom_false_positive_rate(1000, 3, 0) == 0.0
+        nearly_full = theory.bloom_false_positive_rate(10, 1, 10_000)
+        assert nearly_full == pytest.approx(1.0, abs=1e-6)
+
+    def test_counter_screen_rate_bounds(self):
+        assert theory.counters_zero_screen_rate(0.0) == 1.0
+        assert theory.counters_zero_screen_rate(1.0) == 0.0
+        with pytest.raises(ValueError):
+            theory.counters_zero_screen_rate(1.5)
+
+    def test_stash_exponent(self):
+        assert theory.stash_rehash_probability_exponent(4) == 5
+
+    def test_memory_formulas(self):
+        assert theory.onchip_counter_bytes(3000, d=3) == 750
+        assert theory.bloom_front_bytes(3000, 0.01) > 3000  # ~9.6 bits/key
+
+
+class TestSimulatorAgainstTheory:
+    def test_first_collision_matches_prediction(self):
+        """Measured first-collision load of standard cuckoo tracks the
+        ((d+1) S^d)^(1/(d+1)) / S prediction within a factor of 2."""
+        capacity_small, capacity_large = 600, 6000
+        onsets = {}
+        for n_buckets in (capacity_small // 3, capacity_large // 3):
+            measured = []
+            for seed in range(3):
+                table = CuckooTable(n_buckets, d=3, seed=seed)
+                keys = key_stream(seed=seed + 100)
+                while table.events.first_collision_items is None:
+                    table.put(next(keys))
+                measured.append(table.events.first_collision_items / table.capacity)
+            onsets[n_buckets * 3] = sum(measured) / len(measured)
+        for capacity, onset in onsets.items():
+            predicted = theory.expected_first_collision_load(capacity)
+            assert predicted / 2 < onset < predicted * 2
+        # and the scale trend holds: bigger table, relatively earlier onset
+        assert onsets[capacity_large] < onsets[capacity_small]
+
+    def test_redundant_writes_respect_theorem2(self):
+        table = McCuckoo(500, d=3, seed=7)
+        redundant = 0
+        for key in distinct_keys(int(table.capacity * 0.9), seed=8):
+            outcome = table.put(key)
+            redundant += max(0, outcome.copies - 1)
+        bound = theory.max_redundant_writes_fraction(3) * table.capacity
+        assert redundant <= bound
+
+    def test_fill_beyond_threshold_fails(self):
+        """Filling a d=3 table past the 91.8 % threshold must hit failures."""
+        table = McCuckoo(300, d=3, seed=9, maxloop=500)
+        keys = key_stream(seed=10)
+        target = int(table.capacity * 0.96)
+        while len(table) < target:
+            table.put(next(keys))
+        assert len(table.stash) > 0
+
+    def test_fill_below_threshold_rarely_fails(self):
+        table = McCuckoo(300, d=3, seed=11, maxloop=500)
+        keys = key_stream(seed=12)
+        while len(table) < int(table.capacity * 0.85):
+            table.put(next(keys))
+        assert len(table.stash) == 0
+
+    def test_zero_screen_rate_at_least_pessimistic_bound(self):
+        load = 0.25
+        table = McCuckoo(400, d=3, seed=13)
+        keys = distinct_keys(int(table.capacity * load), seed=14)
+        for key in keys:
+            table.put(key)
+        absent = missing_keys(500, set(keys), seed=15)
+        screened = 0
+        for key in absent:
+            before = table.mem.off_chip.reads
+            table.lookup(key)
+            if table.mem.off_chip.reads == before:
+                screened += 1
+        assert screened / len(absent) >= theory.counters_zero_screen_rate(load)
+
+    def test_onchip_comparison_favours_counters(self):
+        capacity = 3 * 2000
+        counters = theory.onchip_counter_bytes(capacity, d=3)
+        bloom = theory.bloom_front_bytes(capacity, 0.01)
+        assert counters < bloom / 4

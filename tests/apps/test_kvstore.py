@@ -1,0 +1,179 @@
+"""Tests for the log-structured KV store application layer."""
+
+import pytest
+
+from repro.apps import LogStructuredStore, ValueLog
+from repro.workloads import distinct_keys
+
+
+class TestValueLog:
+    def test_append_returns_sequential_offsets(self):
+        log = ValueLog()
+        assert log.append(1, "a") == 0
+        assert log.append(2, "b") == 1
+        assert len(log) == 2
+
+    def test_read_roundtrip(self):
+        log = ValueLog()
+        offset = log.append(7, {"x": 1})
+        record = log.read(offset)
+        assert record.key == 7 and record.value == {"x": 1}
+        assert not record.is_tombstone
+
+    def test_tombstones(self):
+        log = ValueLog()
+        offset = log.append_tombstone(9)
+        assert log.read(offset).is_tombstone
+
+    def test_read_out_of_range(self):
+        with pytest.raises(IndexError):
+            ValueLog().read(0)
+
+
+class TestStoreBasics:
+    def test_rejects_bad_capacity(self):
+        with pytest.raises(ValueError):
+            LogStructuredStore(expected_items=0)
+
+    def test_put_get(self):
+        store = LogStructuredStore(expected_items=100, seed=1)
+        store.put("user:1", {"name": "ada"})
+        assert store.get("user:1") == {"name": "ada"}
+        assert "user:1" in store
+        assert store.get("user:2", "absent") == "absent"
+
+    def test_update_points_to_newest(self):
+        store = LogStructuredStore(expected_items=100, seed=2)
+        store.put("k", "v1")
+        store.put("k", "v2")
+        assert store.get("k") == "v2"
+        assert len(store) == 1
+        assert store.log_records == 2  # old record is garbage
+
+    def test_delete(self):
+        store = LogStructuredStore(expected_items=100, seed=3)
+        store.put("k", 1)
+        assert store.delete("k")
+        assert "k" not in store
+        assert not store.delete("k")
+        assert len(store) == 0
+
+    def test_many_items(self):
+        store = LogStructuredStore(expected_items=500, seed=4)
+        keys = distinct_keys(500, seed=5)
+        for index, key in enumerate(keys):
+            store.put(key, index)
+        assert len(store) == 500
+        for index, key in enumerate(keys):
+            assert store.get(key) == index
+
+    def test_items_iterates_live_set(self):
+        store = LogStructuredStore(expected_items=100, seed=6)
+        store.put(1, "a")
+        store.put(2, "b")
+        store.delete(1)
+        assert dict(store.items()) == {2: "b"}
+
+    def test_index_grows_online(self):
+        store = LogStructuredStore(expected_items=64, seed=7)
+        keys = distinct_keys(1000, seed=8)
+        for key in keys:
+            store.put(key, key & 0xFF)
+        assert store.index.generations >= 1
+        for key in keys[::17]:
+            assert store.get(key) == key & 0xFF
+
+
+class TestGarbageAndCompaction:
+    def test_garbage_ratio_tracks_dead_records(self):
+        store = LogStructuredStore(expected_items=100, seed=9)
+        assert store.garbage_ratio == 0.0
+        store.put("k", "v1")
+        store.put("k", "v2")
+        assert store.garbage_ratio == pytest.approx(0.5)
+
+    def test_compact_drops_garbage_preserves_data(self):
+        store = LogStructuredStore(expected_items=200, seed=10)
+        keys = distinct_keys(150, seed=11)
+        for key in keys:
+            store.put(key, "old")
+        for key in keys[:75]:
+            store.put(key, "new")
+        for key in keys[75:100]:
+            store.delete(key)
+        dropped = store.compact()
+        assert dropped > 0
+        assert store.garbage_ratio == 0.0
+        for key in keys[:75]:
+            assert store.get(key) == "new"
+        for key in keys[75:100]:
+            assert key not in store
+        for key in keys[100:]:
+            assert store.get(key) == "old"
+
+    def test_compact_empty_store(self):
+        store = LogStructuredStore(expected_items=10, seed=12)
+        assert store.compact() == 0
+
+
+class TestRecovery:
+    def test_recover_replays_log(self):
+        store = LogStructuredStore(expected_items=200, seed=13)
+        keys = distinct_keys(120, seed=14)
+        for index, key in enumerate(keys):
+            store.put(key, index)
+        for key in keys[:30]:
+            store.delete(key)
+        for key in keys[30:60]:
+            store.put(key, "updated")
+        recovered = store.recover()
+        assert len(recovered) == len(store)
+        for key in keys[:30]:
+            assert key not in recovered
+        for key in keys[30:60]:
+            assert recovered.get(key) == "updated"
+        for index, key in enumerate(keys):
+            if index >= 60:
+                assert recovered.get(key) == index
+
+    def test_recover_after_compaction(self):
+        store = LogStructuredStore(expected_items=100, seed=15)
+        keys = distinct_keys(50, seed=16)
+        for key in keys:
+            store.put(key, "v")
+        store.delete(keys[0])
+        store.compact()
+        recovered = store.recover()
+        assert len(recovered) == 49
+        assert keys[0] not in recovered
+
+
+class TestAccounting:
+    def test_get_costs_index_plus_one_log_read(self):
+        store = LogStructuredStore(expected_items=400, seed=17)
+        keys = distinct_keys(100, seed=18)
+        for key in keys:
+            store.put(key, "v")
+        before = store.mem.off_chip.reads
+        store.get(keys[0])
+        reads = store.mem.off_chip.reads - before
+        # index probes (0-3) + exactly one value-log read
+        assert 1 <= reads <= 4
+
+    def test_missing_get_often_free(self):
+        """The counter screen means most missing gets never touch off-chip
+        memory at all — the property that makes McCuckoo a good KV index."""
+        store = LogStructuredStore(expected_items=800, seed=19)
+        present = distinct_keys(200, seed=20)
+        for key in present:
+            store.put(key, "v")
+        from repro.workloads import missing_keys
+
+        absent = missing_keys(200, set(present), seed=21)
+        free = 0
+        for key in absent:
+            before = store.mem.off_chip.reads
+            assert store.get(key) is None
+            if store.mem.off_chip.reads == before:
+                free += 1
+        assert free > len(absent) // 2

@@ -1,0 +1,102 @@
+"""BCHT (blocked single-copy cuckoo) baseline tests."""
+
+import pytest
+
+from repro import BCHT, FailurePolicy, TableFullError
+from repro.core import InsertStatus
+from repro.core.errors import ConfigurationError
+from repro.workloads import distinct_keys, missing_keys
+
+
+def filled(load=0.8, n_buckets=48, seed=210, **kwargs):
+    table = BCHT(n_buckets, d=3, slots=3, seed=seed, **kwargs)
+    keys = distinct_keys(int(table.capacity * load), seed=seed + 1)
+    for key in keys:
+        table.put(key, key % 23)
+    return table, keys
+
+
+class TestConstruction:
+    def test_rejects_bad_parameters(self):
+        with pytest.raises(ConfigurationError):
+            BCHT(0)
+        with pytest.raises(ConfigurationError):
+            BCHT(8, d=1)
+        with pytest.raises(ConfigurationError):
+            BCHT(8, slots=0)
+        with pytest.raises(ConfigurationError):
+            BCHT(8, on_failure=FailurePolicy.REHASH)
+
+    def test_capacity_counts_slots(self):
+        assert BCHT(10, d=3, slots=3).capacity == 90
+
+
+class TestBehaviour:
+    def test_roundtrip(self):
+        table, keys = filled()
+        for key in keys:
+            outcome = table.lookup(key)
+            assert outcome.found and outcome.value == key % 23
+
+    def test_reaches_95_percent_load(self):
+        table, keys = filled(load=0.95, n_buckets=96, seed=211)
+        assert table.load_ratio >= 0.94
+        for key in keys[::9]:
+            assert table.lookup(key).found
+
+    def test_one_access_per_bucket(self):
+        """Reading a bucket (all 3 slots) is one off-chip access."""
+        table, keys = filled(load=0.5, seed=212)
+        before = table.mem.off_chip.reads
+        outcome = table.lookup(keys[0])
+        assert table.mem.off_chip.reads - before == outcome.buckets_read
+        assert outcome.buckets_read <= table.d
+
+    def test_missing_reads_all_d_buckets(self):
+        table, keys = filled(load=0.5, seed=213)
+        for key in missing_keys(50, set(keys), seed=214):
+            assert table.lookup(key).buckets_read == table.d
+
+    def test_delete_single_write(self):
+        table, keys = filled()
+        before = table.mem.off_chip.writes
+        assert table.delete(keys[0]).deleted
+        assert table.mem.off_chip.writes == before + 1
+
+    def test_update(self):
+        table, keys = filled()
+        assert table.upsert(keys[0], "v").status is InsertStatus.UPDATED
+        assert table.get(keys[0]) == "v"
+
+    def test_fail_rolls_back(self):
+        table = BCHT(2, d=3, slots=3, maxloop=3, seed=215,
+                     on_failure=FailurePolicy.FAIL)
+        stored, failed = [], 0
+        for key in distinct_keys(80, seed=216):
+            if table.put(key).failed:
+                failed += 1
+            else:
+                stored.append(key)
+        assert failed > 0
+        for key in stored:
+            assert table.lookup(key).found
+
+    def test_onchip_stash_mode(self):
+        table = BCHT(2, d=3, slots=3, maxloop=2, seed=217,
+                     on_failure=FailurePolicy.STASH, stash_capacity=4)
+        stashed = 0
+        with pytest.raises(TableFullError):
+            for key in distinct_keys(200, seed=218):
+                outcome = table.put(key)
+                if outcome.stashed:
+                    stashed += 1
+        assert stashed == 4  # filled the small stash, then overflowed
+
+    def test_items_counts_distinct(self):
+        table, keys = filled(load=0.4, seed=219)
+        assert len(dict(table.items())) == len(keys)
+
+    def test_kick_events(self):
+        table, _ = filled(load=0.95, n_buckets=64, seed=220)
+        assert table.total_kicks > 0
+        assert table.events.first_collision_items is not None

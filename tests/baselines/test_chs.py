@@ -1,0 +1,80 @@
+"""CHS (cuckoo with a small on-chip stash) baseline tests."""
+
+import pytest
+
+from repro import CHS, TableFullError
+from repro.workloads import distinct_keys, key_stream, missing_keys
+
+
+class TestCHS:
+    def test_is_stash_backed(self):
+        table = CHS(64, seed=230)
+        assert table.stash is not None
+        assert table.stash.capacity == 4
+
+    def test_failed_inserts_go_to_stash(self):
+        table = CHS(8, maxloop=0, seed=231)
+        keys = key_stream(seed=232)
+        while len(table.stash) == 0:
+            outcome = table.put(next(keys))
+        assert outcome.stashed
+
+    def test_stashed_items_findable(self):
+        table = CHS(8, maxloop=0, seed=233)
+        keys = key_stream(seed=234)
+        stashed = []
+        while len(stashed) < 2:
+            key = next(keys)
+            if table.put(key).stashed:
+                stashed.append(table._canonical(key))
+        for key in stashed:
+            outcome = table.lookup(key)
+            assert outcome.found and outcome.from_stash
+
+    def test_every_missing_lookup_checks_stash(self):
+        """The cost the paper's pre-screening removes: CHS probes its stash
+        on every single failed main-table lookup."""
+        table = CHS(64, seed=235)
+        keys = distinct_keys(100, seed=236)
+        for key in keys:
+            table.put(key)
+        for key in missing_keys(50, set(keys), seed=237):
+            outcome = table.lookup(key)
+            assert outcome.checked_stash
+
+    def test_stash_scan_charged_onchip(self):
+        table = CHS(8, maxloop=0, seed=238)
+        keys = key_stream(seed=239)
+        while len(table.stash) == 0:
+            table.put(next(keys))
+        before = table.mem.on_chip.reads
+        table.lookup(0xDEADBEEF)
+        assert table.mem.on_chip.reads > before
+
+    def test_retry_frees_stash_capacity(self):
+        """When the stash is full, CHS retries stashed items against the
+        main table before giving up."""
+        table = CHS(32, maxloop=1, seed=240, stash_capacity=2)
+        keys = key_stream(seed=241)
+        inserted = []
+        try:
+            for _ in range(int(table.capacity * 0.95)):
+                key = next(keys)
+                table.put(key)
+                inserted.append(table._canonical(key))
+        except TableFullError:
+            pass
+        # regardless of how far it got, no successfully inserted key is lost
+        for key in inserted:
+            assert table.lookup(key).found
+
+    def test_stash_delete(self):
+        table = CHS(8, maxloop=0, seed=242)
+        keys = key_stream(seed=243)
+        stashed_key = None
+        while stashed_key is None:
+            key = next(keys)
+            if table.put(key).stashed:
+                stashed_key = table._canonical(key)
+        outcome = table.delete(stashed_key)
+        assert outcome.deleted and outcome.from_stash

@@ -1,0 +1,135 @@
+"""Chaining and linear-probing comparators from the paper's introduction."""
+
+import pytest
+
+from repro import ChainedHashTable, LinearProbingTable
+from repro.core import InsertStatus
+from repro.core.errors import ConfigurationError
+from repro.workloads import distinct_keys, missing_keys
+
+
+class TestChained:
+    def test_rejects_bad_size(self):
+        with pytest.raises(ConfigurationError):
+            ChainedHashTable(0)
+
+    def test_roundtrip(self):
+        table = ChainedHashTable(32, seed=250)
+        keys = distinct_keys(100, seed=251)
+        for key in keys:
+            table.put(key, key % 3)
+        for key in keys:
+            assert table.get(key) == key % 3
+        assert len(table) == 100
+
+    def test_load_can_exceed_one(self):
+        table = ChainedHashTable(16, seed=252)
+        for key in distinct_keys(64, seed=253):
+            table.put(key)
+        assert table.load_ratio == 4.0
+
+    def test_lookup_cost_grows_with_load(self):
+        light = ChainedHashTable(64, seed=254)
+        heavy = ChainedHashTable(64, seed=254)
+        light_keys = distinct_keys(32, seed=255)
+        heavy_keys = distinct_keys(512, seed=255)
+        for key in light_keys:
+            light.put(key)
+        for key in heavy_keys:
+            heavy.put(key)
+
+        def avg_reads(table, keys):
+            before = table.mem.off_chip.reads
+            for key in keys:
+                table.lookup(key)
+            return (table.mem.off_chip.reads - before) / len(keys)
+
+        assert avg_reads(heavy, heavy_keys) > avg_reads(light, light_keys)
+
+    def test_delete(self):
+        table = ChainedHashTable(16, seed=256)
+        table.put(1, "a")
+        table.put(2, "b")
+        assert table.delete(1).deleted
+        assert not table.delete(1).deleted
+        assert table.get(2) == "b"
+
+    def test_update(self):
+        table = ChainedHashTable(16, seed=257)
+        table.put(1, "a")
+        assert table.upsert(1, "z").status is InsertStatus.UPDATED
+        assert table.get(1) == "z"
+
+    def test_max_chain_length(self):
+        table = ChainedHashTable(1, seed=258)
+        for key in range(5):
+            table.put(key)
+        assert table.max_chain_length == 5
+
+
+class TestLinearProbing:
+    def test_rejects_bad_size(self):
+        with pytest.raises(ConfigurationError):
+            LinearProbingTable(0)
+
+    def test_roundtrip(self):
+        table = LinearProbingTable(128, seed=260)
+        keys = distinct_keys(90, seed=261)
+        for key in keys:
+            table.put(key, key % 5)
+        for key in keys:
+            assert table.get(key) == key % 5
+
+    def test_full_table_fails(self):
+        table = LinearProbingTable(8, seed=262)
+        keys = distinct_keys(9, seed=263)
+        for key in keys[:8]:
+            assert not table.put(key).failed
+        assert table.put(keys[8]).failed
+
+    def test_probe_cost_explodes_near_full(self):
+        table = LinearProbingTable(256, seed=264)
+        keys = distinct_keys(250, seed=265)
+        costs = []
+        for index, key in enumerate(keys):
+            before = table.mem.off_chip.reads
+            table.put(key)
+            costs.append(table.mem.off_chip.reads - before)
+        early = sum(costs[:50]) / 50
+        late = sum(costs[-50:]) / 50
+        assert late > early * 3
+
+    def test_tombstone_delete_keeps_probe_chain(self):
+        table = LinearProbingTable(64, seed=266)
+        keys = distinct_keys(40, seed=267)
+        for key in keys:
+            table.put(key)
+        table.delete(keys[0])
+        # all remaining keys must still be findable through the tombstone
+        for key in keys[1:]:
+            assert table.lookup(key).found
+
+    def test_tombstone_slot_reused(self):
+        table = LinearProbingTable(8, seed=268)
+        keys = distinct_keys(8, seed=269)
+        for key in keys:
+            table.put(key)
+        table.delete(keys[0])
+        extra = missing_keys(1, set(keys), seed=270)[0]
+        assert not table.put(extra).failed
+        assert table.lookup(extra).found
+
+    def test_update(self):
+        table = LinearProbingTable(16, seed=271)
+        table.put(1, "a")
+        assert table.upsert(1, "b").status is InsertStatus.UPDATED
+        assert table.get(1) == "b"
+
+    def test_items(self):
+        table = LinearProbingTable(32, seed=272)
+        keys = distinct_keys(10, seed=273)
+        for key in keys:
+            table.put(key)
+        table.delete(keys[0])
+        listed = dict(table.items())
+        assert len(listed) == 9

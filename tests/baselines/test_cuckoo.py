@@ -1,0 +1,146 @@
+"""Standard single-copy cuckoo baseline tests (random-walk and BFS)."""
+
+import pytest
+
+from repro import CuckooTable, FailurePolicy
+from repro.core import InsertStatus
+from repro.core.errors import ConfigurationError
+from repro.workloads import distinct_keys, missing_keys
+
+
+def filled(strategy="random", load=0.6, n_buckets=128, seed=190, **kwargs):
+    table = CuckooTable(n_buckets, d=3, strategy=strategy, seed=seed, **kwargs)
+    keys = distinct_keys(int(table.capacity * load), seed=seed + 1)
+    for key in keys:
+        table.put(key, key % 17)
+    return table, keys
+
+
+class TestConstruction:
+    def test_rejects_bad_parameters(self):
+        with pytest.raises(ConfigurationError):
+            CuckooTable(0)
+        with pytest.raises(ConfigurationError):
+            CuckooTable(8, d=1)
+        with pytest.raises(ConfigurationError):
+            CuckooTable(8, strategy="dfs")
+
+    def test_capacity(self):
+        assert CuckooTable(100, d=3).capacity == 300
+
+
+@pytest.mark.parametrize("strategy", ["random", "bfs"])
+class TestCommonBehaviour:
+    def test_roundtrip(self, strategy):
+        table, keys = filled(strategy)
+        for key in keys:
+            outcome = table.lookup(key)
+            assert outcome.found
+            assert outcome.value == key % 17
+
+    def test_single_copy_only(self, strategy):
+        table, keys = filled(strategy)
+        for key in keys[:50]:
+            k = table._canonical(key)
+            copies = [
+                b for b in table._candidates(k) if table._keys[b] == k
+            ]
+            assert len(copies) == 1
+
+    def test_missing_not_found(self, strategy):
+        table, keys = filled(strategy)
+        for key in missing_keys(100, set(keys), seed=191):
+            assert not table.lookup(key).found
+
+    def test_missing_lookup_always_reads_d_buckets(self, strategy):
+        """The baseline's blindness: without counters every candidate must
+        be read to conclude absence."""
+        table, keys = filled(strategy)
+        for key in missing_keys(50, set(keys), seed=192):
+            assert table.lookup(key).buckets_read == table.d
+
+    def test_delete(self, strategy):
+        table, keys = filled(strategy)
+        before_writes = table.mem.off_chip.writes
+        outcome = table.delete(keys[0])
+        assert outcome.deleted
+        assert table.mem.off_chip.writes == before_writes + 1  # paper: always 1
+        assert not table.lookup(keys[0]).found
+        assert len(table) == len(keys) - 1
+
+    def test_delete_missing(self, strategy):
+        table, keys = filled(strategy)
+        assert not table.delete(missing_keys(1, set(keys), seed=193)[0]).deleted
+
+    def test_update(self, strategy):
+        table, keys = filled(strategy)
+        outcome = table.upsert(keys[0], "new")
+        assert outcome.status is InsertStatus.UPDATED
+        assert table.get(keys[0]) == "new"
+
+    def test_items(self, strategy):
+        table, keys = filled(strategy, load=0.4)
+        assert len(dict(table.items())) == len(keys)
+
+    def test_high_load_fill(self, strategy):
+        table, keys = filled(strategy, load=0.85, n_buckets=256, seed=194)
+        assert len(table) == len(keys)
+        for key in keys[::5]:
+            assert table.lookup(key).found
+
+
+class TestKickAccounting:
+    def test_kicks_counted(self):
+        table, _ = filled("random", load=0.85, n_buckets=256, seed=195)
+        assert table.total_kicks > 0
+
+    def test_collision_event_recorded(self):
+        table, _ = filled("random", load=0.7, seed=196)
+        assert table.events.first_collision_items is not None
+
+    def test_bfs_finds_shorter_paths_than_random(self):
+        """BFS moves at most as many items as the shortest eviction path;
+        random-walk wanders.  Compare writes at equal high load."""
+        random_table, _ = filled("random", load=0.88, n_buckets=512, seed=197)
+        bfs_table, _ = filled("bfs", load=0.88, n_buckets=512, seed=197)
+        assert bfs_table.total_kicks <= random_table.total_kicks
+
+
+class TestFailurePolicies:
+    def test_fail_rolls_back(self):
+        table = CuckooTable(8, d=3, maxloop=3, seed=198,
+                            on_failure=FailurePolicy.FAIL)
+        keys = distinct_keys(200, seed=199)
+        stored = []
+        failed = 0
+        for key in keys:
+            snapshot = None
+            outcome = table.put(key)
+            if outcome.failed:
+                failed += 1
+            else:
+                stored.append(key)
+        assert failed > 0
+        # every successfully stored key must still be present (rollback!)
+        for key in stored:
+            assert table.lookup(key).found
+
+    def test_rehash_grows_and_preserves(self):
+        table = CuckooTable(8, d=3, maxloop=2, seed=200,
+                            on_failure=FailurePolicy.REHASH)
+        keys = distinct_keys(120, seed=201)
+        for index, key in enumerate(keys):
+            table.put(key, index)
+        assert table.rehash_count >= 1
+        for index, key in enumerate(keys):
+            assert table.get(key) == index
+
+    def test_bfs_failure_keeps_table_intact(self):
+        table = CuckooTable(4, d=3, maxloop=4, seed=202, strategy="bfs",
+                            on_failure=FailurePolicy.FAIL)
+        stored = []
+        for key in distinct_keys(60, seed=203):
+            if not table.put(key).failed:
+                stored.append(key)
+        for key in stored:
+            assert table.lookup(key).found

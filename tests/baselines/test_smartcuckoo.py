@@ -1,0 +1,149 @@
+"""SmartCuckoo: pseudoforest loop prediction for 2-hash cuckoo."""
+
+import pytest
+
+from repro.baselines import CuckooTable, SmartCuckoo
+from repro.baselines.smartcuckoo import _UnionFind
+from repro.core import InsertStatus
+from repro.core.errors import ConfigurationError, UnsupportedOperationError
+from repro.workloads import distinct_keys, key_stream, missing_keys
+
+
+class TestUnionFind:
+    def test_singletons(self):
+        forest = _UnionFind(4)
+        assert forest.find(0) == 0
+        assert not forest.is_maximal(0)
+
+    def test_tree_not_maximal(self):
+        forest = _UnionFind(4)
+        forest.add_edge(0, 1)
+        forest.add_edge(1, 2)
+        assert not forest.is_maximal(0)
+
+    def test_cycle_is_maximal(self):
+        forest = _UnionFind(4)
+        forest.add_edge(0, 1)
+        forest.add_edge(1, 2)
+        forest.add_edge(2, 0)  # closes the cycle: 3 vertices, 3 edges
+        assert forest.is_maximal(0)
+        assert forest.is_maximal(2)
+        assert not forest.is_maximal(3)
+
+    def test_self_loop_is_maximal(self):
+        forest = _UnionFind(4)
+        forest.add_edge(1, 1)
+        assert forest.is_maximal(1)
+
+    def test_merging_cyclic_with_tree_not_maximal(self):
+        forest = _UnionFind(6)
+        forest.add_edge(0, 1)
+        forest.add_edge(0, 1)  # 2 vertices, 2 edges: cyclic
+        forest.add_edge(2, 3)  # tree
+        forest.add_edge(1, 2)  # merge: 4 vertices, 4 edges -> maximal
+        assert forest.is_maximal(3)
+
+
+class TestSmartCuckoo:
+    def test_rejects_bad_size(self):
+        with pytest.raises(ConfigurationError):
+            SmartCuckoo(0)
+
+    def test_roundtrip(self):
+        table = SmartCuckoo(128, seed=30)
+        keys = distinct_keys(100, seed=31)
+        for key in keys:
+            assert table.put(key, key % 7).stored
+        for key in keys:
+            assert table.get(key) == key % 7
+
+    def test_missing_not_found(self):
+        table = SmartCuckoo(128, seed=32)
+        keys = distinct_keys(50, seed=33)
+        for key in keys:
+            table.put(key)
+        for key in missing_keys(50, set(keys), seed=34):
+            assert not table.lookup(key).found
+
+    def test_predicted_failures_are_walk_free(self):
+        """Once the pseudoforest proves both components maximal, failure is
+        declared with zero kicks and zero off-chip reads."""
+        table = SmartCuckoo(24, seed=35, maxloop=500)
+        keys = key_stream(seed=36)
+        predicted = 0
+        while predicted == 0:
+            key = next(keys)
+            before_reads = table.mem.off_chip.reads
+            before_kicks = table.total_kicks
+            outcome = table.put(key)
+            if outcome.failed:
+                predicted += 1
+                assert table.total_kicks == before_kicks
+                assert table.mem.off_chip.reads == before_reads
+        assert table.predicted_failures >= 1
+
+    def test_prediction_is_sound_no_walked_failures(self):
+        """If the forest says a slot exists, the walk must find it: the
+        maxloop safety net must never fire."""
+        table = SmartCuckoo(64, seed=37, maxloop=10_000)
+        keys = key_stream(seed=38)
+        for _ in range(table.capacity * 2):
+            table.put(next(keys))
+        assert table.walked_failures == 0
+
+    def test_no_items_lost(self):
+        table = SmartCuckoo(48, seed=39)
+        stored = []
+        for key in distinct_keys(150, seed=40):
+            if table.put(key).stored:
+                stored.append(key)
+        for key in stored:
+            assert table.lookup(key).found
+        assert len(table) == len(stored)
+
+    def test_first_failure_near_d2_threshold(self):
+        """The first unplaceable item appears around the d=2 threshold
+        (≈50 % load for a random key set)."""
+        table = SmartCuckoo(256, seed=41)
+        keys = iter(distinct_keys(2000, seed=42))
+        while table.events.first_failure_items is None:
+            table.put(next(keys))
+        onset = table.events.first_failure_items / table.capacity
+        assert 0.3 < onset <= 0.65
+
+    def test_rejection_lets_occupancy_exceed_threshold(self):
+        """Unlike bulk insertion, admitting only provably-placeable items
+        drives occupancy past 50 % (every component may become unicyclic)."""
+        table = SmartCuckoo(256, seed=41)
+        for key in distinct_keys(2000, seed=42):
+            table.put(key)
+        assert table.load_ratio > 0.5
+        assert table.walked_failures == 0
+
+    def test_delete_unsupported(self):
+        table = SmartCuckoo(16, seed=43)
+        table.put(1)
+        with pytest.raises(UnsupportedOperationError):
+            table.delete(1)
+
+    def test_update(self):
+        table = SmartCuckoo(32, seed=44)
+        table.put(1, "a")
+        assert table.upsert(1, "b").status is InsertStatus.UPDATED
+        assert table.get(1) == "b"
+
+    def test_fewer_wasted_kicks_than_blind_cuckoo(self):
+        """The headline: at saturation, blind d=2 cuckoo burns maxloop kicks
+        per doomed insert; SmartCuckoo predicts and skips them."""
+        smart = SmartCuckoo(64, seed=45, maxloop=200)
+        blind = CuckooTable(64, d=2, seed=45, maxloop=200)
+        keys = distinct_keys(220, seed=46)
+        for key in keys:
+            smart.put(key)
+            blind.put(key)
+        assert smart.predicted_failures > 0
+        assert smart.total_kicks < blind.total_kicks
+
+    def test_onchip_bytes_reported(self):
+        table = SmartCuckoo(64, seed=47)
+        assert table.onchip_bytes > 0

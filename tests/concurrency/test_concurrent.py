@@ -1,0 +1,118 @@
+"""One-writer-many-readers tests: no reader ever misses a stored item."""
+
+import pytest
+
+from repro import ConcurrentMcCuckoo, McCuckoo
+from repro.concurrency import InterleaveReport, InterleavingHarness
+from repro.core import check_mccuckoo
+from repro.workloads import distinct_keys
+
+
+def concurrent_table(n_buckets=64, seed=320):
+    return ConcurrentMcCuckoo(McCuckoo(n_buckets, d=3, seed=seed, maxloop=500))
+
+
+class TestBlockingInsert:
+    def test_insert_and_lookup(self):
+        table = concurrent_table()
+        for key in distinct_keys(100, seed=321):
+            outcome = table.insert(key, key % 9)
+            assert outcome.stored
+        for key in distinct_keys(100, seed=321):
+            assert table.get(key) == key % 9
+        check_mccuckoo(table.table)
+
+    def test_high_load_insert_via_paths(self):
+        table = concurrent_table(n_buckets=96, seed=322)
+        keys = distinct_keys(int(table.table.capacity * 0.85), seed=323)
+        for key in keys:
+            table.insert(key)
+        assert len(table) == len(keys)
+        for key in keys[::7]:
+            assert key in table
+        check_mccuckoo(table.table)
+
+    def test_version_even_after_insert(self):
+        table = concurrent_table(seed=324)
+        table.insert(5)
+        assert table.version % 2 == 0
+
+    def test_stash_fallback_when_no_path(self):
+        table = ConcurrentMcCuckoo(
+            McCuckoo(4, d=3, seed=325, maxloop=500), max_path_nodes=4
+        )
+        stashed = 0
+        for key in distinct_keys(40, seed=326):
+            outcome = table.insert(key)
+            if outcome.stashed:
+                stashed += 1
+        assert stashed > 0
+        for key in distinct_keys(40, seed=326):
+            assert key in table
+
+
+class TestStepwiseInterleaving:
+    def test_no_reader_misses_any_item(self):
+        table = concurrent_table(n_buckets=48, seed=327)
+        harness = InterleavingHarness(table, probe_sample=10, seed=328)
+        report = InterleaveReport()
+        keys = distinct_keys(int(table.table.capacity * 0.8), seed=329)
+        for key in keys:
+            harness.insert_with_probes(key, key & 0xFF, report=report)
+        assert report.probes > 1000
+        assert report.linearizable
+        assert report.missed_keys == []
+        assert report.wrong_values == []
+
+    def test_moves_duplicate_before_overwrite(self):
+        """During a path execution the moved occupant is findable at every
+        step (it exists in both src and dst between steps)."""
+        table = concurrent_table(n_buckets=24, seed=330)
+        keys = distinct_keys(200, seed=331)
+        installed = []
+        for key in keys:
+            stepper = table.insert_stepwise(key)
+            for label in stepper:
+                if label.startswith("moved:"):
+                    for probe in installed:
+                        assert table.lookup(probe).found
+            if table.last_outcome is not None and not table.last_outcome.failed:
+                installed.append(key)
+            if len(installed) >= int(table.table.capacity * 0.8):
+                break
+
+    def test_table_consistent_after_stepwise_inserts(self):
+        table = concurrent_table(n_buckets=32, seed=332)
+        for key in distinct_keys(int(table.table.capacity * 0.7), seed=333):
+            for _ in table.insert_stepwise(key):
+                pass
+        check_mccuckoo(table.table)
+
+    def test_last_outcome_reports_kicks(self):
+        table = concurrent_table(n_buckets=16, seed=334)
+        saw_path_insert = False
+        for key in distinct_keys(int(table.table.capacity * 0.9), seed=335):
+            table.insert(key)
+            if table.last_outcome.kicks > 0:
+                saw_path_insert = True
+        assert saw_path_insert
+
+
+class TestSeqlockReader:
+    def test_reader_retries_on_odd_version(self):
+        table = concurrent_table(seed=336)
+        table.insert(1, "x")
+        table.version += 1  # simulate writer mid-step
+        outcome = table.lookup(1)
+        assert outcome.found  # fell through to the uncontended read
+        table.version += 1
+
+    def test_len_passthrough(self):
+        table = concurrent_table(seed=337)
+        table.insert(1)
+        table.insert(2)
+        assert len(table) == 2
+
+    def test_get_default(self):
+        table = concurrent_table(seed=338)
+        assert table.get(999, "none") == "none"

@@ -1,0 +1,117 @@
+"""Concurrent (stepwise) deletion: readers never lose unrelated keys."""
+
+import pytest
+
+from repro import ConcurrentMcCuckoo, DeletionMode, McCuckoo
+from repro.core import check_mccuckoo
+from repro.core.errors import UnsupportedOperationError
+from repro.workloads import distinct_keys, missing_keys
+
+
+def concurrent_table(seed=850, mode=DeletionMode.RESET, n_buckets=64):
+    return ConcurrentMcCuckoo(
+        McCuckoo(n_buckets, d=3, seed=seed, maxloop=200, deletion_mode=mode)
+    )
+
+
+class TestBlockingDelete:
+    def test_delete_removes_key(self):
+        table = concurrent_table()
+        keys = distinct_keys(80, seed=851)
+        for key in keys:
+            table.insert(key, key % 3)
+        outcome = table.delete(keys[0])
+        assert outcome.deleted
+        assert keys[0] not in table
+        assert len(table) == len(keys) - 1
+
+    def test_delete_missing(self):
+        table = concurrent_table(seed=852)
+        table.insert(1)
+        assert not table.delete(2).deleted
+
+    def test_disabled_mode_raises(self):
+        table = concurrent_table(seed=853, mode=DeletionMode.DISABLED)
+        table.insert(1)
+        with pytest.raises(UnsupportedOperationError):
+            table.delete(1)
+
+    def test_delete_from_stash_falls_back(self):
+        table = ConcurrentMcCuckoo(
+            McCuckoo(6, d=3, seed=854, maxloop=0, deletion_mode=DeletionMode.RESET)
+        )
+        from repro.workloads import key_stream
+
+        keys = key_stream(seed=855)
+        stashed = None
+        while stashed is None:
+            key = next(keys)
+            table.insert(key)
+            if table.last_outcome.stashed:
+                stashed = table.table._canonical(key)
+        outcome = table.delete(stashed)
+        assert outcome.deleted and outcome.from_stash
+
+
+class TestStepwiseDelete:
+    def test_other_keys_visible_at_every_step(self):
+        table = concurrent_table(seed=856)
+        keys = distinct_keys(int(table.table.capacity * 0.7), seed=857)
+        for key in keys:
+            table.insert(key, key & 0xF)
+        survivors = keys[1::2]
+        for victim in keys[::2]:
+            stepper = table.delete_stepwise(victim)
+            for _ in stepper:
+                # probe a handful of unrelated keys at each boundary
+                for probe in survivors[:6]:
+                    outcome = table.lookup(probe)
+                    assert outcome.found
+                    assert outcome.value == probe & 0xF
+        for probe in survivors:
+            assert table.lookup(probe).found
+        check_mccuckoo(table.table)
+
+    def test_counters_zeroed_one_per_step(self):
+        table = concurrent_table(seed=858)
+        keys = distinct_keys(20, seed=859)
+        for key in keys:
+            table.insert(key)
+        victim = keys[0]
+        copies = table.table.copies_of(victim)
+        assert copies
+        steps = [label for label in table.delete_stepwise(victim)]
+        zero_steps = [label for label in steps if label.startswith("zeroed:")]
+        assert len(zero_steps) == len(copies)
+        assert table.last_delete.copies_removed == len(copies)
+
+    def test_version_quiescent_after_delete(self):
+        table = concurrent_table(seed=860)
+        table.insert(5)
+        table.delete(5)
+        assert table.version % 2 == 0
+
+    def test_mixed_insert_delete_churn(self):
+        table = concurrent_table(seed=861, n_buckets=32)
+        live = {}
+        keys = distinct_keys(300, seed=862)
+        for index, key in enumerate(keys):
+            table.insert(key, index)
+            live[table.table._canonical(key)] = index
+            if index % 3 == 0 and len(live) > 5:
+                victim = next(iter(live))
+                table.delete(victim)
+                del live[victim]
+        for key, value in live.items():
+            outcome = table.lookup(key)
+            assert outcome.found and outcome.value == value
+        check_mccuckoo(table.table)
+
+    def test_deleted_key_eventually_not_found(self):
+        table = concurrent_table(seed=863)
+        keys = distinct_keys(30, seed=864)
+        for key in keys:
+            table.insert(key)
+        for _ in table.delete_stepwise(keys[0]):
+            pass
+        assert not table.lookup(keys[0]).found

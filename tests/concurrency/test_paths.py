@@ -1,0 +1,89 @@
+"""Tests for counter-guided cuckoo-path discovery."""
+
+import pytest
+
+from repro import McCuckoo
+from repro.concurrency import find_cuckoo_path
+from repro.workloads import distinct_keys, key_stream
+
+
+class TestFindCuckooPath:
+    def test_direct_placement_on_empty_table(self):
+        table = McCuckoo(32, d=3, seed=300)
+        key = distinct_keys(1, seed=301)[0]
+        path = find_cuckoo_path(table, table._canonical(key))
+        assert path is not None
+        assert len(path) == 1
+        assert path[0] in table._candidates(table._canonical(key))
+
+    def test_terminal_has_counter_not_one(self):
+        table = McCuckoo(48, d=3, seed=302)
+        for key in distinct_keys(120, seed=303):
+            table.put(key)
+        probe = distinct_keys(1, seed=304)[0]
+        path = find_cuckoo_path(table, table._canonical(probe))
+        assert path is not None
+        assert table._counters.peek(path[-1]) != 1
+
+    def test_interior_nodes_are_sole_copies(self):
+        table = McCuckoo(32, d=3, seed=305)
+        keys = key_stream(seed=306)
+        path = None
+        while True:
+            key = next(keys)
+            k = table._canonical(key)
+            path = find_cuckoo_path(table, k)
+            if path is not None and len(path) > 1:
+                break
+            table.put(key)
+        for bucket in path[:-1]:
+            assert table._counters.peek(bucket) == 1
+
+    def test_path_hops_follow_occupant_candidates(self):
+        """Each hop's destination must be a candidate bucket of the source's
+        occupant, or the move would be illegal."""
+        table = McCuckoo(32, d=3, seed=307)
+        keys = key_stream(seed=308)
+        while True:
+            key = next(keys)
+            k = table._canonical(key)
+            path = find_cuckoo_path(table, k)
+            if path is not None and len(path) >= 2:
+                break
+            table.put(key)
+        for src, dst in zip(path[:-1], path[1:]):
+            occupant = table._keys[src]
+            assert dst in table._candidates(occupant)
+
+    def test_root_is_candidate_of_new_key(self):
+        table = McCuckoo(32, d=3, seed=309)
+        keys = key_stream(seed=310)
+        while True:
+            key = next(keys)
+            k = table._canonical(key)
+            path = find_cuckoo_path(table, k)
+            if path is not None and len(path) >= 2:
+                break
+            table.put(key)
+        assert path[0] in table._candidates(k)
+
+    def test_returns_none_when_budget_exhausted(self):
+        table = McCuckoo(8, d=3, seed=311, maxloop=500)
+        keys = key_stream(seed=312)
+        # overfill so that paths become long or nonexistent
+        for _ in range(int(table.capacity * 0.95)):
+            table.put(next(keys))
+        probe = table._canonical(next(keys))
+        path = find_cuckoo_path(table, probe, max_nodes=0)
+        if any(table._counters.peek(b) != 1 for b in table._candidates(probe)):
+            assert path is not None and len(path) == 1
+        else:
+            assert path is None
+
+    def test_search_charges_reads_for_expansions_only(self):
+        table = McCuckoo(64, d=3, seed=313)
+        key = distinct_keys(1, seed=314)[0]
+        before = table.mem.off_chip.reads
+        find_cuckoo_path(table, table._canonical(key))
+        # empty table: direct terminal, no expansion, no off-chip reads
+        assert table.mem.off_chip.reads == before

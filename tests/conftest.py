@@ -1,0 +1,27 @@
+"""Shared fixtures for the test suite."""
+
+import pytest
+
+from repro import McCuckoo, MemoryModel
+from repro.workloads import distinct_keys
+
+
+@pytest.fixture
+def mem() -> MemoryModel:
+    return MemoryModel()
+
+
+@pytest.fixture
+def small_mccuckoo() -> McCuckoo:
+    """A 3-ary table with 64 buckets per sub-table (capacity 192)."""
+    return McCuckoo(n_buckets=64, d=3, maxloop=200, seed=1)
+
+
+@pytest.fixture
+def keys100():
+    return distinct_keys(100, seed=3)
+
+
+@pytest.fixture
+def keys1000():
+    return distinct_keys(1000, seed=5)

@@ -1,0 +1,111 @@
+"""AMAC-style batched lookup pipeline tests."""
+
+import pytest
+
+from repro import BCHT, CuckooTable, McCuckoo
+from repro.core.batch import batched_lookup, serial_epochs
+from repro.workloads import distinct_keys, missing_keys, sample_keys
+
+
+def filled_pair(load=0.7, n_buckets=256, seed=800):
+    mccuckoo = McCuckoo(n_buckets, d=3, seed=seed)
+    cuckoo = CuckooTable(n_buckets, d=3, seed=seed)
+    keys = distinct_keys(int(mccuckoo.capacity * load), seed=seed + 1)
+    for key in keys:
+        mccuckoo.put(key, key % 101)
+        cuckoo.put(key, key % 101)
+    return mccuckoo, cuckoo, keys
+
+
+class TestCorrectness:
+    def test_results_match_serial_lookup(self):
+        table, _, keys = filled_pair()
+        probes = sample_keys(keys, 100, seed=801) + missing_keys(
+            100, set(keys), seed=802
+        )
+        batch = batched_lookup(table, probes, depth=8)
+        for probe, outcome in zip(probes, batch.outcomes):
+            serial = table.lookup(probe)
+            assert outcome.found == serial.found
+            if outcome.found:
+                assert outcome.value == serial.value
+
+    def test_outcomes_in_input_order(self):
+        table, _, keys = filled_pair(seed=803)
+        probes = sample_keys(keys, 50, seed=804)
+        batch = batched_lookup(table, probes, depth=4)
+        assert len(batch.outcomes) == 50
+        for probe, outcome in zip(probes, batch.outcomes):
+            assert outcome.found
+            assert outcome.value == probe % 101
+
+    def test_empty_batch(self):
+        table, _, _ = filled_pair(seed=805)
+        batch = batched_lookup(table, [], depth=4)
+        assert batch.outcomes == []
+        assert batch.epochs == 0
+
+    def test_depth_validation(self):
+        table, _, keys = filled_pair(seed=806)
+        with pytest.raises(ValueError):
+            batched_lookup(table, keys[:5], depth=0)
+
+    def test_requires_stepwise_lookup(self):
+        table = BCHT(16)
+        with pytest.raises(TypeError):
+            batched_lookup(table, [1, 2, 3])
+
+
+class TestLatencyHiding:
+    def test_deeper_pipelines_fewer_epochs(self):
+        table, _, keys = filled_pair(seed=807)
+        probes = sample_keys(keys, 300, seed=808)
+        shallow = batched_lookup(table, probes, depth=1)
+        deep = batched_lookup(table, probes, depth=8)
+        assert deep.epochs < shallow.epochs
+        assert deep.total_steps == shallow.total_steps  # same work, overlapped
+
+    def test_depth1_equals_serial(self):
+        table, _, keys = filled_pair(seed=809)
+        probes = sample_keys(keys, 120, seed=810)
+        batch = batched_lookup(table, probes, depth=1)
+        assert batch.epochs == serial_epochs(table, probes)
+
+    def test_overlap_factor_bounded_by_depth(self):
+        table, _, keys = filled_pair(seed=811)
+        probes = sample_keys(keys, 200, seed=812)
+        for depth in (2, 4, 8):
+            batch = batched_lookup(table, probes, depth=depth)
+            assert 1.0 <= batch.overlap_factor <= depth
+
+    def test_onchip_answers_consume_no_epochs(self):
+        """McCuckoo missing lookups screened by counters never enter the
+        pipeline at all: the batch completes in ~zero epochs."""
+        table = McCuckoo(256, d=3, seed=813)
+        keys = distinct_keys(int(table.capacity * 0.2), seed=814)
+        for key in keys:
+            table.put(key)
+        absent = missing_keys(200, set(keys), seed=815)
+        batch = batched_lookup(table, absent, depth=8)
+        assert batch.epochs < 20
+        assert batch.hits == 0
+
+    def test_composition_mccuckoo_plus_amac_beats_either(self):
+        """Epochs(McCuckoo + AMAC) < Epochs(Cuckoo + AMAC) — the paper's
+        'orthogonal techniques compose' claim."""
+        mccuckoo, cuckoo, keys = filled_pair(load=0.6, seed=816)
+        probes = sample_keys(keys, 150, seed=817) + missing_keys(
+            150, set(keys), seed=818
+        )
+        mc_batch = batched_lookup(mccuckoo, probes, depth=8)
+        cu_batch = batched_lookup(cuckoo, probes, depth=8)
+        assert mc_batch.epochs < cu_batch.epochs
+        assert mc_batch.hits == cu_batch.hits
+
+    def test_baseline_cuckoo_also_pipelines(self):
+        _, cuckoo, keys = filled_pair(seed=819)
+        probes = sample_keys(keys, 200, seed=820)
+        deep = batched_lookup(cuckoo, probes, depth=8)
+        shallow = batched_lookup(cuckoo, probes, depth=1)
+        assert deep.epochs < shallow.epochs
+        assert deep.overlap_factor > 2.0

@@ -1,0 +1,280 @@
+"""B-McCuckoo (blocked multi-copy) tests: Algorithms 1-3 of §III.G."""
+
+import pytest
+
+from repro import BlockedMcCuckoo, DeletionMode, FailurePolicy, TableFullError
+from repro.core import InsertStatus, check_blocked
+from repro.core.errors import ConfigurationError, UnsupportedOperationError
+from repro.workloads import distinct_keys, key_stream, missing_keys
+
+
+def filled(n_buckets=48, load=0.7, seed=130, **kwargs):
+    table = BlockedMcCuckoo(n_buckets, d=3, slots=3, seed=seed, **kwargs)
+    keys = distinct_keys(int(table.capacity * load), seed=seed + 1)
+    for key in keys:
+        table.put(key, key % 11)
+    return table, keys
+
+
+class TestConstruction:
+    def test_rejects_bad_parameters(self):
+        with pytest.raises(ConfigurationError):
+            BlockedMcCuckoo(0)
+        with pytest.raises(ConfigurationError):
+            BlockedMcCuckoo(8, d=1)
+        with pytest.raises(ConfigurationError):
+            BlockedMcCuckoo(8, slots=0)
+        with pytest.raises(ConfigurationError):
+            BlockedMcCuckoo(8, maxloop=-1)
+
+    def test_capacity_counts_slots(self):
+        assert BlockedMcCuckoo(10, d=3, slots=3).capacity == 90
+
+    def test_rehash_unsupported(self):
+        table = BlockedMcCuckoo(4, d=3, slots=3, maxloop=0,
+                                on_failure=FailurePolicy.REHASH)
+        with pytest.raises(UnsupportedOperationError):
+            for key in distinct_keys(100, seed=131):
+                table.put(key)
+
+
+class TestAlgorithm1Insertion:
+    def test_first_item_occupies_all_buckets(self):
+        table = BlockedMcCuckoo(16, d=3, slots=3, seed=132)
+        outcome = table.put(7)
+        assert outcome.copies == 3
+        assert len(table.copies_of(7)) == 3
+
+    def test_slot_counters_set_to_copy_count(self):
+        table = BlockedMcCuckoo(16, d=3, slots=3, seed=132)
+        table.put(7)
+        for bucket, slot in table.copies_of(7):
+            assert table._counters.peek(table._slot_index(bucket, slot)) == 3
+
+    def test_sibling_metadata_written(self):
+        table = BlockedMcCuckoo(16, d=3, slots=3, seed=133)
+        table.put(9)
+        copies = table.copies_of(9)
+        for bucket, slot in copies:
+            slotmap = table._slotmaps[table._slot_index(bucket, slot)]
+            assert slotmap is not None
+            assert sum(1 for s in slotmap if s is not None) == 3
+
+    def test_every_candidate_bucket_nonempty_after_insert(self):
+        """Phase A guarantees each candidate bucket either received a copy
+        or was already full — the basis of the zero-sum lookup screen."""
+        table = BlockedMcCuckoo(12, d=3, slots=3, seed=134)
+        keys = distinct_keys(60, seed=135)
+        for key in keys:
+            table.put(key)
+            for bucket in table._candidates(table._canonical(key)):
+                word = [
+                    table._counters.peek(table._slot_index(bucket, s))
+                    for s in range(table.slots)
+                ]
+                assert any(word), "candidate bucket left untouched"
+
+    def test_high_load_fill_and_findability(self):
+        table, keys = filled(load=0.95, seed=136)
+        check_blocked(table)
+        for key in keys:
+            outcome = table.lookup(key)
+            assert outcome.found
+            assert outcome.value == key % 11
+
+    def test_collision_requires_all_nine_counters_one(self):
+        table = BlockedMcCuckoo(8, d=3, slots=3, seed=137)
+        for key in distinct_keys(80, seed=138):
+            outcome = table.put(key)
+            if outcome.collided:
+                break
+        else:
+            pytest.fail("no collision reached")
+        # Reaching the kick path implies Algorithm 1 found no slot with
+        # counter 0/3/2 anywhere, which for d=3 means all nine were 1.
+        assert table.events.first_collision_items is not None
+
+    def test_kicked_items_remain_findable(self):
+        table, keys = filled(load=0.98, seed=139, maxloop=500)
+        assert table.total_kicks > 0
+        for key in keys:
+            assert table.lookup(key).found
+        check_blocked(table)
+
+    def test_metadata_stays_fresh_under_overwrites(self):
+        table, keys = filled(load=0.9, seed=140)
+        check_blocked(table)  # the checker validates every slotmap
+
+
+class TestAlgorithm2Lookup:
+    def test_zero_sum_bucket_screens_missing(self):
+        table, keys = filled(load=0.3, seed=141)
+        screened = 0
+        for key in missing_keys(200, set(keys), seed=142):
+            cands = table._candidates(key)
+            dead = any(
+                not any(
+                    table._counters.peek(table._slot_index(b, s))
+                    for s in range(table.slots)
+                )
+                for b in cands
+            )
+            before = table.mem.off_chip.reads
+            outcome = table.lookup(key)
+            assert not outcome.found
+            if dead:
+                assert table.mem.off_chip.reads == before
+                screened += 1
+        assert screened > 0
+
+    def test_missing_lookup_reads_at_most_d_buckets(self):
+        table, keys = filled(load=0.95, seed=143)
+        for key in missing_keys(100, set(keys), seed=144):
+            assert table.lookup(key).buckets_read <= table.d
+
+    def test_stale_slot_not_returned(self):
+        """A deleted entry still physically present must not satisfy a
+        lookup (its counter is 0)."""
+        table, keys = filled(load=0.5, seed=145, deletion_mode=DeletionMode.RESET)
+        victim = keys[0]
+        table.delete(victim)
+        assert not table.lookup(victim).found
+
+
+class TestAlgorithm3Deletion:
+    def test_delete_disabled_raises(self):
+        table = BlockedMcCuckoo(8)
+        table.put(1)
+        with pytest.raises(UnsupportedOperationError):
+            table.delete(1)
+
+    @pytest.mark.parametrize("mode", [DeletionMode.RESET, DeletionMode.TOMBSTONE])
+    def test_delete_zeroes_all_copies_via_metadata(self, mode):
+        table, keys = filled(load=0.6, seed=146, deletion_mode=mode)
+        victim = keys[5]
+        copies = table.copies_of(victim)
+        outcome = table.delete(victim)
+        assert outcome.deleted
+        assert outcome.copies_removed == len(copies)
+        assert table.copies_of(victim) == []
+
+    @pytest.mark.parametrize("mode", [DeletionMode.RESET, DeletionMode.TOMBSTONE])
+    def test_delete_is_write_free(self, mode):
+        table, keys = filled(load=0.6, seed=147, deletion_mode=mode)
+        before = table.mem.off_chip.writes
+        table.delete(keys[0])
+        assert table.mem.off_chip.writes == before
+
+    def test_collateral_safety(self):
+        table, keys = filled(load=0.7, seed=148, deletion_mode=DeletionMode.RESET)
+        for victim in keys[:30]:
+            table.delete(victim)
+        for key in keys[30:]:
+            assert table.lookup(key).found
+        check_blocked(table)
+
+    def test_reuse_after_delete(self):
+        table, keys = filled(load=0.9, seed=149, deletion_mode=DeletionMode.RESET)
+        for victim in keys[: len(keys) // 2]:
+            table.delete(victim)
+        fresh = missing_keys(len(keys) // 4, set(keys), seed=150)
+        for key in fresh:
+            assert not table.put(key).failed
+        for key in fresh:
+            assert table.lookup(key).found
+        check_blocked(table)
+
+
+class TestBlockedStash:
+    def _overloaded(self, seed=151):
+        table = BlockedMcCuckoo(6, d=3, slots=3, seed=seed, maxloop=0)
+        keys = key_stream(seed=seed + 1)
+        inserted = []
+        while len(table.stash) < 2:
+            key = next(keys)
+            table.put(key)
+            inserted.append(table._canonical(key))
+        return table, inserted
+
+    def test_stashed_items_findable(self):
+        table, _ = self._overloaded()
+        for key, _ in list(table.stash.items()):
+            outcome = table.lookup(key)
+            assert outcome.found and outcome.from_stash
+
+    def test_bucket_level_flags_set(self):
+        table, _ = self._overloaded()
+        for key, _ in table.stash.items():
+            for bucket in table._candidates(key):
+                assert table._flags.test(bucket)
+
+    def test_fail_policy_raises(self):
+        table = BlockedMcCuckoo(4, d=3, slots=3, maxloop=2,
+                                on_failure=FailurePolicy.FAIL, seed=152)
+        with pytest.raises(TableFullError):
+            for key in distinct_keys(200, seed=153):
+                table.put(key)
+
+
+class TestBlockedUpdate:
+    def test_upsert_updates_every_copy(self):
+        table, keys = filled(load=0.5, seed=154)
+        outcome = table.upsert(keys[0], "fresh")
+        assert outcome.status is InsertStatus.UPDATED
+        assert outcome.copies == len(table.copies_of(keys[0]))
+        for bucket, slot in table.copies_of(keys[0]):
+            assert table._values[table._slot_index(bucket, slot)] == "fresh"
+        check_blocked(table)
+
+    def test_upsert_inserts_when_missing(self):
+        table = BlockedMcCuckoo(16, seed=155)
+        assert table.upsert(3, "x").status is InsertStatus.STORED
+
+    def test_items_iterates_distinct(self):
+        table, keys = filled(load=0.4, seed=156)
+        listed = dict(table.items())
+        assert len(listed) == len(keys)
+        assert set(listed) == {table._canonical(k) for k in keys}
+
+    def test_counter_histogram_and_footprint(self):
+        table, keys = filled(load=0.4, seed=157)
+        histogram = table.counter_histogram()
+        assert sum(histogram.values()) == table.capacity
+        assert table.onchip_bytes == table.capacity * 2 // 8
+
+
+class TestCounterScreenToggle:
+    def test_requires_disabled_deletions(self):
+        with pytest.raises(ConfigurationError):
+            BlockedMcCuckoo(8, lookup_counter_screen=False,
+                            deletion_mode=DeletionMode.RESET)
+
+    def test_old_way_lookup_correct(self):
+        plain = BlockedMcCuckoo(24, seed=160, lookup_counter_screen=False)
+        keys = distinct_keys(int(plain.capacity * 0.9), seed=161)
+        for key in keys:
+            plain.put(key, key % 7)
+        for key in keys:
+            outcome = plain.lookup(key)
+            assert outcome.found and outcome.value == key % 7
+        for key in missing_keys(100, set(keys), seed=162):
+            assert not plain.lookup(key).found
+
+    def test_old_way_skips_onchip_reads(self):
+        table = BlockedMcCuckoo(24, seed=163, lookup_counter_screen=False)
+        keys = distinct_keys(40, seed=164)
+        for key in keys:
+            table.put(key)
+        before = table.mem.on_chip.reads
+        table.lookup(keys[0])
+        assert table.mem.on_chip.reads == before
+
+    def test_old_way_stashed_items_found(self):
+        table = BlockedMcCuckoo(4, seed=165, maxloop=0,
+                                lookup_counter_screen=False)
+        keys = key_stream(seed=166)
+        while len(table.stash) < 2:
+            table.put(next(keys))
+        for key, _ in list(table.stash.items()):
+            outcome = table.lookup(key)
+            assert outcome.found and outcome.from_stash

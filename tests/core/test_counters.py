@@ -1,0 +1,156 @@
+"""Tests for the packed on-chip counter arrays."""
+
+import pytest
+
+from repro.core.counters import BitArray, PackedArray
+from repro.memory.model import MemoryModel, Tier
+
+
+class TestConstruction:
+    def test_rejects_zero_length(self):
+        with pytest.raises(ValueError):
+            PackedArray(0, bits=2)
+
+    @pytest.mark.parametrize("bits", [3, 5, 6, 7, 16])
+    def test_rejects_unpackable_widths(self, bits):
+        with pytest.raises(ValueError):
+            PackedArray(8, bits=bits)
+
+    @pytest.mark.parametrize("bits,expected_max", [(1, 1), (2, 3), (4, 15), (8, 255)])
+    def test_max_value(self, bits, expected_max):
+        assert PackedArray(8, bits=bits).max_value == expected_max
+
+    def test_initialised_to_zero(self):
+        array = PackedArray(100, bits=2)
+        assert all(value == 0 for value in array)
+
+    @pytest.mark.parametrize(
+        "length,bits,expected_bytes",
+        [(8, 2, 2), (9, 2, 3), (16, 1, 2), (3, 8, 3), (5, 4, 3)],
+    )
+    def test_storage_bytes(self, length, bits, expected_bytes):
+        assert PackedArray(length, bits=bits).storage_bytes == expected_bytes
+
+
+class TestPeekPoke:
+    def test_roundtrip_every_position(self):
+        array = PackedArray(37, bits=2)
+        for index in range(37):
+            array.poke(index, index % 4)
+        for index in range(37):
+            assert array.peek(index) == index % 4
+
+    def test_neighbours_unaffected(self):
+        array = PackedArray(8, bits=2)
+        array.poke(3, 3)
+        array.poke(4, 1)
+        array.poke(3, 2)
+        assert array.peek(4) == 1
+        assert array.peek(2) == 0
+
+    def test_poke_rejects_overflow(self):
+        array = PackedArray(8, bits=2)
+        with pytest.raises(ValueError):
+            array.poke(0, 4)
+        with pytest.raises(ValueError):
+            array.poke(0, -1)
+
+    def test_index_bounds(self):
+        array = PackedArray(8, bits=2)
+        with pytest.raises(IndexError):
+            array.peek(8)
+        with pytest.raises(IndexError):
+            array.poke(-1, 0)
+
+    def test_8bit_values(self):
+        array = PackedArray(5, bits=8)
+        array.poke(4, 255)
+        assert array.peek(4) == 255
+
+
+class TestAccounting:
+    def test_get_charges_onchip_read(self):
+        mem = MemoryModel()
+        array = PackedArray(8, bits=2, mem=mem)
+        array.get(0)
+        assert mem.on_chip.reads == 1
+        assert mem.off_chip.reads == 0
+
+    def test_set_charges_onchip_write(self):
+        mem = MemoryModel()
+        array = PackedArray(8, bits=2, mem=mem)
+        array.set(0, 3)
+        assert mem.on_chip.writes == 1
+
+    def test_peek_poke_are_free(self):
+        mem = MemoryModel()
+        array = PackedArray(8, bits=2, mem=mem)
+        array.poke(0, 1)
+        array.peek(0)
+        assert mem.on_chip.reads == 0
+        assert mem.on_chip.writes == 0
+
+    def test_get_many_charges_per_counter(self):
+        mem = MemoryModel()
+        array = PackedArray(8, bits=2, mem=mem)
+        values = array.get_many([0, 3, 5])
+        assert values == [0, 0, 0]
+        assert mem.on_chip.reads == 3
+
+    def test_configurable_tier(self):
+        mem = MemoryModel()
+        array = PackedArray(8, bits=2, mem=mem, tier=Tier.OFF_CHIP)
+        array.get(0)
+        assert mem.off_chip.reads == 1
+
+    def test_works_without_memory_model(self):
+        array = PackedArray(8, bits=2)
+        array.set(1, 2)
+        assert array.get(1) == 2
+
+
+class TestBulk:
+    def test_fill_pattern(self):
+        array = PackedArray(10, bits=2)
+        array.fill(3)
+        assert all(value == 3 for value in array)
+
+    def test_fill_rejects_overflow(self):
+        with pytest.raises(ValueError):
+            PackedArray(10, bits=2).fill(4)
+
+    def test_nonzero_count(self):
+        array = PackedArray(10, bits=2)
+        array.poke(1, 2)
+        array.poke(7, 1)
+        assert array.nonzero_count() == 2
+
+    def test_len_and_iter(self):
+        array = PackedArray(13, bits=4)
+        assert len(array) == 13
+        assert len(list(array)) == 13
+
+
+class TestBitArray:
+    def test_mark_test_clear(self):
+        bits = BitArray(16)
+        assert not bits.test(5)
+        bits.mark(5)
+        assert bits.test(5)
+        bits.clear_bit(5)
+        assert not bits.test(5)
+
+    def test_is_one_bit_wide(self):
+        assert BitArray(16).max_value == 1
+
+    def test_dense_packing(self):
+        bits = BitArray(16)
+        assert bits.storage_bytes == 2
+
+    def test_accounted_access(self):
+        mem = MemoryModel()
+        bits = BitArray(8, mem=mem)
+        bits.set(0, 1)
+        bits.get(0)
+        assert mem.on_chip.writes == 1
+        assert mem.on_chip.reads == 1

@@ -1,0 +1,100 @@
+"""Tests for the shared HashTable interface behaviours."""
+
+import pytest
+
+from repro import McCuckoo
+from repro.core.interface import HashTable
+from repro.core.results import DeleteOutcome, InsertOutcome, InsertStatus, LookupOutcome
+from repro.workloads import key_stream
+
+
+class _MinimalTable(HashTable):
+    """Smallest possible HashTable: a dict in disguise."""
+
+    name = "minimal"
+
+    def __init__(self):
+        super().__init__()
+        self._data = {}
+
+    def put(self, key, value=None):
+        self._data[self._canonical(key)] = value
+        return InsertOutcome(InsertStatus.STORED, copies=1)
+
+    def lookup(self, key):
+        k = self._canonical(key)
+        if k in self._data:
+            return LookupOutcome(found=True, value=self._data[k])
+        return LookupOutcome(found=False)
+
+    def delete(self, key):
+        return DeleteOutcome(deleted=self._data.pop(self._canonical(key), None) is not None)
+
+    @property
+    def capacity(self):
+        return 100
+
+    def __len__(self):
+        return len(self._data)
+
+    def items(self):
+        return iter(self._data.items())
+
+
+class TestDefaults:
+    def test_get_and_contains(self):
+        table = _MinimalTable()
+        table.put("k", 1)
+        assert table.get("k") == 1
+        assert table.get("missing", 9) == 9
+        assert "k" in table
+        assert "missing" not in table
+
+    def test_load_ratio(self):
+        table = _MinimalTable()
+        for i in range(25):
+            table.put(i)
+        assert table.load_ratio == 0.25
+
+    def test_try_update_not_implemented_by_default(self):
+        with pytest.raises(NotImplementedError):
+            _MinimalTable().try_update("k", 1)
+
+    def test_upsert_falls_back_to_put(self):
+        """A table without try_update support propagates the error rather
+        than silently double-inserting."""
+        with pytest.raises(NotImplementedError):
+            _MinimalTable().upsert("k", 1)
+
+    def test_string_and_bytes_keys_accepted(self):
+        table = McCuckoo(64, d=3, seed=500)
+        table.put("string-key", 1)
+        table.put(b"bytes-key", 2)
+        assert table.get("string-key") == 1
+        assert table.get(b"bytes-key") == 2
+        assert table.get("absent") is None
+
+    def test_mem_created_when_not_supplied(self):
+        table = _MinimalTable()
+        assert table.mem is not None
+
+
+class TestFillTo:
+    def test_reaches_target(self):
+        table = McCuckoo(100, d=3, seed=501)
+        inserted = table.fill_to(0.5, key_stream(seed=502))
+        assert len(table) == 150
+        assert inserted == 150
+
+    def test_rejects_bad_load(self):
+        table = McCuckoo(10, d=3)
+        with pytest.raises(ValueError):
+            table.fill_to(1.5, key_stream())
+        with pytest.raises(ValueError):
+            table.fill_to(-0.1, key_stream())
+
+    def test_stops_on_exhausted_iterator(self):
+        table = McCuckoo(100, d=3, seed=503)
+        inserted = table.fill_to(0.9, iter(range(10)))
+        assert inserted == 10
+        assert len(table) == 10

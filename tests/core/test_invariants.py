@@ -1,0 +1,128 @@
+"""The invariant checkers must catch deliberately injected corruption."""
+
+import pytest
+
+from repro import BlockedMcCuckoo, McCuckoo, SiblingTracking
+from repro.core import check_blocked, check_mccuckoo
+from repro.core.errors import InvariantViolationError
+from repro.workloads import distinct_keys
+
+
+def healthy_mccuckoo(seed=170, **kwargs):
+    table = McCuckoo(64, d=3, seed=seed, **kwargs)
+    for key in distinct_keys(100, seed=seed + 1):
+        table.put(key)
+    check_mccuckoo(table)  # sanity: healthy before corruption
+    return table
+
+
+def healthy_blocked(seed=180):
+    table = BlockedMcCuckoo(24, d=3, slots=3, seed=seed)
+    for key in distinct_keys(120, seed=seed + 1):
+        table.put(key)
+    check_blocked(table)
+    return table
+
+
+class TestMcCuckooChecker:
+    def test_detects_counter_without_entry(self):
+        table = healthy_mccuckoo()
+        empty = next(
+            b for b in range(table.capacity) if table._counters.peek(b) == 0
+        )
+        table._keys[empty] = None
+        table._counters.poke(empty, 1)
+        with pytest.raises(InvariantViolationError, match="no entry"):
+            check_mccuckoo(table)
+
+    def test_detects_wrong_copy_count(self):
+        table = healthy_mccuckoo(seed=171)
+        bucket = next(
+            b for b in range(table.capacity) if table._counters.peek(b) == 2
+        )
+        table._counters.poke(bucket, 3)
+        with pytest.raises(InvariantViolationError):
+            check_mccuckoo(table)
+
+    def test_detects_misplaced_key(self):
+        table = healthy_mccuckoo(seed=172)
+        occupied = [b for b in range(table.capacity) if table._counters.peek(b) > 0]
+        bucket = occupied[0]
+        table._keys[bucket] = table._keys[bucket] ^ 0x12345  # not a candidate here
+        with pytest.raises(InvariantViolationError):
+            check_mccuckoo(table)
+
+    def test_detects_value_divergence(self):
+        table = healthy_mccuckoo(seed=173)
+        key = next(
+            key for key, _ in table.items() if len(table.copies_of(key)) >= 2
+        )
+        bucket = table.copies_of(key)[0]
+        table._values[bucket] = "diverged"
+        with pytest.raises(InvariantViolationError, match="disagree"):
+            check_mccuckoo(table)
+
+    def test_detects_stale_mask(self):
+        table = healthy_mccuckoo(
+            seed=174, sibling_tracking=SiblingTracking.METADATA
+        )
+        occupied = next(
+            b for b in range(table.capacity) if table._counters.peek(b) > 0
+        )
+        table._masks[occupied] = 0
+        with pytest.raises(InvariantViolationError, match="bitmap"):
+            check_mccuckoo(table)
+
+    def test_detects_item_count_drift(self):
+        table = healthy_mccuckoo(seed=175)
+        table._n_main += 1
+        with pytest.raises(InvariantViolationError, match="count"):
+            check_mccuckoo(table)
+
+    def test_detects_stash_flag_corruption(self):
+        table = McCuckoo(8, d=3, seed=176, maxloop=0)
+        keys = distinct_keys(40, seed=177)
+        for key in keys:
+            table.put(key)
+        assert len(table.stash) > 0
+        stashed_key = next(iter(table.stash.items()))[0]
+        flag_bucket = table._candidates(stashed_key)[0]
+        table._flags.clear_bit(flag_bucket)
+        with pytest.raises(InvariantViolationError, match="flag"):
+            check_mccuckoo(table)
+
+
+class TestBlockedChecker:
+    def test_detects_counter_without_entry(self):
+        table = healthy_blocked()
+        empty = next(
+            i for i in range(table.capacity) if table._counters.peek(i) == 0
+        )
+        table._keys[empty] = None
+        table._counters.poke(empty, 1)
+        with pytest.raises(InvariantViolationError):
+            check_blocked(table)
+
+    def test_detects_stale_slotmap(self):
+        table = healthy_blocked(seed=181)
+        index = next(
+            i for i in range(table.capacity) if table._counters.peek(i) > 0
+        )
+        table._slotmaps[index] = (None,) * table.d
+        with pytest.raises(InvariantViolationError, match="metadata"):
+            check_blocked(table)
+
+    def test_detects_wrong_copy_count(self):
+        table = healthy_blocked(seed=182)
+        index = next(
+            i for i in range(table.capacity) if table._counters.peek(i) == 1
+        )
+        table._counters.poke(index, 2)
+        with pytest.raises(InvariantViolationError):
+            check_blocked(table)
+
+    def test_detects_item_count_drift(self):
+        table = healthy_blocked(seed=183)
+        table._n_main -= 1
+        with pytest.raises(InvariantViolationError, match="count"):
+            check_blocked(table)

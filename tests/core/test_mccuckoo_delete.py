@@ -1,0 +1,169 @@
+"""McCuckoo deletion: RESET and TOMBSTONE modes, write-free semantics."""
+
+import pytest
+
+from repro import DeletionMode, McCuckoo
+from repro.core import check_mccuckoo
+from repro.core.errors import UnsupportedOperationError
+from repro.workloads import distinct_keys, missing_keys
+
+
+def filled(mode, n_buckets=128, load=0.6, seed=70):
+    table = McCuckoo(n_buckets, d=3, seed=seed, deletion_mode=mode)
+    keys = distinct_keys(int(table.capacity * load), seed=seed + 1)
+    for key in keys:
+        table.put(key, key % 7)
+    return table, keys
+
+
+class TestDisabledMode:
+    def test_delete_raises(self):
+        table = McCuckoo(32, d=3)
+        table.put(1)
+        with pytest.raises(UnsupportedOperationError):
+            table.delete(1)
+
+
+@pytest.mark.parametrize("mode", [DeletionMode.RESET, DeletionMode.TOMBSTONE])
+class TestDeletionCommon:
+    def test_delete_removes_key(self, mode):
+        table, keys = filled(mode)
+        outcome = table.delete(keys[0])
+        assert outcome.deleted
+        assert not table.lookup(keys[0]).found
+        assert len(table) == len(keys) - 1
+
+    def test_all_copies_removed(self, mode):
+        table, keys = filled(mode)
+        victim = keys[3]
+        copies_before = len(table.copies_of(victim))
+        outcome = table.delete(victim)
+        assert outcome.copies_removed == copies_before
+        assert table.copies_of(victim) == []
+
+    def test_delete_missing_returns_false(self, mode):
+        table, keys = filled(mode)
+        absent = missing_keys(1, set(keys), seed=71)[0]
+        assert not table.delete(absent).deleted
+
+    def test_double_delete(self, mode):
+        table, keys = filled(mode)
+        assert table.delete(keys[0]).deleted
+        assert not table.delete(keys[0]).deleted
+
+    def test_deletion_is_write_free(self, mode):
+        table, keys = filled(mode)
+        before = table.mem.off_chip.writes
+        table.delete(keys[1])
+        assert table.mem.off_chip.writes == before
+
+    def test_other_keys_unaffected(self, mode):
+        table, keys = filled(mode)
+        for victim in keys[:20]:
+            table.delete(victim)
+        for key in keys[20:]:
+            assert table.lookup(key).found, "deletion caused collateral damage"
+
+    def test_invariants_hold_after_deletes(self, mode):
+        table, keys = filled(mode)
+        for victim in keys[::3]:
+            table.delete(victim)
+        check_mccuckoo(table)
+
+    def test_freed_buckets_reused_by_later_inserts(self, mode):
+        """§III.F: freed buckets are refilled casually by later insertions."""
+        table, keys = filled(mode, load=0.8, seed=72)
+        for victim in keys[: len(keys) // 2]:
+            table.delete(victim)
+        new_keys = missing_keys(len(keys) // 2, set(keys), seed=73)
+        for key in new_keys:
+            outcome = table.put(key)
+            assert not outcome.failed
+        for key in new_keys:
+            assert table.lookup(key).found
+        check_mccuckoo(table)
+
+    def test_delete_then_reinsert_same_key(self, mode):
+        table, keys = filled(mode)
+        table.delete(keys[0])
+        table.put(keys[0], "reborn")
+        assert table.get(keys[0]) == "reborn"
+        check_mccuckoo(table)
+
+
+class TestTombstoneSpecifics:
+    def test_tombstone_keeps_zero_counter_screen_sound(self):
+        """TOMBSTONE mode: counter 0 without a mark still proves the key was
+        never inserted, so missing lookups stay cheap."""
+        table, keys = filled(DeletionMode.TOMBSTONE, load=0.3, seed=74)
+        for victim in keys[:10]:
+            table.delete(victim)
+        screened = 0
+        for key in missing_keys(200, set(keys), seed=75):
+            cands = table._candidates(key)
+            untouched = any(
+                table._counters.peek(b) == 0 and not table._tombstones.test(b)
+                for b in cands
+            )
+            before = table.mem.off_chip.reads
+            outcome = table.lookup(key)
+            assert not outcome.found
+            if untouched:
+                assert table.mem.off_chip.reads == before
+                screened += 1
+        assert screened > 0
+
+    def test_tombstoned_bucket_not_proof_of_absence(self):
+        table, keys = filled(DeletionMode.TOMBSTONE, load=0.6, seed=76)
+        # Deleting any key must not hide keys that share its buckets.
+        for victim in keys[:15]:
+            table.delete(victim)
+        for key in keys[15:]:
+            assert table.lookup(key).found
+
+    def test_insertion_clears_tombstone(self):
+        table, keys = filled(DeletionMode.TOMBSTONE, load=0.5, seed=77)
+        victim = keys[0]
+        buckets = table.copies_of(victim)
+        table.delete(victim)
+        for bucket in buckets:
+            assert table._tombstones.test(bucket)
+        # fill until some tombstoned bucket is reused
+        for key in missing_keys(400, set(keys), seed=78):
+            table.put(key)
+            if any(not table._tombstones.test(b) and table._counters.peek(b) > 0
+                   for b in buckets):
+                break
+        reused = [b for b in buckets if table._counters.peek(b) > 0]
+        assert reused, "no tombstoned bucket was ever reused"
+        for bucket in reused:
+            assert not table._tombstones.test(bucket)
+
+    def test_filter_selectivity_fades_with_churn(self):
+        """The paper's caveat: tombstones accumulate, so the non-existing
+        screen catches fewer queries after heavy churn."""
+        table, keys = filled(DeletionMode.TOMBSTONE, load=0.5, seed=79)
+        absent = missing_keys(300, set(keys), seed=80)
+
+        def screened_fraction():
+            count = 0
+            for key in absent:
+                before = table.mem.off_chip.reads
+                table.lookup(key)
+                if table.mem.off_chip.reads == before:
+                    count += 1
+            return count / len(absent)
+
+        fresh = screened_fraction()
+        live = list(keys)
+        extra = missing_keys(3000, set(keys) | set(absent), seed=81)
+        for round_index in range(6):  # churn: delete half, insert new
+            for victim in live[: len(live) // 2]:
+                table.delete(victim)
+            live = live[len(live) // 2 :]
+            for _ in range(len(keys) // 2):
+                key = extra.pop()
+                if not table.put(key).failed:
+                    live.append(key)
+        churned = screened_fraction()
+        assert churned <= fresh

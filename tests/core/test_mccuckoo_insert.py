@@ -1,0 +1,255 @@
+"""McCuckoo insertion: the paper's principles 1-3 and their consequences."""
+
+import pytest
+
+from repro import DeletionMode, FailurePolicy, McCuckoo, SiblingTracking, TableFullError
+from repro.core import InsertStatus, check_mccuckoo
+from repro.core.errors import ConfigurationError
+from repro.workloads import distinct_keys
+
+
+class TestConstruction:
+    def test_rejects_bad_parameters(self):
+        with pytest.raises(ConfigurationError):
+            McCuckoo(0)
+        with pytest.raises(ConfigurationError):
+            McCuckoo(8, d=1)
+        with pytest.raises(ConfigurationError):
+            McCuckoo(8, maxloop=-1)
+        with pytest.raises(ConfigurationError):
+            McCuckoo(8, growth_factor=0.5)
+
+    def test_capacity(self):
+        assert McCuckoo(100, d=3).capacity == 300
+        assert McCuckoo(50, d=4).capacity == 200
+
+    def test_counter_width_matches_d(self):
+        assert McCuckoo(8, d=3)._counters.bits == 2
+        assert McCuckoo(8, d=4)._counters.bits == 4
+        assert McCuckoo(8, d=2)._counters.bits == 2
+
+    def test_onchip_footprint_is_2_bits_per_bucket(self):
+        table = McCuckoo(100, d=3)
+        assert table.onchip_bytes == 75  # 300 buckets * 2 bits
+
+
+class TestPrinciple1_OccupyAllEmpties:
+    def test_first_item_gets_d_copies(self):
+        table = McCuckoo(64, d=3, seed=2)
+        outcome = table.put(1234)
+        assert outcome.status is InsertStatus.STORED
+        assert outcome.copies == 3
+        assert len(table.copies_of(1234)) == 3
+
+    def test_counters_set_to_copy_count(self):
+        table = McCuckoo(64, d=3, seed=2)
+        table.put(1234)
+        for bucket in table.copies_of(1234):
+            assert table._counters.peek(bucket) == 3
+
+    def test_empty_table_insert_writes_d_buckets_reads_none(self):
+        table = McCuckoo(64, d=3, seed=2)
+        with table.mem.measure() as measurement:
+            table.put(77)
+        assert measurement.delta.off_chip.writes == 3
+        assert measurement.delta.off_chip.reads == 0
+
+    def test_partial_overlap_gets_remaining_empties(self):
+        table = McCuckoo(16, d=3, seed=3)
+        keys = distinct_keys(30, seed=4)
+        for key in keys:
+            table.put(key)
+        check_mccuckoo(table)
+        # every item has at least one copy
+        for key in keys:
+            assert len(table.copies_of(key)) >= 1
+
+    def test_d4_first_item_gets_4_copies(self):
+        table = McCuckoo(32, d=4, seed=5)
+        outcome = table.put(99)
+        assert outcome.copies == 4
+
+
+class TestPrinciple2_NeverOverwriteSoleCopies:
+    def test_sole_copies_survive_insertions(self):
+        table = McCuckoo(24, d=3, seed=6, maxloop=0,
+                         on_failure=FailurePolicy.STASH)
+        keys = distinct_keys(60, seed=7)
+        for key in keys:
+            table.put(key)
+        check_mccuckoo(table)
+        # With maxloop=0 no kick can displace a sole copy, so every key that
+        # was stored in the main table must still be findable.
+        for key, _ in list(table.items()):
+            assert table.lookup(key).found
+
+
+class TestPrinciple3_OverwriteLargestFirst:
+    def _table_with_triple(self, seed=8):
+        """A table whose first item has 3 copies."""
+        table = McCuckoo(64, d=3, seed=seed)
+        first = distinct_keys(1, seed=seed)[0]
+        table.put(first)
+        assert len(table.copies_of(first)) == 3
+        return table, first
+
+    def test_overwrite_balances_copies(self):
+        table, first = self._table_with_triple()
+        # A new key with one empty candidate and two candidates on `first`'s
+        # 3-copy buckets: filling the empty gives 1 copy, then principle 3
+        # takes exactly one redundant copy of `first` (1:3 -> 2:2).
+        target_buckets = set(table.copies_of(first))
+        for key in distinct_keys(8000, seed=9):
+            if key == first:
+                continue
+            shared = set(table._candidates(key)) & target_buckets
+            if len(shared) == 2:
+                outcome = table.put(key)
+                assert outcome.copies == 2
+                assert len(table.copies_of(first)) == 2
+                check_mccuckoo(table)
+                return
+        pytest.fail("no overlapping key found")
+
+    def test_no_gainless_overwrite(self):
+        """An item with 2 empties does not steal from a 3-copy item:
+        2:3 -> 3:2 gains nothing (the paper's worked example)."""
+        table, first = self._table_with_triple(seed=10)
+        for key in distinct_keys(4000, seed=11):
+            if key == first:
+                continue
+            shared = set(table._candidates(key)) & set(table.copies_of(first))
+            if len(shared) == 1:
+                outcome = table.put(key)
+                assert outcome.copies == 2  # only the two empties
+                assert len(table.copies_of(first)) == 3  # untouched
+                check_mccuckoo(table)
+                return
+        pytest.fail("no overlapping key found")
+
+    def test_victim_siblings_decremented(self):
+        table, first = self._table_with_triple(seed=12)
+        for key in distinct_keys(8000, seed=13):
+            shared = set(table._candidates(key)) & set(table.copies_of(first))
+            if key != first and len(shared) == 2:
+                table.put(key)
+                remaining = table.copies_of(first)
+                assert len(remaining) == 2
+                for bucket in remaining:
+                    assert table._counters.peek(bucket) == 2
+                return
+        pytest.fail("no overlapping key found")
+
+
+class TestCollisionsAndKicks:
+    def test_collision_only_when_all_sole_copies(self):
+        table = McCuckoo(32, d=3, seed=14)
+        for key in distinct_keys(80, seed=15):
+            outcome = table.put(key)
+            if outcome.collided:
+                break
+        assert table.events.first_collision_items is not None
+        check_mccuckoo(table)
+
+    def test_kicks_reported_in_outcome(self):
+        table = McCuckoo(32, d=3, seed=16)
+        saw_kick = False
+        for key in distinct_keys(90, seed=17):
+            outcome = table.put(key)
+            if outcome.kicks > 0:
+                saw_kick = True
+                assert outcome.collided
+        assert saw_kick
+        assert table.total_kicks > 0
+
+    def test_all_items_remain_findable_after_kicks(self):
+        table = McCuckoo(40, d=3, seed=18)
+        keys = distinct_keys(110, seed=19)
+        for key in keys:
+            table.put(key, value=key & 0xFF)
+        check_mccuckoo(table)
+        for key in keys:
+            outcome = table.lookup(key)
+            assert outcome.found
+            assert outcome.value == key & 0xFF
+
+    def test_maxloop_zero_stashes_on_collision(self):
+        table = McCuckoo(8, d=3, seed=20, maxloop=0)
+        stashed = 0
+        for key in distinct_keys(40, seed=21):
+            outcome = table.put(key)
+            if outcome.stashed:
+                stashed += 1
+        assert stashed > 0
+        assert len(table.stash) == stashed
+        check_mccuckoo(table)
+
+    def test_failure_event_recorded(self):
+        table = McCuckoo(8, d=3, seed=22, maxloop=0)
+        for key in distinct_keys(40, seed=23):
+            table.put(key)
+        assert table.events.first_failure_items is not None
+
+    def test_fail_policy_raises(self):
+        table = McCuckoo(4, d=3, seed=24, maxloop=4,
+                         on_failure=FailurePolicy.FAIL)
+        with pytest.raises(TableFullError):
+            for key in distinct_keys(60, seed=25):
+                table.put(key)
+
+
+class TestHighLoadFill:
+    @pytest.mark.parametrize("tracking", [SiblingTracking.READ, SiblingTracking.METADATA])
+    def test_fill_to_88_percent(self, tracking):
+        table = McCuckoo(300, d=3, seed=26, sibling_tracking=tracking)
+        keys = distinct_keys(int(table.capacity * 0.88), seed=27)
+        for key in keys:
+            table.put(key)
+        assert len(table) == len(keys)
+        check_mccuckoo(table)
+        for key in keys[::7]:
+            assert table.lookup(key).found
+
+    def test_len_counts_distinct_items_not_copies(self):
+        table = McCuckoo(200, d=3, seed=28)
+        keys = distinct_keys(100, seed=29)
+        for key in keys:
+            table.put(key)
+        assert len(table) == 100
+        total_copies = sum(len(table.copies_of(key)) for key in keys)
+        assert total_copies > 100  # redundancy exists
+
+    def test_load_ratio(self):
+        table = McCuckoo(100, d=3, seed=30)
+        for key in distinct_keys(150, seed=31):
+            table.put(key)
+        assert table.load_ratio == pytest.approx(0.5)
+
+
+class TestUpsert:
+    def test_upsert_inserts_when_absent(self):
+        table = McCuckoo(64, d=3, seed=32)
+        outcome = table.upsert(5, "v1")
+        assert outcome.status is InsertStatus.STORED
+
+    def test_upsert_updates_all_copies(self):
+        table = McCuckoo(64, d=3, seed=33)
+        table.put(5, "v1")
+        outcome = table.upsert(5, "v2")
+        assert outcome.status is InsertStatus.UPDATED
+        assert table.get(5) == "v2"
+        for bucket in table.copies_of(5):
+            assert table._values[bucket] == "v2"
+        check_mccuckoo(table)
+
+    def test_upsert_updates_stashed_item(self):
+        table = McCuckoo(8, d=3, seed=34, maxloop=0)
+        stashed_key = None
+        for key in distinct_keys(40, seed=35):
+            if table.put(key, "old").stashed:
+                stashed_key = key
+                break
+        assert stashed_key is not None
+        outcome = table.upsert(stashed_key, "new")
+        assert outcome.status is InsertStatus.UPDATED
+        assert table.get(stashed_key) == "new"

@@ -1,0 +1,77 @@
+"""McCuckoo rehash failure policy (the traditional remedy, §I/§II)."""
+
+import pytest
+
+from repro import FailurePolicy, McCuckoo
+from repro.core import check_mccuckoo
+from repro.workloads import distinct_keys
+
+
+def rehashing_table(n_buckets=8, seed=110, maxloop=2):
+    return McCuckoo(
+        n_buckets,
+        d=3,
+        seed=seed,
+        maxloop=maxloop,
+        on_failure=FailurePolicy.REHASH,
+        growth_factor=2.0,
+    )
+
+
+class TestRehash:
+    def test_rehash_triggered_and_grows_table(self):
+        table = rehashing_table()
+        original_buckets = table.n_buckets
+        keys = distinct_keys(120, seed=111)
+        for key in keys:
+            table.put(key, key % 5)
+        assert table.rehash_count >= 1
+        assert table.n_buckets > original_buckets
+
+    def test_no_items_lost_across_rehash(self):
+        table = rehashing_table(seed=112)
+        keys = distinct_keys(150, seed=113)
+        for key in keys:
+            table.put(key, key % 13)
+        assert len(table) == len(keys)
+        for key in keys:
+            outcome = table.lookup(key)
+            assert outcome.found
+            assert outcome.value == key % 13
+        check_mccuckoo(table)
+
+    def test_rehash_charges_drain_reads(self):
+        table = rehashing_table(seed=114)
+        keys = distinct_keys(200, seed=115)
+        before = table.mem.off_chip.reads
+        for key in keys:
+            table.put(key)
+        assert table.rehash_count >= 1
+        # draining the table for a rehash reads every occupied bucket
+        assert table.mem.off_chip.reads > before
+
+    def test_rehash_has_no_stash(self):
+        table = rehashing_table()
+        assert table.stash is None
+
+    def test_events_record_failure_that_caused_rehash(self):
+        table = rehashing_table(seed=116)
+        for key in distinct_keys(150, seed=117):
+            table.put(key)
+        if table.rehash_count:
+            assert table.events.first_failure_items is not None
+
+    def test_rehash_keeps_invariants(self):
+        table = rehashing_table(seed=118, maxloop=1)
+        for key in distinct_keys(180, seed=119):
+            table.put(key)
+        check_mccuckoo(table)
+
+    def test_values_preserved_across_multiple_rehashes(self):
+        table = rehashing_table(n_buckets=4, seed=120, maxloop=1)
+        keys = distinct_keys(120, seed=121)
+        for index, key in enumerate(keys):
+            table.put(key, index)
+        assert table.rehash_count >= 2
+        for index, key in enumerate(keys):
+            assert table.get(key) == index

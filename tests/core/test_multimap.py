@@ -1,0 +1,94 @@
+"""Tests for the multiset-by-indirection layer (§III.H)."""
+
+import pytest
+
+from repro import DeletionMode, McCuckoo, McCuckooMultiMap
+
+
+@pytest.fixture
+def mmap():
+    return McCuckooMultiMap(
+        lambda: McCuckoo(64, d=3, seed=160, deletion_mode=DeletionMode.RESET)
+    )
+
+
+class TestMultiMap:
+    def test_add_and_get_single(self, mmap):
+        mmap.add("word", 1)
+        assert mmap.get("word") == [1]
+
+    def test_multiple_values_accumulate(self, mmap):
+        for doc in (1, 2, 3):
+            mmap.add("word", doc)
+        assert mmap.get("word") == [1, 2, 3]
+        assert mmap.count("word") == 3
+
+    def test_duplicate_values_allowed(self, mmap):
+        mmap.add("k", 5)
+        mmap.add("k", 5)
+        assert mmap.get("k") == [5, 5]
+
+    def test_index_stores_one_entry_per_key(self, mmap):
+        for doc in range(10):
+            mmap.add("hot", doc)
+        assert mmap.distinct_keys() == 1
+        assert len(mmap) == 10
+
+    def test_copies_share_identical_handle(self, mmap):
+        """The paper's constraint: redundant copies must stay identical, so
+        the multimap stores one handle per key in every copy."""
+        mmap.add("k", 1)
+        index = mmap.index
+        key = index._canonical("k")
+        handles = {index._values[b] for b in index.copies_of(key)}
+        assert len(handles) == 1
+
+    def test_get_missing_is_empty(self, mmap):
+        assert mmap.get("nope") == []
+        assert mmap.count("nope") == 0
+
+    def test_remove_value(self, mmap):
+        mmap.add("k", 1)
+        mmap.add("k", 2)
+        assert mmap.remove_value("k", 1)
+        assert mmap.get("k") == [2]
+
+    def test_remove_missing_value(self, mmap):
+        mmap.add("k", 1)
+        assert not mmap.remove_value("k", 99)
+        assert not mmap.remove_value("absent", 1)
+
+    def test_last_value_removal_deletes_key(self, mmap):
+        mmap.add("k", 1)
+        assert mmap.remove_value("k", 1)
+        assert "k" not in mmap
+        assert mmap.distinct_keys() == 0
+
+    def test_remove_all(self, mmap):
+        for doc in range(4):
+            mmap.add("k", doc)
+        assert mmap.remove_all("k") == 4
+        assert "k" not in mmap
+        assert mmap.remove_all("k") == 0
+
+    def test_get_returns_copy(self, mmap):
+        mmap.add("k", 1)
+        values = mmap.get("k")
+        values.append(99)
+        assert mmap.get("k") == [1]
+
+    def test_items_iterates_postings(self, mmap):
+        mmap.add("a", 1)
+        mmap.add("b", 2)
+        mmap.add("b", 3)
+        postings = {key: values for key, values in mmap.items()}
+        assert len(postings) == 2
+        assert sorted(len(v) for v in postings.values()) == [1, 2]
+
+    def test_many_keys(self, mmap):
+        for word in range(100):
+            for doc in range(word % 4 + 1):
+                mmap.add(word, doc)
+        assert mmap.distinct_keys() == 100
+        for word in range(100):
+            assert mmap.count(word) == word % 4 + 1

@@ -1,0 +1,158 @@
+"""Online (incremental) resizing: the table stays usable while growing."""
+
+import pytest
+
+from repro import DeletionMode
+from repro.core import check_mccuckoo
+from repro.core.errors import ConfigurationError
+from repro.core.resize import ResizableMcCuckoo
+from repro.workloads import distinct_keys, key_stream, missing_keys
+
+
+def table(seed=880, n_buckets=32, **kwargs):
+    kwargs.setdefault("grow_at", 0.8)
+    kwargs.setdefault("migrate_batch", 4)
+    return ResizableMcCuckoo(n_buckets, d=3, seed=seed, maxloop=100, **kwargs)
+
+
+class TestConstruction:
+    def test_rejects_bad_parameters(self):
+        with pytest.raises(ConfigurationError):
+            table(grow_at=0.0)
+        with pytest.raises(ConfigurationError):
+            table(grow_at=1.5)
+        with pytest.raises(ConfigurationError):
+            table(growth_factor=1.0)
+        with pytest.raises(ConfigurationError):
+            table(migrate_batch=0)
+        with pytest.raises(ConfigurationError):
+            table(deletion_mode=DeletionMode.DISABLED)
+
+    def test_starts_unresized(self):
+        t = table()
+        assert not t.resizing
+        assert t.generations == 0
+
+
+class TestGrowth:
+    def test_growth_triggered_past_threshold(self):
+        t = table(seed=881)
+        keys = key_stream(seed=882)
+        initial_capacity = t.capacity
+        while t.generations == 0:
+            t.put(next(keys))
+        assert t.active_table.capacity > initial_capacity
+        assert t.resizing or len(t) > 0
+
+    def test_no_items_lost_across_growth(self):
+        t = table(seed=883)
+        keys = distinct_keys(400, seed=884)
+        for index, key in enumerate(keys):
+            t.put(key, index)
+        assert t.generations >= 1
+        assert len(t) == len(keys)
+        for index, key in enumerate(keys):
+            outcome = t.lookup(key)
+            assert outcome.found, f"key {index} lost during migration"
+            assert outcome.value == index
+
+    def test_migration_completes_incrementally(self):
+        t = table(seed=885)
+        keys = key_stream(seed=886)
+        while t.generations == 0:
+            t.put(next(keys))
+        # keep writing: every write migrates a batch, so the old half drains
+        writes = 0
+        while t.resizing and writes < 10_000:
+            t.put(next(keys))
+            writes += 1
+        assert not t.resizing
+        check_mccuckoo(t.active_table)
+
+    def test_finish_resize_drains_old_half(self):
+        t = table(seed=887)
+        keys = distinct_keys(200, seed=888)
+        for key in keys:
+            t.put(key)
+        if t.resizing:
+            moved = t.finish_resize()
+            assert moved >= 0
+        assert not t.resizing
+        for key in keys:
+            assert t.lookup(key).found
+        check_mccuckoo(t.active_table)
+
+    def test_multiple_generations(self):
+        t = table(seed=889, n_buckets=16)
+        keys = distinct_keys(600, seed=890)
+        for key in keys:
+            t.put(key)
+        assert t.generations >= 2
+        for key in keys[::13]:
+            assert t.lookup(key).found
+
+    def test_migrate_step_counts_moved_items(self):
+        t = table(seed=891)
+        keys = key_stream(seed=892)
+        while not t.resizing:
+            t.put(next(keys))
+        moved = t.migrate_step(batch=3)
+        assert 0 <= moved <= 3
+
+
+class TestOperationsDuringResize:
+    def _resizing_table(self, seed=893):
+        t = table(seed=seed)
+        keys = key_stream(seed=seed + 1)
+        inserted = []
+        while not t.resizing:
+            key = next(keys)
+            t.put(key, key & 0xFF)
+            inserted.append(t.active_table._canonical(key))
+        assert t.resizing
+        return t, inserted, keys
+
+    def test_lookup_consults_both_halves(self):
+        t, inserted, _ = self._resizing_table()
+        for key in inserted:
+            assert t.lookup(key).found
+
+    def test_delete_during_resize(self):
+        t, inserted, _ = self._resizing_table(seed=895)
+        victim = inserted[0]
+        assert t.delete(victim).deleted
+        assert not t.lookup(victim).found
+        assert not t.delete(victim).deleted
+
+    def test_upsert_during_resize(self):
+        t, inserted, _ = self._resizing_table(seed=897)
+        target = inserted[0]
+        outcome = t.upsert(target, "fresh")
+        assert outcome.status.value == "updated"
+        assert t.get(target) == "fresh"
+        t.finish_resize()
+        assert t.get(target) == "fresh"
+
+    def test_put_same_key_during_resize_not_shadowed_by_migration(self):
+        """A key rewritten into the new half must survive the migration of
+        its stale old-half copy."""
+        t, inserted, _ = self._resizing_table(seed=899)
+        target = inserted[-1]
+        t.delete(target)
+        t.put(target, "new-version")
+        t.finish_resize()
+        assert t.get(target) == "new-version"
+        # exactly one logical copy set remains
+        copies = t.active_table.copies_of(target)
+        assert copies
+
+    def test_missing_lookups_correct_during_resize(self):
+        t, inserted, _ = self._resizing_table(seed=901)
+        for key in missing_keys(100, set(inserted), seed=902):
+            assert not t.lookup(key).found
+
+    def test_len_and_items_span_both_halves(self):
+        t, inserted, _ = self._resizing_table(seed=903)
+        assert len(t) == len(inserted)
+        listed = dict(t.items())
+        assert set(listed) == set(inserted)

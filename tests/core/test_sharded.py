@@ -1,0 +1,131 @@
+"""Sharded multi-writer wrapper tests."""
+
+import pytest
+
+from repro import ConcurrentMcCuckoo, DeletionMode
+from repro.core import check_mccuckoo
+from repro.core.errors import ConfigurationError
+from repro.core.sharded import ShardedMcCuckoo
+from repro.workloads import TraceGenerator, distinct_keys, missing_keys, replay
+
+
+def table(n_shards=4, n_buckets=32, **kwargs):
+    kwargs.setdefault("deletion_mode", DeletionMode.RESET)
+    return ShardedMcCuckoo(n_shards, n_buckets, seed=940, maxloop=100, **kwargs)
+
+
+class TestConstruction:
+    def test_rejects_bad_parameters(self):
+        with pytest.raises(ConfigurationError):
+            ShardedMcCuckoo(0, 8)
+        with pytest.raises(ConfigurationError):
+            ShardedMcCuckoo(4, 0)
+
+    def test_capacity_sums_shards(self):
+        t = table(n_shards=4, n_buckets=32)
+        assert t.capacity == 4 * 3 * 32
+
+    def test_shards_have_distinct_seeds(self):
+        t = table()
+        hashers = {shard._functions[0].hash64(123) for shard in t.shards}
+        assert len(hashers) == t.n_shards
+
+
+class TestRouting:
+    def test_shard_index_stable(self):
+        t = table()
+        assert t.shard_index(42) == t.shard_index(42)
+
+    def test_operations_hit_owning_shard_only(self):
+        t = table()
+        key = 777
+        owner = t.shard_for(key)
+        t.put(key, "v")
+        assert len(owner) == 1
+        assert sum(len(s) for s in t.shards if s is not owner) == 0
+
+    def test_roundtrip_across_shards(self):
+        t = table()
+        keys = distinct_keys(250, seed=941)
+        for key in keys:
+            t.put(key, key % 13)
+        assert len(t) == 250
+        for key in keys:
+            outcome = t.lookup(key)
+            assert outcome.found and outcome.value == key % 13
+
+    def test_delete_and_update(self):
+        t = table()
+        t.put(1, "a")
+        assert t.upsert(1, "b").status.value == "updated"
+        assert t.get(1) == "b"
+        assert t.delete(1).deleted
+        assert 1 not in t
+
+    def test_missing_lookups(self):
+        t = table()
+        keys = distinct_keys(100, seed=942)
+        for key in keys:
+            t.put(key)
+        for key in missing_keys(100, set(keys), seed=943):
+            assert not t.lookup(key).found
+
+    def test_items_spans_all_shards(self):
+        t = table()
+        keys = distinct_keys(120, seed=944)
+        for key in keys:
+            t.put(key)
+        assert len(dict(t.items())) == 120
+
+
+class TestBalance:
+    def test_shards_roughly_balanced(self):
+        t = table(n_shards=8, n_buckets=64)
+        for key in distinct_keys(int(t.capacity * 0.5), seed=945):
+            t.put(key)
+        assert t.imbalance() < 1.3
+
+    def test_shard_loads_reported(self):
+        t = table(n_shards=4)
+        assert t.shard_loads() == [0.0] * 4
+
+
+class TestCorrectness:
+    def test_trace_replay_clean(self):
+        t = table(n_shards=4, n_buckets=48)
+        stats = replay(t, iter(TraceGenerator(1500, seed=946)))
+        assert stats.false_negatives == 0
+        assert stats.false_positives == 0
+        for shard in t.shards:
+            check_mccuckoo(shard)
+
+    def test_parallel_writers_on_distinct_shards(self):
+        """Two concurrent writers working different shards interleave their
+        step sequences with no cross-effects — sharding isolates them."""
+        t = table(n_shards=2, n_buckets=48)
+        writers = [ConcurrentMcCuckoo(shard) for shard in t.shards]
+        keys = distinct_keys(400, seed=947)
+        per_shard = {0: [], 1: []}
+        for key in keys:
+            per_shard[t.shard_index(key)].append(key)
+        pending = {0: list(per_shard[0]), 1: list(per_shard[1])}
+        inserted = []
+        # round-robin: one step of writer A, one step of writer B
+        active = {0: None, 1: None}
+        while any(pending.values()) or any(active.values()):
+            for shard_id in (0, 1):
+                if active[shard_id] is None and pending[shard_id]:
+                    key = pending[shard_id].pop()
+                    active[shard_id] = (key, writers[shard_id].insert_stepwise(key))
+                if active[shard_id] is not None:
+                    key, stepper = active[shard_id]
+                    try:
+                        next(stepper)
+                    except StopIteration:
+                        inserted.append(key)
+                        active[shard_id] = None
+        assert len(inserted) == len(keys)
+        for key in keys:
+            assert t.lookup(key).found
+        for shard in t.shards:
+            check_mccuckoo(shard)

@@ -1,0 +1,153 @@
+"""Tests for the off-chip and on-chip stash structures."""
+
+import pytest
+
+from repro.core.errors import TableFullError
+from repro.core.stash import OffChipStash, OnChipStash
+from repro.memory.model import MemoryModel
+
+
+class TestOffChipStash:
+    def _stash(self, n_buckets=8):
+        mem = MemoryModel()
+        return OffChipStash(n_buckets, mem), mem
+
+    def test_rejects_bad_size(self):
+        with pytest.raises(ValueError):
+            OffChipStash(0, MemoryModel())
+
+    def test_add_lookup_roundtrip(self):
+        stash, _ = self._stash()
+        stash.add(10, "a")
+        found, value = stash.lookup(10)
+        assert found and value == "a"
+
+    def test_lookup_missing(self):
+        stash, _ = self._stash()
+        stash.add(10, "a")
+        found, value = stash.lookup(11)
+        assert not found and value is None
+
+    def test_add_charges_offchip_write(self):
+        stash, mem = self._stash()
+        stash.add(1, None)
+        assert mem.off_chip.writes == 1
+
+    def test_lookup_charges_head_read(self):
+        stash, mem = self._stash()
+        stash.lookup(1)
+        assert mem.off_chip.reads == 1
+
+    def test_chain_traversal_charges_extra_reads(self):
+        stash, mem = self._stash(n_buckets=1)  # force one chain
+        for key in range(4):
+            stash.add(key, key)
+        mem.reset()
+        stash.lookup(3)  # last in chain
+        assert mem.off_chip.reads == 4
+
+    def test_delete_existing(self):
+        stash, _ = self._stash()
+        stash.add(5, "x")
+        assert stash.delete(5)
+        assert not stash.lookup(5)[0]
+        assert len(stash) == 0
+
+    def test_delete_missing(self):
+        stash, _ = self._stash()
+        assert not stash.delete(99)
+
+    def test_len_and_contains(self):
+        stash, _ = self._stash()
+        for key in range(7):
+            stash.add(key, None)
+        assert len(stash) == 7
+        assert 3 in stash
+        assert 100 not in stash
+
+    def test_pop_all_drains(self):
+        stash, _ = self._stash()
+        for key in range(5):
+            stash.add(key, key * 2)
+        drained = dict(stash.pop_all())
+        assert drained == {key: key * 2 for key in range(5)}
+        assert len(stash) == 0
+
+    def test_items_iterates_everything(self):
+        stash, _ = self._stash()
+        stash.add(1, "a")
+        stash.add(2, "b")
+        assert dict(stash.items()) == {1: "a", 2: "b"}
+
+    def test_max_chain_length(self):
+        stash, _ = self._stash(n_buckets=1)
+        assert stash.max_chain_length == 0
+        for key in range(3):
+            stash.add(key, None)
+        assert stash.max_chain_length == 3
+
+    def test_duplicate_keys_both_stored(self):
+        # The stash is a dumb container; dedup is the table's job.
+        stash, _ = self._stash()
+        stash.add(1, "first")
+        stash.add(1, "second")
+        assert len(stash) == 2
+        assert stash.delete(1)
+        assert stash.lookup(1)[0]
+
+
+class TestOnChipStash:
+    def _stash(self, capacity=4):
+        mem = MemoryModel()
+        return OnChipStash(capacity, mem), mem
+
+    def test_rejects_bad_capacity(self):
+        with pytest.raises(ValueError):
+            OnChipStash(0, MemoryModel())
+
+    def test_roundtrip(self):
+        stash, _ = self._stash()
+        stash.add(3, "v")
+        assert stash.lookup(3) == (True, "v")
+
+    def test_overflow_raises(self):
+        stash, _ = self._stash(capacity=2)
+        stash.add(1, None)
+        stash.add(2, None)
+        assert stash.full
+        with pytest.raises(TableFullError):
+            stash.add(3, None)
+
+    def test_scan_charges_onchip_reads(self):
+        stash, mem = self._stash()
+        stash.add(1, None)
+        stash.add(2, None)
+        mem.reset()
+        stash.lookup(2)
+        assert mem.on_chip.reads == 2
+        assert mem.off_chip.reads == 0
+
+    def test_lookup_empty_still_charges_one_read(self):
+        stash, mem = self._stash()
+        stash.lookup(9)
+        assert mem.on_chip.reads == 1
+
+    def test_delete(self):
+        stash, _ = self._stash()
+        stash.add(1, "x")
+        assert stash.delete(1)
+        assert not stash.delete(1)
+        assert len(stash) == 0
+
+    def test_pop_all(self):
+        stash, _ = self._stash()
+        stash.add(1, "a")
+        stash.add(2, "b")
+        assert stash.pop_all() == [(1, "a"), (2, "b")]
+        assert len(stash) == 0
+
+    def test_contains(self):
+        stash, _ = self._stash()
+        stash.add(7, None)
+        assert 7 in stash
+        assert 8 not in stash

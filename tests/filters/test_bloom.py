@@ -1,0 +1,101 @@
+"""Tests for the Bloom filter substrate and its McCuckoo equivalence."""
+
+import pytest
+
+from repro import McCuckoo
+from repro.filters import BloomFilter
+from repro.workloads import distinct_keys, missing_keys
+
+
+class TestConstruction:
+    def test_rejects_bad_sizes(self):
+        with pytest.raises(ValueError):
+            BloomFilter(0, 1)
+        with pytest.raises(ValueError):
+            BloomFilter(8, 0)
+
+    def test_for_capacity_rejects_bad_fp(self):
+        with pytest.raises(ValueError):
+            BloomFilter.for_capacity(10, 0.0)
+        with pytest.raises(ValueError):
+            BloomFilter.for_capacity(10, 1.0)
+        with pytest.raises(ValueError):
+            BloomFilter.for_capacity(0, 0.1)
+
+    def test_for_capacity_sizing(self):
+        bloom = BloomFilter.for_capacity(1000, 0.01)
+        # classic formula: ~9.6 bits/key at 1 % fp
+        assert 9000 <= bloom.m_bits <= 10500
+        assert 6 <= bloom.k_hashes <= 8
+
+
+class TestBehaviour:
+    def test_no_false_negatives(self):
+        bloom = BloomFilter.for_capacity(500, 0.01)
+        keys = distinct_keys(500, seed=1)
+        for key in keys:
+            bloom.add(key)
+        assert all(key in bloom for key in keys)
+
+    def test_empty_filter_rejects_everything(self):
+        bloom = BloomFilter(128, 3)
+        assert all(key not in bloom for key in distinct_keys(50, seed=2))
+
+    def test_false_positive_rate_near_target(self):
+        bloom = BloomFilter.for_capacity(2000, 0.02, seed=3)
+        inserted = distinct_keys(2000, seed=4)
+        for key in inserted:
+            bloom.add(key)
+        probes = missing_keys(4000, set(inserted), seed=5)
+        fp = sum(1 for key in probes if key in bloom) / len(probes)
+        assert fp < 0.06
+
+    def test_expected_fp_rate_tracks_fill(self):
+        bloom = BloomFilter(1024, 4, seed=6)
+        assert bloom.expected_fp_rate() == 0.0
+        for key in distinct_keys(100, seed=7):
+            bloom.add(key)
+        assert 0.0 < bloom.expected_fp_rate() < 1.0
+
+    def test_len_counts_insertions(self):
+        bloom = BloomFilter(128, 2)
+        for key in range(5):
+            bloom.add(key)
+        assert len(bloom) == 5
+
+    def test_clear(self):
+        bloom = BloomFilter(128, 2)
+        bloom.add(1)
+        bloom.clear()
+        assert 1 not in bloom
+        assert len(bloom) == 0
+        assert bloom.bits_set == 0
+
+
+class TestMcCuckooEquivalence:
+    """§III.B.2: McCuckoo's counters, viewed as zero/non-zero, behave as a
+    Bloom filter over the inserted keys (no-deletion mode)."""
+
+    def test_counters_give_no_false_negatives(self):
+        table = McCuckoo(n_buckets=128, d=3, seed=9)
+        keys = distinct_keys(250, seed=10)
+        for key in keys:
+            table.put(key)
+        for key in keys:
+            cands = table._candidates(key)
+            assert all(table._counters.peek(bucket) > 0 for bucket in cands)
+
+    def test_zero_counter_short_circuits_lookup(self):
+        table = McCuckoo(n_buckets=128, d=3, seed=11)
+        for key in distinct_keys(50, seed=12):
+            table.put(key)
+        absent = missing_keys(200, set(distinct_keys(50, seed=12)), seed=13)
+        rejected_without_reads = 0
+        for key in absent:
+            before = table.mem.off_chip.reads
+            outcome = table.lookup(key)
+            assert not outcome.found
+            if table.mem.off_chip.reads == before:
+                rejected_without_reads += 1
+        # at ~39 % load most absent keys hit at least one zero counter
+        assert rejected_without_reads > len(absent) * 0.5

@@ -1,0 +1,128 @@
+"""Tests for the cuckoo filter substrate."""
+
+import pytest
+
+from repro.filters import CuckooFilter
+from repro.workloads import distinct_keys, missing_keys
+
+
+class TestConstruction:
+    def test_rejects_bad_parameters(self):
+        with pytest.raises(ValueError):
+            CuckooFilter(0)
+        with pytest.raises(ValueError):
+            CuckooFilter(8, fingerprint_bits=0)
+        with pytest.raises(ValueError):
+            CuckooFilter(8, fingerprint_bits=33)
+        with pytest.raises(ValueError):
+            CuckooFilter(8, slots_per_bucket=0)
+        with pytest.raises(ValueError):
+            CuckooFilter(8, maxloop=-1)
+
+    def test_buckets_rounded_to_power_of_two(self):
+        assert CuckooFilter(100).n_buckets == 128
+        assert CuckooFilter(128).n_buckets == 128
+
+    def test_storage_bits(self):
+        filt = CuckooFilter(64, fingerprint_bits=12, slots_per_bucket=4)
+        assert filt.storage_bits == 64 * 4 * 12
+
+
+class TestMembership:
+    def test_no_false_negatives(self):
+        filt = CuckooFilter(256, seed=1)
+        keys = distinct_keys(700, seed=2)  # ~68 % load
+        for key in keys:
+            assert filt.add(key)
+        assert all(key in filt for key in keys)
+
+    def test_empty_filter_rejects(self):
+        filt = CuckooFilter(64, seed=3)
+        assert all(key not in filt for key in distinct_keys(100, seed=4))
+
+    def test_false_positive_rate_tracks_fingerprint_size(self):
+        keys = distinct_keys(800, seed=5)
+        probes = missing_keys(4000, set(keys), seed=6)
+
+        def fp_rate(bits):
+            filt = CuckooFilter(256, fingerprint_bits=bits, seed=7)
+            for key in keys:
+                filt.add(key)
+            return sum(1 for key in probes if key in filt) / len(probes)
+
+        assert fp_rate(16) < fp_rate(6)
+        assert fp_rate(16) < 0.01
+
+    def test_expected_fp_rate_formula(self):
+        filt = CuckooFilter(256, fingerprint_bits=12, seed=8)
+        for key in distinct_keys(500, seed=9):
+            filt.add(key)
+        assert 0.0 < filt.expected_fp_rate() < 0.01
+
+
+class TestRelocation:
+    def test_reaches_high_load_via_kicks(self):
+        filt = CuckooFilter(128, slots_per_bucket=4, seed=10)
+        keys = distinct_keys(int(filt.capacity * 0.93), seed=11)
+        inserted = [key for key in keys if filt.add(key)]
+        assert len(inserted) > len(keys) * 0.98
+        assert all(key in filt for key in inserted)
+
+    def test_alt_bucket_is_involution(self):
+        filt = CuckooFilter(128, seed=12)
+        for key in distinct_keys(100, seed=13):
+            fp, b1, b2 = filt._candidates(key)
+            assert filt._alt_bucket(b2, fp) == b1
+            assert filt._alt_bucket(b1, fp) == b2
+
+    def test_failure_parks_victim_and_stays_queryable(self):
+        filt = CuckooFilter(4, slots_per_bucket=2, maxloop=8, seed=14)
+        inserted = []
+        failed = False
+        for key in distinct_keys(200, seed=15):
+            if filt.add(key):
+                inserted.append(key)
+            else:
+                failed = True
+                break
+        assert failed
+        # every successfully added key (and the victim) is still visible
+        for key in inserted:
+            assert key in filt
+
+    def test_add_after_failure_rejected(self):
+        filt = CuckooFilter(4, slots_per_bucket=2, maxloop=4, seed=16)
+        for key in distinct_keys(200, seed=17):
+            if not filt.add(key):
+                break
+        assert not filt.add(distinct_keys(1, seed=18)[0])
+
+
+class TestDeletion:
+    def test_remove_added_key(self):
+        filt = CuckooFilter(64, seed=19)
+        keys = distinct_keys(50, seed=20)
+        for key in keys:
+            filt.add(key)
+        assert filt.remove(keys[0])
+        assert len(filt) == 49
+
+    def test_remove_absent_key(self):
+        filt = CuckooFilter(64, seed=21)
+        filt.add(1)
+        assert not filt.remove(2)
+
+    def test_duplicate_adds_removable_twice(self):
+        filt = CuckooFilter(64, seed=22)
+        filt.add(5)
+        filt.add(5)
+        assert filt.remove(5)
+        assert 5 in filt  # one copy remains
+        assert filt.remove(5)
+        assert 5 not in filt
+
+    def test_load_ratio(self):
+        filt = CuckooFilter(64, slots_per_bucket=4, seed=23)
+        for key in distinct_keys(128, seed=24):
+            filt.add(key)
+        assert filt.load_ratio == pytest.approx(128 / filt.capacity)

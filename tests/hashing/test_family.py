@@ -1,0 +1,114 @@
+"""Tests for key canonicalisation and the hash-family interface."""
+
+import pytest
+
+from repro.hashing import (
+    FAMILIES,
+    MASK64,
+    candidate_buckets,
+    canonical_key,
+)
+
+
+class TestCanonicalKey:
+    def test_int_passthrough(self):
+        assert canonical_key(42) == 42
+
+    def test_int_reduced_mod_2_64(self):
+        assert canonical_key((1 << 64) + 5) == 5
+
+    def test_negative_int_wraps(self):
+        assert canonical_key(-1) == MASK64
+
+    def test_str_and_bytes_agree(self):
+        assert canonical_key("hello") == canonical_key(b"hello")
+
+    def test_str_is_deterministic(self):
+        assert canonical_key("doc:17") == canonical_key("doc:17")
+
+    def test_different_strings_differ(self):
+        assert canonical_key("alpha") != canonical_key("beta")
+
+    def test_length_matters(self):
+        assert canonical_key(b"ab") != canonical_key(b"ab\0")
+
+    def test_long_bytes_supported(self):
+        key = canonical_key(b"x" * 1000)
+        assert 0 <= key <= MASK64
+
+    def test_bool_rejected(self):
+        with pytest.raises(TypeError):
+            canonical_key(True)
+
+    def test_unsupported_type_rejected(self):
+        with pytest.raises(TypeError):
+            canonical_key(3.14)
+
+
+@pytest.mark.parametrize("family_name", sorted(FAMILIES))
+class TestFamilies:
+    def test_functions_count(self, family_name):
+        functions = FAMILIES[family_name].functions(3, seed=1)
+        assert len(functions) == 3
+
+    def test_functions_are_independent(self, family_name):
+        functions = FAMILIES[family_name].functions(3, seed=1)
+        key = 0x1234_5678_9ABC_DEF0
+        values = {fn.hash64(key) for fn in functions}
+        assert len(values) == 3, "the d functions must hash a key differently"
+
+    def test_deterministic_across_instances(self, family_name):
+        first = FAMILIES[family_name].functions(2, seed=9)
+        second = FAMILIES[family_name].functions(2, seed=9)
+        for a, b in zip(first, second):
+            assert a.hash64(777) == b.hash64(777)
+
+    def test_seed_changes_output(self, family_name):
+        a = FAMILIES[family_name].make(0, seed=1)
+        b = FAMILIES[family_name].make(0, seed=2)
+        collisions = sum(1 for key in range(64) if a.hash64(key) == b.hash64(key))
+        assert collisions <= 1
+
+    def test_hash_is_64_bit(self, family_name):
+        fn = FAMILIES[family_name].make(0, seed=3)
+        for key in (0, 1, MASK64, 0xDEADBEEF):
+            assert 0 <= fn.hash64(key) <= MASK64
+
+    def test_bucket_in_range(self, family_name):
+        fn = FAMILIES[family_name].make(0, seed=4)
+        for key in range(200):
+            assert 0 <= fn.bucket(key, 17) < 17
+
+    def test_bucket_rejects_nonpositive_size(self, family_name):
+        fn = FAMILIES[family_name].make(0, seed=5)
+        with pytest.raises(ValueError):
+            fn.bucket(1, 0)
+
+    def test_bucket_distribution_roughly_uniform(self, family_name):
+        fn = FAMILIES[family_name].make(0, seed=6)
+        n_buckets = 16
+        counts = [0] * n_buckets
+        n_keys = 4000
+        for key in range(n_keys):
+            counts[fn.bucket(key * 0x9E3779B97F4A7C15 % (1 << 64), n_buckets)] += 1
+        expected = n_keys / n_buckets
+        for count in counts:
+            assert 0.5 * expected < count < 1.5 * expected
+
+    def test_d_must_be_positive(self, family_name):
+        with pytest.raises(ValueError):
+            FAMILIES[family_name].functions(0, seed=1)
+
+
+def test_candidate_buckets_one_per_function():
+    functions = FAMILIES["splitmix"].functions(3, seed=0)
+    cands = candidate_buckets(functions, 12345, 100)
+    assert len(cands) == 3
+    assert all(0 <= bucket < 100 for bucket in cands)
+
+
+def test_candidate_buckets_deterministic():
+    functions = FAMILIES["splitmix"].functions(3, seed=0)
+    assert candidate_buckets(functions, 999, 50) == candidate_buckets(
+        functions, 999, 50
+    )

@@ -1,0 +1,113 @@
+"""Implementation-specific tests for the individual hash functions."""
+
+import pytest
+
+from repro.hashing.bob import BobHash, bobhash
+from repro.hashing.family import MASK64
+from repro.hashing.modhash import ModFamily, ModHash
+from repro.hashing.splitmix import SplitMixHash, splitmix64
+from repro.hashing.tabulation import TabulationHash
+
+
+class TestSplitMix:
+    def test_known_avalanche(self):
+        # Consecutive inputs must differ in roughly half their bits.
+        a = splitmix64(1)
+        b = splitmix64(2)
+        differing = bin(a ^ b).count("1")
+        assert 16 <= differing <= 48
+
+    def test_range(self):
+        for x in (0, 1, MASK64):
+            assert 0 <= splitmix64(x) <= MASK64
+
+    def test_deterministic(self):
+        assert splitmix64(123456) == splitmix64(123456)
+
+    def test_seed_mixes_in(self):
+        assert SplitMixHash(1).hash64(7) != SplitMixHash(2).hash64(7)
+
+    def test_no_trivial_fixed_point_at_zero(self):
+        assert splitmix64(0) != 0
+
+
+class TestBobHash:
+    def test_empty_input(self):
+        assert 0 <= bobhash(b"", seed=0) < 1 << 32
+
+    def test_deterministic(self):
+        assert bobhash(b"abcdef", 7) == bobhash(b"abcdef", 7)
+
+    def test_seed_sensitivity(self):
+        assert bobhash(b"abcdef", 1) != bobhash(b"abcdef", 2)
+
+    def test_data_sensitivity(self):
+        assert bobhash(b"abcdeg", 1) != bobhash(b"abcdef", 1)
+
+    @pytest.mark.parametrize("length", list(range(0, 26)))
+    def test_all_tail_lengths(self, length):
+        """Exercise every tail-switch branch of the lookup2 port."""
+        data = bytes(range(length))
+        value = bobhash(data, seed=3)
+        assert 0 <= value < 1 << 32
+
+    def test_long_input_multiblock(self):
+        data = bytes(range(256)) * 4
+        assert bobhash(data, 1) != bobhash(data[:-1], 1)
+
+    def test_hash64_combines_two_passes(self):
+        h = BobHash(5)
+        value = h.hash64(0xFEED)
+        assert value >> 32 != value & 0xFFFFFFFF
+
+    def test_distribution_over_buckets(self):
+        h = BobHash(11)
+        counts = [0] * 8
+        for key in range(2000):
+            counts[h.bucket(key, 8)] += 1
+        assert min(counts) > 150
+
+
+class TestTabulation:
+    def test_zero_key_hashes_tables_at_zero(self):
+        h = TabulationHash(seed=1)
+        expected = 0
+        for table in h._tables:
+            expected ^= table[0]
+        assert h.hash64(0) == expected
+
+    def test_single_byte_change_changes_hash(self):
+        h = TabulationHash(seed=2)
+        assert h.hash64(0x01) != h.hash64(0x02)
+
+    def test_high_byte_participates(self):
+        h = TabulationHash(seed=3)
+        assert h.hash64(0) != h.hash64(1 << 56)
+
+    def test_3_independence_smoke(self):
+        # xor structure: h(a) ^ h(b) ^ h(a^b) ^ h(0) == 0 for tabulation
+        h = TabulationHash(seed=4)
+        a, b = 0x12, 0x3400
+        assert h.hash64(a) ^ h.hash64(b) ^ h.hash64(a ^ b) ^ h.hash64(0) == 0
+
+
+class TestModHash:
+    def test_even_multiplier_rejected(self):
+        with pytest.raises(ValueError):
+            ModHash(multiplier=4, rotation=3)
+
+    def test_rotation_wraps(self):
+        assert ModHash(3, rotation=64).hash64(5) == ModHash(3, rotation=0).hash64(5)
+
+    def test_family_produces_odd_multipliers(self):
+        family = ModFamily()
+        for index in range(5):
+            fn = family.make(index, seed=9)
+            assert fn.multiplier % 2 == 1
+
+    def test_distribution_acceptable_for_tables(self):
+        fn = ModFamily().make(0, seed=1)
+        counts = [0] * 16
+        for key in range(4000):
+            counts[fn.bucket(key, 16)] += 1
+        assert min(counts) > 100

@@ -1,0 +1,85 @@
+"""Integration: long mixed workloads across every scheme stay correct."""
+
+import pytest
+
+from repro import (
+    BCHT,
+    BlockedMcCuckoo,
+    ChainedHashTable,
+    CuckooTable,
+    DeletionMode,
+    LinearProbingTable,
+    McCuckoo,
+    SiblingTracking,
+)
+from repro.core import check_blocked, check_mccuckoo
+from repro.workloads import TraceGenerator, replay
+
+TRACE = dict(n_ops=1500, insert_ratio=0.45, lookup_ratio=0.3,
+             missing_ratio=0.15, delete_ratio=0.1)
+
+
+def _tables():
+    yield "mccuckoo-reset", McCuckoo(
+        256, d=3, seed=400, deletion_mode=DeletionMode.RESET
+    ), check_mccuckoo
+    yield "mccuckoo-tombstone", McCuckoo(
+        256, d=3, seed=401, deletion_mode=DeletionMode.TOMBSTONE
+    ), check_mccuckoo
+    yield "mccuckoo-metadata", McCuckoo(
+        256, d=3, seed=402, deletion_mode=DeletionMode.RESET,
+        sibling_tracking=SiblingTracking.METADATA
+    ), check_mccuckoo
+    yield "blocked", BlockedMcCuckoo(
+        86, d=3, slots=3, seed=403, deletion_mode=DeletionMode.RESET
+    ), check_blocked
+    yield "cuckoo", CuckooTable(256, d=3, seed=404), None
+    yield "bcht", BCHT(86, d=3, slots=3, seed=405), None
+    yield "chained", ChainedHashTable(256, seed=406), None
+    yield "linear", LinearProbingTable(1024, seed=407), None
+
+
+@pytest.mark.parametrize(
+    "name,table,checker", list(_tables()), ids=lambda v: v if isinstance(v, str) else ""
+)
+def test_mixed_trace_has_no_false_results(name, table, checker):
+    stats = replay(table, iter(TraceGenerator(seed=408, **TRACE)))
+    assert stats.false_negatives == 0, f"{name} lost items"
+    assert stats.false_positives == 0, f"{name} invented items"
+    assert stats.inserts > 0 and stats.deletes > 0
+    if checker is not None:
+        checker(table)
+
+
+def test_interleaved_schemes_agree_with_each_other():
+    """Replay one trace through every scheme; hit counts must all match."""
+    results = {}
+    for name, table, _ in _tables():
+        stats = replay(table, iter(TraceGenerator(seed=409, **TRACE)))
+        if stats.failed == 0:
+            results[name] = (stats.hits, stats.delete_misses)
+    assert len(set(results.values())) == 1, results
+
+
+def test_repeated_refresh_cycles_stay_consistent():
+    table = McCuckoo(32, d=3, seed=410, maxloop=8,
+                     deletion_mode=DeletionMode.RESET)
+    from repro.workloads import key_stream
+
+    keys = key_stream(seed=411)
+    live = {}
+    for cycle in range(5):
+        # overfill a bit, delete some, refresh the stash
+        for _ in range(20):
+            key = next(keys)
+            if not table.put(key, cycle).failed:
+                live[table._canonical(key)] = cycle
+        victims = list(live)[:10]
+        for victim in victims:
+            table.delete(victim)
+            del live[victim]
+        table.refresh_stash()
+        for key, value in live.items():
+            outcome = table.lookup(key)
+            assert outcome.found and outcome.value == value
+        check_mccuckoo(table)

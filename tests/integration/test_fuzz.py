@@ -1,0 +1,95 @@
+"""Seeded fuzzing: long random traces across many seeds and table shapes.
+
+Slower than the unit tests but still seconds: each case replays a sizable
+mixed trace against a randomly-shaped table and validates every result
+against the shadow dict, then runs the structural checker.
+"""
+
+import random
+
+import pytest
+
+from repro import (
+    BlockedMcCuckoo,
+    DeletionMode,
+    McCuckoo,
+    SiblingTracking,
+)
+from repro.core import check_blocked, check_mccuckoo
+from repro.core.resize import ResizableMcCuckoo
+from repro.workloads import TraceGenerator, replay
+
+
+def _random_mccuckoo(rng: random.Random) -> McCuckoo:
+    return McCuckoo(
+        n_buckets=rng.randint(8, 96),
+        d=rng.choice([2, 3, 4]),
+        maxloop=rng.choice([0, 4, 50, 200]),
+        seed=rng.randint(0, 1 << 16),
+        deletion_mode=rng.choice([DeletionMode.RESET, DeletionMode.TOMBSTONE]),
+        sibling_tracking=rng.choice(list(SiblingTracking)),
+        stash_buckets=rng.choice([1, 8, 64]),
+    )
+
+
+def _random_blocked(rng: random.Random) -> BlockedMcCuckoo:
+    return BlockedMcCuckoo(
+        n_buckets=rng.randint(4, 32),
+        d=3,
+        slots=rng.choice([1, 2, 3, 4]),
+        maxloop=rng.choice([0, 8, 100]),
+        seed=rng.randint(0, 1 << 16),
+        deletion_mode=rng.choice([DeletionMode.RESET, DeletionMode.TOMBSTONE]),
+    )
+
+
+def _random_trace(rng: random.Random, n_ops: int) -> TraceGenerator:
+    weights = [rng.uniform(0.2, 0.6), rng.uniform(0.1, 0.4),
+               rng.uniform(0.05, 0.3), rng.uniform(0.05, 0.3)]
+    return TraceGenerator(
+        n_ops,
+        insert_ratio=weights[0],
+        lookup_ratio=weights[1],
+        missing_ratio=weights[2],
+        delete_ratio=weights[3],
+        seed=rng.randint(0, 1 << 16),
+    )
+
+
+@pytest.mark.parametrize("fuzz_seed", range(12))
+def test_fuzz_mccuckoo(fuzz_seed):
+    rng = random.Random(fuzz_seed * 7919 + 1)
+    table = _random_mccuckoo(rng)
+    stats = replay(table, iter(_random_trace(rng, 1000)))
+    assert stats.false_negatives == 0, f"seed {fuzz_seed}: lost items"
+    assert stats.false_positives == 0, f"seed {fuzz_seed}: phantom items"
+    check_mccuckoo(table)
+
+
+@pytest.mark.parametrize("fuzz_seed", range(8))
+def test_fuzz_blocked(fuzz_seed):
+    rng = random.Random(fuzz_seed * 6151 + 2)
+    table = _random_blocked(rng)
+    stats = replay(table, iter(_random_trace(rng, 1000)))
+    assert stats.false_negatives == 0, f"seed {fuzz_seed}: lost items"
+    assert stats.false_positives == 0, f"seed {fuzz_seed}: phantom items"
+    check_blocked(table)
+
+
+@pytest.mark.parametrize("fuzz_seed", range(6))
+def test_fuzz_resizable(fuzz_seed):
+    rng = random.Random(fuzz_seed * 4409 + 3)
+    table = ResizableMcCuckoo(
+        n_buckets=rng.randint(4, 24),
+        d=3,
+        maxloop=rng.choice([8, 100]),
+        seed=rng.randint(0, 1 << 16),
+        grow_at=rng.uniform(0.5, 0.9),
+        migrate_batch=rng.randint(1, 16),
+    )
+    stats = replay(table, iter(_random_trace(rng, 1200)))
+    assert stats.false_negatives == 0, f"seed {fuzz_seed}: lost items"
+    assert stats.false_positives == 0, f"seed {fuzz_seed}: phantom items"
+    check_mccuckoo(table.active_table)
+    if table.retiring_table is not None:
+        check_mccuckoo(table.retiring_table)

@@ -1,0 +1,110 @@
+"""End-to-end lifecycle: every major feature exercised in one scenario.
+
+Simulates the life of a long-running index: bulk load through the
+concurrent writer, query traffic, churn with stash-flag refresh, a
+snapshot/restore "restart", online growth under continued load, and a
+final integrity audit — the combination a real deployment would see.
+"""
+
+import pytest
+
+from repro import (
+    ConcurrentMcCuckoo,
+    DeletionMode,
+    McCuckoo,
+    McCuckooMultiMap,
+    batched_lookup,
+)
+from repro.core import check_mccuckoo
+from repro.core.resize import ResizableMcCuckoo
+from repro.core.snapshot import restore_mccuckoo, snapshot_mccuckoo
+from repro.workloads import distinct_keys, missing_keys, sample_keys
+
+
+class TestIndexLifecycle:
+    def test_full_lifecycle(self):
+        live = {}
+
+        # phase 1: bulk load through the concurrent writer
+        base = McCuckoo(220, d=3, seed=970, maxloop=300,
+                        deletion_mode=DeletionMode.RESET)
+        writer = ConcurrentMcCuckoo(base)
+        keys = distinct_keys(int(base.capacity * 0.8), seed=971)
+        for index, key in enumerate(keys):
+            writer.insert(key, index)
+            live[base._canonical(key)] = index
+        check_mccuckoo(base)
+
+        # phase 2: query traffic — serial, then AMAC-batched
+        probes = sample_keys(list(live), 200, seed=972)
+        for key in probes:
+            assert base.get(key) == live[key]
+        batch = batched_lookup(base, probes, depth=8)
+        assert all(outcome.found for outcome in batch.outcomes)
+
+        # phase 3: churn + stash-flag refresh
+        victims = sample_keys(list(live), len(live) // 3, seed=973)
+        for key in victims:
+            writer.delete(key)
+            del live[key]
+        extra = missing_keys(len(victims) // 2, set(live) | set(victims),
+                             seed=974)
+        for index, key in enumerate(extra):
+            writer.insert(key, -index)
+            live[base._canonical(key)] = -index
+        base.refresh_stash()
+        check_mccuckoo(base)
+        for key, value in live.items():
+            assert base.get(key) == value
+
+        # phase 4: "restart" — snapshot, restore, verify bit-identical layout
+        restored = restore_mccuckoo(snapshot_mccuckoo(base))
+        assert restored._keys == base._keys
+        for key, value in live.items():
+            assert restored.get(key) == value
+
+        # phase 5: keep growing online past the original capacity
+        grower = ResizableMcCuckoo(220, d=3, seed=975, maxloop=300,
+                                   grow_at=0.85, migrate_batch=8)
+        for key, value in live.items():
+            grower.put(key, value)
+        more = missing_keys(int(base.capacity * 0.8), set(live), seed=976)
+        for index, key in enumerate(more):
+            grower.put(key, index)
+        assert grower.generations >= 1
+        assert len(grower) == len(live) + len(more)
+        for key, value in list(live.items())[:100]:
+            assert grower.get(key) == value
+
+        # phase 6: final audit on both tables
+        check_mccuckoo(grower.active_table)
+        if grower.retiring_table is not None:
+            check_mccuckoo(grower.retiring_table)
+
+    def test_secondary_index_lifecycle(self):
+        """A multimap posting-list index alongside the primary table."""
+        primary = McCuckoo(128, d=3, seed=980,
+                           deletion_mode=DeletionMode.RESET)
+        postings = McCuckooMultiMap(
+            lambda: McCuckoo(128, d=3, seed=981,
+                             deletion_mode=DeletionMode.RESET)
+        )
+        keys = distinct_keys(200, seed=982)
+        for index, key in enumerate(keys):
+            category = index % 10
+            primary.put(key, category)
+            postings.add(category, key)
+        # every category's posting list agrees with the primary table
+        for category in range(10):
+            members = postings.get(category)
+            assert len(members) == 20
+            for key in members:
+                assert primary.get(key) == category
+        # drop one category entirely
+        for key in postings.get(3):
+            primary.delete(key)
+        postings.remove_all(3)
+        assert postings.count(3) == 0
+        assert postings.distinct_keys() == 9
+        check_mccuckoo(primary)
+        check_mccuckoo(postings.index)

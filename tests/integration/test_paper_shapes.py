@@ -1,0 +1,95 @@
+"""Integration: the paper's headline claims hold end-to-end at small scale.
+
+These are the acceptance criteria from DESIGN.md §6, run at a scale small
+enough for the unit-test suite (the benchmarks re-run them bigger).
+"""
+
+import pytest
+
+from repro.analysis import (
+    Scale,
+    fig9_kickouts,
+    fig10_memaccess,
+    fig12_lookup_existing,
+    fig13_lookup_missing,
+    run_core_sweep,
+    table1_first_collision,
+)
+
+SCALE = Scale(n_single=400, repeats=1, n_queries=250)
+
+
+@pytest.fixture(scope="module")
+def sweep():
+    return run_core_sweep(SCALE)
+
+
+class TestFig9Headline:
+    def test_mccuckoo_cuts_kicks_at_85_percent(self, sweep):
+        """Paper: 59.3 % fewer kick-outs for ternary cuckoo at 85 % load.
+        We accept any reduction of at least 30 % at small scale."""
+        result = fig9_kickouts(SCALE, sweep=sweep)
+        cu = result.series("load", "kicks_per_insert", scheme="Cuckoo")[0.85]
+        mc = result.series("load", "kicks_per_insert", scheme="McCuckoo")[0.85]
+        assert mc < cu * 0.7
+
+    def test_blocked_mccuckoo_cuts_kicks_at_95_percent(self, sweep):
+        """Paper: 77.9 % fewer kick-outs for 3-way BCHT at 95 % load."""
+        result = fig9_kickouts(SCALE, sweep=sweep)
+        bcht = result.series("load", "kicks_per_insert", scheme="BCHT")[0.95]
+        bmc = result.series("load", "kicks_per_insert", scheme="B-McCuckoo")[0.95]
+        assert bmc < bcht * 0.5
+
+
+class TestFig10Shapes:
+    def test_reads_near_zero_at_low_load(self, sweep):
+        result = fig10_memaccess(SCALE, sweep=sweep)
+        for scheme in ("McCuckoo", "B-McCuckoo"):
+            reads = result.series("load", "reads_per_insert", scheme=scheme)
+            assert reads[0.1] < 0.2
+
+    def test_write_crossover_near_half_load(self, sweep):
+        result = fig10_memaccess(SCALE, sweep=sweep)
+        mc = result.series("load", "writes_per_insert", scheme="McCuckoo")
+        cu = result.series("load", "writes_per_insert", scheme="Cuckoo")
+        assert mc[0.1] > cu[0.1]  # multi-copy writes more when empty
+        assert mc[0.85] <= cu[0.85] * 1.6  # and no worse when loaded
+
+    def test_total_accesses_lower_at_high_load(self, sweep):
+        result = fig10_memaccess(SCALE, sweep=sweep)
+        mc_rows = result.filter_rows(scheme="McCuckoo", load=0.85)[0]
+        cu_rows = result.filter_rows(scheme="Cuckoo", load=0.85)[0]
+        mc_total = mc_rows["reads_per_insert"] + mc_rows["writes_per_insert"]
+        cu_total = cu_rows["reads_per_insert"] + cu_rows["writes_per_insert"]
+        assert mc_total < cu_total
+
+
+class TestTable1Ordering:
+    def test_first_collision_ordering(self):
+        result = table1_first_collision(Scale(n_single=400, repeats=2))
+        loads = {row["scheme"]: row["first_collision_load"] for row in result.rows}
+        # the paper's ordering: Cuckoo < McCuckoo < BCHT < B-McCuckoo
+        assert loads["Cuckoo"] < loads["McCuckoo"] < loads["BCHT"] < loads["B-McCuckoo"]
+
+
+class TestLookupShapes:
+    def test_existing_lookups_cheaper_with_counters(self, sweep):
+        result = fig12_lookup_existing(SCALE, sweep=sweep)
+        for load in (0.3, 0.6, 0.9):
+            mc = result.series("load", "offchip_accesses_per_lookup",
+                               scheme="McCuckoo")[load]
+            cu = result.series("load", "offchip_accesses_per_lookup",
+                               scheme="Cuckoo")[load]
+            assert mc < cu
+
+    def test_missing_lookups_nearly_free_at_moderate_load(self, sweep):
+        result = fig13_lookup_missing(SCALE, sweep=sweep)
+        mc = result.series("load", "offchip_accesses_per_lookup", scheme="McCuckoo")
+        assert mc[0.3] < 0.5
+        assert mc[0.5] < 1.0
+
+    def test_single_copy_missing_lookup_is_blind(self, sweep):
+        result = fig13_lookup_missing(SCALE, sweep=sweep)
+        cu = result.series("load", "offchip_accesses_per_lookup", scheme="Cuckoo")
+        for load, value in cu.items():
+            assert value == pytest.approx(3.0)

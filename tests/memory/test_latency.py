@@ -1,0 +1,134 @@
+"""Tests for the FPGA latency/throughput model (Figs. 15/16 substrate)."""
+
+import pytest
+
+from repro.memory.latency import PAPER_FPGA, LatencyModel
+from repro.memory.model import AccessCounts, MemoryModel, OpStats, Snapshot
+
+
+def snapshot(on_reads=0, on_writes=0, off_reads=0, off_writes=0) -> Snapshot:
+    return Snapshot(
+        on_chip=AccessCounts(on_reads, on_writes),
+        off_chip=AccessCounts(off_reads, off_writes),
+    )
+
+
+class TestLatencyModel:
+    def test_paper_defaults(self):
+        assert PAPER_FPGA.logic_clk_hz == 333e6
+        assert PAPER_FPGA.mem_clk_hz == 200e6
+        assert PAPER_FPGA.onchip_read_cycles == 3
+        assert PAPER_FPGA.offchip_read_setup_cycles == 18
+
+    def test_offchip_read_cycles_at_8_bytes(self):
+        # One bus beat: just the setup cost.
+        assert PAPER_FPGA.offchip_read_cycles() == 18
+
+    def test_offchip_read_cycles_grow_with_record(self):
+        sized = PAPER_FPGA.with_record_bytes(128)
+        assert sized.offchip_read_cycles() == 18 + 16 - 1
+
+    def test_with_record_bytes_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            PAPER_FPGA.with_record_bytes(0)
+
+    def test_with_record_bytes_preserves_other_fields(self):
+        sized = PAPER_FPGA.with_record_bytes(64)
+        assert sized.logic_clk_hz == PAPER_FPGA.logic_clk_hz
+        assert sized.onchip_write_cycles == PAPER_FPGA.onchip_write_cycles
+        assert sized.record_bytes == 64
+
+    def test_seconds_pure_logic(self):
+        model = LatencyModel()
+        assert model.seconds_for(snapshot(), logic_ops=1) == pytest.approx(1 / 333e6)
+
+    def test_seconds_onchip_read(self):
+        model = LatencyModel()
+        expected = (1 + 3) / 333e6
+        assert model.seconds_for(snapshot(on_reads=1)) == pytest.approx(expected)
+
+    def test_seconds_offchip_read_uses_memory_clock(self):
+        model = LatencyModel()
+        expected = 1 / 333e6 + 18 / 200e6
+        assert model.seconds_for(snapshot(off_reads=1)) == pytest.approx(expected)
+
+    def test_writes_are_cheap(self):
+        model = LatencyModel()
+        read = model.seconds_for(snapshot(off_reads=1))
+        write = model.seconds_for(snapshot(off_writes=1))
+        assert write < read / 3
+
+    def test_latency_us_averages_over_operations(self):
+        mem = MemoryModel()
+        stats = OpStats()
+        for _ in range(4):
+            with mem.measure() as measurement:
+                mem.offchip_read()
+            stats.add(measurement.delta)
+        per_op = PAPER_FPGA.latency_us(stats)
+        one_op = PAPER_FPGA.seconds_for(snapshot(off_reads=1), logic_ops=1) * 1e6
+        assert per_op == pytest.approx(one_op)
+
+    def test_latency_of_empty_stats_is_zero(self):
+        assert PAPER_FPGA.latency_us(OpStats()) == 0.0
+        assert PAPER_FPGA.throughput_mops(OpStats()) == 0.0
+
+    def test_throughput_is_inverse_latency(self):
+        mem = MemoryModel()
+        stats = OpStats()
+        with mem.measure() as measurement:
+            mem.offchip_read(count=2)
+        stats.add(measurement.delta)
+        latency = PAPER_FPGA.latency_us(stats)
+        assert PAPER_FPGA.throughput_mops(stats) == pytest.approx(1.0 / latency)
+
+    def test_bigger_records_mean_lower_throughput(self):
+        mem = MemoryModel()
+        stats = OpStats()
+        with mem.measure() as measurement:
+            mem.offchip_read(count=3)
+        stats.add(measurement.delta)
+        small = PAPER_FPGA.with_record_bytes(8).throughput_mops(stats)
+        large = PAPER_FPGA.with_record_bytes(128).throughput_mops(stats)
+        assert large < small
+
+    def test_skipping_reads_pays_more_for_large_records(self):
+        """The core Fig. 15/16 effect: one saved bucket read is worth more
+        cycles when records are bigger."""
+        mem = MemoryModel()
+        three_reads, one_read = OpStats(), OpStats()
+        with mem.measure() as measurement:
+            mem.offchip_read(count=3)
+        three_reads.add(measurement.delta)
+        with mem.measure() as measurement:
+            mem.offchip_read(count=1)
+        one_read.add(measurement.delta)
+        small = PAPER_FPGA.with_record_bytes(8)
+        large = PAPER_FPGA.with_record_bytes(128)
+        saving_small = small.latency_us(three_reads) - small.latency_us(one_read)
+        saving_large = large.latency_us(three_reads) - large.latency_us(one_read)
+        assert saving_large > saving_small
+
+
+class TestBatchSeconds:
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError):
+            PAPER_FPGA.batch_seconds(-1, 0)
+        with pytest.raises(ValueError):
+            PAPER_FPGA.batch_seconds(0, -1)
+
+    def test_serial_equals_epochs_equal_reads(self):
+        # fully serial: epochs == reads; overlapped: epochs < reads
+        serial = PAPER_FPGA.batch_seconds(epochs=100, total_reads=100)
+        overlapped = PAPER_FPGA.batch_seconds(epochs=20, total_reads=100)
+        assert overlapped < serial
+
+    def test_bandwidth_still_serial(self):
+        # even fully overlapped runs pay one burst per read
+        zero_epochs = PAPER_FPGA.batch_seconds(epochs=0, total_reads=100)
+        assert zero_epochs > 0.0
+
+    def test_bigger_records_cost_more_bandwidth(self):
+        small = PAPER_FPGA.with_record_bytes(8).batch_seconds(10, 100)
+        large = PAPER_FPGA.with_record_bytes(128).batch_seconds(10, 100)
+        assert large > small

@@ -1,0 +1,177 @@
+"""Tests for the memory-access accounting model."""
+
+import pytest
+
+from repro.memory.model import AccessCounts, MemoryModel, Op, OpStats, Snapshot, Tier
+
+
+class TestAccessCounts:
+    def test_starts_at_zero(self):
+        counts = AccessCounts()
+        assert counts.reads == 0
+        assert counts.writes == 0
+        assert counts.total == 0
+
+    def test_total_sums_reads_and_writes(self):
+        assert AccessCounts(reads=3, writes=4).total == 7
+
+    def test_copy_is_independent(self):
+        original = AccessCounts(reads=1, writes=2)
+        clone = original.copy()
+        clone.reads += 10
+        assert original.reads == 1
+
+    def test_subtraction(self):
+        delta = AccessCounts(5, 7) - AccessCounts(2, 3)
+        assert (delta.reads, delta.writes) == (3, 4)
+
+    def test_addition(self):
+        total = AccessCounts(1, 2) + AccessCounts(10, 20)
+        assert (total.reads, total.writes) == (11, 22)
+
+
+class TestMemoryModel:
+    def test_records_each_tier_separately(self, mem):
+        mem.onchip_read()
+        mem.onchip_write()
+        mem.offchip_read()
+        mem.offchip_read()
+        mem.offchip_write()
+        assert mem.on_chip.reads == 1
+        assert mem.on_chip.writes == 1
+        assert mem.off_chip.reads == 2
+        assert mem.off_chip.writes == 1
+
+    def test_record_with_count(self, mem):
+        mem.offchip_write(count=5)
+        assert mem.off_chip.writes == 5
+
+    def test_negative_count_rejected(self, mem):
+        with pytest.raises(ValueError):
+            mem.record(Tier.ON_CHIP, Op.READ, count=-1)
+
+    def test_snapshot_is_immutable_view(self, mem):
+        mem.offchip_read()
+        snap = mem.snapshot()
+        mem.offchip_read()
+        assert snap.off_chip.reads == 1
+        assert mem.off_chip.reads == 2
+
+    def test_snapshot_subtraction(self, mem):
+        before = mem.snapshot()
+        mem.offchip_read(count=3)
+        mem.onchip_write(count=2)
+        delta = mem.snapshot() - before
+        assert delta.off_chip.reads == 3
+        assert delta.on_chip.writes == 2
+        assert delta.off_chip.writes == 0
+
+    def test_measure_context_manager(self, mem):
+        mem.offchip_read()  # pre-existing traffic must not leak in
+        with mem.measure() as measurement:
+            mem.offchip_read(count=2)
+            mem.offchip_write()
+        assert measurement.delta.off_chip.reads == 2
+        assert measurement.delta.off_chip.writes == 1
+
+    def test_reset(self, mem):
+        mem.offchip_read()
+        mem.reset()
+        assert mem.off_chip.reads == 0
+
+    def test_summary_keys(self, mem):
+        mem.onchip_read()
+        summary = mem.summary()
+        assert summary == {
+            "on_chip_reads": 1,
+            "on_chip_writes": 0,
+            "off_chip_reads": 0,
+            "off_chip_writes": 0,
+        }
+
+    def test_trace_disabled_by_default(self, mem):
+        mem.offchip_read("bucket")
+        assert mem.trace == []
+
+    def test_trace_records_labels(self):
+        mem = MemoryModel(trace_capacity=10)
+        mem.offchip_read("bucket")
+        mem.onchip_write("counter")
+        labels = [label for _, _, label in mem.trace]
+        assert labels == ["bucket", "counter"]
+
+    def test_trace_is_bounded(self):
+        mem = MemoryModel(trace_capacity=3)
+        for i in range(5):
+            mem.offchip_read(f"r{i}")
+        labels = [label for _, _, label in mem.trace]
+        assert labels == ["r2", "r3", "r4"]
+
+    def test_trace_labels_filter_by_tier(self):
+        mem = MemoryModel(trace_capacity=10)
+        mem.offchip_read("off")
+        mem.onchip_read("on")
+        assert list(mem.trace_labels(Tier.ON_CHIP)) == ["on"]
+
+    def test_snapshot_convenience_properties(self, mem):
+        mem.offchip_read(count=2)
+        mem.offchip_write(count=3)
+        snap = mem.snapshot()
+        assert snap.off_chip_reads == 2
+        assert snap.off_chip_writes == 3
+        assert snap.off_chip_total == 5
+
+
+class TestOpStats:
+    def _delta(self, mem, reads=0, writes=0, onchip_reads=0):
+        with mem.measure() as measurement:
+            mem.offchip_read(count=reads)
+            mem.offchip_write(count=writes)
+            mem.onchip_read(count=onchip_reads)
+        return measurement.delta
+
+    def test_empty_stats_average_zero(self):
+        stats = OpStats()
+        assert stats.kicks_per_op == 0.0
+        assert stats.offchip_reads_per_op == 0.0
+
+    def test_per_op_averages(self, mem):
+        stats = OpStats()
+        stats.add(self._delta(mem, reads=2, writes=1), kicks=1)
+        stats.add(self._delta(mem, reads=4, writes=3), kicks=3)
+        assert stats.operations == 2
+        assert stats.kicks_per_op == 2.0
+        assert stats.offchip_reads_per_op == 3.0
+        assert stats.offchip_writes_per_op == 2.0
+        assert stats.offchip_accesses_per_op == 5.0
+
+    def test_onchip_averages(self, mem):
+        stats = OpStats()
+        stats.add(self._delta(mem, onchip_reads=6))
+        assert stats.onchip_reads_per_op == 6.0
+        assert stats.onchip_writes_per_op == 0.0
+
+    def test_merge(self, mem):
+        a = OpStats()
+        a.add(self._delta(mem, reads=2), kicks=1)
+        b = OpStats()
+        b.add(self._delta(mem, reads=4), kicks=5)
+        a.merge(b)
+        assert a.operations == 2
+        assert a.kicks == 6
+        assert a.off_chip.reads == 6
+
+    def test_as_row_contains_all_metrics(self, mem):
+        stats = OpStats()
+        stats.add(self._delta(mem, reads=1, writes=1), kicks=2)
+        row = stats.as_row()
+        assert row["ops"] == 1
+        assert row["kicks_per_op"] == 2.0
+        assert set(row) == {
+            "ops",
+            "kicks_per_op",
+            "offchip_reads_per_op",
+            "offchip_writes_per_op",
+            "onchip_reads_per_op",
+            "onchip_writes_per_op",
+        }

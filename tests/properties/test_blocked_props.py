@@ -1,0 +1,109 @@
+"""Property tests specific to the blocked B-McCuckoo variant."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import BlockedMcCuckoo, DeletionMode
+from repro.core import check_blocked
+from repro.workloads import distinct_keys, missing_keys
+
+
+@given(
+    seed=st.integers(min_value=0, max_value=1 << 20),
+    n_items=st.integers(min_value=1, max_value=140),
+)
+@settings(max_examples=15, deadline=None)
+def test_fill_keeps_invariants_and_findability(seed, n_items):
+    table = BlockedMcCuckoo(8, d=3, slots=3, seed=seed, maxloop=100)
+    keys = distinct_keys(n_items, seed=seed + 1)
+    for key in keys:
+        table.put(key, key & 0xFF)
+    check_blocked(table)
+    for key in keys:
+        outcome = table.lookup(key)
+        assert outcome.found and outcome.value == key & 0xFF
+
+
+@given(
+    seed=st.integers(min_value=0, max_value=1 << 20),
+    n_items=st.integers(min_value=1, max_value=120),
+)
+@settings(max_examples=15, deadline=None)
+def test_every_candidate_bucket_touched(seed, n_items):
+    """Algorithm 1 phase A: after inserting k, none of k's candidate
+    buckets can be all-zero (the basis of the zero-sum screen)."""
+    table = BlockedMcCuckoo(8, d=3, slots=3, seed=seed, maxloop=100)
+    for key in distinct_keys(n_items, seed=seed + 3):
+        table.put(key)
+        for bucket in table._candidates(table._canonical(key)):
+            word = [
+                table._counters.peek(table._slot_index(bucket, s))
+                for s in range(table.slots)
+            ]
+            assert any(word)
+
+
+@given(
+    seed=st.integers(min_value=0, max_value=1 << 20),
+    load=st.floats(min_value=0.1, max_value=0.9),
+)
+@settings(max_examples=10, deadline=None)
+def test_zero_sum_screen_sound(seed, load):
+    """A missing lookup that hits a dead bucket must cost zero off-chip
+    reads and must be correct (the key really was never inserted)."""
+    table = BlockedMcCuckoo(12, d=3, slots=3, seed=seed)
+    keys = distinct_keys(int(table.capacity * load), seed=seed + 5)
+    for key in keys:
+        table.put(key)
+    for key in missing_keys(40, set(keys), seed=seed + 7):
+        dead = any(
+            not any(
+                table._counters.peek(table._slot_index(bucket, s))
+                for s in range(table.slots)
+            )
+            for bucket in table._candidates(key)
+        )
+        before = table.mem.off_chip.reads
+        outcome = table.lookup(key)
+        assert not outcome.found
+        if dead:
+            assert table.mem.off_chip.reads == before
+
+
+@given(
+    seed=st.integers(min_value=0, max_value=1 << 20),
+    n_items=st.integers(min_value=20, max_value=120),
+    delete_every=st.integers(min_value=2, max_value=4),
+)
+@settings(max_examples=10, deadline=None)
+def test_churn_equivalence_with_dict(seed, n_items, delete_every):
+    table = BlockedMcCuckoo(10, d=3, slots=3, seed=seed,
+                            deletion_mode=DeletionMode.RESET, maxloop=100)
+    live = {}
+    for index, key in enumerate(distinct_keys(n_items, seed=seed + 9)):
+        table.put(key, index)
+        live[table._canonical(key)] = index
+        if index % delete_every == 0:
+            victim = next(iter(live))
+            table.delete(victim)
+            del live[victim]
+    for key, value in live.items():
+        outcome = table.lookup(key)
+        assert outcome.found and outcome.value == value
+    check_blocked(table)
+
+
+@given(seed=st.integers(min_value=0, max_value=1 << 20))
+@settings(max_examples=10, deadline=None)
+def test_slot_metadata_popcount_matches_counter(seed):
+    """Every live slot's sibling map must name exactly counter-value slots."""
+    table = BlockedMcCuckoo(10, d=3, slots=3, seed=seed, maxloop=100)
+    for key in distinct_keys(150, seed=seed + 11):
+        table.put(key)
+    for index in range(table.capacity):
+        value = table._counters.peek(index)
+        if value == 0:
+            continue
+        slotmap = table._slotmaps[index]
+        assert slotmap is not None
+        assert sum(1 for slot in slotmap if slot is not None) == value

@@ -1,0 +1,80 @@
+"""Property-based tests: PackedArray behaves like a bounded list of ints."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.stateful import RuleBasedStateMachine, initialize, invariant, rule
+
+from repro.core.counters import PackedArray
+
+BITS = st.sampled_from([1, 2, 4, 8])
+
+
+@given(
+    bits=BITS,
+    length=st.integers(min_value=1, max_value=200),
+    data=st.data(),
+)
+@settings(max_examples=50)
+def test_poke_peek_roundtrip(bits, length, data):
+    array = PackedArray(length, bits=bits)
+    writes = data.draw(
+        st.lists(
+            st.tuples(
+                st.integers(min_value=0, max_value=length - 1),
+                st.integers(min_value=0, max_value=(1 << bits) - 1),
+            ),
+            max_size=50,
+        )
+    )
+    model = [0] * length
+    for index, value in writes:
+        array.poke(index, value)
+        model[index] = value
+    assert list(array) == model
+
+
+@given(bits=BITS, length=st.integers(min_value=1, max_value=100))
+@settings(max_examples=30)
+def test_fill_sets_every_counter(bits, length):
+    array = PackedArray(length, bits=bits)
+    top = (1 << bits) - 1
+    array.fill(top)
+    assert all(value == top for value in array)
+    assert array.nonzero_count() == length
+
+
+class PackedArrayMachine(RuleBasedStateMachine):
+    """Stateful comparison against a plain list."""
+
+    @initialize(
+        length=st.integers(min_value=1, max_value=64),
+        bits=BITS,
+    )
+    def setup(self, length, bits):
+        self.array = PackedArray(length, bits=bits)
+        self.model = [0] * length
+        self.length = length
+        self.top = (1 << bits) - 1
+
+    @rule(data=st.data())
+    def write(self, data):
+        index = data.draw(st.integers(min_value=0, max_value=self.length - 1))
+        value = data.draw(st.integers(min_value=0, max_value=self.top))
+        self.array.poke(index, value)
+        self.model[index] = value
+
+    @rule(data=st.data())
+    def read(self, data):
+        index = data.draw(st.integers(min_value=0, max_value=self.length - 1))
+        assert self.array.peek(index) == self.model[index]
+
+    @invariant()
+    def same_content(self):
+        assert list(self.array) == self.model
+
+    @invariant()
+    def same_nonzero_count(self):
+        assert self.array.nonzero_count() == sum(1 for v in self.model if v)
+
+
+TestPackedArrayMachine = PackedArrayMachine.TestCase

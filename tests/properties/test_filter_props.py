@@ -1,0 +1,100 @@
+"""Property-based tests for the filter substrates."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.stateful import RuleBasedStateMachine, initialize, invariant, rule
+
+from repro.filters import BloomFilter, CuckooFilter
+
+KEY = st.integers(min_value=0, max_value=1 << 48)
+
+
+@given(keys=st.lists(KEY, min_size=1, max_size=150, unique=True),
+       seed=st.integers(min_value=0, max_value=1 << 16))
+@settings(max_examples=30, deadline=None)
+def test_cuckoo_filter_no_false_negatives(keys, seed):
+    filt = CuckooFilter(128, slots_per_bucket=4, seed=seed)
+    added = [key for key in keys if filt.add(key)]
+    for key in added:
+        assert key in filt
+
+
+@given(keys=st.lists(KEY, min_size=1, max_size=100, unique=True),
+       seed=st.integers(min_value=0, max_value=1 << 16))
+@settings(max_examples=20, deadline=None)
+def test_cuckoo_filter_remove_restores_count(keys, seed):
+    filt = CuckooFilter(256, seed=seed)
+    added = [key for key in keys if filt.add(key)]
+    assert len(filt) == len(added)
+    for key in added:
+        assert filt.remove(key)
+    assert len(filt) == 0
+
+
+class CuckooFilterMachine(RuleBasedStateMachine):
+    """Multiset-model check: the filter must never forget an added key."""
+
+    @initialize(seed=st.integers(min_value=0, max_value=1 << 16))
+    def setup(self, seed):
+        self.filter = CuckooFilter(64, slots_per_bucket=4, maxloop=50, seed=seed)
+        self.model = {}  # key -> count
+        self.full = False
+
+    @rule(key=st.integers(min_value=0, max_value=200))
+    def add(self, key):
+        if self.full:
+            return
+        if self.filter.add(key):
+            self.model[key] = self.model.get(key, 0) + 1
+        else:
+            # the parked victim still counts as present
+            self.model[key] = self.model.get(key, 0) + 1
+            self.full = True
+
+    @rule(key=st.integers(min_value=0, max_value=200))
+    def remove(self, key):
+        removed = self.filter.remove(key)
+        if self.model.get(key, 0) > 0:
+            assert removed
+            self.model[key] -= 1
+            if not self.model[key]:
+                del self.model[key]
+        # a remove of an absent key may false-positively remove another
+        # key's identical fingerprint; the reference implementation has the
+        # same caveat, so we only track definite members
+        elif removed:
+            self.model = {
+                k: c for k, c in self.model.items() if k in self.filter or c == 0
+            }
+
+    @invariant()
+    def no_false_negatives(self):
+        for key, count in self.model.items():
+            if count > 0:
+                assert key in self.filter
+
+    @invariant()
+    def count_at_least_model(self):
+        assert len(self.filter) >= sum(self.model.values()) - len(self.model)
+
+
+TestCuckooFilterMachine = CuckooFilterMachine.TestCase
+TestCuckooFilterMachine.settings = settings(
+    max_examples=25, stateful_step_count=40, deadline=None
+)
+
+
+@given(
+    keys=st.lists(KEY, min_size=1, max_size=200, unique=True),
+    m_bits=st.integers(min_value=64, max_value=4096),
+    k_hashes=st.integers(min_value=1, max_value=6),
+)
+@settings(max_examples=30, deadline=None)
+def test_bloom_filter_properties(keys, m_bits, k_hashes):
+    bloom = BloomFilter(m_bits, k_hashes, seed=1)
+    for key in keys:
+        bloom.add(key)
+    # no false negatives, monotone bit count, sane fp estimate
+    assert all(key in bloom for key in keys)
+    assert 0 < bloom.bits_set <= min(m_bits, len(keys) * k_hashes)
+    assert 0.0 < bloom.expected_fp_rate() <= 1.0

@@ -1,0 +1,157 @@
+"""Model-based testing: every table must behave exactly like a dict.
+
+Hypothesis drives random insert/lookup/delete sequences against a table and
+a shadow dict; after every step the results must agree, and the structural
+invariant checkers must pass.
+"""
+
+import pytest
+from hypothesis import settings
+from hypothesis import strategies as st
+from hypothesis.stateful import RuleBasedStateMachine, invariant, precondition, rule
+
+from repro import (
+    BCHT,
+    BlockedMcCuckoo,
+    CuckooTable,
+    DeletionMode,
+    McCuckoo,
+    SiblingTracking,
+)
+from repro.core import check_blocked, check_mccuckoo
+
+KEYS = st.integers(min_value=0, max_value=400)
+VALUES = st.integers(min_value=0, max_value=1 << 16)
+
+
+class _TableMachine(RuleBasedStateMachine):
+    """Common rules; subclasses provide make_table() and check()."""
+
+    def __init__(self):
+        super().__init__()
+        self.table = self.make_table()
+        self.model = {}
+
+    @rule(key=KEYS, value=VALUES)
+    def upsert(self, key, value):
+        outcome = self.table.upsert(key, value)
+        if not outcome.failed:
+            self.model[self.table._canonical(key)] = value
+
+    @rule(key=KEYS)
+    def lookup(self, key):
+        outcome = self.table.lookup(key)
+        canonical = self.table._canonical(key)
+        assert outcome.found == (canonical in self.model)
+        if outcome.found:
+            assert outcome.value == self.model[canonical]
+
+    @precondition(lambda self: self.model)
+    @rule(data=st.data())
+    def lookup_existing(self, data):
+        key = data.draw(st.sampled_from(sorted(self.model)))
+        outcome = self.table.lookup(key)
+        assert outcome.found
+        assert outcome.value == self.model[key]
+
+    @rule(key=KEYS)
+    def delete(self, key):
+        outcome = self.table.delete(key)
+        canonical = self.table._canonical(key)
+        assert outcome.deleted == (canonical in self.model)
+        self.model.pop(canonical, None)
+
+    @invariant()
+    def sizes_agree(self):
+        assert len(self.table) == len(self.model)
+
+    @invariant()
+    def structure_sound(self):
+        self.check()
+
+
+class McCuckooResetMachine(_TableMachine):
+    def make_table(self):
+        return McCuckoo(24, d=3, seed=1, maxloop=100,
+                        deletion_mode=DeletionMode.RESET)
+
+    def check(self):
+        check_mccuckoo(self.table)
+
+
+class McCuckooTombstoneMachine(_TableMachine):
+    def make_table(self):
+        return McCuckoo(24, d=3, seed=2, maxloop=100,
+                        deletion_mode=DeletionMode.TOMBSTONE)
+
+    def check(self):
+        check_mccuckoo(self.table)
+
+
+class McCuckooMetadataMachine(_TableMachine):
+    def make_table(self):
+        return McCuckoo(24, d=3, seed=3, maxloop=100,
+                        deletion_mode=DeletionMode.RESET,
+                        sibling_tracking=SiblingTracking.METADATA)
+
+    def check(self):
+        check_mccuckoo(self.table)
+
+
+class BlockedMachine(_TableMachine):
+    def make_table(self):
+        return BlockedMcCuckoo(10, d=3, slots=3, seed=4, maxloop=100,
+                               deletion_mode=DeletionMode.RESET)
+
+    def check(self):
+        check_blocked(self.table)
+
+
+class CuckooBaselineMachine(_TableMachine):
+    def make_table(self):
+        return CuckooTable(24, d=3, seed=5, maxloop=100)
+
+    def check(self):
+        pass
+
+
+class BCHTBaselineMachine(_TableMachine):
+    def make_table(self):
+        return BCHT(10, d=3, slots=3, seed=6, maxloop=100)
+
+    def check(self):
+        pass
+
+
+_SETTINGS = settings(max_examples=25, stateful_step_count=40, deadline=None)
+
+TestMcCuckooReset = McCuckooResetMachine.TestCase
+TestMcCuckooReset.settings = _SETTINGS
+TestMcCuckooTombstone = McCuckooTombstoneMachine.TestCase
+TestMcCuckooTombstone.settings = _SETTINGS
+TestMcCuckooMetadata = McCuckooMetadataMachine.TestCase
+TestMcCuckooMetadata.settings = _SETTINGS
+TestBlocked = BlockedMachine.TestCase
+TestBlocked.settings = _SETTINGS
+TestCuckooBaseline = CuckooBaselineMachine.TestCase
+TestCuckooBaseline.settings = _SETTINGS
+TestBCHTBaseline = BCHTBaselineMachine.TestCase
+TestBCHTBaseline.settings = _SETTINGS
+
+
+class ResizableMachine(_TableMachine):
+    def make_table(self):
+        from repro.core.resize import ResizableMcCuckoo
+
+        return ResizableMcCuckoo(
+            8, d=3, seed=7, maxloop=100, grow_at=0.7, migrate_batch=2
+        )
+
+    def check(self):
+        check_mccuckoo(self.table.active_table)
+        if self.table.retiring_table is not None:
+            check_mccuckoo(self.table.retiring_table)
+
+
+TestResizable = ResizableMachine.TestCase
+TestResizable.settings = _SETTINGS

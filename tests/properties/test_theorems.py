@@ -1,0 +1,124 @@
+"""Property tests for the paper's theorems and stated guarantees."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import DeletionMode, McCuckoo
+from repro.core import check_mccuckoo
+from repro.workloads import distinct_keys, missing_keys
+
+
+@given(
+    seed=st.integers(min_value=0, max_value=1 << 20),
+    n_buckets=st.integers(min_value=16, max_value=96),
+    load=st.floats(min_value=0.1, max_value=0.85),
+)
+@settings(max_examples=20, deadline=None)
+def test_theorem2_redundant_write_bound(seed, n_buckets, load):
+    """Theorem 2: total proactive redundant writes never exceed
+    S * (1 + sum_{t=3..d} 1/t) — for d=3, 4/3 of the table size S
+    (the paper quotes the redundant-only part as 5/6 S; with the one
+    mandatory write per item the total is items + redundant <= S + 5S/6).
+
+    We verify the redundant-write count (total copy writes minus one per
+    item) stays below 5/6 * S while filling to any load.
+    """
+    table = McCuckoo(n_buckets, d=3, seed=seed)
+    keys = distinct_keys(int(table.capacity * load), seed=seed + 1)
+    redundant = 0
+    for key in keys:
+        outcome = table.put(key)
+        if outcome.copies > 1:
+            redundant += outcome.copies - 1
+    assert redundant <= (5 / 6) * table.capacity + 1
+
+
+@given(
+    seed=st.integers(min_value=0, max_value=1 << 20),
+    load=st.floats(min_value=0.1, max_value=0.8),
+)
+@settings(max_examples=15, deadline=None)
+def test_theorem3_probe_budget(seed, load):
+    """Theorem 3: the lookup principles always narrow the probe set unless
+    every candidate has value 1 — i.e. buckets_read < d whenever any
+    candidate counter differs from 1."""
+    table = McCuckoo(64, d=3, seed=seed)
+    keys = distinct_keys(int(table.capacity * load), seed=seed + 7)
+    for key in keys:
+        table.put(key)
+    for key in missing_keys(60, {table._canonical(k) for k in keys}, seed=seed):
+        vals = [table._counters.peek(b) for b in table._candidates(key)]
+        outcome = table.lookup(key)
+        if any(v != 1 for v in vals):
+            assert outcome.buckets_read < table.d
+
+
+@given(
+    seed=st.integers(min_value=0, max_value=1 << 20),
+    n_items=st.integers(min_value=1, max_value=150),
+)
+@settings(max_examples=15, deadline=None)
+def test_counters_never_exceed_d(seed, n_items):
+    table = McCuckoo(64, d=3, seed=seed)
+    for key in distinct_keys(n_items, seed=seed + 3):
+        table.put(key)
+    assert all(value <= table.d for value in table._counters)
+
+
+@given(
+    seed=st.integers(min_value=0, max_value=1 << 20),
+    n_items=st.integers(min_value=1, max_value=120),
+)
+@settings(max_examples=15, deadline=None)
+def test_bloom_property_no_false_negatives(seed, n_items):
+    """Counters-as-Bloom: after inserting a key, none of its candidate
+    counters can ever be zero (no-deletion mode)."""
+    table = McCuckoo(48, d=3, seed=seed)
+    keys = distinct_keys(n_items, seed=seed + 11)
+    for key in keys:
+        table.put(key)
+        for bucket in table._candidates(table._canonical(key)):
+            assert table._counters.peek(bucket) > 0
+    # and it stays true after the whole fill
+    for key in keys:
+        assert all(
+            table._counters.peek(b) > 0
+            for b in table._candidates(table._canonical(key))
+        )
+
+
+@given(
+    seed=st.integers(min_value=0, max_value=1 << 20),
+    n_items=st.integers(min_value=10, max_value=120),
+    delete_every=st.integers(min_value=2, max_value=5),
+)
+@settings(max_examples=15, deadline=None)
+def test_no_false_results_under_churn(seed, n_items, delete_every):
+    """End-to-end dict-equivalence under mixed insert/delete churn."""
+    table = McCuckoo(48, d=3, seed=seed, deletion_mode=DeletionMode.RESET)
+    keys = distinct_keys(n_items, seed=seed + 13)
+    live = {}
+    for index, key in enumerate(keys):
+        table.put(key, index)
+        live[table._canonical(key)] = index
+        if index % delete_every == 0:
+            victim = next(iter(live))
+            table.delete(victim)
+            del live[victim]
+    for key, value in live.items():
+        outcome = table.lookup(key)
+        assert outcome.found and outcome.value == value
+    check_mccuckoo(table)
+
+
+@given(seed=st.integers(min_value=0, max_value=1 << 20))
+@settings(max_examples=10, deadline=None)
+def test_copies_share_one_counter_value(seed):
+    table = McCuckoo(48, d=3, seed=seed)
+    keys = distinct_keys(100, seed=seed + 17)
+    for key in keys:
+        table.put(key)
+    for key in keys:
+        copies = table.copies_of(key)
+        values = {table._counters.peek(b) for b in copies}
+        assert values == {len(copies)}

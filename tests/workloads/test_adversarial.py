@@ -1,0 +1,99 @@
+"""Adversarial key sets: the schemes must degrade gracefully, never lose data."""
+
+import pytest
+
+from repro import CuckooTable, FailurePolicy, McCuckoo
+from repro.core import check_mccuckoo
+from repro.workloads.adversarial import (
+    attack_overload_factor,
+    expected_capacity_of_window,
+    mine_colliding_keys,
+)
+
+WINDOW = 3
+
+
+def small_table(**kwargs):
+    return McCuckoo(48, d=3, seed=70, maxloop=100, **kwargs)
+
+
+class TestMining:
+    def test_rejects_bad_parameters(self):
+        table = small_table()
+        with pytest.raises(ValueError):
+            mine_colliding_keys(table, 0)
+        with pytest.raises(ValueError):
+            mine_colliding_keys(table, 5, window=0)
+
+    def test_mined_keys_land_in_window(self):
+        table = small_table()
+        keys = mine_colliding_keys(table, 12, window=WINDOW, seed=71)
+        assert len(set(keys)) == 12
+        for key in keys:
+            for bucket in table._candidates(key):
+                assert bucket % table.n_buckets < WINDOW
+
+    def test_budget_exhaustion_raises(self):
+        table = McCuckoo(5000, d=3, seed=72)
+        with pytest.raises(RuntimeError):
+            mine_colliding_keys(table, 10, window=1, max_draws=200)
+
+    def test_capacity_formula(self):
+        table = small_table()
+        assert expected_capacity_of_window(table, WINDOW) == 9
+        keys = list(range(18))
+        assert attack_overload_factor(keys, table, WINDOW) == 2.0
+
+
+class TestAttackResilience:
+    def _attack(self, table, overload=2.0):
+        capacity = expected_capacity_of_window(table, WINDOW)
+        return mine_colliding_keys(
+            table, int(capacity * overload), window=WINDOW, seed=73
+        )
+
+    def test_mccuckoo_spills_to_stash_without_losing_items(self):
+        table = small_table()
+        keys = self._attack(table)
+        for key in keys:
+            outcome = table.put(key)
+            assert not outcome.failed  # stash absorbs everything
+        assert len(table.stash) > 0
+        for key in keys:
+            assert table.lookup(key).found, "attack caused data loss"
+        check_mccuckoo(table)
+
+    def test_stashed_fraction_bounded_by_window_math(self):
+        table = small_table()
+        keys = self._attack(table, overload=2.0)
+        for key in keys:
+            table.put(key)
+        capacity = expected_capacity_of_window(table, WINDOW)
+        # at most capacity items fit in the window; the rest must be stashed
+        assert len(table.stash) >= len(keys) - capacity
+
+    def test_baseline_fail_mode_keeps_stored_items(self):
+        table = CuckooTable(48, d=3, seed=70, maxloop=100,
+                            on_failure=FailurePolicy.FAIL)
+        keys = self._attack(table)
+        stored = [key for key in keys if not table.put(key).failed]
+        assert len(stored) < len(keys)  # the attack does cause failures
+        for key in stored:
+            assert table.lookup(key).found
+
+    def test_normal_keys_unaffected_by_attack(self):
+        """The attack only saturates its window; keys elsewhere still work."""
+        from repro.workloads import distinct_keys
+
+        table = small_table()
+        for key in self._attack(table):
+            table.put(key)
+        normal = [
+            key
+            for key in distinct_keys(400, seed=74)
+            if all(b % table.n_buckets >= WINDOW for b in table._candidates(key))
+        ][:40]
+        for key in normal:
+            assert not table.put(key).failed
+        for key in normal:
+            assert table.lookup(key).found

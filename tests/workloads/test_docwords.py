@@ -1,0 +1,147 @@
+"""Tests for the synthetic DocWords corpus generator."""
+
+import pytest
+
+from repro.workloads import (
+    DocWordsConfig,
+    DocWordsGenerator,
+    combine_ids,
+    split_key,
+)
+
+
+class TestKeyPacking:
+    def test_roundtrip(self):
+        key = combine_ids(123, 456)
+        assert split_key(key) == (123, 456)
+
+    def test_extremes(self):
+        key = combine_ids((1 << 32) - 1, (1 << 32) - 1)
+        assert split_key(key) == ((1 << 32) - 1, (1 << 32) - 1)
+        assert split_key(combine_ids(0, 0)) == (0, 0)
+
+    def test_out_of_range_rejected(self):
+        with pytest.raises(ValueError):
+            combine_ids(1 << 32, 0)
+        with pytest.raises(ValueError):
+            combine_ids(0, -1)
+
+    def test_distinct_pairs_distinct_keys(self):
+        assert combine_ids(1, 2) != combine_ids(2, 1)
+
+
+class TestConfig:
+    def test_rejects_nonpositive_dimensions(self):
+        with pytest.raises(ValueError):
+            DocWordsConfig(n_docs=0)
+        with pytest.raises(ValueError):
+            DocWordsConfig(words_per_doc=0)
+
+    def test_rejects_oversized_ids(self):
+        with pytest.raises(ValueError):
+            DocWordsConfig(n_words=(1 << 32) + 1)
+
+
+class TestGenerator:
+    def _small(self, seed=20):
+        return DocWordsGenerator(
+            DocWordsConfig(n_docs=20, n_words=500, words_per_doc=50, seed=seed)
+        )
+
+    def test_pairs_are_distinct_within_doc(self):
+        for doc_id, group in _group_by_doc(self._small().pairs()):
+            assert len(group) == len(set(group))
+
+    def test_all_keys_distinct(self):
+        keys = self._small().materialise()
+        assert len(keys) == len(set(keys))
+
+    def test_keys_decode_to_valid_ids(self):
+        config = DocWordsConfig(n_docs=20, n_words=500, words_per_doc=50)
+        for key in DocWordsGenerator(config).materialise():
+            doc, word = split_key(key)
+            assert 0 <= doc < config.n_docs
+            assert 0 <= word < config.n_words
+
+    def test_deterministic(self):
+        assert self._small(seed=21).materialise() == self._small(seed=21).materialise()
+
+    def test_zipf_skew_present(self):
+        """The most frequent word must appear in far more documents than the
+        median word (the corpus is Zipfian, like real news text)."""
+        generator = self._small(seed=22)
+        doc_counts = {}
+        for _, word in generator.pairs():
+            doc_counts[word] = doc_counts.get(word, 0) + 1
+        counts = sorted(doc_counts.values(), reverse=True)
+        assert counts[0] >= 5 * counts[len(counts) // 2]
+
+    def test_materialise_limit(self):
+        keys = self._small().materialise(limit=17)
+        assert len(keys) == 17
+
+    def test_materialise_zero_means_all(self):
+        generator = self._small(seed=23)
+        assert len(generator.materialise(0)) == len(list(generator.keys()))
+
+    def test_duplicate_draws_deduplicated(self):
+        """words_per_doc draws with a hot Zipf head must yield fewer
+        distinct pairs than draws (duplicates are dropped)."""
+        config = DocWordsConfig(n_docs=10, n_words=50, words_per_doc=100, zipf_s=1.5)
+        keys = DocWordsGenerator(config).materialise()
+        assert len(keys) < 10 * 100
+
+
+def _group_by_doc(pairs):
+    groups = {}
+    for doc_id, word_id in pairs:
+        groups.setdefault(doc_id, []).append(word_id)
+    return groups.items()
+
+
+class TestFileLoader:
+    def _write_sample(self, tmp_path, body):
+        path = tmp_path / "docword.sample.txt"
+        path.write_text(body, encoding="utf-8")
+        return str(path)
+
+    def test_loads_uci_format(self, tmp_path):
+        from repro.workloads import load_docwords_file
+
+        path = self._write_sample(
+            tmp_path,
+            "3\n5\n4\n1 2 10\n1 3 1\n2 2 7\n3 5 2\n",
+        )
+        keys = load_docwords_file(path)
+        assert keys == [
+            combine_ids(1, 2),
+            combine_ids(1, 3),
+            combine_ids(2, 2),
+            combine_ids(3, 5),
+        ]
+
+    def test_limit(self, tmp_path):
+        from repro.workloads import load_docwords_file
+
+        path = self._write_sample(tmp_path, "2\n2\n3\n1 1 1\n1 2 1\n2 1 1\n")
+        assert len(load_docwords_file(path, limit=2)) == 2
+
+    def test_missing_header_rejected(self, tmp_path):
+        from repro.workloads import load_docwords_file
+
+        path = self._write_sample(tmp_path, "1\n2\n")
+        with pytest.raises(ValueError):
+            load_docwords_file(path)
+
+    def test_malformed_line_rejected(self, tmp_path):
+        from repro.workloads import load_docwords_file
+
+        path = self._write_sample(tmp_path, "1\n1\n1\nbroken\n")
+        with pytest.raises(ValueError):
+            load_docwords_file(path)
+
+    def test_blank_lines_skipped(self, tmp_path):
+        from repro.workloads import load_docwords_file
+
+        path = self._write_sample(tmp_path, "1\n1\n1\n\n1 1 5\n\n")
+        assert load_docwords_file(path) == [combine_ids(1, 1)]

@@ -1,0 +1,72 @@
+"""Tests for key-stream generators."""
+
+import itertools
+
+import pytest
+
+from repro.hashing import MASK64
+from repro.workloads import distinct_keys, key_stream, missing_keys, sample_keys
+
+
+class TestDistinctKeys:
+    def test_count(self):
+        assert len(distinct_keys(100, seed=1)) == 100
+
+    def test_zero(self):
+        assert distinct_keys(0) == []
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            distinct_keys(-1)
+
+    def test_distinct(self):
+        keys = distinct_keys(5000, seed=2)
+        assert len(set(keys)) == 5000
+
+    def test_deterministic(self):
+        assert distinct_keys(50, seed=3) == distinct_keys(50, seed=3)
+
+    def test_seed_changes_keys(self):
+        assert distinct_keys(50, seed=4) != distinct_keys(50, seed=5)
+
+    def test_range(self):
+        assert all(0 <= key <= MASK64 for key in distinct_keys(100, seed=6))
+
+
+class TestKeyStream:
+    def test_matches_distinct_keys(self):
+        stream = key_stream(seed=7)
+        assert list(itertools.islice(stream, 20)) == distinct_keys(20, seed=7)
+
+    def test_endless_and_distinct(self):
+        seen = set(itertools.islice(key_stream(seed=8), 2000))
+        assert len(seen) == 2000
+
+
+class TestMissingKeys:
+    def test_disjoint_from_present(self):
+        present = set(distinct_keys(500, seed=9))
+        absent = missing_keys(500, present, seed=10)
+        assert not set(absent) & present
+        assert len(set(absent)) == 500
+
+    def test_deterministic(self):
+        present = set(distinct_keys(10, seed=11))
+        assert missing_keys(20, present, seed=12) == missing_keys(20, present, seed=12)
+
+
+class TestSampleKeys:
+    def test_sample_is_subset(self):
+        keys = distinct_keys(100, seed=13)
+        sample = sample_keys(keys, 30, seed=14)
+        assert len(sample) == 30
+        assert set(sample) <= set(keys)
+        assert len(set(sample)) == 30  # without replacement
+
+    def test_deterministic(self):
+        keys = distinct_keys(100, seed=15)
+        assert sample_keys(keys, 10, seed=16) == sample_keys(keys, 10, seed=16)
+
+    def test_oversample_rejected(self):
+        with pytest.raises(ValueError):
+            sample_keys(distinct_keys(5, seed=17), 6)

@@ -1,0 +1,100 @@
+"""Tests for operation traces and the replay validator."""
+
+import pytest
+
+from repro import CuckooTable, DeletionMode, McCuckoo
+from repro.workloads import OpKind, TraceGenerator, replay
+
+
+class TestTraceGenerator:
+    def test_rejects_bad_parameters(self):
+        with pytest.raises(ValueError):
+            TraceGenerator(0)
+        with pytest.raises(ValueError):
+            TraceGenerator(10, insert_ratio=-1)
+        with pytest.raises(ValueError):
+            TraceGenerator(10, 0, 0, 0, 0)
+
+    def test_emits_requested_count(self):
+        trace = list(TraceGenerator(200, seed=1))
+        assert len(trace) == 200
+
+    def test_deterministic(self):
+        a = list(TraceGenerator(100, seed=2))
+        b = list(TraceGenerator(100, seed=2))
+        assert a == b
+
+    def test_inserts_have_distinct_keys(self):
+        inserts = [
+            op.key for op in TraceGenerator(300, seed=3) if op.kind is OpKind.INSERT
+        ]
+        assert len(inserts) == len(set(inserts))
+
+    def test_lookups_target_live_keys(self):
+        live = set()
+        for op in TraceGenerator(400, seed=4):
+            if op.kind is OpKind.INSERT:
+                live.add(op.key)
+            elif op.kind is OpKind.LOOKUP:
+                assert op.key in live
+            elif op.kind is OpKind.DELETE:
+                assert op.key in live
+                live.discard(op.key)
+            else:
+                assert op.key not in live
+
+    def test_missing_keys_never_inserted(self):
+        ops = list(TraceGenerator(500, seed=5))
+        inserted = {op.key for op in ops if op.kind is OpKind.INSERT}
+        for op in ops:
+            if op.kind is OpKind.LOOKUP_MISSING:
+                assert op.key not in inserted
+
+    def test_pure_insert_trace(self):
+        ops = list(TraceGenerator(50, 1.0, 0.0, 0.0, 0.0, seed=6))
+        assert all(op.kind is OpKind.INSERT for op in ops)
+
+    def test_mix_roughly_matches_ratios(self):
+        ops = list(
+            TraceGenerator(2000, 0.4, 0.4, 0.1, 0.1, seed=7)
+        )
+        inserts = sum(1 for op in ops if op.kind is OpKind.INSERT)
+        # inserts also absorb draws made while no key is live yet
+        assert 0.3 < inserts / len(ops) < 0.55
+
+
+class TestReplay:
+    def test_mccuckoo_replay_clean(self):
+        table = McCuckoo(128, d=3, seed=8, deletion_mode=DeletionMode.RESET)
+        stats = replay(table, iter(TraceGenerator(800, seed=9)))
+        assert stats.false_negatives == 0
+        assert stats.false_positives == 0
+        assert stats.inserts > 0
+        assert stats.lookups > 0
+        assert stats.deletes > 0
+
+    def test_baseline_replay_clean(self):
+        table = CuckooTable(128, d=3, seed=10)
+        stats = replay(table, iter(TraceGenerator(800, seed=11)))
+        assert stats.false_negatives == 0
+        assert stats.false_positives == 0
+
+    def test_tombstone_replay_clean(self):
+        table = McCuckoo(128, d=3, seed=12, deletion_mode=DeletionMode.TOMBSTONE)
+        stats = replay(table, iter(TraceGenerator(800, seed=13)))
+        assert stats.false_negatives == 0
+        assert stats.false_positives == 0
+
+    def test_hit_and_miss_counting(self):
+        table = McCuckoo(128, d=3, seed=14, deletion_mode=DeletionMode.RESET)
+        stats = replay(
+            table,
+            iter(TraceGenerator(500, 0.5, 0.3, 0.2, 0.0, seed=15)),
+        )
+        assert stats.hits == stats.per_kind.get("lookup", 0)
+        assert stats.delete_misses == 0
+
+    def test_per_kind_totals(self):
+        table = McCuckoo(128, d=3, seed=16, deletion_mode=DeletionMode.RESET)
+        stats = replay(table, iter(TraceGenerator(300, seed=17)))
+        assert sum(stats.per_kind.values()) == 300

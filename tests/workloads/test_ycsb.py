@@ -1,0 +1,119 @@
+"""Tests for the YCSB-style workload generator."""
+
+import pytest
+
+from repro import BCHT, DeletionMode, McCuckoo
+from repro.workloads import MIXES, OpKind, YCSBConfig, YCSBWorkload, replay
+
+
+class TestConfig:
+    def test_rejects_unknown_mix(self):
+        with pytest.raises(ValueError):
+            YCSBConfig(workload="E")
+
+    def test_rejects_bad_sizes(self):
+        with pytest.raises(ValueError):
+            YCSBConfig(n_records=0)
+        with pytest.raises(ValueError):
+            YCSBConfig(n_ops=0)
+
+    def test_all_mixes_sum_to_one(self):
+        for name, mix in MIXES.items():
+            assert sum(mix.values()) == pytest.approx(1.0), name
+
+
+class TestGeneration:
+    def _ops(self, workload, n_records=300, n_ops=2000, seed=1):
+        w = YCSBWorkload(YCSBConfig(workload, n_records, n_ops, seed=seed))
+        return list(w.load_phase()), list(w.run_phase())
+
+    def test_load_phase_inserts_every_record(self):
+        load, _ = self._ops("A")
+        assert len(load) == 300
+        assert all(op.kind is OpKind.INSERT for op in load)
+        assert len({op.key for op in load}) == 300
+
+    def test_workload_a_mix(self):
+        _, run = self._ops("A")
+        reads = sum(1 for op in run if op.kind is OpKind.LOOKUP)
+        updates = sum(1 for op in run if op.kind is OpKind.UPDATE)
+        assert 0.4 < reads / len(run) < 0.6
+        assert 0.4 < updates / len(run) < 0.6
+
+    def test_workload_c_read_only(self):
+        _, run = self._ops("C")
+        assert all(op.kind is OpKind.LOOKUP for op in run)
+
+    def test_workload_d_inserts_fresh_keys(self):
+        load, run = self._ops("D")
+        loaded = {op.key for op in load}
+        inserts = [op for op in run if op.kind is OpKind.INSERT]
+        assert inserts
+        assert all(op.key not in loaded for op in inserts)
+
+    def test_workload_f_rmw_pairs(self):
+        _, run = self._ops("F")
+        updates = [i for i, op in enumerate(run) if op.kind is OpKind.UPDATE]
+        assert updates
+        for index in updates:
+            assert run[index - 1].kind is OpKind.LOOKUP
+            assert run[index - 1].key == run[index].key
+
+    def test_zipf_skew_concentrates_reads(self):
+        _, run = self._ops("C", seed=2)
+        counts = {}
+        for op in run:
+            counts[op.key] = counts.get(op.key, 0) + 1
+        top = max(counts.values())
+        assert top > len(run) / 300 * 5  # far above uniform share
+
+    def test_reads_target_loaded_or_inserted_keys(self):
+        load, run = self._ops("D", seed=3)
+        known = {op.key for op in load}
+        for op in run:
+            if op.kind is OpKind.INSERT:
+                known.add(op.key)
+            elif op.kind is OpKind.LOOKUP:
+                assert op.key in known
+
+    def test_deterministic(self):
+        a = self._ops("B", seed=5)
+        b = self._ops("B", seed=5)
+        assert a == b
+
+
+@pytest.mark.parametrize("workload", sorted(MIXES))
+class TestReplayThroughTables:
+    def test_mccuckoo_serves_mix_cleanly(self, workload):
+        config = YCSBConfig(workload, n_records=400, n_ops=1500, seed=7)
+        generator = YCSBWorkload(config)
+        table = McCuckoo(200, d=3, seed=8, deletion_mode=DeletionMode.RESET)
+        load_stats = replay(table, generator.load_phase())
+        run_stats = replay(table, generator.run_phase(), check=False)
+        assert load_stats.false_negatives == 0
+        assert run_stats.lookups + run_stats.updates + run_stats.inserts > 0
+
+    def test_bcht_serves_mix_cleanly(self, workload):
+        config = YCSBConfig(workload, n_records=400, n_ops=1000, seed=9)
+        generator = YCSBWorkload(config)
+        table = BCHT(70, d=3, slots=3, seed=10)
+        replay(table, generator.load_phase())
+        stats = replay(table, generator.run_phase(), check=False)
+        assert stats.false_negatives == 0
+
+
+class TestReplayValidation:
+    def test_update_validated_against_shadow(self):
+        """Full end-to-end with check=True over a mixed load+run trace."""
+        config = YCSBConfig("A", n_records=300, n_ops=1200, seed=11)
+        generator = YCSBWorkload(config)
+        table = McCuckoo(200, d=3, seed=12, deletion_mode=DeletionMode.RESET)
+
+        def combined():
+            yield from generator.load_phase()
+            yield from generator.run_phase()
+
+        stats = replay(table, combined())
+        assert stats.false_negatives == 0
+        assert stats.false_positives == 0
+        assert stats.updates > 0

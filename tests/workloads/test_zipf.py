@@ -1,0 +1,80 @@
+"""Tests for the Zipf sampler."""
+
+import pytest
+
+from repro.workloads import ZipfSampler, zipf_choices
+
+
+class TestZipfSampler:
+    def test_rejects_bad_parameters(self):
+        with pytest.raises(ValueError):
+            ZipfSampler(0)
+        with pytest.raises(ValueError):
+            ZipfSampler(10, s=-0.5)
+
+    def test_samples_in_range(self):
+        sampler = ZipfSampler(100, seed=1)
+        for _ in range(500):
+            assert 0 <= sampler.sample() < 100
+
+    def test_rank_zero_most_frequent(self):
+        sampler = ZipfSampler(50, s=1.0, seed=2)
+        counts = {}
+        for rank in sampler.sample_many(5000):
+            counts[rank] = counts.get(rank, 0) + 1
+        assert counts.get(0, 0) == max(counts.values())
+
+    def test_skew_controls_concentration(self):
+        flat = ZipfSampler(100, s=0.0, seed=3)
+        steep = ZipfSampler(100, s=2.0, seed=3)
+
+        def top_share(sampler):
+            draws = sampler.sample_many(4000)
+            return sum(1 for rank in draws if rank < 5) / len(draws)
+
+        assert top_share(steep) > top_share(flat) + 0.3
+
+    def test_uniform_when_s_zero(self):
+        sampler = ZipfSampler(10, s=0.0, seed=4)
+        counts = [0] * 10
+        for rank in sampler.sample_many(10000):
+            counts[rank] += 1
+        assert min(counts) > 700
+
+    def test_pmf_sums_to_one(self):
+        sampler = ZipfSampler(20, s=1.2, seed=5)
+        assert sum(sampler.pmf(rank) for rank in range(20)) == pytest.approx(1.0)
+
+    def test_pmf_monotone_decreasing(self):
+        sampler = ZipfSampler(20, s=1.0, seed=6)
+        pmf = [sampler.pmf(rank) for rank in range(20)]
+        assert all(a >= b for a, b in zip(pmf, pmf[1:]))
+
+    def test_pmf_bounds(self):
+        sampler = ZipfSampler(5, seed=7)
+        with pytest.raises(IndexError):
+            sampler.pmf(5)
+        with pytest.raises(IndexError):
+            sampler.pmf(-1)
+
+    def test_empirical_matches_pmf(self):
+        sampler = ZipfSampler(10, s=1.0, seed=8)
+        n = 20000
+        counts = [0] * 10
+        for rank in sampler.sample_many(n):
+            counts[rank] += 1
+        for rank in range(3):
+            expected = sampler.pmf(rank)
+            assert counts[rank] / n == pytest.approx(expected, rel=0.15)
+
+    def test_deterministic(self):
+        a = ZipfSampler(30, seed=9).sample_many(20)
+        b = ZipfSampler(30, seed=9).sample_many(20)
+        assert a == b
+
+
+def test_zipf_choices_draws_items():
+    items = ["a", "b", "c", "d"]
+    chosen = zipf_choices(items, 100, s=1.0, seed=10)
+    assert len(chosen) == 100
+    assert set(chosen) <= set(items)
