@@ -15,7 +15,7 @@ from repro import (
     SmartCuckoo,
     batched_lookup,
 )
-from repro.analysis import ExperimentResult, Scale
+from repro.analysis import ExperimentResult
 from repro.hashing import FAMILIES
 from repro.workloads import distinct_keys, key_stream, missing_keys, sample_keys
 

@@ -23,9 +23,9 @@ def test_fig13_lookup_missing(benchmark, bench_scale, core_sweep, save_result):
     bcht = result.series("load", "offchip_accesses_per_lookup", scheme="BCHT")
 
     # blind baselines: always exactly d bucket reads
-    for load, value in cu.items():
+    for value in cu.values():
         assert value == pytest.approx(3.0)
-    for load, value in bcht.items():
+    for value in bcht.values():
         assert value == pytest.approx(3.0)
 
     # counters screen almost everything at low/moderate load

@@ -8,7 +8,6 @@ advantage grows with record size.
 from repro.analysis import fig15_insert_latency
 from repro.analysis.experiments import RECORD_SIZES
 from repro.memory.latency import PAPER_FPGA
-from repro.memory.model import OpStats
 
 
 def test_fig15_insert_latency(benchmark, bench_scale, core_sweep, save_result):

@@ -1,0 +1,78 @@
+"""Serving-path benchmark: loopback ops/sec and tail latency.
+
+Unlike the paper-exhibit benchmarks, this one measures the *system* the
+reproduction has grown into: the asyncio TCP server (one writer per shard,
+bounded queues) driven closed-loop by the async client.  It saves a small
+markdown table of ops/sec and p50/p95/p99 per workload and times one
+round trip with pytest-benchmark.
+"""
+
+import asyncio
+import pathlib
+
+from repro.serve import (
+    LoadgenConfig,
+    McCuckooClient,
+    McCuckooServer,
+    ServerConfig,
+    run_loadgen,
+)
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+WORKLOADS = ("zipf", "uniform", "ycsb-A", "ycsb-C")
+
+
+def test_serve_loadgen(benchmark):
+    async def sweep():
+        rows = []
+        cfg = ServerConfig(n_shards=4, expected_items=16384)
+        async with McCuckooServer(cfg) as server:
+            host, port = server.address
+            for workload in WORKLOADS:
+                report = await run_loadgen(
+                    host, port,
+                    LoadgenConfig(workload=workload, n_ops=4000, n_keys=1000,
+                                  concurrency=8, seed=17),
+                )
+                assert report.completed == report.n_ops
+                assert report.errors == 0
+                rows.append(report)
+        return rows
+
+    rows = asyncio.run(sweep())
+
+    lines = [
+        "# serve-loadgen — loopback serving path",
+        "",
+        "| workload | ops/s | p50 ms | p95 ms | p99 ms |",
+        "|---|---|---|---|---|",
+    ]
+    for report in rows:
+        lines.append(
+            f"| {report.workload} | {report.ops_per_sec:,.0f} "
+            f"| {report.p50_ms:.3f} | {report.p95_ms:.3f} "
+            f"| {report.p99_ms:.3f} |"
+        )
+        print(report.render())
+    RESULTS_DIR.mkdir(exist_ok=True)
+    (RESULTS_DIR / "serve-loadgen.md").write_text("\n".join(lines) + "\n",
+                                                  encoding="utf-8")
+
+    # timed op: one full GET round trip over an established connection
+    async def setup():
+        server = McCuckooServer(ServerConfig(n_shards=2))
+        await server.start()
+        host, port = server.address
+        client = McCuckooClient(host, port, pool_size=1)
+        await client.put(42, b"value")
+        return server, client
+
+    loop = asyncio.new_event_loop()
+    server, client = loop.run_until_complete(setup())
+    try:
+        benchmark(lambda: loop.run_until_complete(client.get(42)))
+    finally:
+        loop.run_until_complete(client.close())
+        loop.run_until_complete(server.stop())
+        loop.close()

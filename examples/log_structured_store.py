@@ -24,7 +24,7 @@ def main() -> None:
     for position, key in enumerate(keys):
         store.put(key, f"blob-{position}")
     print(f"  live records: {len(store)}, log records: {store.log_records}")
-    print(f"  index generations (online growth rounds): "
+    print("  index generations (online growth rounds): "
           f"{store.index.generations}")
 
     # skewed read traffic
@@ -35,17 +35,17 @@ def main() -> None:
         assert store.get(keys[sampler.sample()]) is not None
     print(f"\nserved {reads} zipf reads at "
           f"{(store.mem.off_chip.reads - before) / reads:.2f} "
-          f"off-chip reads each (index + value log)")
+          "off-chip reads each (index + value log)")
 
     # negative lookups: mostly screened by the on-chip counters
     absent = missing_keys(2000, set(keys), seed=34)
     before = store.mem.off_chip.reads
     for key in absent:
         assert store.get(key) is None
-    print(f"2000 missing gets cost "
+    print("2000 missing gets cost "
           f"{(store.mem.off_chip.reads - before) / 2000:.2f} "
-          f"off-chip reads each (counters skip impossible buckets; the "
-          f"blind baseline would pay 3.0)")
+          "off-chip reads each (counters skip impossible buckets; the "
+          "blind baseline would pay 3.0)")
 
     # churn: rewrite half, delete a quarter -> garbage accumulates
     for key in keys[:2000]:

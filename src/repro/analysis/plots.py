@@ -70,7 +70,7 @@ def line_chart(
     y_span = (y_high - y_low) or 1.0
 
     grid: List[List[str]] = [[" "] * width for _ in range(height)]
-    for index, (label, mapping) in enumerate(series.items()):
+    for index, (_label, mapping) in enumerate(series.items()):
         marker = _MARKERS[index % len(_MARKERS)]
         for x, y in sorted(mapping.items()):
             col = int((x - x_low) / x_span * (width - 1))

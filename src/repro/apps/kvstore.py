@@ -21,10 +21,12 @@ all index traffic accounted through the usual :class:`MemoryModel`.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Any, Iterator, List, Optional, Tuple
+from typing import Any, Dict, Iterator, List, Optional, Tuple
 
 from ..core.config import DeletionMode
+from ..core.errors import TableFullError
 from ..core.resize import ResizableMcCuckoo
+from ..core.results import InsertOutcome
 from ..hashing import Key, KeyLike, canonical_key
 from ..memory.model import MemoryModel
 
@@ -104,14 +106,27 @@ class LogStructuredStore:
     # operations
     # ------------------------------------------------------------------
 
-    def put(self, key: KeyLike, value: Any) -> None:
-        """Insert or update: appends to the log, points the index at it."""
+    def put(self, key: KeyLike, value: Any) -> InsertOutcome:
+        """Insert or update: points the index at the record, then appends.
+
+        The index is updated *before* the log append (against the
+        prospective offset, which is just the current log length) so a
+        raising or failing index insert cannot leak an unreachable log
+        record — leaked records would never be reclaimed and would skew
+        ``garbage_ratio``.  The append itself is infallible.
+        """
         k = canonical_key(key)
-        offset = self._log.append(k, value)
+        offset = len(self._log)
         outcome = self._index.try_update(k, offset)
         if outcome is None:
-            self._index.put(k, offset)
+            outcome = self._index.put(k, offset)
+            if outcome.failed:
+                raise TableFullError(
+                    f"index rejected key {k:#x}; store holds {self._live} items"
+                )
             self._live += 1
+        self._log.append(k, value)
+        return outcome
 
     def get(self, key: KeyLike, default: Any = None) -> Any:
         k = canonical_key(key)
@@ -176,16 +191,24 @@ class LogStructuredStore:
         """Crash recovery: rebuild a store by replaying this store's log.
 
         The index is volatile in a real deployment; the log is the source
-        of truth.  Returns the recovered store (self is untouched).
+        of truth.  Replay first reduces the log to its *final* state (last
+        record per key wins, tombstones erase) and loads only live records,
+        so the recovered store starts with an all-live log and a zero
+        ``garbage_ratio`` — replaying deletes verbatim would append fresh
+        tombstones to the new log.  Returns the recovered store (self is
+        untouched).
         """
-        recovered = LogStructuredStore(
-            expected_items=max(1024, self._live), seed=1, mem=MemoryModel()
-        )
+        final: Dict[Key, Any] = {}
         for _, record in self._log.records():
             if record.is_tombstone:
-                recovered.delete(record.key)
+                final.pop(record.key, None)
             else:
-                recovered.put(record.key, record.value)
+                final[record.key] = record.value
+        recovered = LogStructuredStore(
+            expected_items=max(1024, len(final)), seed=1, mem=MemoryModel()
+        )
+        for key, value in final.items():
+            recovered.put(key, value)
         return recovered
 
     @property

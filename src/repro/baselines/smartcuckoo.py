@@ -17,7 +17,7 @@ as the comparator for the walk-free failure-detection experiments.
 
 from __future__ import annotations
 
-from typing import Any, Dict, Iterator, List, Optional, Tuple
+from typing import Any, Iterator, List, Optional, Tuple
 
 from ..core.errors import ConfigurationError
 from ..core.interface import HashTable

@@ -17,6 +17,12 @@ Commands
     Run every experiment and write a self-contained markdown report.
 ``validate``
     Quick PASS/FAIL re-check of the paper's headline claims.
+``serve``
+    Run the asyncio TCP server fronting the sharded log-structured
+    McCuckoo store (one writer task per shard, explicit backpressure).
+``loadgen``
+    Drive a closed-loop workload (zipf/uniform/mixed/YCSB) through the
+    async client and report ops/sec with p50/p95/p99 latency.
 """
 
 from __future__ import annotations
@@ -29,8 +35,10 @@ from typing import List, Optional
 from .analysis import ALL_EXPERIMENTS, Scale, render, run_core_sweep
 from .analysis.sweep import make_schemes
 from .core import DeletionMode
+from .core.errors import ReproError
 from .memory.latency import PAPER_FPGA
 from .memory.model import OpStats
+from .serve.loadgen import WORKLOADS as LOADGEN_WORKLOADS
 from .workloads import TraceGenerator, key_stream, replay
 
 SWEEP_BASED = {"fig9", "fig10", "fig12", "fig13", "fig15", "fig16"}
@@ -85,6 +93,35 @@ def _build_parser() -> argparse.ArgumentParser:
     )
     validate.add_argument("--scale", type=int, default=600)
     validate.add_argument("--repeats", type=int, default=1)
+
+    serve = sub.add_parser("serve", help="run the KV service over TCP")
+    serve.add_argument("--host", default="127.0.0.1")
+    serve.add_argument("--port", type=int, default=9090)
+    serve.add_argument("--shards", type=int, default=4)
+    serve.add_argument("--expected-items", type=int, default=100_000)
+    serve.add_argument("--seed", type=int, default=0)
+    serve.add_argument("--max-connections", type=int, default=64)
+    serve.add_argument("--queue-depth", type=int, default=128,
+                       help="bounded writer queue per shard (backpressure)")
+    serve.add_argument("--timeout", type=float, default=5.0,
+                       help="per-request timeout in seconds")
+
+    loadgen = sub.add_parser("loadgen", help="drive a workload at a server")
+    loadgen.add_argument("--host", default="127.0.0.1")
+    loadgen.add_argument("--port", type=int, default=9090)
+    loadgen.add_argument("--workload", default="zipf",
+                         choices=sorted(LOADGEN_WORKLOADS))
+    loadgen.add_argument("--ops", type=int, default=10_000)
+    loadgen.add_argument("--keys", type=int, default=1_000)
+    loadgen.add_argument("--concurrency", type=int, default=8,
+                         help="closed-loop workers (and connection pool size)")
+    loadgen.add_argument("--batch", type=int, default=1,
+                         help="ops pipelined per BATCH frame")
+    loadgen.add_argument("--value-size", type=int, default=64)
+    loadgen.add_argument("--zipf-s", type=float, default=0.99)
+    loadgen.add_argument("--seed", type=int, default=0)
+    loadgen.add_argument("--standalone", action="store_true",
+                         help="start an in-process server first (demo mode)")
     return parser
 
 
@@ -143,7 +180,7 @@ def _cmd_fill(args: argparse.Namespace) -> int:
     print(f"  access totals            {table.mem.summary()}")
     print(f"  modelled insert latency  {PAPER_FPGA.latency_us(stats):.3f} us/op")
     if hasattr(table, "counter_histogram"):
-        print(f"  counter histogram        "
+        print("  counter histogram        "
               f"{dict(sorted(table.counter_histogram().items()))}")
     if hasattr(table, "onchip_bytes"):
         print(f"  on-chip footprint        {table.onchip_bytes} bytes")
@@ -268,6 +305,82 @@ def _cmd_validate(args: argparse.Namespace) -> int:
     return 1 if failed else 0
 
 
+def _cmd_serve(args: argparse.Namespace) -> int:
+    import asyncio
+
+    from .serve import McCuckooServer, ServerConfig
+
+    config = ServerConfig(
+        host=args.host,
+        port=args.port,
+        n_shards=args.shards,
+        expected_items=args.expected_items,
+        seed=args.seed,
+        max_connections=args.max_connections,
+        writer_queue_depth=args.queue_depth,
+        request_timeout=args.timeout,
+    )
+
+    async def run() -> None:
+        async with McCuckooServer(config) as server:
+            host, port = server.address
+            print(f"serving {config.n_shards}-shard McCuckoo store "
+                  f"on {host}:{port} (Ctrl-C to stop)")
+            await server.serve_forever()
+
+    try:
+        asyncio.run(run())
+    except KeyboardInterrupt:
+        print("\nserver stopped")
+    except (ReproError, OSError) as error:
+        print(f"repro serve: error: {error}", file=sys.stderr)
+        return 2
+    return 0
+
+
+def _cmd_loadgen(args: argparse.Namespace) -> int:
+    import asyncio
+
+    from .serve import LoadgenConfig, run_loadgen
+
+    config = LoadgenConfig(
+        workload=args.workload,
+        n_ops=args.ops,
+        n_keys=args.keys,
+        concurrency=args.concurrency,
+        batch_size=args.batch,
+        value_size=args.value_size,
+        zipf_s=args.zipf_s,
+        seed=args.seed,
+    )
+
+    async def run() -> int:
+        if args.standalone:
+            from .serve import McCuckooServer, ServerConfig
+
+            server_config = ServerConfig(
+                host=args.host, port=0,
+                expected_items=max(4096, 2 * args.keys),
+            )
+            async with McCuckooServer(server_config) as server:
+                host, port = server.address
+                print(f"[standalone server on {host}:{port}]")
+                report = await run_loadgen(host, port, config)
+        else:
+            report = await run_loadgen(args.host, args.port, config)
+        print(report.render())
+        return 1 if report.errors else 0
+
+    try:
+        return asyncio.run(run())
+    except KeyboardInterrupt:
+        print("\nloadgen interrupted")
+        return 130
+    except (ReproError, OSError) as error:
+        print(f"repro loadgen: error: {error}", file=sys.stderr)
+        return 2
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     args = _build_parser().parse_args(argv)
     if args.command == "list":
@@ -282,6 +395,10 @@ def main(argv: Optional[List[str]] = None) -> int:
         return _cmd_report(args)
     if args.command == "validate":
         return _cmd_validate(args)
+    if args.command == "serve":
+        return _cmd_serve(args)
+    if args.command == "loadgen":
+        return _cmd_loadgen(args)
     raise AssertionError(f"unhandled command {args.command!r}")
 
 

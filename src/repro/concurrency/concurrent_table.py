@@ -21,7 +21,7 @@ from typing import Any, Iterator, List, Optional, Tuple
 
 from ..core.mccuckoo import McCuckoo
 from ..core.results import InsertOutcome, InsertStatus, LookupOutcome
-from ..hashing import Key, KeyLike
+from ..hashing import KeyLike
 from .paths import find_cuckoo_path
 
 

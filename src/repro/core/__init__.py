@@ -16,7 +16,7 @@ from .invariants import check_blocked, check_mccuckoo
 from .mccuckoo import McCuckoo
 from .multimap import McCuckooMultiMap
 from .resize import ResizableMcCuckoo
-from .sharded import ShardedMcCuckoo
+from .sharded import ShardedMcCuckoo, ShardRouter
 from .policies import KickPolicy, MinCounterPolicy, RandomWalkPolicy, make_policy
 from .snapshot import load as load_snapshot
 from .snapshot import save as save_snapshot
@@ -51,6 +51,7 @@ __all__ = [
     "PackedArray",
     "RandomWalkPolicy",
     "ResizableMcCuckoo",
+    "ShardRouter",
     "ShardedMcCuckoo",
     "ReproError",
     "SiblingTracking",

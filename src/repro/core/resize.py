@@ -24,7 +24,7 @@ window, and the invariant checkers hold on both halves at every step.
 
 from __future__ import annotations
 
-from typing import Any, Iterator, List, Optional, Tuple
+from typing import Any, Iterator, Optional, Tuple
 
 from ..hashing import Key, KeyLike
 from ..memory.model import MemoryModel
@@ -32,7 +32,7 @@ from .config import DeletionMode, SiblingTracking
 from .errors import ConfigurationError
 from .interface import HashTable
 from .mccuckoo import McCuckoo
-from .results import DeleteOutcome, InsertOutcome, InsertStatus, LookupOutcome
+from .results import DeleteOutcome, InsertOutcome, LookupOutcome
 
 
 class ResizableMcCuckoo(HashTable):

@@ -25,6 +25,26 @@ from .mccuckoo import McCuckoo
 from .results import DeleteOutcome, InsertOutcome, LookupOutcome
 
 
+class ShardRouter:
+    """Stable, salt-keyed key → shard mapping.
+
+    The salt is drawn from a different hash stream than any in-shard
+    candidate function, so routing never biases bucket choice.  Shared by
+    :class:`ShardedMcCuckoo` and the serving layer's sharded store so both
+    agree on ownership for the same ``(n_shards, seed)``.
+    """
+
+    def __init__(self, n_shards: int, seed: int = 0) -> None:
+        if n_shards <= 0:
+            raise ConfigurationError("n_shards must be positive")
+        self.n_shards = n_shards
+        self._salt = splitmix64(seed ^ 0x5AAD)
+
+    def shard_of(self, key: Key) -> int:
+        """Which shard owns the canonical ``key``."""
+        return splitmix64(key ^ self._salt) % self.n_shards
+
+
 class ShardedMcCuckoo(HashTable):
     """N independent McCuckoo shards behind one HashTable facade."""
 
@@ -44,12 +64,10 @@ class ShardedMcCuckoo(HashTable):
         shared_accounting: bool = True,
     ) -> None:
         super().__init__(mem)
-        if n_shards <= 0:
-            raise ConfigurationError("n_shards must be positive")
         if n_buckets_per_shard <= 0:
             raise ConfigurationError("n_buckets_per_shard must be positive")
+        self._router = ShardRouter(n_shards, seed=seed)
         self.n_shards = n_shards
-        self._salt = splitmix64(seed ^ 0x5AAD)
         self._shards: List[McCuckoo] = [
             McCuckoo(
                 n_buckets_per_shard,
@@ -68,7 +86,7 @@ class ShardedMcCuckoo(HashTable):
 
     def shard_index(self, key: KeyLike) -> int:
         """Which shard owns ``key`` (stable, salt-keyed)."""
-        return splitmix64(self._canonical(key) ^ self._salt) % self.n_shards
+        return self._router.shard_of(self._canonical(key))
 
     def shard_for(self, key: KeyLike) -> McCuckoo:
         return self._shards[self.shard_index(key)]
@@ -113,6 +131,12 @@ class ShardedMcCuckoo(HashTable):
         loads = self.shard_loads()
         mean = sum(loads) / len(loads)
         return max(loads) / mean if mean else 1.0
+
+    def stash_population(self) -> int:
+        """Total items currently sitting in per-shard stashes."""
+        return sum(
+            len(shard.stash) for shard in self._shards if shard.stash is not None
+        )
 
     @property
     def onchip_bytes(self) -> int:

@@ -123,7 +123,7 @@ class OnChipStash:
         return len(self._entries) >= self.capacity
 
     def lookup(self, key: Key) -> Tuple[bool, Any]:
-        for position, (stored_key, value) in enumerate(self._entries):
+        for stored_key, value in self._entries:
             self._mem.onchip_read("stash-scan")
             if stored_key == key:
                 return True, value

@@ -1,0 +1,79 @@
+"""Network serving layer: binary protocol, asyncio server/client, loadgen.
+
+Turns the in-process sharded McCuckoo KV store into a service: a
+length-prefixed binary wire protocol (:mod:`~repro.serve.protocol`), an
+asyncio TCP server with one writer task per shard and explicit
+backpressure (:mod:`~repro.serve.server`), a pooled async client with
+pipelined batches (:mod:`~repro.serve.client`), per-op serving counters
+behind the STATS verb (:mod:`~repro.serve.stats`), and a closed-loop load
+generator reporting ops/sec with p50/p95/p99 latency
+(:mod:`~repro.serve.loadgen`).
+"""
+
+from .client import (
+    McCuckooClient,
+    RequestTimeoutError,
+    ServeError,
+    ServerBusyError,
+)
+from .loadgen import LoadgenConfig, LoadReport, build_workload, run_loadgen
+from .protocol import (
+    BatchReply,
+    BatchRequest,
+    DeleteReply,
+    DeleteRequest,
+    ErrorCode,
+    ErrorReply,
+    GetRequest,
+    Opcode,
+    ProtocolError,
+    PutReply,
+    PutRequest,
+    StatsReply,
+    StatsRequest,
+    ValueReply,
+    decode_reply,
+    decode_request,
+    encode_reply,
+    encode_request,
+    read_frame,
+    write_frame,
+)
+from .server import McCuckooServer, ServerConfig
+from .stats import ServeStats
+from .store import ShardedLogStore
+
+__all__ = [
+    "BatchReply",
+    "BatchRequest",
+    "DeleteReply",
+    "DeleteRequest",
+    "ErrorCode",
+    "ErrorReply",
+    "GetRequest",
+    "LoadReport",
+    "LoadgenConfig",
+    "McCuckooClient",
+    "McCuckooServer",
+    "Opcode",
+    "ProtocolError",
+    "PutReply",
+    "PutRequest",
+    "RequestTimeoutError",
+    "ServeError",
+    "ServeStats",
+    "ServerBusyError",
+    "ServerConfig",
+    "ShardedLogStore",
+    "StatsReply",
+    "StatsRequest",
+    "ValueReply",
+    "build_workload",
+    "decode_reply",
+    "decode_request",
+    "encode_reply",
+    "encode_request",
+    "read_frame",
+    "run_loadgen",
+    "write_frame",
+]

@@ -1,0 +1,316 @@
+"""Closed-loop load generator for the McCuckoo KV service.
+
+Builds an operation list from the existing workload generators
+(:mod:`repro.workloads`: Zipf, YCSB mixes, mixed traces with deletes) and
+drives it through :class:`~repro.serve.client.McCuckooClient` with N
+closed-loop workers — each worker issues its next operation only after the
+previous one completed, so offered load tracks service capacity and the
+measured latencies are honest (no coordinated-omission inflation from an
+open-loop backlog).
+
+The op list construction is a pure function (:func:`build_workload`) so
+correctness tests can replay the identical operations against a dict model.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import math
+import random
+import struct
+import time
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, List, Sequence, Tuple
+
+from ..workloads import OpKind, TraceGenerator, YCSBConfig, YCSBWorkload, ZipfSampler
+from ..workloads.keys import distinct_keys
+from .client import (
+    McCuckooClient,
+    RequestTimeoutError,
+    ServeError,
+    ServerBusyError,
+)
+from .protocol import ErrorCode, ErrorReply
+
+#: ops are client batch tuples: ("get", key) / ("put", key, value) / ("delete", key)
+Op = Tuple
+
+WORKLOADS = ("zipf", "uniform", "mixed", "ycsb-A", "ycsb-B", "ycsb-C", "ycsb-D",
+             "ycsb-F")
+
+
+@dataclass(frozen=True)
+class LoadgenConfig:
+    """Shape of one load-generation run."""
+
+    workload: str = "zipf"
+    n_ops: int = 10_000
+    n_keys: int = 1_000
+    concurrency: int = 8
+    batch_size: int = 1
+    value_size: int = 64
+    zipf_s: float = 0.99
+    get_ratio: float = 0.70
+    put_ratio: float = 0.25
+    delete_ratio: float = 0.05
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.workload not in WORKLOADS:
+            raise ValueError(
+                f"unknown workload {self.workload!r}; options: {WORKLOADS}"
+            )
+        if self.n_ops <= 0 or self.n_keys <= 0:
+            raise ValueError("n_ops and n_keys must be positive")
+        if self.concurrency <= 0 or self.batch_size <= 0:
+            raise ValueError("concurrency and batch_size must be positive")
+        if min(self.get_ratio, self.put_ratio, self.delete_ratio) < 0:
+            raise ValueError("mix ratios must be non-negative")
+        if (self.get_ratio + self.put_ratio + self.delete_ratio) <= 0:
+            raise ValueError("mix ratios must have a positive sum")
+
+
+def value_bytes(key: int, version: int, size: int) -> bytes:
+    """Deterministic payload: (key, version) header padded to ``size``."""
+    header = struct.pack(">QQ", key & (2**64 - 1), version & (2**64 - 1))
+    if size <= len(header):
+        return header[:max(size, 1)]
+    return header + b"\x5a" * (size - len(header))
+
+
+def build_workload(config: LoadgenConfig) -> Tuple[List[Op], List[Op]]:
+    """(preload ops, timed ops) for one run — pure and reproducible.
+
+    Preload ops are all puts and establish the working set; the timed ops
+    are the measured phase.
+    """
+    if config.workload.startswith("ycsb-"):
+        return _build_ycsb(config)
+    if config.workload == "mixed":
+        return [], _build_mixed(config)
+    return _build_skewed(config)
+
+
+def _build_skewed(config: LoadgenConfig) -> Tuple[List[Op], List[Op]]:
+    keys = distinct_keys(config.n_keys, seed=config.seed)
+    preload: List[Op] = [
+        ("put", key, value_bytes(key, 0, config.value_size)) for key in keys
+    ]
+    rng = random.Random(config.seed ^ 0x10AD)
+    zipf = ZipfSampler(len(keys), s=config.zipf_s, seed=config.seed + 1)
+    kinds = ("get", "put", "delete")
+    weights = (config.get_ratio, config.put_ratio, config.delete_ratio)
+    ops: List[Op] = []
+    version = 1
+    for _ in range(config.n_ops):
+        if config.workload == "zipf":
+            key = keys[zipf.sample()]
+        else:  # uniform
+            key = keys[rng.randrange(len(keys))]
+        kind = rng.choices(kinds, weights=weights)[0]
+        if kind == "put":
+            ops.append(("put", key, value_bytes(key, version, config.value_size)))
+            version += 1
+        elif kind == "delete":
+            ops.append(("delete", key))
+        else:
+            ops.append(("get", key))
+    return preload, ops
+
+
+def _build_ycsb(config: LoadgenConfig) -> Tuple[List[Op], List[Op]]:
+    workload = YCSBWorkload(
+        YCSBConfig(
+            workload=config.workload.split("-", 1)[1],
+            n_records=config.n_keys,
+            n_ops=config.n_ops,
+            zipf_s=config.zipf_s,
+            seed=config.seed,
+        )
+    )
+    preload = [
+        ("put", op.key, value_bytes(op.key, op.value or 0, config.value_size))
+        for op in workload.load_phase()
+    ]
+    return preload, list(_map_trace(workload.run_phase(), config))
+
+
+def _build_mixed(config: LoadgenConfig) -> List[Op]:
+    total = config.get_ratio + config.put_ratio + config.delete_ratio
+    trace = TraceGenerator(
+        config.n_ops,
+        insert_ratio=config.put_ratio / total,
+        lookup_ratio=config.get_ratio / total * 0.75,
+        missing_ratio=config.get_ratio / total * 0.25,
+        delete_ratio=config.delete_ratio / total,
+        seed=config.seed,
+    )
+    return list(_map_trace(iter(trace), config))
+
+
+def _map_trace(trace: Iterator, config: LoadgenConfig) -> Iterator[Op]:
+    for op in trace:
+        if op.kind in (OpKind.INSERT, OpKind.UPDATE):
+            yield ("put", op.key, value_bytes(op.key, op.value or 0,
+                                              config.value_size))
+        elif op.kind is OpKind.DELETE:
+            yield ("delete", op.key)
+        else:  # LOOKUP / LOOKUP_MISSING
+            yield ("get", op.key)
+
+
+# ----------------------------------------------------------------------
+# measurement
+# ----------------------------------------------------------------------
+
+
+def percentile(sorted_latencies: Sequence[float], q: float) -> float:
+    """Nearest-rank percentile over an already-sorted sample (q in [0,100])."""
+    if not sorted_latencies:
+        return 0.0
+    rank = max(1, math.ceil(q / 100.0 * len(sorted_latencies)))
+    return sorted_latencies[min(rank, len(sorted_latencies)) - 1]
+
+
+@dataclass
+class LoadReport:
+    """Throughput and latency summary of one run."""
+
+    workload: str
+    n_ops: int
+    completed: int
+    elapsed_s: float
+    ops_per_sec: float
+    p50_ms: float
+    p95_ms: float
+    p99_ms: float
+    mean_ms: float
+    busy: int
+    timeouts: int
+    errors: int
+    per_kind: Dict[str, int] = field(default_factory=dict)
+
+    def render(self) -> str:
+        lines = [
+            f"workload {self.workload}: {self.completed}/{self.n_ops} ops "
+            f"in {self.elapsed_s:.2f}s ({self.ops_per_sec:,.0f} ops/s)",
+            f"  latency   p50={self.p50_ms:.3f}ms  p95={self.p95_ms:.3f}ms  "
+            f"p99={self.p99_ms:.3f}ms  mean={self.mean_ms:.3f}ms",
+            f"  rejected  busy={self.busy}  timeouts={self.timeouts}  "
+            f"errors={self.errors}",
+            "  mix       "
+            + "  ".join(f"{kind}={count}"
+                        for kind, count in sorted(self.per_kind.items())),
+        ]
+        return "\n".join(lines)
+
+
+async def run_loadgen(
+    host: str,
+    port: int,
+    config: LoadgenConfig,
+    preload: bool = True,
+) -> LoadReport:
+    """Preload the working set, then drive the timed phase closed-loop."""
+    preload_ops, ops = build_workload(config)
+    async with McCuckooClient(host, port,
+                              pool_size=config.concurrency) as client:
+        if preload and preload_ops:
+            await _preload(client, preload_ops)
+
+        latencies: List[float] = []
+        per_kind: Dict[str, int] = {}
+        busy = timeouts = errors = completed = 0
+        queue: Iterator[Op] = iter(ops)
+
+        async def worker() -> None:
+            nonlocal busy, timeouts, errors, completed
+            while True:
+                chunk: List[Op] = []
+                # single-threaded event loop: pulling from the shared
+                # iterator between awaits is race-free
+                for op in queue:
+                    chunk.append(op)
+                    if len(chunk) >= config.batch_size:
+                        break
+                if not chunk:
+                    return
+                begin = time.perf_counter()
+                try:
+                    if config.batch_size == 1:
+                        await _issue_one(client, chunk[0])
+                    else:
+                        await client.batch(chunk)
+                except ServerBusyError:
+                    busy += len(chunk)
+                except RequestTimeoutError:
+                    timeouts += len(chunk)
+                except ServeError:
+                    errors += len(chunk)
+                except (ConnectionError, OSError):
+                    errors += len(chunk)
+                else:
+                    completed += len(chunk)
+                    cost = time.perf_counter() - begin
+                    latencies.extend([cost / len(chunk)] * len(chunk))
+                for op in chunk:
+                    per_kind[op[0]] = per_kind.get(op[0], 0) + 1
+
+        wall_start = time.perf_counter()
+        await asyncio.gather(*(worker() for _ in range(config.concurrency)))
+        elapsed = time.perf_counter() - wall_start
+
+    latencies.sort()
+    mean = sum(latencies) / len(latencies) if latencies else 0.0
+    return LoadReport(
+        workload=config.workload,
+        n_ops=len(ops),
+        completed=completed,
+        elapsed_s=elapsed,
+        ops_per_sec=completed / elapsed if elapsed > 0 else 0.0,
+        p50_ms=percentile(latencies, 50) * 1e3,
+        p95_ms=percentile(latencies, 95) * 1e3,
+        p99_ms=percentile(latencies, 99) * 1e3,
+        mean_ms=mean * 1e3,
+        busy=busy,
+        timeouts=timeouts,
+        errors=errors,
+        per_kind=per_kind,
+    )
+
+
+async def _preload(
+    client: McCuckooClient, ops: List[Op], rounds: int = 10
+) -> None:
+    """Load the working set, retrying ops the server bounced with BUSY."""
+    pending = ops
+    for _ in range(rounds):
+        bounced: List[Op] = []
+        for start in range(0, len(pending), 128):
+            chunk = pending[start:start + 128]
+            replies = await client.batch(chunk)
+            bounced.extend(
+                op
+                for op, reply in zip(chunk, replies)
+                if isinstance(reply, ErrorReply)
+                and reply.code is ErrorCode.BUSY
+            )
+        if not bounced:
+            return
+        pending = bounced
+        await asyncio.sleep(0.01)
+    raise ServeError(ErrorCode.BUSY,
+                     f"{len(pending)} preload ops still bounced after "
+                     f"{rounds} rounds")
+
+
+async def _issue_one(client: McCuckooClient, op: Op) -> None:
+    verb = op[0]
+    if verb == "get":
+        await client.get(op[1])
+    elif verb == "put":
+        await client.put(op[1], op[2])
+    elif verb == "delete":
+        await client.delete(op[1])
+    else:
+        raise ValueError(f"unknown op verb {verb!r}")

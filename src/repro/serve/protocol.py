@@ -1,0 +1,399 @@
+"""Length-prefixed binary wire protocol for the McCuckoo KV service.
+
+Every frame on the wire is ``u32 body-length (big-endian)`` followed by the
+body.  A body starts with a fixed three-byte header — magic ``0xC3``,
+protocol version, opcode — and continues with an opcode-specific payload:
+
+=========  ====  =======================================================
+opcode     dir   payload
+=========  ====  =======================================================
+GET        req   key ``u64``
+PUT        req   key ``u64``, value ``u32`` length + bytes
+DELETE     req   key ``u64``
+BATCH      req   ``u16`` count, then count sub-requests (opcode + payload,
+                 no header; nesting a BATCH is a protocol error)
+STATS      req   empty
+VALUE      rep   found ``u8``, value ``u32`` length + bytes
+PUT_OK     rep   created ``u8`` (1 = new key, 0 = in-place update)
+DELETE_OK  rep   deleted ``u8``
+STATS_OK   rep   ``u32`` length + UTF-8 JSON object (str → number)
+BATCH_OK   rep   ``u16`` count, then count sub-replies (opcode + payload)
+ERROR      rep   code ``u8``, ``u16`` length + UTF-8 message
+=========  ====  =======================================================
+
+Encode/decode are pure functions over ``bytes`` — unit-testable without a
+socket.  The two tiny stream helpers (:func:`read_frame`,
+:func:`write_frame`) are the only asyncio-aware code here.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import struct
+from dataclasses import dataclass, field
+from enum import IntEnum
+from typing import Dict, Tuple, Union
+
+from ..core.errors import ReproError
+
+MAGIC = 0xC3
+VERSION = 1
+
+#: default cap on one frame body; protects both peers from unbounded buffering
+MAX_FRAME_BYTES = 1 << 20
+
+_LEN = struct.Struct(">I")
+_HEADER = struct.Struct(">BBB")
+_U64 = struct.Struct(">Q")
+_U32 = struct.Struct(">I")
+_U16 = struct.Struct(">H")
+_U8 = struct.Struct(">B")
+
+
+class Opcode(IntEnum):
+    """Request opcodes (low range) and reply opcodes (high bit set)."""
+
+    GET = 0x01
+    PUT = 0x02
+    DELETE = 0x03
+    BATCH = 0x04
+    STATS = 0x05
+
+    VALUE = 0x81
+    PUT_OK = 0x82
+    DELETE_OK = 0x83
+    STATS_OK = 0x84
+    BATCH_OK = 0x85
+    ERROR = 0xFF
+
+
+class ErrorCode(IntEnum):
+    """Error frame codes; the server never closes a connection silently."""
+
+    BAD_REQUEST = 1
+    BUSY = 2
+    TIMEOUT = 3
+    TOO_LARGE = 4
+    INTERNAL = 5
+    BAD_VERSION = 6
+
+
+class ProtocolError(ReproError):
+    """A frame could not be encoded or decoded."""
+
+
+# ----------------------------------------------------------------------
+# message types
+# ----------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class GetRequest:
+    key: int
+
+
+@dataclass(frozen=True)
+class PutRequest:
+    key: int
+    value: bytes
+
+
+@dataclass(frozen=True)
+class DeleteRequest:
+    key: int
+
+
+@dataclass(frozen=True)
+class StatsRequest:
+    pass
+
+
+@dataclass(frozen=True)
+class BatchRequest:
+    ops: Tuple["SimpleRequest", ...]
+
+
+SimpleRequest = Union[GetRequest, PutRequest, DeleteRequest, StatsRequest]
+Request = Union[SimpleRequest, BatchRequest]
+
+
+@dataclass(frozen=True)
+class ValueReply:
+    found: bool
+    value: bytes = b""
+
+
+@dataclass(frozen=True)
+class PutReply:
+    created: bool
+
+
+@dataclass(frozen=True)
+class DeleteReply:
+    deleted: bool
+
+
+@dataclass(frozen=True)
+class StatsReply:
+    stats: Dict[str, float] = field(default_factory=dict)
+
+
+@dataclass(frozen=True)
+class ErrorReply:
+    code: ErrorCode
+    message: str = ""
+
+
+@dataclass(frozen=True)
+class BatchReply:
+    replies: Tuple["SimpleReply", ...]
+
+
+SimpleReply = Union[ValueReply, PutReply, DeleteReply, StatsReply, ErrorReply]
+Reply = Union[SimpleReply, BatchReply]
+
+
+# ----------------------------------------------------------------------
+# encoding
+# ----------------------------------------------------------------------
+
+
+def _encode_request_body(request: SimpleRequest) -> bytes:
+    if isinstance(request, GetRequest):
+        return _U8.pack(Opcode.GET) + _U64.pack(request.key)
+    if isinstance(request, PutRequest):
+        return (
+            _U8.pack(Opcode.PUT)
+            + _U64.pack(request.key)
+            + _U32.pack(len(request.value))
+            + request.value
+        )
+    if isinstance(request, DeleteRequest):
+        return _U8.pack(Opcode.DELETE) + _U64.pack(request.key)
+    if isinstance(request, StatsRequest):
+        return _U8.pack(Opcode.STATS)
+    raise ProtocolError(f"cannot encode request of type {type(request).__name__}")
+
+
+def encode_request(request: Request) -> bytes:
+    """Encode a request into a complete frame (length prefix included)."""
+    prefix = struct.pack(">BB", MAGIC, VERSION)
+    if isinstance(request, BatchRequest):
+        if len(request.ops) > 0xFFFF:
+            raise ProtocolError("batch exceeds 65535 operations")
+        parts = [prefix, _U8.pack(Opcode.BATCH), _U16.pack(len(request.ops))]
+        for op in request.ops:
+            if isinstance(op, BatchRequest):
+                raise ProtocolError("batches cannot nest")
+            parts.append(_encode_request_body(op))
+        body = b"".join(parts)
+    else:
+        body = prefix + _encode_request_body(request)
+    return _LEN.pack(len(body)) + body
+
+
+def _encode_reply_body(reply: SimpleReply) -> bytes:
+    if isinstance(reply, ValueReply):
+        return (
+            _U8.pack(Opcode.VALUE)
+            + _U8.pack(int(reply.found))
+            + _U32.pack(len(reply.value))
+            + reply.value
+        )
+    if isinstance(reply, PutReply):
+        return _U8.pack(Opcode.PUT_OK) + _U8.pack(int(reply.created))
+    if isinstance(reply, DeleteReply):
+        return _U8.pack(Opcode.DELETE_OK) + _U8.pack(int(reply.deleted))
+    if isinstance(reply, StatsReply):
+        blob = json.dumps(reply.stats, sort_keys=True).encode("utf-8")
+        return _U8.pack(Opcode.STATS_OK) + _U32.pack(len(blob)) + blob
+    if isinstance(reply, ErrorReply):
+        message = reply.message.encode("utf-8")[:0xFFFF]
+        return (
+            _U8.pack(Opcode.ERROR)
+            + _U8.pack(int(reply.code))
+            + _U16.pack(len(message))
+            + message
+        )
+    raise ProtocolError(f"cannot encode reply of type {type(reply).__name__}")
+
+
+def encode_reply(reply: Reply) -> bytes:
+    """Encode a reply into a complete frame (length prefix included)."""
+    prefix = struct.pack(">BB", MAGIC, VERSION)
+    if isinstance(reply, BatchReply):
+        parts = [prefix, _U8.pack(Opcode.BATCH_OK), _U16.pack(len(reply.replies))]
+        for sub in reply.replies:
+            if isinstance(sub, BatchReply):
+                raise ProtocolError("batches cannot nest")
+            parts.append(_encode_reply_body(sub))
+        body = b"".join(parts)
+    else:
+        body = prefix + _encode_reply_body(reply)
+    return _LEN.pack(len(body)) + body
+
+
+# ----------------------------------------------------------------------
+# decoding
+# ----------------------------------------------------------------------
+
+
+class _Cursor:
+    """Sequential reader over a frame body with bounds checking."""
+
+    def __init__(self, data: bytes) -> None:
+        self._data = data
+        self._pos = 0
+
+    def take(self, count: int) -> bytes:
+        if self._pos + count > len(self._data):
+            raise ProtocolError("truncated frame")
+        chunk = self._data[self._pos : self._pos + count]
+        self._pos += count
+        return chunk
+
+    def u8(self) -> int:
+        return _U8.unpack(self.take(1))[0]
+
+    def u16(self) -> int:
+        return _U16.unpack(self.take(2))[0]
+
+    def u32(self) -> int:
+        return _U32.unpack(self.take(4))[0]
+
+    def u64(self) -> int:
+        return _U64.unpack(self.take(8))[0]
+
+    def blob(self, length_bytes: int = 4) -> bytes:
+        length = self.u32() if length_bytes == 4 else self.u16()
+        return self.take(length)
+
+    @property
+    def exhausted(self) -> bool:
+        return self._pos == len(self._data)
+
+
+def _check_header(cursor: _Cursor) -> None:
+    magic, version = cursor.u8(), cursor.u8()
+    if magic != MAGIC:
+        raise ProtocolError(f"bad magic byte {magic:#x}")
+    if version != VERSION:
+        raise ProtocolError(f"unsupported protocol version {version}")
+
+
+def _decode_request_body(cursor: _Cursor) -> SimpleRequest:
+    opcode = cursor.u8()
+    if opcode == Opcode.GET:
+        return GetRequest(cursor.u64())
+    if opcode == Opcode.PUT:
+        key = cursor.u64()
+        return PutRequest(key, cursor.blob())
+    if opcode == Opcode.DELETE:
+        return DeleteRequest(cursor.u64())
+    if opcode == Opcode.STATS:
+        return StatsRequest()
+    if opcode == Opcode.BATCH:
+        raise ProtocolError("batches cannot nest")
+    raise ProtocolError(f"unknown request opcode {opcode:#x}")
+
+
+def decode_request(body: bytes) -> Request:
+    """Decode a frame body (without the length prefix) into a request."""
+    cursor = _Cursor(body)
+    _check_header(cursor)
+    if body[2:3] and body[2] == Opcode.BATCH:
+        cursor.u8()  # consume the BATCH opcode
+        count = cursor.u16()
+        ops = tuple(_decode_request_body(cursor) for _ in range(count))
+        request: Request = BatchRequest(ops)
+    else:
+        request = _decode_request_body(cursor)
+    if not cursor.exhausted:
+        raise ProtocolError("trailing bytes after request")
+    return request
+
+
+def _decode_reply_body(cursor: _Cursor) -> SimpleReply:
+    opcode = cursor.u8()
+    if opcode == Opcode.VALUE:
+        found = bool(cursor.u8())
+        return ValueReply(found, cursor.blob())
+    if opcode == Opcode.PUT_OK:
+        return PutReply(bool(cursor.u8()))
+    if opcode == Opcode.DELETE_OK:
+        return DeleteReply(bool(cursor.u8()))
+    if opcode == Opcode.STATS_OK:
+        blob = cursor.blob()
+        try:
+            stats = json.loads(blob.decode("utf-8"))
+        except (UnicodeDecodeError, json.JSONDecodeError) as error:
+            raise ProtocolError(f"malformed stats payload: {error}") from error
+        if not isinstance(stats, dict):
+            raise ProtocolError("stats payload must be a JSON object")
+        return StatsReply(stats)
+    if opcode == Opcode.ERROR:
+        code = cursor.u8()
+        try:
+            error_code = ErrorCode(code)
+        except ValueError as error:
+            raise ProtocolError(f"unknown error code {code}") from error
+        return ErrorReply(error_code, cursor.blob(length_bytes=2).decode("utf-8"))
+    if opcode == Opcode.BATCH_OK:
+        raise ProtocolError("batches cannot nest")
+    raise ProtocolError(f"unknown reply opcode {opcode:#x}")
+
+
+def decode_reply(body: bytes) -> Reply:
+    """Decode a frame body (without the length prefix) into a reply."""
+    cursor = _Cursor(body)
+    _check_header(cursor)
+    if body[2:3] and body[2] == Opcode.BATCH_OK:
+        cursor.u8()  # consume the BATCH_OK opcode
+        count = cursor.u16()
+        replies = tuple(_decode_reply_body(cursor) for _ in range(count))
+        reply: Reply = BatchReply(replies)
+    else:
+        reply = _decode_reply_body(cursor)
+    if not cursor.exhausted:
+        raise ProtocolError("trailing bytes after reply")
+    return reply
+
+
+# ----------------------------------------------------------------------
+# stream framing
+# ----------------------------------------------------------------------
+
+
+async def read_frame(
+    reader: asyncio.StreamReader, max_frame_bytes: int = MAX_FRAME_BYTES
+) -> bytes:
+    """Read one frame body; returns ``b""`` on clean EOF before a frame.
+
+    Raises :class:`ProtocolError` on a torn frame or one whose declared
+    length exceeds ``max_frame_bytes`` (the oversize body is *not* read —
+    the connection must be dropped, since framing is lost).
+    """
+    prefix = await reader.read(_LEN.size)
+    if not prefix:
+        return b""
+    while len(prefix) < _LEN.size:
+        more = await reader.read(_LEN.size - len(prefix))
+        if not more:
+            raise ProtocolError("connection closed mid length-prefix")
+        prefix += more
+    (length,) = _LEN.unpack(prefix)
+    if length < 3:
+        raise ProtocolError(f"frame body too short ({length} bytes)")
+    if length > max_frame_bytes:
+        raise ProtocolError(f"frame of {length} bytes exceeds {max_frame_bytes}")
+    try:
+        return await reader.readexactly(length)
+    except asyncio.IncompleteReadError as error:
+        raise ProtocolError("connection closed mid frame") from error
+
+
+async def write_frame(writer: asyncio.StreamWriter, frame: bytes) -> None:
+    """Write one already-encoded frame and drain (applies backpressure)."""
+    writer.write(frame)
+    await writer.drain()

@@ -1,0 +1,369 @@
+"""Asyncio TCP server fronting the sharded log-structured McCuckoo store.
+
+Concurrency model — the paper's one-writer-many-readers discipline
+(§III.H), lifted to the request path:
+
+* **Reads** (GET, STATS) execute inline in the connection handler, so any
+  number of connections read concurrently.
+* **Writes** (PUT, DELETE) are routed to the owning shard's single writer
+  task through a *bounded* ``asyncio.Queue``.  One writer per shard means
+  mutations on a shard are totally ordered; writers on different shards
+  never touch shared state.
+* **Backpressure** is explicit: a full writer queue answers with a BUSY
+  error frame immediately instead of buffering without bound.  Likewise a
+  connection over the limit is greeted with BUSY and closed, and a request
+  that exceeds the per-request timeout gets a TIMEOUT frame.
+
+Every reply is a frame; the server never drops a request silently.  The
+only event that closes a connection from the server side is a framing
+violation (bad length prefix or an oversized frame), after which byte
+boundaries are unrecoverable.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+from .protocol import (
+    MAX_FRAME_BYTES,
+    BatchReply,
+    BatchRequest,
+    DeleteReply,
+    DeleteRequest,
+    ErrorCode,
+    ErrorReply,
+    GetRequest,
+    ProtocolError,
+    PutReply,
+    PutRequest,
+    Reply,
+    Request,
+    SimpleReply,
+    SimpleRequest,
+    StatsReply,
+    StatsRequest,
+    ValueReply,
+    decode_request,
+    encode_reply,
+    read_frame,
+    write_frame,
+)
+from .stats import ServeStats
+from .store import ShardedLogStore
+
+
+@dataclass
+class ServerConfig:
+    """Tunables for one :class:`McCuckooServer`."""
+
+    host: str = "127.0.0.1"
+    port: int = 0  # 0 → OS-assigned; read back from ``server.address``
+    n_shards: int = 4
+    expected_items: int = 4096
+    seed: int = 0
+    max_connections: int = 64
+    max_frame_bytes: int = MAX_FRAME_BYTES
+    writer_queue_depth: int = 128
+    request_timeout: float = 5.0
+    max_batch_ops: int = 1024
+    write_stall: float = 0.0
+    """Artificial per-write delay in seconds — a fault-injection hook used
+    by backpressure/timeout tests and chaos experiments; keep 0 in prod."""
+
+
+class McCuckooServer:
+    """TCP front end over a :class:`ShardedLogStore`."""
+
+    def __init__(
+        self,
+        config: Optional[ServerConfig] = None,
+        store: Optional[ShardedLogStore] = None,
+    ) -> None:
+        self.config = config if config is not None else ServerConfig()
+        self.store = store if store is not None else ShardedLogStore(
+            n_shards=self.config.n_shards,
+            expected_items=self.config.expected_items,
+            seed=self.config.seed,
+        )
+        self.stats = ServeStats()
+        self._server: Optional[asyncio.AbstractServer] = None
+        self._write_queues: List[asyncio.Queue] = []
+        self._writer_tasks: List[asyncio.Task] = []
+        self._connections = 0
+
+    # ------------------------------------------------------------------
+    # lifecycle
+    # ------------------------------------------------------------------
+
+    @property
+    def address(self) -> Tuple[str, int]:
+        """The bound (host, port); valid after :meth:`start`."""
+        if self._server is None:
+            raise RuntimeError("server is not running")
+        sock = self._server.sockets[0]
+        host, port = sock.getsockname()[:2]
+        return host, port
+
+    async def start(self) -> Tuple[str, int]:
+        """Bind, spawn per-shard writers, and begin accepting connections."""
+        if self._server is not None:
+            raise RuntimeError("server already started")
+        self._write_queues = [
+            asyncio.Queue(maxsize=self.config.writer_queue_depth)
+            for _ in range(self.store.n_shards)
+        ]
+        self._writer_tasks = [
+            asyncio.create_task(self._writer_loop(queue))
+            for queue in self._write_queues
+        ]
+        self._server = await asyncio.start_server(
+            self._on_connection, host=self.config.host, port=self.config.port
+        )
+        return self.address
+
+    async def stop(self) -> None:
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+            self._server = None
+        for task in self._writer_tasks:
+            task.cancel()
+        for task in self._writer_tasks:
+            try:
+                await task
+            except asyncio.CancelledError:
+                pass
+        self._writer_tasks = []
+        self._write_queues = []
+
+    async def serve_forever(self) -> None:
+        if self._server is None:
+            await self.start()
+        assert self._server is not None
+        await self._server.serve_forever()
+
+    async def __aenter__(self) -> "McCuckooServer":
+        await self.start()
+        return self
+
+    async def __aexit__(self, *exc_info) -> None:
+        await self.stop()
+
+    # ------------------------------------------------------------------
+    # write path: one writer task per shard
+    # ------------------------------------------------------------------
+
+    async def _writer_loop(self, queue: asyncio.Queue) -> None:
+        while True:
+            request, future = await queue.get()
+            try:
+                if self.config.write_stall:
+                    await asyncio.sleep(self.config.write_stall)
+                reply = self._apply_write(request)
+                if not future.done():
+                    future.set_result(reply)
+            except asyncio.CancelledError:
+                if not future.done():
+                    future.set_exception(asyncio.CancelledError())
+                raise
+            except Exception as error:  # surface as INTERNAL, keep writing
+                if not future.done():
+                    future.set_exception(error)
+            finally:
+                queue.task_done()
+
+    def _apply_write(self, request: SimpleRequest) -> SimpleReply:
+        if isinstance(request, PutRequest):
+            result = self.store.put(request.key, request.value)
+            self.stats.note_put(
+                result.created, kicks=result.kicks, stashed=result.stashed
+            )
+            return PutReply(created=result.created)
+        assert isinstance(request, DeleteRequest)
+        deleted = self.store.delete(request.key)
+        self.stats.note_delete(deleted)
+        return DeleteReply(deleted=deleted)
+
+    async def _submit_write(self, request: SimpleRequest) -> SimpleReply:
+        shard = self.store.shard_index(request.key)
+        queue = self._write_queues[shard]
+        future: asyncio.Future = asyncio.get_running_loop().create_future()
+        try:
+            queue.put_nowait((request, future))
+        except asyncio.QueueFull:
+            self.stats.busy_rejections += 1
+            return ErrorReply(
+                ErrorCode.BUSY,
+                f"shard {shard} writer queue full "
+                f"({self.config.writer_queue_depth} pending)",
+            )
+        return await future
+
+    # ------------------------------------------------------------------
+    # dispatch
+    # ------------------------------------------------------------------
+
+    async def _handle_request(self, request: Request) -> Reply:
+        if isinstance(request, GetRequest):
+            value = self.store.get(request.key)
+            self.stats.note_get(hit=value is not None)
+            if value is None:
+                return ValueReply(found=False)
+            return ValueReply(found=True, value=bytes(value))
+        if isinstance(request, (PutRequest, DeleteRequest)):
+            return await self._submit_write(request)
+        if isinstance(request, StatsRequest):
+            self.stats.stats_calls += 1
+            return StatsReply(self._stats_snapshot())
+        assert isinstance(request, BatchRequest)
+        if len(request.ops) > self.config.max_batch_ops:
+            return ErrorReply(
+                ErrorCode.TOO_LARGE,
+                f"batch of {len(request.ops)} ops exceeds "
+                f"{self.config.max_batch_ops}",
+            )
+        self.stats.batches += 1
+        self.stats.batch_ops += len(request.ops)
+        return await self._handle_batch(request)
+
+    async def _handle_batch(self, request: BatchRequest) -> BatchReply:
+        """Ordered batch: writes pipeline into the shard queues without
+        waiting (a burst can still draw BUSY), while a read first drains
+        every earlier write in the batch — read-your-writes within a
+        batch, per-shard write order preserved."""
+        replies: List[Optional[SimpleReply]] = [None] * len(request.ops)
+        pending: List[Tuple[int, asyncio.Future]] = []
+
+        async def drain() -> None:
+            for index, future in pending:
+                try:
+                    replies[index] = await future
+                except Exception as error:
+                    self.stats.internal_errors += 1
+                    replies[index] = ErrorReply(ErrorCode.INTERNAL, str(error))
+            pending.clear()
+
+        loop = asyncio.get_running_loop()
+        for index, op in enumerate(request.ops):
+            if isinstance(op, (PutRequest, DeleteRequest)):
+                shard = self.store.shard_index(op.key)
+                future: asyncio.Future = loop.create_future()
+                try:
+                    self._write_queues[shard].put_nowait((op, future))
+                except asyncio.QueueFull:
+                    self.stats.busy_rejections += 1
+                    replies[index] = ErrorReply(
+                        ErrorCode.BUSY,
+                        f"shard {shard} writer queue full "
+                        f"({self.config.writer_queue_depth} pending)",
+                    )
+                else:
+                    pending.append((index, future))
+            else:
+                await drain()
+                replies[index] = await self._handle_simple(op)
+        await drain()
+        assert all(reply is not None for reply in replies)
+        return BatchReply(tuple(replies))  # type: ignore[arg-type]
+
+    async def _handle_simple(self, request: SimpleRequest) -> SimpleReply:
+        try:
+            reply = await self._handle_request(request)
+        except Exception as error:
+            self.stats.internal_errors += 1
+            return ErrorReply(ErrorCode.INTERNAL, str(error))
+        assert not isinstance(reply, BatchReply)
+        return reply
+
+    def _stats_snapshot(self) -> dict:
+        self.stats.gauges = {
+            "connections_active": self._connections,
+            "writer_queue_depth": sum(
+                queue.qsize() for queue in self._write_queues
+            ),
+            **self.store.stats_snapshot(),
+        }
+        return self.stats.snapshot()
+
+    # ------------------------------------------------------------------
+    # connection handling
+    # ------------------------------------------------------------------
+
+    async def _on_connection(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        if self._connections >= self.config.max_connections:
+            self.stats.connections_rejected += 1
+            try:
+                await write_frame(
+                    writer,
+                    encode_reply(
+                        ErrorReply(
+                            ErrorCode.BUSY,
+                            f"connection limit {self.config.max_connections} "
+                            "reached",
+                        )
+                    ),
+                )
+            except (ConnectionError, OSError):
+                pass
+            writer.close()
+            return
+        self._connections += 1
+        self.stats.connections_opened += 1
+        try:
+            await self._serve_connection(reader, writer)
+        except (ConnectionError, OSError):
+            pass  # peer went away; nothing to answer
+        finally:
+            self._connections -= 1
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionError, OSError, asyncio.CancelledError):
+                # swallowing cancellation here is deliberate: the handler is
+                # already tearing down, and letting it escape makes the
+                # stream-protocol callback log a spurious traceback
+                pass
+
+    async def _serve_connection(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        while True:
+            try:
+                body = await read_frame(reader, self.config.max_frame_bytes)
+            except ProtocolError as error:
+                # framing is lost; answer once and hang up
+                self.stats.bad_frames += 1
+                await write_frame(
+                    writer,
+                    encode_reply(ErrorReply(ErrorCode.TOO_LARGE, str(error))),
+                )
+                return
+            if not body:
+                return  # clean EOF
+            reply = await self._answer(body)
+            await write_frame(writer, encode_reply(reply))
+
+    async def _answer(self, body: bytes) -> Reply:
+        try:
+            request = decode_request(body)
+        except ProtocolError as error:
+            self.stats.bad_frames += 1
+            return ErrorReply(ErrorCode.BAD_REQUEST, str(error))
+        self.stats.requests += 1
+        try:
+            return await asyncio.wait_for(
+                self._handle_request(request), self.config.request_timeout
+            )
+        except asyncio.TimeoutError:
+            self.stats.timeouts += 1
+            return ErrorReply(
+                ErrorCode.TIMEOUT,
+                f"request exceeded {self.config.request_timeout}s",
+            )
+        except Exception as error:
+            self.stats.internal_errors += 1
+            return ErrorReply(ErrorCode.INTERNAL, str(error))

@@ -1,0 +1,87 @@
+"""Per-operation serving counters, exposed through the STATS verb.
+
+The server owns one :class:`ServeStats` and bumps it on every request;
+:meth:`ServeStats.snapshot` flattens the counters into the ``str → number``
+dict that travels inside a ``STATS_OK`` frame.  Index-level gauges (items,
+load, stash population, writer-queue depths) are merged in by the server at
+snapshot time, so a client sees one coherent view of the serving path *and*
+the McCuckoo machinery under it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict
+
+
+@dataclass
+class ServeStats:
+    """Monotonic counters for one server's lifetime."""
+
+    connections_opened: int = 0
+    connections_rejected: int = 0
+    requests: int = 0
+
+    gets: int = 0
+    get_hits: int = 0
+    get_misses: int = 0
+
+    puts: int = 0
+    put_creates: int = 0
+    put_updates: int = 0
+    put_kicks: int = 0
+    put_stashed: int = 0
+
+    deletes: int = 0
+    delete_hits: int = 0
+    delete_misses: int = 0
+
+    batches: int = 0
+    batch_ops: int = 0
+    stats_calls: int = 0
+
+    busy_rejections: int = 0
+    timeouts: int = 0
+    bad_frames: int = 0
+    internal_errors: int = 0
+
+    gauges: Dict[str, float] = field(default_factory=dict)
+    """Point-in-time values merged into the snapshot (queue depth, load...)."""
+
+    # ------------------------------------------------------------------
+
+    def note_get(self, hit: bool) -> None:
+        self.gets += 1
+        if hit:
+            self.get_hits += 1
+        else:
+            self.get_misses += 1
+
+    def note_put(self, created: bool, kicks: int = 0, stashed: bool = False) -> None:
+        self.puts += 1
+        if created:
+            self.put_creates += 1
+        else:
+            self.put_updates += 1
+        self.put_kicks += kicks
+        if stashed:
+            self.put_stashed += 1
+
+    def note_delete(self, deleted: bool) -> None:
+        self.deletes += 1
+        if deleted:
+            self.delete_hits += 1
+        else:
+            self.delete_misses += 1
+
+    # ------------------------------------------------------------------
+
+    def snapshot(self) -> Dict[str, float]:
+        """Flatten counters plus gauges into one wire-ready dict."""
+        flat: Dict[str, float] = {
+            name: value
+            for name, value in vars(self).items()
+            if isinstance(value, (int, float))
+        }
+        flat.update(self.gauges)
+        return flat

@@ -1,0 +1,124 @@
+"""Sharded log-structured store: the backend behind the TCP server.
+
+Each shard is an independent :class:`~repro.apps.kvstore.LogStructuredStore`
+(its own value log and resizable McCuckoo index), and keys are routed with
+the same salt-keyed :class:`~repro.core.sharded.ShardRouter` the in-process
+:class:`~repro.core.sharded.ShardedMcCuckoo` uses.  The server gives every
+shard exactly one writer task, which is what makes this composition honor
+the paper's one-writer-many-readers model (§III.H): mutations on a shard
+are serialized through its queue while lookups on any shard run freely.
+
+The store itself is synchronous and single-threaded; all concurrency
+control lives in the server's queueing.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional
+
+from ..apps.kvstore import LogStructuredStore
+from ..core.errors import ConfigurationError
+from ..core.results import InsertStatus
+from ..core.sharded import ShardRouter
+from ..hashing import KeyLike, canonical_key
+
+_MISSING = object()
+
+
+class ShardedLogStore:
+    """N independent log-structured stores behind one key-routed facade."""
+
+    def __init__(
+        self,
+        n_shards: int = 4,
+        expected_items: int = 4096,
+        seed: int = 0,
+    ) -> None:
+        if expected_items <= 0:
+            raise ConfigurationError("expected_items must be positive")
+        self._router = ShardRouter(n_shards, seed=seed)
+        per_shard = max(64, expected_items // n_shards)
+        self._shards: List[LogStructuredStore] = [
+            LogStructuredStore(expected_items=per_shard, seed=seed + 101 * index + 1)
+            for index in range(n_shards)
+        ]
+
+    # ------------------------------------------------------------------
+
+    @property
+    def n_shards(self) -> int:
+        return self._router.n_shards
+
+    @property
+    def shards(self) -> List[LogStructuredStore]:
+        return list(self._shards)
+
+    def shard_index(self, key: KeyLike) -> int:
+        return self._router.shard_of(canonical_key(key))
+
+    def shard_for(self, key: KeyLike) -> LogStructuredStore:
+        return self._shards[self.shard_index(key)]
+
+    def __len__(self) -> int:
+        return sum(len(shard) for shard in self._shards)
+
+    # ------------------------------------------------------------------
+    # operations (synchronous; the server serializes writes per shard)
+    # ------------------------------------------------------------------
+
+    def get(self, key: KeyLike) -> Optional[Any]:
+        """The stored value, or None if absent (empty values are `b""`)."""
+        value = self.shard_for(key).get(key, _MISSING)
+        return None if value is _MISSING else value
+
+    def put(self, key: KeyLike, value: Any) -> "PutResult":
+        outcome = self.shard_for(key).put(key, value)
+        return PutResult(
+            created=outcome.status is not InsertStatus.UPDATED,
+            kicks=outcome.kicks,
+            stashed=outcome.stashed,
+        )
+
+    def delete(self, key: KeyLike) -> bool:
+        return self.shard_for(key).delete(key)
+
+    # ------------------------------------------------------------------
+
+    def stats_snapshot(self) -> Dict[str, float]:
+        """Index- and log-level gauges for the STATS verb."""
+        items = len(self)
+        log_records = sum(shard.log_records for shard in self._shards)
+        stash = 0
+        capacity = 0
+        for shard in self._shards:
+            index = shard.index
+            capacity += index.capacity
+            for table in (index.active_table, index.retiring_table):
+                if table is not None and table.stash is not None:
+                    stash += len(table.stash)
+        loads = [shard.index.load_ratio for shard in self._shards]
+        mean_load = sum(loads) / len(loads)
+        return {
+            "store_items": items,
+            "store_log_records": log_records,
+            "store_garbage_ratio": round(
+                1.0 - items / log_records if log_records else 0.0, 6
+            ),
+            "index_capacity": capacity,
+            "index_load_ratio": round(mean_load, 6),
+            "index_imbalance": round(
+                max(loads) / mean_load if mean_load else 1.0, 6
+            ),
+            "index_stash_population": stash,
+        }
+
+
+class PutResult:
+    """What the serving layer needs to know about one accepted write."""
+
+    __slots__ = ("created", "kicks", "stashed")
+
+    def __init__(self, created: bool, kicks: int, stashed: bool) -> None:
+        self.created = created
+        self.kicks = kicks
+        self.stashed = stashed

@@ -1,7 +1,5 @@
 """Tests for the terminal plotting helpers."""
 
-import pytest
-
 from repro.analysis.plots import chart_experiment, line_chart, sparkline
 from repro.analysis.tables import ExperimentResult
 

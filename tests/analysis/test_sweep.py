@@ -1,7 +1,5 @@
 """Tests for the sweep building blocks."""
 
-import pytest
-
 from repro.analysis.sweep import (
     BLOCKED_LOADS,
     SINGLE_SLOT_LOADS,
@@ -74,7 +72,7 @@ class TestMeasuredFill:
 
     def test_saturation_stops_early(self):
         table = make_schemes(Scale(n_single=30), seed=10)["Cuckoo"]()
-        points = measured_fill(table, (0.5, 0.99), key_stream(seed=11))
+        measured_fill(table, (0.5, 0.99), key_stream(seed=11))
         # single-copy d=3 cuckoo cannot reach 99 %: the fill must bail out
         assert table.load_ratio < 0.99
 

@@ -3,6 +3,8 @@
 import pytest
 
 from repro.apps import LogStructuredStore, ValueLog
+from repro.core.errors import TableFullError
+from repro.core.results import InsertOutcome, InsertStatus
 from repro.workloads import distinct_keys
 
 
@@ -84,6 +86,51 @@ class TestStoreBasics:
             assert store.get(key) == key & 0xFF
 
 
+class TestPutAtomicity:
+    """A rejected index insert must not leak an unreachable log record."""
+
+    def test_raising_index_put_leaks_no_log_record(self, monkeypatch):
+        store = LogStructuredStore(expected_items=100, seed=30)
+        store.put("settled", "v")
+        records_before = store.log_records
+        garbage_before = store.garbage_ratio
+
+        def explode(key, value):
+            raise RuntimeError("injected index failure")
+
+        monkeypatch.setattr(store.index, "put", explode)
+        with pytest.raises(RuntimeError, match="injected"):
+            store.put("doomed", "v")
+        monkeypatch.undo()
+
+        assert store.log_records == records_before
+        assert store.garbage_ratio == garbage_before
+        assert "doomed" not in store
+        assert len(store) == 1
+        # the store keeps working afterwards
+        store.put("next", "w")
+        assert store.get("next") == "w"
+
+    def test_failed_index_put_leaks_no_log_record(self, monkeypatch):
+        store = LogStructuredStore(expected_items=100, seed=31)
+        monkeypatch.setattr(
+            store.index,
+            "put",
+            lambda key, value: InsertOutcome(InsertStatus.FAILED),
+        )
+        with pytest.raises(TableFullError):
+            store.put("doomed", "v")
+        monkeypatch.undo()
+        assert store.log_records == 0
+        assert len(store) == 0
+        assert store.garbage_ratio == 0.0
+
+    def test_put_reports_index_outcome(self):
+        store = LogStructuredStore(expected_items=100, seed=32)
+        assert store.put("k", "v1").status is InsertStatus.STORED
+        assert store.put("k", "v2").status is InsertStatus.UPDATED
+
+
 class TestGarbageAndCompaction:
     def test_garbage_ratio_tracks_dead_records(self):
         store = LogStructuredStore(expected_items=100, seed=9)
@@ -135,6 +182,34 @@ class TestRecovery:
         for index, key in enumerate(keys):
             if index >= 60:
                 assert recovered.get(key) == index
+
+    def test_recovered_store_starts_with_zero_garbage(self):
+        """Replaying tombstones verbatim used to append *fresh* tombstones
+        to the recovered log; recovery must rebuild only live state."""
+        store = LogStructuredStore(expected_items=200, seed=33)
+        keys = distinct_keys(80, seed=34)
+        for key in keys:
+            store.put(key, "v1")
+        for key in keys[:40]:
+            store.put(key, "v2")  # superseded records
+        for key in keys[40:60]:
+            store.delete(key)  # tombstones
+        assert store.garbage_ratio > 0.0
+
+        recovered = store.recover()
+        assert recovered.garbage_ratio == 0.0
+        assert recovered.log_records == len(recovered) == 60
+        for key in keys[:40]:
+            assert recovered.get(key) == "v2"
+        for key in keys[40:60]:
+            assert key not in recovered
+        for key in keys[60:]:
+            assert recovered.get(key) == "v1"
+
+    def test_recover_empty_store(self):
+        recovered = LogStructuredStore(expected_items=10, seed=35).recover()
+        assert len(recovered) == 0
+        assert recovered.garbage_ratio == 0.0
 
     def test_recover_after_compaction(self):
         store = LogStructuredStore(expected_items=100, seed=15)

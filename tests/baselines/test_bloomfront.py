@@ -1,7 +1,5 @@
 """BloomFrontedCuckoo: the EMOMA/DEHT-style on-chip pre-screen baseline."""
 
-import pytest
-
 from repro import McCuckoo
 from repro.baselines import BloomFrontedCuckoo
 from repro.workloads import distinct_keys, missing_keys

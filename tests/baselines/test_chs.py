@@ -1,7 +1,5 @@
 """CHS (cuckoo with a small on-chip stash) baseline tests."""
 
-import pytest
-
 from repro import CHS, TableFullError
 from repro.workloads import distinct_keys, key_stream, missing_keys
 

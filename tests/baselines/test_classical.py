@@ -91,7 +91,7 @@ class TestLinearProbing:
         table = LinearProbingTable(256, seed=264)
         keys = distinct_keys(250, seed=265)
         costs = []
-        for index, key in enumerate(keys):
+        for key in keys:
             before = table.mem.off_chip.reads
             table.put(key)
             costs.append(table.mem.off_chip.reads - before)

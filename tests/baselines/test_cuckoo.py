@@ -114,7 +114,6 @@ class TestFailurePolicies:
         stored = []
         failed = 0
         for key in keys:
-            snapshot = None
             outcome = table.put(key)
             if outcome.failed:
                 failed += 1

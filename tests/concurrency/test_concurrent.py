@@ -1,7 +1,5 @@
 """One-writer-many-readers tests: no reader ever misses a stored item."""
 
-import pytest
-
 from repro import ConcurrentMcCuckoo, McCuckoo
 from repro.concurrency import InterleaveReport, InterleavingHarness
 from repro.core import check_mccuckoo

@@ -5,7 +5,7 @@ import pytest
 from repro import ConcurrentMcCuckoo, DeletionMode, McCuckoo
 from repro.core import check_mccuckoo
 from repro.core.errors import UnsupportedOperationError
-from repro.workloads import distinct_keys, missing_keys
+from repro.workloads import distinct_keys
 
 
 def concurrent_table(seed=850, mode=DeletionMode.RESET, n_buckets=64):

@@ -1,7 +1,5 @@
 """Tests for counter-guided cuckoo-path discovery."""
 
-import pytest
-
 from repro import McCuckoo
 from repro.concurrency import find_cuckoo_path
 from repro.workloads import distinct_keys, key_stream

@@ -157,7 +157,7 @@ class TestTombstoneSpecifics:
         fresh = screened_fraction()
         live = list(keys)
         extra = missing_keys(3000, set(keys) | set(absent), seed=81)
-        for round_index in range(6):  # churn: delete half, insert new
+        for _round in range(6):  # churn: delete half, insert new
             for victim in live[: len(live) // 2]:
                 table.delete(victim)
             live = live[len(live) // 2 :]

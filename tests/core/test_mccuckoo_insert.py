@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro import DeletionMode, FailurePolicy, McCuckoo, SiblingTracking, TableFullError
+from repro import FailurePolicy, McCuckoo, SiblingTracking, TableFullError
 from repro.core import InsertStatus, check_mccuckoo
 from repro.core.errors import ConfigurationError
 from repro.workloads import distinct_keys

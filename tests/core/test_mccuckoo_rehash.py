@@ -1,7 +1,5 @@
 """McCuckoo rehash failure policy (the traditional remedy, §I/§II)."""
 
-import pytest
-
 from repro import FailurePolicy, McCuckoo
 from repro.core import check_mccuckoo
 from repro.workloads import distinct_keys

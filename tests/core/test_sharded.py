@@ -5,7 +5,7 @@ import pytest
 from repro import ConcurrentMcCuckoo, DeletionMode
 from repro.core import check_mccuckoo
 from repro.core.errors import ConfigurationError
-from repro.core.sharded import ShardedMcCuckoo
+from repro.core.sharded import ShardedMcCuckoo, ShardRouter
 from repro.workloads import TraceGenerator, distinct_keys, missing_keys, replay
 
 
@@ -31,10 +31,45 @@ class TestConstruction:
         assert len(hashers) == t.n_shards
 
 
+class TestShardRouter:
+    def test_rejects_nonpositive_shard_count(self):
+        with pytest.raises(ConfigurationError):
+            ShardRouter(0)
+
+    def test_deterministic_and_in_range(self):
+        router = ShardRouter(8, seed=21)
+        for key in distinct_keys(300, seed=22):
+            shard = router.shard_of(key)
+            assert 0 <= shard < 8
+            assert shard == router.shard_of(key)
+
+
 class TestRouting:
     def test_shard_index_stable(self):
         t = table()
         assert t.shard_index(42) == t.shard_index(42)
+
+    def test_routing_stable_across_instances_same_seed(self):
+        """Two tables built with the same seed agree on every key's owner
+        — routing must be a pure function of (n_shards, seed)."""
+        a = table(n_shards=8, n_buckets=16)
+        b = ShardedMcCuckoo(8, 64, seed=940, d=2,
+                            deletion_mode=DeletionMode.RESET)
+        for key in distinct_keys(300, seed=948):
+            assert a.shard_index(key) == b.shard_index(key)
+
+    def test_routing_differs_across_seeds(self):
+        a = ShardedMcCuckoo(8, 32, seed=1, deletion_mode=DeletionMode.RESET)
+        b = ShardedMcCuckoo(8, 32, seed=2, deletion_mode=DeletionMode.RESET)
+        keys = distinct_keys(300, seed=949)
+        moved = sum(a.shard_index(k) != b.shard_index(k) for k in keys)
+        assert moved > len(keys) // 2  # ~7/8 expected to move
+
+    def test_router_matches_facade(self):
+        t = table(n_shards=4)
+        router = ShardRouter(4, seed=940)
+        for key in distinct_keys(100, seed=950):
+            assert t.shard_index(key) == router.shard_of(key)
 
     def test_operations_hit_owning_shard_only(self):
         t = table()
@@ -88,6 +123,51 @@ class TestBalance:
     def test_shard_loads_reported(self):
         t = table(n_shards=4)
         assert t.shard_loads() == [0.0] * 4
+
+    def test_imbalance_on_empty_table_is_one(self):
+        assert table(n_shards=4).imbalance() == 1.0
+
+    def test_imbalance_on_skewed_table(self):
+        """Keys filtered onto a single shard drive max/mean to n_shards."""
+        t = table(n_shards=4, n_buckets=64)
+        stream = iter(distinct_keys(4000, seed=951))
+        placed = 0
+        for key in stream:
+            if t.shard_index(key) == 0:
+                t.put(key)
+                placed += 1
+                if placed == 50:
+                    break
+        assert placed == 50
+        assert t.imbalance() == pytest.approx(4.0)
+
+    def test_stash_population_starts_empty(self):
+        assert table(n_shards=4).stash_population() == 0
+
+
+class TestAccountingIsolation:
+    def test_shared_accounting_funnels_to_one_model(self):
+        t = table(n_shards=4, shared_accounting=True)
+        for key in distinct_keys(60, seed=952):
+            t.put(key)
+        assert all(shard.mem is t.mem for shard in t.shards)
+        assert t.mem.off_chip.writes > 0
+
+    def test_independent_accounting_keeps_models_separate(self):
+        t = table(n_shards=4, shared_accounting=False)
+        models = [shard.mem for shard in t.shards]
+        assert len({id(model) for model in models}) == 4
+        assert all(model is not t.mem for model in models)
+
+        key = distinct_keys(1, seed=953)[0]
+        owner = t.shard_index(key)
+        t.put(key, "v")
+        t.lookup(key)
+        assert t.mem.off_chip.writes == 0  # facade model untouched
+        assert models[owner].off_chip.writes > 0
+        for index, model in enumerate(models):
+            if index != owner:
+                assert model.off_chip.reads + model.off_chip.writes == 0
 
 
 class TestCorrectness:

@@ -6,8 +6,6 @@ snapshot/restore "restart", online growth under continued load, and a
 final integrity audit — the combination a real deployment would see.
 """
 
-import pytest
-
 from repro import (
     ConcurrentMcCuckoo,
     DeletionMode,

@@ -91,5 +91,5 @@ class TestLookupShapes:
     def test_single_copy_missing_lookup_is_blind(self, sweep):
         result = fig13_lookup_missing(SCALE, sweep=sweep)
         cu = result.series("load", "offchip_accesses_per_lookup", scheme="Cuckoo")
-        for load, value in cu.items():
+        for value in cu.values():
             assert value == pytest.approx(3.0)

@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.memory.model import AccessCounts, MemoryModel, Op, OpStats, Snapshot, Tier
+from repro.memory.model import AccessCounts, MemoryModel, Op, OpStats, Tier
 
 
 class TestAccessCounts:

@@ -5,7 +5,6 @@ a shadow dict; after every step the results must agree, and the structural
 invariant checkers must pass.
 """
 
-import pytest
 from hypothesis import settings
 from hypothesis import strategies as st
 from hypothesis.stateful import RuleBasedStateMachine, invariant, precondition, rule

@@ -1,0 +1,121 @@
+"""Load-generator tests: pure op construction plus a live closed-loop run."""
+
+import asyncio
+
+import pytest
+
+from repro.serve import (
+    LoadgenConfig,
+    McCuckooServer,
+    ServerConfig,
+    build_workload,
+    run_loadgen,
+)
+from repro.serve.loadgen import percentile, value_bytes
+
+
+class TestBuildWorkload:
+    def test_reproducible(self):
+        cfg = LoadgenConfig(n_ops=500, n_keys=100, seed=5)
+        assert build_workload(cfg) == build_workload(cfg)
+
+    def test_zipf_shape(self):
+        preload, ops = build_workload(
+            LoadgenConfig(workload="zipf", n_ops=1000, n_keys=200, seed=1)
+        )
+        assert len(preload) == 200
+        assert all(op[0] == "put" for op in preload)
+        assert len(ops) == 1000
+        assert {op[0] for op in ops} <= {"get", "put", "delete"}
+
+    def test_zipf_skews_toward_head(self):
+        preload, ops = build_workload(
+            LoadgenConfig(workload="zipf", n_ops=2000, n_keys=500,
+                          zipf_s=1.2, seed=2, get_ratio=1.0, put_ratio=0.0,
+                          delete_ratio=0.0)
+        )
+        hot = {op[1] for op in preload[:10]}
+        hits = sum(1 for op in ops if op[1] in hot)
+        assert hits > len(ops) * 0.3  # 2% of keys draw >30% of traffic
+
+    def test_ycsb_maps_to_client_verbs(self):
+        preload, ops = build_workload(
+            LoadgenConfig(workload="ycsb-A", n_ops=400, n_keys=100, seed=3)
+        )
+        assert len(preload) == 100
+        kinds = {op[0] for op in ops}
+        assert kinds <= {"get", "put"}
+        assert "get" in kinds and "put" in kinds
+
+    def test_mixed_has_no_preload_and_includes_deletes(self):
+        preload, ops = build_workload(
+            LoadgenConfig(workload="mixed", n_ops=1500, n_keys=100, seed=4,
+                          delete_ratio=0.2)
+        )
+        assert preload == []
+        assert any(op[0] == "delete" for op in ops)
+
+    def test_rejects_unknown_workload(self):
+        with pytest.raises(ValueError, match="workload"):
+            LoadgenConfig(workload="nope")
+
+    def test_value_bytes_deterministic_and_sized(self):
+        assert value_bytes(1, 2, 64) == value_bytes(1, 2, 64)
+        assert len(value_bytes(1, 2, 64)) == 64
+        assert value_bytes(1, 2, 64) != value_bytes(1, 3, 64)
+        assert len(value_bytes(1, 2, 8)) == 8
+
+
+class TestPercentile:
+    def test_empty(self):
+        assert percentile([], 99) == 0.0
+
+    def test_single(self):
+        assert percentile([4.2], 50) == 4.2
+        assert percentile([4.2], 99) == 4.2
+
+    def test_nearest_rank(self):
+        values = [float(v) for v in range(1, 101)]
+        assert percentile(values, 50) == 50.0
+        assert percentile(values, 95) == 95.0
+        assert percentile(values, 99) == 99.0
+        assert percentile(values, 100) == 100.0
+
+
+class TestLiveRun:
+    def test_report_over_live_server(self):
+        async def scenario():
+            cfg = ServerConfig(n_shards=4, expected_items=4096)
+            async with McCuckooServer(cfg) as server:
+                host, port = server.address
+                report = await run_loadgen(
+                    host, port,
+                    LoadgenConfig(workload="zipf", n_ops=2000, n_keys=400,
+                                  concurrency=8, seed=9),
+                )
+                stats = server.stats
+                return report, stats
+
+        report, stats = asyncio.run(scenario())
+        assert report.completed == 2000
+        assert report.busy == report.timeouts == report.errors == 0
+        assert report.ops_per_sec > 0
+        assert 0 < report.p50_ms <= report.p95_ms <= report.p99_ms
+        assert sum(report.per_kind.values()) == 2000
+        assert stats.requests >= 2000
+        rendered = report.render()
+        assert "ops/s" in rendered and "p99" in rendered
+
+    def test_batched_run(self):
+        async def scenario():
+            async with McCuckooServer(ServerConfig(n_shards=2)) as server:
+                host, port = server.address
+                return await run_loadgen(
+                    host, port,
+                    LoadgenConfig(workload="uniform", n_ops=1000, n_keys=200,
+                                  concurrency=4, batch_size=16, seed=10),
+                )
+
+        report = asyncio.run(scenario())
+        assert report.completed == 1000
+        assert report.errors == 0

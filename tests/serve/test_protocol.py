@@ -1,0 +1,152 @@
+"""Wire-protocol unit tests: pure bytes, no sockets."""
+
+import struct
+
+import pytest
+
+from repro.serve.protocol import (
+    MAGIC,
+    VERSION,
+    BatchReply,
+    BatchRequest,
+    DeleteReply,
+    DeleteRequest,
+    ErrorCode,
+    ErrorReply,
+    GetRequest,
+    Opcode,
+    ProtocolError,
+    PutReply,
+    PutRequest,
+    StatsReply,
+    StatsRequest,
+    ValueReply,
+    decode_reply,
+    decode_request,
+    encode_reply,
+    encode_request,
+)
+
+
+def strip_frame(frame: bytes) -> bytes:
+    """Drop the length prefix, validating it first."""
+    (length,) = struct.unpack(">I", frame[:4])
+    body = frame[4:]
+    assert length == len(body)
+    return body
+
+
+REQUESTS = [
+    GetRequest(0),
+    GetRequest(2**64 - 1),
+    PutRequest(42, b""),
+    PutRequest(42, b"some value \x00\xff"),
+    DeleteRequest(7),
+    StatsRequest(),
+    BatchRequest((GetRequest(1), PutRequest(2, b"x"), DeleteRequest(3),
+                  StatsRequest())),
+    BatchRequest(()),
+]
+
+REPLIES = [
+    ValueReply(found=True, value=b"payload"),
+    ValueReply(found=False),
+    PutReply(created=True),
+    PutReply(created=False),
+    DeleteReply(deleted=True),
+    DeleteReply(deleted=False),
+    StatsReply({"gets": 3, "load": 0.5}),
+    StatsReply({}),
+    ErrorReply(ErrorCode.BUSY, "queue full"),
+    ErrorReply(ErrorCode.TIMEOUT),
+    BatchReply((ValueReply(True, b"v"), ErrorReply(ErrorCode.BUSY, "b"),
+                PutReply(True))),
+]
+
+
+class TestRoundtrips:
+    @pytest.mark.parametrize("request_", REQUESTS, ids=repr)
+    def test_request_roundtrip(self, request_):
+        assert decode_request(strip_frame(encode_request(request_))) == request_
+
+    @pytest.mark.parametrize("reply", REPLIES, ids=repr)
+    def test_reply_roundtrip(self, reply):
+        assert decode_reply(strip_frame(encode_reply(reply))) == reply
+
+    def test_header_layout(self):
+        body = strip_frame(encode_request(GetRequest(5)))
+        assert body[0] == MAGIC
+        assert body[1] == VERSION
+        assert body[2] == Opcode.GET
+
+
+class TestRejections:
+    def test_bad_magic(self):
+        body = bytearray(strip_frame(encode_request(GetRequest(5))))
+        body[0] ^= 0xFF
+        with pytest.raises(ProtocolError, match="magic"):
+            decode_request(bytes(body))
+
+    def test_bad_version(self):
+        body = bytearray(strip_frame(encode_request(GetRequest(5))))
+        body[1] = VERSION + 1
+        with pytest.raises(ProtocolError, match="version"):
+            decode_request(bytes(body))
+
+    def test_unknown_opcode(self):
+        body = bytes([MAGIC, VERSION, 0x7E])
+        with pytest.raises(ProtocolError, match="opcode"):
+            decode_request(body)
+
+    def test_truncated_payload(self):
+        body = strip_frame(encode_request(PutRequest(1, b"abcdef")))
+        with pytest.raises(ProtocolError, match="truncated"):
+            decode_request(body[:-3])
+
+    def test_trailing_bytes(self):
+        body = strip_frame(encode_request(GetRequest(1)))
+        with pytest.raises(ProtocolError, match="trailing"):
+            decode_request(body + b"\x00")
+
+    def test_nested_batch_encode(self):
+        inner = BatchRequest((GetRequest(1),))
+        with pytest.raises(ProtocolError, match="nest"):
+            encode_request(BatchRequest((inner,)))
+
+    def test_nested_batch_decode(self):
+        body = bytes([MAGIC, VERSION, Opcode.BATCH]) + struct.pack(">H", 1) \
+            + bytes([Opcode.BATCH])
+        with pytest.raises(ProtocolError, match="nest"):
+            decode_request(body)
+
+    def test_reply_with_unknown_error_code(self):
+        body = bytes([MAGIC, VERSION, Opcode.ERROR, 200]) \
+            + struct.pack(">H", 0)
+        with pytest.raises(ProtocolError, match="error code"):
+            decode_reply(body)
+
+    def test_malformed_stats_json(self):
+        blob = b"not json"
+        body = bytes([MAGIC, VERSION, Opcode.STATS_OK]) \
+            + struct.pack(">I", len(blob)) + blob
+        with pytest.raises(ProtocolError, match="stats"):
+            decode_reply(body)
+
+
+class TestFraming:
+    def test_frames_are_self_delimiting(self):
+        """Two frames concatenated on a stream split back cleanly."""
+        first = encode_request(PutRequest(1, b"aa"))
+        second = encode_request(GetRequest(2))
+        stream = first + second
+        (length,) = struct.unpack(">I", stream[:4])
+        assert decode_request(stream[4 : 4 + length]) == PutRequest(1, b"aa")
+        rest = stream[4 + length :]
+        (length2,) = struct.unpack(">I", rest[:4])
+        assert decode_request(rest[4 : 4 + length2]) == GetRequest(2)
+
+    def test_value_bytes_survive_arbitrary_content(self):
+        value = bytes(range(256)) * 8
+        frame = encode_request(PutRequest(9, value))
+        decoded = decode_request(strip_frame(frame))
+        assert decoded.value == value

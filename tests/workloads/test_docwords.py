@@ -49,7 +49,7 @@ class TestGenerator:
         )
 
     def test_pairs_are_distinct_within_doc(self):
-        for doc_id, group in _group_by_doc(self._small().pairs()):
+        for _doc_id, group in _group_by_doc(self._small().pairs()):
             assert len(group) == len(set(group))
 
     def test_all_keys_distinct(self):
