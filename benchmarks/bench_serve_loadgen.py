@@ -22,10 +22,14 @@ RESULTS_DIR = pathlib.Path(__file__).parent / "results"
 
 WORKLOADS = ("zipf", "uniform", "ycsb-A", "ycsb-C")
 
+#: batch sizes for the BATCH-framing sweep (1 = the scalar-framing baseline)
+BATCH_SIZES = (1, 8, 32)
+
 
 def test_serve_loadgen(benchmark):
     async def sweep():
         rows = []
+        batch_rows = []
         cfg = ServerConfig(n_shards=4, expected_items=16384)
         async with McCuckooServer(cfg) as server:
             host, port = server.address
@@ -38,9 +42,19 @@ def test_serve_loadgen(benchmark):
                 assert report.completed == report.n_ops
                 assert report.errors == 0
                 rows.append(report)
-        return rows
+            for batch_size in BATCH_SIZES:
+                report = await run_loadgen(
+                    host, port,
+                    LoadgenConfig(workload="zipf", n_ops=8000, n_keys=1000,
+                                  concurrency=8, batch_size=batch_size,
+                                  seed=23),
+                )
+                assert report.completed == report.n_ops
+                assert report.errors == 0
+                batch_rows.append((batch_size, report))
+        return rows, batch_rows
 
-    rows = asyncio.run(sweep())
+    rows, batch_rows = asyncio.run(sweep())
 
     lines = [
         "# serve-loadgen — loopback serving path",
@@ -55,6 +69,25 @@ def test_serve_loadgen(benchmark):
             f"| {report.p99_ms:.3f} |"
         )
         print(report.render())
+    scalar_ops = batch_rows[0][1].ops_per_sec
+    lines += [
+        "",
+        "## batched BATCH framing (zipf, 8 workers)",
+        "",
+        "Per-op latency is the frame round-trip divided by its batch size;",
+        "batches route reads through the store's bulk lookup kernel and",
+        "enqueue each shard's writes as one writer-queue item.",
+        "",
+        "| batch | ops/s | vs batch=1 | p50 ms/op | p99 ms/op |",
+        "|---|---|---|---|---|",
+    ]
+    for batch_size, report in batch_rows:
+        lines.append(
+            f"| {batch_size} | {report.ops_per_sec:,.0f} "
+            f"| {report.ops_per_sec / scalar_ops:.2f}x "
+            f"| {report.p50_ms:.3f} | {report.p99_ms:.3f} |"
+        )
+        print(f"batch={batch_size}: {report.ops_per_sec:,.0f} ops/s")
     RESULTS_DIR.mkdir(exist_ok=True)
     (RESULTS_DIR / "serve-loadgen.md").write_text("\n".join(lines) + "\n",
                                                   encoding="utf-8")

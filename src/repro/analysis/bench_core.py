@@ -1,0 +1,318 @@
+"""Wall-clock throughput harness for the batched operation kernels.
+
+The paper's exhibits count *memory accesses*; this module measures the
+other axis the batched kernels exist for — host-side throughput.  It
+times scalar ``lookup``/``put``/``delete`` loops against their
+``lookup_many``/``put_many``/``delete_many`` counterparts on a
+:class:`~repro.core.mccuckoo.McCuckoo` table and reports ops/sec plus the
+batched-over-scalar speedup.  ``repro bench-core`` and
+``benchmarks/bench_core_throughput.py`` are thin wrappers around
+:func:`run_bench_core`; the emitted ``BENCH_core.json`` is the
+perf-regression baseline committed under ``benchmarks/results/``.
+
+Methodology notes:
+
+* Throughput is best-of-``repeats`` (minimum wall time), the standard way
+  to suppress scheduler noise in micro-benchmarks.
+* Lookup tables are built once per load factor and reused — lookups do
+  not mutate.  Write phases rebuild state per measurement.
+* Queries are uniform over the resident key set, so the 0.9-load lookup
+  row matches the acceptance criterion "≥3x on 100k uniform lookups at
+  0.9 load".
+"""
+
+from __future__ import annotations
+
+import json
+import platform
+import random
+import sys
+import time
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
+
+from ..core.config import DeletionMode
+from ..core.mccuckoo import McCuckoo
+from ..memory.model import MemoryModel
+
+
+@dataclass(frozen=True)
+class BenchCoreConfig:
+    """Shape of one :func:`run_bench_core` run."""
+
+    n_buckets: int = 40_000
+    """Buckets per sub-table (capacity = ``d * n_buckets`` items)."""
+    d: int = 3
+    seed: int = 1
+    n_lookups: int = 100_000
+    n_deletes: int = 20_000
+    load_factors: Tuple[float, ...] = (0.5, 0.7, 0.9)
+    batch_sizes: Tuple[int, ...] = (16, 64, 256)
+    repeats: int = 3
+
+    @classmethod
+    def quick(cls) -> "BenchCoreConfig":
+        """A seconds-scale variant for CI smoke runs."""
+        return cls(
+            n_buckets=4_000,
+            n_lookups=10_000,
+            n_deletes=3_000,
+            load_factors=(0.9,),
+            batch_sizes=(64, 256),
+            repeats=2,
+        )
+
+
+@dataclass
+class BenchRow:
+    """One measured (phase, load, batch) cell."""
+
+    phase: str
+    load: float
+    batch: int  # 1 = scalar
+    n_ops: int
+    best_seconds: float
+    ops_per_sec: float
+    speedup: Optional[float] = None  # vs the scalar row of the same cell
+    extra: Dict[str, Any] = field(default_factory=dict)
+
+
+def _fill_to(table: McCuckoo, target_items: int, rng: random.Random) -> List[int]:
+    """Insert random keys until ``len(table) == target_items``; returns them."""
+    keys: List[int] = []
+    while len(table) < target_items:
+        key = rng.getrandbits(64)
+        outcome = table.put(key)
+        if outcome.failed:
+            continue
+        keys.append(key)
+    return keys
+
+
+def _best_of(repeats: int, run: Callable[[], int]) -> Tuple[float, int]:
+    """(best wall seconds, ops) over ``repeats`` calls of ``run``."""
+    best = float("inf")
+    n_ops = 0
+    for _ in range(repeats):
+        start = time.perf_counter()
+        n_ops = run()
+        best = min(best, time.perf_counter() - start)
+    return best, n_ops
+
+
+def _best_of_timed(repeats: int, run: Callable[[], Tuple[float, int]]) -> Tuple[float, int]:
+    """Like :func:`_best_of` for runs that time themselves (to exclude
+    per-repeat setup such as rebuilding a table)."""
+    best = float("inf")
+    n_ops = 0
+    for _ in range(repeats):
+        elapsed, n_ops = run()
+        best = min(best, elapsed)
+    return best, n_ops
+
+
+def _chunks(items: Sequence, size: int) -> List[Sequence]:
+    return [items[start:start + size] for start in range(0, len(items), size)]
+
+
+def _bench_lookups(config: BenchCoreConfig, rows: List[BenchRow]) -> None:
+    for load in config.load_factors:
+        rng = random.Random(config.seed)
+        table = McCuckoo(config.n_buckets, d=config.d, seed=config.seed,
+                         mem=MemoryModel())
+        keys = _fill_to(table, int(load * table.capacity), rng)
+        queries = [keys[rng.randrange(len(keys))]
+                   for _ in range(config.n_lookups)]
+
+        def scalar() -> int:
+            lookup = table.lookup
+            for key in queries:
+                lookup(key)
+            return len(queries)
+
+        best, n_ops = _best_of(config.repeats, scalar)
+        scalar_rate = n_ops / best
+        rows.append(BenchRow("lookup", load, 1, n_ops, best, scalar_rate))
+
+        for batch in config.batch_sizes:
+            batches = _chunks(queries, batch)
+
+            def batched() -> int:
+                lookup_many = table.lookup_many
+                for chunk in batches:
+                    lookup_many(chunk)
+                return len(queries)
+
+            best, n_ops = _best_of(config.repeats, batched)
+            rate = n_ops / best
+            rows.append(BenchRow("lookup", load, batch, n_ops, best, rate,
+                                 speedup=rate / scalar_rate))
+
+
+def _bench_puts(config: BenchCoreConfig, rows: List[BenchRow]) -> None:
+    """Insert from empty up to each load factor, scalar vs ``put_many``."""
+    for load in config.load_factors:
+        rng = random.Random(config.seed + 7)
+        sizing = McCuckoo(config.n_buckets, d=config.d, seed=config.seed)
+        target = int(load * sizing.capacity)
+        keys = [rng.getrandbits(64) for _ in range(target)]
+
+        def scalar() -> int:
+            table = McCuckoo(config.n_buckets, d=config.d, seed=config.seed,
+                             mem=MemoryModel())
+            put = table.put
+            for key in keys:
+                put(key)
+            return len(keys)
+
+        best, n_ops = _best_of(config.repeats, scalar)
+        scalar_rate = n_ops / best
+        rows.append(BenchRow("put", load, 1, n_ops, best, scalar_rate))
+
+        for batch in config.batch_sizes:
+            batches = _chunks([(key, None) for key in keys], batch)
+
+            def batched() -> int:
+                table = McCuckoo(config.n_buckets, d=config.d,
+                                 seed=config.seed, mem=MemoryModel())
+                put_many = table.put_many
+                for chunk in batches:
+                    put_many(chunk)
+                return len(keys)
+
+            best, n_ops = _best_of(config.repeats, batched)
+            rate = n_ops / best
+            rows.append(BenchRow("put", load, batch, n_ops, best, rate,
+                                 speedup=rate / scalar_rate))
+
+
+def _bench_deletes(config: BenchCoreConfig, rows: List[BenchRow]) -> None:
+    """Delete resident keys from a table at the deepest load factor."""
+    load = max(config.load_factors)
+    rng = random.Random(config.seed + 13)
+    base_keys: Optional[List[int]] = None
+
+    def build() -> Tuple[McCuckoo, List[int]]:
+        nonlocal base_keys
+        build_rng = random.Random(config.seed + 13)
+        table = McCuckoo(config.n_buckets, d=config.d, seed=config.seed,
+                         deletion_mode=DeletionMode.RESET, mem=MemoryModel())
+        keys = _fill_to(table, int(load * table.capacity), build_rng)
+        base_keys = keys
+        return table, keys
+
+    table, keys = build()
+    victims = rng.sample(keys, min(config.n_deletes, len(keys)))
+
+    def scalar() -> Tuple[float, int]:
+        fresh, _ = build()  # untimed: the rebuild is setup, not the op
+        delete = fresh.delete
+        start = time.perf_counter()
+        for key in victims:
+            delete(key)
+        return time.perf_counter() - start, len(victims)
+
+    best, n_ops = _best_of_timed(config.repeats, scalar)
+    scalar_rate = n_ops / best
+    rows.append(BenchRow("delete", load, 1, n_ops, best, scalar_rate))
+
+    for batch in config.batch_sizes:
+        batches = _chunks(victims, batch)
+
+        def batched() -> Tuple[float, int]:
+            fresh, _ = build()
+            delete_many = fresh.delete_many
+            start = time.perf_counter()
+            for chunk in batches:
+                delete_many(chunk)
+            return time.perf_counter() - start, len(victims)
+
+        best, n_ops = _best_of_timed(config.repeats, batched)
+        rate = n_ops / best
+        rows.append(BenchRow("delete", load, batch, n_ops, best, rate,
+                             speedup=rate / scalar_rate))
+
+
+def run_bench_core(config: Optional[BenchCoreConfig] = None,
+                   phases: Sequence[str] = ("lookup", "put", "delete"),
+                   verbose: bool = False) -> Dict[str, Any]:
+    """Run the harness and return the ``BENCH_core.json`` document."""
+    config = config if config is not None else BenchCoreConfig()
+    rows: List[BenchRow] = []
+    for phase, bench in (("lookup", _bench_lookups), ("put", _bench_puts),
+                         ("delete", _bench_deletes)):
+        if phase not in phases:
+            continue
+        start = time.perf_counter()
+        bench(config, rows)
+        if verbose:
+            print(f"[{phase}: {time.perf_counter() - start:.1f}s]",
+                  file=sys.stderr)
+
+    headline: Dict[str, Any] = {}
+    deepest = max(config.load_factors)
+    for phase in phases:
+        candidates = [row for row in rows
+                      if row.phase == phase and row.load == deepest
+                      and row.speedup is not None]
+        if candidates:
+            best_row = max(candidates, key=lambda row: row.speedup)
+            headline[f"{phase}_speedup"] = round(best_row.speedup, 3)
+            headline[f"{phase}_batch"] = best_row.batch
+    headline["load"] = deepest
+
+    return {
+        "benchmark": "bench_core",
+        "config": {
+            "n_buckets": config.n_buckets,
+            "d": config.d,
+            "seed": config.seed,
+            "n_lookups": config.n_lookups,
+            "n_deletes": config.n_deletes,
+            "load_factors": list(config.load_factors),
+            "batch_sizes": list(config.batch_sizes),
+            "repeats": config.repeats,
+        },
+        "environment": {
+            "python": platform.python_version(),
+            "implementation": platform.python_implementation(),
+            "machine": platform.machine(),
+        },
+        "headline": headline,
+        "rows": [
+            {
+                "phase": row.phase,
+                "load": row.load,
+                "batch": row.batch,
+                "n_ops": row.n_ops,
+                "best_seconds": round(row.best_seconds, 6),
+                "ops_per_sec": round(row.ops_per_sec, 1),
+                **({"speedup": round(row.speedup, 3)}
+                   if row.speedup is not None else {}),
+            }
+            for row in rows
+        ],
+    }
+
+
+def render_report(report: Dict[str, Any]) -> str:
+    """Human-readable table of a :func:`run_bench_core` document."""
+    lines = ["phase    load  batch      ops/s  speedup"]
+    for row in report["rows"]:
+        speedup = f"{row['speedup']:.2f}x" if "speedup" in row else "  -"
+        batch = "scalar" if row["batch"] == 1 else str(row["batch"])
+        lines.append(f"{row['phase']:<8s} {row['load']:.2f} {batch:>6s} "
+                     f"{row['ops_per_sec']:>10,.0f}  {speedup:>6s}")
+    headline = report["headline"]
+    parts = [f"{phase}={headline[f'{phase}_speedup']:.2f}x"
+             f"@bs{headline[f'{phase}_batch']}"
+             for phase in ("lookup", "put", "delete")
+             if f"{phase}_speedup" in headline]
+    lines.append(f"headline (load {headline['load']}): " + "  ".join(parts))
+    return "\n".join(lines)
+
+
+def write_report(report: Dict[str, Any], path: str) -> None:
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(report, handle, indent=2, sort_keys=False)
+        handle.write("\n")

@@ -138,6 +138,28 @@ class LogStructuredStore:
         assert record.key == k and not record.is_tombstone
         return record.value
 
+    def get_many(self, keys: List[KeyLike], default: Any = None) -> List[Any]:
+        """Batched :meth:`get`: one value (or ``default``) per key, in order.
+
+        Index probes go through the batched lookup kernel; the log reads
+        for the hits are charged in a single accounting call, so the
+        off-chip totals equal a loop of scalar ``get`` calls.
+        """
+        ks = [canonical_key(key) for key in keys]
+        lookups = self._index.lookup_many(ks)
+        hits = sum(1 for lookup in lookups if lookup.found)
+        if hits:
+            self.mem.offchip_read("value-log", hits)
+        out: List[Any] = []
+        for k, lookup in zip(ks, lookups):
+            if not lookup.found:
+                out.append(default)
+                continue
+            record = self._log.read(lookup.value)
+            assert record.key == k and not record.is_tombstone
+            out.append(record.value)
+        return out
+
     def __contains__(self, key: KeyLike) -> bool:
         return self._index.lookup(canonical_key(key)).found
 

@@ -17,6 +17,9 @@ Commands
     Run every experiment and write a self-contained markdown report.
 ``validate``
     Quick PASS/FAIL re-check of the paper's headline claims.
+``bench-core``
+    Time the scalar vs batched operation kernels (lookup_many/put_many/
+    delete_many) and write the ``BENCH_core.json`` perf baseline.
 ``serve``
     Run the asyncio TCP server fronting the sharded log-structured
     McCuckoo store (one writer task per shard, explicit backpressure).
@@ -93,6 +96,24 @@ def _build_parser() -> argparse.ArgumentParser:
     )
     validate.add_argument("--scale", type=int, default=600)
     validate.add_argument("--repeats", type=int, default=1)
+
+    bench_core = sub.add_parser(
+        "bench-core",
+        help="time scalar vs batched kernels and write BENCH_core.json",
+    )
+    bench_core.add_argument("-o", "--output", default="BENCH_core.json",
+                            help="output JSON path ('-' for stdout only)")
+    bench_core.add_argument("--quick", action="store_true",
+                            help="seconds-scale CI smoke configuration")
+    bench_core.add_argument("--phases", default="lookup,put,delete",
+                            help="comma-separated subset of lookup,put,delete")
+    bench_core.add_argument("--buckets", type=int, default=None,
+                            help="buckets per sub-table (default 40000)")
+    bench_core.add_argument("--lookups", type=int, default=None,
+                            help="uniform queries per lookup cell (default 100000)")
+    bench_core.add_argument("--repeats", type=int, default=None,
+                            help="best-of repeats per cell (default 3)")
+    bench_core.add_argument("--seed", type=int, default=None)
 
     serve = sub.add_parser("serve", help="run the KV service over TCP")
     serve.add_argument("--host", default="127.0.0.1")
@@ -305,6 +326,43 @@ def _cmd_validate(args: argparse.Namespace) -> int:
     return 1 if failed else 0
 
 
+def _cmd_bench_core(args: argparse.Namespace) -> int:
+    import dataclasses
+
+    from .analysis.bench_core import (
+        BenchCoreConfig,
+        render_report,
+        run_bench_core,
+        write_report,
+    )
+
+    config = BenchCoreConfig.quick() if args.quick else BenchCoreConfig()
+    overrides = {}
+    if args.buckets is not None:
+        overrides["n_buckets"] = args.buckets
+    if args.lookups is not None:
+        overrides["n_lookups"] = args.lookups
+    if args.repeats is not None:
+        overrides["repeats"] = args.repeats
+    if args.seed is not None:
+        overrides["seed"] = args.seed
+    if overrides:
+        config = dataclasses.replace(config, **overrides)
+    phases = tuple(
+        phase.strip() for phase in args.phases.split(",") if phase.strip()
+    )
+    unknown = [phase for phase in phases if phase not in ("lookup", "put", "delete")]
+    if unknown:
+        print(f"unknown phases: {unknown}", file=sys.stderr)
+        return 2
+    report = run_bench_core(config, phases=phases, verbose=True)
+    print(render_report(report))
+    if args.output != "-":
+        write_report(report, args.output)
+        print(f"baseline written to {args.output}")
+    return 0
+
+
 def _cmd_serve(args: argparse.Namespace) -> int:
     import asyncio
 
@@ -395,6 +453,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         return _cmd_report(args)
     if args.command == "validate":
         return _cmd_validate(args)
+    if args.command == "bench-core":
+        return _cmd_bench_core(args)
     if args.command == "serve":
         return _cmd_serve(args)
     if args.command == "loadgen":

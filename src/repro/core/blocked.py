@@ -18,7 +18,7 @@ Insertion, lookup and deletion follow Algorithms 1–3 of the paper.
 from __future__ import annotations
 
 import random
-from typing import Any, Dict, Iterator, List, Optional, Sequence, Tuple
+from typing import Any, Dict, Iterable, Iterator, List, Optional, Sequence, Tuple
 
 from ..hashing import DEFAULT_FAMILY, HashFamily, Key, KeyLike
 from ..memory.model import MemoryModel
@@ -131,10 +131,9 @@ class BlockedMcCuckoo(HashTable):
 
     def _candidates(self, key: Key) -> List[int]:
         """Global *bucket* index per sub-table."""
-        return [
-            table * self.n_buckets + fn.bucket(key, self.n_buckets)
-            for table, fn in enumerate(self._functions)
-        ]
+        n = self.n_buckets
+        raw = self._family.candidates(self._functions, key, n)
+        return [table * n + raw[table] for table in range(self.d)]
 
     def _position_of(self, bucket: int) -> int:
         return bucket // self.n_buckets
@@ -149,6 +148,11 @@ class BlockedMcCuckoo(HashTable):
     def _read_counter_word(self, bucket: int) -> List[int]:
         """All l slot counters of a bucket: one on-chip read (one word)."""
         self.mem.onchip_read("counter-word")
+        return self._peek_counter_word(bucket)
+
+    def _peek_counter_word(self, bucket: int) -> List[int]:
+        """The word's values without the charge (batched kernels charge the
+        whole batch in one record call)."""
         return [
             self._counters.peek(self._slot_index(bucket, slot))
             for slot in range(self.slots)
@@ -196,9 +200,15 @@ class BlockedMcCuckoo(HashTable):
         k = self._canonical(key)
         return self._insert_canonical(k, value)
 
-    def _insert_canonical(self, k: Key, value: Any) -> InsertOutcome:
+    def _insert_canonical(
+        self, k: Key, value: Any, charge_words: bool = True
+    ) -> InsertOutcome:
         cands = self._candidates(k)
-        words = {bucket: self._read_counter_word(bucket) for bucket in cands}
+        if charge_words:
+            words = {bucket: self._read_counter_word(bucket) for bucket in cands}
+        else:
+            # put_many's deferred phase already charged these d word reads.
+            words = {bucket: self._peek_counter_word(bucket) for bucket in cands}
         placements = self._place_by_algorithm1(k, value, cands, words)
         if placements:
             self._n_main += 1
@@ -372,37 +382,45 @@ class BlockedMcCuckoo(HashTable):
         k = self._canonical(key)
         cands = self._candidates(k)
         if not self.lookup_counter_screen:
-            # §IV.C: at very high load "it may be a good idea just to do the
-            # lookup the old way" — skip the on-chip counters entirely.
-            # Only sound without deletions (no stale slots can exist).
-            buckets_read = 0
-            flags_read: List[bool] = []
-            for bucket in cands:
-                keys, values, _, flag = self._read_bucket(bucket)
-                buckets_read += 1
-                flags_read.append(flag)
-                for slot in range(self.slots):
-                    if keys[slot] == k:
-                        return LookupOutcome(
-                            found=True,
-                            value=values[slot],
-                            buckets_read=buckets_read,
-                        )
-            if (
-                self._stash is None
-                or len(self._stash) == 0
-                or not all(flags_read)
-            ):
-                return LookupOutcome(found=False, buckets_read=buckets_read)
-            found, value = self._stash.lookup(k)
-            return LookupOutcome(
-                found=found,
-                value=value if found else None,
-                from_stash=found,
-                checked_stash=True,
-                buckets_read=buckets_read,
-            )
+            return self._lookup_unscreened(k, cands)
         words = {bucket: self._read_counter_word(bucket) for bucket in cands}
+        return self._lookup_screened(k, cands, words)
+
+    def _lookup_unscreened(self, k: Key, cands: Sequence[int]) -> LookupOutcome:
+        # §IV.C: at very high load "it may be a good idea just to do the
+        # lookup the old way" — skip the on-chip counters entirely.
+        # Only sound without deletions (no stale slots can exist).
+        buckets_read = 0
+        flags_read: List[bool] = []
+        for bucket in cands:
+            keys, values, _, flag = self._read_bucket(bucket)
+            buckets_read += 1
+            flags_read.append(flag)
+            for slot in range(self.slots):
+                if keys[slot] == k:
+                    return LookupOutcome(
+                        found=True,
+                        value=values[slot],
+                        buckets_read=buckets_read,
+                    )
+        if (
+            self._stash is None
+            or len(self._stash) == 0
+            or not all(flags_read)
+        ):
+            return LookupOutcome(found=False, buckets_read=buckets_read)
+        found, value = self._stash.lookup(k)
+        return LookupOutcome(
+            found=found,
+            value=value if found else None,
+            from_stash=found,
+            checked_stash=True,
+            buckets_read=buckets_read,
+        )
+
+    def _lookup_screened(
+        self, k: Key, cands: Sequence[int], words: Dict[int, List[int]]
+    ) -> LookupOutcome:
         dead = [bucket for bucket in cands
                 if self._bucket_sum_is_dead(bucket, words[bucket])]
         if dead and self.deletion_mode is not DeletionMode.RESET:
@@ -438,6 +456,62 @@ class BlockedMcCuckoo(HashTable):
             checked_stash=True,
             buckets_read=buckets_read,
         )
+
+    # ------------------------------------------------------------------
+    # batched kernels
+    # ------------------------------------------------------------------
+    #
+    # delete_many keeps the interface's scalar loop: Algorithm 3 reads
+    # counter words lazily (it stops at the first live bucket), so a bulk
+    # pre-read would change the charged totals.
+
+    def lookup_many(self, keys: Sequence[KeyLike]) -> List[LookupOutcome]:
+        d = self.d
+        screen = self.lookup_counter_screen
+        outcomes: List[LookupOutcome] = []
+        pending: List[Tuple[Key, List[int]]] = []
+        for key in keys:
+            k = self._canonical(key)
+            pending.append((k, self._candidates(k)))
+        if screen:
+            # One record call charges the whole batch's counter-word reads.
+            self.mem.onchip_read("counter-word", d * len(pending))
+        for k, cands in pending:
+            if not screen:
+                outcomes.append(self._lookup_unscreened(k, cands))
+                continue
+            words = {bucket: self._peek_counter_word(bucket) for bucket in cands}
+            outcomes.append(self._lookup_screened(k, cands, words))
+        return outcomes
+
+    def put_many(self, pairs: Iterable[Tuple[KeyLike, Any]]) -> List[InsertOutcome]:
+        """Two-phase batched insert (see :meth:`McCuckoo.put_many`).
+
+        Algorithm 1's placement fails only when every candidate bucket is
+        full of sole copies; placements never empty a slot and never claim a
+        counter-1 slot, so a collided key still collides when deferred and
+        the result equals scalar puts in the reordered sequence.
+        """
+        items = [(self._canonical(key), value) for key, value in pairs]
+        outcomes: List[Optional[InsertOutcome]] = [None] * len(items)
+        deferred: List[int] = []
+        for i, (k, value) in enumerate(items):
+            cands = self._candidates(k)
+            self.mem.onchip_read("counter-word", self.d)
+            words = {bucket: self._peek_counter_word(bucket) for bucket in cands}
+            placements = self._place_by_algorithm1(k, value, cands, words)
+            if placements:
+                self._n_main += 1
+                outcomes[i] = InsertOutcome(
+                    InsertStatus.STORED, kicks=0, copies=placements
+                )
+            else:
+                deferred.append(i)
+        for i in deferred:
+            k, value = items[i]
+            # Phase 1 already charged this key's d counter-word reads.
+            outcomes[i] = self._insert_canonical(k, value, charge_words=False)
+        return outcomes  # type: ignore[return-value]
 
     # ------------------------------------------------------------------
     # deletion (Algorithm 3)

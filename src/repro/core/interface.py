@@ -14,7 +14,7 @@ stash; the experiment harness treats them uniformly through
 from __future__ import annotations
 
 from abc import ABC, abstractmethod
-from typing import Any, Iterator, Optional, Tuple
+from typing import Any, Iterable, Iterator, List, Optional, Sequence, Tuple
 
 from ..hashing import Key, KeyLike, canonical_key
 from ..memory.model import MemoryModel
@@ -61,6 +61,26 @@ class HashTable(ABC):
     @abstractmethod
     def items(self) -> Iterator[Tuple[Key, Any]]:
         """Iterate distinct ``(key, value)`` pairs (unaccounted; for tests)."""
+
+    # -- batched operations ----------------------------------------------------
+    #
+    # Semantics contract: each batched call returns exactly the outcomes the
+    # scalar loop would, with identical memory-accounting totals in the
+    # default PER_COUNTER charging mode (put_many may execute collided keys
+    # after non-collided ones; see McCuckoo.put_many).  Schemes with a real
+    # bulk fast path override these; the defaults make every table batchable.
+
+    def lookup_many(self, keys: Sequence[KeyLike]) -> List[LookupOutcome]:
+        """Look up many keys; one outcome per key, in input order."""
+        return [self.lookup(key) for key in keys]
+
+    def put_many(self, pairs: Iterable[Tuple[KeyLike, Any]]) -> List[InsertOutcome]:
+        """Insert many (key, value) pairs; one outcome per pair, in input order."""
+        return [self.put(key, value) for key, value in pairs]
+
+    def delete_many(self, keys: Sequence[KeyLike]) -> List[DeleteOutcome]:
+        """Delete many keys; one outcome per key, in input order."""
+        return [self.delete(key) for key in keys]
 
     # -- shared conveniences ---------------------------------------------------
 

@@ -19,9 +19,9 @@ buckets and tracks the number of live copies per bucket in an on-chip
 from __future__ import annotations
 
 import random
-from typing import Any, Dict, Iterator, List, Optional, Sequence, Tuple
+from typing import Any, Dict, Iterable, Iterator, List, Optional, Sequence, Tuple
 
-from ..hashing import DEFAULT_FAMILY, HashFamily, Key, KeyLike
+from ..hashing import DEFAULT_FAMILY, MASK64, HashFamily, Key, KeyLike, canonical_key
 from ..memory.model import MemoryModel
 from .config import DeletionMode, FailurePolicy, SiblingTracking
 from .counters import BitArray, PackedArray
@@ -158,10 +158,9 @@ class McCuckoo(HashTable):
 
     def _candidates(self, key: Key) -> List[int]:
         """Global bucket index of the key's candidate in each sub-table."""
-        return [
-            table * self.n_buckets + fn.bucket(key, self.n_buckets)
-            for table, fn in enumerate(self._functions)
-        ]
+        n = self.n_buckets
+        raw = self._family.candidates(self._functions, key, n)
+        return [table * n + raw[table] for table in range(self.d)]
 
     def _position_of(self, bucket: int) -> int:
         """Which sub-table a global bucket index belongs to."""
@@ -190,9 +189,16 @@ class McCuckoo(HashTable):
         k = self._canonical(key)
         return self._insert_canonical(k, value)
 
-    def _insert_canonical(self, k: Key, value: Any) -> InsertOutcome:
+    def _insert_canonical(
+        self, k: Key, value: Any, charge_counters: bool = True
+    ) -> InsertOutcome:
         cands = self._candidates(k)
-        vals = self._counters.get_many(cands)
+        if charge_counters:
+            vals = self._counters.get_many(cands)
+        else:
+            # put_many's deferred phase: the batch already charged these d
+            # counter reads, so re-read the (possibly changed) values free.
+            vals = [self._counters.peek(bucket) for bucket in cands]
         copies = self._place_by_principles(k, value, cands, vals)
         if copies:
             self._n_main += 1
@@ -528,6 +534,203 @@ class McCuckoo(HashTable):
         return all(flags_read)  # vacuously true when nothing was read
 
     # ------------------------------------------------------------------
+    # batched kernels
+    # ------------------------------------------------------------------
+    #
+    # Each kernel returns exactly what the scalar loop would and charges the
+    # same access totals (in PER_COUNTER mode): candidates come from the
+    # family's multi-index fast path, counters from one get_block call per
+    # batch (lookups) or per key (mutations, which need fresh values), and
+    # off-chip bucket reads are accumulated and charged in one record call.
+
+    def lookup_many(self, keys: Sequence[KeyLike]) -> List[LookupOutcome]:
+        d = self.d
+        n = self.n_buckets
+        # Inline the canonical fast path: int keys dominate every workload.
+        ks = [
+            key & MASK64 if type(key) is int else canonical_key(key)
+            for key in keys
+        ]
+        raws = self._family.candidates_many(self._functions, ks, n)
+        flat = [table * n + raw[table] for raw in raws for table in range(d)]
+        vals_flat = self._counters.get_block(flat)
+        # Principle-1 screen without the per-key method call: sound whenever
+        # a zero counter proves absence and there are no tombstones to read.
+        simple_screen = self._rule1_active() and self._tombstones is None
+        keys_arr = self._keys
+        values_arr = self._values
+        flags = self._flags
+        stash = self._stash
+        ones = [1] * d
+        miss = LookupOutcome(found=False)
+        outcomes: List[LookupOutcome] = []
+        append_outcome = outcomes.append
+        total_bucket_reads = 0
+        base = 0
+        for k in ks:
+            cands = flat[base : base + d]
+            vals = vals_flat[base : base + d]
+            base += d
+            if simple_screen:
+                if 0 in vals:
+                    append_outcome(miss)
+                    continue
+            elif self._never_inserted(cands, vals):
+                append_outcome(miss)
+                continue
+            found: Optional[LookupOutcome] = None
+            buckets_read = 0
+            probed: List[int] = []
+            if vals == ones:
+                # Fast path for the dominant shape at load: one partition of
+                # value 1, probed in candidate order, no grouping needed.
+                for bucket in cands:
+                    buckets_read += 1
+                    if keys_arr[bucket] == k:
+                        found = LookupOutcome(
+                            found=True,
+                            value=values_arr[bucket],
+                            buckets_read=buckets_read,
+                        )
+                        break
+                    probed.append(bucket)
+            else:
+                groups: Dict[int, List[int]] = {}
+                for bucket, v in zip(cands, vals):
+                    if v:
+                        groups.setdefault(v, []).append(bucket)
+                for v in sorted(groups, reverse=True):
+                    members = groups[v]
+                    if len(members) < v:
+                        continue
+                    for bucket in members[: len(members) - v + 1]:
+                        buckets_read += 1
+                        if keys_arr[bucket] == k:
+                            found = LookupOutcome(
+                                found=True,
+                                value=values_arr[bucket],
+                                buckets_read=buckets_read,
+                            )
+                            break
+                        probed.append(bucket)
+                    if found is not None:
+                        break
+            total_bucket_reads += buckets_read
+            if found is not None:
+                append_outcome(found)
+                continue
+            # Miss: the stash pre-screen needs the flags of the probed
+            # buckets; they ride along with the bucket reads, so gathering
+            # them here (peeks) charges nothing the probes didn't.
+            if stash is None:
+                append_outcome(LookupOutcome(found=False, buckets_read=buckets_read))
+                continue
+            flags_read = [flags.test(bucket) for bucket in probed]
+            if not self._should_check_stash(vals, flags_read):
+                append_outcome(LookupOutcome(found=False, buckets_read=buckets_read))
+                continue
+            s_found, s_value = stash.lookup(k)
+            append_outcome(
+                LookupOutcome(
+                    found=s_found,
+                    value=s_value if s_found else None,
+                    from_stash=s_found,
+                    checked_stash=True,
+                    buckets_read=buckets_read,
+                )
+            )
+        if total_bucket_reads:
+            self.mem.offchip_read("bucket", total_bucket_reads)
+        return outcomes
+
+    def put_many(self, pairs: Iterable[Tuple[KeyLike, Any]]) -> List[InsertOutcome]:
+        """Two-phase batched insert.
+
+        Phase 1 streams the common case: keys whose principles 1-3 placement
+        succeeds outright.  Keys that collide (every candidate holds a sole
+        copy) are deferred and run through the full kick-out path in phase 2.
+        Deferral is sound because placements never free a bucket and never
+        touch counter-1 buckets, so a collided key still collides when it is
+        retried; the result equals scalar puts in the reordered sequence
+        (non-collided keys in order, then collided keys in order).
+        """
+        items = [(self._canonical(key), value) for key, value in pairs]
+        n = self.n_buckets
+        d = self.d
+        # Candidates never change, so one multi-key family call serves the
+        # whole batch; counters are re-read per key because earlier
+        # placements in the batch mutate them.
+        raws = self._family.candidates_many(
+            self._functions, [k for k, _ in items], n
+        )
+        outcomes: List[Optional[InsertOutcome]] = [None] * len(items)
+        deferred: List[int] = []
+        counters = self._counters
+        tombstones = self._tombstones
+        keys_arr = self._keys
+        values_arr = self._values
+        masks_arr = self._masks
+        bucket_writes = 0  # fast-path off-chip writes, charged once at the end
+        for i, (k, value) in enumerate(items):
+            raw = raws[i]
+            cands = [table * n + raw[table] for table in range(d)]
+            vals = counters.get_block(cands)
+            if max(vals) < 2:
+                # No overwritable candidate: principles 1-3 reduce to
+                # "claim every free bucket", the dominant shape at load.
+                free = [b for b, v in zip(cands, vals) if v == 0]
+                total = len(free)
+                if not total:
+                    deferred.append(i)
+                    continue
+                mask = self._mask_for(free)
+                for bucket in free:
+                    keys_arr[bucket] = k
+                    values_arr[bucket] = value
+                    if masks_arr is not None:
+                        masks_arr[bucket] = mask
+                    if tombstones is not None:
+                        tombstones.clear_bit(bucket)
+                bucket_writes += total
+                counters.set_block(free, total)
+                self._n_main += 1
+                outcomes[i] = InsertOutcome(
+                    InsertStatus.STORED, kicks=0, copies=total
+                )
+                continue
+            copies = self._place_by_principles(k, value, cands, vals)
+            if copies:
+                self._n_main += 1
+                outcomes[i] = InsertOutcome(InsertStatus.STORED, kicks=0, copies=copies)
+            else:
+                deferred.append(i)
+        if bucket_writes:
+            self.mem.offchip_write("bucket", bucket_writes)
+        for i in deferred:
+            k, value = items[i]
+            # Phase 1 already charged this key's d counter reads.
+            outcomes[i] = self._insert_canonical(k, value, charge_counters=False)
+        return outcomes  # type: ignore[return-value]
+
+    def delete_many(self, keys: Sequence[KeyLike]) -> List[DeleteOutcome]:
+        if self.deletion_mode is DeletionMode.DISABLED:
+            raise UnsupportedOperationError(
+                "this table was built with DeletionMode.DISABLED"
+            )
+        counters = self._counters
+        n = self.n_buckets
+        d = self.d
+        ks = [self._canonical(key) for key in keys]
+        raws = self._family.candidates_many(self._functions, ks, n)
+        outcomes: List[DeleteOutcome] = []
+        for k, raw in zip(ks, raws):
+            cands = [table * n + raw[table] for table in range(d)]
+            # Fresh per-key read: earlier deletes in the batch zero counters.
+            vals = counters.get_block(cands)
+            outcomes.append(self._delete_canonical(k, cands, vals))
+        return outcomes
+
+    # ------------------------------------------------------------------
     # deletion and update
     # ------------------------------------------------------------------
 
@@ -570,6 +773,11 @@ class McCuckoo(HashTable):
         k = self._canonical(key)
         cands = self._candidates(k)
         vals = self._counters.get_many(cands)
+        return self._delete_canonical(k, cands, vals)
+
+    def _delete_canonical(
+        self, k: Key, cands: Sequence[int], vals: Sequence[int]
+    ) -> DeleteOutcome:
         if self._never_inserted(cands, vals):
             return DeleteOutcome(deleted=False)
         copies, flags_read = self._find_copies(k, cands, vals)

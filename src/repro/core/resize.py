@@ -24,7 +24,7 @@ window, and the invariant checkers hold on both halves at every step.
 
 from __future__ import annotations
 
-from typing import Any, Iterator, Optional, Tuple
+from typing import Any, Iterator, List, Optional, Sequence, Tuple
 
 from ..hashing import Key, KeyLike
 from ..memory.model import MemoryModel
@@ -191,6 +191,22 @@ class ResizableMcCuckoo(HashTable):
         if outcome.found or self._retiring is None:
             return outcome
         return self._retiring.lookup(key)
+
+    def lookup_many(self, keys: Sequence[KeyLike]) -> List[LookupOutcome]:
+        """Batched lookup: active-half kernel, misses retried on the old half.
+
+        put_many/delete_many stay the interface's scalar loops on purpose —
+        each write must interleave its own migration step to keep the
+        per-operation resize bound.
+        """
+        outcomes = self._active.lookup_many(keys)
+        if self._retiring is not None:
+            missed = [i for i, outcome in enumerate(outcomes) if not outcome.found]
+            if missed:
+                retried = self._retiring.lookup_many([keys[i] for i in missed])
+                for i, outcome in zip(missed, retried):
+                    outcomes[i] = outcome
+        return outcomes
 
     def delete(self, key: KeyLike) -> DeleteOutcome:
         outcome = self._active.delete(key)

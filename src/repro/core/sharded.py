@@ -13,7 +13,7 @@ in-shard candidate functions, so sharding does not bias bucket choice.
 
 from __future__ import annotations
 
-from typing import Any, Iterator, List, Optional, Tuple
+from typing import Any, Iterable, Iterator, List, Optional, Sequence, Tuple
 
 from ..hashing import Key, KeyLike
 from ..hashing.splitmix import splitmix64
@@ -119,6 +119,62 @@ class ShardedMcCuckoo(HashTable):
     def items(self) -> Iterator[Tuple[Key, Any]]:
         for shard in self._shards:
             yield from shard.items()
+
+    # ------------------------------------------------------------------
+    # batched operations: group by shard, one kernel call per shard
+    # ------------------------------------------------------------------
+
+    def _group_by_shard(
+        self, keys: Sequence[KeyLike]
+    ) -> Tuple[List[List[int]], List[List[Key]]]:
+        """Input positions and canonical keys owned by each shard."""
+        positions: List[List[int]] = [[] for _ in range(self.n_shards)]
+        grouped: List[List[Key]] = [[] for _ in range(self.n_shards)]
+        shard_of = self._router.shard_of
+        for pos, key in enumerate(keys):
+            k = self._canonical(key)
+            shard = shard_of(k)
+            positions[shard].append(pos)
+            grouped[shard].append(k)
+        return positions, grouped
+
+    def lookup_many(self, keys: Sequence[KeyLike]) -> List[LookupOutcome]:
+        positions, grouped = self._group_by_shard(keys)
+        outcomes: List[Optional[LookupOutcome]] = [None] * len(keys)
+        for shard, table in enumerate(self._shards):
+            if grouped[shard]:
+                for pos, outcome in zip(
+                    positions[shard], table.lookup_many(grouped[shard])
+                ):
+                    outcomes[pos] = outcome
+        return outcomes  # type: ignore[return-value]
+
+    def put_many(self, pairs: Iterable[Tuple[KeyLike, Any]]) -> List[InsertOutcome]:
+        items = list(pairs)
+        positions, grouped = self._group_by_shard([key for key, _ in items])
+        outcomes: List[Optional[InsertOutcome]] = [None] * len(items)
+        for shard, table in enumerate(self._shards):
+            if grouped[shard]:
+                shard_pairs = [
+                    (k, items[pos][1])
+                    for k, pos in zip(grouped[shard], positions[shard])
+                ]
+                for pos, outcome in zip(
+                    positions[shard], table.put_many(shard_pairs)
+                ):
+                    outcomes[pos] = outcome
+        return outcomes  # type: ignore[return-value]
+
+    def delete_many(self, keys: Sequence[KeyLike]) -> List[DeleteOutcome]:
+        positions, grouped = self._group_by_shard(keys)
+        outcomes: List[Optional[DeleteOutcome]] = [None] * len(keys)
+        for shard, table in enumerate(self._shards):
+            if grouped[shard]:
+                for pos, outcome in zip(
+                    positions[shard], table.delete_many(grouped[shard])
+                ):
+                    outcomes[pos] = outcome
+        return outcomes  # type: ignore[return-value]
 
     # ------------------------------------------------------------------
 

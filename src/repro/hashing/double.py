@@ -10,6 +10,8 @@ McCuckoo shapes are insensitive to it.
 
 from __future__ import annotations
 
+from typing import List, Sequence
+
 from .family import MASK64, HashFamily, HashFunction, Key
 from .splitmix import SplitMixHash, splitmix64
 
@@ -45,3 +47,16 @@ class DoubleHashFamily(HashFamily):
         h1 = SplitMixHash(base)
         h2 = SplitMixHash(splitmix64(base))
         return DoubleHash(index, h1, h2)
+
+    def candidates(
+        self, functions: Sequence[HashFunction], key: Key, n_buckets: int
+    ) -> List[int]:
+        """Two digests give all d indices: ``(h1 + i*h2) mod n`` per member."""
+        first = functions[0]
+        assert isinstance(first, DoubleHash)
+        h1 = first._h1.hash64(key)
+        stride = first._h2.hash64(key) | 1
+        return [
+            ((h1 + fn.index * stride) & MASK64) % n_buckets  # type: ignore[attr-defined]
+            for fn in functions
+        ]

@@ -12,8 +12,8 @@ strings into that canonical form.
 
 from __future__ import annotations
 
-import zlib
 from abc import ABC, abstractmethod
+from hashlib import blake2b
 from typing import List, Sequence, Union
 
 MASK64 = (1 << 64) - 1
@@ -25,10 +25,13 @@ KeyLike = Union[int, bytes, str]
 def canonical_key(key: KeyLike) -> Key:
     """Map an int/bytes/str key to the canonical unsigned 64-bit integer.
 
-    Ints are reduced mod 2^64; bytes and strings are digested with CRC32
-    folded over 8-byte chunks, which is stable across processes (unlike
-    built-in ``hash``).
+    Ints are reduced mod 2^64; bytes and strings are digested with an
+    8-byte BLAKE2b, which is stable across processes (unlike built-in
+    ``hash``) and runs in C regardless of key length — this function sits
+    on every operation's hot path.
     """
+    if type(key) is int:  # exact type: the hot path, and excludes bool
+        return key & MASK64
     if isinstance(key, bool):
         raise TypeError("bool is not a valid key type")
     if isinstance(key, int):
@@ -36,12 +39,7 @@ def canonical_key(key: KeyLike) -> Key:
     if isinstance(key, str):
         key = key.encode("utf-8")
     if isinstance(key, bytes):
-        acc = len(key) & MASK64
-        for offset in range(0, len(key), 8):
-            chunk = key[offset : offset + 8]
-            word = int.from_bytes(chunk.ljust(8, b"\0"), "little")
-            acc = ((acc * 0x9E3779B97F4A7C15) ^ word ^ zlib.crc32(chunk)) & MASK64
-        return acc
+        return int.from_bytes(blake2b(key, digest_size=8).digest(), "little")
     raise TypeError(f"unsupported key type: {type(key).__name__}")
 
 
@@ -53,9 +51,11 @@ class HashFunction(ABC):
         """Return a 64-bit hash of ``key``."""
 
     def bucket(self, key: Key, n_buckets: int) -> int:
-        """Reduce the 64-bit hash to a bucket index in ``[0, n_buckets)``."""
-        if n_buckets <= 0:
-            raise ValueError("n_buckets must be positive")
+        """Reduce the 64-bit hash to a bucket index in ``[0, n_buckets)``.
+
+        ``n_buckets`` must be positive; tables validate it once at
+        construction so this per-operation path carries no check.
+        """
         return self.hash64(key) % n_buckets
 
 
@@ -73,6 +73,28 @@ class HashFamily(ABC):
         if d <= 0:
             raise ValueError("d must be positive")
         return [self.make(i, seed) for i in range(d)]
+
+    def candidates(
+        self, functions: Sequence[HashFunction], key: Key, n_buckets: int
+    ) -> List[int]:
+        """All d candidate bucket indices of ``key`` in one call.
+
+        Semantically identical to ``[fn.bucket(key, n_buckets) for fn in
+        functions]``; families whose members share base hashes override this
+        to digest the key fewer times (double hashing needs two digests for
+        any d).  ``functions`` must be a list this family built.
+        """
+        return [fn.hash64(key) % n_buckets for fn in functions]
+
+    def candidates_many(
+        self, functions: Sequence[HashFunction], keys: Sequence[Key], n_buckets: int
+    ) -> List[List[int]]:
+        """:meth:`candidates` for a whole batch of canonical keys.
+
+        Families override this to hoist per-key call overhead out of the
+        batched kernels' hottest loop.
+        """
+        return [self.candidates(functions, key, n_buckets) for key in keys]
 
 
 def candidate_buckets(

@@ -1,10 +1,11 @@
 """Memory-hierarchy simulation: access accounting and the FPGA latency model."""
 
 from .latency import PAPER_FPGA, LatencyModel
-from .model import AccessCounts, MemoryModel, Op, OpStats, Snapshot, Tier
+from .model import AccessCounts, CounterCharging, MemoryModel, Op, OpStats, Snapshot, Tier
 
 __all__ = [
     "AccessCounts",
+    "CounterCharging",
     "LatencyModel",
     "MemoryModel",
     "Op",

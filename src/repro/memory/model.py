@@ -32,6 +32,23 @@ class Op(Enum):
     WRITE = "write"
 
 
+class CounterCharging(Enum):
+    """How bulk counter reads (:meth:`PackedArray.get_block`) are charged.
+
+    ``PER_COUNTER`` — every counter read charges one access, exactly as the
+    scalar ``get``/``get_many`` path does.  This is the default and the mode
+    every paper-figure experiment runs in, so batching never changes the
+    reproduction's access counts.
+
+    ``PER_WORD`` — one access per distinct 64-bit SRAM word touched, the
+    cost a real on-chip counter block with a word-wide read port would pay.
+    Opt-in, for what-if studies only.
+    """
+
+    PER_COUNTER = "per_counter"
+    PER_WORD = "per_word"
+
+
 @dataclass
 class AccessCounts:
     """Plain read/write counters for one memory tier."""
@@ -90,9 +107,14 @@ class MemoryModel:
     and for tests that assert *which* accesses happened, not just how many.
     """
 
-    def __init__(self, trace_capacity: int = 0) -> None:
+    def __init__(
+        self,
+        trace_capacity: int = 0,
+        counter_charging: CounterCharging = CounterCharging.PER_COUNTER,
+    ) -> None:
         self.on_chip = AccessCounts()
         self.off_chip = AccessCounts()
+        self.counter_charging = counter_charging
         self._trace_capacity = trace_capacity
         self._trace: List[Tuple[Tier, Op, str]] = []
 

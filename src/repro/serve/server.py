@@ -6,13 +6,18 @@ Concurrency model — the paper's one-writer-many-readers discipline
 * **Reads** (GET, STATS) execute inline in the connection handler, so any
   number of connections read concurrently.
 * **Writes** (PUT, DELETE) are routed to the owning shard's single writer
-  task through a *bounded* ``asyncio.Queue``.  One writer per shard means
-  mutations on a shard are totally ordered; writers on different shards
-  never touch shared state.
-* **Backpressure** is explicit: a full writer queue answers with a BUSY
-  error frame immediately instead of buffering without bound.  Likewise a
-  connection over the limit is greeted with BUSY and closed, and a request
-  that exceeds the per-request timeout gets a TIMEOUT frame.
+  task through its queue.  One writer per shard means mutations on a shard
+  are totally ordered; writers on different shards never touch shared
+  state.  A queue item is a *run* of ops: scalar requests enqueue runs of
+  one, while the BATCH path submits each shard's consecutive writes as a
+  single run, so a 32-op batch costs one queue round-trip per shard
+  instead of 32.
+* **Backpressure** is explicit: each shard accepts at most
+  ``writer_queue_depth`` queued *ops* (tracked by a per-shard counter, not
+  the queue length, since runs vary in size) and answers overflow with a
+  per-op BUSY error frame immediately instead of buffering without bound.
+  Likewise a connection over the limit is greeted with BUSY and closed,
+  and a request that exceeds the per-request timeout gets a TIMEOUT frame.
 
 Every reply is a frame; the server never drops a request silently.  The
 only event that closes a connection from the server side is a framing
@@ -90,6 +95,7 @@ class McCuckooServer:
         self.stats = ServeStats()
         self._server: Optional[asyncio.AbstractServer] = None
         self._write_queues: List[asyncio.Queue] = []
+        self._queued_ops: List[int] = []
         self._writer_tasks: List[asyncio.Task] = []
         self._connections = 0
 
@@ -110,13 +116,14 @@ class McCuckooServer:
         """Bind, spawn per-shard writers, and begin accepting connections."""
         if self._server is not None:
             raise RuntimeError("server already started")
-        self._write_queues = [
-            asyncio.Queue(maxsize=self.config.writer_queue_depth)
-            for _ in range(self.store.n_shards)
-        ]
+        # Queues are unbounded; the writer_queue_depth bound is enforced in
+        # ops via _queued_ops so a grouped run of N writes occupies N slots
+        # while filling a single queue entry.
+        self._write_queues = [asyncio.Queue() for _ in range(self.store.n_shards)]
+        self._queued_ops = [0] * self.store.n_shards
         self._writer_tasks = [
-            asyncio.create_task(self._writer_loop(queue))
-            for queue in self._write_queues
+            asyncio.create_task(self._writer_loop(shard))
+            for shard in range(self.store.n_shards)
         ]
         self._server = await asyncio.start_server(
             self._on_connection, host=self.config.host, port=self.config.port
@@ -137,6 +144,7 @@ class McCuckooServer:
                 pass
         self._writer_tasks = []
         self._write_queues = []
+        self._queued_ops = []
 
     async def serve_forever(self) -> None:
         if self._server is None:
@@ -155,22 +163,29 @@ class McCuckooServer:
     # write path: one writer task per shard
     # ------------------------------------------------------------------
 
-    async def _writer_loop(self, queue: asyncio.Queue) -> None:
+    async def _writer_loop(self, shard: int) -> None:
+        queue = self._write_queues[shard]
         while True:
-            request, future = await queue.get()
+            run = await queue.get()
+            # Slots free as soon as the run is picked up, matching the old
+            # bounded-queue behaviour where qsize dropped at get().
+            self._queued_ops[shard] -= len(run)
             try:
-                if self.config.write_stall:
-                    await asyncio.sleep(self.config.write_stall)
-                reply = self._apply_write(request)
-                if not future.done():
-                    future.set_result(reply)
-            except asyncio.CancelledError:
-                if not future.done():
-                    future.set_exception(asyncio.CancelledError())
-                raise
-            except Exception as error:  # surface as INTERNAL, keep writing
-                if not future.done():
-                    future.set_exception(error)
+                for position, (request, future) in enumerate(run):
+                    try:
+                        if self.config.write_stall:
+                            await asyncio.sleep(self.config.write_stall)
+                        reply = self._apply_write(request)
+                        if not future.done():
+                            future.set_result(reply)
+                    except asyncio.CancelledError:
+                        for _, later in run[position:]:
+                            if not later.done():
+                                later.set_exception(asyncio.CancelledError())
+                        raise
+                    except Exception as error:  # surface as INTERNAL
+                        if not future.done():
+                            future.set_exception(error)
             finally:
                 queue.task_done()
 
@@ -186,20 +201,51 @@ class McCuckooServer:
         self.stats.note_delete(deleted)
         return DeleteReply(deleted=deleted)
 
+    def _busy_reply(self, shard: int) -> ErrorReply:
+        self.stats.busy_rejections += 1
+        return ErrorReply(
+            ErrorCode.BUSY,
+            f"shard {shard} writer queue full "
+            f"({self.config.writer_queue_depth} pending)",
+        )
+
     async def _submit_write(self, request: SimpleRequest) -> SimpleReply:
         shard = self.store.shard_index(request.key)
-        queue = self._write_queues[shard]
+        if self._queued_ops[shard] >= self.config.writer_queue_depth:
+            return self._busy_reply(shard)
         future: asyncio.Future = asyncio.get_running_loop().create_future()
-        try:
-            queue.put_nowait((request, future))
-        except asyncio.QueueFull:
-            self.stats.busy_rejections += 1
-            return ErrorReply(
-                ErrorCode.BUSY,
-                f"shard {shard} writer queue full "
-                f"({self.config.writer_queue_depth} pending)",
-            )
+        self._queued_ops[shard] += 1
+        self._write_queues[shard].put_nowait([(request, future)])
         return await future
+
+    def _enqueue_write_run(
+        self,
+        run: List[Tuple[int, SimpleRequest]],
+        replies: List[Optional[SimpleReply]],
+        pending: List[Tuple[int, "asyncio.Future"]],
+    ) -> None:
+        """Submit a batch's consecutive writes: group by shard, enqueue each
+        shard's portion as ONE queue item, BUSY the ops past the shard's
+        free capacity (per-op, like the scalar path)."""
+        by_shard: dict = {}
+        for index, op in run:
+            by_shard.setdefault(self.store.shard_index(op.key), []).append(
+                (index, op)
+            )
+        loop = asyncio.get_running_loop()
+        depth = self.config.writer_queue_depth
+        for shard, ops in by_shard.items():
+            free = max(0, depth - self._queued_ops[shard])
+            item: List[Tuple[SimpleRequest, asyncio.Future]] = []
+            for index, op in ops[:free]:
+                future: asyncio.Future = loop.create_future()
+                item.append((op, future))
+                pending.append((index, future))
+            for index, _ in ops[free:]:
+                replies[index] = self._busy_reply(shard)
+            if item:
+                self._queued_ops[shard] += len(item)
+                self._write_queues[shard].put_nowait(item)
 
     # ------------------------------------------------------------------
     # dispatch
@@ -229,12 +275,18 @@ class McCuckooServer:
         return await self._handle_batch(request)
 
     async def _handle_batch(self, request: BatchRequest) -> BatchReply:
-        """Ordered batch: writes pipeline into the shard queues without
-        waiting (a burst can still draw BUSY), while a read first drains
-        every earlier write in the batch — read-your-writes within a
-        batch, per-shard write order preserved."""
+        """Ordered batch, served as runs rather than op-by-op: consecutive
+        writes are grouped per shard and enqueued as single writer items
+        (overflow still draws per-op BUSY), and consecutive GETs are served
+        together through the store's bulk lookup kernel.  A read first
+        flushes and drains every earlier write in the batch — so
+        read-your-writes holds within a batch and per-shard write order is
+        preserved — and a write run is only enqueued after earlier reads
+        have executed."""
         replies: List[Optional[SimpleReply]] = [None] * len(request.ops)
         pending: List[Tuple[int, asyncio.Future]] = []
+        writes: List[Tuple[int, SimpleRequest]] = []
+        reads: List[Tuple[int, GetRequest]] = []
 
         async def drain() -> None:
             for index, future in pending:
@@ -245,25 +297,45 @@ class McCuckooServer:
                     replies[index] = ErrorReply(ErrorCode.INTERNAL, str(error))
             pending.clear()
 
-        loop = asyncio.get_running_loop()
+        async def flush_reads() -> None:
+            if not reads:
+                return
+            try:
+                values = self.store.get_many([op.key for _, op in reads])
+            except Exception:
+                # per-op fallback keeps error granularity identical to the
+                # scalar path (each failing GET answers INTERNAL itself)
+                for index, op in reads:
+                    replies[index] = await self._handle_simple(op)
+            else:
+                for (index, _), value in zip(reads, values):
+                    self.stats.note_get(hit=value is not None)
+                    if value is None:
+                        replies[index] = ValueReply(found=False)
+                    else:
+                        replies[index] = ValueReply(found=True, value=bytes(value))
+            reads.clear()
+
+        def flush_writes() -> None:
+            if writes:
+                self._enqueue_write_run(writes, replies, pending)
+                writes.clear()
+
         for index, op in enumerate(request.ops):
             if isinstance(op, (PutRequest, DeleteRequest)):
-                shard = self.store.shard_index(op.key)
-                future: asyncio.Future = loop.create_future()
-                try:
-                    self._write_queues[shard].put_nowait((op, future))
-                except asyncio.QueueFull:
-                    self.stats.busy_rejections += 1
-                    replies[index] = ErrorReply(
-                        ErrorCode.BUSY,
-                        f"shard {shard} writer queue full "
-                        f"({self.config.writer_queue_depth} pending)",
-                    )
-                else:
-                    pending.append((index, future))
-            else:
+                await flush_reads()
+                writes.append((index, op))
+            elif isinstance(op, GetRequest):
+                flush_writes()
+                await drain()
+                reads.append((index, op))
+            else:  # STATS: a barrier — everything before it must be visible
+                await flush_reads()
+                flush_writes()
                 await drain()
                 replies[index] = await self._handle_simple(op)
+        await flush_reads()
+        flush_writes()
         await drain()
         assert all(reply is not None for reply in replies)
         return BatchReply(tuple(replies))  # type: ignore[arg-type]
@@ -280,9 +352,7 @@ class McCuckooServer:
     def _stats_snapshot(self) -> dict:
         self.stats.gauges = {
             "connections_active": self._connections,
-            "writer_queue_depth": sum(
-                queue.qsize() for queue in self._write_queues
-            ),
+            "writer_queue_depth": sum(self._queued_ops),
             **self.store.stats_snapshot(),
         }
         return self.stats.snapshot()

@@ -71,6 +71,24 @@ class ShardedLogStore:
         value = self.shard_for(key).get(key, _MISSING)
         return None if value is _MISSING else value
 
+    def get_many(self, keys: List[KeyLike]) -> List[Optional[Any]]:
+        """Batched :meth:`get`: group keys by shard, run each shard's run
+        through its store's bulk kernel, and reassemble in input order."""
+        positions: List[List[int]] = [[] for _ in self._shards]
+        grouped: List[List[KeyLike]] = [[] for _ in self._shards]
+        for pos, key in enumerate(keys):
+            shard = self._router.shard_of(canonical_key(key))
+            positions[shard].append(pos)
+            grouped[shard].append(key)
+        out: List[Optional[Any]] = [None] * len(keys)
+        for shard, shard_keys in enumerate(grouped):
+            if not shard_keys:
+                continue
+            values = self._shards[shard].get_many(shard_keys, default=_MISSING)
+            for pos, value in zip(positions[shard], values):
+                out[pos] = None if value is _MISSING else value
+        return out
+
     def put(self, key: KeyLike, value: Any) -> "PutResult":
         outcome = self.shard_for(key).put(key, value)
         return PutResult(

@@ -79,10 +79,16 @@ class TestFamilies:
         for key in range(200):
             assert 0 <= fn.bucket(key, 17) < 17
 
-    def test_bucket_rejects_nonpositive_size(self, family_name):
-        fn = FAMILIES[family_name].make(0, seed=5)
-        with pytest.raises(ValueError):
-            fn.bucket(1, 0)
+    def test_candidates_match_per_function_buckets(self, family_name):
+        # The multi-index fast path must agree with the scalar bucket()
+        # calls it replaces on the hot path (bucket() itself no longer
+        # validates n_buckets; tables check it once at construction).
+        family = FAMILIES[family_name]
+        functions = family.functions(3, seed=5)
+        for key in (0, 1, 0xDEADBEEF, MASK64):
+            assert family.candidates(functions, key, 97) == [
+                fn.bucket(key, 97) for fn in functions
+            ]
 
     def test_bucket_distribution_roughly_uniform(self, family_name):
         fn = FAMILIES[family_name].make(0, seed=6)

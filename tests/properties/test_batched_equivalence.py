@@ -1,0 +1,216 @@
+"""Property tests: the batched kernels are observationally equivalent to
+scalar loops.
+
+The contract (``interface.py``): ``lookup_many``/``delete_many`` return
+exactly what a loop of scalar calls would return and, in the default
+``PER_COUNTER`` charging mode, record identical access totals.
+``put_many`` may execute collided keys after non-collided ones, so its
+outcomes equal scalar puts of the *reordered* sequence — non-collided
+keys in submission order, then collided keys in submission order — which
+is derivable from the returned ``InsertOutcome.collided`` flags.
+
+Each test drives a "batched" table and a "scalar" twin (same seed and
+configuration) through the same workload and compares outcomes, memory
+summaries, raw counter bytes, and surviving items.
+"""
+
+import random
+
+import pytest
+
+from repro.core.blocked import BlockedMcCuckoo
+from repro.core.config import DeletionMode
+from repro.core.errors import UnsupportedOperationError
+from repro.core.mccuckoo import McCuckoo
+from repro.core.resize import ResizableMcCuckoo
+from repro.core.sharded import ShardedMcCuckoo
+from repro.memory.model import CounterCharging, MemoryModel
+
+MODES = (DeletionMode.DISABLED, DeletionMode.RESET, DeletionMode.TOMBSTONE)
+
+
+def twin_tables(mode, n_buckets=500, **kwargs):
+    make = lambda: McCuckoo(n_buckets, d=3, seed=3, deletion_mode=mode,
+                            mem=MemoryModel(), **kwargs)  # noqa: E731
+    return make(), make()
+
+
+def scalar_puts_reordered(table, pairs, batched_outcomes):
+    """Replay ``pairs`` scalar-wise in the order ``put_many`` executed them."""
+    order = [i for i, o in enumerate(batched_outcomes) if not o.collided]
+    order += [i for i, o in enumerate(batched_outcomes) if o.collided]
+    outcomes = {}
+    for i in order:
+        outcomes[i] = table.put(*pairs[i])
+    return [outcomes[i] for i in range(len(pairs))]
+
+
+def assert_same_state(scalar, batched):
+    assert scalar.mem.summary() == batched.mem.summary()
+    assert bytes(scalar._counters._data) == bytes(batched._counters._data)
+    assert sorted(scalar.items()) == sorted(batched.items())
+
+
+@pytest.mark.parametrize("mode", MODES, ids=lambda m: m.name.lower())
+class TestMcCuckoo:
+    def test_put_many_matches_reordered_scalar(self, mode):
+        scalar, batched = twin_tables(mode)
+        rng = random.Random(11)
+        pairs = [(rng.getrandbits(64), i) for i in range(1300)]
+        batched_outcomes = batched.put_many(pairs)
+        scalar_outcomes = scalar_puts_reordered(scalar, pairs, batched_outcomes)
+        assert batched_outcomes == scalar_outcomes
+        assert_same_state(scalar, batched)
+
+    def test_lookup_many_matches_scalar(self, mode):
+        scalar, batched = twin_tables(mode)
+        rng = random.Random(12)
+        pairs = [(rng.getrandbits(64), i) for i in range(1200)]
+        batched_outcomes = batched.put_many(pairs)
+        scalar_puts_reordered(scalar, pairs, batched_outcomes)
+        present = [key for key, _ in pairs[::3]]
+        absent = [rng.getrandbits(64) for _ in range(300)]
+        queries = present + absent
+        rng.shuffle(queries)
+        assert [scalar.lookup(q) for q in queries] == batched.lookup_many(queries)
+        assert scalar.mem.summary() == batched.mem.summary()
+
+    def test_delete_many_matches_scalar(self, mode):
+        if mode is DeletionMode.DISABLED:
+            scalar, batched = twin_tables(mode)
+            with pytest.raises(UnsupportedOperationError):
+                batched.delete_many([1, 2])
+            return
+        scalar, batched = twin_tables(mode)
+        rng = random.Random(13)
+        pairs = [(rng.getrandbits(64), i) for i in range(1200)]
+        batched_outcomes = batched.put_many(pairs)
+        scalar_puts_reordered(scalar, pairs, batched_outcomes)
+        victims = [key for key, _ in pairs[::4]]
+        victims += [rng.getrandbits(64) for _ in range(100)]  # absent keys
+        victims += victims[:40]  # double deletes
+        assert [scalar.delete(v) for v in victims] == batched.delete_many(victims)
+        assert_same_state(scalar, batched)
+        # lookups after deletion agree too (tombstone/reset screens differ)
+        queries = [key for key, _ in pairs[::5]]
+        assert [scalar.lookup(q) for q in queries] == batched.lookup_many(queries)
+        assert scalar.mem.summary() == batched.mem.summary()
+
+
+class TestStashSpill:
+    def test_put_many_overfill_spills_identically(self):
+        # a tiny table driven past capacity: some keys land in the stash
+        make = lambda: McCuckoo(40, d=3, seed=5, maxloop=30,  # noqa: E731
+                                stash_buckets=8, mem=MemoryModel())
+        scalar, batched = make(), make()
+        rng = random.Random(21)
+        pairs = [(rng.getrandbits(64), i) for i in range(135)]
+        batched_outcomes = batched.put_many(pairs)
+        scalar_outcomes = scalar_puts_reordered(scalar, pairs, batched_outcomes)
+        assert batched_outcomes == scalar_outcomes
+        assert any(o.stashed for o in batched_outcomes), "workload too small"
+        assert_same_state(scalar, batched)
+        # misses now route through the Bloom-style stash screen
+        queries = [key for key, _ in pairs] + [rng.getrandbits(64)
+                                               for _ in range(200)]
+        assert [scalar.lookup(q) for q in queries] == batched.lookup_many(queries)
+        assert scalar.mem.summary() == batched.mem.summary()
+
+
+class TestBlocked:
+    @pytest.mark.parametrize("screen", (True, False), ids=("screened", "raw"))
+    def test_batched_equivalence(self, screen):
+        mode = DeletionMode.DISABLED if not screen else DeletionMode.RESET
+        make = lambda: BlockedMcCuckoo(  # noqa: E731
+            120, d=3, slots=3, seed=7, deletion_mode=mode,
+            lookup_counter_screen=screen, mem=MemoryModel())
+        scalar, batched = make(), make()
+        rng = random.Random(31)
+        pairs = [(rng.getrandbits(64), i) for i in range(900)]
+        batched_outcomes = batched.put_many(pairs)
+        scalar_outcomes = scalar_puts_reordered(scalar, pairs, batched_outcomes)
+        assert batched_outcomes == scalar_outcomes
+        assert scalar.mem.summary() == batched.mem.summary()
+        assert sorted(scalar.items()) == sorted(batched.items())
+        queries = [key for key, _ in pairs[::3]]
+        queries += [rng.getrandbits(64) for _ in range(250)]
+        assert [scalar.lookup(q) for q in queries] == batched.lookup_many(queries)
+        assert scalar.mem.summary() == batched.mem.summary()
+        if mode is not DeletionMode.DISABLED:
+            victims = [key for key, _ in pairs[::5]]
+            assert [scalar.delete(v) for v in victims] == batched.delete_many(victims)
+            assert scalar.mem.summary() == batched.mem.summary()
+
+
+class TestSharded:
+    def test_batched_ops_match_scalar_per_shard(self):
+        make = lambda: ShardedMcCuckoo(  # noqa: E731
+            4, 150, d=3, seed=9, deletion_mode=DeletionMode.RESET,
+            mem=MemoryModel())
+        scalar, batched = make(), make()
+        rng = random.Random(41)
+        pairs = [(rng.getrandbits(64), i) for i in range(1100)]
+        batched_outcomes = batched.put_many(pairs)
+        # put_many reorders within each shard; the collided flag projects
+        # the same order on the scalar twin globally because shards are
+        # independent.
+        scalar_outcomes = scalar_puts_reordered(scalar, pairs, batched_outcomes)
+        assert batched_outcomes == scalar_outcomes
+        assert scalar.mem.summary() == batched.mem.summary()
+        queries = [key for key, _ in pairs[::2]]
+        queries += [rng.getrandbits(64) for _ in range(300)]
+        assert [scalar.lookup(q) for q in queries] == batched.lookup_many(queries)
+        victims = [key for key, _ in pairs[::3]]
+        assert [scalar.delete(v) for v in victims] == batched.delete_many(victims)
+        assert scalar.mem.summary() == batched.mem.summary()
+        assert sorted(scalar.items()) == sorted(batched.items())
+
+
+class TestResizable:
+    def test_lookup_many_spans_migration(self):
+        make = lambda: ResizableMcCuckoo(64, d=3, grow_at=0.7, seed=13,  # noqa: E731
+                                         mem=MemoryModel())
+        scalar, batched = make(), make()
+        rng = random.Random(51)
+        keys = [rng.getrandbits(64) for _ in range(200)]
+        for table in (scalar, batched):
+            for key in keys:
+                table.put(key, key & 0xFF)
+        assert batched.retiring_table is not None or batched.capacity > 64 * 3
+        queries = keys + [rng.getrandbits(64) for _ in range(100)]
+        assert [scalar.lookup(q) for q in queries] == batched.lookup_many(queries)
+        assert scalar.mem.summary() == batched.mem.summary()
+
+
+class TestPerWordCharging:
+    def test_per_word_reads_fewer_counters_same_results(self):
+        per_counter = McCuckoo(500, d=3, seed=3, mem=MemoryModel())
+        per_word = McCuckoo(
+            500, d=3, seed=3,
+            mem=MemoryModel(counter_charging=CounterCharging.PER_WORD))
+        rng = random.Random(61)
+        pairs = [(rng.getrandbits(64), i) for i in range(1200)]
+        assert per_counter.put_many(pairs) == per_word.put_many(pairs)
+        queries = [key for key, _ in pairs[::2]] + [rng.getrandbits(64)
+                                                    for _ in range(200)]
+        assert per_counter.lookup_many(queries) == per_word.lookup_many(queries)
+        counter_reads = per_counter.mem.summary()
+        word_reads = per_word.mem.summary()
+        assert counter_reads != word_reads, "PER_WORD should coalesce reads"
+
+    def test_scalar_paths_ignore_per_word_mode(self):
+        # per-counter charging of the scalar accessors is unaffected: the
+        # paper-figure pipelines never see the PER_WORD option.
+        default = McCuckoo(200, d=3, seed=3, mem=MemoryModel())
+        word = McCuckoo(
+            200, d=3, seed=3,
+            mem=MemoryModel(counter_charging=CounterCharging.PER_WORD))
+        rng = random.Random(71)
+        keys = [rng.getrandbits(64) for _ in range(400)]
+        for table in (default, word):
+            for key in keys:
+                table.put(key)
+        for key in keys[::7]:
+            default.lookup(key)
+            word.lookup(key)
+        assert default.mem.summary() == word.mem.summary()

@@ -1,0 +1,164 @@
+"""Tests for the vectorized serving paths: store.get_many and the
+run-grouped BATCH handler (bulk reads, grouped writer submissions)."""
+
+import asyncio
+
+import pytest
+
+from repro.apps.kvstore import LogStructuredStore
+from repro.memory.model import MemoryModel
+from repro.serve import (
+    ErrorCode,
+    ErrorReply,
+    McCuckooClient,
+    McCuckooServer,
+    ServerConfig,
+)
+from repro.serve.store import ShardedLogStore
+from repro.workloads import distinct_keys
+
+
+def run(coro):
+    return asyncio.run(coro)
+
+
+class TestStoreGetMany:
+    def test_log_store_get_many_matches_scalar_and_accounting(self):
+        scalar = LogStructuredStore(expected_items=256, seed=4, mem=MemoryModel())
+        batched = LogStructuredStore(expected_items=256, seed=4, mem=MemoryModel())
+        keys = distinct_keys(300, seed=5)
+        for store in (scalar, batched):
+            for i, key in enumerate(keys):
+                store.put(key, i)
+        queries = keys[::2] + distinct_keys(100, seed=6)
+        expected = [scalar.get(key, default="absent") for key in queries]
+        assert batched.get_many(queries, default="absent") == expected
+        assert scalar.mem.summary() == batched.mem.summary()
+
+    def test_sharded_store_get_many_preserves_order(self):
+        store = ShardedLogStore(n_shards=4, expected_items=512, seed=2)
+        keys = distinct_keys(200, seed=7)
+        for i, key in enumerate(keys):
+            store.put(key, bytes([i % 256]))
+        missing = distinct_keys(50, seed=8)
+        queries = [q for pair in zip(keys[:50], missing) for q in pair]
+        values = store.get_many(queries)
+        assert values == [store.get(q) for q in queries]
+        assert values[0::2] == [bytes([i % 256]) for i in range(50)]
+        assert values[1::2] == [None] * 50
+
+    def test_get_many_empty(self):
+        store = ShardedLogStore(n_shards=2, expected_items=64)
+        assert store.get_many([]) == []
+
+
+def config(**overrides) -> ServerConfig:
+    defaults = dict(n_shards=4, expected_items=4096, seed=0)
+    defaults.update(overrides)
+    return ServerConfig(**defaults)
+
+
+class TestBatchedBatchPath:
+    def test_batch_of_gets_served_in_bulk(self):
+        async def scenario():
+            async with McCuckooServer(config()) as server:
+                host, port = server.address
+                async with McCuckooClient(host, port) as client:
+                    keys = distinct_keys(64, seed=11)
+                    await client.batch(
+                        [("put", key, bytes([i % 256]))
+                         for i, key in enumerate(keys)]
+                    )
+                    missing = distinct_keys(16, seed=12)
+                    replies = await client.batch(
+                        [("get", key) for key in keys + missing]
+                    )
+                    for i, reply in enumerate(replies[:64]):
+                        assert reply.found and reply.value == bytes([i % 256])
+                    assert all(not reply.found for reply in replies[64:])
+                    assert server.stats.get_hits == 64
+                    assert server.stats.get_misses == 16
+
+        run(scenario())
+
+    def test_consecutive_read_and_write_runs_stay_ordered(self):
+        async def scenario():
+            async with McCuckooServer(config()) as server:
+                host, port = server.address
+                async with McCuckooClient(host, port) as client:
+                    replies = await client.batch(
+                        [("put", 1, b"a"), ("put", 2, b"b"),
+                         ("get", 1), ("get", 2),
+                         ("put", 1, b"a2"), ("delete", 2),
+                         ("get", 1), ("get", 2)]
+                    )
+                    assert replies[0].created and replies[1].created
+                    assert replies[2].value == b"a"
+                    assert replies[3].value == b"b"
+                    assert replies[4].created is False  # update
+                    assert replies[5].deleted is True
+                    assert replies[6].value == b"a2"
+                    assert replies[7].found is False
+
+        run(scenario())
+
+    def test_grouped_write_run_splits_at_capacity(self):
+        """A single-shard batch of 5 writes against depth=2 accepts exactly
+        the first two as one grouped item and BUSYs the other three."""
+
+        async def scenario():
+            cfg = config(n_shards=1, writer_queue_depth=2, write_stall=0.05,
+                         request_timeout=30.0)
+            async with McCuckooServer(cfg) as server:
+                host, port = server.address
+                async with McCuckooClient(host, port) as client:
+                    keys = distinct_keys(5, seed=13)
+                    replies = await client.batch(
+                        [("put", key, b"v") for key in keys]
+                    )
+                    busy = [r for r in replies if isinstance(r, ErrorReply)]
+                    ok = [r for r in replies if not isinstance(r, ErrorReply)]
+                    assert replies[0] in ok and replies[1] in ok
+                    assert len(ok) == 2
+                    assert len(busy) == 3
+                    assert all(r.code is ErrorCode.BUSY for r in busy)
+                    assert server.stats.busy_rejections == 3
+
+        run(scenario())
+
+    def test_batch_writes_fan_out_across_shards(self):
+        """Writes in one batch reach every shard's writer and all apply."""
+
+        async def scenario():
+            async with McCuckooServer(config(n_shards=4)) as server:
+                host, port = server.address
+                async with McCuckooClient(host, port) as client:
+                    keys = distinct_keys(128, seed=14)
+                    replies = await client.batch(
+                        [("put", key, b"x") for key in keys]
+                    )
+                    assert all(reply.created for reply in replies)
+                    shards = {server.store.shard_index(key) for key in keys}
+                    assert shards == set(range(4))
+                    gets = await client.batch([("get", key) for key in keys])
+                    assert all(reply.value == b"x" for reply in gets)
+
+        run(scenario())
+
+    def test_queued_ops_gauge_settles_to_zero(self):
+        async def scenario():
+            async with McCuckooServer(config()) as server:
+                host, port = server.address
+                async with McCuckooClient(host, port) as client:
+                    keys = distinct_keys(32, seed=15)
+                    await client.batch([("put", key, b"v") for key in keys])
+                    stats = await client.stats()
+                    assert stats["writer_queue_depth"] == 0
+
+        run(scenario())
+
+
+if __name__ == "__main__":
+    import sys
+
+    sys.exit(pytest.main([__file__, "-q"]))
