@@ -1,5 +1,23 @@
 """Application layers built on the core tables (the paper's motivating uses)."""
 
-from .kvstore import LogRecord, LogStructuredStore, ValueLog
+from .kvstore import (
+    CorruptLogError,
+    DurableValueLog,
+    LogRecord,
+    LogStructuredStore,
+    RecoveryReport,
+    ValueLog,
+    encode_record,
+    scan_log_bytes,
+)
 
-__all__ = ["LogRecord", "LogStructuredStore", "ValueLog"]
+__all__ = [
+    "CorruptLogError",
+    "DurableValueLog",
+    "LogRecord",
+    "LogStructuredStore",
+    "RecoveryReport",
+    "ValueLog",
+    "encode_record",
+    "scan_log_bytes",
+]

@@ -20,17 +20,142 @@ all index traffic accounted through the usual :class:`MemoryModel`.
 
 from __future__ import annotations
 
+import json
+import struct
+import zlib
 from dataclasses import dataclass
 from typing import Any, Dict, Iterator, List, Optional, Tuple
 
 from ..core.config import DeletionMode
-from ..core.errors import TableFullError
+from ..core.errors import ReproError, TableFullError
 from ..core.resize import ResizableMcCuckoo
 from ..core.results import InsertOutcome
+from ..faults import FaultPlan, InjectedCrash
 from ..hashing import Key, KeyLike, canonical_key
 from ..memory.model import MemoryModel
 
 _TOMBSTONE = object()
+
+# ----------------------------------------------------------------------
+# durable record codec
+#
+# A serialized record is ``u32 length`` followed by ``length`` bytes:
+#   u64 key | u8 kind | u32 value-length | value bytes | u32 crc32
+# where the CRC covers everything before it.  ``kind`` tags the value
+# payload: raw bytes, UTF-8 string, JSON (other picklable-by-JSON values),
+# or a tombstone (empty payload).  The length prefix lets recovery detect
+# a torn tail; the CRC detects a torn write that happens to end on a
+# record boundary, and bit rot.
+# ----------------------------------------------------------------------
+
+_REC_LEN = struct.Struct(">I")
+_REC_HEAD = struct.Struct(">QBI")  # key, kind, value length
+_REC_CRC = struct.Struct(">I")
+
+_KIND_BYTES = 0
+_KIND_STR = 1
+_KIND_JSON = 2
+_KIND_TOMBSTONE = 3
+
+
+class CorruptLogError(ReproError):
+    """A durable log record failed its CRC away from the torn tail."""
+
+
+def encode_record(key: Key, value: Any) -> bytes:
+    """Serialize one record (``_TOMBSTONE`` sentinel encodes a delete)."""
+    if value is _TOMBSTONE:
+        kind, payload = _KIND_TOMBSTONE, b""
+    elif isinstance(value, (bytes, bytearray, memoryview)):
+        kind, payload = _KIND_BYTES, bytes(value)
+    elif isinstance(value, str):
+        kind, payload = _KIND_STR, value.encode("utf-8")
+    else:
+        kind, payload = _KIND_JSON, json.dumps(value, sort_keys=True).encode("utf-8")
+    body = _REC_HEAD.pack(key, kind, len(payload)) + payload
+    body += _REC_CRC.pack(zlib.crc32(body) & 0xFFFFFFFF)
+    return _REC_LEN.pack(len(body)) + body
+
+
+def _decode_value(kind: int, payload: bytes) -> Any:
+    if kind == _KIND_BYTES:
+        return payload
+    if kind == _KIND_STR:
+        return payload.decode("utf-8")
+    if kind == _KIND_JSON:
+        return json.loads(payload.decode("utf-8"))
+    assert kind == _KIND_TOMBSTONE
+    return _TOMBSTONE
+
+
+@dataclass
+class RecoveryReport:
+    """What :meth:`LogStructuredStore.recover_from_bytes` found and did."""
+
+    records_replayed: int = 0
+    tombstones_replayed: int = 0
+    live_keys: int = 0
+    bytes_scanned: int = 0
+    bytes_truncated: int = 0
+    torn_tail: bool = False
+
+    def render(self) -> str:
+        return (
+            f"recovered {self.live_keys} live keys from "
+            f"{self.records_replayed} records "
+            f"({self.tombstones_replayed} tombstones); "
+            f"scanned {self.bytes_scanned} bytes, "
+            f"truncated {self.bytes_truncated} torn-tail bytes"
+        )
+
+
+def scan_log_bytes(data: bytes) -> Tuple[List["LogRecord"], RecoveryReport]:
+    """Parse a serialized log, truncating a torn tail instead of raising.
+
+    A record that is cut short (not enough bytes for its declared length,
+    or not even a full length prefix) or whose CRC fails *at the tail* is
+    treated as a torn write: everything from its start onward is dropped
+    and counted in ``bytes_truncated``.  A CRC failure with intact records
+    after it is not a torn write and raises :class:`CorruptLogError`.
+    """
+    records: List[LogRecord] = []
+    report = RecoveryReport(bytes_scanned=len(data))
+    pos = 0
+    while pos < len(data):
+        start = pos
+        if pos + _REC_LEN.size > len(data):
+            break  # torn length prefix
+        (length,) = _REC_LEN.unpack_from(data, pos)
+        pos += _REC_LEN.size
+        if pos + length > len(data):
+            pos = start
+            break  # torn record body
+        body = data[pos : pos + length]
+        pos += length
+        if length < _REC_HEAD.size + _REC_CRC.size:
+            pos = start
+            break  # can't even hold a header + CRC: torn garbage tail
+        (crc,) = _REC_CRC.unpack(body[-_REC_CRC.size:])
+        if crc != (zlib.crc32(body[: -_REC_CRC.size]) & 0xFFFFFFFF):
+            if pos < len(data):
+                raise CorruptLogError(
+                    f"record at byte {start} failed CRC with "
+                    f"{len(data) - pos} bytes of log after it"
+                )
+            pos = start
+            break  # tail record with bad CRC: torn write on the boundary
+        key, kind, value_length = _REC_HEAD.unpack_from(body)
+        payload = body[_REC_HEAD.size : _REC_HEAD.size + value_length]
+        if len(payload) != value_length:
+            pos = start
+            break
+        records.append(LogRecord(key, _decode_value(kind, payload)))
+        report.records_replayed += 1
+        if records[-1].is_tombstone:
+            report.tombstones_replayed += 1
+    report.bytes_truncated = len(data) - pos
+    report.torn_tail = report.bytes_truncated > 0
+    return records, report
 
 
 @dataclass(frozen=True)
@@ -71,6 +196,56 @@ class ValueLog:
         yield from enumerate(self._records)
 
 
+class DurableValueLog(ValueLog):
+    """A :class:`ValueLog` that also maintains a serialized byte image.
+
+    The image models the on-disk log: every append serializes the record
+    and extends the image before the in-memory record list is touched, so
+    the image is what a crash would leave behind.  A :class:`FaultPlan`
+    consulted at this append/fsync boundary can tear the write (persist
+    only a prefix of the record) or crash right after it; either way
+    :class:`~repro.faults.InjectedCrash` is raised and the owning store
+    must be recovered from :attr:`image_bytes`, not used further.
+    """
+
+    def __init__(
+        self, faults: Optional[FaultPlan] = None, shard: int = 0
+    ) -> None:
+        super().__init__()
+        self._image = bytearray()
+        self._faults = faults
+        self._shard = shard
+
+    @property
+    def image_bytes(self) -> bytes:
+        """The serialized log as a crash would find it."""
+        return bytes(self._image)
+
+    def attach_faults(self, faults: Optional[FaultPlan], shard: int) -> None:
+        self._faults = faults
+        self._shard = shard
+
+    def append(self, key: Key, value: Any) -> int:
+        record = encode_record(key, value)
+        fault = self._faults.on_append(self._shard) if self._faults else None
+        if fault is not None and fault.torn:
+            keep = fault.keep_bytes
+            if keep is None:
+                keep = len(record) // 2
+            self._image += record[: max(0, min(keep, len(record) - 1))]
+            raise InjectedCrash(
+                f"torn write after {len(self._image)} image bytes "
+                f"(shard {self._shard})"
+            )
+        self._image += record
+        offset = super().append(key, value)
+        if fault is not None and fault.crash:
+            raise InjectedCrash(
+                f"crash after append #{offset + 1} (shard {self._shard})"
+            )
+        return offset
+
+
 class LogStructuredStore:
     """Append-only KV store with a multi-copy cuckoo index.
 
@@ -86,6 +261,9 @@ class LogStructuredStore:
         expected_items: int = 1024,
         seed: int = 0,
         mem: Optional[MemoryModel] = None,
+        durable: bool = False,
+        faults: Optional[FaultPlan] = None,
+        shard_id: int = 0,
     ) -> None:
         if expected_items <= 0:
             raise ValueError("expected_items must be positive")
@@ -99,8 +277,13 @@ class LogStructuredStore:
             deletion_mode=DeletionMode.RESET,
             mem=self.mem,
         )
-        self._log = ValueLog()
+        self._seed = seed
+        self._log = (
+            DurableValueLog(faults=faults, shard=shard_id) if durable else ValueLog()
+        )
         self._live = 0
+        self.recovery_report: Optional[RecoveryReport] = None
+        """Set on stores produced by :meth:`recover`/:meth:`recover_from_bytes`."""
 
     # ------------------------------------------------------------------
     # operations
@@ -209,6 +392,24 @@ class LogStructuredStore:
         self._log = fresh
         return old_size - len(self._log)
 
+    @property
+    def durable(self) -> bool:
+        return isinstance(self._log, DurableValueLog)
+
+    @property
+    def log_bytes(self) -> bytes:
+        """The serialized log — the crash image for a durable store.
+
+        A non-durable store serializes its in-memory records on demand, so
+        recovery tooling works uniformly over both.
+        """
+        if isinstance(self._log, DurableValueLog):
+            return self._log.image_bytes
+        return b"".join(
+            encode_record(record.key, record.value)
+            for _, record in self._log.records()
+        )
+
     def recover(self) -> "LogStructuredStore":
         """Crash recovery: rebuild a store by replaying this store's log.
 
@@ -217,20 +418,87 @@ class LogStructuredStore:
         record per key wins, tombstones erase) and loads only live records,
         so the recovered store starts with an all-live log and a zero
         ``garbage_ratio`` — replaying deletes verbatim would append fresh
-        tombstones to the new log.  Returns the recovered store (self is
-        untouched).
+        tombstones to the new log.  A torn tail record (an append cut short
+        by a crash) is truncated, not raised on; what happened is recorded
+        on the returned store's ``recovery_report``.  Returns the recovered
+        store (self is untouched).
         """
+        try:
+            data = self.log_bytes
+        except (TypeError, ValueError):
+            # values the record codec can't serialize (arbitrary objects in
+            # a non-durable store): replay the in-memory records verbatim
+            records = [record for _, record in self._log.records()]
+            report = RecoveryReport(
+                records_replayed=len(records),
+                tombstones_replayed=sum(1 for r in records if r.is_tombstone),
+            )
+            return self._rebuild(records, report, durable=False, seed=self._seed)
+        return self.recover_from_bytes(
+            data, durable=self.durable, seed=self._seed
+        )
+
+    @classmethod
+    def recover_from_bytes(
+        cls,
+        data: bytes,
+        expected_items: int = 1024,
+        seed: int = 1,
+        durable: bool = True,
+        faults: Optional[FaultPlan] = None,
+        shard_id: int = 0,
+    ) -> "LogStructuredStore":
+        """Rebuild a store from a serialized (possibly torn) log image.
+
+        This is the real crash path: the in-memory index and record list
+        are gone, only the bytes that reached the log survive.  The scan
+        truncates a torn tail (see :func:`scan_log_bytes`); the returned
+        store carries the :class:`RecoveryReport` in ``recovery_report``.
+        """
+        records, report = scan_log_bytes(data)
+        return cls._rebuild(
+            records,
+            report,
+            expected_items=expected_items,
+            seed=seed,
+            durable=durable,
+            faults=faults,
+            shard_id=shard_id,
+        )
+
+    @classmethod
+    def _rebuild(
+        cls,
+        records: List[LogRecord],
+        report: RecoveryReport,
+        expected_items: int = 1024,
+        seed: int = 1,
+        durable: bool = False,
+        faults: Optional[FaultPlan] = None,
+        shard_id: int = 0,
+    ) -> "LogStructuredStore":
+        """Reduce replayed records to final state and load a fresh store."""
         final: Dict[Key, Any] = {}
-        for _, record in self._log.records():
+        for record in records:
             if record.is_tombstone:
                 final.pop(record.key, None)
             else:
                 final[record.key] = record.value
-        recovered = LogStructuredStore(
-            expected_items=max(1024, len(final)), seed=1, mem=MemoryModel()
+        report.live_keys = len(final)
+        # replay with faults detached: recovery itself must never be torn
+        # by the plan that killed the previous incarnation
+        recovered = cls(
+            expected_items=max(expected_items, len(final), 1),
+            seed=seed,
+            mem=MemoryModel(),
+            durable=durable,
+            shard_id=shard_id,
         )
         for key, value in final.items():
             recovered.put(key, value)
+        if faults is not None and isinstance(recovered._log, DurableValueLog):
+            recovered._log.attach_faults(faults, shard_id)
+        recovered.recovery_report = report
         return recovered
 
     @property

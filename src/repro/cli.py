@@ -26,6 +26,11 @@ Commands
 ``loadgen``
     Drive a closed-loop workload (zipf/uniform/mixed/YCSB) through the
     async client and report ops/sec with p50/p95/p99 latency.
+``faultgen``
+    Chaos run: drive a seeded workload at an in-process server with an
+    injected fault plan (crashes, torn writes, BUSY storms, corrupt/
+    dropped frames, slow shards) and verify zero lost acknowledged
+    writes; exits non-zero on any safety violation or hang.
 """
 
 from __future__ import annotations
@@ -126,6 +131,13 @@ def _build_parser() -> argparse.ArgumentParser:
                        help="bounded writer queue per shard (backpressure)")
     serve.add_argument("--timeout", type=float, default=5.0,
                        help="per-request timeout in seconds")
+    serve.add_argument("--durable", action="store_true",
+                       help="keep per-shard log images for crash recovery")
+    serve.add_argument("--faults", default="",
+                       help="fault-plan spec (docs/faults.md), e.g. "
+                            "'busy=0.05;corrupt_frame=0.01'")
+    serve.add_argument("--fault-seed", type=int, default=0,
+                       help="seed for the fault plan's RNGs")
 
     loadgen = sub.add_parser("loadgen", help="drive a workload at a server")
     loadgen.add_argument("--host", default="127.0.0.1")
@@ -143,6 +155,30 @@ def _build_parser() -> argparse.ArgumentParser:
     loadgen.add_argument("--seed", type=int, default=0)
     loadgen.add_argument("--standalone", action="store_true",
                          help="start an in-process server first (demo mode)")
+    loadgen.add_argument("--retries", type=int, default=0,
+                         help="retry attempts per op (0 = no retry policy)")
+    loadgen.add_argument("--deadline", type=float, default=None,
+                         help="per-request client deadline in seconds")
+
+    faultgen = sub.add_parser(
+        "faultgen",
+        help="chaos run: loadgen + fault injection + zero-loss verification",
+    )
+    faultgen.add_argument("--ops", type=int, default=2_000)
+    faultgen.add_argument("--keys", type=int, default=256)
+    faultgen.add_argument("--concurrency", type=int, default=4)
+    faultgen.add_argument("--shards", type=int, default=4)
+    faultgen.add_argument("--value-size", type=int, default=32)
+    faultgen.add_argument("--seed", type=int, default=0)
+    faultgen.add_argument("--faults", default=None,
+                          help="fault-plan spec (default: the built-in "
+                               "crash/torn/busy/corrupt/drop/delay mix)")
+    faultgen.add_argument("--deadline", type=float, default=5.0,
+                          help="per-request client deadline in seconds")
+    faultgen.add_argument("--run-timeout", type=float, default=60.0,
+                          help="wall-clock budget; exceeding it reports a hang")
+    faultgen.add_argument("--smoke", action="store_true",
+                          help="seconds-scale CI configuration")
     return parser
 
 
@@ -368,6 +404,15 @@ def _cmd_serve(args: argparse.Namespace) -> int:
 
     from .serve import McCuckooServer, ServerConfig
 
+    fault_plan = None
+    if args.faults:
+        from .faults import FaultPlan
+
+        try:
+            fault_plan = FaultPlan.parse(args.faults, seed=args.fault_seed)
+        except ReproError as error:
+            print(f"repro serve: error: {error}", file=sys.stderr)
+            return 2
     config = ServerConfig(
         host=args.host,
         port=args.port,
@@ -377,6 +422,8 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         max_connections=args.max_connections,
         writer_queue_depth=args.queue_depth,
         request_timeout=args.timeout,
+        durable=args.durable,
+        fault_plan=fault_plan,
     )
 
     async def run() -> None:
@@ -384,6 +431,8 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             host, port = server.address
             print(f"serving {config.n_shards}-shard McCuckoo store "
                   f"on {host}:{port} (Ctrl-C to stop)")
+            if fault_plan is not None:
+                print(f"fault injection armed: {fault_plan.describe()}")
             await server.serve_forever()
 
     try:
@@ -412,6 +461,13 @@ def _cmd_loadgen(args: argparse.Namespace) -> int:
         seed=args.seed,
     )
 
+    retry = None
+    if args.retries > 0:
+        from .serve import RetryPolicy
+
+        retry = RetryPolicy(max_attempts=args.retries,
+                            deadline=args.deadline, seed=config.seed)
+
     async def run() -> int:
         if args.standalone:
             from .serve import McCuckooServer, ServerConfig
@@ -423,9 +479,10 @@ def _cmd_loadgen(args: argparse.Namespace) -> int:
             async with McCuckooServer(server_config) as server:
                 host, port = server.address
                 print(f"[standalone server on {host}:{port}]")
-                report = await run_loadgen(host, port, config)
+                report = await run_loadgen(host, port, config, retry=retry)
         else:
-            report = await run_loadgen(args.host, args.port, config)
+            report = await run_loadgen(args.host, args.port, config,
+                                       retry=retry)
         print(report.render())
         return 1 if report.errors else 0
 
@@ -437,6 +494,43 @@ def _cmd_loadgen(args: argparse.Namespace) -> int:
     except (ReproError, OSError) as error:
         print(f"repro loadgen: error: {error}", file=sys.stderr)
         return 2
+
+
+def _cmd_faultgen(args: argparse.Namespace) -> int:
+    import asyncio
+    import dataclasses
+
+    from .serve import FaultgenConfig, run_faultgen
+
+    if args.smoke:
+        config = FaultgenConfig.smoke(seed=args.seed)
+    else:
+        config = FaultgenConfig(
+            n_ops=args.ops,
+            n_keys=args.keys,
+            concurrency=args.concurrency,
+            n_shards=args.shards,
+            value_size=args.value_size,
+            seed=args.seed,
+            deadline=args.deadline,
+            run_timeout=args.run_timeout,
+        )
+    if args.faults is not None:
+        config = dataclasses.replace(config, faults=args.faults)
+    try:
+        report = asyncio.run(run_faultgen(config))
+    except KeyboardInterrupt:
+        print("\nfaultgen interrupted")
+        return 130
+    except (ReproError, OSError) as error:
+        print(f"repro faultgen: error: {error}", file=sys.stderr)
+        return 2
+    print(report.render())
+    if not report.ok:
+        print(f"reproduce with: repro faultgen --seed {config.seed} "
+              f"--ops {config.n_ops} --keys {config.n_keys} "
+              f"--concurrency {config.concurrency}", file=sys.stderr)
+    return 0 if report.ok else 1
 
 
 def main(argv: Optional[List[str]] = None) -> int:
@@ -459,6 +553,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         return _cmd_serve(args)
     if args.command == "loadgen":
         return _cmd_loadgen(args)
+    if args.command == "faultgen":
+        return _cmd_faultgen(args)
     raise AssertionError(f"unhandled command {args.command!r}")
 
 

@@ -1,0 +1,27 @@
+"""Deterministic fault injection for the McCuckoo serving stack.
+
+See :mod:`repro.faults.plan` for the rule grammar and the determinism
+contract, and ``docs/faults.md`` for a walkthrough.
+"""
+
+from .plan import (
+    FRAME_CORRUPT,
+    FRAME_DROP,
+    FRAME_OK,
+    AppendFault,
+    FaultPlan,
+    FaultRule,
+    FaultSpecError,
+    InjectedCrash,
+)
+
+__all__ = [
+    "AppendFault",
+    "FRAME_CORRUPT",
+    "FRAME_DROP",
+    "FRAME_OK",
+    "FaultPlan",
+    "FaultRule",
+    "FaultSpecError",
+    "InjectedCrash",
+]

@@ -13,8 +13,15 @@ generator reporting ops/sec with p50/p95/p99 latency
 from .client import (
     McCuckooClient,
     RequestTimeoutError,
+    RetryPolicy,
     ServeError,
     ServerBusyError,
+)
+from .faultgen import (
+    DEFAULT_FAULT_SPEC,
+    FaultgenConfig,
+    FaultgenReport,
+    run_faultgen,
 )
 from .loadgen import LoadgenConfig, LoadReport, build_workload, run_loadgen
 from .protocol import (
@@ -46,10 +53,13 @@ from .store import ShardedLogStore
 __all__ = [
     "BatchReply",
     "BatchRequest",
+    "DEFAULT_FAULT_SPEC",
     "DeleteReply",
     "DeleteRequest",
     "ErrorCode",
     "ErrorReply",
+    "FaultgenConfig",
+    "FaultgenReport",
     "GetRequest",
     "LoadReport",
     "LoadgenConfig",
@@ -60,6 +70,7 @@ __all__ = [
     "PutReply",
     "PutRequest",
     "RequestTimeoutError",
+    "RetryPolicy",
     "ServeError",
     "ServeStats",
     "ServerBusyError",
@@ -74,6 +85,7 @@ __all__ = [
     "encode_reply",
     "encode_request",
     "read_frame",
+    "run_faultgen",
     "run_loadgen",
     "write_frame",
 ]

@@ -16,7 +16,9 @@ in place so one hot shard can't poison its neighbours' results.
 from __future__ import annotations
 
 import asyncio
-from typing import Dict, List, Optional, Sequence, Tuple, Union
+import random
+from dataclasses import dataclass
+from typing import Awaitable, Callable, Dict, Iterator, List, Optional, Sequence, Tuple, TypeVar, Union
 
 from ..core.errors import ReproError
 from ..hashing import KeyLike, canonical_key
@@ -80,6 +82,59 @@ def _raise_for(reply: ErrorReply) -> None:
     raise ServeError(reply.code, reply.message)
 
 
+#: failures worth replaying: backpressure, lost/garbled transport.  A lost
+#: or corrupted ack after an applied write is indistinguishable from a
+#: never-delivered request, so only idempotent requests are safe to replay
+#: — every verb here qualifies (PUT with the same bytes, DELETE, GET,
+#: STATS).  Server-side TIMEOUT/INTERNAL frames are definitive replies and
+#: are NOT retried.
+_RETRYABLE = (ServerBusyError, ConnectionError, ProtocolError, OSError)
+
+_T = TypeVar("_T")
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Deterministic exponential backoff with seeded jitter.
+
+    The schedule — ``base_delay * multiplier**n`` capped at ``max_delay``,
+    each step scaled by ``1 ± jitter`` drawn from a ``random.Random(seed)``
+    — is a pure function of the policy's fields (see :meth:`delays`), so a
+    failing run replays identically from its seed.  ``deadline`` bounds
+    one *logical* request end-to-end: attempts plus backoff sleeps; when it
+    expires the client raises :class:`RequestTimeoutError` and stops — it
+    never leaves a straggler attempt running.
+    """
+
+    max_attempts: int = 6
+    base_delay: float = 0.005
+    multiplier: float = 2.0
+    max_delay: float = 0.25
+    jitter: float = 0.2
+    deadline: Optional[float] = None
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.max_attempts <= 0:
+            raise ValueError("max_attempts must be positive")
+        if self.base_delay < 0 or self.max_delay < 0:
+            raise ValueError("delays must be non-negative")
+        if self.multiplier < 1.0:
+            raise ValueError("multiplier must be >= 1")
+        if not 0.0 <= self.jitter < 1.0:
+            raise ValueError("jitter must be in [0, 1)")
+
+    def delays(self) -> Iterator[float]:
+        """The backoff schedule, regenerated identically per request."""
+        rng = random.Random(self.seed)
+        delay = self.base_delay
+        while True:
+            yield min(delay, self.max_delay) * (
+                1.0 + self.jitter * (2.0 * rng.random() - 1.0)
+            )
+            delay *= self.multiplier
+
+
 class McCuckooClient:
     """Connection-pooled async client; use as an async context manager."""
 
@@ -89,6 +144,7 @@ class McCuckooClient:
         port: int,
         pool_size: int = 4,
         max_frame_bytes: int = MAX_FRAME_BYTES,
+        retry: Optional[RetryPolicy] = None,
     ) -> None:
         if pool_size <= 0:
             raise ValueError("pool_size must be positive")
@@ -96,6 +152,9 @@ class McCuckooClient:
         self.port = port
         self.pool_size = pool_size
         self.max_frame_bytes = max_frame_bytes
+        self.retry = retry
+        self.retries = 0
+        """Transport/BUSY failures replayed so far (all requests)."""
         self._idle: asyncio.LifoQueue = asyncio.LifoQueue()
         self._slots = asyncio.Semaphore(pool_size)
         self._open: List[_Connection] = []
@@ -171,11 +230,66 @@ class McCuckooClient:
         self._release(connection)
         return decode_reply(body)
 
+    async def _with_retry(self, attempt: Callable[[], Awaitable[_T]]) -> _T:
+        """Run one logical request under the client's retry policy.
+
+        Retries :data:`_RETRYABLE` failures with the policy's deterministic
+        backoff; a configured deadline caps attempts *and* sleeps, raising
+        :class:`RequestTimeoutError` once it expires (the in-flight attempt
+        is cancelled, so nothing is sent after the deadline).
+        """
+        policy = self.retry
+        if policy is None:
+            return await attempt()
+        loop = asyncio.get_running_loop()
+        start = loop.time()
+        delays = policy.delays()
+        tries = 0
+
+        def remaining() -> Optional[float]:
+            if policy.deadline is None:
+                return None
+            return policy.deadline - (loop.time() - start)
+
+        def expired() -> RequestTimeoutError:
+            return RequestTimeoutError(
+                ErrorCode.TIMEOUT,
+                f"client deadline of {policy.deadline}s exceeded "
+                f"after {tries} attempt(s)",
+            )
+
+        while True:
+            tries += 1
+            budget = remaining()
+            if budget is not None and budget <= 0:
+                raise expired()
+            try:
+                if budget is not None:
+                    return await asyncio.wait_for(attempt(), budget)
+                return await attempt()
+            except asyncio.TimeoutError as error:
+                raise expired() from error
+            except _RETRYABLE:
+                self.retries += 1
+                if tries >= policy.max_attempts:
+                    raise
+                pause = next(delays)
+                budget = remaining()
+                if budget is not None:
+                    if budget <= 0:
+                        raise expired()
+                    pause = min(pause, budget)
+                await asyncio.sleep(pause)
+
     async def _simple(self, request: SimpleRequest) -> SimpleReply:
-        reply = await self.request(request)
-        if isinstance(reply, ErrorReply):
-            _raise_for(reply)
-        assert not isinstance(reply, BatchReply)
+        async def attempt() -> Reply:
+            reply = await self.request(request)
+            if isinstance(reply, ErrorReply):
+                _raise_for(reply)  # BUSY raises inside the retry scope
+            return reply
+
+        reply = await self._with_retry(attempt)
+        assert not isinstance(reply, (BatchReply, ErrorReply))
         return reply
 
     # ------------------------------------------------------------------
@@ -213,9 +327,15 @@ class McCuckooClient:
         than raised, so callers see exactly which ops bounced (e.g. BUSY
         from one saturated shard).
         """
-        reply = await self.request(BatchRequest(tuple(map(_to_request, ops))))
-        if isinstance(reply, ErrorReply):
-            _raise_for(reply)
+        request = BatchRequest(tuple(map(_to_request, ops)))
+
+        async def attempt() -> Reply:
+            reply = await self.request(request)
+            if isinstance(reply, ErrorReply):
+                _raise_for(reply)  # whole-frame BUSY retries; per-op doesn't
+            return reply
+
+        reply = await self._with_retry(attempt)
         assert isinstance(reply, BatchReply)
         return list(reply.replies)
 
@@ -237,6 +357,7 @@ __all__ = [
     "BatchOp",
     "McCuckooClient",
     "RequestTimeoutError",
+    "RetryPolicy",
     "ServeError",
     "ServerBusyError",
 ]

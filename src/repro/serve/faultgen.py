@@ -1,0 +1,359 @@
+"""Chaos harness: drive load at a fault-injected server and verify safety.
+
+``repro faultgen`` starts an in-process :class:`McCuckooServer` with a
+durable store and a :class:`~repro.faults.FaultPlan`, drives a seeded
+random workload through retrying clients, and then audits the surviving
+state against a Jepsen-style acceptability model:
+
+* every key is owned by exactly one worker, so per-key operation order is
+  the worker's issue order;
+* an **acknowledged** write pins the key's acceptable state to exactly the
+  written value (or absence, for a delete);
+* an **unacknowledged** write (BUSY storm that outlived the retries, a
+  client deadline, an injected crash surfacing as INTERNAL, a dropped
+  connection on the ack) may or may not have applied, so its value joins
+  the acceptable set instead of replacing it;
+* a successful read collapses the set back to what was observed (reads are
+  linearization points: the worker owns the key, so nothing else can have
+  moved it).
+
+After the drive phase the plan is disarmed and every key is read back:
+
+* a key whose acceptable set is a single acknowledged value but reads
+  differently is a **lost acknowledged write** — the one thing this
+  harness exists to catch;
+* a key reading a value outside its acceptable set is a **phantom** (a
+  write nobody issued, or an unacknowledged write resurrected wrongly).
+
+The whole run is bounded by a wall-clock budget, so an injected hang shows
+up as a reported failure instead of a stuck process.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import random
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Set
+
+from ..faults import FaultPlan
+from .client import (
+    McCuckooClient,
+    RequestTimeoutError,
+    RetryPolicy,
+    ServeError,
+)
+from .loadgen import value_bytes
+from .protocol import ProtocolError
+from .server import McCuckooServer, ServerConfig
+
+#: a deliberately nasty default: one full-record crash, one torn write,
+#: BUSY storms, corrupted and dropped reply frames, and one laggy shard
+DEFAULT_FAULT_SPEC = (
+    "crash_after_appends=150; torn_write=400; busy=0.02; "
+    "corrupt_frame=0.01; drop_connection=0.01; delay_shard=0:0.002:7"
+)
+
+_ABSENT = b"\x00__absent__"  # sentinel inside acceptable-value sets
+
+
+@dataclass(frozen=True)
+class FaultgenConfig:
+    """Shape of one chaos run."""
+
+    n_ops: int = 2_000
+    n_keys: int = 256
+    concurrency: int = 4
+    n_shards: int = 4
+    value_size: int = 32
+    seed: int = 0
+    faults: str = DEFAULT_FAULT_SPEC
+    max_attempts: int = 8
+    deadline: float = 5.0
+    run_timeout: float = 60.0
+    """Wall-clock budget for the whole run; exceeding it is a reported
+    hang, not a stuck process."""
+
+    def __post_init__(self) -> None:
+        if self.n_ops <= 0 or self.n_keys <= 0:
+            raise ValueError("n_ops and n_keys must be positive")
+        if self.concurrency <= 0:
+            raise ValueError("concurrency must be positive")
+
+    @classmethod
+    def smoke(cls, seed: int = 0) -> "FaultgenConfig":
+        """A seconds-scale configuration for CI."""
+        return cls(n_ops=600, n_keys=96, concurrency=4, seed=seed,
+                   run_timeout=30.0)
+
+
+@dataclass
+class FaultgenReport:
+    """Outcome of one chaos run; ``ok`` is the pass/fail verdict."""
+
+    seed: int
+    fault_plan: str
+    ops_issued: int = 0
+    ops_acked: int = 0
+    ops_unacked: int = 0
+    reads_checked: int = 0
+    retries: int = 0
+    elapsed_s: float = 0.0
+    faults_fired: Dict[str, int] = field(default_factory=dict)
+    shard_recoveries: int = 0
+    verified_keys: int = 0
+    lost_acked_writes: int = 0
+    phantom_values: int = 0
+    hung: bool = False
+    failures: List[str] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return not self.failures and not self.hung
+
+    def render(self) -> str:
+        lines = [
+            f"faultgen seed={self.seed}: "
+            f"{self.ops_issued} ops ({self.ops_acked} acked, "
+            f"{self.ops_unacked} unacked) in {self.elapsed_s:.2f}s",
+            f"  plan      {self.fault_plan}",
+            "  faults    "
+            + (" ".join(f"{name}={count}"
+                        for name, count in sorted(self.faults_fired.items()))
+               or "(none fired)"),
+            f"  recovery  shard_recoveries={self.shard_recoveries}",
+            f"  client    retries={self.retries}  "
+            f"reads_checked={self.reads_checked}",
+            f"  verify    keys={self.verified_keys}  "
+            f"lost_acked_writes={self.lost_acked_writes}  "
+            f"phantom_values={self.phantom_values}",
+        ]
+        if self.hung:
+            lines.append("  HUNG: run exceeded its wall-clock budget")
+        for failure in self.failures[:20]:
+            lines.append(f"  FAIL  {failure}")
+        if len(self.failures) > 20:
+            lines.append(f"  ... {len(self.failures) - 20} more failures")
+        lines.append(f"  verdict   {'PASS' if self.ok else 'FAIL'}")
+        return "\n".join(lines)
+
+
+class _KeyState:
+    """Acceptable-state tracker for one key (single-owner ops).
+
+    Soundness notes, which lean on the server's per-shard FIFO writer:
+
+    * An *acknowledged* write collapses the set — its ack proves every
+      earlier write on the key (all routed to the same shard queue) has
+      already been applied, so nothing older can resurface.
+    * A read may only collapse the set when no unacknowledged write is
+      unresolved (``acked_only``): reads run inline at the server and do
+      NOT flush the writer queue, so a timed-out write can legally apply
+      *after* a read observed the older value.
+    """
+
+    __slots__ = ("acceptable", "acked_only")
+
+    def __init__(self) -> None:
+        self.acceptable: Set[bytes] = {_ABSENT}
+        self.acked_only = True  # no unacked write is still unresolved
+
+    def acked_write(self, value: bytes) -> None:
+        self.acceptable = {value}
+        self.acked_only = True
+
+    def unacked_write(self, value: bytes) -> None:
+        self.acceptable.add(value)
+        self.acked_only = False
+
+    def observed(self, value: bytes) -> None:
+        if self.acked_only:
+            self.acceptable = {value}
+
+
+async def run_faultgen(config: FaultgenConfig) -> FaultgenReport:
+    """One full chaos run: drive, disarm, verify.  Never raises for an
+    injected fault — violations land in the report's ``failures``."""
+    plan = FaultPlan.parse(config.faults, seed=config.seed)
+    report = FaultgenReport(seed=config.seed, fault_plan=plan.describe())
+    server_config = ServerConfig(
+        host="127.0.0.1",
+        port=0,
+        n_shards=config.n_shards,
+        expected_items=max(4096, 4 * config.n_keys),
+        seed=config.seed,
+        request_timeout=2.0,
+        durable=True,
+        fault_plan=plan,
+    )
+    began = time.perf_counter()
+    async with McCuckooServer(server_config) as server:
+        host, port = server.address
+        try:
+            await asyncio.wait_for(
+                _drive_and_verify(host, port, server, config, plan, report),
+                timeout=config.run_timeout,
+            )
+        except asyncio.TimeoutError:
+            report.hung = True
+            report.failures.append(
+                f"run exceeded {config.run_timeout}s wall-clock budget "
+                "(injected hang not survived)"
+            )
+        report.shard_recoveries = server.stats.shard_recoveries
+    report.faults_fired = plan.fired_counts()
+    report.elapsed_s = time.perf_counter() - began
+    return report
+
+
+async def _drive_and_verify(
+    host: str,
+    port: int,
+    server: McCuckooServer,
+    config: FaultgenConfig,
+    plan: FaultPlan,
+    report: FaultgenReport,
+) -> None:
+    retry = RetryPolicy(
+        max_attempts=config.max_attempts,
+        base_delay=0.002,
+        max_delay=0.05,
+        jitter=0.2,
+        deadline=config.deadline,
+        seed=config.seed,
+    )
+    states: Dict[int, _KeyState] = {}
+    async with McCuckooClient(host, port, pool_size=config.concurrency,
+                              retry=retry) as client:
+        workers = [
+            _worker(client, config, worker_id, states, report)
+            for worker_id in range(config.concurrency)
+        ]
+        await asyncio.gather(*workers)
+
+        # --------------------------------------------------------------
+        # verification: stop injecting, reach quiescence (every write
+        # that ever made a writer queue has applied), then audit
+        # --------------------------------------------------------------
+        plan.disarm()
+        await server.drain_writes()
+        report.retries = client.retries
+        for key, state in sorted(states.items()):
+            try:
+                value = await client.get(key)
+            except (ServeError, ConnectionError, OSError) as error:
+                report.failures.append(
+                    f"key {key:#x}: verification read failed: {error}"
+                )
+                continue
+            report.verified_keys += 1
+            observed = _ABSENT if value is None else value
+            if observed in state.acceptable:
+                continue
+            if state.acked_only:
+                report.lost_acked_writes += 1
+                report.failures.append(
+                    f"key {key:#x}: lost acknowledged write — expected "
+                    f"{_render_values(state.acceptable)}, read "
+                    f"{_render_values({observed})}"
+                )
+            else:
+                report.phantom_values += 1
+                report.failures.append(
+                    f"key {key:#x}: phantom value — read "
+                    f"{_render_values({observed})}, acceptable "
+                    f"{_render_values(state.acceptable)}"
+                )
+
+
+async def _worker(
+    client: McCuckooClient,
+    config: FaultgenConfig,
+    worker_id: int,
+    states: Dict[int, _KeyState],
+    report: FaultgenReport,
+) -> None:
+    """Drive this worker's share of ops over the keys it owns."""
+    rng = random.Random((config.seed * 0x9E3779B1) ^ (worker_id * 0x85EBCA6B))
+    owned = [key + 1 for key in range(config.n_keys)
+             if key % config.concurrency == worker_id]
+    if not owned:
+        return
+    n_ops = config.n_ops // config.concurrency
+    version = 0
+    for _ in range(n_ops):
+        key = owned[rng.randrange(len(owned))]
+        state = states.setdefault(key, _KeyState())
+        roll = rng.random()
+        report.ops_issued += 1
+        if roll < 0.55:  # put
+            version += 1
+            value = value_bytes(key, (worker_id << 20) | version,
+                                config.value_size)
+            acked = await _issue(client.put(key, value), report)
+            if acked:
+                state.acked_write(value)
+            else:
+                state.unacked_write(value)
+        elif roll < 0.75:  # delete
+            acked = await _issue(client.delete(key), report)
+            if acked:
+                state.acked_write(_ABSENT)
+            else:
+                state.unacked_write(_ABSENT)
+        else:  # get: audit mid-run and collapse the acceptable set
+            try:
+                value = await client.get(key)
+            except (ServeError, ConnectionError, OSError):
+                report.ops_unacked += 1
+                continue
+            report.ops_acked += 1
+            report.reads_checked += 1
+            observed = _ABSENT if value is None else value
+            if observed not in state.acceptable:
+                if state.acked_only:
+                    report.lost_acked_writes += 1
+                    report.failures.append(
+                        f"key {key:#x}: mid-run read lost an acknowledged "
+                        f"write — expected {_render_values(state.acceptable)},"
+                        f" read {_render_values({observed})}"
+                    )
+                else:
+                    report.phantom_values += 1
+                    report.failures.append(
+                        f"key {key:#x}: mid-run phantom — read "
+                        f"{_render_values({observed})}, acceptable "
+                        f"{_render_values(state.acceptable)}"
+                    )
+            state.observed(observed)
+
+
+async def _issue(operation, report: FaultgenReport) -> bool:
+    """Await a write; True = acknowledged, False = outcome unknown."""
+    try:
+        await operation
+    except (RequestTimeoutError, ServeError, ProtocolError,
+            ConnectionError, OSError):
+        report.ops_unacked += 1
+        return False
+    report.ops_acked += 1
+    return True
+
+
+def _render_values(values: Set[bytes]) -> str:
+    parts = []
+    for value in sorted(values):
+        if value == _ABSENT:
+            parts.append("<absent>")
+        else:
+            parts.append(value[:16].hex() + ("…" if len(value) > 16 else ""))
+    return "{" + ", ".join(parts) + "}"
+
+
+__all__ = [
+    "DEFAULT_FAULT_SPEC",
+    "FaultgenConfig",
+    "FaultgenReport",
+    "run_faultgen",
+]

@@ -20,13 +20,14 @@ import random
 import struct
 import time
 from dataclasses import dataclass, field
-from typing import Dict, Iterator, List, Sequence, Tuple
+from typing import Dict, Iterator, List, Optional, Sequence, Tuple
 
 from ..workloads import OpKind, TraceGenerator, YCSBConfig, YCSBWorkload, ZipfSampler
 from ..workloads.keys import distinct_keys
 from .client import (
     McCuckooClient,
     RequestTimeoutError,
+    RetryPolicy,
     ServeError,
     ServerBusyError,
 )
@@ -210,11 +211,17 @@ async def run_loadgen(
     port: int,
     config: LoadgenConfig,
     preload: bool = True,
+    retry: Optional[RetryPolicy] = None,
 ) -> LoadReport:
-    """Preload the working set, then drive the timed phase closed-loop."""
+    """Preload the working set, then drive the timed phase closed-loop.
+
+    A ``retry`` policy makes the workers resilient to BUSY storms and
+    connection loss (useful against a fault-injected server); without one,
+    failures count into the report as before.
+    """
     preload_ops, ops = build_workload(config)
-    async with McCuckooClient(host, port,
-                              pool_size=config.concurrency) as client:
+    async with McCuckooClient(host, port, pool_size=config.concurrency,
+                              retry=retry) as client:
         if preload and preload_ops:
             await _preload(client, preload_ops)
 

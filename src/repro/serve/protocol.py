@@ -1,8 +1,13 @@
 """Length-prefixed binary wire protocol for the McCuckoo KV service.
 
-Every frame on the wire is ``u32 body-length (big-endian)`` followed by the
-body.  A body starts with a fixed three-byte header — magic ``0xC3``,
-protocol version, opcode — and continues with an opcode-specific payload:
+Every frame on the wire is ``u32 body-length (big-endian)``, then
+``u32 crc32(body)``, then the body.  The checksum makes payload corruption
+detectable at the framing layer: value bytes are opaque, so without it a
+flipped bit inside a VALUE reply would silently reach the application —
+with it, :func:`read_frame` raises :class:`ProtocolError` and the caller
+can discard the connection and retry.  A body starts with a fixed
+three-byte header — magic ``0xC3``, protocol version, opcode — and
+continues with an opcode-specific payload:
 
 =========  ====  =======================================================
 opcode     dir   payload
@@ -31,6 +36,7 @@ from __future__ import annotations
 import asyncio
 import json
 import struct
+import zlib
 from dataclasses import dataclass, field
 from enum import IntEnum
 from typing import Dict, Tuple, Union
@@ -44,6 +50,9 @@ VERSION = 1
 MAX_FRAME_BYTES = 1 << 20
 
 _LEN = struct.Struct(">I")
+_CRC = struct.Struct(">I")
+#: bytes before the body: length prefix + body checksum
+FRAME_OVERHEAD = _LEN.size + _CRC.size
 _HEADER = struct.Struct(">BBB")
 _U64 = struct.Struct(">Q")
 _U32 = struct.Struct(">I")
@@ -176,8 +185,13 @@ def _encode_request_body(request: SimpleRequest) -> bytes:
     raise ProtocolError(f"cannot encode request of type {type(request).__name__}")
 
 
+def _frame(body: bytes) -> bytes:
+    """Wrap a body with the length prefix and checksum."""
+    return _LEN.pack(len(body)) + _CRC.pack(zlib.crc32(body) & 0xFFFFFFFF) + body
+
+
 def encode_request(request: Request) -> bytes:
-    """Encode a request into a complete frame (length prefix included)."""
+    """Encode a request into a complete frame (length/CRC prefix included)."""
     prefix = struct.pack(">BB", MAGIC, VERSION)
     if isinstance(request, BatchRequest):
         if len(request.ops) > 0xFFFF:
@@ -190,7 +204,7 @@ def encode_request(request: Request) -> bytes:
         body = b"".join(parts)
     else:
         body = prefix + _encode_request_body(request)
-    return _LEN.pack(len(body)) + body
+    return _frame(body)
 
 
 def _encode_reply_body(reply: SimpleReply) -> bytes:
@@ -220,7 +234,7 @@ def _encode_reply_body(reply: SimpleReply) -> bytes:
 
 
 def encode_reply(reply: Reply) -> bytes:
-    """Encode a reply into a complete frame (length prefix included)."""
+    """Encode a reply into a complete frame (length/CRC prefix included)."""
     prefix = struct.pack(">BB", MAGIC, VERSION)
     if isinstance(reply, BatchReply):
         parts = [prefix, _U8.pack(Opcode.BATCH_OK), _U16.pack(len(reply.replies))]
@@ -231,7 +245,7 @@ def encode_reply(reply: Reply) -> bytes:
         body = b"".join(parts)
     else:
         body = prefix + _encode_reply_body(reply)
-    return _LEN.pack(len(body)) + body
+    return _frame(body)
 
 
 # ----------------------------------------------------------------------
@@ -338,7 +352,11 @@ def _decode_reply_body(cursor: _Cursor) -> SimpleReply:
             error_code = ErrorCode(code)
         except ValueError as error:
             raise ProtocolError(f"unknown error code {code}") from error
-        return ErrorReply(error_code, cursor.blob(length_bytes=2).decode("utf-8"))
+        try:
+            message = cursor.blob(length_bytes=2).decode("utf-8")
+        except UnicodeDecodeError as error:
+            raise ProtocolError(f"malformed error message: {error}") from error
+        return ErrorReply(error_code, message)
     if opcode == Opcode.BATCH_OK:
         raise ProtocolError("batches cannot nest")
     raise ProtocolError(f"unknown reply opcode {opcode:#x}")
@@ -370,30 +388,55 @@ async def read_frame(
 ) -> bytes:
     """Read one frame body; returns ``b""`` on clean EOF before a frame.
 
-    Raises :class:`ProtocolError` on a torn frame or one whose declared
+    Verifies the body checksum carried in the frame prefix, so a frame
+    whose payload was corrupted in flight surfaces as a
+    :class:`ProtocolError` rather than silently bad value bytes.  Also
+    raises :class:`ProtocolError` on a torn frame or one whose declared
     length exceeds ``max_frame_bytes`` (the oversize body is *not* read —
     the connection must be dropped, since framing is lost).
     """
-    prefix = await reader.read(_LEN.size)
+    prefix = await reader.read(FRAME_OVERHEAD)
     if not prefix:
         return b""
-    while len(prefix) < _LEN.size:
-        more = await reader.read(_LEN.size - len(prefix))
+    while len(prefix) < FRAME_OVERHEAD:
+        more = await reader.read(FRAME_OVERHEAD - len(prefix))
         if not more:
             raise ProtocolError("connection closed mid length-prefix")
         prefix += more
-    (length,) = _LEN.unpack(prefix)
+    (length,) = _LEN.unpack_from(prefix, 0)
+    (expected_crc,) = _CRC.unpack_from(prefix, _LEN.size)
     if length < 3:
         raise ProtocolError(f"frame body too short ({length} bytes)")
     if length > max_frame_bytes:
         raise ProtocolError(f"frame of {length} bytes exceeds {max_frame_bytes}")
     try:
-        return await reader.readexactly(length)
+        body = await reader.readexactly(length)
     except asyncio.IncompleteReadError as error:
         raise ProtocolError("connection closed mid frame") from error
+    if (zlib.crc32(body) & 0xFFFFFFFF) != expected_crc:
+        raise ProtocolError("frame checksum mismatch")
+    return body
 
 
-async def write_frame(writer: asyncio.StreamWriter, frame: bytes) -> None:
-    """Write one already-encoded frame and drain (applies backpressure)."""
+async def write_frame(
+    writer: asyncio.StreamWriter, frame: bytes, faults=None
+) -> None:
+    """Write one already-encoded frame and drain (applies backpressure).
+
+    When a :class:`~repro.faults.FaultPlan` is given it is consulted per
+    frame: a *drop* verdict severs the connection (raising
+    :class:`ConnectionResetError`, so the caller's connection-teardown
+    path runs and the peer sees EOF), and a *corrupt* verdict flips one
+    byte inside the frame *body* — the length/CRC prefix is preserved so
+    the peer reads a complete frame whose checksum no longer matches and
+    fails it as a :class:`ProtocolError` instead of losing framing.
+    """
+    if faults is not None:
+        verdict, body = faults.on_frame_send(frame[FRAME_OVERHEAD:])
+        if verdict == "drop":
+            writer.close()
+            raise ConnectionResetError("injected connection drop")
+        if verdict == "corrupt":
+            frame = frame[:FRAME_OVERHEAD] + body
     writer.write(frame)
     await writer.drain()

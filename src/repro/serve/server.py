@@ -31,6 +31,7 @@ import asyncio
 from dataclasses import dataclass
 from typing import List, Optional, Tuple
 
+from ..faults import FaultPlan, InjectedCrash
 from .protocol import (
     MAX_FRAME_BYTES,
     BatchReply,
@@ -76,6 +77,14 @@ class ServerConfig:
     write_stall: float = 0.0
     """Artificial per-write delay in seconds — a fault-injection hook used
     by backpressure/timeout tests and chaos experiments; keep 0 in prod."""
+    durable: bool = False
+    """Keep per-shard serialized log images so crashed shards can be
+    rebuilt in place (forced on when a fault plan is set)."""
+    fault_plan: Optional[FaultPlan] = None
+    """Deterministic fault injection (:mod:`repro.faults`): consulted by
+    the store at append boundaries, by each writer loop per iteration, by
+    the dispatch path per write, and by the wire layer per outgoing frame.
+    ``None`` (the default) injects nothing."""
 
 
 class McCuckooServer:
@@ -87,10 +96,13 @@ class McCuckooServer:
         store: Optional[ShardedLogStore] = None,
     ) -> None:
         self.config = config if config is not None else ServerConfig()
+        self._faults = self.config.fault_plan
         self.store = store if store is not None else ShardedLogStore(
             n_shards=self.config.n_shards,
             expected_items=self.config.expected_items,
             seed=self.config.seed,
+            durable=self.config.durable or self._faults is not None,
+            faults=self._faults,
         )
         self.stats = ServeStats()
         self._server: Optional[asyncio.AbstractServer] = None
@@ -146,6 +158,16 @@ class McCuckooServer:
         self._write_queues = []
         self._queued_ops = []
 
+    async def drain_writes(self) -> None:
+        """Wait until every queued write run has been fully applied.
+
+        Used by chaos/verification harnesses to reach a quiescent point:
+        after this returns (and with no new requests arriving), reads see
+        the final effect of every write that ever reached a writer queue.
+        """
+        for queue in self._write_queues:
+            await queue.join()
+
     async def serve_forever(self) -> None:
         if self._server is None:
             await self.start()
@@ -170,6 +192,10 @@ class McCuckooServer:
             # Slots free as soon as the run is picked up, matching the old
             # bounded-queue behaviour where qsize dropped at get().
             self._queued_ops[shard] -= len(run)
+            if self._faults is not None:
+                delay = self._faults.writer_delay(shard)
+                if delay:
+                    await asyncio.sleep(delay)
             try:
                 for position, (request, future) in enumerate(run):
                     try:
@@ -183,6 +209,18 @@ class McCuckooServer:
                             if not later.done():
                                 later.set_exception(asyncio.CancelledError())
                         raise
+                    except InjectedCrash as error:
+                        # The shard "process" died mid-write: the write is
+                        # NOT acknowledged, and the shard is rebuilt from
+                        # its durable log image before the next op runs —
+                        # synchronously, so no reader can observe the
+                        # poisoned in-memory index in between.
+                        if not future.done():
+                            future.set_exception(error)
+                        self.stats.injected_crashes += 1
+                        if self.store.durable:
+                            self.store.crash_and_recover(shard)
+                            self.stats.shard_recoveries += 1
                     except Exception as error:  # surface as INTERNAL
                         if not future.done():
                             future.set_exception(error)
@@ -209,7 +247,18 @@ class McCuckooServer:
             f"({self.config.writer_queue_depth} pending)",
         )
 
+    def _injected_busy(self) -> Optional[ErrorReply]:
+        """Per-dispatch BUSY injection (the ``busy=P`` fault rule)."""
+        if self._faults is not None and self._faults.should_reject_busy():
+            self.stats.busy_rejections += 1
+            self.stats.injected_busy += 1
+            return ErrorReply(ErrorCode.BUSY, "injected busy")
+        return None
+
     async def _submit_write(self, request: SimpleRequest) -> SimpleReply:
+        injected = self._injected_busy()
+        if injected is not None:
+            return injected
         shard = self.store.shard_index(request.key)
         if self._queued_ops[shard] >= self.config.writer_queue_depth:
             return self._busy_reply(shard)
@@ -229,6 +278,10 @@ class McCuckooServer:
         free capacity (per-op, like the scalar path)."""
         by_shard: dict = {}
         for index, op in run:
+            injected = self._injected_busy()
+            if injected is not None:
+                replies[index] = injected
+                continue
             by_shard.setdefault(self.store.shard_index(op.key), []).append(
                 (index, op)
             )
@@ -355,6 +408,11 @@ class McCuckooServer:
             "writer_queue_depth": sum(self._queued_ops),
             **self.store.stats_snapshot(),
         }
+        if self._faults is not None:
+            self.stats.gauges.update({
+                f"fault_{name}": count
+                for name, count in self._faults.fired_counts().items()
+            })
         return self.stats.snapshot()
 
     # ------------------------------------------------------------------
@@ -415,7 +473,10 @@ class McCuckooServer:
             if not body:
                 return  # clean EOF
             reply = await self._answer(body)
-            await write_frame(writer, encode_reply(reply))
+            # injected frame faults (drop/corrupt) apply to replies only:
+            # a dropped reply models an ack lost in flight, which is what
+            # client retry/idempotency must survive
+            await write_frame(writer, encode_reply(reply), faults=self._faults)
 
     async def _answer(self, body: bytes) -> Reply:
         try:

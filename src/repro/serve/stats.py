@@ -45,6 +45,10 @@ class ServeStats:
     bad_frames: int = 0
     internal_errors: int = 0
 
+    injected_busy: int = 0
+    injected_crashes: int = 0
+    shard_recoveries: int = 0
+
     gauges: Dict[str, float] = field(default_factory=dict)
     """Point-in-time values merged into the snapshot (queue depth, load...)."""
 

@@ -16,32 +16,54 @@ from __future__ import annotations
 
 from typing import Any, Dict, List, Optional
 
-from ..apps.kvstore import LogStructuredStore
+from ..apps.kvstore import LogStructuredStore, RecoveryReport
 from ..core.errors import ConfigurationError
 from ..core.results import InsertStatus
 from ..core.sharded import ShardRouter
+from ..faults import FaultPlan
 from ..hashing import KeyLike, canonical_key
 
 _MISSING = object()
 
 
 class ShardedLogStore:
-    """N independent log-structured stores behind one key-routed facade."""
+    """N independent log-structured stores behind one key-routed facade.
+
+    With ``durable=True`` each shard keeps a serialized log image (the
+    crash-recovery source of truth) and, when a ``faults`` plan is given,
+    consults it at every append/fsync boundary.  A shard that crashes can
+    be rebuilt in place from its image via :meth:`crash_and_recover`.
+    """
 
     def __init__(
         self,
         n_shards: int = 4,
         expected_items: int = 4096,
         seed: int = 0,
+        durable: bool = False,
+        faults: Optional[FaultPlan] = None,
     ) -> None:
         if expected_items <= 0:
             raise ConfigurationError("expected_items must be positive")
         self._router = ShardRouter(n_shards, seed=seed)
-        per_shard = max(64, expected_items // n_shards)
+        self._seed = seed
+        self._durable = durable or faults is not None
+        self._faults = faults
+        self._per_shard = max(64, expected_items // n_shards)
+        self.recovery_reports: List[RecoveryReport] = []
+        """One entry per completed :meth:`crash_and_recover`, oldest first."""
         self._shards: List[LogStructuredStore] = [
-            LogStructuredStore(expected_items=per_shard, seed=seed + 101 * index + 1)
-            for index in range(n_shards)
+            self._make_shard(index) for index in range(n_shards)
         ]
+
+    def _make_shard(self, index: int) -> LogStructuredStore:
+        return LogStructuredStore(
+            expected_items=self._per_shard,
+            seed=self._seed + 101 * index + 1,
+            durable=self._durable,
+            faults=self._faults,
+            shard_id=index,
+        )
 
     # ------------------------------------------------------------------
 
@@ -99,6 +121,38 @@ class ShardedLogStore:
 
     def delete(self, key: KeyLike) -> bool:
         return self.shard_for(key).delete(key)
+
+    # ------------------------------------------------------------------
+    # crash recovery
+    # ------------------------------------------------------------------
+
+    @property
+    def durable(self) -> bool:
+        return self._durable
+
+    def crash_and_recover(self, shard: int) -> RecoveryReport:
+        """Rebuild one crashed shard from its durable log image, in place.
+
+        The crashed store's in-memory index may be ahead of its log (the
+        very thing an injected crash models), so it is discarded wholesale:
+        a fresh store is recovered from the bytes that reached the image —
+        truncating any torn tail — and swapped into the shard slot.  Only
+        meaningful for durable stores.
+        """
+        old = self._shards[shard]
+        recovered = LogStructuredStore.recover_from_bytes(
+            old.log_bytes,
+            expected_items=self._per_shard,
+            seed=self._seed + 101 * shard + 1,
+            durable=True,
+            faults=self._faults,
+            shard_id=shard,
+        )
+        self._shards[shard] = recovered
+        report = recovered.recovery_report
+        assert report is not None
+        self.recovery_reports.append(report)
+        return report
 
     # ------------------------------------------------------------------
 

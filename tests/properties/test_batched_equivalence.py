@@ -25,12 +25,13 @@ from repro.core.mccuckoo import McCuckoo
 from repro.core.resize import ResizableMcCuckoo
 from repro.core.sharded import ShardedMcCuckoo
 from repro.memory.model import CounterCharging, MemoryModel
+from tests.seeding import derive
 
 MODES = (DeletionMode.DISABLED, DeletionMode.RESET, DeletionMode.TOMBSTONE)
 
 
 def twin_tables(mode, n_buckets=500, **kwargs):
-    make = lambda: McCuckoo(n_buckets, d=3, seed=3, deletion_mode=mode,
+    make = lambda: McCuckoo(n_buckets, d=3, seed=derive(3), deletion_mode=mode,
                             mem=MemoryModel(), **kwargs)  # noqa: E731
     return make(), make()
 
@@ -55,7 +56,7 @@ def assert_same_state(scalar, batched):
 class TestMcCuckoo:
     def test_put_many_matches_reordered_scalar(self, mode):
         scalar, batched = twin_tables(mode)
-        rng = random.Random(11)
+        rng = random.Random(derive(11))
         pairs = [(rng.getrandbits(64), i) for i in range(1300)]
         batched_outcomes = batched.put_many(pairs)
         scalar_outcomes = scalar_puts_reordered(scalar, pairs, batched_outcomes)
@@ -64,7 +65,7 @@ class TestMcCuckoo:
 
     def test_lookup_many_matches_scalar(self, mode):
         scalar, batched = twin_tables(mode)
-        rng = random.Random(12)
+        rng = random.Random(derive(12))
         pairs = [(rng.getrandbits(64), i) for i in range(1200)]
         batched_outcomes = batched.put_many(pairs)
         scalar_puts_reordered(scalar, pairs, batched_outcomes)
@@ -82,7 +83,7 @@ class TestMcCuckoo:
                 batched.delete_many([1, 2])
             return
         scalar, batched = twin_tables(mode)
-        rng = random.Random(13)
+        rng = random.Random(derive(13))
         pairs = [(rng.getrandbits(64), i) for i in range(1200)]
         batched_outcomes = batched.put_many(pairs)
         scalar_puts_reordered(scalar, pairs, batched_outcomes)
@@ -100,10 +101,10 @@ class TestMcCuckoo:
 class TestStashSpill:
     def test_put_many_overfill_spills_identically(self):
         # a tiny table driven past capacity: some keys land in the stash
-        make = lambda: McCuckoo(40, d=3, seed=5, maxloop=30,  # noqa: E731
+        make = lambda: McCuckoo(40, d=3, seed=derive(5), maxloop=30,  # noqa: E731
                                 stash_buckets=8, mem=MemoryModel())
         scalar, batched = make(), make()
-        rng = random.Random(21)
+        rng = random.Random(derive(21))
         pairs = [(rng.getrandbits(64), i) for i in range(135)]
         batched_outcomes = batched.put_many(pairs)
         scalar_outcomes = scalar_puts_reordered(scalar, pairs, batched_outcomes)
@@ -122,10 +123,10 @@ class TestBlocked:
     def test_batched_equivalence(self, screen):
         mode = DeletionMode.DISABLED if not screen else DeletionMode.RESET
         make = lambda: BlockedMcCuckoo(  # noqa: E731
-            120, d=3, slots=3, seed=7, deletion_mode=mode,
+            120, d=3, slots=3, seed=derive(7), deletion_mode=mode,
             lookup_counter_screen=screen, mem=MemoryModel())
         scalar, batched = make(), make()
-        rng = random.Random(31)
+        rng = random.Random(derive(31))
         pairs = [(rng.getrandbits(64), i) for i in range(900)]
         batched_outcomes = batched.put_many(pairs)
         scalar_outcomes = scalar_puts_reordered(scalar, pairs, batched_outcomes)
@@ -145,10 +146,10 @@ class TestBlocked:
 class TestSharded:
     def test_batched_ops_match_scalar_per_shard(self):
         make = lambda: ShardedMcCuckoo(  # noqa: E731
-            4, 150, d=3, seed=9, deletion_mode=DeletionMode.RESET,
+            4, 150, d=3, seed=derive(9), deletion_mode=DeletionMode.RESET,
             mem=MemoryModel())
         scalar, batched = make(), make()
-        rng = random.Random(41)
+        rng = random.Random(derive(41))
         pairs = [(rng.getrandbits(64), i) for i in range(1100)]
         batched_outcomes = batched.put_many(pairs)
         # put_many reorders within each shard; the collided flag projects
@@ -168,10 +169,10 @@ class TestSharded:
 
 class TestResizable:
     def test_lookup_many_spans_migration(self):
-        make = lambda: ResizableMcCuckoo(64, d=3, grow_at=0.7, seed=13,  # noqa: E731
+        make = lambda: ResizableMcCuckoo(64, d=3, grow_at=0.7, seed=derive(13),  # noqa: E731
                                          mem=MemoryModel())
         scalar, batched = make(), make()
-        rng = random.Random(51)
+        rng = random.Random(derive(51))
         keys = [rng.getrandbits(64) for _ in range(200)]
         for table in (scalar, batched):
             for key in keys:
@@ -184,11 +185,11 @@ class TestResizable:
 
 class TestPerWordCharging:
     def test_per_word_reads_fewer_counters_same_results(self):
-        per_counter = McCuckoo(500, d=3, seed=3, mem=MemoryModel())
+        per_counter = McCuckoo(500, d=3, seed=derive(3), mem=MemoryModel())
         per_word = McCuckoo(
-            500, d=3, seed=3,
+            500, d=3, seed=derive(3),
             mem=MemoryModel(counter_charging=CounterCharging.PER_WORD))
-        rng = random.Random(61)
+        rng = random.Random(derive(61))
         pairs = [(rng.getrandbits(64), i) for i in range(1200)]
         assert per_counter.put_many(pairs) == per_word.put_many(pairs)
         queries = [key for key, _ in pairs[::2]] + [rng.getrandbits(64)
@@ -201,11 +202,11 @@ class TestPerWordCharging:
     def test_scalar_paths_ignore_per_word_mode(self):
         # per-counter charging of the scalar accessors is unaffected: the
         # paper-figure pipelines never see the PER_WORD option.
-        default = McCuckoo(200, d=3, seed=3, mem=MemoryModel())
+        default = McCuckoo(200, d=3, seed=derive(3), mem=MemoryModel())
         word = McCuckoo(
-            200, d=3, seed=3,
+            200, d=3, seed=derive(3),
             mem=MemoryModel(counter_charging=CounterCharging.PER_WORD))
-        rng = random.Random(71)
+        rng = random.Random(derive(71))
         keys = [rng.getrandbits(64) for _ in range(400)]
         for table in (default, word):
             for key in keys:

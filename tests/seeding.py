@@ -1,0 +1,18 @@
+"""Session-wide seed derivation for randomised tests.
+
+``PYTEST_SEED`` (default 0) is the base; :func:`derive` XORs a per-site
+tag into it so every historical literal seed is preserved under the
+default while the whole suite re-randomises together under any other
+base.  The active base is printed in the pytest header.
+"""
+
+import os
+
+
+def base_seed() -> int:
+    return int(os.environ.get("PYTEST_SEED", "0"))
+
+
+def derive(tag: int) -> int:
+    """A deterministic per-site seed: ``base ^ tag`` (== tag by default)."""
+    return base_seed() ^ tag

@@ -16,6 +16,7 @@ from repro.serve import (
 )
 from repro.serve.store import ShardedLogStore
 from repro.workloads import distinct_keys
+from tests.seeding import derive
 
 
 def run(coro):
@@ -24,23 +25,23 @@ def run(coro):
 
 class TestStoreGetMany:
     def test_log_store_get_many_matches_scalar_and_accounting(self):
-        scalar = LogStructuredStore(expected_items=256, seed=4, mem=MemoryModel())
-        batched = LogStructuredStore(expected_items=256, seed=4, mem=MemoryModel())
-        keys = distinct_keys(300, seed=5)
+        scalar = LogStructuredStore(expected_items=256, seed=derive(4), mem=MemoryModel())
+        batched = LogStructuredStore(expected_items=256, seed=derive(4), mem=MemoryModel())
+        keys = distinct_keys(300, seed=derive(5))
         for store in (scalar, batched):
             for i, key in enumerate(keys):
                 store.put(key, i)
-        queries = keys[::2] + distinct_keys(100, seed=6)
+        queries = keys[::2] + distinct_keys(100, seed=derive(6))
         expected = [scalar.get(key, default="absent") for key in queries]
         assert batched.get_many(queries, default="absent") == expected
         assert scalar.mem.summary() == batched.mem.summary()
 
     def test_sharded_store_get_many_preserves_order(self):
-        store = ShardedLogStore(n_shards=4, expected_items=512, seed=2)
-        keys = distinct_keys(200, seed=7)
+        store = ShardedLogStore(n_shards=4, expected_items=512, seed=derive(2))
+        keys = distinct_keys(200, seed=derive(7))
         for i, key in enumerate(keys):
             store.put(key, bytes([i % 256]))
-        missing = distinct_keys(50, seed=8)
+        missing = distinct_keys(50, seed=derive(8))
         queries = [q for pair in zip(keys[:50], missing) for q in pair]
         values = store.get_many(queries)
         assert values == [store.get(q) for q in queries]
@@ -53,7 +54,7 @@ class TestStoreGetMany:
 
 
 def config(**overrides) -> ServerConfig:
-    defaults = dict(n_shards=4, expected_items=4096, seed=0)
+    defaults = dict(n_shards=4, expected_items=4096, seed=derive(0))
     defaults.update(overrides)
     return ServerConfig(**defaults)
 
@@ -64,12 +65,12 @@ class TestBatchedBatchPath:
             async with McCuckooServer(config()) as server:
                 host, port = server.address
                 async with McCuckooClient(host, port) as client:
-                    keys = distinct_keys(64, seed=11)
+                    keys = distinct_keys(64, seed=derive(11))
                     await client.batch(
                         [("put", key, bytes([i % 256]))
                          for i, key in enumerate(keys)]
                     )
-                    missing = distinct_keys(16, seed=12)
+                    missing = distinct_keys(16, seed=derive(12))
                     replies = await client.batch(
                         [("get", key) for key in keys + missing]
                     )
@@ -112,7 +113,7 @@ class TestBatchedBatchPath:
             async with McCuckooServer(cfg) as server:
                 host, port = server.address
                 async with McCuckooClient(host, port) as client:
-                    keys = distinct_keys(5, seed=13)
+                    keys = distinct_keys(5, seed=derive(13))
                     replies = await client.batch(
                         [("put", key, b"v") for key in keys]
                     )
@@ -133,7 +134,7 @@ class TestBatchedBatchPath:
             async with McCuckooServer(config(n_shards=4)) as server:
                 host, port = server.address
                 async with McCuckooClient(host, port) as client:
-                    keys = distinct_keys(128, seed=14)
+                    keys = distinct_keys(128, seed=derive(14))
                     replies = await client.batch(
                         [("put", key, b"x") for key in keys]
                     )
@@ -150,7 +151,7 @@ class TestBatchedBatchPath:
             async with McCuckooServer(config()) as server:
                 host, port = server.address
                 async with McCuckooClient(host, port) as client:
-                    keys = distinct_keys(32, seed=15)
+                    keys = distinct_keys(32, seed=derive(15))
                     await client.batch([("put", key, b"v") for key in keys])
                     stats = await client.stats()
                     assert stats["writer_queue_depth"] == 0

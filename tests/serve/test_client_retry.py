@@ -1,0 +1,252 @@
+"""Client resilience tests against a scripted fake server.
+
+The fake speaks the real wire protocol but follows a per-request script
+(BUSY, drop the connection, apply-then-drop, stall forever), which makes
+retry/backoff/deadline behaviour exactly reproducible without any fault
+timing.
+"""
+
+import asyncio
+import itertools
+
+import pytest
+
+from repro.serve import (
+    McCuckooClient,
+    ProtocolError,
+    RetryPolicy,
+    ServerBusyError,
+)
+from repro.serve.client import RequestTimeoutError
+from repro.serve.protocol import (
+    DeleteReply,
+    DeleteRequest,
+    ErrorCode,
+    ErrorReply,
+    GetRequest,
+    PutReply,
+    PutRequest,
+    StatsReply,
+    ValueReply,
+    decode_request,
+    encode_reply,
+    read_frame,
+    write_frame,
+)
+from tests.seeding import derive
+
+
+def run(coro):
+    return asyncio.run(coro)
+
+
+class ScriptedServer:
+    """A protocol-correct server that consumes one scripted action per
+    request: "ok", "busy", "drop" (close before replying),
+    "apply_then_drop" (mutate state, then close — the lost-ack case), or
+    "stall" (never reply).  An exhausted script defaults to "ok"."""
+
+    def __init__(self, script=()):
+        self.script = list(script)
+        self.requests = 0
+        self.store = {}
+        self._server = None
+
+    async def __aenter__(self):
+        self._server = await asyncio.start_server(self._handle, "127.0.0.1", 0)
+        return self
+
+    async def __aexit__(self, *exc_info):
+        self._server.close()
+        await self._server.wait_closed()
+
+    @property
+    def address(self):
+        return self._server.sockets[0].getsockname()[:2]
+
+    def _apply(self, request):
+        if isinstance(request, PutRequest):
+            created = request.key not in self.store
+            self.store[request.key] = request.value
+            return PutReply(created)
+        if isinstance(request, GetRequest):
+            value = self.store.get(request.key)
+            return ValueReply(value is not None, value or b"")
+        if isinstance(request, DeleteRequest):
+            return DeleteReply(self.store.pop(request.key, None) is not None)
+        return StatsReply({})
+
+    async def _handle(self, reader, writer):
+        try:
+            while True:
+                body = await read_frame(reader)
+                if not body:
+                    return
+                request = decode_request(body)
+                self.requests += 1
+                action = self.script.pop(0) if self.script else "ok"
+                if action == "stall":
+                    await asyncio.sleep(3600)
+                    return
+                if action == "drop":
+                    writer.close()
+                    return
+                if action == "apply_then_drop":
+                    self._apply(request)
+                    writer.close()
+                    return
+                if action == "busy":
+                    reply = ErrorReply(ErrorCode.BUSY, "scripted busy")
+                else:
+                    reply = self._apply(request)
+                await write_frame(writer, encode_reply(reply))
+        except (ProtocolError, ConnectionError, OSError):
+            pass
+
+
+def fast_policy(**overrides):
+    defaults = dict(max_attempts=6, base_delay=0.001, max_delay=0.005,
+                    jitter=0.2, seed=derive(9))
+    defaults.update(overrides)
+    return RetryPolicy(**defaults)
+
+
+class TestRetryPolicySchedule:
+    def test_same_seed_same_delays(self):
+        a = RetryPolicy(seed=derive(100))
+        b = RetryPolicy(seed=derive(100))
+        assert list(itertools.islice(a.delays(), 20)) == \
+               list(itertools.islice(b.delays(), 20))
+
+    def test_delays_regenerate_per_request(self):
+        policy = RetryPolicy(seed=derive(101))
+        assert list(itertools.islice(policy.delays(), 10)) == \
+               list(itertools.islice(policy.delays(), 10))
+
+    def test_schedule_shape(self):
+        policy = RetryPolicy(base_delay=0.01, multiplier=2.0, max_delay=0.05,
+                             jitter=0.2, seed=derive(102))
+        raw = [0.01, 0.02, 0.04, 0.05, 0.05, 0.05]
+        for delay, expected in zip(policy.delays(), raw):
+            assert expected * 0.8 <= delay <= expected * 1.2
+
+    def test_zero_jitter_is_exact(self):
+        policy = RetryPolicy(base_delay=0.01, multiplier=3.0, max_delay=1.0,
+                             jitter=0.0)
+        assert list(itertools.islice(policy.delays(), 3)) == \
+               [0.01, 0.03, 0.09]
+
+    @pytest.mark.parametrize("kwargs", [
+        dict(max_attempts=0),
+        dict(base_delay=-0.1),
+        dict(max_delay=-1.0),
+        dict(multiplier=0.5),
+        dict(jitter=1.0),
+        dict(jitter=-0.2),
+    ])
+    def test_invalid_policies_rejected(self, kwargs):
+        with pytest.raises(ValueError):
+            RetryPolicy(**kwargs)
+
+
+class TestBusyRetries:
+    def test_busy_storm_resolves(self):
+        async def scenario():
+            async with ScriptedServer(["busy"] * 3) as server:
+                host, port = server.address
+                async with McCuckooClient(host, port,
+                                          retry=fast_policy()) as client:
+                    assert await client.put(1, b"v") is True
+                assert server.requests == 4
+                assert client.retries == 3
+                assert server.store == {1: b"v"}
+        run(scenario())
+
+    def test_exhausted_attempts_surface_busy(self):
+        async def scenario():
+            async with ScriptedServer(["busy"] * 10) as server:
+                host, port = server.address
+                policy = fast_policy(max_attempts=4)
+                async with McCuckooClient(host, port, retry=policy) as client:
+                    with pytest.raises(ServerBusyError):
+                        await client.put(1, b"v")
+                assert server.requests == 4
+                assert client.retries == 4
+        run(scenario())
+
+    def test_without_policy_busy_raises_immediately(self):
+        async def scenario():
+            async with ScriptedServer(["busy"]) as server:
+                host, port = server.address
+                async with McCuckooClient(host, port) as client:
+                    with pytest.raises(ServerBusyError):
+                        await client.put(1, b"v")
+                assert server.requests == 1
+                assert client.retries == 0
+        run(scenario())
+
+
+class TestConnectionLoss:
+    def test_dropped_connection_is_replayed(self):
+        async def scenario():
+            async with ScriptedServer(["drop"]) as server:
+                host, port = server.address
+                async with McCuckooClient(host, port,
+                                          retry=fast_policy()) as client:
+                    assert await client.put(5, b"value") is True
+                assert client.retries == 1
+                assert server.store == {5: b"value"}
+        run(scenario())
+
+    def test_lost_ack_replay_is_idempotent(self):
+        """The server applies the put, then drops the ack.  The replay is
+        indistinguishable from a fresh request; state must converge to
+        exactly one value with no corruption."""
+        async def scenario():
+            async with ScriptedServer(["apply_then_drop"]) as server:
+                host, port = server.address
+                async with McCuckooClient(host, port,
+                                          retry=fast_policy()) as client:
+                    created = await client.put(7, b"exact-bytes")
+                    # the replay sees the already-applied write: not created
+                    assert created is False
+                    assert await client.get(7) == b"exact-bytes"
+                assert server.requests == 3  # put, replayed put, get
+                assert server.store == {7: b"exact-bytes"}
+        run(scenario())
+
+
+class TestDeadline:
+    def test_stalled_server_hits_deadline(self):
+        async def scenario():
+            async with ScriptedServer(["stall"] * 10) as server:
+                host, port = server.address
+                policy = fast_policy(deadline=0.2, max_attempts=50)
+                async with McCuckooClient(host, port, retry=policy) as client:
+                    loop = asyncio.get_running_loop()
+                    begin = loop.time()
+                    with pytest.raises(RequestTimeoutError):
+                        await client.put(1, b"v")
+                    elapsed = loop.time() - begin
+                    assert elapsed < 2.0  # bounded, not max_attempts * stall
+                    # nothing is sent after the deadline fires
+                    seen = server.requests
+                    await asyncio.sleep(0.15)
+                    assert server.requests == seen
+                assert server.store == {}
+        run(scenario())
+
+    def test_deadline_caps_backoff_sleeps(self):
+        async def scenario():
+            async with ScriptedServer(["busy"] * 1000) as server:
+                host, port = server.address
+                policy = RetryPolicy(max_attempts=1000, base_delay=0.05,
+                                     max_delay=1.0, jitter=0.0,
+                                     deadline=0.15, seed=derive(11))
+                async with McCuckooClient(host, port, retry=policy) as client:
+                    loop = asyncio.get_running_loop()
+                    begin = loop.time()
+                    with pytest.raises(RequestTimeoutError):
+                        await client.get(1)
+                    assert loop.time() - begin < 1.0
+        run(scenario())

@@ -12,16 +12,17 @@ from repro.serve import (
     run_loadgen,
 )
 from repro.serve.loadgen import percentile, value_bytes
+from tests.seeding import derive
 
 
 class TestBuildWorkload:
     def test_reproducible(self):
-        cfg = LoadgenConfig(n_ops=500, n_keys=100, seed=5)
+        cfg = LoadgenConfig(n_ops=500, n_keys=100, seed=derive(5))
         assert build_workload(cfg) == build_workload(cfg)
 
     def test_zipf_shape(self):
         preload, ops = build_workload(
-            LoadgenConfig(workload="zipf", n_ops=1000, n_keys=200, seed=1)
+            LoadgenConfig(workload="zipf", n_ops=1000, n_keys=200, seed=derive(1))
         )
         assert len(preload) == 200
         assert all(op[0] == "put" for op in preload)
@@ -31,7 +32,7 @@ class TestBuildWorkload:
     def test_zipf_skews_toward_head(self):
         preload, ops = build_workload(
             LoadgenConfig(workload="zipf", n_ops=2000, n_keys=500,
-                          zipf_s=1.2, seed=2, get_ratio=1.0, put_ratio=0.0,
+                          zipf_s=1.2, seed=derive(2), get_ratio=1.0, put_ratio=0.0,
                           delete_ratio=0.0)
         )
         hot = {op[1] for op in preload[:10]}
@@ -40,7 +41,7 @@ class TestBuildWorkload:
 
     def test_ycsb_maps_to_client_verbs(self):
         preload, ops = build_workload(
-            LoadgenConfig(workload="ycsb-A", n_ops=400, n_keys=100, seed=3)
+            LoadgenConfig(workload="ycsb-A", n_ops=400, n_keys=100, seed=derive(3))
         )
         assert len(preload) == 100
         kinds = {op[0] for op in ops}
@@ -49,7 +50,7 @@ class TestBuildWorkload:
 
     def test_mixed_has_no_preload_and_includes_deletes(self):
         preload, ops = build_workload(
-            LoadgenConfig(workload="mixed", n_ops=1500, n_keys=100, seed=4,
+            LoadgenConfig(workload="mixed", n_ops=1500, n_keys=100, seed=derive(4),
                           delete_ratio=0.2)
         )
         assert preload == []
@@ -91,7 +92,7 @@ class TestLiveRun:
                 report = await run_loadgen(
                     host, port,
                     LoadgenConfig(workload="zipf", n_ops=2000, n_keys=400,
-                                  concurrency=8, seed=9),
+                                  concurrency=8, seed=derive(9)),
                 )
                 stats = server.stats
                 return report, stats
@@ -113,7 +114,7 @@ class TestLiveRun:
                 return await run_loadgen(
                     host, port,
                     LoadgenConfig(workload="uniform", n_ops=1000, n_keys=200,
-                                  concurrency=4, batch_size=16, seed=10),
+                                  concurrency=4, batch_size=16, seed=derive(10)),
                 )
 
         report = asyncio.run(scenario())

@@ -1,6 +1,7 @@
 """Wire-protocol unit tests: pure bytes, no sockets."""
 
 import struct
+import zlib
 
 import pytest
 
@@ -29,10 +30,11 @@ from repro.serve.protocol import (
 
 
 def strip_frame(frame: bytes) -> bytes:
-    """Drop the length prefix, validating it first."""
-    (length,) = struct.unpack(">I", frame[:4])
-    body = frame[4:]
+    """Drop the length/CRC prefix, validating both first."""
+    (length, crc) = struct.unpack(">II", frame[:8])
+    body = frame[8:]
     assert length == len(body)
+    assert crc == (zlib.crc32(body) & 0xFFFFFFFF)
     return body
 
 
@@ -140,10 +142,10 @@ class TestFraming:
         second = encode_request(GetRequest(2))
         stream = first + second
         (length,) = struct.unpack(">I", stream[:4])
-        assert decode_request(stream[4 : 4 + length]) == PutRequest(1, b"aa")
-        rest = stream[4 + length :]
+        assert decode_request(stream[8 : 8 + length]) == PutRequest(1, b"aa")
+        rest = stream[8 + length :]
         (length2,) = struct.unpack(">I", rest[:4])
-        assert decode_request(rest[4 : 4 + length2]) == GetRequest(2)
+        assert decode_request(rest[8 : 8 + length2]) == GetRequest(2)
 
     def test_value_bytes_survive_arbitrary_content(self):
         value = bytes(range(256)) * 8

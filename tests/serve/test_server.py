@@ -1,6 +1,8 @@
 """Integration tests: real asyncio server + client over a loopback port."""
 
 import asyncio
+import struct
+import zlib
 
 import pytest
 
@@ -19,6 +21,7 @@ from repro.serve import (
 )
 from repro.serve.loadgen import LoadgenConfig, build_workload
 from repro.workloads import distinct_keys
+from tests.seeding import derive
 
 
 def run(coro):
@@ -26,7 +29,7 @@ def run(coro):
 
 
 def config(**overrides) -> ServerConfig:
-    defaults = dict(n_shards=4, expected_items=4096, seed=0)
+    defaults = dict(n_shards=4, expected_items=4096, seed=derive(0))
     defaults.update(overrides)
     return ServerConfig(**defaults)
 
@@ -97,7 +100,7 @@ class TestMixedWorkloadCorrectness:
                         preload, ops = build_workload(
                             LoadgenConfig(workload="zipf", n_ops=2500,
                                           n_keys=400, value_size=32,
-                                          seed=1000 + worker_id)
+                                          seed=derive(1000) + worker_id)
                         )
                         keys = {op[1] for op in preload}
                         assert not (keys & seen), "worker key sets overlap"
@@ -156,7 +159,7 @@ class TestBackpressure:
             async with McCuckooServer(cfg) as server:
                 host, port = server.address
                 async with McCuckooClient(host, port, pool_size=10) as client:
-                    keys = distinct_keys(20, seed=77)
+                    keys = distinct_keys(20, seed=derive(77))
 
                     async def put(key):
                         try:
@@ -182,7 +185,7 @@ class TestBackpressure:
                 host, port = server.address
                 async with McCuckooClient(host, port) as client:
                     ops = [("put", key, b"v")
-                           for key in distinct_keys(12, seed=78)]
+                           for key in distinct_keys(12, seed=derive(78))]
                     replies = await client.batch(ops)
                     busy = [r for r in replies
                             if isinstance(r, ErrorReply)
@@ -235,7 +238,11 @@ class TestBadInput:
                 host, port = server.address
                 reader, writer = await asyncio.open_connection(host, port)
                 try:
-                    writer.write(b"\x00\x00\x00\x05hello")
+                    garbage = b"hello"
+                    writer.write(
+                        struct.pack(">II", len(garbage), zlib.crc32(garbage))
+                        + garbage
+                    )
                     await writer.drain()
                     reply = decode_reply(await read_frame(reader))
                     assert isinstance(reply, ErrorReply)
@@ -258,7 +265,7 @@ class TestBadInput:
                 host, port = server.address
                 reader, writer = await asyncio.open_connection(host, port)
                 try:
-                    writer.write((1 << 20).to_bytes(4, "big"))
+                    writer.write(struct.pack(">II", 1 << 20, 0))
                     await writer.drain()
                     reply = decode_reply(await read_frame(reader))
                     assert isinstance(reply, ErrorReply)

@@ -6,9 +6,10 @@ from repro.core.errors import ConfigurationError
 from repro.core.sharded import ShardRouter
 from repro.serve.store import ShardedLogStore
 from repro.workloads import distinct_keys
+from tests.seeding import derive
 
 
-def store(n_shards=4, expected_items=1024, seed=11):
+def store(n_shards=4, expected_items=1024, seed=derive(11)):
     return ShardedLogStore(n_shards=n_shards, expected_items=expected_items,
                            seed=seed)
 
@@ -21,9 +22,9 @@ class TestConstruction:
             ShardedLogStore(expected_items=0)
 
     def test_routing_agrees_with_shard_router(self):
-        s = store(n_shards=8, seed=3)
-        router = ShardRouter(8, seed=3)
-        for key in distinct_keys(200, seed=4):
+        s = store(n_shards=8, seed=derive(3))
+        router = ShardRouter(8, seed=derive(3))
+        for key in distinct_keys(200, seed=derive(4)):
             assert s.shard_index(key) == router.shard_of(key)
 
 
@@ -55,7 +56,7 @@ class TestOperations:
 
     def test_spread_across_shards(self):
         s = store(n_shards=4)
-        keys = distinct_keys(400, seed=5)
+        keys = distinct_keys(400, seed=derive(5))
         for key in keys:
             s.put(key, key.to_bytes(8, "big"))
         assert len(s) == 400
@@ -67,7 +68,7 @@ class TestOperations:
 class TestStats:
     def test_snapshot_gauges(self):
         s = store()
-        for key in distinct_keys(100, seed=6):
+        for key in distinct_keys(100, seed=derive(6)):
             s.put(key, b"v")
         snapshot = s.stats_snapshot()
         assert snapshot["store_items"] == 100
