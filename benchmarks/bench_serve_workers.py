@@ -1,0 +1,76 @@
+"""Perf-regression harness for the multi-process serving layer.
+
+Sweeps worker counts through the :mod:`repro.analysis.bench_serve`
+harness (single-process baseline, then ``WorkerServer`` at 1..N worker
+processes over real TCP), saves the machine-readable baseline to
+``benchmarks/results/BENCH_serve.json``, and gates two things:
+
+* **No regression**: ops/sec at ``--workers 1`` must stay within 30% of
+  the committed baseline, when the baseline was produced with the same
+  workload shape (otherwise the comparison is meaningless and skipped).
+* **Scaling**: on a box with >= 4 cores, 4 workers must reach >= 2x the
+  ops/sec of 1 worker — the ISSUE's shard-parallelism acceptance
+  criterion.  One- and two-core boxes record the curve but do not gate
+  on it, because worker processes cannot scale past the cores they have.
+
+Set ``BENCH_SERVE_QUICK=1`` for the seconds-scale CI smoke configuration
+(workers 0/1/2, 5k ops) — the committed baseline is produced at exactly
+that shape so the CI regression gate always engages.
+"""
+
+import os
+import pathlib
+
+from repro.analysis.bench_serve import (
+    BenchServeConfig,
+    compare_to_baseline,
+    load_report,
+    render_report,
+    run_bench_serve,
+    write_report,
+)
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+BASELINE_PATH = RESULTS_DIR / "BENCH_serve.json"
+
+#: CI floor: fail when workers=1 throughput drops more than this fraction
+#: below the committed baseline (shape-matched runs only).
+MAX_REGRESSION = 0.30
+
+
+def test_serve_workers_throughput():
+    quick = bool(os.environ.get("BENCH_SERVE_QUICK"))
+    config = BenchServeConfig.quick() if quick else BenchServeConfig()
+    report = run_bench_serve(config, verbose=True)
+    print("\n" + render_report(report))
+
+    rows = {row["workers"]: row for row in report["rows"]}
+    for workers, row in rows.items():
+        assert row["errors"] == 0, (
+            f"workers={workers}: {row['errors']} errored ops"
+        )
+        assert row["completed"] == row["n_ops"], (
+            f"workers={workers}: only {row['completed']}/{row['n_ops']} "
+            "ops completed"
+        )
+
+    if BASELINE_PATH.exists() and 1 in rows:
+        ok, message = compare_to_baseline(
+            report, load_report(str(BASELINE_PATH)),
+            max_regression=MAX_REGRESSION, at_workers=1,
+        )
+        print(f"baseline check: {message}")
+        assert ok, f"serve throughput regressed: {message}"
+
+    cpus = os.cpu_count() or 1
+    if cpus >= 4 and 1 in rows and 4 in rows:
+        speedup = rows[4]["ops_per_sec"] / rows[1]["ops_per_sec"]
+        assert speedup >= 2.0, (
+            f"4 workers only {speedup:.2f}x over 1 worker on a "
+            f"{cpus}-core box (need >= 2x)"
+        )
+
+    RESULTS_DIR.mkdir(exist_ok=True)
+    # refresh the committed baseline only at the shape CI compares against
+    if quick:
+        write_report(report, str(RESULTS_DIR / "BENCH_serve.json"))

@@ -215,6 +215,8 @@ class DurableValueLog(ValueLog):
         self._image = bytearray()
         self._faults = faults
         self._shard = shard
+        self._sink = None  # optional real file backing the image
+        self._synced = 0  # image bytes already flushed to the sink
 
     @property
     def image_bytes(self) -> bytes:
@@ -225,24 +227,50 @@ class DurableValueLog(ValueLog):
         self._faults = faults
         self._shard = shard
 
+    def attach_sink(self, sink) -> None:
+        """Mirror the byte image into ``sink`` (a writable binary file).
+
+        Needed when the log must survive the *process*, not just an
+        in-memory crash simulation — worker processes attach their durable
+        log file here so the supervisor can replay it after a hard kill.
+        The current image is written out immediately; the caller owns
+        truncation/positioning of the file.
+        """
+        self._sink = sink
+        self._synced = 0
+        self._sync()
+
+    def _sync(self) -> None:
+        if self._sink is None or self._synced >= len(self._image):
+            return
+        self._sink.write(bytes(self._image[self._synced:]))
+        self._sink.flush()
+        self._synced = len(self._image)
+
     def append(self, key: Key, value: Any) -> int:
         record = encode_record(key, value)
         fault = self._faults.on_append(self._shard) if self._faults else None
-        if fault is not None and fault.torn:
-            keep = fault.keep_bytes
-            if keep is None:
-                keep = len(record) // 2
-            self._image += record[: max(0, min(keep, len(record) - 1))]
-            raise InjectedCrash(
-                f"torn write after {len(self._image)} image bytes "
-                f"(shard {self._shard})"
-            )
-        self._image += record
-        offset = super().append(key, value)
-        if fault is not None and fault.crash:
-            raise InjectedCrash(
-                f"crash after append #{offset + 1} (shard {self._shard})"
-            )
+        # The sink flush sits in a finally so an injected torn/crash append
+        # still persists exactly the bytes the image says survived — a real
+        # crash tears the file the same way it tears the image.
+        try:
+            if fault is not None and fault.torn:
+                keep = fault.keep_bytes
+                if keep is None:
+                    keep = len(record) // 2
+                self._image += record[: max(0, min(keep, len(record) - 1))]
+                raise InjectedCrash(
+                    f"torn write after {len(self._image)} image bytes "
+                    f"(shard {self._shard})"
+                )
+            self._image += record
+            offset = super().append(key, value)
+            if fault is not None and fault.crash:
+                raise InjectedCrash(
+                    f"crash after append #{offset + 1} (shard {self._shard})"
+                )
+        finally:
+            self._sync()
         return offset
 
 
@@ -395,6 +423,14 @@ class LogStructuredStore:
     @property
     def durable(self) -> bool:
         return isinstance(self._log, DurableValueLog)
+
+    def attach_log_sink(self, sink) -> None:
+        """Mirror the durable log's byte image into a writable binary file
+        (see :meth:`DurableValueLog.attach_sink`).  Raises on a non-durable
+        store — there is no image to mirror."""
+        if not isinstance(self._log, DurableValueLog):
+            raise ValueError("attach_log_sink requires a durable store")
+        self._log.attach_sink(sink)
 
     @property
     def log_bytes(self) -> bytes:

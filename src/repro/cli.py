@@ -23,14 +23,19 @@ Commands
 ``serve``
     Run the asyncio TCP server fronting the sharded log-structured
     McCuckoo store (one writer task per shard, explicit backpressure).
+    ``--workers N`` executes shards in N supervised worker processes.
 ``loadgen``
     Drive a closed-loop workload (zipf/uniform/mixed/YCSB) through the
-    async client and report ops/sec with p50/p95/p99 latency.
+    async client and report ops/sec with per-kind p50/p95/p99 latency
+    (``--json`` emits the machine-readable summary).
 ``faultgen``
     Chaos run: drive a seeded workload at an in-process server with an
     injected fault plan (crashes, torn writes, BUSY storms, corrupt/
-    dropped frames, slow shards) and verify zero lost acknowledged
-    writes; exits non-zero on any safety violation or hang.
+    dropped frames, slow shards, worker kills) and verify zero lost
+    acknowledged writes; exits non-zero on any safety violation or hang.
+``bench-serve``
+    Sweep worker counts over the TCP serving path and write the
+    ``BENCH_serve.json`` perf baseline.
 """
 
 from __future__ import annotations
@@ -138,6 +143,8 @@ def _build_parser() -> argparse.ArgumentParser:
                             "'busy=0.05;corrupt_frame=0.01'")
     serve.add_argument("--fault-seed", type=int, default=0,
                        help="seed for the fault plan's RNGs")
+    serve.add_argument("--workers", type=int, default=0,
+                       help="shard worker processes (0 = single-process)")
 
     loadgen = sub.add_parser("loadgen", help="drive a workload at a server")
     loadgen.add_argument("--host", default="127.0.0.1")
@@ -159,6 +166,12 @@ def _build_parser() -> argparse.ArgumentParser:
                          help="retry attempts per op (0 = no retry policy)")
     loadgen.add_argument("--deadline", type=float, default=None,
                          help="per-request client deadline in seconds")
+    loadgen.add_argument("--json", action="store_true",
+                         help="print the machine-readable summary JSON "
+                              "instead of the table")
+    loadgen.add_argument("--workers", type=int, default=0,
+                         help="with --standalone: worker processes for the "
+                              "in-process server (0 = single-process)")
 
     faultgen = sub.add_parser(
         "faultgen",
@@ -179,6 +192,28 @@ def _build_parser() -> argparse.ArgumentParser:
                           help="wall-clock budget; exceeding it reports a hang")
     faultgen.add_argument("--smoke", action="store_true",
                           help="seconds-scale CI configuration")
+    faultgen.add_argument("--workers", type=int, default=0,
+                          help="shard worker processes (0 = single-process; "
+                               "N > 0 makes kill_worker faults meaningful)")
+
+    bench_serve = sub.add_parser(
+        "bench-serve",
+        help="sweep worker counts over the TCP path, write BENCH_serve.json",
+    )
+    bench_serve.add_argument("-o", "--output", default="BENCH_serve.json",
+                             help="output JSON path ('-' for stdout only)")
+    bench_serve.add_argument("--quick", action="store_true",
+                             help="seconds-scale CI smoke configuration")
+    bench_serve.add_argument("--workers", default=None,
+                             help="comma-separated sweep points, e.g. "
+                                  "'0,1,2,4' (0 = single-process baseline)")
+    bench_serve.add_argument("--ops", type=int, default=None)
+    bench_serve.add_argument("--keys", type=int, default=None)
+    bench_serve.add_argument("--concurrency", type=int, default=None)
+    bench_serve.add_argument("--batch", type=int, default=None)
+    bench_serve.add_argument("--shards", type=int, default=None)
+    bench_serve.add_argument("--repeats", type=int, default=None)
+    bench_serve.add_argument("--seed", type=int, default=None)
     return parser
 
 
@@ -426,11 +461,29 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         fault_plan=fault_plan,
     )
 
+    if args.workers < 0:
+        print("repro serve: error: --workers must be >= 0", file=sys.stderr)
+        return 2
+    try:
+        if args.workers > 0:
+            from .serve import WorkerServer
+
+            server_obj: McCuckooServer = WorkerServer(config,
+                                                      n_workers=args.workers)
+        else:
+            server_obj = McCuckooServer(config)
+    except ReproError as error:
+        print(f"repro serve: error: {error}", file=sys.stderr)
+        return 2
+
     async def run() -> None:
-        async with McCuckooServer(config) as server:
+        async with server_obj as server:
             host, port = server.address
+            workers = getattr(server, "n_workers", 0)
+            topology = (f"{workers} worker processes" if workers
+                        else "single process")
             print(f"serving {config.n_shards}-shard McCuckoo store "
-                  f"on {host}:{port} (Ctrl-C to stop)")
+                  f"on {host}:{port} ({topology}; Ctrl-C to stop)")
             if fault_plan is not None:
                 print(f"fault injection armed: {fault_plan.describe()}")
             await server.serve_forever()
@@ -476,14 +529,26 @@ def _cmd_loadgen(args: argparse.Namespace) -> int:
                 host=args.host, port=0,
                 expected_items=max(4096, 2 * args.keys),
             )
-            async with McCuckooServer(server_config) as server:
+            if args.workers > 0:
+                from .serve import WorkerServer
+
+                server = WorkerServer(server_config, n_workers=args.workers)
+            else:
+                server = McCuckooServer(server_config)
+            async with server:
                 host, port = server.address
-                print(f"[standalone server on {host}:{port}]")
+                if not args.json:
+                    print(f"[standalone server on {host}:{port}]")
                 report = await run_loadgen(host, port, config, retry=retry)
         else:
             report = await run_loadgen(args.host, args.port, config,
                                        retry=retry)
-        print(report.render())
+        if args.json:
+            import json
+
+            print(json.dumps(report.summary_json(), indent=2))
+        else:
+            print(report.render())
         return 1 if report.errors else 0
 
     try:
@@ -517,6 +582,8 @@ def _cmd_faultgen(args: argparse.Namespace) -> int:
         )
     if args.faults is not None:
         config = dataclasses.replace(config, faults=args.faults)
+    if args.workers > 0:
+        config = dataclasses.replace(config, n_workers=args.workers)
     try:
         report = asyncio.run(run_faultgen(config))
     except KeyboardInterrupt:
@@ -527,10 +594,60 @@ def _cmd_faultgen(args: argparse.Namespace) -> int:
         return 2
     print(report.render())
     if not report.ok:
+        workers = f" --workers {config.n_workers}" if config.n_workers else ""
         print(f"reproduce with: repro faultgen --seed {config.seed} "
               f"--ops {config.n_ops} --keys {config.n_keys} "
-              f"--concurrency {config.concurrency}", file=sys.stderr)
+              f"--concurrency {config.concurrency}{workers}", file=sys.stderr)
     return 0 if report.ok else 1
+
+
+def _cmd_bench_serve(args: argparse.Namespace) -> int:
+    import dataclasses
+
+    from .analysis.bench_serve import (
+        BenchServeConfig,
+        render_report,
+        run_bench_serve,
+        write_report,
+    )
+
+    config = BenchServeConfig.quick() if args.quick else BenchServeConfig()
+    overrides = {}
+    if args.workers is not None:
+        try:
+            sweep = tuple(int(part) for part in args.workers.split(",")
+                          if part.strip() != "")
+        except ValueError:
+            print(f"repro bench-serve: bad --workers {args.workers!r}",
+                  file=sys.stderr)
+            return 2
+        if not sweep or min(sweep) < 0:
+            print("repro bench-serve: --workers needs non-negative points",
+                  file=sys.stderr)
+            return 2
+        overrides["workers"] = sweep
+    if args.ops is not None:
+        overrides["n_ops"] = args.ops
+    if args.keys is not None:
+        overrides["n_keys"] = args.keys
+    if args.concurrency is not None:
+        overrides["concurrency"] = args.concurrency
+    if args.batch is not None:
+        overrides["batch_size"] = args.batch
+    if args.shards is not None:
+        overrides["n_shards"] = args.shards
+    if args.repeats is not None:
+        overrides["repeats"] = args.repeats
+    if args.seed is not None:
+        overrides["seed"] = args.seed
+    if overrides:
+        config = dataclasses.replace(config, **overrides)
+    report = run_bench_serve(config, verbose=True)
+    print(render_report(report))
+    if args.output != "-":
+        write_report(report, args.output)
+        print(f"baseline written to {args.output}")
+    return 0
 
 
 def main(argv: Optional[List[str]] = None) -> int:
@@ -555,6 +672,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         return _cmd_loadgen(args)
     if args.command == "faultgen":
         return _cmd_faultgen(args)
+    if args.command == "bench-serve":
+        return _cmd_bench_serve(args)
     raise AssertionError(f"unhandled command {args.command!r}")
 
 

@@ -16,7 +16,8 @@ from .invariants import check_blocked, check_mccuckoo
 from .mccuckoo import McCuckoo
 from .multimap import McCuckooMultiMap
 from .resize import ResizableMcCuckoo
-from .sharded import ShardedMcCuckoo, ShardRouter
+from .sharded import (ShardedMcCuckoo, ShardRouter, shards_of_worker,
+                      worker_of_shard)
 from .policies import KickPolicy, MinCounterPolicy, RandomWalkPolicy, make_policy
 from .snapshot import load as load_snapshot
 from .snapshot import save as save_snapshot
@@ -52,6 +53,8 @@ __all__ = [
     "RandomWalkPolicy",
     "ResizableMcCuckoo",
     "ShardRouter",
+    "shards_of_worker",
+    "worker_of_shard",
     "ShardedMcCuckoo",
     "ReproError",
     "SiblingTracking",

@@ -219,7 +219,12 @@ class McCuckoo(HashTable):
         return counter_value == 0
 
     def _place_by_principles(
-        self, k: Key, value: Any, cands: Sequence[int], vals: Sequence[int]
+        self,
+        k: Key,
+        value: Any,
+        cands: Sequence[int],
+        vals: Sequence[int],
+        touched: Optional[set] = None,
     ) -> int:
         """Apply insertion principles 1-3; returns copies placed (0 = collision).
 
@@ -228,6 +233,9 @@ class McCuckoo(HashTable):
         mid-insertion (two candidates may hold copies of the same victim).
         ``current`` mirrors the candidates' live counter values locally so
         the principle-3 condition is always evaluated against fresh state.
+        ``touched`` collects every bucket whose counter changed —
+        ``put_many`` uses it to know which of its pre-read counter values
+        have gone stale.
         """
         current: Dict[int, int] = dict(zip(cands, vals))
         free = [bucket for bucket in cands if self._is_free(current[bucket])]
@@ -251,6 +259,8 @@ class McCuckoo(HashTable):
             for bucket in decremented:
                 if bucket in current:
                     current[bucket] -= 1
+            if touched is not None:
+                touched.update(decremented)
             claimed.append(top)
             total += 1
         if total == 0:
@@ -263,6 +273,8 @@ class McCuckoo(HashTable):
             if self._tombstones is not None:
                 # Clearing the mark shares the counter word's on-chip write.
                 self._tombstones.clear_bit(bucket)
+        if touched is not None:
+            touched.update(positions)
         return total
 
     def _claim_overwrite(self, bucket: int, victim_value: int) -> List[int]:
@@ -658,23 +670,38 @@ class McCuckoo(HashTable):
         n = self.n_buckets
         d = self.d
         # Candidates never change, so one multi-key family call serves the
-        # whole batch; counters are re-read per key because earlier
-        # placements in the batch mutate them.
+        # whole batch; the counters for every candidate bucket are then
+        # fetched in ONE bulk get_block (same d-per-key accounting as the
+        # scalar path).  Earlier placements in the batch can invalidate the
+        # pre-read values, so every bucket a placement mutates lands in
+        # ``dirty``; a key whose candidates intersect it refreshes them with
+        # unaccounted peeks (the charged read already happened up front).
         raws = self._family.candidates_many(
             self._functions, [k for k, _ in items], n
         )
+        flat = [table * n + raw[table] for raw in raws for table in range(d)]
+        vals_flat = self._counters.get_block(flat)
         outcomes: List[Optional[InsertOutcome]] = [None] * len(items)
         deferred: List[int] = []
         counters = self._counters
+        peek = counters.peek
+        set_block = counters.set_block
         tombstones = self._tombstones
+        clear_bit = tombstones.clear_bit if tombstones is not None else None
         keys_arr = self._keys
         values_arr = self._values
         masks_arr = self._masks
+        mask_for = self._mask_for
+        stored = InsertStatus.STORED
+        dirty: set = set()
         bucket_writes = 0  # fast-path off-chip writes, charged once at the end
+        base = 0
         for i, (k, value) in enumerate(items):
-            raw = raws[i]
-            cands = [table * n + raw[table] for table in range(d)]
-            vals = counters.get_block(cands)
+            cands = flat[base:base + d]
+            vals = vals_flat[base:base + d]
+            base += d
+            if dirty and not dirty.isdisjoint(cands):
+                vals = [peek(b) for b in cands]
             if max(vals) < 2:
                 # No overwritable candidate: principles 1-3 reduce to
                 # "claim every free bucket", the dominant shape at load.
@@ -683,22 +710,22 @@ class McCuckoo(HashTable):
                 if not total:
                     deferred.append(i)
                     continue
-                mask = self._mask_for(free)
+                mask = mask_for(free)
                 for bucket in free:
                     keys_arr[bucket] = k
                     values_arr[bucket] = value
                     if masks_arr is not None:
                         masks_arr[bucket] = mask
-                    if tombstones is not None:
-                        tombstones.clear_bit(bucket)
+                    if clear_bit is not None:
+                        clear_bit(bucket)
                 bucket_writes += total
-                counters.set_block(free, total)
+                set_block(free, total)
+                dirty.update(free)
                 self._n_main += 1
-                outcomes[i] = InsertOutcome(
-                    InsertStatus.STORED, kicks=0, copies=total
-                )
+                outcomes[i] = InsertOutcome(stored, kicks=0, copies=total)
                 continue
-            copies = self._place_by_principles(k, value, cands, vals)
+            copies = self._place_by_principles(k, value, cands, vals,
+                                               touched=dirty)
             if copies:
                 self._n_main += 1
                 outcomes[i] = InsertOutcome(InsertStatus.STORED, kicks=0, copies=copies)

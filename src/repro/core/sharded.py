@@ -44,6 +44,38 @@ class ShardRouter:
         """Which shard owns the canonical ``key``."""
         return splitmix64(key ^ self._salt) % self.n_shards
 
+    def worker_of(self, key: Key, n_workers: int) -> int:
+        """Which of ``n_workers`` worker processes owns ``key``.
+
+        Workers own shards round-robin (``worker = shard % n_workers``),
+        so worker ownership is a pure function of the router's
+        ``(n_shards, seed)`` — stable across worker restarts and across
+        frontend/worker process boundaries.
+        """
+        return worker_of_shard(self.shard_of(key), n_workers)
+
+
+def worker_of_shard(shard: int, n_workers: int) -> int:
+    """Round-robin shard → worker-process assignment."""
+    if n_workers <= 0:
+        raise ConfigurationError("n_workers must be positive")
+    return shard % n_workers
+
+
+def shards_of_worker(worker: int, n_shards: int, n_workers: int) -> Tuple[int, ...]:
+    """The disjoint shard group worker ``worker`` owns.
+
+    Every shard is owned by exactly one worker; workers beyond
+    ``n_shards`` own nothing (legal, if pointless).
+    """
+    if n_workers <= 0:
+        raise ConfigurationError("n_workers must be positive")
+    if not 0 <= worker < n_workers:
+        raise ConfigurationError(
+            f"worker {worker} out of range for {n_workers} workers"
+        )
+    return tuple(range(worker, n_shards, n_workers))
+
 
 class ShardedMcCuckoo(HashTable):
     """N independent McCuckoo shards behind one HashTable facade."""

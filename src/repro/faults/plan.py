@@ -46,6 +46,13 @@ Rule grammar (``FaultPlan.parse``) — rules separated by ``;`` or ``,``:
     Each outgoing frame has one body byte flipped with probability P.
     Framing (the length prefix) is preserved so the peer reads a complete
     but undecodable body — a clean decode error, not a hang.
+``kill_worker=N[@WORKER]``
+    The N-th applied write (1-based, optionally counting only ops applied
+    by worker process WORKER) is persisted and applied, then the whole
+    worker process dies via ``os._exit`` *before* the ack is sent.  The
+    supervisor must restart the worker from its durable log; the write is
+    never acknowledged but may legally survive.  Consulted at the
+    ``worker_op`` site by :mod:`repro.serve.workers`.
 
 Example spec::
 
@@ -99,6 +106,7 @@ class FaultRule:
         "busy",
         "drop_connection",
         "corrupt_frame",
+        "kill_worker",
     )
 
     def __init__(
@@ -141,6 +149,10 @@ class FaultRule:
             at = f"@{self.shard}" if self.shard is not None else ""
             keep = f":{self.keep_bytes}" if self.keep_bytes is not None else ""
             return f"{self.kind}={self.count}{keep}{at}"
+        if self.kind == "kill_worker":
+            # ``shard`` doubles as the worker scope for this rule.
+            at = f"@{self.shard}" if self.shard is not None else ""
+            return f"kill_worker={self.count}{at}"
         if self.kind == "delay_shard":
             return f"delay_shard={self.shard}:{self.seconds}:{self.every}"
         return f"{self.kind}={self.probability}"
@@ -161,6 +173,18 @@ class FaultRule:
         if self.kind == "crash_after_appends":
             return AppendFault(crash=True)
         return AppendFault(crash=True, torn=True, keep_bytes=self.keep_bytes)
+
+    def on_worker_op(self, worker_id: int) -> bool:
+        """One-shot kill trigger, consulted once per applied worker write."""
+        if self.kind != "kill_worker" or self._spent:
+            return False
+        if self.shard is not None and worker_id != self.shard:
+            return False
+        self._seen += 1
+        if self._seen < self.count:
+            return False
+        self._spent = True
+        return True
 
     def on_writer(self, shard: int) -> float:
         if self.kind != "delay_shard" or shard != self.shard:
@@ -221,6 +245,11 @@ class FaultPlan:
         inner = "; ".join(rule.describe() for rule in self.rules)
         return f"FaultPlan(seed={self.seed}, rules=[{inner}])"
 
+    def spec(self) -> str:
+        """The plan's rules as a spec string ``parse`` accepts — the shape
+        shipped to worker processes so each can rebuild the plan locally."""
+        return "; ".join(rule.describe() for rule in self.rules)
+
     # ------------------------------------------------------------------
     # lifecycle
     # ------------------------------------------------------------------
@@ -277,6 +306,17 @@ class FaultPlan:
                 delay += fired
         return delay
 
+    def should_kill_worker(self, worker_id: int) -> bool:
+        """Consulted once per applied worker write, after the write is
+        persisted and applied but before its ack frame is sent."""
+        if not self._armed:
+            return False
+        for rule in self.rules:
+            if rule.on_worker_op(worker_id):
+                self._note("kill_worker")
+                return True
+        return False
+
     def should_reject_busy(self) -> bool:
         """Consulted per write dispatch; True forces a BUSY error frame."""
         if not self._armed:
@@ -331,6 +371,10 @@ def _parse_rule(chunk: str) -> FaultRule:
             keep = _int(parts[1], chunk) if len(parts) > 1 else None
             return FaultRule(name, count=_positive(_int(parts[0], chunk), chunk),
                              keep_bytes=keep, shard=shard)
+        if name == "kill_worker":
+            # ``@WORKER`` rides the generic ``@`` suffix into ``shard``.
+            return FaultRule(name, count=_positive(_int(parts[0], chunk), chunk),
+                             shard=shard)
         if name == "delay_shard":
             if len(parts) < 2:
                 raise FaultSpecError(

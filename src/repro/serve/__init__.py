@@ -7,7 +7,9 @@ backpressure (:mod:`~repro.serve.server`), a pooled async client with
 pipelined batches (:mod:`~repro.serve.client`), per-op serving counters
 behind the STATS verb (:mod:`~repro.serve.stats`), and a closed-loop load
 generator reporting ops/sec with p50/p95/p99 latency
-(:mod:`~repro.serve.loadgen`).
+(:mod:`~repro.serve.loadgen`).  :mod:`~repro.serve.workers` lifts the
+same frontend onto N supervised shard worker processes for true
+multi-core parallelism.
 """
 
 from .client import (
@@ -16,6 +18,7 @@ from .client import (
     RetryPolicy,
     ServeError,
     ServerBusyError,
+    ServerUnavailableError,
 )
 from .faultgen import (
     DEFAULT_FAULT_SPEC,
@@ -49,6 +52,13 @@ from .protocol import (
 from .server import McCuckooServer, ServerConfig
 from .stats import ServeStats
 from .store import ShardedLogStore
+from .workers import (
+    WorkerDiedError,
+    WorkerPool,
+    WorkerServer,
+    WorkerSpec,
+    WorkerUnavailableError,
+)
 
 __all__ = [
     "BatchReply",
@@ -74,11 +84,17 @@ __all__ = [
     "ServeError",
     "ServeStats",
     "ServerBusyError",
+    "ServerUnavailableError",
     "ServerConfig",
     "ShardedLogStore",
     "StatsReply",
     "StatsRequest",
     "ValueReply",
+    "WorkerDiedError",
+    "WorkerPool",
+    "WorkerServer",
+    "WorkerSpec",
+    "WorkerUnavailableError",
     "build_workload",
     "decode_reply",
     "decode_request",

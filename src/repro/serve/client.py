@@ -74,21 +74,30 @@ class RequestTimeoutError(ServeError):
     """The server gave up on the request after its configured timeout."""
 
 
+class ServerUnavailableError(ServeError):
+    """The op was in flight to a worker process that died mid-request."""
+
+
 def _raise_for(reply: ErrorReply) -> None:
     if reply.code is ErrorCode.BUSY:
         raise ServerBusyError(reply.code, reply.message)
     if reply.code is ErrorCode.TIMEOUT:
         raise RequestTimeoutError(reply.code, reply.message)
+    if reply.code is ErrorCode.UNAVAILABLE:
+        raise ServerUnavailableError(reply.code, reply.message)
     raise ServeError(reply.code, reply.message)
 
 
-#: failures worth replaying: backpressure, lost/garbled transport.  A lost
-#: or corrupted ack after an applied write is indistinguishable from a
-#: never-delivered request, so only idempotent requests are safe to replay
-#: — every verb here qualifies (PUT with the same bytes, DELETE, GET,
-#: STATS).  Server-side TIMEOUT/INTERNAL frames are definitive replies and
-#: are NOT retried.
-_RETRYABLE = (ServerBusyError, ConnectionError, ProtocolError, OSError)
+#: failures worth replaying: backpressure, lost/garbled transport, and a
+#: worker death with the op in flight.  A lost or corrupted ack after an
+#: applied write is indistinguishable from a never-delivered request, so
+#: only idempotent requests are safe to replay — every verb here qualifies
+#: (PUT with the same bytes, DELETE, GET, STATS); UNAVAILABLE is the same
+#: outcome-unknown shape with the loss inside the server's process
+#: topology instead of on the wire.  Server-side TIMEOUT/INTERNAL frames
+#: are definitive replies and are NOT retried.
+_RETRYABLE = (ServerBusyError, ServerUnavailableError, ConnectionError,
+              ProtocolError, OSError)
 
 _T = TypeVar("_T")
 
@@ -360,4 +369,5 @@ __all__ = [
     "RetryPolicy",
     "ServeError",
     "ServerBusyError",
+    "ServerUnavailableError",
 ]

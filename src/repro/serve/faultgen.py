@@ -47,6 +47,7 @@ from .client import (
 from .loadgen import value_bytes
 from .protocol import ProtocolError
 from .server import McCuckooServer, ServerConfig
+from .workers import WorkerServer
 
 #: a deliberately nasty default: one full-record crash, one torn write,
 #: BUSY storms, corrupted and dropped reply frames, and one laggy shard
@@ -74,6 +75,11 @@ class FaultgenConfig:
     run_timeout: float = 60.0
     """Wall-clock budget for the whole run; exceeding it is a reported
     hang, not a stuck process."""
+    n_workers: int = 0
+    """0 drives the single-process server; N > 0 drives a
+    :class:`~repro.serve.workers.WorkerServer` with N shard worker
+    processes, where ``kill_worker`` rules become meaningful and every
+    count-triggered rule fires per worker process."""
 
     def __post_init__(self) -> None:
         if self.n_ops <= 0 or self.n_keys <= 0:
@@ -94,6 +100,7 @@ class FaultgenReport:
 
     seed: int
     fault_plan: str
+    n_workers: int = 0
     ops_issued: int = 0
     ops_acked: int = 0
     ops_unacked: int = 0
@@ -102,6 +109,7 @@ class FaultgenReport:
     elapsed_s: float = 0.0
     faults_fired: Dict[str, int] = field(default_factory=dict)
     shard_recoveries: int = 0
+    worker_restarts: int = 0
     verified_keys: int = 0
     lost_acked_writes: int = 0
     phantom_values: int = 0
@@ -113,16 +121,20 @@ class FaultgenReport:
         return not self.failures and not self.hung
 
     def render(self) -> str:
+        mode = (f"{self.n_workers} worker processes" if self.n_workers
+                else "single process")
         lines = [
             f"faultgen seed={self.seed}: "
             f"{self.ops_issued} ops ({self.ops_acked} acked, "
-            f"{self.ops_unacked} unacked) in {self.elapsed_s:.2f}s",
+            f"{self.ops_unacked} unacked) in {self.elapsed_s:.2f}s "
+            f"[{mode}]",
             f"  plan      {self.fault_plan}",
             "  faults    "
             + (" ".join(f"{name}={count}"
                         for name, count in sorted(self.faults_fired.items()))
                or "(none fired)"),
-            f"  recovery  shard_recoveries={self.shard_recoveries}",
+            f"  recovery  shard_recoveries={self.shard_recoveries}  "
+            f"worker_restarts={self.worker_restarts}",
             f"  client    retries={self.retries}  "
             f"reads_checked={self.reads_checked}",
             f"  verify    keys={self.verified_keys}  "
@@ -176,7 +188,8 @@ async def run_faultgen(config: FaultgenConfig) -> FaultgenReport:
     """One full chaos run: drive, disarm, verify.  Never raises for an
     injected fault — violations land in the report's ``failures``."""
     plan = FaultPlan.parse(config.faults, seed=config.seed)
-    report = FaultgenReport(seed=config.seed, fault_plan=plan.describe())
+    report = FaultgenReport(seed=config.seed, fault_plan=plan.describe(),
+                            n_workers=config.n_workers)
     server_config = ServerConfig(
         host="127.0.0.1",
         port=0,
@@ -187,12 +200,16 @@ async def run_faultgen(config: FaultgenConfig) -> FaultgenReport:
         durable=True,
         fault_plan=plan,
     )
+    if config.n_workers > 0:
+        server: McCuckooServer = WorkerServer(server_config,
+                                              n_workers=config.n_workers)
+    else:
+        server = McCuckooServer(server_config)
     began = time.perf_counter()
-    async with McCuckooServer(server_config) as server:
-        host, port = server.address
+    async with server:
         try:
             await asyncio.wait_for(
-                _drive_and_verify(host, port, server, config, plan, report),
+                _drive_and_verify(server, config, report),
                 timeout=config.run_timeout,
             )
         except asyncio.TimeoutError:
@@ -201,20 +218,26 @@ async def run_faultgen(config: FaultgenConfig) -> FaultgenReport:
                 f"run exceeded {config.run_timeout}s wall-clock budget "
                 "(injected hang not survived)"
             )
-        report.shard_recoveries = server.stats.shard_recoveries
-    report.faults_fired = plan.fired_counts()
+        report.shard_recoveries = max(report.shard_recoveries,
+                                      server.stats.shard_recoveries)
+        report.worker_restarts = max(report.worker_restarts,
+                                     server.stats.worker_restarts)
+    # frontend-site fired counts; worker-site counts were merged from the
+    # post-drive STATS snapshot inside _drive_and_verify
+    for name, count in plan.fired_counts().items():
+        report.faults_fired[name] = max(
+            report.faults_fired.get(name, 0), count
+        )
     report.elapsed_s = time.perf_counter() - began
     return report
 
 
 async def _drive_and_verify(
-    host: str,
-    port: int,
     server: McCuckooServer,
     config: FaultgenConfig,
-    plan: FaultPlan,
     report: FaultgenReport,
 ) -> None:
+    host, port = server.address
     retry = RetryPolicy(
         max_attempts=config.max_attempts,
         base_delay=0.002,
@@ -233,12 +256,24 @@ async def _drive_and_verify(
         await asyncio.gather(*workers)
 
         # --------------------------------------------------------------
-        # verification: stop injecting, reach quiescence (every write
-        # that ever made a writer queue has applied), then audit
+        # verification: stop injecting (in every process), reach
+        # quiescence (every write that ever made a writer queue — or a
+        # worker inbox — has applied), then audit
         # --------------------------------------------------------------
-        plan.disarm()
+        await server.disarm_faults()
         await server.drain_writes()
         report.retries = client.retries
+        try:
+            snapshot = await client.stats()
+        except (ServeError, ConnectionError, OSError):
+            snapshot = {}
+        report.shard_recoveries = int(snapshot.get("shard_recoveries", 0))
+        report.worker_restarts = int(snapshot.get("worker_restarts", 0))
+        report.faults_fired = {
+            name[len("fault_"):]: int(count)
+            for name, count in snapshot.items()
+            if name.startswith("fault_")
+        }
         for key, state in sorted(states.items()):
             try:
                 value = await client.get(key)

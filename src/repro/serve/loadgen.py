@@ -15,6 +15,7 @@ correctness tests can replay the identical operations against a dict model.
 from __future__ import annotations
 
 import asyncio
+import bisect
 import math
 import random
 import struct
@@ -173,6 +174,39 @@ def percentile(sorted_latencies: Sequence[float], q: float) -> float:
     return sorted_latencies[min(rank, len(sorted_latencies)) - 1]
 
 
+#: log2-spaced histogram bucket upper bounds, in milliseconds
+#: (50µs .. ~3.3s; one overflow bucket catches the rest).
+HIST_BOUNDS_MS: Tuple[float, ...] = tuple(0.05 * (2 ** i) for i in range(17))
+
+
+def latency_histogram(
+    sorted_ms: Sequence[float],
+    bounds: Sequence[float] = HIST_BOUNDS_MS,
+) -> List[Tuple[float, int]]:
+    """Bucket a sorted latency sample (ms) into ``(upper_bound_ms, count)``
+    pairs; the final bucket has an infinite bound and absorbs the tail."""
+    out: List[Tuple[float, int]] = []
+    prev = 0
+    for bound in bounds:
+        pos = bisect.bisect_right(sorted_ms, bound)
+        out.append((bound, pos - prev))
+        prev = pos
+    out.append((math.inf, len(sorted_ms) - prev))
+    return out
+
+
+def summarize_latencies(sorted_s: Sequence[float]) -> Dict[str, float]:
+    """count/p50/p95/p99/mean (ms) of an already-sorted sample (seconds)."""
+    mean = sum(sorted_s) / len(sorted_s) if sorted_s else 0.0
+    return {
+        "count": len(sorted_s),
+        "p50_ms": percentile(sorted_s, 50) * 1e3,
+        "p95_ms": percentile(sorted_s, 95) * 1e3,
+        "p99_ms": percentile(sorted_s, 99) * 1e3,
+        "mean_ms": mean * 1e3,
+    }
+
+
 @dataclass
 class LoadReport:
     """Throughput and latency summary of one run."""
@@ -190,6 +224,10 @@ class LoadReport:
     timeouts: int
     errors: int
     per_kind: Dict[str, int] = field(default_factory=dict)
+    kind_latency: Dict[str, Dict[str, float]] = field(default_factory=dict)
+    """Per-op-kind latency summary: kind → count/p50_ms/p95_ms/p99_ms/mean_ms."""
+    histogram: List[Tuple[float, int]] = field(default_factory=list)
+    """Global latency histogram: (upper_bound_ms, count); last bound is inf."""
 
     def render(self) -> str:
         lines = [
@@ -203,7 +241,57 @@ class LoadReport:
             + "  ".join(f"{kind}={count}"
                         for kind, count in sorted(self.per_kind.items())),
         ]
+        for kind, summary in sorted(self.kind_latency.items()):
+            lines.append(
+                f"  {kind:<9} n={int(summary['count'])}  "
+                f"p50={summary['p50_ms']:.3f}ms  "
+                f"p95={summary['p95_ms']:.3f}ms  "
+                f"p99={summary['p99_ms']:.3f}ms  "
+                f"mean={summary['mean_ms']:.3f}ms"
+            )
+        populated = [(bound, count) for bound, count in self.histogram
+                     if count > 0]
+        if populated:
+            lines.append(
+                "  hist      "
+                + "  ".join(
+                    (f">{HIST_BOUNDS_MS[-1]:g}ms:{count}"
+                     if math.isinf(bound) else f"<={bound:g}ms:{count}")
+                    for bound, count in populated
+                )
+            )
         return "\n".join(lines)
+
+    def summary_json(self) -> Dict[str, object]:
+        """The whole report as one JSON-safe dict (``repro loadgen --json``)."""
+        return {
+            "workload": self.workload,
+            "n_ops": self.n_ops,
+            "completed": self.completed,
+            "elapsed_s": self.elapsed_s,
+            "ops_per_sec": self.ops_per_sec,
+            "latency_ms": {
+                "p50": self.p50_ms,
+                "p95": self.p95_ms,
+                "p99": self.p99_ms,
+                "mean": self.mean_ms,
+            },
+            "rejected": {
+                "busy": self.busy,
+                "timeouts": self.timeouts,
+                "errors": self.errors,
+            },
+            "per_kind": dict(sorted(self.per_kind.items())),
+            "kind_latency": {
+                kind: dict(summary)
+                for kind, summary in sorted(self.kind_latency.items())
+            },
+            "histogram": [
+                {"le_ms": None if math.isinf(bound) else bound,
+                 "count": count}
+                for bound, count in self.histogram
+            ],
+        }
 
 
 async def run_loadgen(
@@ -227,6 +315,7 @@ async def run_loadgen(
 
         latencies: List[float] = []
         per_kind: Dict[str, int] = {}
+        kind_lats: Dict[str, List[float]] = {}
         busy = timeouts = errors = completed = 0
         queue: Iterator[Op] = iter(ops)
 
@@ -258,8 +347,10 @@ async def run_loadgen(
                     errors += len(chunk)
                 else:
                     completed += len(chunk)
-                    cost = time.perf_counter() - begin
-                    latencies.extend([cost / len(chunk)] * len(chunk))
+                    cost = (time.perf_counter() - begin) / len(chunk)
+                    for op in chunk:
+                        latencies.append(cost)
+                        kind_lats.setdefault(op[0], []).append(cost)
                 for op in chunk:
                     per_kind[op[0]] = per_kind.get(op[0], 0) + 1
 
@@ -269,6 +360,10 @@ async def run_loadgen(
 
     latencies.sort()
     mean = sum(latencies) / len(latencies) if latencies else 0.0
+    kind_latency: Dict[str, Dict[str, float]] = {}
+    for kind, sample in kind_lats.items():
+        sample.sort()
+        kind_latency[kind] = summarize_latencies(sample)
     return LoadReport(
         workload=config.workload,
         n_ops=len(ops),
@@ -283,6 +378,8 @@ async def run_loadgen(
         timeouts=timeouts,
         errors=errors,
         per_kind=per_kind,
+        kind_latency=kind_latency,
+        histogram=latency_histogram([v * 1e3 for v in latencies]),
     )
 
 

@@ -86,6 +86,9 @@ class ErrorCode(IntEnum):
     TOO_LARGE = 4
     INTERNAL = 5
     BAD_VERSION = 6
+    UNAVAILABLE = 7
+    """The op was in flight to a worker process that died; its outcome is
+    unknown but the op is idempotent, so clients may safely retry."""
 
 
 class ProtocolError(ReproError):

@@ -97,19 +97,24 @@ class McCuckooServer:
     ) -> None:
         self.config = config if config is not None else ServerConfig()
         self._faults = self.config.fault_plan
-        self.store = store if store is not None else ShardedLogStore(
-            n_shards=self.config.n_shards,
-            expected_items=self.config.expected_items,
-            seed=self.config.seed,
-            durable=self.config.durable or self._faults is not None,
-            faults=self._faults,
-        )
+        self.store = store if store is not None else self._make_store()
         self.stats = ServeStats()
         self._server: Optional[asyncio.AbstractServer] = None
         self._write_queues: List[asyncio.Queue] = []
         self._queued_ops: List[int] = []
         self._writer_tasks: List[asyncio.Task] = []
         self._connections = 0
+
+    def _make_store(self) -> Optional[ShardedLogStore]:
+        """Build the backing store; subclasses that host their shards out
+        of process return ``None`` instead."""
+        return ShardedLogStore(
+            n_shards=self.config.n_shards,
+            expected_items=self.config.expected_items,
+            seed=self.config.seed,
+            durable=self.config.durable or self._faults is not None,
+            faults=self._faults,
+        )
 
     # ------------------------------------------------------------------
     # lifecycle
@@ -125,18 +130,10 @@ class McCuckooServer:
         return host, port
 
     async def start(self) -> Tuple[str, int]:
-        """Bind, spawn per-shard writers, and begin accepting connections."""
+        """Bind, spawn the write backend, and begin accepting connections."""
         if self._server is not None:
             raise RuntimeError("server already started")
-        # Queues are unbounded; the writer_queue_depth bound is enforced in
-        # ops via _queued_ops so a grouped run of N writes occupies N slots
-        # while filling a single queue entry.
-        self._write_queues = [asyncio.Queue() for _ in range(self.store.n_shards)]
-        self._queued_ops = [0] * self.store.n_shards
-        self._writer_tasks = [
-            asyncio.create_task(self._writer_loop(shard))
-            for shard in range(self.store.n_shards)
-        ]
+        await self._start_backend()
         self._server = await asyncio.start_server(
             self._on_connection, host=self.config.host, port=self.config.port
         )
@@ -147,6 +144,22 @@ class McCuckooServer:
             self._server.close()
             await self._server.wait_closed()
             self._server = None
+        await self._stop_backend()
+
+    async def _start_backend(self) -> None:
+        """Spawn whatever executes writes — here, per-shard writer tasks.
+        Subclasses swap in a different topology (worker processes)."""
+        # Queues are unbounded; the writer_queue_depth bound is enforced in
+        # ops via _queued_ops so a grouped run of N writes occupies N slots
+        # while filling a single queue entry.
+        self._write_queues = [asyncio.Queue() for _ in range(self.store.n_shards)]
+        self._queued_ops = [0] * self.store.n_shards
+        self._writer_tasks = [
+            asyncio.create_task(self._writer_loop(shard))
+            for shard in range(self.store.n_shards)
+        ]
+
+    async def _stop_backend(self) -> None:
         for task in self._writer_tasks:
             task.cancel()
         for task in self._writer_tasks:
@@ -167,6 +180,15 @@ class McCuckooServer:
         """
         for queue in self._write_queues:
             await queue.join()
+
+    async def disarm_faults(self) -> None:
+        """Stop fault injection everywhere this server executes ops.
+
+        Async because subclasses with out-of-process backends must
+        broadcast the disarm to their worker plan instances too.
+        """
+        if self._faults is not None:
+            self._faults.disarm()
 
     async def serve_forever(self) -> None:
         if self._server is None:

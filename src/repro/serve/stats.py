@@ -49,6 +49,11 @@ class ServeStats:
     injected_crashes: int = 0
     shard_recoveries: int = 0
 
+    worker_restarts: int = 0
+    """Worker processes the supervisor has restarted (multi-process mode);
+    per-worker restart/queue/routing breakdowns ride in ``gauges`` as
+    ``worker<N>_*`` entries."""
+
     gauges: Dict[str, float] = field(default_factory=dict)
     """Point-in-time values merged into the snapshot (queue depth, load...)."""
 

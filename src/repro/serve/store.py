@@ -33,6 +33,13 @@ class ShardedLogStore:
     crash-recovery source of truth) and, when a ``faults`` plan is given,
     consults it at every append/fsync boundary.  A shard that crashes can
     be rebuilt in place from its image via :meth:`crash_and_recover`.
+
+    ``owned`` restricts the facade to a disjoint *slice* of the shard
+    space: only the listed shard indices are instantiated, and routing a
+    key owned by another slice raises.  Worker processes use this to host
+    their shard group under the same ``(n_shards, seed)`` routing — and
+    therefore the same per-shard seeds and capacities — as the
+    whole-keyspace store they collectively replace.
     """
 
     def __init__(
@@ -42,6 +49,7 @@ class ShardedLogStore:
         seed: int = 0,
         durable: bool = False,
         faults: Optional[FaultPlan] = None,
+        owned: Optional[List[int]] = None,
     ) -> None:
         if expected_items <= 0:
             raise ConfigurationError("expected_items must be positive")
@@ -52,8 +60,20 @@ class ShardedLogStore:
         self._per_shard = max(64, expected_items // n_shards)
         self.recovery_reports: List[RecoveryReport] = []
         """One entry per completed :meth:`crash_and_recover`, oldest first."""
-        self._shards: List[LogStructuredStore] = [
-            self._make_shard(index) for index in range(n_shards)
+        if owned is None:
+            self.owned = tuple(range(n_shards))
+        else:
+            self.owned = tuple(sorted(set(owned)))
+            if self.owned and not (
+                0 <= self.owned[0] and self.owned[-1] < n_shards
+            ):
+                raise ConfigurationError(
+                    f"owned shards {owned} out of range for {n_shards} shards"
+                )
+        owned_set = set(self.owned)
+        self._shards: List[Optional[LogStructuredStore]] = [
+            self._make_shard(index) if index in owned_set else None
+            for index in range(n_shards)
         ]
 
     def _make_shard(self, index: int) -> LogStructuredStore:
@@ -73,16 +93,26 @@ class ShardedLogStore:
 
     @property
     def shards(self) -> List[LogStructuredStore]:
-        return list(self._shards)
+        """The owned shard stores (the full list when nothing is sliced)."""
+        return [shard for shard in self._shards if shard is not None]
 
     def shard_index(self, key: KeyLike) -> int:
         return self._router.shard_of(canonical_key(key))
 
+    def shard(self, index: int) -> LogStructuredStore:
+        """The owned shard store at ``index``; raises for foreign shards."""
+        store = self._shards[index]
+        if store is None:
+            raise ConfigurationError(
+                f"shard {index} is not owned by this store slice"
+            )
+        return store
+
     def shard_for(self, key: KeyLike) -> LogStructuredStore:
-        return self._shards[self.shard_index(key)]
+        return self.shard(self.shard_index(key))
 
     def __len__(self) -> int:
-        return sum(len(shard) for shard in self._shards)
+        return sum(len(shard) for shard in self.shards)
 
     # ------------------------------------------------------------------
     # operations (synchronous; the server serializes writes per shard)
@@ -106,7 +136,7 @@ class ShardedLogStore:
         for shard, shard_keys in enumerate(grouped):
             if not shard_keys:
                 continue
-            values = self._shards[shard].get_many(shard_keys, default=_MISSING)
+            values = self.shard(shard).get_many(shard_keys, default=_MISSING)
             for pos, value in zip(positions[shard], values):
                 out[pos] = None if value is _MISSING else value
         return out
@@ -139,9 +169,16 @@ class ShardedLogStore:
         truncating any torn tail — and swapped into the shard slot.  Only
         meaningful for durable stores.
         """
-        old = self._shards[shard]
+        return self.load_shard_from_bytes(shard, self.shard(shard).log_bytes)
+
+    def load_shard_from_bytes(self, shard: int, data: bytes) -> RecoveryReport:
+        """Replace an owned shard with one recovered from serialized log
+        bytes.  Worker processes use this after a *process* death, where
+        the surviving bytes come from the shard's on-disk log file rather
+        than the dead incarnation's in-memory image."""
+        self.shard(shard)  # ownership check
         recovered = LogStructuredStore.recover_from_bytes(
-            old.log_bytes,
+            data,
             expected_items=self._per_shard,
             seed=self._seed + 101 * shard + 1,
             durable=True,
@@ -159,17 +196,18 @@ class ShardedLogStore:
     def stats_snapshot(self) -> Dict[str, float]:
         """Index- and log-level gauges for the STATS verb."""
         items = len(self)
-        log_records = sum(shard.log_records for shard in self._shards)
+        shards = self.shards
+        log_records = sum(shard.log_records for shard in shards)
         stash = 0
         capacity = 0
-        for shard in self._shards:
+        for shard in shards:
             index = shard.index
             capacity += index.capacity
             for table in (index.active_table, index.retiring_table):
                 if table is not None and table.stash is not None:
                     stash += len(table.stash)
-        loads = [shard.index.load_ratio for shard in self._shards]
-        mean_load = sum(loads) / len(loads)
+        loads = [shard.index.load_ratio for shard in shards]
+        mean_load = sum(loads) / len(loads) if loads else 0.0
         return {
             "store_items": items,
             "store_log_records": log_records,

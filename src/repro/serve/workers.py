@@ -1,0 +1,1088 @@
+"""Multi-process shard-parallel serving: frontend, workers, supervisor.
+
+:class:`WorkerServer` keeps the asyncio frontend of
+:class:`~repro.serve.server.McCuckooServer` — connection accept, framing,
+timeouts, backpressure — but executes every GET/PUT/DELETE in one of N
+**shard worker processes**, each owning a disjoint shard group of the
+keyspace (``shard % n_workers == worker``, see
+:func:`repro.core.sharded.shards_of_worker`).  Each worker hosts its
+group's :class:`~repro.serve.store.ShardedLogStore` slice — tables,
+durable logs, apply loop — so shards on different workers execute truly
+in parallel across cores instead of time-slicing one GIL.
+
+Topology and transport::
+
+    client ──TCP──▶ frontend (asyncio, routing, supervision)
+                       │ socketpair per worker, CRC'd frames, pipelined
+                       ├──▶ worker 0: shards {0, N, 2N, ...}
+                       ├──▶ worker 1: shards {1, N+1, ...}
+                       └──▶ ...
+
+* **IPC framing** reuses the wire codec's ``u32 len + u32 crc32 + body``
+  frame; the body is ``u32 req_id + u8 kind + payload``.  ``REQUEST``
+  payloads are ordinary protocol request/reply bodies (magic included),
+  ``CONTROL`` payloads are JSON (handshake, stats, disarm, ping, stop).
+* **Pipelining**: the frontend tags every in-flight op with a request id,
+  so one worker connection carries many outstanding ops; replies resolve
+  futures by id.  A BATCH is forwarded as *one* IPC frame per worker run
+  (the ops a worker owns, in batch order), mirroring the single-process
+  server's one-queue-item-per-shard-run discipline.
+* **Ordering**: a worker applies frames strictly FIFO, so per-worker —
+  and therefore per-shard and per-key — operations retain the frontend's
+  send order.  That is exactly the one-writer-per-shard total order the
+  single-process server provides, which keeps the faultgen audit model
+  sound in worker mode.
+* **Supervision**: a worker that dies (e.g. the ``kill_worker`` fault
+  rule's ``os._exit`` before an ack) fails its in-flight ops with
+  ``UNAVAILABLE`` (outcome unknown; idempotent clients retry), and the
+  supervisor forks a replacement that replays the worker's durable log
+  files through :meth:`LogStructuredStore.recover_from_bytes` before
+  re-registering — other workers' traffic never stops.  While the
+  replacement boots, its shards answer BUSY.
+* **Stats**: STATS merges the frontend's counters with every worker's
+  (collected over CONTROL), plus per-worker gauges — ``worker<i>_up``,
+  ``worker<i>_pending_ops``, ``worker<i>_ops_routed``,
+  ``worker<i>_restarts`` — and the ``worker_restarts`` total.
+
+Fault injection in worker mode re-parses the plan spec per process (the
+frontend consults dispatch/frame sites; each worker consults its stores'
+append sites, write delays, and the ``kill_worker`` site), so a count
+rule like ``crash_after_appends=N`` triggers per worker process.  A
+worker about to die from ``kill_worker`` emits a last-gasp CONTROL event
+carrying its counters so fired-fault accounting survives the kill; the
+doomed op's ack is still never sent.  Last-gasp delivery is best-effort:
+if the frontend writes to the socketpair after the child has exited, the
+transport error can surface on the shared stream before the buffered
+gasp is drained, so ``worker_restarts`` — not absorbed fired counts — is
+the authoritative death count.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import multiprocessing
+import os
+import socket
+import struct
+import time
+import zlib
+from dataclasses import dataclass
+from typing import Any, Dict, List, Optional, Tuple
+
+from ..core.errors import ConfigurationError, ReproError
+from ..core.sharded import ShardRouter, shards_of_worker
+from ..faults import FaultPlan, InjectedCrash
+from .protocol import (
+    FRAME_OVERHEAD,
+    BatchReply,
+    BatchRequest,
+    DeleteReply,
+    DeleteRequest,
+    ErrorCode,
+    ErrorReply,
+    GetRequest,
+    ProtocolError,
+    PutReply,
+    PutRequest,
+    Reply,
+    Request,
+    SimpleReply,
+    StatsReply,
+    StatsRequest,
+    ValueReply,
+    decode_reply,
+    decode_request,
+    encode_reply,
+    encode_request,
+    read_frame,
+)
+from .server import McCuckooServer, ServerConfig
+from .stats import ServeStats
+from .store import ShardedLogStore
+
+_IPC_HEAD = struct.Struct(">IB")
+_LEN = struct.Struct(">I")
+_CRC = struct.Struct(">I")
+
+KIND_REQUEST = 0
+KIND_CONTROL = 1
+
+#: req_id 0 is reserved for unsolicited worker → frontend CONTROL events
+#: (the hello handshake and the dying last-gasp).
+EVENT_ID = 0
+
+#: worker counters the frontend folds into a merged STATS snapshot
+_MERGED_COUNTERS = (
+    "gets", "get_hits", "get_misses",
+    "puts", "put_creates", "put_updates", "put_kicks", "put_stashed",
+    "deletes", "delete_hits", "delete_misses",
+    "injected_crashes", "shard_recoveries",
+)
+
+
+class WorkerDiedError(ReproError):
+    """The worker process died with this op in flight; outcome unknown."""
+
+
+class WorkerUnavailableError(ReproError):
+    """The op's worker is down and its replacement is still booting."""
+
+
+# ----------------------------------------------------------------------
+# IPC envelope (shared by both sides)
+# ----------------------------------------------------------------------
+
+
+def pack_ipc(req_id: int, kind: int, payload: bytes) -> bytes:
+    """One CRC'd IPC frame: len + crc + (req_id + kind + payload)."""
+    body = _IPC_HEAD.pack(req_id, kind) + payload
+    return _LEN.pack(len(body)) + _CRC.pack(zlib.crc32(body) & 0xFFFFFFFF) + body
+
+
+def unpack_ipc(body: bytes) -> Tuple[int, int, bytes]:
+    if len(body) < _IPC_HEAD.size:
+        raise ProtocolError(f"IPC body of {len(body)} bytes is too short")
+    req_id, kind = _IPC_HEAD.unpack_from(body, 0)
+    return req_id, kind, body[_IPC_HEAD.size:]
+
+
+def _read_frame_sync(stream, max_bytes: int) -> bytes:
+    """Blocking counterpart of :func:`repro.serve.protocol.read_frame`;
+    returns ``b""`` on clean EOF."""
+    prefix = stream.read(FRAME_OVERHEAD)
+    if not prefix:
+        return b""
+    if len(prefix) < FRAME_OVERHEAD:
+        raise ProtocolError("truncated IPC frame prefix")
+    (length,) = _LEN.unpack_from(prefix, 0)
+    (expected_crc,) = _CRC.unpack_from(prefix, _LEN.size)
+    if length > max_bytes:
+        raise ProtocolError(f"IPC frame of {length} bytes exceeds {max_bytes}")
+    body = stream.read(length)
+    if len(body) < length:
+        raise ProtocolError("truncated IPC frame body")
+    if (zlib.crc32(body) & 0xFFFFFFFF) != expected_crc:
+        raise ProtocolError("IPC frame CRC mismatch")
+    return body
+
+
+# ----------------------------------------------------------------------
+# worker child process
+# ----------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class WorkerSpec:
+    """Everything a worker process needs to build its shard slice.
+
+    Derived from the frontend's :class:`ServerConfig` so a restarted
+    worker rebuilds *identical* per-shard seeds and capacities — routing
+    stability across restarts falls out of this, not of any state
+    carried over the IPC link.
+    """
+
+    worker_id: int
+    n_workers: int
+    n_shards: int
+    expected_items: int
+    seed: int
+    durable: bool
+    write_stall: float
+    max_ipc_bytes: int
+    fault_spec: Optional[str] = None
+    fault_seed: int = 0
+    armed: bool = True
+    log_dir: Optional[str] = None
+
+    @property
+    def shards(self) -> Tuple[int, ...]:
+        return shards_of_worker(self.worker_id, self.n_shards, self.n_workers)
+
+    def log_path(self, shard: int) -> str:
+        assert self.log_dir is not None
+        return os.path.join(self.log_dir, f"shard-{shard}.log")
+
+
+def _child_entry(spec: WorkerSpec, child_sock, parent_sock) -> None:
+    parent_sock.close()
+    code = 1
+    try:
+        code = _ShardWorker(spec, child_sock).run()
+    except BaseException:
+        code = 1
+    finally:
+        # _exit: never run the frontend's inherited atexit/loop teardown
+        os._exit(code)
+
+
+class _ShardWorker:
+    """Synchronous FIFO apply loop owning one shard group (child side)."""
+
+    def __init__(self, spec: WorkerSpec, sock: socket.socket) -> None:
+        self.spec = spec
+        self._sock = sock
+        self._in = sock.makefile("rb")
+        self._out = sock.makefile("wb")
+        self.stats = ServeStats()
+        self.faults = (
+            FaultPlan.parse(spec.fault_spec, seed=spec.fault_seed)
+            if spec.fault_spec else None
+        )
+        if self.faults is not None and not spec.armed:
+            self.faults.disarm()
+        self._sinks: Dict[int, Any] = {}
+        self.recovered_shards: List[int] = []
+        self.recovered_records = 0
+        self.store = ShardedLogStore(
+            n_shards=spec.n_shards,
+            expected_items=spec.expected_items,
+            seed=spec.seed,
+            durable=spec.durable,
+            faults=self.faults,
+            owned=list(spec.shards),
+        )
+        if spec.durable and spec.log_dir is not None:
+            for shard in spec.shards:
+                self._open_shard_log(shard)
+
+    # ------------------------------------------------------------------
+    # durable log files
+    # ------------------------------------------------------------------
+
+    def _open_shard_log(self, shard: int) -> None:
+        """(Re)build one shard from its on-disk log, then mirror into it.
+
+        A non-empty log file means a previous incarnation of this worker
+        died; replay it through the recover_from_bytes path.  Either way
+        the file is rewritten with the (compacted) surviving image and
+        attached as the shard's live sink.
+        """
+        path = self.spec.log_path(shard)
+        data = b""
+        if os.path.exists(path):
+            with open(path, "rb") as handle:
+                data = handle.read()
+        if data:
+            report = self.store.load_shard_from_bytes(shard, data)
+            self.recovered_shards.append(shard)
+            self.recovered_records += report.records_replayed
+            self.stats.shard_recoveries += 1
+        self._attach_sink(shard)
+
+    def _attach_sink(self, shard: int) -> None:
+        old = self._sinks.pop(shard, None)
+        if old is not None:
+            old.close()
+        sink = open(self.spec.log_path(shard), "wb")
+        self._sinks[shard] = sink
+        self.store.shard(shard).attach_log_sink(sink)
+
+    # ------------------------------------------------------------------
+    # main loop
+    # ------------------------------------------------------------------
+
+    def run(self) -> int:
+        self._send_event({
+            "event": "hello",
+            "worker": self.spec.worker_id,
+            "pid": os.getpid(),
+            "shards": list(self.spec.shards),
+            "recovered_shards": self.recovered_shards,
+            "recovered_records": self.recovered_records,
+        })
+        while True:
+            body = _read_frame_sync(self._in, self.spec.max_ipc_bytes)
+            if not body:
+                return 0  # frontend went away
+            req_id, kind, payload = unpack_ipc(body)
+            if kind == KIND_CONTROL:
+                if not self._handle_control(req_id, payload):
+                    return 0
+                continue
+            request = decode_request(payload)
+            reply = self._apply(request)
+            self._send(req_id, KIND_REQUEST,
+                       encode_reply(reply)[FRAME_OVERHEAD:])
+
+    def _send(self, req_id: int, kind: int, payload: bytes) -> None:
+        self._out.write(pack_ipc(req_id, kind, payload))
+        self._out.flush()
+
+    def _send_event(self, payload: dict) -> None:
+        self._send(EVENT_ID, KIND_CONTROL, json.dumps(payload).encode())
+
+    def _handle_control(self, req_id: int, payload: bytes) -> bool:
+        """Returns False when the worker should exit (stop command)."""
+        command = json.loads(payload.decode())
+        cmd = command.get("cmd")
+        if cmd == "stats":
+            answer = {
+                "counters": self.stats.snapshot(),
+                "store": self.store.stats_snapshot(),
+                "faults": (self.faults.fired_counts()
+                           if self.faults is not None else {}),
+            }
+        elif cmd == "disarm":
+            if self.faults is not None:
+                self.faults.disarm()
+            answer = {"ok": True}
+        elif cmd == "ping":
+            # FIFO makes this a write barrier: by the time the pong is
+            # read, every earlier frame on this link has been applied.
+            answer = {"ok": True}
+        elif cmd == "stop":
+            self._send(req_id, KIND_CONTROL, b'{"ok": true}')
+            return False
+        else:
+            answer = {"error": f"unknown control command {cmd!r}"}
+        self._send(req_id, KIND_CONTROL, json.dumps(answer).encode())
+        return True
+
+    # ------------------------------------------------------------------
+    # op application
+    # ------------------------------------------------------------------
+
+    def _apply(self, request: Request) -> Reply:
+        if isinstance(request, BatchRequest):
+            return BatchReply(tuple(
+                self._apply_simple(op) for op in request.ops
+            ))
+        return self._apply_simple(request)
+
+    def _apply_simple(self, request) -> SimpleReply:
+        try:
+            if isinstance(request, GetRequest):
+                value = self.store.get(request.key)
+                self.stats.note_get(hit=value is not None)
+                if value is None:
+                    return ValueReply(found=False)
+                return ValueReply(found=True, value=bytes(value))
+            if isinstance(request, (PutRequest, DeleteRequest)):
+                return self._apply_write(request)
+            return ErrorReply(
+                ErrorCode.BAD_REQUEST,
+                f"worker cannot serve {type(request).__name__}",
+            )
+        except Exception as error:
+            self.stats.internal_errors += 1
+            return ErrorReply(ErrorCode.INTERNAL, str(error))
+
+    def _apply_write(self, request) -> SimpleReply:
+        shard = self.store.shard_index(request.key)
+        if self.faults is not None:
+            delay = self.faults.writer_delay(shard)
+            if delay:
+                time.sleep(delay)
+        if self.spec.write_stall:
+            time.sleep(self.spec.write_stall)
+        try:
+            if isinstance(request, PutRequest):
+                result = self.store.put(request.key, request.value)
+                self.stats.note_put(result.created, kicks=result.kicks,
+                                    stashed=result.stashed)
+                reply: SimpleReply = PutReply(created=result.created)
+            else:
+                deleted = self.store.delete(request.key)
+                self.stats.note_delete(deleted)
+                reply = DeleteReply(deleted=deleted)
+        except InjectedCrash as error:
+            # In-process shard crash: rebuild from the durable image and
+            # answer INTERNAL (the write is NOT acknowledged), exactly as
+            # the single-process writer loop does.
+            self.stats.injected_crashes += 1
+            if self.store.durable:
+                self.store.crash_and_recover(shard)
+                self.stats.shard_recoveries += 1
+                if self.spec.log_dir is not None:
+                    self._attach_sink(shard)
+            return ErrorReply(ErrorCode.INTERNAL, str(error))
+        if self.faults is not None and self.faults.should_kill_worker(
+                self.spec.worker_id):
+            # kill_worker: the write IS applied and persisted, but the
+            # whole process dies before the ack — the client sees
+            # UNAVAILABLE (outcome unknown).  The last-gasp event keeps
+            # fired/counter accounting observable without acking the op.
+            self._send_event({
+                "event": "dying",
+                "worker": self.spec.worker_id,
+                "counters": self.stats.snapshot(),
+                "faults": self.faults.fired_counts(),
+            })
+            os._exit(23)
+        return reply
+
+
+# ----------------------------------------------------------------------
+# frontend side: handle, pool, server
+# ----------------------------------------------------------------------
+
+
+class WorkerHandle:
+    """One live worker process plus its pipelined IPC link."""
+
+    def __init__(self, spec: WorkerSpec, on_death, on_event) -> None:
+        self.spec = spec
+        self.worker_id = spec.worker_id
+        self._on_death = on_death
+        self._on_event = on_event
+        self._process: Optional[multiprocessing.process.BaseProcess] = None
+        self._reader: Optional[asyncio.StreamReader] = None
+        self._writer: Optional[asyncio.StreamWriter] = None
+        self._reader_task: Optional[asyncio.Task] = None
+        self._pending: Dict[int, Tuple[asyncio.Future, int]] = {}
+        self._next_id = 1
+        self.pending_ops = 0
+        self.ops_routed = 0
+        self.alive = False
+        self.hello: Dict[str, Any] = {}
+
+    async def spawn(self) -> None:
+        context = multiprocessing.get_context("fork")
+        parent_sock, child_sock = socket.socketpair()
+        process = context.Process(
+            target=_child_entry,
+            args=(self.spec, child_sock, parent_sock),
+            daemon=True,
+        )
+        process.start()
+        child_sock.close()
+        self._process = process
+        self._reader, self._writer = await asyncio.open_connection(
+            sock=parent_sock
+        )
+        body = await asyncio.wait_for(
+            read_frame(self._reader, self.spec.max_ipc_bytes), timeout=30.0
+        )
+        req_id, kind, payload = unpack_ipc(body)
+        if kind != KIND_CONTROL or req_id != EVENT_ID:
+            raise ProtocolError("worker handshake expected a hello event")
+        self.hello = json.loads(payload.decode())
+        self.alive = True
+        self._reader_task = asyncio.create_task(self._read_loop())
+
+    # ------------------------------------------------------------------
+
+    async def _read_loop(self) -> None:
+        assert self._reader is not None
+        try:
+            while True:
+                body = await read_frame(self._reader, self.spec.max_ipc_bytes)
+                if not body:
+                    break
+                req_id, kind, payload = unpack_ipc(body)
+                if req_id == EVENT_ID and kind == KIND_CONTROL:
+                    self._on_event(self, json.loads(payload.decode()))
+                    continue
+                entry = self._pending.pop(req_id, None)
+                if entry is None:
+                    continue  # reply to an op whose waiter timed out
+                future, ops = entry
+                self.pending_ops -= ops
+                if not future.done():
+                    future.set_result((kind, payload))
+        except (ConnectionError, OSError, ProtocolError, asyncio.CancelledError):
+            pass
+        finally:
+            self._fail_pending()
+            was_alive = self.alive
+            self.alive = False
+            if was_alive:
+                self._on_death(self)
+
+    def _fail_pending(self) -> None:
+        error = WorkerDiedError(
+            f"worker {self.worker_id} died with the op in flight"
+        )
+        for future, _ in self._pending.values():
+            if not future.done():
+                future.set_exception(error)
+        self._pending.clear()
+        self.pending_ops = 0
+
+    # ------------------------------------------------------------------
+
+    def _submit(self, kind: int, payload: bytes, ops: int) -> asyncio.Future:
+        if not self.alive or self._writer is None:
+            raise WorkerDiedError(f"worker {self.worker_id} is down")
+        req_id = self._next_id
+        self._next_id += 1
+        future: asyncio.Future = asyncio.get_running_loop().create_future()
+        self._pending[req_id] = (future, ops)
+        self.pending_ops += ops
+        self.ops_routed += ops
+        self._writer.write(pack_ipc(req_id, kind, payload))
+        return future
+
+    async def call(self, request_body: bytes, ops: int = 1) -> bytes:
+        """Forward one protocol request body; returns the reply body."""
+        kind, payload = await self._submit(KIND_REQUEST, request_body, ops)
+        if kind != KIND_REQUEST:
+            raise ProtocolError("worker answered a REQUEST with CONTROL")
+        return payload
+
+    async def control(self, command: dict) -> dict:
+        kind, payload = await self._submit(
+            KIND_CONTROL, json.dumps(command).encode(), ops=0
+        )
+        if kind != KIND_CONTROL:
+            raise ProtocolError("worker answered CONTROL with a REQUEST")
+        return json.loads(payload.decode())
+
+    # ------------------------------------------------------------------
+
+    async def shutdown(self, graceful: bool = True) -> None:
+        """Stop the process; never raises."""
+        if graceful and self.alive:
+            try:
+                await asyncio.wait_for(self.control({"cmd": "stop"}),
+                                       timeout=2.0)
+            except Exception:
+                pass
+        self.alive = False
+        if self._reader_task is not None:
+            self._reader_task.cancel()
+            try:
+                await self._reader_task
+            except asyncio.CancelledError:
+                pass
+        if self._writer is not None:
+            self._writer.close()
+        process = self._process
+        if process is not None and process.is_alive():
+            await asyncio.get_running_loop().run_in_executor(
+                None, self._join_or_kill, process
+            )
+
+    @staticmethod
+    def _join_or_kill(process) -> None:
+        process.join(timeout=2.0)
+        if process.is_alive():
+            process.terminate()
+            process.join(timeout=2.0)
+
+
+class WorkerPool:
+    """Spawns, routes to, and supervises the shard worker processes."""
+
+    RESTART_ATTEMPTS = 5
+
+    def __init__(
+        self,
+        config: ServerConfig,
+        n_workers: int,
+        stats: ServeStats,
+        log_dir: str,
+    ) -> None:
+        self.config = config
+        self.n_workers = n_workers
+        self.stats = stats
+        self.log_dir = log_dir
+        self._handles: List[Optional[WorkerHandle]] = [None] * n_workers
+        self._restarting: Dict[int, asyncio.Task] = {}
+        self.restart_counts = [0] * n_workers
+        self._armed = config.fault_plan is not None and config.fault_plan.armed
+        #: counters/fired totals absorbed from workers' dying events, so a
+        #: killed worker's accounting survives its death
+        self._absorbed: List[Dict[str, Dict[str, float]]] = [
+            {"counters": {}, "faults": {}} for _ in range(n_workers)
+        ]
+        self._stopping = False
+
+    def _spec(self, worker_id: int) -> WorkerSpec:
+        plan = self.config.fault_plan
+        return WorkerSpec(
+            worker_id=worker_id,
+            n_workers=self.n_workers,
+            n_shards=self.config.n_shards,
+            expected_items=self.config.expected_items,
+            seed=self.config.seed,
+            durable=self.config.durable or plan is not None,
+            write_stall=self.config.write_stall,
+            max_ipc_bytes=self.config.max_frame_bytes + 4096,
+            fault_spec=plan.spec() if plan is not None else None,
+            fault_seed=plan.seed if plan is not None else 0,
+            armed=self._armed,
+            log_dir=self.log_dir,
+        )
+
+    # ------------------------------------------------------------------
+    # lifecycle
+    # ------------------------------------------------------------------
+
+    async def start(self) -> None:
+        try:
+            for worker_id in range(self.n_workers):
+                handle = WorkerHandle(self._spec(worker_id),
+                                      self._handle_death, self._handle_event)
+                await handle.spawn()
+                self._handles[worker_id] = handle
+        except BaseException:
+            await self.stop()
+            raise
+
+    async def stop(self) -> None:
+        self._stopping = True
+        for task in list(self._restarting.values()):
+            task.cancel()
+        for task in list(self._restarting.values()):
+            try:
+                await task
+            except (asyncio.CancelledError, Exception):
+                pass
+        self._restarting.clear()
+        for handle in self._handles:
+            if handle is not None:
+                await handle.shutdown()
+        self._handles = [None] * self.n_workers
+
+    # ------------------------------------------------------------------
+    # routing
+    # ------------------------------------------------------------------
+
+    def handle_for_worker(self, worker_id: int) -> WorkerHandle:
+        handle = self._handles[worker_id]
+        if handle is None or not handle.alive:
+            raise WorkerUnavailableError(
+                f"worker {worker_id} is restarting; retry shortly"
+            )
+        return handle
+
+    def live_handles(self) -> List[Tuple[int, Optional[WorkerHandle]]]:
+        return [
+            (worker_id, handle if handle is not None and handle.alive else None)
+            for worker_id, handle in enumerate(self._handles)
+        ]
+
+    # ------------------------------------------------------------------
+    # supervision
+    # ------------------------------------------------------------------
+
+    def _handle_event(self, handle: WorkerHandle, event: dict) -> None:
+        if event.get("event") == "dying":
+            absorbed = self._absorbed[handle.worker_id]
+            for section in ("counters", "faults"):
+                for name, value in event.get(section, {}).items():
+                    absorbed[section][name] = (
+                        absorbed[section].get(name, 0) + value
+                    )
+
+    def _handle_death(self, handle: WorkerHandle) -> None:
+        if self._stopping:
+            return
+        worker_id = handle.worker_id
+        if self._handles[worker_id] is not handle:
+            return  # already superseded
+        self._handles[worker_id] = None
+        if worker_id not in self._restarting:
+            self._restarting[worker_id] = asyncio.create_task(
+                self._restart(worker_id)
+            )
+
+    async def _restart(self, worker_id: int) -> None:
+        """Fork a replacement; its durable log files drive recovery."""
+        try:
+            for attempt in range(self.RESTART_ATTEMPTS):
+                if self._stopping:
+                    return
+                try:
+                    handle = WorkerHandle(
+                        self._spec(worker_id),
+                        self._handle_death, self._handle_event,
+                    )
+                    await handle.spawn()
+                except Exception:
+                    await asyncio.sleep(0.05 * (attempt + 1))
+                    continue
+                self.restart_counts[worker_id] += 1
+                self.stats.worker_restarts += 1
+                self._handles[worker_id] = handle
+                return
+        finally:
+            self._restarting.pop(worker_id, None)
+
+    async def await_restarts(self) -> None:
+        for task in list(self._restarting.values()):
+            try:
+                await asyncio.shield(task)
+            except (asyncio.CancelledError, Exception):
+                pass
+
+    # ------------------------------------------------------------------
+    # pool-wide operations
+    # ------------------------------------------------------------------
+
+    async def barrier(self) -> None:
+        """Quiescence point: every op sent before this call has applied.
+
+        Waits out in-flight restarts, then pings every worker; FIFO
+        ordering makes each pong prove the worker drained its inbox.
+        """
+        await self.await_restarts()
+        for worker_id, handle in self.live_handles():
+            if handle is None:
+                continue
+            try:
+                await handle.control({"cmd": "ping"})
+            except (WorkerDiedError, ProtocolError):
+                pass
+
+    async def broadcast_disarm(self) -> None:
+        """Stop fault injection pool-wide, including future respawns."""
+        self._armed = False
+        await self.await_restarts()
+        for _, handle in self.live_handles():
+            if handle is None:
+                continue
+            try:
+                await handle.control({"cmd": "disarm"})
+            except (WorkerDiedError, ProtocolError):
+                pass
+
+    async def collect_stats(self) -> List[Optional[dict]]:
+        """Each worker's stats (absorbed + live), None when mid-restart."""
+        out: List[Optional[dict]] = []
+        for worker_id, handle in self.live_handles():
+            absorbed = self._absorbed[worker_id]
+            if handle is None:
+                merged: Optional[dict] = (
+                    {"counters": dict(absorbed["counters"]),
+                     "faults": dict(absorbed["faults"]), "store": {}}
+                    if absorbed["counters"] or absorbed["faults"] else None
+                )
+                out.append(merged)
+                continue
+            try:
+                answer = await handle.control({"cmd": "stats"})
+            except (WorkerDiedError, ProtocolError):
+                out.append(None)
+                continue
+            for section in ("counters", "faults"):
+                for name, value in absorbed[section].items():
+                    answer[section][name] = (
+                        answer[section].get(name, 0) + value
+                    )
+            out.append(answer)
+        return out
+
+    def fired_counts(self) -> Dict[str, int]:
+        """Best-effort pool fired totals from absorbed dying events only;
+        live workers' counts are merged at STATS time."""
+        totals: Dict[str, int] = {}
+        for absorbed in self._absorbed:
+            for name, value in absorbed["faults"].items():
+                totals[name] = totals.get(name, 0) + int(value)
+        return totals
+
+
+class WorkerServer(McCuckooServer):
+    """Multi-process McCuckoo server: asyncio frontend + N shard workers.
+
+    The frontend keeps the base server's connection handling, framing,
+    per-request timeout, and BUSY backpressure, but owns no store —
+    every op is forwarded over the worker pool.  ``writer_queue_depth``
+    bounds each *worker's* in-flight ops (reads included: a worker's
+    inbox is its queue), answered with per-op BUSY like the base server.
+    """
+
+    def __init__(
+        self,
+        config: Optional[ServerConfig] = None,
+        n_workers: int = 2,
+    ) -> None:
+        if n_workers <= 0:
+            raise ConfigurationError("n_workers must be positive")
+        super().__init__(config)
+        # more workers than shards would leave idle processes owning
+        # nothing; clamp so every worker owns at least one shard
+        self.n_workers = min(n_workers, self.config.n_shards)
+        self._router = ShardRouter(self.config.n_shards,
+                                   seed=self.config.seed)
+        self._pool: Optional[WorkerPool] = None
+        self._log_dir: Optional[str] = None
+
+    def _make_store(self) -> Optional[ShardedLogStore]:
+        return None  # shards live in the worker processes
+
+    @property
+    def pool(self) -> WorkerPool:
+        if self._pool is None:
+            raise RuntimeError("server is not running")
+        return self._pool
+
+    # ------------------------------------------------------------------
+    # lifecycle hooks
+    # ------------------------------------------------------------------
+
+    async def _start_backend(self) -> None:
+        import tempfile
+        self._log_dir = tempfile.mkdtemp(prefix="mccuckoo-worker-logs-")
+        self._pool = WorkerPool(self.config, self.n_workers, self.stats,
+                                self._log_dir)
+        await self._pool.start()
+
+    async def _stop_backend(self) -> None:
+        if self._pool is not None:
+            await self._pool.stop()
+            self._pool = None
+        if self._log_dir is not None:
+            import shutil
+            shutil.rmtree(self._log_dir, ignore_errors=True)
+            self._log_dir = None
+
+    async def drain_writes(self) -> None:
+        await self.pool.barrier()
+
+    async def disarm_faults(self) -> None:
+        if self._faults is not None:
+            self._faults.disarm()
+        if self._pool is not None:
+            await self._pool.broadcast_disarm()
+
+    # ------------------------------------------------------------------
+    # dispatch: forward over the pool
+    # ------------------------------------------------------------------
+
+    def _worker_of_key(self, key: int) -> int:
+        return self._router.worker_of(key, self.n_workers)
+
+    def _worker_busy_reply(self, worker_id: int) -> ErrorReply:
+        self.stats.busy_rejections += 1
+        return ErrorReply(
+            ErrorCode.BUSY,
+            f"worker {worker_id} has {self.config.writer_queue_depth} "
+            "ops in flight",
+        )
+
+    def _worker_down_reply(self, error: Exception) -> ErrorReply:
+        self.stats.busy_rejections += 1
+        return ErrorReply(ErrorCode.BUSY, str(error))
+
+    async def _handle_request(self, request: Request) -> Reply:
+        if isinstance(request, StatsRequest):
+            self.stats.stats_calls += 1
+            return StatsReply(await self._merged_stats())
+        if isinstance(request, BatchRequest):
+            if len(request.ops) > self.config.max_batch_ops:
+                return ErrorReply(
+                    ErrorCode.TOO_LARGE,
+                    f"batch of {len(request.ops)} ops exceeds "
+                    f"{self.config.max_batch_ops}",
+                )
+            self.stats.batches += 1
+            self.stats.batch_ops += len(request.ops)
+            return await self._handle_batch(request)
+        if isinstance(request, (PutRequest, DeleteRequest)):
+            injected = self._injected_busy()
+            if injected is not None:
+                return injected
+        return await self._forward(request)
+
+    async def _forward(self, request) -> Reply:
+        worker_id = self._worker_of_key(request.key)
+        try:
+            handle = self.pool.handle_for_worker(worker_id)
+        except WorkerUnavailableError as error:
+            return self._worker_down_reply(error)
+        if handle.pending_ops >= self.config.writer_queue_depth:
+            return self._worker_busy_reply(worker_id)
+        try:
+            reply_body = await handle.call(
+                encode_request(request)[FRAME_OVERHEAD:], ops=1
+            )
+        except WorkerDiedError as error:
+            return ErrorReply(ErrorCode.UNAVAILABLE, str(error))
+        return decode_reply(reply_body)
+
+    async def _handle_batch(self, request: BatchRequest) -> BatchReply:
+        """Run-grouped forwarding: between STATS barriers, each worker's
+        ops form ONE sub-batch frame (their relative order preserved, so
+        per-key order is intact — a key always maps to one worker).
+        Ops past a worker's free capacity draw per-op BUSY; a worker
+        death fails its whole run with per-op UNAVAILABLE."""
+        replies: List[Optional[SimpleReply]] = [None] * len(request.ops)
+        runs: Dict[int, List[Tuple[int, Any]]] = {}
+        outstanding: List[Tuple[List[int], "asyncio.Future"]] = []
+
+        def flush_runs() -> None:
+            for worker_id, run in runs.items():
+                self._send_run(worker_id, run, replies, outstanding)
+            runs.clear()
+
+        async def drain() -> None:
+            for indices, future in outstanding:
+                try:
+                    kind, payload = await future
+                    batch = decode_reply(payload)
+                    assert isinstance(batch, BatchReply)
+                    for index, sub in zip(indices, batch.replies):
+                        replies[index] = sub
+                except WorkerDiedError as error:
+                    for index in indices:
+                        replies[index] = ErrorReply(ErrorCode.UNAVAILABLE,
+                                                    str(error))
+                except Exception as error:
+                    self.stats.internal_errors += 1
+                    for index in indices:
+                        replies[index] = ErrorReply(ErrorCode.INTERNAL,
+                                                    str(error))
+            outstanding.clear()
+
+        for index, op in enumerate(request.ops):
+            if isinstance(op, StatsRequest):
+                # barrier: everything before the STATS must be visible
+                flush_runs()
+                await drain()
+                self.stats.stats_calls += 1
+                replies[index] = StatsReply(await self._merged_stats())
+                continue
+            if isinstance(op, (PutRequest, DeleteRequest)):
+                injected = self._injected_busy()
+                if injected is not None:
+                    replies[index] = injected
+                    continue
+            runs.setdefault(self._worker_of_key(op.key), []).append(
+                (index, op)
+            )
+        flush_runs()
+        await drain()
+        assert all(reply is not None for reply in replies)
+        return BatchReply(tuple(replies))  # type: ignore[arg-type]
+
+    def _send_run(
+        self,
+        worker_id: int,
+        run: List[Tuple[int, Any]],
+        replies: List[Optional[SimpleReply]],
+        outstanding: List[Tuple[List[int], "asyncio.Future"]],
+    ) -> None:
+        try:
+            handle = self.pool.handle_for_worker(worker_id)
+        except WorkerUnavailableError as error:
+            for index, _ in run:
+                replies[index] = self._worker_down_reply(error)
+            return
+        free = max(0, self.config.writer_queue_depth - handle.pending_ops)
+        admitted, rejected = run[:free], run[free:]
+        for index, _ in rejected:
+            replies[index] = self._worker_busy_reply(worker_id)
+        if not admitted:
+            return
+        sub_batch = BatchRequest(tuple(op for _, op in admitted))
+        try:
+            future = handle._submit(
+                KIND_REQUEST,
+                encode_request(sub_batch)[FRAME_OVERHEAD:],
+                ops=len(admitted),
+            )
+        except WorkerDiedError as error:
+            for index, _ in admitted:
+                replies[index] = ErrorReply(ErrorCode.UNAVAILABLE, str(error))
+            return
+        outstanding.append(([index for index, _ in admitted], future))
+
+    # ------------------------------------------------------------------
+    # merged stats
+    # ------------------------------------------------------------------
+
+    async def _merged_stats(self) -> Dict[str, float]:
+        per_worker = await self.pool.collect_stats()
+        gauges: Dict[str, float] = {
+            "connections_active": self._connections,
+            "workers": self.n_workers,
+            "workers_up": sum(
+                1 for _, handle in self.pool.live_handles()
+                if handle is not None
+            ),
+            "writer_queue_depth": sum(
+                handle.pending_ops
+                for _, handle in self.pool.live_handles()
+                if handle is not None
+            ),
+        }
+        for worker_id, handle in self.pool.live_handles():
+            gauges[f"worker{worker_id}_up"] = 1 if handle is not None else 0
+            gauges[f"worker{worker_id}_pending_ops"] = (
+                handle.pending_ops if handle is not None else 0
+            )
+            gauges[f"worker{worker_id}_ops_routed"] = (
+                handle.ops_routed if handle is not None else 0
+            )
+            gauges[f"worker{worker_id}_restarts"] = (
+                self.pool.restart_counts[worker_id]
+            )
+        gauges.update(self._merge_store_gauges(per_worker))
+        fired: Dict[str, float] = {}
+        if self._faults is not None:
+            fired.update(self._faults.fired_counts())
+        for answer in per_worker:
+            if answer is None:
+                continue
+            for name, value in answer.get("faults", {}).items():
+                fired[name] = fired.get(name, 0) + value
+        gauges.update({f"fault_{name}": count
+                       for name, count in fired.items()})
+        self.stats.gauges = gauges
+        snapshot = self.stats.snapshot()
+        for answer in per_worker:
+            if answer is None:
+                continue
+            counters = answer.get("counters", {})
+            for name in _MERGED_COUNTERS:
+                if name in counters:
+                    snapshot[name] = snapshot.get(name, 0) + counters[name]
+        return snapshot
+
+    @staticmethod
+    def _merge_store_gauges(
+        per_worker: List[Optional[dict]],
+    ) -> Dict[str, float]:
+        """Pool-wide store view: sums for sizes, capacity-weighted mean
+        for load, worst-worker imbalance (an approximation — per-shard
+        loads stay inside the workers)."""
+        items = records = capacity = stash = 0
+        weighted_load = 0.0
+        max_load = 0.0
+        for answer in per_worker:
+            if answer is None:
+                continue
+            store = answer.get("store") or {}
+            if not store:
+                continue
+            items += store.get("store_items", 0)
+            records += store.get("store_log_records", 0)
+            shard_capacity = store.get("index_capacity", 0)
+            capacity += shard_capacity
+            stash += store.get("index_stash_population", 0)
+            load = store.get("index_load_ratio", 0.0)
+            weighted_load += load * shard_capacity
+            max_load = max(max_load,
+                           load * store.get("index_imbalance", 1.0))
+        mean_load = weighted_load / capacity if capacity else 0.0
+        return {
+            "store_items": items,
+            "store_log_records": records,
+            "store_garbage_ratio": round(
+                1.0 - items / records if records else 0.0, 6
+            ),
+            "index_capacity": capacity,
+            "index_load_ratio": round(mean_load, 6),
+            "index_imbalance": round(
+                max_load / mean_load if mean_load else 1.0, 6
+            ),
+            "index_stash_population": stash,
+        }
+
+
+__all__ = [
+    "KIND_CONTROL",
+    "KIND_REQUEST",
+    "WorkerDiedError",
+    "WorkerHandle",
+    "WorkerPool",
+    "WorkerServer",
+    "WorkerSpec",
+    "WorkerUnavailableError",
+    "pack_ipc",
+    "unpack_ipc",
+]

@@ -5,7 +5,12 @@ import pytest
 from repro import ConcurrentMcCuckoo, DeletionMode
 from repro.core import check_mccuckoo
 from repro.core.errors import ConfigurationError
-from repro.core.sharded import ShardedMcCuckoo, ShardRouter
+from repro.core.sharded import (
+    ShardedMcCuckoo,
+    ShardRouter,
+    shards_of_worker,
+    worker_of_shard,
+)
 from repro.workloads import TraceGenerator, distinct_keys, missing_keys, replay
 
 
@@ -209,3 +214,44 @@ class TestCorrectness:
             assert t.lookup(key).found
         for shard in t.shards:
             check_mccuckoo(shard)
+
+
+class TestWorkerAssignment:
+    """shard → worker-process routing used by the multi-process server."""
+
+    def test_round_robin_assignment(self):
+        assert [worker_of_shard(shard, 3) for shard in range(7)] == [
+            0, 1, 2, 0, 1, 2, 0
+        ]
+
+    def test_rejects_nonpositive_worker_count(self):
+        with pytest.raises(ConfigurationError):
+            worker_of_shard(0, 0)
+        with pytest.raises(ConfigurationError):
+            shards_of_worker(0, 4, 0)
+
+    def test_rejects_out_of_range_worker(self):
+        with pytest.raises(ConfigurationError):
+            shards_of_worker(2, 4, 2)
+
+    @pytest.mark.parametrize("n_shards,n_workers",
+                             [(1, 1), (4, 2), (5, 2), (7, 3), (3, 5)])
+    def test_groups_partition_the_shard_space(self, n_shards, n_workers):
+        groups = [shards_of_worker(worker, n_shards, n_workers)
+                  for worker in range(n_workers)]
+        flat = sorted(shard for group in groups for shard in group)
+        assert flat == list(range(n_shards))
+        for worker, group in enumerate(groups):
+            for shard in group:
+                assert worker_of_shard(shard, n_workers) == worker
+
+    def test_router_worker_of_matches_composition(self):
+        router = ShardRouter(6, seed=940)
+        for key in range(400):
+            assert router.worker_of(key, 4) == worker_of_shard(
+                router.shard_of(key), 4
+            )
+
+    def test_worker_of_rejects_nonpositive_workers(self):
+        with pytest.raises(ConfigurationError):
+            ShardRouter(4, seed=0).worker_of(1, 0)

@@ -149,3 +149,39 @@ class TestLifecycle:
             assert plan.on_append() is None
         plan.arm()
         assert plan.on_append() is not None
+
+
+class TestKillWorker:
+    def test_parse_describe_roundtrip(self):
+        plan = FaultPlan.parse("kill_worker=3@1", seed=derive(60))
+        assert "kill_worker=3@1" in plan.describe()
+        rebuilt = FaultPlan.parse(plan.spec(), seed=plan.seed)
+        assert rebuilt.describe() == plan.describe()
+
+    def test_fires_once_on_nth_write(self):
+        plan = FaultPlan.parse("kill_worker=3", seed=0)
+        fired = [plan.should_kill_worker(0) for _ in range(6)]
+        assert fired == [False, False, True, False, False, False]
+        assert plan.fired_counts() == {"kill_worker": 1}
+
+    def test_worker_scope_counts_only_that_worker(self):
+        plan = FaultPlan.parse("kill_worker=2@1", seed=0)
+        assert plan.should_kill_worker(0) is False
+        assert plan.should_kill_worker(1) is False
+        assert plan.should_kill_worker(0) is False  # worker 0 never counts
+        assert plan.should_kill_worker(1) is True
+        assert plan.should_kill_worker(1) is False  # one-shot
+
+    def test_disarmed_plan_never_kills(self):
+        plan = FaultPlan.parse("kill_worker=1", seed=0)
+        plan.disarm()
+        assert all(not plan.should_kill_worker(0) for _ in range(5))
+        plan.arm()
+        assert plan.should_kill_worker(0) is True
+
+    def test_spec_ships_every_rule_kind(self):
+        spec = ("crash_after_appends=10@2; torn_write=5:7@1; busy=0.25; "
+                "kill_worker=4; delay_shard=0:0.01:3")
+        plan = FaultPlan.parse(spec, seed=9)
+        rebuilt = FaultPlan.parse(plan.spec(), seed=9)
+        assert rebuilt.describe() == plan.describe()
