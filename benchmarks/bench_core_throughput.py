@@ -10,12 +10,16 @@ Set ``BENCH_CORE_QUICK=1`` to run the seconds-scale CI smoke configuration
 instead (smaller table, 10k queries, 0.9 load only).
 """
 
+import dataclasses
 import os
 import pathlib
 import random
 
+from repro._numpy import numpy_available
 from repro.analysis.bench_core import (
     BenchCoreConfig,
+    compare_to_baseline,
+    load_report,
     render_report,
     run_bench_core,
     write_report,
@@ -29,10 +33,16 @@ RESULTS_DIR = pathlib.Path(__file__).parent / "results"
 #: (>=3x); shared runners are too noisy to gate on the full target.
 MIN_LOOKUP_SPEEDUP = 1.5
 
+#: python-backend rows may not fall more than this below the committed
+#: baseline (shape-matched cells only; see compare_to_baseline)
+MAX_PYTHON_REGRESSION = 0.30
+
 
 def test_core_throughput(benchmark):
     quick = bool(os.environ.get("BENCH_CORE_QUICK"))
     config = BenchCoreConfig.quick() if quick else BenchCoreConfig()
+    if numpy_available():
+        config = dataclasses.replace(config, backends=("python", "numpy"))
     report = run_bench_core(config, verbose=True)
     print("\n" + render_report(report))
 
@@ -44,6 +54,17 @@ def test_core_throughput(benchmark):
     # batched mutation kernels must at least not regress badly
     assert headline["put_speedup"] >= 0.8
     assert headline["delete_speedup"] >= 0.8
+
+    # the pure-Python engine is the default everyone gets: it may not pay
+    # for the NumPy backend by regressing against the committed baseline
+    baseline_path = RESULTS_DIR / "BENCH_core.json"
+    if baseline_path.exists():
+        ok, message = compare_to_baseline(
+            report, load_report(str(baseline_path)),
+            max_regression=MAX_PYTHON_REGRESSION, backend="python",
+        )
+        print(f"baseline check: {message}")
+        assert ok, f"python-backend regression: {message}"
 
     RESULTS_DIR.mkdir(exist_ok=True)
     write_report(report, str(RESULTS_DIR / "BENCH_core.json"))

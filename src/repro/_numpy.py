@@ -1,0 +1,40 @@
+"""Optional NumPy import, shared by the vectorized execution engine.
+
+NumPy is an optional extra (``pip install repro[fast]``): every kernel in
+this library has a pure-Python implementation, and the array-backed paths
+are selected explicitly through :class:`repro.core.engine.EngineConfig`.
+This module is the single place that decides whether NumPy exists, so the
+import attempt (and its cost) happens at most once per process.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Optional
+
+_NUMPY: Optional[Any] = None
+_PROBED = False
+
+
+def numpy_or_none() -> Optional[Any]:
+    """The ``numpy`` module if importable, else ``None`` (cached)."""
+    global _NUMPY, _PROBED
+    if not _PROBED:
+        _PROBED = True
+        try:
+            import numpy
+        except ImportError:
+            _NUMPY = None
+        else:
+            _NUMPY = numpy
+    return _NUMPY
+
+
+def numpy_available() -> bool:
+    return numpy_or_none() is not None
+
+
+def _reset_probe_for_tests() -> None:
+    """Forget the cached probe result (test hook only)."""
+    global _NUMPY, _PROBED
+    _NUMPY = None
+    _PROBED = False

@@ -32,6 +32,7 @@ from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
 
 from ..core.config import DeletionMode
+from ..core.engine import BACKENDS
 from ..core.mccuckoo import McCuckoo
 from ..memory.model import MemoryModel
 
@@ -49,6 +50,9 @@ class BenchCoreConfig:
     load_factors: Tuple[float, ...] = (0.5, 0.7, 0.9)
     batch_sizes: Tuple[int, ...] = (16, 64, 256)
     repeats: int = 3
+    backends: Tuple[str, ...] = ("python",)
+    """Engine backends to measure; every (phase, load, batch) cell is
+    repeated per backend and rows are tagged with it."""
 
     @classmethod
     def quick(cls) -> "BenchCoreConfig":
@@ -65,7 +69,7 @@ class BenchCoreConfig:
 
 @dataclass
 class BenchRow:
-    """One measured (phase, load, batch) cell."""
+    """One measured (phase, load, batch, backend) cell."""
 
     phase: str
     load: float
@@ -74,6 +78,7 @@ class BenchRow:
     best_seconds: float
     ops_per_sec: float
     speedup: Optional[float] = None  # vs the scalar row of the same cell
+    backend: str = "python"
     extra: Dict[str, Any] = field(default_factory=dict)
 
 
@@ -115,11 +120,12 @@ def _chunks(items: Sequence, size: int) -> List[Sequence]:
     return [items[start:start + size] for start in range(0, len(items), size)]
 
 
-def _bench_lookups(config: BenchCoreConfig, rows: List[BenchRow]) -> None:
+def _bench_lookups(config: BenchCoreConfig, rows: List[BenchRow],
+                   backend: str) -> None:
     for load in config.load_factors:
         rng = random.Random(config.seed)
         table = McCuckoo(config.n_buckets, d=config.d, seed=config.seed,
-                         mem=MemoryModel())
+                         mem=MemoryModel(), engine=backend)
         keys = _fill_to(table, int(load * table.capacity), rng)
         queries = [keys[rng.randrange(len(keys))]
                    for _ in range(config.n_lookups)]
@@ -132,7 +138,8 @@ def _bench_lookups(config: BenchCoreConfig, rows: List[BenchRow]) -> None:
 
         best, n_ops = _best_of(config.repeats, scalar)
         scalar_rate = n_ops / best
-        rows.append(BenchRow("lookup", load, 1, n_ops, best, scalar_rate))
+        rows.append(BenchRow("lookup", load, 1, n_ops, best, scalar_rate,
+                             backend=backend))
 
         for batch in config.batch_sizes:
             batches = _chunks(queries, batch)
@@ -146,10 +153,11 @@ def _bench_lookups(config: BenchCoreConfig, rows: List[BenchRow]) -> None:
             best, n_ops = _best_of(config.repeats, batched)
             rate = n_ops / best
             rows.append(BenchRow("lookup", load, batch, n_ops, best, rate,
-                                 speedup=rate / scalar_rate))
+                                 speedup=rate / scalar_rate, backend=backend))
 
 
-def _bench_puts(config: BenchCoreConfig, rows: List[BenchRow]) -> None:
+def _bench_puts(config: BenchCoreConfig, rows: List[BenchRow],
+                backend: str) -> None:
     """Insert from empty up to each load factor, scalar vs ``put_many``."""
     for load in config.load_factors:
         rng = random.Random(config.seed + 7)
@@ -159,7 +167,7 @@ def _bench_puts(config: BenchCoreConfig, rows: List[BenchRow]) -> None:
 
         def scalar() -> int:
             table = McCuckoo(config.n_buckets, d=config.d, seed=config.seed,
-                             mem=MemoryModel())
+                             mem=MemoryModel(), engine=backend)
             put = table.put
             for key in keys:
                 put(key)
@@ -167,14 +175,16 @@ def _bench_puts(config: BenchCoreConfig, rows: List[BenchRow]) -> None:
 
         best, n_ops = _best_of(config.repeats, scalar)
         scalar_rate = n_ops / best
-        rows.append(BenchRow("put", load, 1, n_ops, best, scalar_rate))
+        rows.append(BenchRow("put", load, 1, n_ops, best, scalar_rate,
+                             backend=backend))
 
         for batch in config.batch_sizes:
             batches = _chunks([(key, None) for key in keys], batch)
 
             def batched() -> int:
                 table = McCuckoo(config.n_buckets, d=config.d,
-                                 seed=config.seed, mem=MemoryModel())
+                                 seed=config.seed, mem=MemoryModel(),
+                                 engine=backend)
                 put_many = table.put_many
                 for chunk in batches:
                     put_many(chunk)
@@ -183,22 +193,21 @@ def _bench_puts(config: BenchCoreConfig, rows: List[BenchRow]) -> None:
             best, n_ops = _best_of(config.repeats, batched)
             rate = n_ops / best
             rows.append(BenchRow("put", load, batch, n_ops, best, rate,
-                                 speedup=rate / scalar_rate))
+                                 speedup=rate / scalar_rate, backend=backend))
 
 
-def _bench_deletes(config: BenchCoreConfig, rows: List[BenchRow]) -> None:
+def _bench_deletes(config: BenchCoreConfig, rows: List[BenchRow],
+                   backend: str) -> None:
     """Delete resident keys from a table at the deepest load factor."""
     load = max(config.load_factors)
     rng = random.Random(config.seed + 13)
-    base_keys: Optional[List[int]] = None
 
     def build() -> Tuple[McCuckoo, List[int]]:
-        nonlocal base_keys
         build_rng = random.Random(config.seed + 13)
         table = McCuckoo(config.n_buckets, d=config.d, seed=config.seed,
-                         deletion_mode=DeletionMode.RESET, mem=MemoryModel())
+                         deletion_mode=DeletionMode.RESET, mem=MemoryModel(),
+                         engine=backend)
         keys = _fill_to(table, int(load * table.capacity), build_rng)
-        base_keys = keys
         return table, keys
 
     table, keys = build()
@@ -214,7 +223,8 @@ def _bench_deletes(config: BenchCoreConfig, rows: List[BenchRow]) -> None:
 
     best, n_ops = _best_of_timed(config.repeats, scalar)
     scalar_rate = n_ops / best
-    rows.append(BenchRow("delete", load, 1, n_ops, best, scalar_rate))
+    rows.append(BenchRow("delete", load, 1, n_ops, best, scalar_rate,
+                         backend=backend))
 
     for batch in config.batch_sizes:
         batches = _chunks(victims, batch)
@@ -230,36 +240,79 @@ def _bench_deletes(config: BenchCoreConfig, rows: List[BenchRow]) -> None:
         best, n_ops = _best_of_timed(config.repeats, batched)
         rate = n_ops / best
         rows.append(BenchRow("delete", load, batch, n_ops, best, rate,
-                             speedup=rate / scalar_rate))
+                             speedup=rate / scalar_rate, backend=backend))
 
 
-def run_bench_core(config: Optional[BenchCoreConfig] = None,
-                   phases: Sequence[str] = ("lookup", "put", "delete"),
-                   verbose: bool = False) -> Dict[str, Any]:
-    """Run the harness and return the ``BENCH_core.json`` document."""
-    config = config if config is not None else BenchCoreConfig()
-    rows: List[BenchRow] = []
-    for phase, bench in (("lookup", _bench_lookups), ("put", _bench_puts),
-                         ("delete", _bench_deletes)):
-        if phase not in phases:
-            continue
-        start = time.perf_counter()
-        bench(config, rows)
-        if verbose:
-            print(f"[{phase}: {time.perf_counter() - start:.1f}s]",
-                  file=sys.stderr)
-
+def _headline_for(rows: List[BenchRow], phases: Sequence[str],
+                  deepest: float, backend: str) -> Dict[str, Any]:
     headline: Dict[str, Any] = {}
-    deepest = max(config.load_factors)
     for phase in phases:
         candidates = [row for row in rows
                       if row.phase == phase and row.load == deepest
+                      and row.backend == backend
                       and row.speedup is not None]
         if candidates:
             best_row = max(candidates, key=lambda row: row.speedup)
             headline[f"{phase}_speedup"] = round(best_row.speedup, 3)
             headline[f"{phase}_batch"] = best_row.batch
     headline["load"] = deepest
+    return headline
+
+
+def run_bench_core(config: Optional[BenchCoreConfig] = None,
+                   phases: Sequence[str] = ("lookup", "put", "delete"),
+                   verbose: bool = False,
+                   profile: bool = False) -> Dict[str, Any]:
+    """Run the harness and return the ``BENCH_core.json`` document.
+
+    With ``profile``, every cell runs a single repeat under :mod:`cProfile`
+    and the top-20 cumulative-time entries are printed to stderr — the
+    intended way to see where kernel time actually goes per backend.
+    """
+    config = config if config is not None else BenchCoreConfig()
+    for backend in config.backends:
+        if backend not in BACKENDS:
+            raise ValueError(
+                f"unknown backend {backend!r}; expected one of {BACKENDS}"
+            )
+    if profile:
+        import cProfile
+        import dataclasses
+        import pstats
+
+        config = dataclasses.replace(config, repeats=1)
+    rows: List[BenchRow] = []
+    for backend in config.backends:
+        for phase, bench in (("lookup", _bench_lookups), ("put", _bench_puts),
+                             ("delete", _bench_deletes)):
+            if phase not in phases:
+                continue
+            start = time.perf_counter()
+            if profile:
+                profiler = cProfile.Profile()
+                profiler.enable()
+                bench(config, rows, backend)
+                profiler.disable()
+                print(f"--- profile: {phase} [{backend}] ---", file=sys.stderr)
+                stats = pstats.Stats(profiler, stream=sys.stderr)
+                stats.sort_stats("cumulative").print_stats(20)
+            else:
+                bench(config, rows, backend)
+            if verbose:
+                print(f"[{phase} ({backend}): "
+                      f"{time.perf_counter() - start:.1f}s]",
+                      file=sys.stderr)
+
+    deepest = max(config.load_factors)
+    # Top-level headline keys describe the first (primary) backend so the
+    # document shape is unchanged for single-backend runs; per-backend
+    # headlines sit beside them.
+    headline = _headline_for(rows, phases, deepest, config.backends[0])
+    headline["backend"] = config.backends[0]
+    by_backend = {
+        backend: _headline_for(rows, phases, deepest, backend)
+        for backend in config.backends
+    }
 
     return {
         "benchmark": "bench_core",
@@ -272,6 +325,7 @@ def run_bench_core(config: Optional[BenchCoreConfig] = None,
             "load_factors": list(config.load_factors),
             "batch_sizes": list(config.batch_sizes),
             "repeats": config.repeats,
+            "backends": list(config.backends),
         },
         "environment": {
             "python": platform.python_version(),
@@ -279,11 +333,13 @@ def run_bench_core(config: Optional[BenchCoreConfig] = None,
             "machine": platform.machine(),
         },
         "headline": headline,
+        "headline_by_backend": by_backend,
         "rows": [
             {
                 "phase": row.phase,
                 "load": row.load,
                 "batch": row.batch,
+                "backend": row.backend,
                 "n_ops": row.n_ops,
                 "best_seconds": round(row.best_seconds, 6),
                 "ops_per_sec": round(row.ops_per_sec, 1),
@@ -297,19 +353,78 @@ def run_bench_core(config: Optional[BenchCoreConfig] = None,
 
 def render_report(report: Dict[str, Any]) -> str:
     """Human-readable table of a :func:`run_bench_core` document."""
-    lines = ["phase    load  batch      ops/s  speedup"]
+    lines = ["phase    load  batch  backend      ops/s  speedup"]
     for row in report["rows"]:
         speedup = f"{row['speedup']:.2f}x" if "speedup" in row else "  -"
         batch = "scalar" if row["batch"] == 1 else str(row["batch"])
+        backend = row.get("backend", "python")
         lines.append(f"{row['phase']:<8s} {row['load']:.2f} {batch:>6s} "
-                     f"{row['ops_per_sec']:>10,.0f}  {speedup:>6s}")
-    headline = report["headline"]
-    parts = [f"{phase}={headline[f'{phase}_speedup']:.2f}x"
-             f"@bs{headline[f'{phase}_batch']}"
-             for phase in ("lookup", "put", "delete")
-             if f"{phase}_speedup" in headline]
-    lines.append(f"headline (load {headline['load']}): " + "  ".join(parts))
+                     f"{backend:>8s} {row['ops_per_sec']:>10,.0f}  "
+                     f"{speedup:>6s}")
+    by_backend = report.get(
+        "headline_by_backend",
+        {report["headline"].get("backend", "python"): report["headline"]},
+    )
+    for backend, headline in by_backend.items():
+        parts = [f"{phase}={headline[f'{phase}_speedup']:.2f}x"
+                 f"@bs{headline[f'{phase}_batch']}"
+                 for phase in ("lookup", "put", "delete")
+                 if f"{phase}_speedup" in headline]
+        lines.append(f"headline [{backend}] (load {headline['load']}): "
+                     + "  ".join(parts))
     return "\n".join(lines)
+
+
+def load_report(path: str) -> Dict[str, Any]:
+    with open(path, "r", encoding="utf-8") as handle:
+        return json.load(handle)
+
+
+def compare_to_baseline(
+    report: Dict[str, Any],
+    baseline: Dict[str, Any],
+    max_regression: float = 0.30,
+    backend: str = "python",
+) -> Tuple[bool, str]:
+    """(ok, message) regression verdict for one backend's batched rows.
+
+    Only compares scale-matched runs: a baseline produced with a different
+    workload shape (buckets, d, query counts, loads, batches) says nothing
+    about a regression, so mismatches are skipped and reported ok.
+    Baseline rows without a ``backend`` tag predate the engine split and
+    are treated as python-backend rows.
+    """
+    shape_keys = ("n_buckets", "d", "seed", "n_lookups", "n_deletes",
+                  "load_factors", "batch_sizes")
+    current_shape = {key: report["config"].get(key) for key in shape_keys}
+    baseline_shape = {key: baseline["config"].get(key) for key in shape_keys}
+    if current_shape != baseline_shape:
+        return True, f"baseline shape differs ({baseline_shape}); skipped"
+
+    def cells(document: Dict[str, Any]) -> Dict[Tuple, float]:
+        return {
+            (row["phase"], row["load"], row["batch"]): row["ops_per_sec"]
+            for row in document["rows"]
+            if row.get("backend", "python") == backend and row["batch"] > 1
+        }
+
+    current = cells(report)
+    reference = cells(baseline)
+    shared = sorted(set(current) & set(reference))
+    if not shared:
+        return True, f"no shared {backend}-backend cells; skipped"
+    worst: Optional[Tuple[Tuple, float, float]] = None
+    for cell in shared:
+        ratio = current[cell] / reference[cell]
+        if worst is None or ratio < worst[1]:
+            worst = (cell, ratio, reference[cell])
+    assert worst is not None
+    cell, ratio, then = worst
+    floor = 1.0 - max_regression
+    message = (f"{backend} {cell[0]}@load{cell[1]}/bs{cell[2]}: "
+               f"{current[cell]:,.0f} ops/s vs baseline {then:,.0f} "
+               f"({ratio:.2f}x, floor {floor:.2f}x)")
+    return ratio >= floor, message
 
 
 def write_report(report: Dict[str, Any], path: str) -> None:

@@ -27,6 +27,7 @@ from dataclasses import dataclass
 from typing import Any, Dict, Iterator, List, Optional, Tuple
 
 from ..core.config import DeletionMode
+from ..core.engine import EngineConfig, EngineLike
 from ..core.errors import ReproError, TableFullError
 from ..core.resize import ResizableMcCuckoo
 from ..core.results import InsertOutcome
@@ -292,10 +293,12 @@ class LogStructuredStore:
         durable: bool = False,
         faults: Optional[FaultPlan] = None,
         shard_id: int = 0,
+        engine: EngineLike = None,
     ) -> None:
         if expected_items <= 0:
             raise ValueError("expected_items must be positive")
         self.mem = mem if mem is not None else MemoryModel()
+        self.engine = EngineConfig.coerce(engine)
         n_buckets = max(8, expected_items // 2)  # d=3 -> ~66 % initial load
         self._index = ResizableMcCuckoo(
             n_buckets,
@@ -304,6 +307,7 @@ class LogStructuredStore:
             grow_at=0.85,
             deletion_mode=DeletionMode.RESET,
             mem=self.mem,
+            engine=self.engine,
         )
         self._seed = seed
         self._log = (
@@ -469,9 +473,11 @@ class LogStructuredStore:
                 records_replayed=len(records),
                 tombstones_replayed=sum(1 for r in records if r.is_tombstone),
             )
-            return self._rebuild(records, report, durable=False, seed=self._seed)
+            return self._rebuild(
+                records, report, durable=False, seed=self._seed, engine=self.engine
+            )
         return self.recover_from_bytes(
-            data, durable=self.durable, seed=self._seed
+            data, durable=self.durable, seed=self._seed, engine=self.engine
         )
 
     @classmethod
@@ -483,6 +489,7 @@ class LogStructuredStore:
         durable: bool = True,
         faults: Optional[FaultPlan] = None,
         shard_id: int = 0,
+        engine: EngineLike = None,
     ) -> "LogStructuredStore":
         """Rebuild a store from a serialized (possibly torn) log image.
 
@@ -500,6 +507,7 @@ class LogStructuredStore:
             durable=durable,
             faults=faults,
             shard_id=shard_id,
+            engine=engine,
         )
 
     @classmethod
@@ -512,6 +520,7 @@ class LogStructuredStore:
         durable: bool = False,
         faults: Optional[FaultPlan] = None,
         shard_id: int = 0,
+        engine: EngineLike = None,
     ) -> "LogStructuredStore":
         """Reduce replayed records to final state and load a fresh store."""
         final: Dict[Key, Any] = {}
@@ -529,6 +538,7 @@ class LogStructuredStore:
             mem=MemoryModel(),
             durable=durable,
             shard_id=shard_id,
+            engine=engine,
         )
         for key, value in final.items():
             recovered.put(key, value)

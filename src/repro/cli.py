@@ -124,6 +124,13 @@ def _build_parser() -> argparse.ArgumentParser:
     bench_core.add_argument("--repeats", type=int, default=None,
                             help="best-of repeats per cell (default 3)")
     bench_core.add_argument("--seed", type=int, default=None)
+    bench_core.add_argument("--backend", default="python",
+                            choices=("python", "numpy", "auto", "both"),
+                            help="engine backend to measure; 'both' runs "
+                                 "python and numpy side by side")
+    bench_core.add_argument("--profile", action="store_true",
+                            help="one repeat per cell under cProfile; "
+                                 "print top-20 cumulative to stderr")
 
     serve = sub.add_parser("serve", help="run the KV service over TCP")
     serve.add_argument("--host", default="127.0.0.1")
@@ -145,6 +152,10 @@ def _build_parser() -> argparse.ArgumentParser:
                        help="seed for the fault plan's RNGs")
     serve.add_argument("--workers", type=int, default=0,
                        help="shard worker processes (0 = single-process)")
+    serve.add_argument("--engine", default="auto",
+                       choices=("python", "numpy", "auto"),
+                       help="batch-kernel backend for the shard indexes "
+                            "(default: auto = numpy when installed)")
 
     loadgen = sub.add_parser("loadgen", help="drive a workload at a server")
     loadgen.add_argument("--host", default="127.0.0.1")
@@ -417,6 +428,10 @@ def _cmd_bench_core(args: argparse.Namespace) -> int:
         overrides["repeats"] = args.repeats
     if args.seed is not None:
         overrides["seed"] = args.seed
+    if args.backend == "both":
+        overrides["backends"] = ("python", "numpy")
+    else:
+        overrides["backends"] = (args.backend,)
     if overrides:
         config = dataclasses.replace(config, **overrides)
     phases = tuple(
@@ -426,7 +441,8 @@ def _cmd_bench_core(args: argparse.Namespace) -> int:
     if unknown:
         print(f"unknown phases: {unknown}", file=sys.stderr)
         return 2
-    report = run_bench_core(config, phases=phases, verbose=True)
+    report = run_bench_core(config, phases=phases, verbose=True,
+                            profile=args.profile)
     print(render_report(report))
     if args.output != "-":
         write_report(report, args.output)
@@ -459,6 +475,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         request_timeout=args.timeout,
         durable=args.durable,
         fault_plan=fault_plan,
+        engine=args.engine,
     )
 
     if args.workers < 0:

@@ -4,6 +4,7 @@ from .batch import BatchResult, batched_lookup, serial_epochs
 from .blocked import BlockedMcCuckoo
 from .config import DeletionMode, FailurePolicy, SiblingTracking
 from .counters import BitArray, PackedArray
+from .engine import BACKENDS, EngineConfig
 from .errors import (
     ConfigurationError,
     InvariantViolationError,
@@ -31,10 +32,12 @@ from .results import (
 from .stash import OffChipStash, OnChipStash
 
 __all__ = [
+    "BACKENDS",
     "BatchResult",
     "BitArray",
     "BlockedMcCuckoo",
     "ConfigurationError",
+    "EngineConfig",
     "DeleteOutcome",
     "DeletionMode",
     "FailurePolicy",

@@ -36,6 +36,9 @@ class BatchResult:
     epochs: int = 0
     total_steps: int = 0
     depth: int = 1
+    prescreened: int = 0
+    """Keys answered by the bulk counter pre-screen, never entering the
+    scheduler (no generator, no epochs)."""
 
     @property
     def overlap_factor(self) -> float:
@@ -58,13 +61,25 @@ def _advance(generator) -> tuple:
         return True, stop.value
 
 
-def batched_lookup(table: Any, keys: Sequence[KeyLike], depth: int = 8) -> BatchResult:
+def batched_lookup(
+    table: Any,
+    keys: Sequence[KeyLike],
+    depth: int = 8,
+    prescreen: bool = False,
+) -> BatchResult:
     """Run ``keys`` through ``table.lookup_steps`` with ``depth``-way
     interleaving.
 
     Results are returned in input order.  ``table`` must provide
     ``lookup_steps`` (McCuckoo and CuckooTable do); a plain ``lookup`` is
     *not* enough because it cannot be suspended mid-flight.
+
+    With ``prescreen`` (and a table exposing ``prescreen_absent``), one
+    bulk counter read screens the whole batch first: keys the counters
+    prove absent get their miss outcome directly and never enter the
+    scheduler.  Accounting note: surviving keys re-read their counters
+    inside ``lookup_steps``, so the charged counter totals are higher than
+    an unscreened run — the off-chip reads and epochs are what shrink.
     """
     if depth < 1:
         raise ValueError("depth must be at least 1")
@@ -75,7 +90,19 @@ def batched_lookup(table: Any, keys: Sequence[KeyLike], depth: int = 8) -> Batch
         )
     result = BatchResult(depth=depth)
     result.outcomes = [None] * len(keys)  # type: ignore[list-item]
-    queue = list(enumerate(keys))
+    if prescreen and hasattr(table, "prescreen_absent") and len(keys):
+        screened_miss = LookupOutcome(found=False)
+        absent = table.prescreen_absent(keys)
+        survivors = []
+        for index, (key, is_absent) in enumerate(zip(keys, absent)):
+            if is_absent:
+                result.outcomes[index] = screened_miss
+                result.prescreened += 1
+            else:
+                survivors.append((index, key))
+        queue = survivors
+    else:
+        queue = list(enumerate(keys))
     queue.reverse()  # pop() from the front of the input order
     in_flight: List[tuple] = []
 

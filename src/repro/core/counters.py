@@ -14,9 +14,10 @@ checking and tests.
 
 from __future__ import annotations
 
-from typing import Iterator, List, Optional, Sequence
+from typing import Any, Iterator, List, Optional, Sequence
 
-from ..memory.model import CounterCharging, MemoryModel, Op, Tier
+from .._numpy import numpy_or_none
+from ..memory.model import MemoryModel, Op, Tier
 
 _SUPPORTED_BITS = (1, 2, 4, 8)
 
@@ -71,6 +72,21 @@ class PackedArray:
             value << offset
         )
 
+    def distinct_words(self, indices: Sequence[int]) -> int:
+        """How many distinct 64-bit SRAM words ``indices`` touch.
+
+        This is the explicit word-read dedup PER_WORD charging is defined
+        by: a candidate list that hits the same word twice (or the same
+        counter twice) costs one word read, not two.  Both the Python and
+        the NumPy bulk accessors bill through this definition.
+        """
+        per_word = _WORD_BITS // self.bits
+        return len({index // per_word for index in indices})
+
+    def _distinct_words_array(self, np: Any, indices: Any) -> int:
+        per_word = _WORD_BITS // self.bits
+        return int(np.unique(indices // per_word).size)
+
     # -- accounted access ----------------------------------------------------
 
     def get(self, index: int) -> int:
@@ -97,15 +113,17 @@ class PackedArray:
         ``get_many`` would record (one access per counter), so batched and
         scalar operations are indistinguishable to the paper figures.  In
         ``PER_WORD`` mode the charge is one access per distinct 64-bit word
-        touched — the word-wide read port a hardware counter block exposes.
+        touched — the word-wide read port a hardware counter block exposes,
+        with repeated words deduplicated by :meth:`distinct_words`.
         """
         if self._mem is not None and indices:
-            if self._mem.counter_charging is CounterCharging.PER_WORD:
-                per_word = _WORD_BITS // self.bits
-                words = len({index // per_word for index in indices})
-                self._mem.record(self._tier, Op.READ, self._label, words)
-            else:
-                self._mem.record(self._tier, Op.READ, self._label, len(indices))
+            self._mem.charge_counter_block(
+                self._tier,
+                Op.READ,
+                self._label,
+                len(indices),
+                lambda: self.distinct_words(indices),
+            )
         if not indices:
             return []
         if min(indices) < 0 or max(indices) >= self.length:
@@ -126,25 +144,101 @@ class PackedArray:
         :meth:`get_block` (per counter, or per distinct word in
         ``PER_WORD`` mode)."""
         if self._mem is not None and indices:
-            if self._mem.counter_charging is CounterCharging.PER_WORD:
-                per_word = _WORD_BITS // self.bits
-                words = len({index // per_word for index in indices})
-                self._mem.record(self._tier, Op.WRITE, self._label, words)
-            else:
-                self._mem.record(self._tier, Op.WRITE, self._label, len(indices))
+            self._mem.charge_counter_block(
+                self._tier,
+                Op.WRITE,
+                self._label,
+                len(indices),
+                lambda: self.distinct_words(indices),
+            )
         for index in indices:
             self.poke(index, value)
+
+    # -- vectorized access (NumPy engine) ------------------------------------
+
+    def get_block_array(self, indices: Any) -> Any:
+        """Vectorized :meth:`get_block` over a NumPy integer index array.
+
+        Returns an integer array of counter values in index order.  The
+        charge is identical to :meth:`get_block` on ``indices.tolist()``
+        in both charging modes: ``PER_COUNTER`` bills ``indices.size``
+        reads, ``PER_WORD`` bills one read per distinct word (deduped with
+        ``np.unique``, matching :meth:`distinct_words` exactly).
+        """
+        np = numpy_or_none()
+        if np is None:  # pragma: no cover - callers gate on the engine
+            raise RuntimeError("get_block_array requires numpy")
+        n = int(indices.size)
+        if n == 0:
+            return indices
+        lo, hi = int(indices.min()), int(indices.max())
+        if lo < 0 or hi >= self.length:
+            bad = lo if lo < 0 else hi
+            raise IndexError(f"index {bad} out of range [0, {self.length})")
+        if self._mem is not None:
+            self._mem.charge_counter_block(
+                self._tier,
+                Op.READ,
+                self._label,
+                n,
+                lambda: self._distinct_words_array(np, indices),
+            )
+        view = np.frombuffer(self._data, dtype=np.uint8)
+        offsets = (indices & (self._per_byte - 1)) * self.bits
+        return (view[indices >> self._index_shift] >> offsets) & self._mask
+
+    def set_block_array(self, indices: Any, value: int) -> None:
+        """Vectorized :meth:`set_block`: one ``value`` to an index array.
+
+        Duplicate indices (and distinct counters sharing a byte) are
+        handled with unbuffered ``ufunc.at`` read-modify-writes, so the
+        result is identical to the scalar loop.  Charging matches
+        :meth:`set_block` in both modes.
+        """
+        np = numpy_or_none()
+        if np is None:  # pragma: no cover - callers gate on the engine
+            raise RuntimeError("set_block_array requires numpy")
+        n = int(indices.size)
+        if n == 0:
+            return
+        if not 0 <= value <= self.max_value:
+            raise ValueError(f"value {value} does not fit in {self.bits} bits")
+        lo, hi = int(indices.min()), int(indices.max())
+        if lo < 0 or hi >= self.length:
+            bad = lo if lo < 0 else hi
+            raise IndexError(f"index {bad} out of range [0, {self.length})")
+        if self._mem is not None:
+            self._mem.charge_counter_block(
+                self._tier,
+                Op.WRITE,
+                self._label,
+                n,
+                lambda: self._distinct_words_array(np, indices),
+            )
+        view = np.frombuffer(self._data, dtype=np.uint8)
+        byte_idx = indices >> self._index_shift
+        offsets = ((indices & (self._per_byte - 1)) * self.bits).astype(np.uint8)
+        np.bitwise_and.at(
+            view, byte_idx, (~(self._mask << offsets)).astype(np.uint8)
+        )
+        np.bitwise_or.at(view, byte_idx, (value << offsets).astype(np.uint8))
 
     # -- bulk helpers --------------------------------------------------------
 
     def fill(self, value: int = 0) -> None:
-        """Unaccounted bulk reset (table construction / clear)."""
+        """Unaccounted bulk reset (table construction / clear).
+
+        Rewrites the backing store *in place* (one C-level slice
+        assignment), so NumPy views created over ``_data`` by the
+        vectorized accessors observe the reset instead of dangling on a
+        replaced buffer.
+        """
         if not 0 <= value <= self.max_value:
             raise ValueError(f"value {value} does not fit in {self.bits} bits")
         pattern = 0
         for slot in range(self._per_byte):
             pattern |= value << (slot * self.bits)
-        self._data = bytearray([pattern]) * len(self._data)
+        self._data[:] = bytes((pattern,)) * len(self._data)
 
     def __len__(self) -> int:
         return self.length

@@ -1,0 +1,102 @@
+"""Execution-engine selection for the vectorized batch kernels.
+
+The batched operations (``lookup_many``/``put_many``/``delete_many`` and
+the sharded/serving layers above them) have two interchangeable
+implementations:
+
+* a **pure-Python** path — always available, byte-identical to scalar
+  loops, and the default; and
+* a **NumPy** path — array-at-a-time candidate hashing, one-shot counter
+  gathers, and the paper's partition/probe plan derived array-wise, for
+  the regular batch shapes where interpreter overhead dominates.
+
+Both paths compute the same logical memory accesses and charge the
+:class:`~repro.memory.model.MemoryModel` identically (in *both*
+counter-charging modes), so switching backends never moves a paper
+figure; only host wall-clock changes.  The equivalence is enforced by
+``tests/properties/test_engine_equivalence.py``.
+
+NumPy is an optional extra (``pip install repro[fast]``).  Backend
+``"auto"`` picks NumPy when it imports, otherwise falls back silently;
+backend ``"numpy"`` demands it and raises
+:class:`~repro.core.errors.ConfigurationError` at construction time when
+it is missing.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Union
+
+from .._numpy import numpy_available, numpy_or_none
+from .errors import ConfigurationError
+
+BACKENDS = ("python", "numpy", "auto")
+
+EngineLike = Union[None, str, "EngineConfig"]
+
+
+@dataclass(frozen=True)
+class EngineConfig:
+    """How batch kernels execute.
+
+    ``backend``
+        ``"python"`` (default), ``"numpy"``, or ``"auto"`` (NumPy when
+        importable, else Python).
+    ``min_batch``
+        Batches smaller than this always take the Python path even when
+        NumPy is selected: array setup costs more than it saves on a
+        handful of keys.  The two paths are observationally equivalent,
+        so the threshold is purely a performance knob.
+    """
+
+    backend: str = "python"
+    min_batch: int = 16
+
+    def __post_init__(self) -> None:
+        if self.backend not in BACKENDS:
+            raise ConfigurationError(
+                f"unknown engine backend {self.backend!r}; expected one of {BACKENDS}"
+            )
+        if self.min_batch < 1:
+            raise ConfigurationError("min_batch must be >= 1")
+
+    @classmethod
+    def coerce(cls, value: EngineLike) -> "EngineConfig":
+        """Accept ``None`` (default), a backend name, or a config."""
+        if value is None:
+            return cls()
+        if isinstance(value, EngineConfig):
+            return value
+        if isinstance(value, str):
+            return cls(backend=value)
+        raise ConfigurationError(
+            f"engine must be None, a backend name, or an EngineConfig; got {value!r}"
+        )
+
+    def resolve(self) -> str:
+        """The concrete backend this config runs: ``"python"`` or ``"numpy"``.
+
+        Raises :class:`ConfigurationError` when NumPy was demanded
+        explicitly but is not importable.
+        """
+        if self.backend == "python":
+            return "python"
+        if self.backend == "numpy":
+            if not numpy_available():
+                raise ConfigurationError(
+                    "engine backend 'numpy' requested but numpy is not "
+                    "installed; install the optional extra (pip install "
+                    "repro[fast]) or use backend='auto'"
+                )
+            return "numpy"
+        return "numpy" if numpy_available() else "python"
+
+
+__all__ = [
+    "BACKENDS",
+    "EngineConfig",
+    "EngineLike",
+    "numpy_available",
+    "numpy_or_none",
+]

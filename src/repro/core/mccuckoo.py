@@ -19,12 +19,15 @@ buckets and tracks the number of live copies per bucket in an on-chip
 from __future__ import annotations
 
 import random
+from itertools import repeat
 from typing import Any, Dict, Iterable, Iterator, List, Optional, Sequence, Tuple
 
+from .._numpy import numpy_or_none
 from ..hashing import DEFAULT_FAMILY, MASK64, HashFamily, Key, KeyLike, canonical_key
 from ..memory.model import MemoryModel
 from .config import DeletionMode, FailurePolicy, SiblingTracking
 from .counters import BitArray, PackedArray
+from .engine import EngineConfig, EngineLike
 from .errors import (
     ConfigurationError,
     InvariantViolationError,
@@ -35,6 +38,11 @@ from .interface import HashTable
 from .policies import KickPolicy, RandomWalkPolicy
 from .results import DeleteOutcome, InsertOutcome, InsertStatus, LookupOutcome
 from .stash import OffChipStash
+
+
+# Infinite stream of False: stands in for the NumPy front-end's screen and
+# all-ones masks when the Python front-end drives the shared scan loop.
+_REPEAT_FALSE = repeat(False)
 
 
 def _counter_bits(d: int) -> int:
@@ -61,6 +69,11 @@ class McCuckoo(HashTable):
         ``on_failure`` is ``FailurePolicy.STASH``).
     deletion_mode / sibling_tracking / on_failure:
         See :mod:`repro.core.config`.
+    engine:
+        Batch-kernel execution backend (:class:`~repro.core.engine.EngineConfig`,
+        a backend name, or ``None`` for the pure-Python default).  Selecting
+        NumPy changes host wall-clock only: outcomes and MemoryModel charges
+        are identical by contract.
     """
 
     name = "McCuckoo"
@@ -80,6 +93,7 @@ class McCuckoo(HashTable):
         growth_factor: float = 2.0,
         max_rehash_attempts: int = 8,
         mem: Optional[MemoryModel] = None,
+        engine: EngineLike = None,
     ) -> None:
         super().__init__(mem)
         if n_buckets <= 0:
@@ -100,6 +114,11 @@ class McCuckoo(HashTable):
         self._seed = seed
         self._growth_factor = growth_factor
         self._max_rehash_attempts = max_rehash_attempts
+        self.engine = EngineConfig.coerce(engine)
+        # Resolve once at construction: backend="numpy" without NumPy fails
+        # here, not on the first batch.
+        self._engine_numpy = self.engine.resolve() == "numpy"
+        self._engine_min_batch = self.engine.min_batch
         self._rng = random.Random(seed ^ 0x5EED)
         self._policy = kick_policy if kick_policy is not None else RandomWalkPolicy()
         self._stash: Optional[OffChipStash] = None
@@ -550,63 +569,213 @@ class McCuckoo(HashTable):
     # ------------------------------------------------------------------
     #
     # Each kernel returns exactly what the scalar loop would and charges the
-    # same access totals (in PER_COUNTER mode): candidates come from the
+    # same access totals (in both charging modes): candidates come from the
     # family's multi-index fast path, counters from one get_block call per
     # batch (lookups) or per key (mutations, which need fresh values), and
     # off-chip bucket reads are accumulated and charged in one record call.
+    #
+    # Each kernel has two front-ends selected by the table's EngineConfig:
+    # the pure-Python one (always available, the default) and a NumPy one
+    # that computes the candidate matrix, gathers every counter in one shot
+    # and derives the paper's screen/probe plan array-wise.  Both feed the
+    # same Python scan over off-chip entries, so backend choice can never
+    # change an outcome or a charge — only wall-clock.
+
+    def _use_numpy(self, n_keys: int) -> bool:
+        return self._engine_numpy and n_keys >= self._engine_min_batch
+
+    def _bulk_candidates(self, ks: Sequence[Key]) -> Tuple[List[int], List[int]]:
+        """Flattened global candidate ids and their counter values for a
+        batch of canonical keys — one bulk charged counter read either way."""
+        n = self.n_buckets
+        d = self.d
+        if self._use_numpy(len(ks)):
+            np = numpy_or_none()
+            mat = self._family.candidates_matrix(
+                self._functions, np.array(ks, dtype=np.uint64), n
+            )
+            mat += np.arange(d, dtype=np.int64) * np.int64(n)
+            flat_idx = mat.reshape(-1)
+            return flat_idx.tolist(), self._counters.get_block_array(flat_idx).tolist()
+        raws = self._family.candidates_many(self._functions, ks, n)
+        flat = [table * n + raw[table] for raw in raws for table in range(d)]
+        return flat, self._counters.get_block(flat)
+
+    def prescreen_absent(self, keys: Sequence[KeyLike]) -> List[bool]:
+        """Principle-1 bulk pre-screen: ``True`` where the counters alone
+        prove the key was never inserted, so no off-chip probe (and no
+        generator, for the AMAC pipeline) is needed.
+
+        Charges the same d-per-key bulk counter read ``lookup_many``'s
+        screen records.  When rule 1 is inactive (RESET deletions) or
+        tombstones exist (a zero counter is only conclusive after a charged
+        tombstone read) the counters alone cannot screen, so every key is
+        conservatively ``False`` and nothing is charged.
+        """
+        ks = [self._canonical(key) for key in keys]
+        if not self._rule1_active() or self._tombstones is not None:
+            return [False] * len(ks)
+        d = self.d
+        _, vals_flat = self._bulk_candidates(ks)
+        return [
+            0 in vals_flat[base : base + d]
+            for base in range(0, len(vals_flat), d)
+        ]
 
     def lookup_many(self, keys: Sequence[KeyLike]) -> List[LookupOutcome]:
-        d = self.d
-        n = self.n_buckets
+        if self._use_numpy(len(keys)):
+            np = numpy_or_none()
+            if set(map(type, keys)) == {int}:
+                # All exact ints: let the uint64 conversion prove they are
+                # already canonical (negative or >= 2**64 raises
+                # OverflowError), skipping the per-key masking pass.  bool
+                # and float subtypes fail the type check, so they reach
+                # canonical_key below and error exactly as the scalar path.
+                try:
+                    arr = np.array(keys, dtype=np.uint64)
+                except OverflowError:
+                    arr = None
+                if arr is not None:
+                    ks = keys if type(keys) is list else list(keys)
+                    return self._lookup_many_numpy(ks, arr)
+            ks = [
+                key & MASK64 if type(key) is int else canonical_key(key)
+                for key in keys
+            ]
+            return self._lookup_many_numpy(ks, np.array(ks, dtype=np.uint64))
         # Inline the canonical fast path: int keys dominate every workload.
         ks = [
             key & MASK64 if type(key) is int else canonical_key(key)
             for key in keys
         ]
+        d = self.d
+        n = self.n_buckets
         raws = self._family.candidates_many(self._functions, ks, n)
         flat = [table * n + raw[table] for raw in raws for table in range(d)]
         vals_flat = self._counters.get_block(flat)
+        spans = range(0, len(flat), d)
+        return self._scan_lookups(
+            ks,
+            [flat[base : base + d] for base in spans],
+            [vals_flat[base : base + d] for base in spans],
+        )
+
+    def _lookup_many_numpy(self, ks: List[Key], arr: Any) -> List[LookupOutcome]:
+        """Vectorized lookup front-end: candidate matrix, one-shot counter
+        gather, and the paper's probe plan derived array-wise — rows with a
+        zero counter are misses before anything else happens (principle 1),
+        rows of all ones are flagged for the single-partition fast path.
+        ``arr`` is ``ks`` as a ``uint64`` array (the caller already built it
+        to prove canonicality).  The off-chip scan itself is
+        :meth:`_scan_lookups`, shared with the Python backend."""
+        np = numpy_or_none()
+        d = self.d
+        n = self.n_buckets
+        mat = self._family.candidates_matrix(self._functions, arr, n)
+        mat += np.arange(d, dtype=np.int64) * np.int64(n)  # global bucket ids
+        by_key = self._counters.get_block_array(mat.reshape(-1)).reshape(-1, d)
+        screen = all_ones = None
+        # The array-wise screen is only sound when a zero counter proves
+        # absence with no tombstone to consult; otherwise _scan_lookups
+        # falls back to the per-key rule (charging tombstone reads).
+        if self._rule1_active() and self._tombstones is None:
+            screen = (by_key == 0).any(axis=1).tolist()
+            all_ones = (by_key == 1).all(axis=1).tolist()
+        return self._scan_lookups(
+            ks, mat.tolist(), by_key.tolist(), screen, all_ones
+        )
+
+    def _scan_lookups(
+        self,
+        ks: List[Key],
+        cand_rows: List[List[int]],
+        val_rows: List[List[int]],
+        screen: Optional[List[bool]] = None,
+        all_ones: Optional[List[bool]] = None,
+    ) -> List[LookupOutcome]:
+        """The shared per-key probe loop over prefetched candidates/counters
+        (one d-list per key; both front-ends materialize the rows in bulk).
+
+        ``screen``/``all_ones`` are the NumPy front-end's precomputed
+        principle-1 masks; the Python front-end passes ``None`` and the
+        same decisions are made inline per key.
+        """
+        d = self.d
         # Principle-1 screen without the per-key method call: sound whenever
         # a zero counter proves absence and there are no tombstones to read.
         simple_screen = self._rule1_active() and self._tombstones is None
+        have_masks = screen is not None
+        if not have_masks:
+            # Dummy per-row mask streams so one zip drives both front-ends.
+            screen = all_ones = _REPEAT_FALSE
         keys_arr = self._keys
         values_arr = self._values
         flags = self._flags
         stash = self._stash
+        d3 = d == 3
         ones = [1] * d
         miss = LookupOutcome(found=False)
+        make_hit = LookupOutcome.hit
+        make_miss = LookupOutcome.miss
         outcomes: List[LookupOutcome] = []
         append_outcome = outcomes.append
         total_bucket_reads = 0
-        base = 0
-        for k in ks:
-            cands = flat[base : base + d]
-            vals = vals_flat[base : base + d]
-            base += d
-            if simple_screen:
+        for k, cands, vals, row_screened, row_ones in zip(
+            ks, cand_rows, val_rows, screen, all_ones
+        ):
+            if have_masks:
+                if row_screened:
+                    append_outcome(miss)
+                    continue
+            elif simple_screen:
                 if 0 in vals:
                     append_outcome(miss)
                     continue
+                row_ones = vals == ones
             elif self._never_inserted(cands, vals):
                 append_outcome(miss)
                 continue
-            found: Optional[LookupOutcome] = None
-            buckets_read = 0
-            probed: List[int] = []
-            if vals == ones:
+            else:
+                row_ones = vals == ones
+            if row_ones:
                 # Fast path for the dominant shape at load: one partition of
                 # value 1, probed in candidate order, no grouping needed.
-                for bucket in cands:
-                    buckets_read += 1
-                    if keys_arr[bucket] == k:
-                        found = LookupOutcome(
-                            found=True,
-                            value=values_arr[bucket],
-                            buckets_read=buckets_read,
-                        )
-                        break
-                    probed.append(bucket)
+                # A full miss probes every candidate, so the probed list the
+                # stash tail wants is just ``cands`` — no tracking needed.
+                probed = cands
+                if d3:
+                    # Unrolled d=3 (the paper's configuration): tuple unpack
+                    # plus direct probes beats the generic loop measurably.
+                    b0, b1, b2 = cands
+                    if keys_arr[b0] == k:
+                        total_bucket_reads += 1
+                        append_outcome(make_hit(values_arr[b0], 1))
+                        continue
+                    if keys_arr[b1] == k:
+                        total_bucket_reads += 2
+                        append_outcome(make_hit(values_arr[b1], 2))
+                        continue
+                    if keys_arr[b2] == k:
+                        total_bucket_reads += 3
+                        append_outcome(make_hit(values_arr[b2], 3))
+                        continue
+                    buckets_read = 3
+                else:
+                    buckets_read = 0
+                    hit_outcome: Optional[LookupOutcome] = None
+                    for bucket in cands:
+                        buckets_read += 1
+                        if keys_arr[bucket] == k:
+                            hit_outcome = make_hit(values_arr[bucket], buckets_read)
+                            break
+                    if hit_outcome is not None:
+                        total_bucket_reads += buckets_read
+                        append_outcome(hit_outcome)
+                        continue
             else:
+                probed = []
+                buckets_read = 0
+                hit_outcome = None
                 groups: Dict[int, List[int]] = {}
                 for bucket, v in zip(cands, vals):
                     if v:
@@ -618,28 +787,25 @@ class McCuckoo(HashTable):
                     for bucket in members[: len(members) - v + 1]:
                         buckets_read += 1
                         if keys_arr[bucket] == k:
-                            found = LookupOutcome(
-                                found=True,
-                                value=values_arr[bucket],
-                                buckets_read=buckets_read,
-                            )
+                            hit_outcome = make_hit(values_arr[bucket], buckets_read)
                             break
                         probed.append(bucket)
-                    if found is not None:
+                    if hit_outcome is not None:
                         break
+                if hit_outcome is not None:
+                    total_bucket_reads += buckets_read
+                    append_outcome(hit_outcome)
+                    continue
             total_bucket_reads += buckets_read
-            if found is not None:
-                append_outcome(found)
-                continue
             # Miss: the stash pre-screen needs the flags of the probed
             # buckets; they ride along with the bucket reads, so gathering
             # them here (peeks) charges nothing the probes didn't.
             if stash is None:
-                append_outcome(LookupOutcome(found=False, buckets_read=buckets_read))
+                append_outcome(make_miss(buckets_read))
                 continue
             flags_read = [flags.test(bucket) for bucket in probed]
             if not self._should_check_stash(vals, flags_read):
-                append_outcome(LookupOutcome(found=False, buckets_read=buckets_read))
+                append_outcome(make_miss(buckets_read))
                 continue
             s_found, s_value = stash.lookup(k)
             append_outcome(
@@ -667,20 +833,16 @@ class McCuckoo(HashTable):
         (non-collided keys in order, then collided keys in order).
         """
         items = [(self._canonical(key), value) for key, value in pairs]
-        n = self.n_buckets
         d = self.d
-        # Candidates never change, so one multi-key family call serves the
-        # whole batch; the counters for every candidate bucket are then
-        # fetched in ONE bulk get_block (same d-per-key accounting as the
-        # scalar path).  Earlier placements in the batch can invalidate the
-        # pre-read values, so every bucket a placement mutates lands in
-        # ``dirty``; a key whose candidates intersect it refreshes them with
-        # unaccounted peeks (the charged read already happened up front).
-        raws = self._family.candidates_many(
-            self._functions, [k for k, _ in items], n
-        )
-        flat = [table * n + raw[table] for raw in raws for table in range(d)]
-        vals_flat = self._counters.get_block(flat)
+        # Candidates never change, so one multi-key family call (or one
+        # candidate-matrix kernel under the NumPy engine) serves the whole
+        # batch; the counters for every candidate bucket are then fetched in
+        # ONE bulk read (same d-per-key accounting as the scalar path).
+        # Earlier placements in the batch can invalidate the pre-read
+        # values, so every bucket a placement mutates lands in ``dirty``; a
+        # key whose candidates intersect it refreshes them with unaccounted
+        # peeks (the charged read already happened up front).
+        flat, vals_flat = self._bulk_candidates([k for k, _ in items])
         outcomes: List[Optional[InsertOutcome]] = [None] * len(items)
         deferred: List[int] = []
         counters = self._counters
@@ -748,10 +910,20 @@ class McCuckoo(HashTable):
         n = self.n_buckets
         d = self.d
         ks = [self._canonical(key) for key in keys]
-        raws = self._family.candidates_many(self._functions, ks, n)
+        if self._use_numpy(len(ks)):
+            np = numpy_or_none()
+            mat = self._family.candidates_matrix(
+                self._functions, np.array(ks, dtype=np.uint64), n
+            )
+            mat += np.arange(d, dtype=np.int64) * np.int64(n)
+            cand_rows = mat.tolist()
+        else:
+            raws = self._family.candidates_many(self._functions, ks, n)
+            cand_rows = [
+                [table * n + raw[table] for table in range(d)] for raw in raws
+            ]
         outcomes: List[DeleteOutcome] = []
-        for k, raw in zip(ks, raws):
-            cands = [table * n + raw[table] for table in range(d)]
+        for k, cands in zip(ks, cand_rows):
             # Fresh per-key read: earlier deletes in the batch zero counters.
             vals = counters.get_block(cands)
             outcomes.append(self._delete_canonical(k, cands, vals))

@@ -29,6 +29,7 @@ from typing import Any, Iterator, List, Optional, Sequence, Tuple
 from ..hashing import Key, KeyLike
 from ..memory.model import MemoryModel
 from .config import DeletionMode, SiblingTracking
+from .engine import EngineLike
 from .errors import ConfigurationError
 from .interface import HashTable
 from .mccuckoo import McCuckoo
@@ -53,6 +54,7 @@ class ResizableMcCuckoo(HashTable):
         sibling_tracking: SiblingTracking = SiblingTracking.READ,
         stash_buckets: int = 64,
         mem: Optional[MemoryModel] = None,
+        engine: EngineLike = None,
         **table_kwargs: Any,
     ) -> None:
         super().__init__(mem)
@@ -77,6 +79,7 @@ class ResizableMcCuckoo(HashTable):
             deletion_mode=deletion_mode,
             sibling_tracking=sibling_tracking,
             stash_buckets=stash_buckets,
+            engine=engine,
             **table_kwargs,
         )
         self._active = self._make_table(n_buckets, seed)

@@ -56,6 +56,37 @@ class LookupOutcome:
     checked_stash: bool = False
     buckets_read: int = 0
 
+    # The generated __init__ of a frozen dataclass routes every field
+    # through object.__setattr__ (~1.5us per instance), which dominates the
+    # batch kernels' per-key budget.  These hot-path constructors build the
+    # two common shapes directly in __dict__; the instances are
+    # indistinguishable (eq, hash, repr, immutability) from ones made by
+    # __init__.
+
+    @classmethod
+    def hit(cls, value: Any, buckets_read: int) -> "LookupOutcome":
+        """A main-table hit (the batch kernels' dominant outcome)."""
+        self = object.__new__(cls)
+        fields = self.__dict__
+        fields["found"] = True
+        fields["value"] = value
+        fields["from_stash"] = False
+        fields["checked_stash"] = False
+        fields["buckets_read"] = buckets_read
+        return self
+
+    @classmethod
+    def miss(cls, buckets_read: int) -> "LookupOutcome":
+        """A miss that probed ``buckets_read`` buckets (no stash check)."""
+        self = object.__new__(cls)
+        fields = self.__dict__
+        fields["found"] = False
+        fields["value"] = None
+        fields["from_stash"] = False
+        fields["checked_stash"] = False
+        fields["buckets_read"] = buckets_read
+        return self
+
 
 @dataclass(frozen=True)
 class DeleteOutcome:

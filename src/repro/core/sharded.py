@@ -15,10 +15,12 @@ from __future__ import annotations
 
 from typing import Any, Iterable, Iterator, List, Optional, Sequence, Tuple
 
+from .._numpy import numpy_or_none
 from ..hashing import Key, KeyLike
-from ..hashing.splitmix import splitmix64
+from ..hashing.splitmix import splitmix64, splitmix64_array
 from ..memory.model import MemoryModel
 from .config import DeletionMode, SiblingTracking
+from .engine import EngineConfig, EngineLike
 from .errors import ConfigurationError
 from .interface import HashTable
 from .mccuckoo import McCuckoo
@@ -43,6 +45,28 @@ class ShardRouter:
     def shard_of(self, key: Key) -> int:
         """Which shard owns the canonical ``key``."""
         return splitmix64(key ^ self._salt) % self.n_shards
+
+    def shard_of_many(
+        self, keys: Sequence[Key], use_numpy: bool = False
+    ) -> List[int]:
+        """Shard owners for a batch of canonical keys.
+
+        With ``use_numpy`` (and NumPy importable) the whole batch is one
+        SplitMix64 array pass — bit-identical to the scalar mapping, since
+        ``uint64`` wrap-around *is* the scalar path's ``& MASK64``.
+        """
+        if use_numpy:
+            np = numpy_or_none()
+            if np is not None:
+                digests = splitmix64_array(
+                    np.array(keys, dtype=np.uint64) ^ np.uint64(self._salt)
+                )
+                return (
+                    (digests % np.uint64(self.n_shards)).astype(np.int64).tolist()
+                )
+        salt = self._salt
+        n = self.n_shards
+        return [splitmix64(k ^ salt) % n for k in keys]
 
     def worker_of(self, key: Key, n_workers: int) -> int:
         """Which of ``n_workers`` worker processes owns ``key``.
@@ -94,12 +118,16 @@ class ShardedMcCuckoo(HashTable):
         stash_buckets: int = 64,
         mem: Optional[MemoryModel] = None,
         shared_accounting: bool = True,
+        engine: EngineLike = None,
     ) -> None:
         super().__init__(mem)
         if n_buckets_per_shard <= 0:
             raise ConfigurationError("n_buckets_per_shard must be positive")
         self._router = ShardRouter(n_shards, seed=seed)
         self.n_shards = n_shards
+        self.engine = EngineConfig.coerce(engine)
+        self._engine_numpy = self.engine.resolve() == "numpy"
+        self._engine_min_batch = self.engine.min_batch
         self._shards: List[McCuckoo] = [
             McCuckoo(
                 n_buckets_per_shard,
@@ -110,6 +138,7 @@ class ShardedMcCuckoo(HashTable):
                 sibling_tracking=sibling_tracking,
                 stash_buckets=stash_buckets,
                 mem=self.mem if shared_accounting else MemoryModel(),
+                engine=self.engine,
             )
             for index in range(n_shards)
         ]
@@ -162,6 +191,13 @@ class ShardedMcCuckoo(HashTable):
         """Input positions and canonical keys owned by each shard."""
         positions: List[List[int]] = [[] for _ in range(self.n_shards)]
         grouped: List[List[Key]] = [[] for _ in range(self.n_shards)]
+        if self._engine_numpy and len(keys) >= self._engine_min_batch:
+            ks = [self._canonical(key) for key in keys]
+            shards = self._router.shard_of_many(ks, use_numpy=True)
+            for pos, (k, shard) in enumerate(zip(ks, shards)):
+                positions[shard].append(pos)
+                grouped[shard].append(k)
+            return positions, grouped
         shard_of = self._router.shard_of
         for pos, key in enumerate(keys):
             k = self._canonical(key)

@@ -16,7 +16,7 @@ from .family import (
     canonical_key,
 )
 from .modhash import ModFamily, ModHash
-from .splitmix import SplitMixFamily, SplitMixHash, splitmix64
+from .splitmix import SplitMixFamily, SplitMixHash, splitmix64, splitmix64_array
 from .tabulation import TabulationFamily, TabulationHash
 
 DEFAULT_FAMILY = SplitMixFamily()
@@ -54,4 +54,5 @@ __all__ = [
     "candidate_buckets",
     "canonical_key",
     "splitmix64",
+    "splitmix64_array",
 ]

@@ -10,10 +10,11 @@ McCuckoo shapes are insensitive to it.
 
 from __future__ import annotations
 
-from typing import List, Sequence
+from typing import Any, List, Sequence
 
+from .._numpy import numpy_or_none
 from .family import MASK64, HashFamily, HashFunction, Key
-from .splitmix import SplitMixHash, splitmix64
+from .splitmix import SplitMixHash, splitmix64, splitmix64_array
 
 
 class DoubleHash(HashFunction):
@@ -60,3 +61,23 @@ class DoubleHashFamily(HashFamily):
             ((h1 + fn.index * stride) & MASK64) % n_buckets  # type: ignore[attr-defined]
             for fn in functions
         ]
+
+    def candidates_matrix(
+        self, functions: Sequence[HashFunction], keys: Any, n_buckets: int
+    ) -> Any:
+        """Array kernel: two SplitMix passes over the key array, then one
+        wrapping multiply-add per sub-table (``uint64`` overflow is the
+        scalar path's ``& MASK64``)."""
+        np = numpy_or_none()
+        if np is None:  # pragma: no cover - callers gate on the engine
+            raise RuntimeError("candidates_matrix requires numpy")
+        first = functions[0]
+        assert isinstance(first, DoubleHash)
+        h1 = splitmix64_array(keys ^ np.uint64(first._h1.seed))
+        stride = splitmix64_array(keys ^ np.uint64(first._h2.seed)) | np.uint64(1)
+        n = np.uint64(n_buckets)
+        out = np.empty((int(keys.size), len(functions)), dtype=np.int64)
+        for column, fn in enumerate(functions):
+            mixed = h1 + np.uint64(fn.index) * stride  # type: ignore[attr-defined]
+            out[:, column] = (mixed % n).astype(np.int64)
+        return out

@@ -14,7 +14,9 @@ from __future__ import annotations
 
 from abc import ABC, abstractmethod
 from hashlib import blake2b
-from typing import List, Sequence, Union
+from typing import Any, List, Sequence, Union
+
+from .._numpy import numpy_or_none
 
 MASK64 = (1 << 64) - 1
 
@@ -95,6 +97,26 @@ class HashFamily(ABC):
         batched kernels' hottest loop.
         """
         return [self.candidates(functions, key, n_buckets) for key in keys]
+
+    def candidates_matrix(
+        self, functions: Sequence[HashFunction], keys: Any, n_buckets: int
+    ) -> Any:
+        """Candidate buckets for a ``uint64`` NumPy key array, as a
+        ``(len(keys), d)`` ``int64`` matrix.
+
+        Row ``i`` equals ``candidates(functions, int(keys[i]), n_buckets)``
+        — the vectorized engine relies on that equivalence.  This base
+        implementation is the *loop fallback* (families without a closed
+        arithmetic form, e.g. tabulation and BOB, keep it): it round-trips
+        through :meth:`candidates_many` and only pays NumPy conversion at
+        the edges.  SplitMix64 and double hashing override it with true
+        array kernels.
+        """
+        np = numpy_or_none()
+        if np is None:  # pragma: no cover - callers gate on the engine
+            raise RuntimeError("candidates_matrix requires numpy")
+        rows = self.candidates_many(functions, keys.tolist(), n_buckets)
+        return np.array(rows, dtype=np.int64).reshape(len(rows), len(functions))
 
 
 def candidate_buckets(

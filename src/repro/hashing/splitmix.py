@@ -9,19 +9,37 @@ the hash-quality tests and available to every table.)
 
 from __future__ import annotations
 
-from typing import List, Sequence
+from typing import Any, List, Sequence
 
+from .._numpy import numpy_or_none
 from .family import MASK64, HashFamily, HashFunction, Key
 
 _GOLDEN = 0x9E3779B97F4A7C15
+_MIX1 = 0xBF58476D1CE4E5B9
+_MIX2 = 0x94D049BB133111EB
 
 
 def splitmix64(x: int) -> int:
     """One round of the SplitMix64 output function."""
     x = (x + _GOLDEN) & MASK64
-    x = ((x ^ (x >> 30)) * 0xBF58476D1CE4E5B9) & MASK64
-    x = ((x ^ (x >> 27)) * 0x94D049BB133111EB) & MASK64
+    x = ((x ^ (x >> 30)) * _MIX1) & MASK64
+    x = ((x ^ (x >> 27)) * _MIX2) & MASK64
     return x ^ (x >> 31)
+
+
+def splitmix64_array(x: Any) -> Any:
+    """:func:`splitmix64` over a ``uint64`` NumPy array.
+
+    ``uint64`` arithmetic wraps modulo 2^64, which *is* the scalar
+    version's ``& MASK64``, so the two agree bit-for-bit on every input.
+    """
+    np = numpy_or_none()
+    if np is None:  # pragma: no cover - callers gate on the engine
+        raise RuntimeError("splitmix64_array requires numpy")
+    x = x + np.uint64(_GOLDEN)
+    x = (x ^ (x >> np.uint64(30))) * np.uint64(_MIX1)
+    x = (x ^ (x >> np.uint64(27))) * np.uint64(_MIX2)
+    return x ^ (x >> np.uint64(31))
 
 
 class SplitMixHash(HashFunction):
@@ -71,8 +89,23 @@ class SplitMixFamily(HashFamily):
             row: List[int] = []
             for seed in seeds:
                 x = (key ^ seed) + _GOLDEN & MASK64
-                x = ((x ^ (x >> 30)) * 0xBF58476D1CE4E5B9) & MASK64
-                x = ((x ^ (x >> 27)) * 0x94D049BB133111EB) & MASK64
+                x = ((x ^ (x >> 30)) * _MIX1) & MASK64
+                x = ((x ^ (x >> 27)) * _MIX2) & MASK64
                 row.append((x ^ (x >> 31)) % n_buckets)
             append(row)
+        return out
+
+    def candidates_matrix(
+        self, functions: Sequence[HashFunction], keys: Any, n_buckets: int
+    ) -> Any:
+        """True array kernel: one finalizer pass per sub-table over the
+        whole key array, no per-key Python at all."""
+        np = numpy_or_none()
+        if np is None:  # pragma: no cover - callers gate on the engine
+            raise RuntimeError("candidates_matrix requires numpy")
+        n = np.uint64(n_buckets)
+        out = np.empty((int(keys.size), len(functions)), dtype=np.int64)
+        for column, fn in enumerate(functions):
+            digest = splitmix64_array(keys ^ np.uint64(fn.seed))  # type: ignore[attr-defined]
+            out[:, column] = (digest % n).astype(np.int64)
         return out

@@ -15,7 +15,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 from enum import Enum
-from typing import Dict, Iterator, List, Optional, Tuple
+from typing import Callable, Dict, Iterator, List, Optional, Tuple, Union
 
 
 class Tier(Enum):
@@ -134,6 +134,30 @@ class MemoryModel:
                 if len(self._trace) >= self._trace_capacity:
                     self._trace.pop(0)
                 self._trace.append((tier, op, label))
+
+    def charge_counter_block(
+        self,
+        tier: Tier,
+        op: Op,
+        label: str,
+        n_counters: int,
+        n_words: Union[int, Callable[[], int]],
+    ) -> None:
+        """Charge one bulk counter access according to the charging mode.
+
+        This is the single place the ``PER_COUNTER`` / ``PER_WORD`` policy
+        is applied, so the Python and NumPy execution backends (and any
+        future one) cannot drift: the caller reports *both* the number of
+        logical counters touched and the number of distinct 64-bit SRAM
+        words they live in, and the mode picks which figure is billed.
+        ``n_words`` may be a thunk so the (set-building) word dedup is
+        only paid when ``PER_WORD`` is actually selected.
+        """
+        if self.counter_charging is CounterCharging.PER_WORD:
+            words = n_words() if callable(n_words) else n_words
+            self.record(tier, op, label, words)
+        else:
+            self.record(tier, op, label, n_counters)
 
     def onchip_read(self, label: str = "", count: int = 1) -> None:
         self.record(Tier.ON_CHIP, Op.READ, label, count)

@@ -80,6 +80,9 @@ class ServerConfig:
     durable: bool = False
     """Keep per-shard serialized log images so crashed shards can be
     rebuilt in place (forced on when a fault plan is set)."""
+    engine: str = "auto"
+    """Batch-kernel backend for the shard indexes ("python", "numpy",
+    "auto"); "auto" uses the NumPy engine when the extra is installed."""
     fault_plan: Optional[FaultPlan] = None
     """Deterministic fault injection (:mod:`repro.faults`): consulted by
     the store at append boundaries, by each writer loop per iteration, by
@@ -114,6 +117,7 @@ class McCuckooServer:
             seed=self.config.seed,
             durable=self.config.durable or self._faults is not None,
             faults=self._faults,
+            engine=self.config.engine,
         )
 
     # ------------------------------------------------------------------

@@ -17,6 +17,7 @@ from __future__ import annotations
 from typing import Any, Dict, List, Optional
 
 from ..apps.kvstore import LogStructuredStore, RecoveryReport
+from ..core.engine import EngineConfig, EngineLike
 from ..core.errors import ConfigurationError
 from ..core.results import InsertStatus
 from ..core.sharded import ShardRouter
@@ -50,11 +51,19 @@ class ShardedLogStore:
         durable: bool = False,
         faults: Optional[FaultPlan] = None,
         owned: Optional[List[int]] = None,
+        engine: EngineLike = "auto",
     ) -> None:
         if expected_items <= 0:
             raise ConfigurationError("expected_items must be positive")
         self._router = ShardRouter(n_shards, seed=seed)
         self._seed = seed
+        # The serving layer defaults to "auto": NumPy kernels when the
+        # extra is installed, the pure-Python engine otherwise.  Library
+        # tables keep "python" as their default; a server opts the whole
+        # store in at one place.
+        self.engine = EngineConfig.coerce(engine)
+        self._engine_numpy = self.engine.resolve() == "numpy"
+        self._engine_min_batch = self.engine.min_batch
         self._durable = durable or faults is not None
         self._faults = faults
         self._per_shard = max(64, expected_items // n_shards)
@@ -83,6 +92,7 @@ class ShardedLogStore:
             durable=self._durable,
             faults=self._faults,
             shard_id=index,
+            engine=self.engine,
         )
 
     # ------------------------------------------------------------------
@@ -128,10 +138,17 @@ class ShardedLogStore:
         through its store's bulk kernel, and reassemble in input order."""
         positions: List[List[int]] = [[] for _ in self._shards]
         grouped: List[List[KeyLike]] = [[] for _ in self._shards]
-        for pos, key in enumerate(keys):
-            shard = self._router.shard_of(canonical_key(key))
-            positions[shard].append(pos)
-            grouped[shard].append(key)
+        if self._engine_numpy and len(keys) >= self._engine_min_batch:
+            ks = [canonical_key(key) for key in keys]
+            shards = self._router.shard_of_many(ks, use_numpy=True)
+            for pos, (k, shard) in enumerate(zip(ks, shards)):
+                positions[shard].append(pos)
+                grouped[shard].append(k)
+        else:
+            for pos, key in enumerate(keys):
+                shard = self._router.shard_of(canonical_key(key))
+                positions[shard].append(pos)
+                grouped[shard].append(key)
         out: List[Optional[Any]] = [None] * len(keys)
         for shard, shard_keys in enumerate(grouped):
             if not shard_keys:
@@ -184,6 +201,7 @@ class ShardedLogStore:
             durable=True,
             faults=self._faults,
             shard_id=shard,
+            engine=self.engine,
         )
         self._shards[shard] = recovered
         report = recovered.recovery_report

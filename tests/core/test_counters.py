@@ -2,8 +2,9 @@
 
 import pytest
 
+from repro._numpy import numpy_available
 from repro.core.counters import BitArray, PackedArray
-from repro.memory.model import MemoryModel, Tier
+from repro.memory.model import CounterCharging, MemoryModel, Tier
 
 
 class TestConstruction:
@@ -154,3 +155,89 @@ class TestBitArray:
         bits.get(0)
         assert mem.on_chip.writes == 1
         assert mem.on_chip.reads == 1
+
+class TestBlockDedup:
+    """get_block/set_block charge per counter by default and per *distinct
+    64-bit word* under PER_WORD — duplicate and same-word indices dedup."""
+
+    def test_distinct_words_explicit(self):
+        array = PackedArray(256, bits=2)  # 32 counters per 64-bit word
+        assert array.distinct_words([0, 1, 31]) == 1
+        assert array.distinct_words([0, 32]) == 2
+        assert array.distinct_words([5, 5, 5]) == 1
+        assert array.distinct_words([0, 31, 32, 63, 64]) == 3
+
+    def test_get_block_per_counter_charges_every_index(self):
+        mem = MemoryModel()
+        array = PackedArray(256, bits=2, mem=mem)
+        array.get_block([0, 1, 2, 0])  # duplicates still charge
+        assert mem.on_chip.reads == 4
+
+    def test_get_block_per_word_dedups_same_word(self):
+        mem = MemoryModel(counter_charging=CounterCharging.PER_WORD)
+        array = PackedArray(256, bits=2, mem=mem)
+        array.get_block([0, 1, 31, 31])  # one 64-bit word
+        assert mem.on_chip.reads == 1
+        array.get_block([0, 32, 64])  # three words
+        assert mem.on_chip.reads == 4
+
+    def test_set_block_charging_both_modes(self):
+        per_counter = MemoryModel()
+        array = PackedArray(256, bits=2, mem=per_counter)
+        array.set_block([0, 1, 33], 2)
+        assert per_counter.on_chip.writes == 3
+
+        per_word = MemoryModel(counter_charging=CounterCharging.PER_WORD)
+        array = PackedArray(256, bits=2, mem=per_word)
+        array.set_block([0, 1, 33], 2)
+        assert per_word.on_chip.writes == 2
+
+
+@pytest.mark.skipif(not numpy_available(), reason="NumPy not installed")
+class TestArrayKernels:
+    """The NumPy block kernels return the same values and charge the same
+    totals as the scalar block path, for every supported width."""
+
+    @pytest.mark.parametrize("bits", [1, 2, 4, 8])
+    @pytest.mark.parametrize(
+        "charging", [CounterCharging.PER_COUNTER, CounterCharging.PER_WORD],
+        ids=lambda c: c.name.lower())
+    def test_get_block_array_matches_scalar(self, bits, charging):
+        import numpy as np
+
+        scalar_mem = MemoryModel(counter_charging=charging)
+        array_mem = MemoryModel(counter_charging=charging)
+        scalar = PackedArray(300, bits=bits, mem=scalar_mem)
+        vectored = PackedArray(300, bits=bits, mem=array_mem)
+        for index in range(0, 300, 3):
+            scalar.poke(index, index % (scalar.max_value + 1))
+            vectored.poke(index, index % (vectored.max_value + 1))
+        indices = [0, 7, 7, 64, 65, 299, 128, 1]
+        expected = scalar.get_block(indices)
+        got = vectored.get_block_array(np.array(indices, dtype=np.int64))
+        assert got.tolist() == expected
+        assert scalar_mem.summary() == array_mem.summary()
+
+    @pytest.mark.parametrize("bits", [1, 2, 4, 8])
+    def test_set_block_array_matches_scalar(self, bits):
+        import numpy as np
+
+        scalar_mem = MemoryModel(counter_charging=CounterCharging.PER_WORD)
+        array_mem = MemoryModel(counter_charging=CounterCharging.PER_WORD)
+        scalar = PackedArray(300, bits=bits, mem=scalar_mem)
+        vectored = PackedArray(300, bits=bits, mem=array_mem)
+        indices = [0, 5, 5, 64, 299]  # duplicate index: last write wins
+        value = min(1, scalar.max_value)
+        scalar.set_block(indices, value)
+        vectored.set_block_array(np.array(indices, dtype=np.int64), value)
+        assert bytes(scalar._data) == bytes(vectored._data)
+        assert scalar_mem.summary() == array_mem.summary()
+
+    def test_get_block_array_bounds_checked(self):
+        import numpy as np
+
+        array = PackedArray(16, bits=2)
+        with pytest.raises(IndexError):
+            array.get_block_array(np.array([0, 16], dtype=np.int64))
+        with pytest.raises(IndexError):
+            array.get_block_array(np.array([-1, 3], dtype=np.int64))

@@ -1,7 +1,10 @@
 """Tests for key canonicalisation and the hash-family interface."""
 
+import random
+
 import pytest
 
+from repro._numpy import numpy_available
 from repro.hashing import (
     FAMILIES,
     MASK64,
@@ -118,3 +121,44 @@ def test_candidate_buckets_deterministic():
     assert candidate_buckets(functions, 999, 50) == candidate_buckets(
         functions, 999, 50
     )
+
+
+@pytest.mark.skipif(not numpy_available(), reason="NumPy not installed")
+@pytest.mark.parametrize("family_name", sorted(FAMILIES))
+class TestCandidatesMatrix:
+    """candidates_matrix is bit-identical to candidates_many for every
+    family — SplitMix and double hashing via their true array kernels,
+    the rest via the base-class loop fallback."""
+
+    def test_matches_candidates_many(self, family_name):
+        import numpy as np
+
+        family = FAMILIES[family_name]
+        functions = family.functions(3, seed=11)
+        rng = random.Random(11)
+        keys = [rng.getrandbits(64) for _ in range(500)]
+        expected = family.candidates_many(functions, keys, 977)
+        matrix = family.candidates_matrix(
+            functions, np.array(keys, dtype=np.uint64), 977)
+        assert matrix.shape == (500, 3)
+        assert matrix.tolist() == expected
+
+    def test_empty_batch(self, family_name):
+        import numpy as np
+
+        family = FAMILIES[family_name]
+        functions = family.functions(3, seed=11)
+        matrix = family.candidates_matrix(
+            functions, np.array([], dtype=np.uint64), 97)
+        assert matrix.shape == (0, 3)
+
+    def test_extreme_keys(self, family_name):
+        import numpy as np
+
+        family = FAMILIES[family_name]
+        functions = family.functions(4, seed=5)
+        keys = [0, 1, MASK64, MASK64 - 1, 0x8000_0000_0000_0000]
+        expected = family.candidates_many(functions, keys, 131)
+        matrix = family.candidates_matrix(
+            functions, np.array(keys, dtype=np.uint64), 131)
+        assert matrix.tolist() == expected

@@ -1,0 +1,205 @@
+"""Property tests: the NumPy engine is observationally identical to the
+pure-Python engine.
+
+The engine contract (``core/engine.py``): backend choice can change
+wall-clock only.  Twin tables (same seed and configuration, one per
+backend) driven through the same seeded op stream must produce
+byte-identical outcomes, identical raw counter bytes, identical counter
+histograms, and identical :class:`MemoryModel` totals in both charging
+modes — including kick-outs, stash spills, and the AMAC batched-lookup
+composition.
+
+Skips cleanly when NumPy is not installed (the fallback-only CI leg).
+"""
+
+import random
+
+import pytest
+
+from repro._numpy import numpy_available
+from repro.core.batch import batched_lookup
+from repro.core.config import DeletionMode
+from repro.core.engine import EngineConfig
+from repro.core.errors import ConfigurationError
+from repro.core.mccuckoo import McCuckoo
+from repro.core.resize import ResizableMcCuckoo
+from repro.core.sharded import ShardedMcCuckoo, ShardRouter
+from repro.memory.model import CounterCharging, MemoryModel
+from tests.seeding import derive
+
+requires_numpy = pytest.mark.skipif(
+    not numpy_available(), reason="NumPy engine not installed"
+)
+
+MODES = (DeletionMode.DISABLED, DeletionMode.RESET, DeletionMode.TOMBSTONE)
+CHARGING = (CounterCharging.PER_COUNTER, CounterCharging.PER_WORD)
+
+
+def twin_engines(mode, charging, n_buckets=401, d=3, **kwargs):
+    """One python-backend and one numpy-backend table, otherwise identical.
+
+    min_batch=1 forces the array kernels onto every batch, however small,
+    so the equivalence claim covers the whole dispatch range.
+    """
+    make = lambda backend: McCuckoo(  # noqa: E731
+        n_buckets, d=d, seed=derive(3), deletion_mode=mode,
+        mem=MemoryModel(counter_charging=charging),
+        engine=EngineConfig(backend=backend, min_batch=1), **kwargs)
+    return make("python"), make("numpy")
+
+
+def counter_histogram(table):
+    counters = table._counters
+    histogram = {}
+    for index in range(table.d * table.n_buckets):
+        value = counters.peek(index)
+        histogram[value] = histogram.get(value, 0) + 1
+    return histogram
+
+
+def assert_same_state(py, np_):
+    assert bytes(py._counters._data) == bytes(np_._counters._data)
+    assert counter_histogram(py) == counter_histogram(np_)
+    assert sorted(py.items()) == sorted(np_.items())
+    assert py.mem.summary() == np_.mem.summary()
+
+
+@requires_numpy
+@pytest.mark.parametrize("charging", CHARGING, ids=lambda c: c.name.lower())
+@pytest.mark.parametrize("mode", MODES, ids=lambda m: m.name.lower())
+class TestSeededStreams:
+    def test_mixed_op_stream(self, mode, charging):
+        """A seeded put/lookup/delete stream, batched and scalar ops mixed,
+        leaves both backends in byte-identical states throughout."""
+        py, np_ = twin_engines(mode, charging)
+        rng = random.Random(derive(31))
+        live = []
+        for round_no in range(12):
+            pairs = [(rng.getrandbits(64), rng.randrange(1000))
+                     for _ in range(90)]
+            live.extend(key for key, _ in pairs)
+            assert py.put_many(pairs) == np_.put_many(pairs)
+
+            queries = [rng.choice(live) if rng.random() < 0.7
+                       else rng.getrandbits(64) for _ in range(150)]
+            assert py.lookup_many(queries) == np_.lookup_many(queries)
+            probe = queries[0]
+            assert py.lookup(probe) == np_.lookup(probe)
+
+            if mode is not DeletionMode.DISABLED and round_no % 3 == 2:
+                victims = [rng.choice(live) for _ in range(30)]
+                victims += [rng.getrandbits(64) for _ in range(10)]
+                assert py.delete_many(victims) == np_.delete_many(victims)
+            assert_same_state(py, np_)
+
+    def test_kicks_and_stash_spills(self, mode, charging):
+        """Driving tiny twins past capacity: kick-outs and stash spills
+        happen on both backends in exactly the same places."""
+        py, np_ = twin_engines(mode, charging, n_buckets=40, maxloop=30,
+                               stash_buckets=8)
+        rng = random.Random(derive(32))
+        pairs = [(rng.getrandbits(64), i) for i in range(135)]
+        py_out = py.put_many(pairs)
+        np_out = np_.put_many(pairs)
+        assert py_out == np_out
+        assert any(outcome.stashed for outcome in py_out), "workload too small"
+        assert py.total_kicks == np_.total_kicks > 0
+        assert_same_state(py, np_)
+        queries = [key for key, _ in pairs]
+        queries += [rng.getrandbits(64) for _ in range(200)]
+        assert py.lookup_many(queries) == np_.lookup_many(queries)
+        assert py.mem.summary() == np_.mem.summary()
+
+    def test_prescreen_and_batched_lookup(self, mode, charging):
+        """prescreen_absent and the AMAC composition agree across backends
+        (outcomes and charged totals)."""
+        py, np_ = twin_engines(mode, charging)
+        rng = random.Random(derive(33))
+        pairs = [(rng.getrandbits(64), i) for i in range(700)]
+        py.put_many(pairs)
+        np_.put_many(pairs)
+        queries = [key for key, _ in pairs[::3]]
+        queries += [rng.getrandbits(64) for _ in range(300)]
+        assert py.prescreen_absent(queries) == np_.prescreen_absent(queries)
+        py_res = batched_lookup(py, queries, prescreen=True)
+        np_res = batched_lookup(np_, queries, prescreen=True)
+        assert py_res.outcomes == np_res.outcomes
+        assert py_res.prescreened == np_res.prescreened
+        assert (py_res.epochs, py_res.total_steps) == \
+            (np_res.epochs, np_res.total_steps)
+        assert py.mem.summary() == np_.mem.summary()
+
+
+@requires_numpy
+class TestHigherLayers:
+    def test_d4_generic_path(self):
+        """d=4 exercises the non-unrolled probe loop on both backends."""
+        py, np_ = twin_engines(DeletionMode.RESET,
+                               CounterCharging.PER_COUNTER, d=4)
+        rng = random.Random(derive(34))
+        pairs = [(rng.getrandbits(64), i) for i in range(1000)]
+        assert py.put_many(pairs) == np_.put_many(pairs)
+        queries = [key for key, _ in pairs[::2]]
+        queries += [rng.getrandbits(64) for _ in range(300)]
+        assert py.lookup_many(queries) == np_.lookup_many(queries)
+        assert_same_state(py, np_)
+
+    def test_sharded_twins(self):
+        make = lambda backend: ShardedMcCuckoo(  # noqa: E731
+            4, 200, seed=derive(35),
+            engine=EngineConfig(backend=backend, min_batch=1))
+        py, np_ = make("python"), make("numpy")
+        rng = random.Random(derive(35))
+        pairs = [(rng.getrandbits(64), i) for i in range(1500)]
+        assert py.put_many(pairs) == np_.put_many(pairs)
+        queries = [key for key, _ in pairs[::2]]
+        queries += [rng.getrandbits(64) for _ in range(400)]
+        assert py.lookup_many(queries) == np_.lookup_many(queries)
+        assert py.mem.summary() == np_.mem.summary()
+
+    def test_shard_router_batch_matches_scalar(self):
+        router = ShardRouter(9, seed=derive(36))
+        rng = random.Random(derive(36))
+        keys = [rng.getrandbits(64) for _ in range(2000)]
+        scalar = [router.shard_of(key) for key in keys]
+        assert router.shard_of_many(keys) == scalar
+        assert router.shard_of_many(keys, use_numpy=True) == scalar
+
+    def test_resizable_growth_keeps_engine(self):
+        make = lambda backend: ResizableMcCuckoo(  # noqa: E731
+            64, seed=derive(37),
+            engine=EngineConfig(backend=backend, min_batch=1))
+        py, np_ = make("python"), make("numpy")
+        rng = random.Random(derive(37))
+        keys = [rng.getrandbits(64) for _ in range(900)]
+        for key in keys:
+            assert py.put(key, key) == np_.put(key, key)
+        assert py.generations == np_.generations > 0
+        assert np_.active_table._engine_numpy
+        queries = keys[::2] + [rng.getrandbits(64) for _ in range(200)]
+        assert py.lookup_many(queries) == np_.lookup_many(queries)
+
+
+class TestEngineConfig:
+    def test_defaults_and_coercion(self):
+        assert EngineConfig.coerce(None) == EngineConfig()
+        assert EngineConfig.coerce("python").backend == "python"
+        config = EngineConfig(backend="auto", min_batch=4)
+        assert EngineConfig.coerce(config) is config
+        with pytest.raises(ConfigurationError):
+            EngineConfig.coerce("vectorized")
+        with pytest.raises(ConfigurationError):
+            EngineConfig(backend="python", min_batch=0)
+
+    def test_python_always_resolves(self):
+        assert EngineConfig(backend="python").resolve() == "python"
+
+    def test_auto_resolution_matches_availability(self):
+        expected = "numpy" if numpy_available() else "python"
+        assert EngineConfig(backend="auto").resolve() == expected
+
+    @requires_numpy
+    def test_numpy_resolves_when_available(self):
+        assert EngineConfig(backend="numpy").resolve() == "numpy"
+        table = McCuckoo(64, engine="numpy")
+        assert table._engine_numpy
