@@ -1,0 +1,54 @@
+"""Ablation: bucket write-wear under the three kick policies.
+
+Flash/NVM lifetime is decided by the hottest bucket (Eppstein et al.,
+arXiv 1404.0286), so the metric is **max** per-bucket writes — the total
+is fixed by the workload, only the distribution moves.  The wear-aware
+policy must level the surface relative to random-walk without paying a
+drastic kick overhead.
+"""
+
+from repro import McCuckoo, WearAwarePolicy
+from repro.analysis import Scale, ablation_wear_policy
+from repro.memory.wear import WearMeter
+from repro.workloads import distinct_keys
+
+
+def _scale(bench_scale):
+    return Scale(n_single=max(400, bench_scale.n_single // 2),
+                 repeats=bench_scale.repeats, n_queries=bench_scale.n_queries)
+
+
+def test_ablation_wear_policy(benchmark, bench_scale, save_result):
+    result = ablation_wear_policy(_scale(bench_scale))
+    save_result(result)
+
+    for load in (0.85, 0.9):
+        rows = {row["policy"]: row for row in result.filter_rows(load=load)}
+        # leveling: the wear-aware policy may not exceed random-walk's
+        # hottest bucket, and must keep a flatter max/mean surface
+        assert (rows["wear-aware"]["max_wear"]
+                <= rows["random-walk"]["max_wear"])
+        assert (rows["wear-aware"]["wear_imbalance"]
+                <= rows["random-walk"]["wear_imbalance"] * 1.05)
+        # the leveling must not cost a drastic kick overhead
+        assert (rows["wear-aware"]["kicks_per_insert"]
+                <= rows["random-walk"]["kicks_per_insert"] * 1.5 + 0.05)
+
+    # wear accounting invariant: the meter sees every off-chip bucket
+    # write regardless of policy, so totals match the memory model's story
+    meter = WearMeter()
+    table = McCuckoo(300, d=3, seed=124, kick_policy=WearAwarePolicy(),
+                     wear_meter=meter)
+    keys = distinct_keys(int(table.capacity * 0.85), seed=125)
+    state = {"i": 0}
+
+    def wear_aware_insert():
+        if state["i"] < len(keys):
+            table.put(keys[state["i"]])
+            state["i"] += 1
+        else:
+            table.lookup(keys[0])
+
+    benchmark(wear_aware_insert)
+    assert meter.total_writes > 0
+    assert meter.max_wear >= 1

@@ -32,6 +32,7 @@ from .core import (
     McCuckooMultiMap,
     MinCounterPolicy,
     RandomWalkPolicy,
+    WearAwarePolicy,
     ResizableMcCuckoo,
     ShardedMcCuckoo,
     SiblingTracking,
@@ -42,7 +43,7 @@ from .core import (
 )
 from .filters import BloomFilter, CuckooFilter
 from .hashing import canonical_key
-from .memory import PAPER_FPGA, LatencyModel, MemoryModel
+from .memory import PAPER_FPGA, LatencyModel, MemoryModel, WearMeter
 
 __version__ = "1.0.0"
 
@@ -67,6 +68,8 @@ __all__ = [
     "McCuckooMultiMap",
     "MemoryModel",
     "MinCounterPolicy",
+    "WearAwarePolicy",
+    "WearMeter",
     "PAPER_FPGA",
     "RandomWalkPolicy",
     "ResizableMcCuckoo",

@@ -24,7 +24,9 @@ from ..core import (
     MinCounterPolicy,
     RandomWalkPolicy,
     SiblingTracking,
+    WearAwarePolicy,
 )
+from ..memory.wear import WearMeter
 from ..hashing import Key
 from ..memory.latency import PAPER_FPGA, LatencyModel
 from ..memory.model import OpStats
@@ -884,6 +886,59 @@ def ablation_d_sweep(
     return result
 
 
+def ablation_wear_policy(
+    scale: Scale = Scale(), loads: Sequence[float] = (0.7, 0.85, 0.9)
+) -> ExperimentResult:
+    """Bucket write-wear under random-walk vs MinCounter vs wear-aware kicks.
+
+    Eppstein et al. (arXiv 1404.0286) cast flash/NVM lifetime as
+    minimizing the *maximum* per-bucket write count.  Every policy pays
+    the same total writes for the same fill; the wear-aware policy only
+    redistributes them, so the interesting columns are ``max_wear`` and
+    ``wear_imbalance`` (max/mean — 1.0 is perfectly level).
+    """
+    result = ExperimentResult(
+        "ablation-wear",
+        "Kick policy wear: random-walk vs MinCounter vs wear-aware",
+        columns=("policy", "load", "max_wear", "mean_wear",
+                 "wear_imbalance", "kicks_per_insert"),
+    )
+    for policy_name, policy_factory in (
+        ("random-walk", RandomWalkPolicy),
+        ("mincounter", MinCounterPolicy),
+        ("wear-aware", WearAwarePolicy),
+    ):
+        for load in loads:
+            max_sum = mean_sum = imbalance_sum = kicks_sum = 0.0
+            for repeat in range(scale.repeats):
+                seed = scale.seed + repeat * 7001
+                meter = WearMeter()
+                table = McCuckoo(
+                    scale.n_single,
+                    d=scale.d,
+                    maxloop=scale.maxloop,
+                    seed=seed,
+                    kick_policy=policy_factory(),
+                    stash_buckets=scale.stash_buckets,
+                    wear_meter=meter,
+                )
+                points = measured_fill(table, (load,),
+                                       key_stream(seed=seed ^ 0x3EA4))
+                max_sum += meter.max_wear
+                mean_sum += meter.mean_wear
+                imbalance_sum += meter.wear_imbalance
+                kicks_sum += points[0].insert_stats.kicks_per_op
+            result.add_row(
+                policy=policy_name,
+                load=load,
+                max_wear=max_sum / scale.repeats,
+                mean_wear=round(mean_sum / scale.repeats, 4),
+                wear_imbalance=round(imbalance_sum / scale.repeats, 4),
+                kicks_per_insert=round(kicks_sum / scale.repeats, 4),
+            )
+    return result
+
+
 ALL_EXPERIMENTS = {
     "fig9": fig9_kickouts,
     "fig10": fig10_memaccess,
@@ -903,4 +958,5 @@ ALL_EXPERIMENTS = {
     "ablation-d": ablation_d_sweep,
     "ablation-screen": ablation_blocked_counter_screen,
     "ablation-path": ablation_path_insert,
+    "ablation-wear": ablation_wear_policy,
 }

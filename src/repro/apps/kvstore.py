@@ -21,7 +21,9 @@ all index traffic accounted through the usual :class:`MemoryModel`.
 from __future__ import annotations
 
 import json
+import pickle
 import struct
+import time
 import zlib
 from dataclasses import dataclass
 from typing import Any, Dict, Iterator, List, Optional, Tuple
@@ -31,6 +33,7 @@ from ..core.engine import EngineConfig, EngineLike
 from ..core.errors import ReproError, TableFullError
 from ..core.resize import ResizableMcCuckoo
 from ..core.results import InsertOutcome
+from ..core.snapshot import restore_resizable, snapshot_resizable
 from ..faults import FaultPlan, InjectedCrash
 from ..hashing import Key, KeyLike, canonical_key
 from ..memory.model import MemoryModel
@@ -91,7 +94,13 @@ def _decode_value(kind: int, payload: bytes) -> Any:
 
 @dataclass
 class RecoveryReport:
-    """What :meth:`LogStructuredStore.recover_from_bytes` found and did."""
+    """What :meth:`LogStructuredStore.recover_from_bytes` found and did.
+
+    With checkpointed recovery (:meth:`LogStructuredStore.recover_with_checkpoint`)
+    the checkpoint/tail split is reported too: ``checkpoint_records`` log
+    records were covered by the restored index snapshot and only
+    ``tail_records_replayed`` records were replayed into the index.
+    """
 
     records_replayed: int = 0
     tombstones_replayed: int = 0
@@ -99,15 +108,27 @@ class RecoveryReport:
     bytes_scanned: int = 0
     bytes_truncated: int = 0
     torn_tail: bool = False
+    checkpoint_loaded: bool = False
+    checkpoint_records: int = 0
+    tail_records_replayed: int = 0
+    checkpoint_invalid: bool = False
 
     def render(self) -> str:
-        return (
+        base = (
             f"recovered {self.live_keys} live keys from "
             f"{self.records_replayed} records "
             f"({self.tombstones_replayed} tombstones); "
             f"scanned {self.bytes_scanned} bytes, "
             f"truncated {self.bytes_truncated} torn-tail bytes"
         )
+        if self.checkpoint_loaded:
+            base += (
+                f"; checkpoint covered {self.checkpoint_records} records, "
+                f"replayed a {self.tail_records_replayed}-record tail"
+            )
+        elif self.checkpoint_invalid:
+            base += "; checkpoint missing/stale/torn -> full replay"
+        return base
 
 
 def scan_log_bytes(data: bytes) -> Tuple[List["LogRecord"], RecoveryReport]:
@@ -150,7 +171,7 @@ def scan_log_bytes(data: bytes) -> Tuple[List["LogRecord"], RecoveryReport]:
         if len(payload) != value_length:
             pos = start
             break
-        records.append(LogRecord(key, _decode_value(kind, payload)))
+        records.append(LogRecord(key, _decode_value(kind, payload), pos - start))
         report.records_replayed += 1
         if records[-1].is_tombstone:
             report.tombstones_replayed += 1
@@ -161,10 +182,16 @@ def scan_log_bytes(data: bytes) -> Tuple[List["LogRecord"], RecoveryReport]:
 
 @dataclass(frozen=True)
 class LogRecord:
-    """One appended record; ``value`` is ``_TOMBSTONE`` for deletions."""
+    """One appended record; ``value`` is ``_TOMBSTONE`` for deletions.
+
+    ``size`` is the record's serialized footprint in bytes (length prefix
+    included) when known — durable logs and :func:`scan_log_bytes` fill it
+    in; plain in-memory logs leave it 0.
+    """
 
     key: Key
     value: Any
+    size: int = 0
 
     @property
     def is_tombstone(self) -> bool:
@@ -177,9 +204,9 @@ class ValueLog:
     def __init__(self) -> None:
         self._records: List[LogRecord] = []
 
-    def append(self, key: Key, value: Any) -> int:
+    def append(self, key: Key, value: Any, size: int = 0) -> int:
         """Append a record; returns its offset."""
-        self._records.append(LogRecord(key, value))
+        self._records.append(LogRecord(key, value, size))
         return len(self._records) - 1
 
     def append_tombstone(self, key: Key) -> int:
@@ -224,21 +251,30 @@ class DurableValueLog(ValueLog):
         """The serialized log as a crash would find it."""
         return bytes(self._image)
 
+    @property
+    def image_size(self) -> int:
+        """Byte length of the image without copying it."""
+        return len(self._image)
+
     def attach_faults(self, faults: Optional[FaultPlan], shard: int) -> None:
         self._faults = faults
         self._shard = shard
 
-    def attach_sink(self, sink) -> None:
+    def attach_sink(self, sink, already_synced: bool = False) -> None:
         """Mirror the byte image into ``sink`` (a writable binary file).
 
         Needed when the log must survive the *process*, not just an
         in-memory crash simulation — worker processes attach their durable
         log file here so the supervisor can replay it after a hard kill.
         The current image is written out immediately; the caller owns
-        truncation/positioning of the file.
+        truncation/positioning of the file.  ``already_synced=True`` skips
+        that initial write — used after a compaction commit, where the new
+        image was already written to a temp file and atomically renamed
+        into place (re-writing through a truncating handle would reopen
+        the very torn-file window the rename closed).
         """
         self._sink = sink
-        self._synced = 0
+        self._synced = len(self._image) if already_synced else 0
         self._sync()
 
     def _sync(self) -> None:
@@ -265,7 +301,7 @@ class DurableValueLog(ValueLog):
                     f"(shard {self._shard})"
                 )
             self._image += record
-            offset = super().append(key, value)
+            offset = super().append(key, value, len(record))
             if fault is not None and fault.crash:
                 raise InjectedCrash(
                     f"crash after append #{offset + 1} (shard {self._shard})"
@@ -273,6 +309,67 @@ class DurableValueLog(ValueLog):
         finally:
             self._sync()
         return offset
+
+
+# ----------------------------------------------------------------------
+# checkpoint artifact codec
+#
+# A checkpoint is a self-validating single-slot artifact:
+#   MAGIC | u32 length | pickle(payload) | u32 crc32(pickle bytes)
+# The payload carries a full index snapshot plus the log position it was
+# taken at and ``prefix_crc`` — the CRC of the log image up to that
+# position.  Recovery accepts the checkpoint only if the current log's
+# prefix still hashes to ``prefix_crc``; compaction rewrites the image, so
+# a stale checkpoint self-invalidates and recovery falls back to a full
+# replay instead of restoring an index that points into the old layout.
+# ----------------------------------------------------------------------
+
+CHECKPOINT_MAGIC = b"MCKP"
+_CKPT_LEN = struct.Struct(">I")
+_CKPT_CRC = struct.Struct(">I")
+CHECKPOINT_VERSION = 1
+
+
+def encode_checkpoint(payload: Dict[str, Any]) -> bytes:
+    """Frame a checkpoint payload dict into a durable artifact."""
+    blob = pickle.dumps(payload, protocol=pickle.HIGHEST_PROTOCOL)
+    return (
+        CHECKPOINT_MAGIC
+        + _CKPT_LEN.pack(len(blob))
+        + blob
+        + _CKPT_CRC.pack(zlib.crc32(blob) & 0xFFFFFFFF)
+    )
+
+
+def decode_checkpoint(data: Optional[bytes]) -> Optional[Dict[str, Any]]:
+    """Parse a checkpoint artifact; ``None`` for missing/torn/corrupt.
+
+    Never raises on bad input — an unreadable checkpoint simply means
+    recovery falls back to a full log replay, exactly like no checkpoint.
+    """
+    if not data:
+        return None
+    header = len(CHECKPOINT_MAGIC) + _CKPT_LEN.size
+    if len(data) < header + _CKPT_CRC.size:
+        return None
+    if data[: len(CHECKPOINT_MAGIC)] != CHECKPOINT_MAGIC:
+        return None
+    (length,) = _CKPT_LEN.unpack_from(data, len(CHECKPOINT_MAGIC))
+    if header + length + _CKPT_CRC.size > len(data):
+        return None  # torn mid-payload
+    blob = data[header : header + length]
+    (crc,) = _CKPT_CRC.unpack_from(data, header + length)
+    if crc != (zlib.crc32(blob) & 0xFFFFFFFF):
+        return None
+    try:
+        payload = pickle.loads(blob)
+    except Exception:  # noqa: BLE001 — any unpickling failure = unusable
+        return None
+    if not isinstance(payload, dict) or payload.get("kind") != "checkpoint":
+        return None
+    if payload.get("version") != CHECKPOINT_VERSION:
+        return None
+    return payload
 
 
 class LogStructuredStore:
@@ -314,6 +411,15 @@ class LogStructuredStore:
             DurableValueLog(faults=faults, shard=shard_id) if durable else ValueLog()
         )
         self._live = 0
+        self._faults = faults
+        self._shard_id = shard_id
+        self._checkpoint: Optional[bytes] = None
+        self._last_checkpoint_at: Optional[float] = None
+        self._appends_total = 0
+        self._appends_at_checkpoint = 0
+        self.compactions = 0
+        self.checkpoints = 0
+        self.records_dropped = 0
         self.recovery_report: Optional[RecoveryReport] = None
         """Set on stores produced by :meth:`recover`/:meth:`recover_from_bytes`."""
 
@@ -341,6 +447,7 @@ class LogStructuredStore:
                 )
             self._live += 1
         self._log.append(k, value)
+        self._appends_total += 1
         return outcome
 
     def get(self, key: KeyLike, default: Any = None) -> Any:
@@ -383,6 +490,7 @@ class LogStructuredStore:
         if not self._index.delete(k).deleted:
             return False
         self._log.append_tombstone(k)
+        self._appends_total += 1
         self._live -= 1
         return True
 
@@ -408,33 +516,127 @@ class LogStructuredStore:
             return 0.0
         return 1.0 - self._live / len(self._log)
 
+    @property
+    def log_size(self) -> int:
+        """Serialized log size in bytes (0 for a non-durable store)."""
+        if isinstance(self._log, DurableValueLog):
+            return self._log.image_size
+        return 0
+
+    @property
+    def dead_bytes(self) -> int:
+        """Bytes of the durable image held by dead records (0 if not durable).
+
+        Computed from the log, not tracked incrementally: live bytes are
+        the summed sizes of the records the index still points at, dead is
+        the rest.  O(live) per call — this backs a stats gauge and the
+        compaction policy, neither of which sits on the hot path.
+        """
+        if not isinstance(self._log, DurableValueLog):
+            return 0
+        live = sum(
+            self._log.read(offset).size for _, offset in self._index.items()
+        )
+        return self._log.image_size - live
+
+    @property
+    def appends_since_checkpoint(self) -> int:
+        """Log appends since the last successful checkpoint (or creation)."""
+        return self._appends_total - self._appends_at_checkpoint
+
     def compact(self) -> int:
         """Rewrite live records into a fresh log; returns records dropped.
 
         Offsets change, so every surviving key's index entry is updated in
-        place (all copies rewritten — an ordinary ``try_update``).
+        place (all copies rewritten — an ordinary ``try_update``).  The
+        actual rewrite lives in :class:`repro.maintenance.Compactor`
+        (imported lazily to keep the package layering one-way), which also
+        honours ``crash_during_compaction`` fault rules and keeps the old
+        log image authoritative until the commit swap.
         """
-        old_size = len(self._log)
-        fresh = ValueLog()
-        for key, offset in list(self._index.items()):
-            record = self._log.read(offset)
-            new_offset = fresh.append(record.key, record.value)
-            updated = self._index.try_update(key, new_offset)
-            assert updated is not None
-        self._log = fresh
-        return old_size - len(self._log)
+        from ..maintenance.compactor import Compactor
+
+        return Compactor().compact(self)
+
+    # ------------------------------------------------------------------
+    # checkpoints
+    # ------------------------------------------------------------------
+
+    def take_checkpoint(self) -> bytes:
+        """Serialize a checkpoint of the index against the current log.
+
+        The artifact is stored on the store (the single checkpoint slot a
+        crash would find — see :attr:`checkpoint_bytes`) and returned so a
+        caller can also persist it to a real file.  A ``torn_checkpoint``
+        fault rule tears the slot and raises :class:`InjectedCrash`; the
+        torn artifact fails CRC validation at recovery time and recovery
+        falls back to a full log replay.
+        """
+        image = self.log_bytes
+        payload = {
+            "version": CHECKPOINT_VERSION,
+            "kind": "checkpoint",
+            "shard_id": self._shard_id,
+            "seed": self._seed,
+            "log_position": len(image),
+            "log_records": len(self._log),
+            "live": self._live,
+            "prefix_crc": zlib.crc32(image) & 0xFFFFFFFF,
+            "index": snapshot_resizable(self._index),
+        }
+        artifact = encode_checkpoint(payload)
+        fault = (
+            self._faults.on_checkpoint_write(self._shard_id)
+            if self._faults is not None
+            else None
+        )
+        if fault is not None and fault.torn:
+            keep = fault.keep_bytes
+            if keep is None:
+                keep = len(artifact) // 2
+            self._checkpoint = artifact[: max(0, min(keep, len(artifact) - 1))]
+            raise InjectedCrash(
+                f"torn checkpoint after {len(self._checkpoint)} of "
+                f"{len(artifact)} bytes (shard {self._shard_id})"
+            )
+        self._checkpoint = artifact
+        self.checkpoints += 1
+        self._last_checkpoint_at = time.monotonic()
+        self._appends_at_checkpoint = self._appends_total
+        return artifact
+
+    @property
+    def checkpoint_bytes(self) -> Optional[bytes]:
+        """The latest checkpoint artifact as a crash would find it (the
+        slot holds a torn prefix after an injected torn checkpoint)."""
+        return self._checkpoint
+
+    def clear_checkpoint(self) -> None:
+        self._checkpoint = None
+        self._appends_at_checkpoint = self._appends_total
+
+    @property
+    def last_checkpoint_age_s(self) -> float:
+        """Seconds since the last successful checkpoint; -1.0 if none."""
+        if self._last_checkpoint_at is None:
+            return -1.0
+        return time.monotonic() - self._last_checkpoint_at
 
     @property
     def durable(self) -> bool:
         return isinstance(self._log, DurableValueLog)
 
-    def attach_log_sink(self, sink) -> None:
+    @property
+    def shard_id(self) -> int:
+        return self._shard_id
+
+    def attach_log_sink(self, sink, already_synced: bool = False) -> None:
         """Mirror the durable log's byte image into a writable binary file
         (see :meth:`DurableValueLog.attach_sink`).  Raises on a non-durable
         store — there is no image to mirror."""
         if not isinstance(self._log, DurableValueLog):
             raise ValueError("attach_log_sink requires a durable store")
-        self._log.attach_sink(sink)
+        self._log.attach_sink(sink, already_synced=already_synced)
 
     @property
     def log_bytes(self) -> bytes:
@@ -511,6 +713,187 @@ class LogStructuredStore:
         )
 
     @classmethod
+    def open_from_bytes(
+        cls,
+        data: bytes,
+        expected_items: int = 1024,
+        seed: int = 1,
+        durable: bool = True,
+        engine: EngineLike = None,
+    ) -> "LogStructuredStore":
+        """Load a log image *verbatim*: every surviving record is kept in
+        the in-memory image byte-for-byte (minus a torn tail), with the
+        index built by replaying records in order.
+
+        Unlike :meth:`recover_from_bytes` — which reduces the history to
+        final state and re-appends only live records — this preserves the
+        exact on-disk byte sequence, so a checkpoint taken from the loaded
+        store validates against the original file.  The offline CLI verbs
+        (``repro compact`` / ``repro checkpoint``) go through here.
+        """
+        records, report = scan_log_bytes(data)
+        store = cls(
+            expected_items=max(expected_items, len(records), 1),
+            seed=seed,
+            mem=MemoryModel(),
+            durable=durable,
+            engine=engine,
+        )
+        kept = len(data) - report.bytes_truncated
+        if isinstance(store._log, DurableValueLog):
+            store._log._image = bytearray(data[:kept])
+        store._log._records = list(records)
+        store._appends_total = len(records)
+        index = store._index
+        for offset, record in enumerate(records):
+            if record.is_tombstone:
+                if index.delete(record.key).deleted:
+                    store._live -= 1
+                continue
+            outcome = index.try_update(record.key, offset)
+            if outcome is None:
+                outcome = index.put(record.key, offset)
+                if outcome.failed:
+                    raise TableFullError(
+                        f"index rejected key {record.key:#x} during load"
+                    )
+                store._live += 1
+        report.live_keys = store._live
+        store.recovery_report = report
+        return store
+
+    @classmethod
+    def recover_with_checkpoint(
+        cls,
+        data: bytes,
+        checkpoint: Optional[bytes],
+        expected_items: int = 1024,
+        seed: int = 1,
+        durable: bool = True,
+        faults: Optional[FaultPlan] = None,
+        shard_id: int = 0,
+        engine: EngineLike = None,
+    ) -> "LogStructuredStore":
+        """Checkpointed crash recovery: restore the index, replay the tail.
+
+        The checkpoint is trusted only if it validates end to end: artifact
+        CRC intact, its ``log_position`` within the current image, and the
+        image prefix up to that position hashing to the recorded
+        ``prefix_crc`` (compaction rewrites the image, so stale checkpoints
+        self-invalidate here).  On success the index snapshot is restored
+        bit-for-bit — no re-insertion of checkpointed records — and only
+        the post-checkpoint tail is replayed.  The log image is kept
+        *verbatim* (minus a torn tail), so a later checkpoint of the
+        recovered store still matches the same durable file.  On any
+        validation failure this falls back to :meth:`recover_from_bytes`
+        and flags ``checkpoint_invalid`` in the report.
+        """
+        payload = decode_checkpoint(checkpoint)
+        position = payload["log_position"] if payload else -1
+        if (
+            payload is None
+            or not 0 <= position <= len(data)
+            or (zlib.crc32(data[:position]) & 0xFFFFFFFF) != payload["prefix_crc"]
+        ):
+            recovered = cls.recover_from_bytes(
+                data,
+                expected_items=expected_items,
+                seed=seed,
+                durable=durable,
+                faults=faults,
+                shard_id=shard_id,
+                engine=engine,
+            )
+            if checkpoint is not None:
+                recovered.recovery_report.checkpoint_invalid = True
+            return recovered
+
+        # Cheap prefix decode: parse records for log reads, no index work.
+        prefix_records, prefix_report = scan_log_bytes(data[:position])
+        if prefix_report.torn_tail or len(prefix_records) != payload["log_records"]:
+            # The prefix CRC matched but the records don't line up with the
+            # checkpoint's accounting — treat the artifact as unusable.
+            recovered = cls.recover_from_bytes(
+                data,
+                expected_items=expected_items,
+                seed=seed,
+                durable=durable,
+                faults=faults,
+                shard_id=shard_id,
+                engine=engine,
+            )
+            recovered.recovery_report.checkpoint_invalid = True
+            return recovered
+        tail_records, tail_report = scan_log_bytes(data[position:])
+
+        mem = MemoryModel()
+        coerced = EngineConfig.coerce(engine)
+        index = restore_resizable(payload["index"], mem=mem, engine=coerced)
+
+        recovered = cls.__new__(cls)
+        recovered.mem = mem
+        recovered.engine = coerced
+        recovered._index = index
+        recovered._seed = seed
+        recovered._live = payload["live"]
+        recovered._faults = None
+        recovered._shard_id = shard_id
+        recovered._last_checkpoint_at = time.monotonic()
+        recovered.compactions = 0
+        recovered.checkpoints = 0
+        recovered.records_dropped = 0
+
+        kept = len(data) - tail_report.bytes_truncated
+        log = DurableValueLog(shard=shard_id) if durable else ValueLog()
+        if isinstance(log, DurableValueLog):
+            log._image = bytearray(data[:kept])
+        log._records = list(prefix_records) + list(tail_records)
+        recovered._log = log
+        recovered._appends_total = len(log._records)
+        recovered._appends_at_checkpoint = payload["log_records"]
+        # The checkpoint is still valid for the recovered store (same image
+        # prefix), so keep it: repeated crashes stay cheap to recover.
+        recovered._checkpoint = checkpoint
+
+        report = RecoveryReport(
+            records_replayed=len(log._records),
+            tombstones_replayed=(
+                prefix_report.tombstones_replayed + tail_report.tombstones_replayed
+            ),
+            bytes_scanned=len(data),
+            bytes_truncated=tail_report.bytes_truncated,
+            torn_tail=tail_report.torn_tail,
+            checkpoint_loaded=True,
+            checkpoint_records=payload["log_records"],
+            tail_records_replayed=len(tail_records),
+        )
+
+        # Replay only the tail into the restored index.
+        base = payload["log_records"]
+        for i, record in enumerate(tail_records):
+            if record.is_tombstone:
+                if index.delete(record.key).deleted:
+                    recovered._live -= 1
+                continue
+            offset = base + i
+            outcome = index.try_update(record.key, offset)
+            if outcome is None:
+                outcome = index.put(record.key, offset)
+                if outcome.failed:
+                    raise TableFullError(
+                        f"index rejected key {record.key:#x} during tail replay"
+                    )
+                recovered._live += 1
+        report.live_keys = recovered._live
+
+        if faults is not None:
+            recovered._faults = faults
+            if isinstance(recovered._log, DurableValueLog):
+                recovered._log.attach_faults(faults, shard_id)
+        recovered.recovery_report = report
+        return recovered
+
+    @classmethod
     def _rebuild(
         cls,
         records: List[LogRecord],
@@ -542,8 +925,10 @@ class LogStructuredStore:
         )
         for key, value in final.items():
             recovered.put(key, value)
-        if faults is not None and isinstance(recovered._log, DurableValueLog):
-            recovered._log.attach_faults(faults, shard_id)
+        if faults is not None:
+            recovered._faults = faults
+            if isinstance(recovered._log, DurableValueLog):
+                recovered._log.attach_faults(faults, shard_id)
         recovered.recovery_report = report
         return recovered
 

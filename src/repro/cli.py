@@ -36,6 +36,16 @@ Commands
 ``bench-serve``
     Sweep worker counts over the TCP serving path and write the
     ``BENCH_serve.json`` perf baseline.
+``compact``
+    Offline maintenance: rewrite a durable shard log file to live
+    records only (tombstones and overwritten versions dropped).
+``checkpoint``
+    Offline maintenance: write a checkpoint artifact for a shard log
+    file, so the next recovery restores the index and replays only the
+    post-checkpoint tail.
+``bench-recovery``
+    Time restart (full log replay vs checkpoint + tail) across growing
+    histories and write the ``BENCH_recovery.json`` perf baseline.
 """
 
 from __future__ import annotations
@@ -156,6 +166,12 @@ def _build_parser() -> argparse.ArgumentParser:
                        choices=("python", "numpy", "auto"),
                        help="batch-kernel backend for the shard indexes "
                             "(default: auto = numpy when installed)")
+    serve.add_argument("--compact-at", type=float, default=None,
+                       help="garbage-ratio threshold for background "
+                            "compaction (enables the maintenance daemon)")
+    serve.add_argument("--checkpoint-every", type=int, default=None,
+                       help="appends between checkpoints (enables the "
+                            "maintenance daemon; 0 disables)")
 
     loadgen = sub.add_parser("loadgen", help="drive a workload at a server")
     loadgen.add_argument("--host", default="127.0.0.1")
@@ -206,6 +222,10 @@ def _build_parser() -> argparse.ArgumentParser:
     faultgen.add_argument("--workers", type=int, default=0,
                           help="shard worker processes (0 = single-process; "
                                "N > 0 makes kill_worker faults meaningful)")
+    faultgen.add_argument("--maintenance", action="store_true",
+                          help="run the maintenance daemon (aggressive "
+                               "thresholds) and strike during compactions "
+                               "and checkpoint writes")
 
     bench_serve = sub.add_parser(
         "bench-serve",
@@ -225,6 +245,49 @@ def _build_parser() -> argparse.ArgumentParser:
     bench_serve.add_argument("--shards", type=int, default=None)
     bench_serve.add_argument("--repeats", type=int, default=None)
     bench_serve.add_argument("--seed", type=int, default=None)
+
+    compact = sub.add_parser(
+        "compact",
+        help="rewrite a durable shard log file to live records only",
+    )
+    compact.add_argument("log", help="shard log file to compact")
+    compact.add_argument("-o", "--output", default=None,
+                         help="write the compacted log here "
+                              "(default: rewrite the input in place)")
+    compact.add_argument("--expected-items", type=int, default=1024)
+    compact.add_argument("--seed", type=int, default=1,
+                         help="index seed the log was written under")
+
+    checkpoint = sub.add_parser(
+        "checkpoint",
+        help="write a checkpoint artifact for a durable shard log file",
+    )
+    checkpoint.add_argument("log", help="shard log file to checkpoint")
+    checkpoint.add_argument("-o", "--output", required=True,
+                            help="checkpoint artifact path")
+    checkpoint.add_argument("--expected-items", type=int, default=1024)
+    checkpoint.add_argument("--seed", type=int, default=1,
+                            help="index seed the log was written under")
+
+    bench_recovery = sub.add_parser(
+        "bench-recovery",
+        help="time restart (full replay vs checkpoint + tail), write "
+             "BENCH_recovery.json",
+    )
+    bench_recovery.add_argument("-o", "--output",
+                                default="BENCH_recovery.json",
+                                help="output JSON path ('-' for stdout only)")
+    bench_recovery.add_argument("--quick", action="store_true",
+                                help="seconds-scale CI smoke configuration")
+    bench_recovery.add_argument("--ops", default=None,
+                                help="comma-separated historical op counts, "
+                                     "e.g. '2000,8000,32000'")
+    bench_recovery.add_argument("--tail-ops", type=int, default=None,
+                                help="appends after the checkpoint "
+                                     "(default 64)")
+    bench_recovery.add_argument("--repeats", type=int, default=None,
+                                help="best-of repeats per cell")
+    bench_recovery.add_argument("--seed", type=int, default=None)
     return parser
 
 
@@ -464,6 +527,16 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         except ReproError as error:
             print(f"repro serve: error: {error}", file=sys.stderr)
             return 2
+    maintenance = None
+    if args.compact_at is not None or args.checkpoint_every is not None:
+        from .maintenance import MaintenanceConfig
+
+        maintenance = MaintenanceConfig(
+            compact_at=(args.compact_at
+                        if args.compact_at is not None else -1.0),
+            checkpoint_every=(args.checkpoint_every
+                              if args.checkpoint_every is not None else 0),
+        )
     config = ServerConfig(
         host=args.host,
         port=args.port,
@@ -473,9 +546,10 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         max_connections=args.max_connections,
         writer_queue_depth=args.queue_depth,
         request_timeout=args.timeout,
-        durable=args.durable,
+        durable=args.durable or maintenance is not None,
         fault_plan=fault_plan,
         engine=args.engine,
+        maintenance=maintenance,
     )
 
     if args.workers < 0:
@@ -503,6 +577,8 @@ def _cmd_serve(args: argparse.Namespace) -> int:
                   f"on {host}:{port} ({topology}; Ctrl-C to stop)")
             if fault_plan is not None:
                 print(f"fault injection armed: {fault_plan.describe()}")
+            if maintenance is not None:
+                print(f"maintenance daemon on: {maintenance.describe()}")
             await server.serve_forever()
 
     try:
@@ -585,7 +661,8 @@ def _cmd_faultgen(args: argparse.Namespace) -> int:
     from .serve import FaultgenConfig, run_faultgen
 
     if args.smoke:
-        config = FaultgenConfig.smoke(seed=args.seed)
+        config = FaultgenConfig.smoke(seed=args.seed,
+                                      maintenance=args.maintenance)
     else:
         config = FaultgenConfig(
             n_ops=args.ops,
@@ -596,6 +673,7 @@ def _cmd_faultgen(args: argparse.Namespace) -> int:
             seed=args.seed,
             deadline=args.deadline,
             run_timeout=args.run_timeout,
+            maintenance=args.maintenance,
         )
     if args.faults is not None:
         config = dataclasses.replace(config, faults=args.faults)
@@ -612,9 +690,11 @@ def _cmd_faultgen(args: argparse.Namespace) -> int:
     print(report.render())
     if not report.ok:
         workers = f" --workers {config.n_workers}" if config.n_workers else ""
+        maintenance = " --maintenance" if config.maintenance else ""
         print(f"reproduce with: repro faultgen --seed {config.seed} "
               f"--ops {config.n_ops} --keys {config.n_keys} "
-              f"--concurrency {config.concurrency}{workers}", file=sys.stderr)
+              f"--concurrency {config.concurrency}{workers}{maintenance}",
+              file=sys.stderr)
     return 0 if report.ok else 1
 
 
@@ -667,6 +747,100 @@ def _cmd_bench_serve(args: argparse.Namespace) -> int:
     return 0
 
 
+def _load_log_file(path: str, expected_items: int, seed: int):
+    """Verbatim-image load shared by the offline maintenance verbs."""
+    from .apps.kvstore import LogStructuredStore
+
+    with open(path, "rb") as handle:
+        data = handle.read()
+    store = LogStructuredStore.open_from_bytes(
+        data, expected_items=expected_items, seed=seed
+    )
+    report = store.recovery_report
+    assert report is not None
+    if report.torn_tail:
+        print(f"note: truncated a torn {report.bytes_truncated}-byte tail",
+              file=sys.stderr)
+    return store
+
+
+def _cmd_compact(args: argparse.Namespace) -> int:
+    try:
+        store = _load_log_file(args.log, args.expected_items, args.seed)
+    except (OSError, ReproError) as error:
+        print(f"repro compact: error: {error}", file=sys.stderr)
+        return 2
+    before = store.log_size
+    dropped = store.compact()
+    output = args.output or args.log
+    with open(output, "wb") as handle:
+        handle.write(store.log_bytes)
+    print(f"compacted {args.log}: {before} -> {store.log_size} bytes "
+          f"({dropped} dead records dropped, {len(store)} live) -> {output}")
+    if dropped:
+        print("note: any existing checkpoint for this log is now stale "
+              "(it will self-invalidate on recovery); re-run "
+              "'repro checkpoint' to refresh it")
+    return 0
+
+
+def _cmd_checkpoint(args: argparse.Namespace) -> int:
+    try:
+        store = _load_log_file(args.log, args.expected_items, args.seed)
+    except (OSError, ReproError) as error:
+        print(f"repro checkpoint: error: {error}", file=sys.stderr)
+        return 2
+    artifact = store.take_checkpoint()
+    with open(args.output, "wb") as handle:
+        handle.write(artifact)
+    print(f"checkpoint for {args.log} ({store.log_records} records, "
+          f"{len(store)} live keys) -> {args.output} "
+          f"({len(artifact)} bytes)")
+    return 0
+
+
+def _cmd_bench_recovery(args: argparse.Namespace) -> int:
+    import dataclasses
+
+    from .analysis.bench_recovery import (
+        BenchRecoveryConfig,
+        render_report,
+        run_bench_recovery,
+        write_report,
+    )
+
+    config = (BenchRecoveryConfig.quick() if args.quick
+              else BenchRecoveryConfig())
+    overrides = {}
+    if args.ops is not None:
+        try:
+            counts = tuple(int(part) for part in args.ops.split(",")
+                           if part.strip())
+        except ValueError:
+            print(f"repro bench-recovery: bad --ops {args.ops!r}",
+                  file=sys.stderr)
+            return 2
+        if not counts or min(counts) <= 0:
+            print("repro bench-recovery: --ops needs positive counts",
+                  file=sys.stderr)
+            return 2
+        overrides["op_counts"] = counts
+    if args.tail_ops is not None:
+        overrides["tail_ops"] = args.tail_ops
+    if args.repeats is not None:
+        overrides["repeats"] = args.repeats
+    if args.seed is not None:
+        overrides["seed"] = args.seed
+    if overrides:
+        config = dataclasses.replace(config, **overrides)
+    report = run_bench_recovery(config, verbose=True)
+    print(render_report(report))
+    if args.output != "-":
+        write_report(report, args.output)
+        print(f"baseline written to {args.output}")
+    return 0
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     args = _build_parser().parse_args(argv)
     if args.command == "list":
@@ -691,6 +865,12 @@ def main(argv: Optional[List[str]] = None) -> int:
         return _cmd_faultgen(args)
     if args.command == "bench-serve":
         return _cmd_bench_serve(args)
+    if args.command == "compact":
+        return _cmd_compact(args)
+    if args.command == "checkpoint":
+        return _cmd_checkpoint(args)
+    if args.command == "bench-recovery":
+        return _cmd_bench_recovery(args)
     raise AssertionError(f"unhandled command {args.command!r}")
 
 

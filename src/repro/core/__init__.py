@@ -19,7 +19,13 @@ from .multimap import McCuckooMultiMap
 from .resize import ResizableMcCuckoo
 from .sharded import (ShardedMcCuckoo, ShardRouter, shards_of_worker,
                       worker_of_shard)
-from .policies import KickPolicy, MinCounterPolicy, RandomWalkPolicy, make_policy
+from .policies import (
+    KickPolicy,
+    MinCounterPolicy,
+    RandomWalkPolicy,
+    WearAwarePolicy,
+    make_policy,
+)
 from .snapshot import load as load_snapshot
 from .snapshot import save as save_snapshot
 from .results import (
@@ -50,6 +56,7 @@ __all__ = [
     "McCuckoo",
     "McCuckooMultiMap",
     "MinCounterPolicy",
+    "WearAwarePolicy",
     "OffChipStash",
     "OnChipStash",
     "PackedArray",

@@ -25,6 +25,7 @@ from typing import Any, Dict, Iterable, Iterator, List, Optional, Sequence, Tupl
 from .._numpy import numpy_or_none
 from ..hashing import DEFAULT_FAMILY, MASK64, HashFamily, Key, KeyLike, canonical_key
 from ..memory.model import MemoryModel
+from ..memory.wear import WearMeter
 from .config import DeletionMode, FailurePolicy, SiblingTracking
 from .counters import BitArray, PackedArray
 from .engine import EngineConfig, EngineLike
@@ -94,6 +95,7 @@ class McCuckoo(HashTable):
         max_rehash_attempts: int = 8,
         mem: Optional[MemoryModel] = None,
         engine: EngineLike = None,
+        wear_meter: Optional[WearMeter] = None,
     ) -> None:
         super().__init__(mem)
         if n_buckets <= 0:
@@ -121,6 +123,11 @@ class McCuckoo(HashTable):
         self._engine_min_batch = self.engine.min_batch
         self._rng = random.Random(seed ^ 0x5EED)
         self._policy = kick_policy if kick_policy is not None else RandomWalkPolicy()
+        # A wear-aware policy needs a meter to read; give it one even if
+        # the caller did not ask for wear accounting explicitly.
+        if wear_meter is None and getattr(self._policy, "wants_wear", False):
+            wear_meter = WearMeter()
+        self._wear = wear_meter
         self._stash: Optional[OffChipStash] = None
         if on_failure is FailurePolicy.STASH:
             self._stash = OffChipStash(stash_buckets, self.mem, self._family)
@@ -157,6 +164,11 @@ class McCuckoo(HashTable):
         else:
             self._masks = None
         self._policy.attach(total, self.mem)
+        if self._wear is not None:
+            self._wear.resize(total)
+            attach_wear = getattr(self._policy, "attach_wear", None)
+            if attach_wear is not None:
+                attach_wear(self._wear)
         self._n_main = 0
 
     @property
@@ -169,6 +181,11 @@ class McCuckoo(HashTable):
     @property
     def stash(self) -> Optional[OffChipStash]:
         return self._stash
+
+    @property
+    def wear_meter(self) -> Optional[WearMeter]:
+        """Per-bucket write-wear counts, when wear accounting is attached."""
+        return self._wear
 
     @property
     def main_items(self) -> int:
@@ -195,6 +212,8 @@ class McCuckoo(HashTable):
 
     def _write_entry(self, bucket: int, key: Key, value: Any, mask: int) -> None:
         self.mem.offchip_write("bucket")
+        if self._wear is not None:
+            self._wear.note(bucket)
         self._keys[bucket] = key
         self._values[bucket] = value
         if self._masks is not None:
@@ -857,6 +876,7 @@ class McCuckoo(HashTable):
         stored = InsertStatus.STORED
         dirty: set = set()
         bucket_writes = 0  # fast-path off-chip writes, charged once at the end
+        wear = self._wear
         base = 0
         for i, (k, value) in enumerate(items):
             cands = flat[base:base + d]
@@ -880,6 +900,8 @@ class McCuckoo(HashTable):
                         masks_arr[bucket] = mask
                     if clear_bit is not None:
                         clear_bit(bucket)
+                    if wear is not None:
+                        wear.note(bucket)
                 bucket_writes += total
                 set_block(free, total)
                 dirty.update(free)

@@ -89,9 +89,51 @@ class MinCounterPolicy(KickPolicy):
             history.set(bucket, current + 1)
 
 
+class WearAwarePolicy(KickPolicy):
+    """Evict from the candidate bucket with the lowest write wear.
+
+    Eppstein et al. (*Wear Minimization for Cuckoo Hashing*, arXiv
+    1404.0286) show that steering placements away from hot cells bounds
+    the maximum per-bucket write count — the metric that decides when a
+    flash/NVM device dies.  Each kick writes the evicted bucket (the new
+    item lands there), so choosing the least-worn candidate levels the
+    wear surface; total writes are unchanged, only their distribution.
+
+    The policy reads the owning table's :class:`~repro.memory.wear.WearMeter`
+    (the table wires it in via ``attach_wear``; building the table with
+    this policy creates a meter automatically).  Ties break at random so
+    a cold region is not filled in index order.
+    """
+
+    name = "wear-aware"
+    wants_wear = True
+
+    def __init__(self) -> None:
+        self._wear = None
+
+    def attach_wear(self, meter) -> None:
+        """Called by the owning table with its :class:`WearMeter`."""
+        self._wear = meter
+
+    def choose(self, candidates: Sequence[int], rng: random.Random) -> int:
+        if not candidates:
+            raise ValueError("no candidates to choose a victim from")
+        if self._wear is None:
+            raise ConfigurationError(
+                "WearAwarePolicy used before attach_wear(); build the table "
+                "with this policy (or a wear_meter) so it gets wired in"
+            )
+        wear_of = self._wear.wear_of
+        values = [wear_of(bucket) for bucket in candidates]
+        best = min(values)
+        coldest = [b for b, v in zip(candidates, values) if v == best]
+        return coldest[rng.randrange(len(coldest))]
+
+
 POLICIES = {
     RandomWalkPolicy.name: RandomWalkPolicy,
     MinCounterPolicy.name: MinCounterPolicy,
+    WearAwarePolicy.name: WearAwarePolicy,
 }
 
 

@@ -85,8 +85,13 @@ def snapshot_mccuckoo(table: McCuckoo) -> Dict[str, Any]:
     }
 
 
-def restore_mccuckoo(data: Dict[str, Any]) -> McCuckoo:
-    """Rebuild a McCuckoo table from :func:`snapshot_mccuckoo` output."""
+def restore_mccuckoo(data: Dict[str, Any], *, mem=None, engine=None) -> McCuckoo:
+    """Rebuild a McCuckoo table from :func:`snapshot_mccuckoo` output.
+
+    ``mem`` / ``engine`` optionally attach a live memory model and batch
+    engine to the restored table (snapshots never carry either — a counter
+    object and a compute backend are runtime wiring, not state).
+    """
     if data.get("kind") != "mccuckoo":
         raise ConfigurationError("snapshot is not a single-slot McCuckoo table")
     if data.get("version") != SNAPSHOT_VERSION:
@@ -101,6 +106,8 @@ def restore_mccuckoo(data: Dict[str, Any]) -> McCuckoo:
         deletion_mode=DeletionMode(cfg["deletion_mode"]),
         sibling_tracking=SiblingTracking(cfg["sibling_tracking"]),
         stash_buckets=max(1, cfg["stash_buckets"]),
+        mem=mem,
+        engine=engine,
     )
     table._keys = list(data["keys"])
     table._values = list(data["values"])
@@ -188,12 +195,76 @@ def restore_blocked(data: Dict[str, Any]) -> BlockedMcCuckoo:
     return table
 
 
+def snapshot_resizable(table) -> Dict[str, Any]:
+    """Capture a :class:`~repro.core.resize.ResizableMcCuckoo`, including an
+    in-flight migration (both halves plus the cursor position)."""
+    return {
+        "version": SNAPSHOT_VERSION,
+        "kind": "resizable",
+        "config": {
+            "grow_at": table.grow_at,
+            "growth_factor": table.growth_factor,
+            "migrate_batch": table.migrate_batch,
+            "seed": table._seed,
+        },
+        "cursor": table._cursor,
+        "generations": table.generations,
+        "active": snapshot_mccuckoo(table.active_table),
+        "retiring": (
+            snapshot_mccuckoo(table.retiring_table)
+            if table.retiring_table is not None
+            else None
+        ),
+    }
+
+
+def restore_resizable(data: Dict[str, Any], *, mem=None, engine=None):
+    """Rebuild a ResizableMcCuckoo from :func:`snapshot_resizable` output."""
+    from .resize import ResizableMcCuckoo
+
+    if data.get("kind") != "resizable":
+        raise ConfigurationError("snapshot is not a ResizableMcCuckoo table")
+    if data.get("version") != SNAPSHOT_VERSION:
+        raise ConfigurationError(f"unsupported snapshot version {data.get('version')}")
+    cfg = data["config"]
+    active_cfg = data["active"]["config"]
+    table = ResizableMcCuckoo(
+        active_cfg["n_buckets"],
+        d=active_cfg["d"],
+        grow_at=cfg["grow_at"],
+        growth_factor=cfg["growth_factor"],
+        migrate_batch=cfg["migrate_batch"],
+        seed=cfg["seed"],
+        maxloop=active_cfg["maxloop"],
+        deletion_mode=DeletionMode(active_cfg["deletion_mode"]),
+        sibling_tracking=SiblingTracking(active_cfg["sibling_tracking"]),
+        stash_buckets=max(1, active_cfg["stash_buckets"]),
+        on_failure=FailurePolicy(active_cfg["on_failure"]),
+        mem=mem,
+        engine=engine,
+    )
+    table._active = restore_mccuckoo(data["active"], mem=table.mem, engine=engine)
+    table._retiring = (
+        restore_mccuckoo(data["retiring"], mem=table.mem, engine=engine)
+        if data["retiring"] is not None
+        else None
+    )
+    table._cursor = data["cursor"]
+    table.generations = data["generations"]
+    return table
+
+
 def save(table, path: str) -> None:
-    """Snapshot ``table`` (McCuckoo or BlockedMcCuckoo) to a pickle file."""
+    """Snapshot a table (McCuckoo, BlockedMcCuckoo, or ResizableMcCuckoo)
+    to a pickle file."""
+    from .resize import ResizableMcCuckoo
+
     if isinstance(table, McCuckoo):
         data = snapshot_mccuckoo(table)
     elif isinstance(table, BlockedMcCuckoo):
         data = snapshot_blocked(table)
+    elif isinstance(table, ResizableMcCuckoo):
+        data = snapshot_resizable(table)
     else:
         raise ConfigurationError(
             f"cannot snapshot a {type(table).__name__}; only the multi-copy "
@@ -213,4 +284,6 @@ def load(path: str):
         return restore_mccuckoo(data)
     if data["kind"] == "blocked":
         return restore_blocked(data)
+    if data["kind"] == "resizable":
+        return restore_resizable(data)
     raise ConfigurationError(f"unknown snapshot kind {data['kind']!r}")

@@ -15,6 +15,13 @@ site                      consulted by
 ``dispatch``              the server's write-submission path, per write op
 ``frame``                 :func:`~repro.serve.protocol.write_frame`, per
                           outgoing frame
+``compaction``            :class:`~repro.maintenance.Compactor` before each
+                          live record is copied into the fresh log segment
+``checkpoint``            :class:`~repro.maintenance.Checkpointer` at the
+                          checkpoint-write boundary
+``maintenance_kill``      the worker serve path, once per compaction record
+                          and once mid-checkpoint-write, for the
+                          ``kill_worker_during`` rule
 ========================  ====================================================
 
 Determinism contract: every rule owns a private ``random.Random`` seeded
@@ -53,6 +60,21 @@ Rule grammar (``FaultPlan.parse``) — rules separated by ``;`` or ``,``:
     supervisor must restart the worker from its durable log; the write is
     never acknowledged but may legally survive.  Consulted at the
     ``worker_op`` site by :mod:`repro.serve.workers`.
+``crash_during_compaction=N[@SHARD]``
+    The N-th record-copy boundary inside a compaction raises
+    :class:`InjectedCrash` *before* the commit swap, so the old log image
+    stays authoritative and recovery sees the pre-compaction state.
+``torn_checkpoint=N[:KEEP][@SHARD]``
+    The N-th checkpoint write persists only the first KEEP bytes of the
+    checkpoint artifact (default: half) and raises :class:`InjectedCrash`;
+    recovery must detect the torn artifact via its CRC and fall back to a
+    full log replay.
+``kill_worker_during=SITE:N[@WORKER]``
+    SITE is ``compaction`` or ``checkpoint``.  The N-th consult of that
+    maintenance boundary in worker WORKER kills the whole worker process
+    via ``os._exit`` — mid-compaction (old log file intact on disk) or
+    mid-checkpoint-write (torn checkpoint file on disk).  The supervisor
+    restarts the worker from its durable files.
 
 Example spec::
 
@@ -107,7 +129,13 @@ class FaultRule:
         "drop_connection",
         "corrupt_frame",
         "kill_worker",
+        "crash_during_compaction",
+        "torn_checkpoint",
+        "kill_worker_during",
     )
+
+    #: valid SITE values for ``kill_worker_during``
+    MAINTENANCE_SITES = ("compaction", "checkpoint")
 
     def __init__(
         self,
@@ -119,6 +147,7 @@ class FaultRule:
         seconds: float = 0.0,
         every: int = 1,
         probability: float = 0.0,
+        site: Optional[str] = None,
     ) -> None:
         if kind not in self.KINDS:
             raise FaultSpecError(f"unknown fault rule {kind!r}")
@@ -129,6 +158,7 @@ class FaultRule:
         self.seconds = seconds
         self.every = max(1, every)
         self.probability = probability
+        self.site = site
         self._seen = 0  # consults relevant to this rule
         self._spent = False  # one-shot rules fire once
         self._rng = random.Random()  # reseeded by the plan
@@ -153,6 +183,17 @@ class FaultRule:
             # ``shard`` doubles as the worker scope for this rule.
             at = f"@{self.shard}" if self.shard is not None else ""
             return f"kill_worker={self.count}{at}"
+        if self.kind == "crash_during_compaction":
+            at = f"@{self.shard}" if self.shard is not None else ""
+            return f"crash_during_compaction={self.count}{at}"
+        if self.kind == "torn_checkpoint":
+            at = f"@{self.shard}" if self.shard is not None else ""
+            keep = f":{self.keep_bytes}" if self.keep_bytes is not None else ""
+            return f"torn_checkpoint={self.count}{keep}{at}"
+        if self.kind == "kill_worker_during":
+            # ``shard`` doubles as the worker scope for this rule.
+            at = f"@{self.shard}" if self.shard is not None else ""
+            return f"kill_worker_during={self.site}:{self.count}{at}"
         if self.kind == "delay_shard":
             return f"delay_shard={self.shard}:{self.seconds}:{self.every}"
         return f"{self.kind}={self.probability}"
@@ -177,6 +218,44 @@ class FaultRule:
     def on_worker_op(self, worker_id: int) -> bool:
         """One-shot kill trigger, consulted once per applied worker write."""
         if self.kind != "kill_worker" or self._spent:
+            return False
+        if self.shard is not None and worker_id != self.shard:
+            return False
+        self._seen += 1
+        if self._seen < self.count:
+            return False
+        self._spent = True
+        return True
+
+    def on_compaction(self, shard: int) -> bool:
+        """One-shot crash trigger, consulted per compaction record copy."""
+        if self.kind != "crash_during_compaction" or self._spent:
+            return False
+        if self.shard is not None and shard != self.shard:
+            return False
+        self._seen += 1
+        if self._seen < self.count:
+            return False
+        self._spent = True
+        return True
+
+    def on_checkpoint(self, shard: int) -> Optional[AppendFault]:
+        """One-shot torn-artifact trigger, consulted per checkpoint write."""
+        if self.kind != "torn_checkpoint" or self._spent:
+            return None
+        if self.shard is not None and shard != self.shard:
+            return None
+        self._seen += 1
+        if self._seen < self.count:
+            return None
+        self._spent = True
+        return AppendFault(crash=True, torn=True, keep_bytes=self.keep_bytes)
+
+    def on_maintenance_kill(self, site: str, worker_id: int) -> bool:
+        """One-shot worker-kill trigger at a maintenance boundary."""
+        if self.kind != "kill_worker_during" or self._spent:
+            return False
+        if site != self.site:
             return False
         if self.shard is not None and worker_id != self.shard:
             return False
@@ -317,6 +396,48 @@ class FaultPlan:
                 return True
         return False
 
+    def on_compaction_record(self, shard: int = 0) -> bool:
+        """Consulted by the compactor before each live record is copied.
+
+        True means "crash here": the compactor must abandon the in-progress
+        segment and raise :class:`InjectedCrash` *without* committing, so
+        the old log image stays authoritative.
+        """
+        if not self._armed:
+            return False
+        for rule in self.rules:
+            if rule.on_compaction(shard):
+                self._note("crash_during_compaction")
+                return True
+        return False
+
+    def on_checkpoint_write(self, shard: int = 0) -> Optional[AppendFault]:
+        """Consulted by the checkpointer right before a checkpoint persists.
+
+        A returned fault means the artifact is torn at ``keep_bytes``
+        (default: its midpoint) and :class:`InjectedCrash` is raised; the
+        torn artifact must fail CRC validation at recovery time.
+        """
+        if not self._armed:
+            return None
+        for rule in self.rules:
+            fault = rule.on_checkpoint(shard)
+            if fault is not None:
+                self._note("torn_checkpoint")
+                return fault
+        return None
+
+    def should_kill_maintenance(self, site: str, worker_id: int = 0) -> bool:
+        """Consulted at worker maintenance boundaries (``site`` is
+        ``compaction`` or ``checkpoint``); True kills the worker process."""
+        if not self._armed:
+            return False
+        for rule in self.rules:
+            if rule.on_maintenance_kill(site, worker_id):
+                self._note("kill_worker_during")
+                return True
+        return False
+
     def should_reject_busy(self) -> bool:
         """Consulted per write dispatch; True forces a BUSY error frame."""
         if not self._armed:
@@ -374,6 +495,26 @@ def _parse_rule(chunk: str) -> FaultRule:
         if name == "kill_worker":
             # ``@WORKER`` rides the generic ``@`` suffix into ``shard``.
             return FaultRule(name, count=_positive(_int(parts[0], chunk), chunk),
+                             shard=shard)
+        if name == "crash_during_compaction":
+            return FaultRule(name, count=_positive(_int(parts[0], chunk), chunk),
+                             shard=shard)
+        if name == "torn_checkpoint":
+            keep = _int(parts[1], chunk) if len(parts) > 1 else None
+            return FaultRule(name, count=_positive(_int(parts[0], chunk), chunk),
+                             keep_bytes=keep, shard=shard)
+        if name == "kill_worker_during":
+            if len(parts) < 2:
+                raise FaultSpecError(f"rule {chunk!r} needs SITE:N[@WORKER]")
+            site = parts[0].strip()
+            if site not in FaultRule.MAINTENANCE_SITES:
+                raise FaultSpecError(
+                    f"rule {chunk!r}: site must be one of "
+                    f"{list(FaultRule.MAINTENANCE_SITES)}"
+                )
+            # ``@WORKER`` rides the generic ``@`` suffix into ``shard``.
+            return FaultRule(name, site=site,
+                             count=_positive(_int(parts[1], chunk), chunk),
                              shard=shard)
         if name == "delay_shard":
             if len(parts) < 2:

@@ -1,0 +1,58 @@
+"""Checkpointing: bound recovery time by snapshotting the index.
+
+A checkpoint freezes the store's index (bit-for-bit, via
+:mod:`repro.core.snapshot`) together with the log position it was taken
+at and a CRC of the log prefix up to that position.  Recovery
+(:meth:`~repro.apps.kvstore.LogStructuredStore.recover_with_checkpoint`)
+then restores the index and replays only the post-checkpoint tail —
+restart time tracks the write rate since the last checkpoint, not the
+store's entire history.
+
+The artifact is a single overwrite-in-place slot, which is exactly what
+makes the ``torn_checkpoint`` fault rule interesting: a crash mid-write
+leaves a prefix that fails the artifact CRC, and recovery must detect
+that and fall back to a full log replay rather than trust half an index.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional
+
+from ..apps.kvstore import LogStructuredStore
+from ..faults import InjectedCrash
+
+#: hook signature: ``writer(artifact_bytes)`` — persists the checkpoint
+#: somewhere that survives the process (worker shards write a file).
+CheckpointWriter = Callable[[bytes], None]
+
+
+class Checkpointer:
+    """Takes checkpoints of a :class:`LogStructuredStore`."""
+
+    def checkpoint(
+        self,
+        store: LogStructuredStore,
+        writer: Optional[CheckpointWriter] = None,
+    ) -> bytes:
+        """Checkpoint ``store``; returns the artifact bytes.
+
+        The store keeps the artifact in its in-memory checkpoint slot
+        (what in-process crash simulation recovers from); ``writer``
+        additionally persists it for cross-process recovery.  Under a
+        ``torn_checkpoint`` fault the slot holds only the torn prefix —
+        the writer is still invoked with it so a durable checkpoint file
+        is torn the same way the in-memory slot is — and the
+        :class:`InjectedCrash` propagates to the caller.
+        """
+        try:
+            artifact = store.take_checkpoint()
+        except InjectedCrash:
+            if writer is not None and store.checkpoint_bytes is not None:
+                writer(store.checkpoint_bytes)
+            raise
+        if writer is not None:
+            writer(artifact)
+        return artifact
+
+
+__all__ = ["CheckpointWriter", "Checkpointer"]

@@ -2,6 +2,7 @@
 
 from .latency import PAPER_FPGA, LatencyModel
 from .model import AccessCounts, CounterCharging, MemoryModel, Op, OpStats, Snapshot, Tier
+from .wear import WearMeter
 
 __all__ = [
     "AccessCounts",
@@ -13,4 +14,5 @@ __all__ = [
     "PAPER_FPGA",
     "Snapshot",
     "Tier",
+    "WearMeter",
 ]

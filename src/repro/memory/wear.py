@@ -1,0 +1,91 @@
+"""Per-bucket write-wear accounting for flash/NVM scenarios.
+
+The paper's memory model counts *how many* off-chip accesses a scheme
+makes; for flash or NVM the *distribution* of writes matters too, because
+a cell wears out after a bounded number of program/erase cycles and the
+device dies when its hottest cell does.  Eppstein, Goodrich, Mitzenmacher
+and Pszona (*Wear Minimization for Cuckoo Hashing*, arXiv 1404.0286) frame
+this as minimizing the **maximum** number of times any bucket is written.
+
+:class:`WearMeter` is the accountant: tables call :meth:`note` with the
+global bucket index on every off-chip bucket write, and the meter keeps a
+per-bucket write count plus cheap aggregates.  It deliberately mirrors
+:class:`~repro.memory.model.MemoryModel`'s "count, store no data" split —
+attach one to a table (``McCuckoo(..., wear_meter=meter)``) and read the
+wear surface off it afterwards.  The wear-aware kick policy
+(:class:`~repro.core.policies.WearAwarePolicy`) shares the same meter to
+steer evictions toward the least-worn candidate.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+
+class WearMeter:
+    """Per-bucket write counts with max/mean/total aggregates."""
+
+    def __init__(self, n_buckets: int = 0) -> None:
+        self._counts: List[int] = [0] * n_buckets
+        self._total = 0
+
+    def resize(self, n_buckets: int) -> None:
+        """Grow the tracked bucket space (counts are preserved)."""
+        if n_buckets > len(self._counts):
+            self._counts.extend([0] * (n_buckets - len(self._counts)))
+
+    def note(self, bucket: int, count: int = 1) -> None:
+        """Record ``count`` writes to ``bucket``."""
+        if bucket >= len(self._counts):
+            self.resize(bucket + 1)
+        self._counts[bucket] += count
+        self._total += count
+
+    def wear_of(self, bucket: int) -> int:
+        if 0 <= bucket < len(self._counts):
+            return self._counts[bucket]
+        return 0
+
+    # ------------------------------------------------------------------
+    # aggregates
+    # ------------------------------------------------------------------
+
+    @property
+    def n_buckets(self) -> int:
+        return len(self._counts)
+
+    @property
+    def total_writes(self) -> int:
+        return self._total
+
+    @property
+    def max_wear(self) -> int:
+        return max(self._counts) if self._counts else 0
+
+    @property
+    def mean_wear(self) -> float:
+        if not self._counts:
+            return 0.0
+        return self._total / len(self._counts)
+
+    @property
+    def wear_imbalance(self) -> float:
+        """max/mean — 1.0 is perfectly level, the device-lifetime metric."""
+        mean = self.mean_wear
+        return self.max_wear / mean if mean else 1.0
+
+    def histogram(self) -> Dict[int, int]:
+        """``{write count: number of buckets}`` over the tracked space."""
+        out: Dict[int, int] = {}
+        for count in self._counts:
+            out[count] = out.get(count, 0) + 1
+        return out
+
+    def summary(self) -> str:
+        return (
+            f"wear: total={self.total_writes} max={self.max_wear} "
+            f"mean={self.mean_wear:.2f} imbalance={self.wear_imbalance:.2f}"
+        )
+
+
+__all__ = ["WearMeter"]

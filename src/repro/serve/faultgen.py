@@ -38,6 +38,7 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Set
 
 from ..faults import FaultPlan
+from ..maintenance import MaintenanceConfig
 from .client import (
     McCuckooClient,
     RequestTimeoutError,
@@ -80,6 +81,12 @@ class FaultgenConfig:
     :class:`~repro.serve.workers.WorkerServer` with N shard worker
     processes, where ``kill_worker`` rules become meaningful and every
     count-triggered rule fires per worker process."""
+    maintenance: bool = False
+    """Run the maintenance daemon (aggressive thresholds) during the
+    drive and extend the fault plan to strike *inside* maintenance:
+    crash/kill during an in-flight compaction and a torn/killed
+    checkpoint write.  The audit model is unchanged — maintenance must
+    never cost an acknowledged write."""
 
     def __post_init__(self) -> None:
         if self.n_ops <= 0 or self.n_keys <= 0:
@@ -88,10 +95,25 @@ class FaultgenConfig:
             raise ValueError("concurrency must be positive")
 
     @classmethod
-    def smoke(cls, seed: int = 0) -> "FaultgenConfig":
+    def smoke(cls, seed: int = 0, maintenance: bool = False) -> "FaultgenConfig":
         """A seconds-scale configuration for CI."""
         return cls(n_ops=600, n_keys=96, concurrency=4, seed=seed,
-                   run_timeout=30.0)
+                   run_timeout=30.0, maintenance=maintenance)
+
+    def effective_faults(self) -> str:
+        """The drive plan: the configured spec, plus — in maintenance
+        mode — rules that strike mid-compaction and mid-checkpoint.
+        Worker mode kills the whole process at those sites; the
+        single-process server takes an in-process crash / torn artifact
+        instead (there is no process to kill)."""
+        if not self.maintenance:
+            return self.faults
+        if self.n_workers > 0:
+            extra = ("kill_worker_during=compaction:1; "
+                     "kill_worker_during=checkpoint:1")
+        else:
+            extra = "crash_during_compaction=1; torn_checkpoint=1"
+        return f"{self.faults}; {extra}" if self.faults else extra
 
 
 @dataclass
@@ -187,7 +209,7 @@ class _KeyState:
 async def run_faultgen(config: FaultgenConfig) -> FaultgenReport:
     """One full chaos run: drive, disarm, verify.  Never raises for an
     injected fault — violations land in the report's ``failures``."""
-    plan = FaultPlan.parse(config.faults, seed=config.seed)
+    plan = FaultPlan.parse(config.effective_faults(), seed=config.seed)
     report = FaultgenReport(seed=config.seed, fault_plan=plan.describe(),
                             n_workers=config.n_workers)
     server_config = ServerConfig(
@@ -199,6 +221,8 @@ async def run_faultgen(config: FaultgenConfig) -> FaultgenReport:
         request_timeout=2.0,
         durable=True,
         fault_plan=plan,
+        maintenance=(MaintenanceConfig.aggressive()
+                     if config.maintenance else None),
     )
     if config.n_workers > 0:
         server: McCuckooServer = WorkerServer(server_config,

@@ -32,6 +32,7 @@ from dataclasses import dataclass
 from typing import List, Optional, Tuple
 
 from ..faults import FaultPlan, InjectedCrash
+from ..maintenance import MaintenanceConfig, MaintenanceDaemon
 from .protocol import (
     MAX_FRAME_BYTES,
     BatchReply,
@@ -88,6 +89,10 @@ class ServerConfig:
     the store at append boundaries, by each writer loop per iteration, by
     the dispatch path per write, and by the wire layer per outgoing frame.
     ``None`` (the default) injects nothing."""
+    maintenance: Optional[MaintenanceConfig] = None
+    """Background compaction/checkpoint policy, ticked per shard by its
+    writer loop between write runs (:mod:`repro.maintenance`).  ``None``
+    disables maintenance entirely."""
 
 
 class McCuckooServer:
@@ -100,6 +105,9 @@ class McCuckooServer:
     ) -> None:
         self.config = config if config is not None else ServerConfig()
         self._faults = self.config.fault_plan
+        self._maintenance: Optional[MaintenanceDaemon] = None
+        if self.config.maintenance is not None and self.config.maintenance.enabled:
+            self._maintenance = MaintenanceDaemon(self.config.maintenance)
         self.store = store if store is not None else self._make_store()
         self.stats = ServeStats()
         self._server: Optional[asyncio.AbstractServer] = None
@@ -250,8 +258,31 @@ class McCuckooServer:
                     except Exception as error:  # surface as INTERNAL
                         if not future.done():
                             future.set_exception(error)
+                self._run_maintenance(shard)
             finally:
                 queue.task_done()
+
+    def _run_maintenance(self, shard: int) -> None:
+        """One maintenance tick after a write run.
+
+        Runs *after* every write in the run was answered: the writes are
+        already durable, so a maintenance crash can never un-acknowledge
+        one.  An injected crash (``crash_during_compaction`` /
+        ``torn_checkpoint``) poisons the shard exactly like a mid-write
+        crash and is healed the same way — synchronous in-place recovery
+        from the durable image (now via its checkpoint slot when valid).
+        """
+        if self._maintenance is None or self.store is None:
+            return
+        try:
+            self._maintenance.maybe_run(self.store.shard(shard), shard)
+        except InjectedCrash:
+            self.stats.injected_crashes += 1
+            if self.store.durable:
+                self.store.crash_and_recover(shard)
+                self.stats.shard_recoveries += 1
+        except Exception:
+            self.stats.internal_errors += 1
 
     def _apply_write(self, request: SimpleRequest) -> SimpleReply:
         if isinstance(request, PutRequest):

@@ -3,9 +3,11 @@
 The server owns one :class:`ServeStats` and bumps it on every request;
 :meth:`ServeStats.snapshot` flattens the counters into the ``str → number``
 dict that travels inside a ``STATS_OK`` frame.  Index-level gauges (items,
-load, stash population, writer-queue depths) are merged in by the server at
-snapshot time, so a client sees one coherent view of the serving path *and*
-the McCuckoo machinery under it.
+load, stash population, writer-queue depths) and durable-log maintenance
+gauges (``store_log_bytes``, ``store_dead_bytes``, ``store_compactions``,
+``store_checkpoints``, ``store_last_checkpoint_age_s``) are merged in by
+the server at snapshot time, so a client sees one coherent view of the
+serving path *and* the McCuckoo machinery under it.
 """
 
 from __future__ import annotations

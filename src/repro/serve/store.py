@@ -183,19 +183,29 @@ class ShardedLogStore:
         The crashed store's in-memory index may be ahead of its log (the
         very thing an injected crash models), so it is discarded wholesale:
         a fresh store is recovered from the bytes that reached the image —
-        truncating any torn tail — and swapped into the shard slot.  Only
-        meaningful for durable stores.
+        truncating any torn tail — and swapped into the shard slot.  The
+        dead incarnation's checkpoint slot rides along: when it validates
+        against the image, recovery restores the checkpointed index and
+        replays only the tail.  Only meaningful for durable stores.
         """
-        return self.load_shard_from_bytes(shard, self.shard(shard).log_bytes)
+        crashed = self.shard(shard)
+        return self.load_shard_from_bytes(
+            shard, crashed.log_bytes, checkpoint=crashed.checkpoint_bytes
+        )
 
-    def load_shard_from_bytes(self, shard: int, data: bytes) -> RecoveryReport:
+    def load_shard_from_bytes(
+        self, shard: int, data: bytes, checkpoint: Optional[bytes] = None
+    ) -> RecoveryReport:
         """Replace an owned shard with one recovered from serialized log
         bytes.  Worker processes use this after a *process* death, where
         the surviving bytes come from the shard's on-disk log file rather
-        than the dead incarnation's in-memory image."""
+        than the dead incarnation's in-memory image.  ``checkpoint`` is an
+        optional checkpoint artifact; an invalid/torn/stale one is ignored
+        (full replay) and flagged in the returned report."""
         self.shard(shard)  # ownership check
-        recovered = LogStructuredStore.recover_from_bytes(
+        recovered = LogStructuredStore.recover_with_checkpoint(
             data,
+            checkpoint,
             expected_items=self._per_shard,
             seed=self._seed + 101 * shard + 1,
             durable=True,
@@ -226,12 +236,19 @@ class ShardedLogStore:
                     stash += len(table.stash)
         loads = [shard.index.load_ratio for shard in shards]
         mean_load = sum(loads) / len(loads) if loads else 0.0
+        log_bytes = sum(shard.log_size for shard in shards)
+        ages = [shard.last_checkpoint_age_s for shard in shards]
         return {
             "store_items": items,
             "store_log_records": log_records,
             "store_garbage_ratio": round(
                 1.0 - items / log_records if log_records else 0.0, 6
             ),
+            "store_log_bytes": log_bytes,
+            "store_dead_bytes": sum(shard.dead_bytes for shard in shards),
+            "store_compactions": sum(shard.compactions for shard in shards),
+            "store_checkpoints": sum(shard.checkpoints for shard in shards),
+            "store_last_checkpoint_age_s": round(max(ages) if ages else -1.0, 6),
             "index_capacity": capacity,
             "index_load_ratio": round(mean_load, 6),
             "index_imbalance": round(

@@ -73,6 +73,7 @@ from typing import Any, Dict, List, Optional, Tuple
 from ..core.errors import ConfigurationError, ReproError
 from ..core.sharded import ShardRouter, shards_of_worker
 from ..faults import FaultPlan, InjectedCrash
+from ..maintenance import MaintenanceConfig, MaintenanceDaemon
 from .protocol import (
     FRAME_OVERHEAD,
     BatchReply,
@@ -194,14 +195,25 @@ class WorkerSpec:
     fault_seed: int = 0
     armed: bool = True
     log_dir: Optional[str] = None
+    compact_at: float = -1.0
+    compact_min_records: int = 128
+    checkpoint_every: int = 0
 
     @property
     def shards(self) -> Tuple[int, ...]:
         return shards_of_worker(self.worker_id, self.n_shards, self.n_workers)
 
+    @property
+    def maintenance_enabled(self) -> bool:
+        return self.compact_at >= 0.0 or self.checkpoint_every > 0
+
     def log_path(self, shard: int) -> str:
         assert self.log_dir is not None
         return os.path.join(self.log_dir, f"shard-{shard}.log")
+
+    def ckpt_path(self, shard: int) -> str:
+        assert self.log_dir is not None
+        return os.path.join(self.log_dir, f"shard-{shard}.ckpt")
 
 
 def _child_entry(spec: WorkerSpec, child_sock, parent_sock) -> None:
@@ -242,6 +254,23 @@ class _ShardWorker:
             faults=self.faults,
             owned=list(spec.shards),
         )
+        self.daemon: Optional[MaintenanceDaemon] = None
+        if spec.maintenance_enabled:
+            self.daemon = MaintenanceDaemon(
+                MaintenanceConfig(
+                    compact_at=spec.compact_at,
+                    compact_min_records=spec.compact_min_records,
+                    checkpoint_every=spec.checkpoint_every,
+                ),
+                interrupt=self._maintenance_interrupt,
+                checkpoint_writer=(
+                    self._write_checkpoint_file
+                    if spec.durable and spec.log_dir is not None
+                    else None
+                ),
+            )
+            if spec.durable and spec.log_dir is not None:
+                self.daemon.set_commit_hook(self._on_compaction_commit)
         if spec.durable and spec.log_dir is not None:
             for shard in spec.shards:
                 self._open_shard_log(shard)
@@ -254,20 +283,41 @@ class _ShardWorker:
         """(Re)build one shard from its on-disk log, then mirror into it.
 
         A non-empty log file means a previous incarnation of this worker
-        died; replay it through the recover_from_bytes path.  Either way
-        the file is rewritten with the (compacted) surviving image and
-        attached as the shard's live sink.
+        died; replay it through the recovery path — restoring the shard's
+        checkpoint file first when one validates, so only the tail is
+        replayed.  Either way the file is rewritten with the surviving
+        image and attached as the shard's live sink.
         """
         path = self.spec.log_path(shard)
+        ckpt_path = self.spec.ckpt_path(shard)
         data = b""
+        checkpoint: Optional[bytes] = None
         if os.path.exists(path):
             with open(path, "rb") as handle:
                 data = handle.read()
+        if os.path.exists(ckpt_path):
+            with open(ckpt_path, "rb") as handle:
+                checkpoint = handle.read()
         if data:
-            report = self.store.load_shard_from_bytes(shard, data)
+            report = self.store.load_shard_from_bytes(
+                shard, data, checkpoint=checkpoint
+            )
             self.recovered_shards.append(shard)
             self.recovered_records += report.records_replayed
             self.stats.shard_recoveries += 1
+            if report.checkpoint_invalid and checkpoint is not None:
+                # Torn/stale artifact: the full replay just rewrote the
+                # image, so the file can never validate again — drop it.
+                try:
+                    os.unlink(ckpt_path)
+                except OSError:
+                    pass
+        elif checkpoint is not None:
+            # A checkpoint without log bytes cannot validate; drop it.
+            try:
+                os.unlink(ckpt_path)
+            except OSError:
+                pass
         self._attach_sink(shard)
 
     def _attach_sink(self, shard: int) -> None:
@@ -277,6 +327,103 @@ class _ShardWorker:
         sink = open(self.spec.log_path(shard), "wb")
         self._sinks[shard] = sink
         self.store.shard(shard).attach_log_sink(sink)
+
+    # ------------------------------------------------------------------
+    # maintenance (compaction + checkpoints), ticked after each write
+    # ------------------------------------------------------------------
+
+    def _last_gasp_exit(self, code: int) -> None:
+        """Emit the dying event (best-effort) and hard-exit the process."""
+        try:
+            self._send_event({
+                "event": "dying",
+                "worker": self.spec.worker_id,
+                "counters": self.stats.snapshot(),
+                "faults": (self.faults.fired_counts()
+                           if self.faults is not None else {}),
+            })
+        except Exception:
+            pass
+        os._exit(code)
+
+    def _maintenance_interrupt(self, site: str, shard: int) -> None:
+        """Per-record compaction hook: honour ``kill_worker_during``.
+
+        Dying here leaves the on-disk shard file untouched (compaction
+        commits via atomic rename only after every record is copied), so
+        the restarted worker recovers the exact pre-compaction state.
+        """
+        if self.faults is not None and self.faults.should_kill_maintenance(
+                site, self.spec.worker_id):
+            self._last_gasp_exit(24)
+
+    def _write_checkpoint_file(self, shard: int, artifact: bytes) -> None:
+        """Persist a checkpoint by overwriting the shard's single slot.
+
+        Deliberately NOT write-temp-then-rename: the checkpoint file
+        models an overwrite-in-place slot so that dying mid-write (the
+        ``kill_worker_during=checkpoint`` rule) leaves a torn artifact on
+        disk — which recovery must then reject by CRC and fall back to a
+        full log replay.
+        """
+        half = len(artifact) // 2
+        with open(self.spec.ckpt_path(shard), "wb") as handle:
+            handle.write(artifact[:half])
+            handle.flush()
+            if self.faults is not None and self.faults.should_kill_maintenance(
+                    "checkpoint", self.spec.worker_id):
+                self._last_gasp_exit(24)
+            handle.write(artifact[half:])
+            handle.flush()
+
+    def _on_compaction_commit(self, store) -> None:
+        """Swap the on-disk shard log for the compacted image, atomically.
+
+        The compacted image goes to a temp file first and ``os.replace``
+        publishes it, so a kill at any point leaves either the complete
+        old log or the complete new one — never a mix.  The old checkpoint
+        file can no longer validate (its prefix CRC hashed the old image),
+        so it is dropped; the daemon takes a fresh checkpoint right after.
+        """
+        shard = store.shard_id
+        path = self.spec.log_path(shard)
+        tmp = path + ".tmp"
+        with open(tmp, "wb") as handle:
+            handle.write(store.log_bytes)
+            handle.flush()
+        os.replace(tmp, path)
+        try:
+            os.unlink(self.spec.ckpt_path(shard))
+        except OSError:
+            pass
+        old = self._sinks.pop(shard, None)
+        if old is not None:
+            old.close()
+        sink = open(path, "ab")
+        self._sinks[shard] = sink
+        store.attach_log_sink(sink, already_synced=True)
+
+    def _run_maintenance(self, shard: int) -> None:
+        """One daemon tick after an applied write.
+
+        The write that triggered this tick is already durable in the
+        shard's log file, so an injected maintenance crash never costs an
+        acknowledged write: the shard is recovered in place (checkpoint +
+        tail when the slot validates) and the ack still goes out.
+        """
+        if self.daemon is None:
+            return
+        try:
+            self.daemon.maybe_run(self.store.shard(shard), shard)
+        except InjectedCrash:
+            self.stats.injected_crashes += 1
+            if self.store.durable:
+                self.store.crash_and_recover(shard)
+                self.stats.shard_recoveries += 1
+                if self.spec.log_dir is not None:
+                    self._attach_sink(shard)
+        except Exception:
+            self.stats.internal_errors += 1
 
     # ------------------------------------------------------------------
     # main loop
@@ -403,13 +550,8 @@ class _ShardWorker:
             # whole process dies before the ack — the client sees
             # UNAVAILABLE (outcome unknown).  The last-gasp event keeps
             # fired/counter accounting observable without acking the op.
-            self._send_event({
-                "event": "dying",
-                "worker": self.spec.worker_id,
-                "counters": self.stats.snapshot(),
-                "faults": self.faults.fired_counts(),
-            })
-            os._exit(23)
+            self._last_gasp_exit(23)
+        self._run_maintenance(shard)
         return reply
 
 
@@ -591,6 +733,7 @@ class WorkerPool:
 
     def _spec(self, worker_id: int) -> WorkerSpec:
         plan = self.config.fault_plan
+        maintenance = self.config.maintenance
         return WorkerSpec(
             worker_id=worker_id,
             n_workers=self.n_workers,
@@ -604,6 +747,12 @@ class WorkerPool:
             fault_seed=plan.seed if plan is not None else 0,
             armed=self._armed,
             log_dir=self.log_dir,
+            compact_at=(maintenance.compact_at
+                        if maintenance is not None else -1.0),
+            compact_min_records=(maintenance.compact_min_records
+                                 if maintenance is not None else 128),
+            checkpoint_every=(maintenance.checkpoint_every
+                              if maintenance is not None else 0),
         )
 
     # ------------------------------------------------------------------
@@ -1041,6 +1190,8 @@ class WorkerServer(McCuckooServer):
         for load, worst-worker imbalance (an approximation — per-shard
         loads stay inside the workers)."""
         items = records = capacity = stash = 0
+        log_bytes = dead_bytes = compactions = checkpoints = 0
+        checkpoint_age = -1.0
         weighted_load = 0.0
         max_load = 0.0
         for answer in per_worker:
@@ -1051,6 +1202,13 @@ class WorkerServer(McCuckooServer):
                 continue
             items += store.get("store_items", 0)
             records += store.get("store_log_records", 0)
+            log_bytes += store.get("store_log_bytes", 0)
+            dead_bytes += store.get("store_dead_bytes", 0)
+            compactions += store.get("store_compactions", 0)
+            checkpoints += store.get("store_checkpoints", 0)
+            checkpoint_age = max(
+                checkpoint_age, store.get("store_last_checkpoint_age_s", -1.0)
+            )
             shard_capacity = store.get("index_capacity", 0)
             capacity += shard_capacity
             stash += store.get("index_stash_population", 0)
@@ -1065,6 +1223,11 @@ class WorkerServer(McCuckooServer):
             "store_garbage_ratio": round(
                 1.0 - items / records if records else 0.0, 6
             ),
+            "store_log_bytes": log_bytes,
+            "store_dead_bytes": dead_bytes,
+            "store_compactions": compactions,
+            "store_checkpoints": checkpoints,
+            "store_last_checkpoint_age_s": round(checkpoint_age, 6),
             "index_capacity": capacity,
             "index_load_ratio": round(mean_load, 6),
             "index_imbalance": round(

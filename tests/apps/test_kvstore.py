@@ -2,7 +2,12 @@
 
 import pytest
 
-from repro.apps import LogStructuredStore, ValueLog
+from repro.apps import (
+    CorruptLogError,
+    LogStructuredStore,
+    ValueLog,
+    scan_log_bytes,
+)
 from repro.core.errors import TableFullError
 from repro.core.results import InsertOutcome, InsertStatus
 from repro.workloads import distinct_keys
@@ -252,3 +257,71 @@ class TestAccounting:
             if store.mem.off_chip.reads == before:
                 free += 1
         assert free > len(absent) // 2
+
+
+class TestScanLogBytes:
+    """scan_log_bytes edge cases: the torn-tail boundary must be exact."""
+
+    def _image(self, n_records=5, seed=37):
+        store = LogStructuredStore(expected_items=64, seed=seed, durable=True)
+        for index in range(n_records):
+            store.put(index, b"payload-%02d" % index)
+        return store.log_bytes
+
+    def test_empty_log(self):
+        records, report = scan_log_bytes(b"")
+        assert records == []
+        assert report.records_replayed == 0
+        assert report.bytes_scanned == 0
+        assert report.bytes_truncated == 0
+        assert not report.torn_tail
+
+    def test_log_ending_exactly_at_record_boundary(self):
+        image = self._image(n_records=5)
+        records, report = scan_log_bytes(image)
+        assert len(records) == 5
+        assert not report.torn_tail
+        assert report.bytes_truncated == 0
+        assert sum(record.size for record in records) == len(image)
+        # any clean record-boundary prefix is also not torn
+        cut = image[: records[0].size + records[1].size]
+        prefix, prefix_report = scan_log_bytes(cut)
+        assert len(prefix) == 2
+        assert not prefix_report.torn_tail
+
+    def test_cut_inside_trailing_crc_field(self):
+        """A record missing the last 2 bytes of its CRC is a torn write:
+        the whole record drops, every record before it survives."""
+        image = self._image(n_records=5)
+        records, _ = scan_log_bytes(image)
+        cut = image[: len(image) - 2]  # mid-CRC of the final record
+        kept, report = scan_log_bytes(cut)
+        assert len(kept) == 4
+        assert report.torn_tail
+        assert report.bytes_truncated == records[-1].size - 2
+        assert [record.key for record in kept] == \
+               [record.key for record in records[:4]]
+
+    def test_cut_inside_length_prefix(self):
+        image = self._image(n_records=3)
+        records, _ = scan_log_bytes(image)
+        boundary = records[0].size + records[1].size
+        cut = image[: boundary + 2]  # 2 of the 4 length-prefix bytes
+        kept, report = scan_log_bytes(cut)
+        assert len(kept) == 2
+        assert report.torn_tail
+        assert report.bytes_truncated == 2
+
+    def test_flipped_byte_in_tail_record_truncates(self):
+        image = bytearray(self._image(n_records=4))
+        image[-6] ^= 0x01  # payload byte of the final record
+        kept, report = scan_log_bytes(bytes(image))
+        assert len(kept) == 3
+        assert report.torn_tail
+
+    def test_flipped_byte_mid_log_raises(self):
+        image = bytearray(self._image(n_records=4))
+        records, _ = scan_log_bytes(bytes(image))
+        image[records[0].size + 8] ^= 0x01  # inside record 1, not the tail
+        with pytest.raises(CorruptLogError):
+            scan_log_bytes(bytes(image))

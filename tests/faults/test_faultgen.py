@@ -66,3 +66,30 @@ class TestConfigShapes:
         assert "crash_after_appends" in DEFAULT_FAULT_SPEC
         assert "torn_write" in DEFAULT_FAULT_SPEC
         assert "corrupt_frame" in DEFAULT_FAULT_SPEC
+
+
+class TestMaintenanceAudit:
+    """Maintenance must never cost an acknowledged write — even when the
+    faults strike *inside* a compaction or a checkpoint write."""
+
+    def test_effective_faults_extends_spec_per_mode(self):
+        single = FaultgenConfig.smoke(seed=0, maintenance=True)
+        assert "crash_during_compaction=1" in single.effective_faults()
+        assert "torn_checkpoint=1" in single.effective_faults()
+        worker = dataclasses.replace(single, n_workers=2)
+        assert "kill_worker_during=compaction:1" in worker.effective_faults()
+        assert "kill_worker_during=checkpoint:1" in worker.effective_faults()
+        plain = FaultgenConfig.smoke(seed=0)
+        assert plain.effective_faults() == plain.faults
+
+    def test_smoke_passes_with_maintenance_strikes(self):
+        config = FaultgenConfig.smoke(seed=derive(7), maintenance=True)
+        report = run_config(config)
+        assert report.ok, report.render()
+        assert report.lost_acked_writes == 0
+        assert report.phantom_values == 0
+        # the strikes landed inside maintenance, and recovery absorbed them
+        fired = report.faults_fired
+        assert fired.get("crash_during_compaction", 0) > 0
+        assert fired.get("torn_checkpoint", 0) > 0
+        assert report.shard_recoveries > 0

@@ -54,6 +54,11 @@ class TestGrammar:
         "delay_shard=1",
         "busy=1.5",
         "drop_connection=-0.1",
+        "crash_during_compaction=0",
+        "torn_checkpoint=1:x",
+        "kill_worker_during=1",
+        "kill_worker_during=frobnicate:1",
+        "kill_worker_during=compaction:zero",
     ])
     def test_bad_specs_raise(self, bad):
         with pytest.raises(FaultSpecError):
@@ -181,7 +186,76 @@ class TestKillWorker:
 
     def test_spec_ships_every_rule_kind(self):
         spec = ("crash_after_appends=10@2; torn_write=5:7@1; busy=0.25; "
-                "kill_worker=4; delay_shard=0:0.01:3")
+                "kill_worker=4; delay_shard=0:0.01:3; "
+                "crash_during_compaction=2@1; torn_checkpoint=1:10; "
+                "kill_worker_during=checkpoint:3@0")
         plan = FaultPlan.parse(spec, seed=9)
         rebuilt = FaultPlan.parse(plan.spec(), seed=9)
         assert rebuilt.describe() == plan.describe()
+
+
+class TestMaintenanceRules:
+    """The compaction/checkpoint fault surface (repro.maintenance)."""
+
+    def test_parse_describe_roundtrip(self):
+        spec = ("crash_during_compaction=2@1; torn_checkpoint=1:10; "
+                "kill_worker_during=compaction:1@0")
+        plan = FaultPlan.parse(spec, seed=derive(61))
+        assert "crash_during_compaction=2@1" in plan.describe()
+        assert "torn_checkpoint=1:10" in plan.describe()
+        assert "kill_worker_during=compaction:1@0" in plan.describe()
+        rebuilt = FaultPlan.parse(plan.spec(), seed=plan.seed)
+        assert rebuilt.describe() == plan.describe()
+
+    def test_compaction_crash_fires_on_nth_record_once(self):
+        plan = FaultPlan.parse("crash_during_compaction=3", seed=0)
+        fired = [plan.on_compaction_record() for _ in range(6)]
+        assert fired == [False, False, True, False, False, False]
+        assert plan.fired_counts() == {"crash_during_compaction": 1}
+
+    def test_compaction_crash_shard_scoped(self):
+        plan = FaultPlan.parse("crash_during_compaction=2@1", seed=0)
+        assert plan.on_compaction_record(shard=0) is False
+        assert plan.on_compaction_record(shard=1) is False
+        assert plan.on_compaction_record(shard=0) is False  # never counts
+        assert plan.on_compaction_record(shard=1) is True
+
+    def test_torn_checkpoint_carries_keep_bytes(self):
+        plan = FaultPlan.parse("torn_checkpoint=2:10", seed=0)
+        assert plan.on_checkpoint_write() is None  # 1st write is clean
+        fault = plan.on_checkpoint_write()
+        assert fault is not None
+        assert fault.torn and fault.crash and fault.keep_bytes == 10
+        assert plan.on_checkpoint_write() is None  # one-shot
+        assert plan.fired_counts() == {"torn_checkpoint": 1}
+
+    def test_torn_checkpoint_default_keep_is_unset(self):
+        fault = FaultPlan.parse("torn_checkpoint=1", seed=0).on_checkpoint_write()
+        assert fault.keep_bytes is None  # store tears at half the artifact
+
+    def test_kill_during_site_is_exact(self):
+        plan = FaultPlan.parse("kill_worker_during=checkpoint:1", seed=0)
+        assert plan.should_kill_maintenance("compaction", 0) is False
+        assert plan.should_kill_maintenance("checkpoint", 0) is True
+        assert plan.should_kill_maintenance("checkpoint", 0) is False  # spent
+        assert plan.fired_counts() == {"kill_worker_during": 1}
+
+    def test_kill_during_worker_scoped(self):
+        plan = FaultPlan.parse("kill_worker_during=compaction:2@1", seed=0)
+        assert plan.should_kill_maintenance("compaction", 0) is False
+        assert plan.should_kill_maintenance("compaction", 1) is False
+        assert plan.should_kill_maintenance("compaction", 0) is False
+        assert plan.should_kill_maintenance("compaction", 1) is True
+
+    def test_disarmed_plan_skips_maintenance_rules(self):
+        plan = FaultPlan.parse(
+            "crash_during_compaction=1; torn_checkpoint=1; "
+            "kill_worker_during=compaction:1", seed=0
+        )
+        plan.disarm()
+        assert plan.on_compaction_record() is False
+        assert plan.on_checkpoint_write() is None
+        assert plan.should_kill_maintenance("compaction", 0) is False
+        assert plan.fired_counts() == {}
+        plan.arm()
+        assert plan.on_compaction_record() is True

@@ -1,0 +1,194 @@
+"""Checkpointer round trips and torn-artifact fallback.
+
+A checkpoint bounds restart time: recovery restores the index snapshot
+bit-for-bit and replays only the post-checkpoint tail.  The flip side is
+that the artifact is a single overwrite-in-place slot, so every way it
+can be damaged — torn at an arbitrary byte, bad magic, truncated header,
+garbage — must degrade to a full log replay, never to a half-trusted
+index.
+"""
+
+import pytest
+
+from repro.apps import LogStructuredStore
+from repro.apps.kvstore import decode_checkpoint, encode_checkpoint
+from repro.faults import FaultPlan, InjectedCrash
+from repro.maintenance import Checkpointer
+from tests.seeding import derive
+
+
+def _store_with_history(seed, n_ops=120, expected_items=512):
+    store = LogStructuredStore(
+        expected_items=expected_items, seed=seed, durable=True
+    )
+    for op in range(n_ops):
+        store.put(op % 48, b"v%06d" % op)
+        if op % 17 == 16:
+            store.delete((op + 3) % 48)
+    return store
+
+
+def _model(store):
+    return dict(store.items())
+
+
+class TestCheckpointRoundTrip:
+    def test_checkpoint_plus_tail_recovers_exact_state(self):
+        store = _store_with_history(derive(0xCE))
+        artifact = Checkpointer().checkpoint(store)
+        # tail: writes after the checkpoint
+        for op in range(40):
+            store.put(1000 + op, b"tail%04d" % op)
+        store.delete(1001)
+        model = _model(store)
+
+        recovered = LogStructuredStore.recover_with_checkpoint(
+            store.log_bytes, artifact, expected_items=512, seed=derive(0xCE)
+        )
+        assert _model(recovered) == model
+        report = recovered.recovery_report
+        assert report.checkpoint_loaded
+        assert not report.checkpoint_invalid
+
+    def test_report_splits_checkpoint_and_tail(self):
+        store = _store_with_history(derive(0xCF))
+        at_checkpoint = store.log_records
+        artifact = store.take_checkpoint()
+        tail = 25
+        for op in range(tail):
+            store.put(2000 + op, b"t%d" % op)
+
+        recovered = LogStructuredStore.recover_with_checkpoint(
+            store.log_bytes, artifact, expected_items=512, seed=derive(0xCF)
+        )
+        report = recovered.recovery_report
+        assert report.checkpoint_records == at_checkpoint
+        assert report.tail_records_replayed == tail
+        assert report.records_replayed == at_checkpoint + tail
+
+    def test_writer_hook_persists_artifact(self):
+        store = _store_with_history(derive(0xD0))
+        written = []
+        artifact = Checkpointer().checkpoint(store, writer=written.append)
+        assert written == [artifact]
+        assert store.checkpoint_bytes == artifact
+
+    def test_missing_checkpoint_full_replay_without_invalid_flag(self):
+        store = _store_with_history(derive(0xD1))
+        recovered = LogStructuredStore.recover_with_checkpoint(
+            store.log_bytes, None, expected_items=512, seed=derive(0xD1)
+        )
+        assert _model(recovered) == _model(store)
+        report = recovered.recovery_report
+        assert not report.checkpoint_loaded
+        assert not report.checkpoint_invalid  # absent, not damaged
+
+    def test_render_mentions_checkpoint_coverage(self):
+        store = _store_with_history(derive(0xD2))
+        artifact = store.take_checkpoint()
+        store.put(9000, b"after")
+        recovered = LogStructuredStore.recover_with_checkpoint(
+            store.log_bytes, artifact, expected_items=512, seed=derive(0xD2)
+        )
+        assert "checkpoint" in recovered.recovery_report.render()
+
+
+class TestTornCheckpoint:
+    def test_torn_rule_tears_slot_and_raises(self):
+        plan = FaultPlan.parse("torn_checkpoint=1", seed=derive(4))
+        store = LogStructuredStore(
+            expected_items=512, seed=derive(0xD3), durable=True, faults=plan
+        )
+        for op in range(60):
+            store.put(op, b"x%d" % op)
+        with pytest.raises(InjectedCrash):
+            store.take_checkpoint()
+        torn = store.checkpoint_bytes
+        assert torn is not None
+        assert store.checkpoints == 0  # never counted as successful
+
+        recovered = LogStructuredStore.recover_with_checkpoint(
+            store.log_bytes, torn, expected_items=512, seed=derive(0xD3)
+        )
+        assert _model(recovered) == _model(store)
+        report = recovered.recovery_report
+        assert report.checkpoint_invalid
+        assert not report.checkpoint_loaded
+
+    @pytest.mark.parametrize("keep", [0, 1, 4, 9, 64, 300])
+    def test_torn_at_specific_byte_always_falls_back(self, keep):
+        plan = FaultPlan.parse(f"torn_checkpoint=1:{keep}", seed=derive(5))
+        store = LogStructuredStore(
+            expected_items=512, seed=derive(0xD4), durable=True, faults=plan
+        )
+        for op in range(80):
+            store.put(op % 32, b"y%06d" % op)
+        model = _model(store)
+        with pytest.raises(InjectedCrash):
+            store.take_checkpoint()
+        torn = store.checkpoint_bytes
+        assert len(torn) <= max(keep, 0)
+
+        recovered = LogStructuredStore.recover_with_checkpoint(
+            store.log_bytes, torn, expected_items=512, seed=derive(0xD4)
+        )
+        assert _model(recovered) == model
+        assert recovered.recovery_report.checkpoint_invalid
+
+    def test_checkpointer_writer_sees_torn_prefix(self):
+        """The durable file must be torn the same way as the in-memory
+        slot, so cross-process recovery exercises the same fallback."""
+        plan = FaultPlan.parse("torn_checkpoint=1:10", seed=derive(6))
+        store = LogStructuredStore(
+            expected_items=512, seed=derive(0xD5), durable=True, faults=plan
+        )
+        for op in range(40):
+            store.put(op, b"z%d" % op)
+        written = []
+        with pytest.raises(InjectedCrash):
+            Checkpointer().checkpoint(store, writer=written.append)
+        assert written == [store.checkpoint_bytes]
+        assert len(written[0]) <= 10
+
+    def test_retry_after_torn_checkpoint_succeeds(self):
+        plan = FaultPlan.parse("torn_checkpoint=1", seed=derive(7))
+        store = LogStructuredStore(
+            expected_items=512, seed=derive(0xD6), durable=True, faults=plan
+        )
+        for op in range(30):
+            store.put(op, b"w%d" % op)
+        with pytest.raises(InjectedCrash):
+            store.take_checkpoint()
+        artifact = store.take_checkpoint()  # one-shot rule is spent
+        assert store.checkpoints == 1
+        recovered = LogStructuredStore.recover_with_checkpoint(
+            store.log_bytes, artifact, expected_items=512, seed=derive(0xD6)
+        )
+        assert recovered.recovery_report.checkpoint_loaded
+
+
+class TestDecodeCheckpoint:
+    def test_decode_round_trip(self):
+        payload = {"version": 1, "kind": "checkpoint", "n": 42}
+        assert decode_checkpoint(encode_checkpoint(payload)) == payload
+
+    @pytest.mark.parametrize(
+        "blob",
+        [
+            None,
+            b"",
+            b"MC",  # truncated magic
+            b"XXXX\x00\x00\x00\x04abcd\x00\x00\x00\x00",  # bad magic
+            b"MCKP\x00\x00\x00",  # truncated length field
+            b"MCKP\xff\xff\xff\xffabc",  # length past end of blob
+        ],
+        ids=["none", "empty", "short-magic", "bad-magic", "short-len",
+             "len-overrun"],
+    )
+    def test_decode_rejects_garbage(self, blob):
+        assert decode_checkpoint(blob) is None
+
+    def test_decode_rejects_flipped_bit(self):
+        artifact = bytearray(encode_checkpoint({"version": 1, "x": 1}))
+        artifact[len(artifact) // 2] ^= 0x40
+        assert decode_checkpoint(bytes(artifact)) is None

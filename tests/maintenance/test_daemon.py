@@ -1,0 +1,155 @@
+"""MaintenanceDaemon scheduling policies.
+
+The daemon is ticked from the one-writer-per-shard loop, so every test
+here drives it the same way the serving stack does: write, tick, write,
+tick.  What matters is *when* it fires — below the garbage threshold or
+the minimum log size it must stay idle, and a compaction must be chased
+by an immediate checkpoint (the rewrite invalidated any prior one).
+"""
+
+from repro.apps import LogStructuredStore
+from repro.maintenance import MaintenanceConfig, MaintenanceDaemon
+from tests.seeding import derive
+
+
+def _store(seed, expected_items=512):
+    return LogStructuredStore(
+        expected_items=expected_items, seed=seed, durable=True
+    )
+
+
+class TestConfig:
+    def test_defaults_enabled(self):
+        assert MaintenanceConfig().enabled
+
+    def test_disabled_when_both_axes_off(self):
+        assert not MaintenanceConfig(compact_at=-1.0, checkpoint_every=0).enabled
+
+    def test_single_axis_is_enough(self):
+        assert MaintenanceConfig(compact_at=-1.0, checkpoint_every=8).enabled
+        assert MaintenanceConfig(compact_at=0.5, checkpoint_every=0).enabled
+
+    def test_aggressive_is_tighter_than_default(self):
+        base, aggressive = MaintenanceConfig(), MaintenanceConfig.aggressive()
+        assert aggressive.compact_at < base.compact_at
+        assert aggressive.compact_min_records < base.compact_min_records
+        assert aggressive.checkpoint_every < base.checkpoint_every
+
+    def test_describe_names_every_threshold(self):
+        text = MaintenanceConfig.aggressive().describe()
+        assert "0.25" in text and "32" in text and "64" in text
+
+
+class TestCompactionScheduling:
+    def test_idle_below_min_records(self):
+        daemon = MaintenanceDaemon(
+            MaintenanceConfig(compact_at=0.0, compact_min_records=100,
+                              checkpoint_every=0)
+        )
+        store = _store(derive(0xDA))
+        for op in range(30):  # 100% garbage eligible ratio, tiny log
+            store.put(0, b"v%d" % op)
+        out = daemon.maybe_run(store)
+        assert out == {"compacted": None, "checkpointed": False}
+        assert store.compactions == 0
+
+    def test_idle_below_garbage_threshold(self):
+        daemon = MaintenanceDaemon(
+            MaintenanceConfig(compact_at=0.9, compact_min_records=10,
+                              checkpoint_every=0)
+        )
+        store = _store(derive(0xDB))
+        for op in range(50):  # all distinct keys: zero garbage
+            store.put(op, b"v")
+        assert daemon.maybe_run(store)["compacted"] is None
+
+    def test_fires_above_both_thresholds(self):
+        daemon = MaintenanceDaemon(
+            MaintenanceConfig(compact_at=0.4, compact_min_records=10,
+                              checkpoint_every=0)
+        )
+        store = _store(derive(0xDC))
+        for op in range(60):
+            store.put(op % 12, b"v%d" % op)  # 48 dead of 60
+        model = dict(store.items())
+        out = daemon.maybe_run(store)
+        assert out["compacted"] == 48
+        assert store.compactions == 1
+        assert dict(store.items()) == model
+
+    def test_negative_threshold_disables_compaction(self):
+        daemon = MaintenanceDaemon(
+            MaintenanceConfig(compact_at=-1.0, compact_min_records=1,
+                              checkpoint_every=0)
+        )
+        store = _store(derive(0xDD))
+        for op in range(40):
+            store.put(0, b"v%d" % op)
+        assert daemon.maybe_run(store)["compacted"] is None
+
+
+class TestCheckpointScheduling:
+    def test_checkpoint_every_n_appends(self):
+        daemon = MaintenanceDaemon(
+            MaintenanceConfig(compact_at=-1.0, checkpoint_every=16)
+        )
+        store = _store(derive(0xDE))
+        ticks = []
+        for op in range(40):
+            store.put(op, b"v")
+            ticks.append(daemon.maybe_run(store)["checkpointed"])
+        # fires at append 16 and 32, idle everywhere else
+        assert ticks.count(True) == 2
+        assert ticks[15] and ticks[31]
+        assert store.checkpoints == 2
+
+    def test_zero_disables_checkpointing(self):
+        daemon = MaintenanceDaemon(
+            MaintenanceConfig(compact_at=-1.0, checkpoint_every=0)
+        )
+        store = _store(derive(0xDF))
+        for op in range(100):
+            store.put(op, b"v")
+            daemon.maybe_run(store)
+        assert store.checkpoints == 0
+
+    def test_checkpoint_chases_compaction(self):
+        """Compaction invalidates the old checkpoint, so the same tick
+        must take a fresh one — and not double-checkpoint afterwards."""
+        daemon = MaintenanceDaemon(
+            MaintenanceConfig(compact_at=0.4, compact_min_records=10,
+                              checkpoint_every=1000)
+        )
+        store = _store(derive(0xE0))
+        for op in range(60):
+            store.put(op % 12, b"v%d" % op)
+        out = daemon.maybe_run(store)
+        assert out["compacted"] is not None
+        assert out["checkpointed"]
+        assert store.checkpoints == 1
+        assert store.checkpoint_bytes is not None  # fresh, not cleared
+
+    def test_no_chaser_when_checkpointing_disabled(self):
+        daemon = MaintenanceDaemon(
+            MaintenanceConfig(compact_at=0.4, compact_min_records=10,
+                              checkpoint_every=0)
+        )
+        store = _store(derive(0xE1))
+        for op in range(60):
+            store.put(op % 12, b"v%d" % op)
+        out = daemon.maybe_run(store)
+        assert out["compacted"] is not None
+        assert not out["checkpointed"]
+        assert store.checkpoint_bytes is None
+
+    def test_checkpoint_writer_receives_shard_and_artifact(self):
+        written = []
+        daemon = MaintenanceDaemon(
+            MaintenanceConfig(compact_at=-1.0, checkpoint_every=4),
+            checkpoint_writer=lambda shard, data: written.append((shard, data)),
+        )
+        store = _store(derive(0xE2))
+        for op in range(4):
+            store.put(op, b"v")
+        daemon.maybe_run(store, shard=3)
+        assert written == [(3, store.checkpoint_bytes)]

@@ -1,0 +1,131 @@
+"""WearMeter accounting and the wear-aware kick policy.
+
+Wear is the flash/NVM lifetime model of Eppstein et al. (arXiv
+1404.0286): the device dies when its hottest bucket exhausts its
+program/erase cycles, so the meter's headline aggregate is **max** wear
+and the leveling metric is max/mean imbalance.
+"""
+
+import random
+
+import pytest
+
+from repro.core import McCuckoo, WearAwarePolicy
+from repro.core.errors import ConfigurationError
+from repro.core.policies import make_policy
+from repro.memory.wear import WearMeter
+from repro.workloads import distinct_keys
+from tests.seeding import derive
+
+
+class TestWearMeter:
+    def test_note_and_wear_of(self):
+        meter = WearMeter(n_buckets=4)
+        meter.note(0)
+        meter.note(2, count=3)
+        assert meter.wear_of(0) == 1
+        assert meter.wear_of(1) == 0
+        assert meter.wear_of(2) == 3
+        assert meter.total_writes == 4
+
+    def test_note_past_end_auto_resizes(self):
+        meter = WearMeter(n_buckets=2)
+        meter.note(9)
+        assert meter.n_buckets == 10
+        assert meter.wear_of(9) == 1
+
+    def test_resize_preserves_counts_and_never_shrinks(self):
+        meter = WearMeter(n_buckets=4)
+        meter.note(3, count=5)
+        meter.resize(8)
+        assert meter.n_buckets == 8
+        assert meter.wear_of(3) == 5
+        meter.resize(2)  # shrink request is ignored
+        assert meter.n_buckets == 8
+
+    def test_wear_of_out_of_range_is_zero(self):
+        meter = WearMeter(n_buckets=2)
+        assert meter.wear_of(-1) == 0
+        assert meter.wear_of(99) == 0
+
+    def test_aggregates(self):
+        meter = WearMeter(n_buckets=4)
+        for bucket, count in ((0, 1), (1, 2), (2, 3), (3, 6)):
+            meter.note(bucket, count=count)
+        assert meter.max_wear == 6
+        assert meter.mean_wear == pytest.approx(3.0)
+        assert meter.wear_imbalance == pytest.approx(2.0)
+
+    def test_empty_meter_aggregates(self):
+        meter = WearMeter()
+        assert meter.max_wear == 0
+        assert meter.mean_wear == 0.0
+        assert meter.wear_imbalance == 1.0  # vacuously level
+
+    def test_histogram(self):
+        meter = WearMeter(n_buckets=5)
+        meter.note(0, count=2)
+        meter.note(1, count=2)
+        meter.note(2)
+        assert meter.histogram() == {0: 2, 1: 1, 2: 2}
+
+    def test_summary_mentions_every_aggregate(self):
+        meter = WearMeter(n_buckets=2)
+        meter.note(0, count=4)
+        text = meter.summary()
+        assert "total=4" in text and "max=4" in text
+        assert "mean=" in text and "imbalance=" in text
+
+
+class TestWearAwarePolicy:
+    def test_chooses_minimum_wear_candidate(self):
+        meter = WearMeter(n_buckets=4)
+        meter.note(0, count=5)
+        meter.note(1, count=2)
+        meter.note(3, count=9)
+        policy = WearAwarePolicy()
+        policy.attach_wear(meter)
+        rng = random.Random(derive(0xF0))
+        assert policy.choose([0, 1, 3], rng) == 1
+        assert policy.choose([0, 2, 3], rng) == 2  # untouched bucket wins
+
+    def test_ties_break_at_random_not_index_order(self):
+        meter = WearMeter(n_buckets=8)
+        policy = WearAwarePolicy()
+        policy.attach_wear(meter)
+        rng = random.Random(derive(0xF1))
+        chosen = {policy.choose([2, 5, 7], rng) for _ in range(60)}
+        assert chosen == {2, 5, 7}  # all equally-cold candidates reachable
+
+    def test_raises_before_attach(self):
+        with pytest.raises(ConfigurationError):
+            WearAwarePolicy().choose([0, 1], random.Random(0))
+
+    def test_registered_in_policy_registry(self):
+        policy = make_policy("wear-aware")
+        assert isinstance(policy, WearAwarePolicy)
+        assert policy.wants_wear
+
+
+class TestTableWiring:
+    def test_table_auto_creates_meter_for_wear_policy(self):
+        table = McCuckoo(200, d=3, seed=derive(0xF2),
+                         kick_policy=WearAwarePolicy())
+        assert table.wear_meter is not None
+        for key in distinct_keys(int(table.capacity * 0.7), seed=derive(0xF3)):
+            assert table.put(key)
+        # every successful insert writes at least one bucket
+        assert table.wear_meter.total_writes >= int(table.capacity * 0.7)
+        assert table.wear_meter.max_wear >= 1
+
+    def test_explicit_meter_is_used_and_readable(self):
+        meter = WearMeter()
+        table = McCuckoo(200, d=3, seed=derive(0xF4), wear_meter=meter)
+        assert table.wear_meter is meter
+        for key in distinct_keys(100, seed=derive(0xF5)):
+            table.put(key)
+        assert meter.total_writes >= 100
+
+    def test_no_meter_by_default(self):
+        table = McCuckoo(100, d=3, seed=derive(0xF6))
+        assert table.wear_meter is None

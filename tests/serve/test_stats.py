@@ -1,0 +1,143 @@
+"""Durable-log maintenance gauges: per-shard sums, worker merges.
+
+The STATS verb is how an operator sees maintenance working without logs:
+``store_log_bytes``/``store_dead_bytes`` say whether garbage is
+accumulating, ``store_compactions``/``store_checkpoints`` say the daemon
+is keeping up, and ``store_last_checkpoint_age_s`` bounds how much tail a
+restart would replay.  Worker mode must *sum* the counters across worker
+processes (ages take the max — the staleness bound is the worst shard).
+"""
+
+import asyncio
+
+import pytest
+
+from repro.maintenance import MaintenanceConfig
+from repro.serve import McCuckooClient, ServerConfig, WorkerServer
+from repro.serve.server import McCuckooServer
+from repro.serve.store import ShardedLogStore
+from tests.seeding import derive
+
+
+def run(coro):
+    return asyncio.run(coro)
+
+
+class TestShardedStoreGauges:
+    def _store(self, seed, n_shards=4):
+        # byte gauges read the serialized image, so the store is durable
+        return ShardedLogStore(n_shards=n_shards, expected_items=1024,
+                               seed=seed, durable=True)
+
+    def test_log_and_dead_bytes_track_churn(self):
+        s = self._store(derive(0xE8))
+        for key in range(100):
+            s.put(key, b"v" * 16)
+        snapshot = s.stats_snapshot()
+        assert snapshot["store_log_bytes"] > 0
+        assert snapshot["store_dead_bytes"] == 0
+        for key in range(100):  # overwrite everything: half the log dies
+            s.put(key, b"w" * 16)
+        grown = s.stats_snapshot()
+        assert grown["store_log_bytes"] > snapshot["store_log_bytes"]
+        assert grown["store_dead_bytes"] == pytest.approx(
+            grown["store_log_bytes"] / 2
+        )
+
+    def test_compaction_and_checkpoint_counters_sum_shards(self):
+        s = self._store(derive(0xE9))
+        for key in range(200):
+            s.put(key, b"v")
+            s.put(key, b"w")
+        for index in (0, 2):
+            s.shard(index).compact()
+        s.shard(1).take_checkpoint()
+        snapshot = s.stats_snapshot()
+        assert snapshot["store_compactions"] == 2
+        assert snapshot["store_checkpoints"] == 1
+        # compaction reclaimed those shards' dead bytes
+        assert snapshot["store_dead_bytes"] == sum(
+            shard.dead_bytes for shard in s.shards
+        )
+
+    def test_checkpoint_age_is_minus_one_until_first_checkpoint(self):
+        s = self._store(derive(0xEA))
+        s.put(1, b"v")
+        assert s.stats_snapshot()["store_last_checkpoint_age_s"] == -1.0
+        s.shard(s.shard_index(1)).take_checkpoint()
+        age = s.stats_snapshot()["store_last_checkpoint_age_s"]
+        assert 0.0 <= age < 60.0
+
+
+class TestSingleProcessServerGauges:
+    def test_daemon_moves_gauges_over_tcp(self):
+        async def scenario():
+            config = ServerConfig(
+                n_shards=2, expected_items=4096, seed=derive(0xEB),
+                durable=True, maintenance=MaintenanceConfig.aggressive(),
+            )
+            async with McCuckooServer(config) as server:
+                host, port = server.address
+                async with McCuckooClient(host, port) as client:
+                    for round_ in range(6):
+                        for key in range(120):
+                            await client.put(key, b"r%d" % round_)
+                    await server.drain_writes()
+                    stats = await client.stats()
+            assert stats["store_compactions"] >= 1
+            assert stats["store_checkpoints"] >= 1
+            assert 0.0 <= stats["store_last_checkpoint_age_s"] < 60.0
+            assert stats["store_log_bytes"] > 0
+            assert stats["store_dead_bytes"] >= 0
+
+        run(scenario())
+
+
+class TestWorkerMergedGauges:
+    def test_gauges_sum_across_worker_processes(self):
+        async def scenario():
+            config = ServerConfig(
+                n_shards=4, expected_items=4096, seed=derive(0xEC),
+                durable=True, maintenance=MaintenanceConfig.aggressive(),
+            )
+            async with WorkerServer(config, n_workers=2) as server:
+                host, port = server.address
+                async with McCuckooClient(host, port) as client:
+                    for round_ in range(6):
+                        for key in range(120):
+                            await client.put(key, b"r%d-%04d" % (round_, key))
+                    await server.drain_writes()
+                    stats = await client.stats()
+            assert stats["workers"] == 2
+            # with aggressive thresholds and 83% garbage, both maintenance
+            # paths must have fired somewhere across the worker fleet
+            assert stats["store_compactions"] >= 1
+            assert stats["store_checkpoints"] >= 1
+            assert stats["store_log_bytes"] > 0
+            assert 0.0 <= stats["store_last_checkpoint_age_s"] < 60.0
+            # live data is 120 keys; the merged log can't be smaller than
+            # the values alone nor report negative garbage
+            assert stats["store_dead_bytes"] >= 0
+            assert stats["store_items"] == 120
+
+        run(scenario())
+
+    def test_gauges_zero_without_maintenance(self):
+        async def scenario():
+            config = ServerConfig(
+                n_shards=2, expected_items=2048, seed=derive(0xED),
+                durable=True,
+            )
+            async with WorkerServer(config, n_workers=2) as server:
+                host, port = server.address
+                async with McCuckooClient(host, port) as client:
+                    for key in range(50):
+                        await client.put(key, b"v")
+                    await server.drain_writes()
+                    stats = await client.stats()
+            assert stats["store_compactions"] == 0
+            assert stats["store_checkpoints"] == 0
+            assert stats["store_last_checkpoint_age_s"] == -1.0
+            assert stats["store_log_bytes"] > 0
+
+        run(scenario())

@@ -199,3 +199,25 @@ class TestSupervision:
         assert report.lost_acked_writes == 0
         assert report.phantom_values == 0
         assert report.worker_restarts >= 1
+
+    def test_faultgen_audit_passes_with_kills_inside_maintenance(self):
+        """``kill_worker_during`` hard-kills a worker mid-compaction and
+        mid-checkpoint-write; restart + durable-log replay must still
+        account for every acknowledged write.  The rule re-arms in each
+        restarted process, so the kills keep landing for the whole run."""
+        report = run(run_faultgen(FaultgenConfig(
+            n_ops=400,
+            n_keys=48,
+            concurrency=4,
+            seed=derive(107),
+            n_workers=2,
+            faults="busy=0.02",
+            maintenance=True,
+            run_timeout=45.0,
+        )))
+        assert report.ok, report.render()
+        assert "kill_worker_during=compaction:1" in report.fault_plan
+        assert "kill_worker_during=checkpoint:1" in report.fault_plan
+        assert report.lost_acked_writes == 0
+        assert report.phantom_values == 0
+        assert report.worker_restarts >= 1
