@@ -3,19 +3,27 @@
 Sweeps worker counts through the :mod:`repro.analysis.bench_serve`
 harness (single-process baseline, then ``WorkerServer`` at 1..N worker
 processes over real TCP), saves the machine-readable baseline to
-``benchmarks/results/BENCH_serve.json``, and gates two things:
+``benchmarks/results/BENCH_serve.json``, and gates three things:
 
 * **No regression**: ops/sec at ``--workers 1`` must stay within 30% of
   the committed baseline, when the baseline was produced with the same
   workload shape (otherwise the comparison is meaningless and skipped).
+* **Transport overhead**: with the shared-memory transport, 2 workers
+  must reach at least 1 worker's ops/sec on *any* box — two workers
+  should at worst tie one when there are no spare cores, so w2 < w1 is
+  pure transport overhead, not core starvation.
 * **Scaling**: on a box with >= 4 cores, 4 workers must reach >= 2x the
   ops/sec of 1 worker — the ISSUE's shard-parallelism acceptance
-  criterion.  One- and two-core boxes record the curve but do not gate
-  on it, because worker processes cannot scale past the cores they have.
+  criterion.  On smaller boxes this gate is *skipped*, the report says
+  so explicitly (``headline.gate_skipped = "cpus<4"``), and no
+  best-of-sweep speedup is recorded: a sub-1.0 ratio on a starved box
+  reads as a regression when it is just a core count.
 
 Set ``BENCH_SERVE_QUICK=1`` for the seconds-scale CI smoke configuration
 (workers 0/1/2, 5k ops) — the committed baseline is produced at exactly
-that shape so the CI regression gate always engages.
+that shape so the CI regression gate always engages.  ``--transport``
+follows ``REPRO_SERVE_TRANSPORT`` / shm availability via the library's
+"auto" resolution.
 """
 
 import os
@@ -36,6 +44,10 @@ BASELINE_PATH = RESULTS_DIR / "BENCH_serve.json"
 #: CI floor: fail when workers=1 throughput drops more than this fraction
 #: below the committed baseline (shape-matched runs only).
 MAX_REGRESSION = 0.30
+
+#: w2/w1 floor for the shm transport: nominally 1.0 ("two workers never
+#: lose to one"), with a small noise allowance for best-of-1 CI runs.
+MIN_W2_VS_W1_SHM = 0.9
 
 
 def test_serve_workers_throughput():
@@ -62,6 +74,19 @@ def test_serve_workers_throughput():
         print(f"baseline check: {message}")
         assert ok, f"serve throughput regressed: {message}"
 
+    # transport-overhead gate: applies on every box (shm rows only —
+    # the socketpair fallback pays a framing/pickle round trip and is
+    # known to trail on starved boxes)
+    if 1 in rows and 2 in rows and rows[2].get("transport") == "shm":
+        w2_vs_w1 = rows[2]["ops_per_sec"] / rows[1]["ops_per_sec"]
+        print(f"transport gate: w2/w1 = {w2_vs_w1:.2f}x over shm "
+              f"(floor {MIN_W2_VS_W1_SHM})")
+        assert w2_vs_w1 >= MIN_W2_VS_W1_SHM, (
+            f"workers=2 reached only {w2_vs_w1:.2f}x of workers=1 over the "
+            "shm transport — that is transport overhead, not core "
+            "starvation (two workers may tie one worker, never lose to it)"
+        )
+
     cpus = os.cpu_count() or 1
     if cpus >= 4 and 1 in rows and 4 in rows:
         speedup = rows[4]["ops_per_sec"] / rows[1]["ops_per_sec"]
@@ -69,6 +94,13 @@ def test_serve_workers_throughput():
             f"4 workers only {speedup:.2f}x over 1 worker on a "
             f"{cpus}-core box (need >= 2x)"
         )
+    else:
+        # say WHY the scaling gate did not apply, so a flat curve in the
+        # CI log is not misread as a perf bug
+        reason = (f"cpus={cpus} < 4" if cpus < 4
+                  else "sweep lacks workers=1 and workers=4 points")
+        print(f"scaling gate (>=2x at 4 workers): SKIPPED — {reason}; "
+              "see headline.gate_skipped in BENCH_serve.json")
 
     RESULTS_DIR.mkdir(exist_ok=True)
     # refresh the committed baseline only at the shape CI compares against

@@ -56,11 +56,20 @@ class BenchServeConfig:
     workload: str = "zipf"
     seed: int = 0
     repeats: int = 2
+    transport: str = "auto"
+    """Worker transport for the ``workers >= 1`` sweep points
+    ("auto"/"shm"/"socket"); the workers=0 baseline has no workers and
+    records transport "none"."""
 
     @classmethod
     def quick(cls) -> "BenchServeConfig":
-        """A seconds-scale variant for CI smoke runs."""
-        return cls(workers=(0, 1, 2), n_ops=5_000, n_keys=512, repeats=1)
+        """A seconds-scale variant for CI smoke runs.
+
+        Best-of-2 repeats: at 5k ops a single run's w2/w1 ratio swings
+        +/-10% with scheduler noise, which is wider than the w2 >= w1
+        transport gate's tolerance.
+        """
+        return cls(workers=(0, 1, 2), n_ops=5_000, n_keys=512, repeats=2)
 
 
 async def _run_point(config: BenchServeConfig, n_workers: int) -> LoadReport:
@@ -70,12 +79,15 @@ async def _run_point(config: BenchServeConfig, n_workers: int) -> LoadReport:
         n_shards=config.n_shards,
         expected_items=max(4096, 4 * config.n_keys),
         seed=config.seed,
+        transport=config.transport,
     )
     if n_workers > 0:
-        server: McCuckooServer = WorkerServer(server_config,
-                                              n_workers=n_workers)
+        worker_server = WorkerServer(server_config, n_workers=n_workers)
+        server: McCuckooServer = worker_server
+        transport = worker_server.transport
     else:
         server = McCuckooServer(server_config)
+        transport = "none"
     load = LoadgenConfig(
         workload=config.workload,
         n_ops=config.n_ops,
@@ -87,7 +99,7 @@ async def _run_point(config: BenchServeConfig, n_workers: int) -> LoadReport:
     )
     async with server:
         host, port = server.address
-        return await run_loadgen(host, port, load)
+        return await run_loadgen(host, port, load, transport=transport)
 
 
 def _measure_point(config: BenchServeConfig, n_workers: int) -> LoadReport:
@@ -117,6 +129,7 @@ def run_bench_serve(config: Optional[BenchServeConfig] = None,
         by_workers[n_workers] = report.ops_per_sec
         rows.append({
             "workers": n_workers,
+            "transport": report.transport,
             "n_ops": report.n_ops,
             "completed": report.completed,
             "elapsed_s": round(report.elapsed_s, 4),
@@ -130,16 +143,27 @@ def run_bench_serve(config: Optional[BenchServeConfig] = None,
             "errors": report.errors,
         })
 
-    headline: Dict[str, Any] = {"cpus": os.cpu_count() or 1}
+    cpus = os.cpu_count() or 1
+    headline: Dict[str, Any] = {"cpus": cpus}
     if 1 in by_workers:
         headline["ops_per_sec_w1"] = round(by_workers[1], 1)
+        if 2 in by_workers and by_workers[1] > 0:
+            # the transport-overhead gate: holds on any box, because two
+            # workers should at worst tie one when there are no spare cores
+            headline["w2_vs_w1"] = round(by_workers[2] / by_workers[1], 3)
         multi = [w for w in by_workers if w > 1]
-        if multi:
+        if multi and cpus >= 4:
+            # the *scaling* claim needs cores; on a small box a <1.0
+            # best-of-sweep ratio reads as a regression when it is just
+            # core starvation, so the ratio is only recorded when the
+            # ≥2x-at-4-workers gate could meaningfully apply
             best_w = max(multi, key=lambda w: by_workers[w])
             headline["best_workers"] = best_w
             headline["speedup_vs_w1"] = round(
                 by_workers[best_w] / by_workers[1], 3
             ) if by_workers[1] > 0 else 0.0
+        elif multi:
+            headline["gate_skipped"] = "cpus<4"
     if 0 in by_workers and 1 in by_workers and by_workers[0] > 0:
         headline["w1_vs_single"] = round(by_workers[1] / by_workers[0], 3)
 
@@ -156,6 +180,7 @@ def run_bench_serve(config: Optional[BenchServeConfig] = None,
             "workload": config.workload,
             "seed": config.seed,
             "repeats": config.repeats,
+            "transport": config.transport,
         },
         "environment": {
             "python": platform.python_version(),
@@ -170,11 +195,13 @@ def run_bench_serve(config: Optional[BenchServeConfig] = None,
 
 def render_report(report: Dict[str, Any]) -> str:
     """Human-readable table of a :func:`run_bench_serve` document."""
-    lines = ["workers       ops/s   p50ms   p95ms   p99ms  completed  errors"]
+    lines = ["workers  transport       ops/s   p50ms   p95ms   p99ms"
+             "  completed  errors"]
     for row in report["rows"]:
         label = "single" if row["workers"] == 0 else str(row["workers"])
+        transport = row.get("transport", "socket")
         lines.append(
-            f"{label:>7s} {row['ops_per_sec']:>11,.0f} "
+            f"{label:>7s} {transport:>10s} {row['ops_per_sec']:>11,.0f} "
             f"{row['p50_ms']:>7.3f} {row['p95_ms']:>7.3f} "
             f"{row['p99_ms']:>7.3f} {row['completed']:>10d} "
             f"{row['errors']:>7d}"
@@ -183,12 +210,20 @@ def render_report(report: Dict[str, Any]) -> str:
     parts = [f"cpus={headline['cpus']}"]
     if "ops_per_sec_w1" in headline:
         parts.append(f"w1={headline['ops_per_sec_w1']:,.0f} ops/s")
+    if "w2_vs_w1" in headline:
+        parts.append(f"w2/w1={headline['w2_vs_w1']:.2f}x")
     if "speedup_vs_w1" in headline:
         parts.append(f"w{headline['best_workers']}/w1="
                      f"{headline['speedup_vs_w1']:.2f}x")
     if "w1_vs_single" in headline:
         parts.append(f"w1/single={headline['w1_vs_single']:.2f}x")
     lines.append("headline: " + "  ".join(parts))
+    if headline.get("gate_skipped"):
+        lines.append(
+            f"note: ≥2x scaling gate skipped ({headline['gate_skipped']}) — "
+            "multi-worker speedup needs ≥4 cpus; only the w2≥w1 "
+            "transport-overhead gate applies on this box"
+        )
     return "\n".join(lines)
 
 
@@ -217,7 +252,7 @@ def compare_to_baseline(
     different shapes says nothing about a regression.
     """
     shape_keys = ("n_ops", "n_keys", "concurrency", "batch_size",
-                  "value_size", "n_shards", "workload")
+                  "value_size", "n_shards", "workload", "transport")
     current_shape = {key: report["config"][key] for key in shape_keys}
     baseline_shape = {key: baseline["config"].get(key) for key in shape_keys}
     if current_shape != baseline_shape:

@@ -468,7 +468,23 @@ class LogStructuredStore:
         off-chip totals equal a loop of scalar ``get`` calls.
         """
         ks = [canonical_key(key) for key in keys]
-        lookups = self._index.lookup_many(ks)
+        return self._read_values(ks, self._index.lookup_many(ks), default)
+
+    def get_many_u64(self, keys_u64: Any, default: Any = None) -> List[Any]:
+        """:meth:`get_many` over an already-canonical ``uint64`` key array.
+
+        Transport fast path: wire keys are u64 by construction, so the
+        array (typically a zero-copy view over a shared-memory ring slot)
+        feeds the index's vectorized kernel directly — no per-key
+        canonicalization, no array rebuild.
+        """
+        lookups = self._index.lookup_many_u64(keys_u64)
+        return self._read_values(keys_u64.tolist(), lookups, default)
+
+    def _read_values(self, ks: List[int], lookups: List[Any], default: Any) -> List[Any]:
+        """Shared log-read tail of the batched get paths: the hits are
+        charged in a single accounting call, so the off-chip totals equal
+        a loop of scalar ``get`` calls."""
         hits = sum(1 for lookup in lookups if lookup.found)
         if hits:
             self.mem.offchip_read("value-log", hits)

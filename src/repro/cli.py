@@ -149,7 +149,7 @@ def _build_parser() -> argparse.ArgumentParser:
     serve.add_argument("--expected-items", type=int, default=100_000)
     serve.add_argument("--seed", type=int, default=0)
     serve.add_argument("--max-connections", type=int, default=64)
-    serve.add_argument("--queue-depth", type=int, default=128,
+    serve.add_argument("--queue-depth", type=int, default=512,
                        help="bounded writer queue per shard (backpressure)")
     serve.add_argument("--timeout", type=float, default=5.0,
                        help="per-request timeout in seconds")
@@ -162,6 +162,11 @@ def _build_parser() -> argparse.ArgumentParser:
                        help="seed for the fault plan's RNGs")
     serve.add_argument("--workers", type=int, default=0,
                        help="shard worker processes (0 = single-process)")
+    serve.add_argument("--transport", default="auto",
+                       choices=("auto", "shm", "socket"),
+                       help="frontend ↔ worker transport: shared-memory "
+                            "rings, socketpair streams, or auto (shm when "
+                            "the platform supports it)")
     serve.add_argument("--engine", default="auto",
                        choices=("python", "numpy", "auto"),
                        help="batch-kernel backend for the shard indexes "
@@ -199,6 +204,11 @@ def _build_parser() -> argparse.ArgumentParser:
     loadgen.add_argument("--workers", type=int, default=0,
                          help="with --standalone: worker processes for the "
                               "in-process server (0 = single-process)")
+    loadgen.add_argument("--transport", default="auto",
+                         choices=("auto", "shm", "socket"),
+                         help="with --standalone: worker transport for the "
+                              "in-process server; also labels the report "
+                              "so per-transport ops/s rows are attributable")
 
     faultgen = sub.add_parser(
         "faultgen",
@@ -226,6 +236,10 @@ def _build_parser() -> argparse.ArgumentParser:
                           help="run the maintenance daemon (aggressive "
                                "thresholds) and strike during compactions "
                                "and checkpoint writes")
+    faultgen.add_argument("--transport", default="auto",
+                          choices=("auto", "shm", "socket"),
+                          help="worker transport for the driven server "
+                               "(with --workers N)")
 
     bench_serve = sub.add_parser(
         "bench-serve",
@@ -245,6 +259,10 @@ def _build_parser() -> argparse.ArgumentParser:
     bench_serve.add_argument("--shards", type=int, default=None)
     bench_serve.add_argument("--repeats", type=int, default=None)
     bench_serve.add_argument("--seed", type=int, default=None)
+    bench_serve.add_argument("--transport", default=None,
+                             choices=("auto", "shm", "socket"),
+                             help="worker transport for the multi-worker "
+                                  "sweep points (default: auto)")
 
     compact = sub.add_parser(
         "compact",
@@ -550,6 +568,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         fault_plan=fault_plan,
         engine=args.engine,
         maintenance=maintenance,
+        transport=args.transport,
     )
 
     if args.workers < 0:
@@ -571,8 +590,9 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         async with server_obj as server:
             host, port = server.address
             workers = getattr(server, "n_workers", 0)
-            topology = (f"{workers} worker processes" if workers
-                        else "single process")
+            transport = getattr(server, "transport", None)
+            topology = (f"{workers} worker processes over {transport}"
+                        if workers else "single process")
             print(f"serving {config.n_shards}-shard McCuckoo store "
                   f"on {host}:{port} ({topology}; Ctrl-C to stop)")
             if fault_plan is not None:
@@ -614,6 +634,22 @@ def _cmd_loadgen(args: argparse.Namespace) -> int:
         retry = RetryPolicy(max_attempts=args.retries,
                             deadline=args.deadline, seed=config.seed)
 
+    async def probe_transport(host: str, port: int) -> str:
+        """Ask the target server which worker transport it runs (the
+        STATS ``transport_shm`` gauge; absent on a single-process
+        server) so recorded ops/s rows are attributable."""
+        from .serve import McCuckooClient
+
+        try:
+            async with McCuckooClient(host, port) as client:
+                stats = await client.stats()
+        except Exception:
+            return "unknown"
+        flag = stats.get("transport_shm")
+        if flag is None:
+            return "none"
+        return "shm" if flag else "socket"
+
     async def run() -> int:
         if args.standalone:
             from .serve import McCuckooServer, ServerConfig
@@ -621,21 +657,26 @@ def _cmd_loadgen(args: argparse.Namespace) -> int:
             server_config = ServerConfig(
                 host=args.host, port=0,
                 expected_items=max(4096, 2 * args.keys),
+                transport=args.transport,
             )
             if args.workers > 0:
                 from .serve import WorkerServer
 
                 server = WorkerServer(server_config, n_workers=args.workers)
+                transport = server.transport
             else:
                 server = McCuckooServer(server_config)
+                transport = "none"
             async with server:
                 host, port = server.address
                 if not args.json:
                     print(f"[standalone server on {host}:{port}]")
-                report = await run_loadgen(host, port, config, retry=retry)
+                report = await run_loadgen(host, port, config, retry=retry,
+                                           transport=transport)
         else:
+            transport = await probe_transport(args.host, args.port)
             report = await run_loadgen(args.host, args.port, config,
-                                       retry=retry)
+                                       retry=retry, transport=transport)
         if args.json:
             import json
 
@@ -679,6 +720,8 @@ def _cmd_faultgen(args: argparse.Namespace) -> int:
         config = dataclasses.replace(config, faults=args.faults)
     if args.workers > 0:
         config = dataclasses.replace(config, n_workers=args.workers)
+    if args.transport != "auto":
+        config = dataclasses.replace(config, transport=args.transport)
     try:
         report = asyncio.run(run_faultgen(config))
     except KeyboardInterrupt:
@@ -691,9 +734,12 @@ def _cmd_faultgen(args: argparse.Namespace) -> int:
     if not report.ok:
         workers = f" --workers {config.n_workers}" if config.n_workers else ""
         maintenance = " --maintenance" if config.maintenance else ""
+        transport = (f" --transport {config.transport}"
+                     if config.transport != "auto" else "")
         print(f"reproduce with: repro faultgen --seed {config.seed} "
               f"--ops {config.n_ops} --keys {config.n_keys} "
-              f"--concurrency {config.concurrency}{workers}{maintenance}",
+              f"--concurrency {config.concurrency}"
+              f"{workers}{maintenance}{transport}",
               file=sys.stderr)
     return 0 if report.ok else 1
 
@@ -737,9 +783,15 @@ def _cmd_bench_serve(args: argparse.Namespace) -> int:
         overrides["repeats"] = args.repeats
     if args.seed is not None:
         overrides["seed"] = args.seed
+    if args.transport is not None:
+        overrides["transport"] = args.transport
     if overrides:
         config = dataclasses.replace(config, **overrides)
-    report = run_bench_serve(config, verbose=True)
+    try:
+        report = run_bench_serve(config, verbose=True)
+    except ReproError as error:
+        print(f"repro bench-serve: error: {error}", file=sys.stderr)
+        return 2
     print(render_report(report))
     if args.output != "-":
         write_report(report, args.output)

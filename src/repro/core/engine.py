@@ -92,6 +92,16 @@ class EngineConfig:
             return "numpy"
         return "numpy" if numpy_available() else "python"
 
+    def use_numpy(self, batch_size: int) -> bool:
+        """Whether a batch of this size should take the NumPy path.
+
+        One predicate shared by every batch entry point (store, worker,
+        zero-copy key runs) so the threshold logic cannot drift between
+        layers: the resolved backend must be NumPy *and* the batch must
+        clear ``min_batch``.
+        """
+        return batch_size >= self.min_batch and self.resolve() == "numpy"
+
 
 __all__ = [
     "BACKENDS",

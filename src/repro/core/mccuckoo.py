@@ -679,6 +679,19 @@ class McCuckoo(HashTable):
             [vals_flat[base : base + d] for base in spans],
         )
 
+    def lookup_many_u64(self, keys_u64: Any) -> List[LookupOutcome]:
+        """Batched lookup over an already-canonical ``uint64`` NumPy array.
+
+        Transport fast path: the serving layer hands wire keys here as a
+        zero-copy view over the IPC buffer, so the array feeds
+        ``candidates_matrix`` directly — no per-key type check, no
+        canonicalization pass, no rebuild of the array from a list.  Wire
+        keys are u64 by construction, hence already canonical.
+        """
+        if self._use_numpy(len(keys_u64)):
+            return self._lookup_many_numpy(keys_u64.tolist(), keys_u64)
+        return self.lookup_many(keys_u64.tolist())
+
     def _lookup_many_numpy(self, ks: List[Key], arr: Any) -> List[LookupOutcome]:
         """Vectorized lookup front-end: candidate matrix, one-shot counter
         gather, and the paper's probe plan derived array-wise — rows with a

@@ -211,6 +211,18 @@ class ResizableMcCuckoo(HashTable):
                     outcomes[i] = outcome
         return outcomes
 
+    def lookup_many_u64(self, keys_u64: Any) -> List[LookupOutcome]:
+        """:meth:`lookup_many` over an already-canonical ``uint64`` array
+        (transport fast path; see :meth:`McCuckoo.lookup_many_u64`)."""
+        outcomes = self._active.lookup_many_u64(keys_u64)
+        if self._retiring is not None:
+            missed = [i for i, outcome in enumerate(outcomes) if not outcome.found]
+            if missed:
+                retried = self._retiring.lookup_many_u64(keys_u64[missed])
+                for i, outcome in zip(missed, retried):
+                    outcomes[i] = outcome
+        return outcomes
+
     def delete(self, key: KeyLike) -> DeleteOutcome:
         outcome = self._active.delete(key)
         if not outcome.deleted and self._retiring is not None:

@@ -58,15 +58,26 @@ class ShardRouter:
         if use_numpy:
             np = numpy_or_none()
             if np is not None:
-                digests = splitmix64_array(
-                    np.array(keys, dtype=np.uint64) ^ np.uint64(self._salt)
-                )
-                return (
-                    (digests % np.uint64(self.n_shards)).astype(np.int64).tolist()
-                )
+                return self.shard_of_array(
+                    np.array(keys, dtype=np.uint64)
+                ).tolist()
         salt = self._salt
         n = self.n_shards
         return [splitmix64(k ^ salt) % n for k in keys]
+
+    def shard_of_array(self, keys_u64):
+        """Shard owners for an already-canonical ``uint64`` array.
+
+        Array-in/array-out variant of :meth:`shard_of_many` for callers
+        holding a NumPy key array (e.g. a zero-copy view over a
+        shared-memory ring slot): no list hop on either side, and the
+        ``int64`` result can be mask-compared per shard.  Bit-identical
+        to the scalar mapping (``uint64`` wrap-around is the scalar
+        path's ``& MASK64``).
+        """
+        np = numpy_or_none()
+        digests = splitmix64_array(keys_u64 ^ np.uint64(self._salt))
+        return (digests % np.uint64(self.n_shards)).astype(np.int64)
 
     def worker_of(self, key: Key, n_workers: int) -> int:
         """Which of ``n_workers`` worker processes owns ``key``.

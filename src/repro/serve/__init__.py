@@ -9,7 +9,9 @@ behind the STATS verb (:mod:`~repro.serve.stats`), and a closed-loop load
 generator reporting ops/sec with p50/p95/p99 latency
 (:mod:`~repro.serve.loadgen`).  :mod:`~repro.serve.workers` lifts the
 same frontend onto N supervised shard worker processes for true
-multi-core parallelism.
+multi-core parallelism, carried over shared-memory SPSC rings
+(:mod:`~repro.serve.shm`) where the platform supports them, socketpair
+streams otherwise.
 """
 
 from .client import (
@@ -50,6 +52,14 @@ from .protocol import (
     write_frame,
 )
 from .server import McCuckooServer, ServerConfig
+from .shm import (
+    RingFrameTooLarge,
+    RingFullError,
+    ShmRing,
+    ShmTransport,
+    resolve_transport,
+    shm_available,
+)
 from .stats import ServeStats
 from .store import ShardedLogStore
 from .workers import (
@@ -81,12 +91,16 @@ __all__ = [
     "PutRequest",
     "RequestTimeoutError",
     "RetryPolicy",
+    "RingFrameTooLarge",
+    "RingFullError",
     "ServeError",
     "ServeStats",
     "ServerBusyError",
     "ServerUnavailableError",
     "ServerConfig",
     "ShardedLogStore",
+    "ShmRing",
+    "ShmTransport",
     "StatsReply",
     "StatsRequest",
     "ValueReply",
@@ -101,7 +115,9 @@ __all__ = [
     "encode_reply",
     "encode_request",
     "read_frame",
+    "resolve_transport",
     "run_faultgen",
     "run_loadgen",
+    "shm_available",
     "write_frame",
 ]

@@ -87,6 +87,10 @@ class FaultgenConfig:
     crash/kill during an in-flight compaction and a torn/killed
     checkpoint write.  The audit model is unchanged — maintenance must
     never cost an acknowledged write."""
+    transport: str = "auto"
+    """Worker transport for the driven server ("auto"/"shm"/"socket");
+    only meaningful with ``n_workers > 0``.  The audit is
+    transport-agnostic — both carry the same CRC'd frames."""
 
     def __post_init__(self) -> None:
         if self.n_ops <= 0 or self.n_keys <= 0:
@@ -123,6 +127,8 @@ class FaultgenReport:
     seed: int
     fault_plan: str
     n_workers: int = 0
+    transport: str = "none"
+    """Resolved worker transport ("shm"/"socket"; "none" single-process)."""
     ops_issued: int = 0
     ops_acked: int = 0
     ops_unacked: int = 0
@@ -143,8 +149,8 @@ class FaultgenReport:
         return not self.failures and not self.hung
 
     def render(self) -> str:
-        mode = (f"{self.n_workers} worker processes" if self.n_workers
-                else "single process")
+        mode = (f"{self.n_workers} worker processes, {self.transport}"
+                if self.n_workers else "single process")
         lines = [
             f"faultgen seed={self.seed}: "
             f"{self.ops_issued} ops ({self.ops_acked} acked, "
@@ -223,10 +229,12 @@ async def run_faultgen(config: FaultgenConfig) -> FaultgenReport:
         fault_plan=plan,
         maintenance=(MaintenanceConfig.aggressive()
                      if config.maintenance else None),
+        transport=config.transport,
     )
     if config.n_workers > 0:
         server: McCuckooServer = WorkerServer(server_config,
                                               n_workers=config.n_workers)
+        report.transport = server.transport  # type: ignore[attr-defined]
     else:
         server = McCuckooServer(server_config)
     began = time.perf_counter()

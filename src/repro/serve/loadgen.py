@@ -223,6 +223,10 @@ class LoadReport:
     busy: int
     timeouts: int
     errors: int
+    transport: str = "socket"
+    """Frontend ↔ worker transport the target server ran ("shm" or
+    "socket"; "none" for the single-process server) — makes recorded
+    ops/s rows attributable to a transport."""
     per_kind: Dict[str, int] = field(default_factory=dict)
     kind_latency: Dict[str, Dict[str, float]] = field(default_factory=dict)
     """Per-op-kind latency summary: kind → count/p50_ms/p95_ms/p99_ms/mean_ms."""
@@ -232,7 +236,8 @@ class LoadReport:
     def render(self) -> str:
         lines = [
             f"workload {self.workload}: {self.completed}/{self.n_ops} ops "
-            f"in {self.elapsed_s:.2f}s ({self.ops_per_sec:,.0f} ops/s)",
+            f"in {self.elapsed_s:.2f}s ({self.ops_per_sec:,.0f} ops/s) "
+            f"[transport={self.transport}]",
             f"  latency   p50={self.p50_ms:.3f}ms  p95={self.p95_ms:.3f}ms  "
             f"p99={self.p99_ms:.3f}ms  mean={self.mean_ms:.3f}ms",
             f"  rejected  busy={self.busy}  timeouts={self.timeouts}  "
@@ -266,6 +271,7 @@ class LoadReport:
         """The whole report as one JSON-safe dict (``repro loadgen --json``)."""
         return {
             "workload": self.workload,
+            "transport": self.transport,
             "n_ops": self.n_ops,
             "completed": self.completed,
             "elapsed_s": self.elapsed_s,
@@ -300,12 +306,15 @@ async def run_loadgen(
     config: LoadgenConfig,
     preload: bool = True,
     retry: Optional[RetryPolicy] = None,
+    transport: str = "socket",
 ) -> LoadReport:
     """Preload the working set, then drive the timed phase closed-loop.
 
     A ``retry`` policy makes the workers resilient to BUSY storms and
     connection loss (useful against a fault-injected server); without one,
-    failures count into the report as before.
+    failures count into the report as before.  ``transport`` labels the
+    report with the target server's worker transport; it does not change
+    the run.
     """
     preload_ops, ops = build_workload(config)
     async with McCuckooClient(host, port, pool_size=config.concurrency,
@@ -321,8 +330,12 @@ async def run_loadgen(
 
         async def worker() -> None:
             nonlocal busy, timeouts, errors, completed
+            requeued: List[Op] = []
             while True:
-                chunk: List[Op] = []
+                # ops the server bounced with a per-op BUSY retry first —
+                # closed-loop semantics: an op is not done until accepted
+                chunk: List[Op] = requeued[:config.batch_size]
+                del requeued[:len(chunk)]
                 # single-threaded event loop: pulling from the shared
                 # iterator between awaits is race-free
                 for op in queue:
@@ -332,11 +345,12 @@ async def run_loadgen(
                 if not chunk:
                     return
                 begin = time.perf_counter()
+                replies: Optional[Sequence] = None
                 try:
                     if config.batch_size == 1:
                         await _issue_one(client, chunk[0])
                     else:
-                        await client.batch(chunk)
+                        replies = await client.batch(chunk)
                 except ServerBusyError:
                     busy += len(chunk)
                 except RequestTimeoutError:
@@ -346,11 +360,33 @@ async def run_loadgen(
                 except (ConnectionError, OSError):
                     errors += len(chunk)
                 else:
-                    completed += len(chunk)
-                    cost = (time.perf_counter() - begin) / len(chunk)
-                    for op in chunk:
-                        latencies.append(cost)
-                        kind_lats.setdefault(op[0], []).append(cost)
+                    # a batch frame succeeds as a whole, but each op inside
+                    # answers for itself: count per-op BUSY (backpressure)
+                    # and error sub-replies instead of taking the frame's
+                    # success at face value
+                    done = list(chunk)
+                    if replies is not None:
+                        done = []
+                        for op, reply in zip(chunk, replies):
+                            if isinstance(reply, ErrorReply):
+                                if reply.code is ErrorCode.BUSY:
+                                    busy += 1
+                                    requeued.append(op)
+                                else:
+                                    errors += 1
+                                    per_kind[op[0]] = (
+                                        per_kind.get(op[0], 0) + 1
+                                    )
+                                continue
+                            done.append(op)
+                    completed += len(done)
+                    if done:
+                        cost = (time.perf_counter() - begin) / len(done)
+                        for op in done:
+                            latencies.append(cost)
+                            kind_lats.setdefault(op[0], []).append(cost)
+                            per_kind[op[0]] = per_kind.get(op[0], 0) + 1
+                    continue
                 for op in chunk:
                     per_kind[op[0]] = per_kind.get(op[0], 0) + 1
 
@@ -377,6 +413,7 @@ async def run_loadgen(
         busy=busy,
         timeouts=timeouts,
         errors=errors,
+        transport=transport,
         per_kind=per_kind,
         kind_latency=kind_latency,
         histogram=latency_histogram([v * 1e3 for v in latencies]),

@@ -382,6 +382,45 @@ def decode_reply(body: bytes) -> Reply:
 
 
 # ----------------------------------------------------------------------
+# zero-copy GET key runs (worker IPC only)
+# ----------------------------------------------------------------------
+
+#: count prefix of a key-run payload (little-endian, unlike the wire
+#: protocol: the keys themselves are ``<u8`` so a NumPy view over the
+#: transport buffer needs no byte swap)
+KEY_RUN_COUNT = struct.Struct("<I")
+
+
+def encode_key_run(keys) -> bytes:
+    """Pack an all-GET run as ``u32 count + count × u64 keys`` (LE).
+
+    This is the frontend→worker fast path for runs of GETs: the worker
+    can wrap the payload in a ``numpy.frombuffer(..., dtype="<u8")`` view
+    straight off the shared-memory ring — no per-op decode, no copy.
+    """
+    count = len(keys)
+    return KEY_RUN_COUNT.pack(count) + struct.pack(f"<{count}Q", *keys)
+
+
+def decode_key_run_header(payload) -> int:
+    """Validate a key-run payload's shape and return the key count."""
+    if len(payload) < KEY_RUN_COUNT.size:
+        raise ProtocolError("key run shorter than its count prefix")
+    (count,) = KEY_RUN_COUNT.unpack_from(payload, 0)
+    if len(payload) != KEY_RUN_COUNT.size + 8 * count:
+        raise ProtocolError(
+            f"key run of {count} keys has {len(payload)} payload bytes"
+        )
+    return count
+
+
+def decode_key_run(payload):
+    """Unpack a key-run payload into a list of ints (pure-Python path)."""
+    count = decode_key_run_header(payload)
+    return list(struct.unpack_from(f"<{count}Q", payload, KEY_RUN_COUNT.size))
+
+
+# ----------------------------------------------------------------------
 # stream framing
 # ----------------------------------------------------------------------
 

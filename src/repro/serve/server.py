@@ -72,7 +72,12 @@ class ServerConfig:
     seed: int = 0
     max_connections: int = 64
     max_frame_bytes: int = MAX_FRAME_BYTES
-    writer_queue_depth: int = 128
+    writer_queue_depth: int = 512
+    """Per-shard (and, in the worker server, per-worker) in-flight op
+    bound past which new ops draw BUSY.  Deep enough that a default
+    closed-loop client (8 connections x 32-op batches = 256 in flight)
+    never self-rejects when every op lands on one shard group; shallow
+    enough to bound a flooded queue's memory."""
     request_timeout: float = 5.0
     max_batch_ops: int = 1024
     write_stall: float = 0.0
@@ -93,6 +98,17 @@ class ServerConfig:
     """Background compaction/checkpoint policy, ticked per shard by its
     writer loop between write runs (:mod:`repro.maintenance`).  ``None``
     disables maintenance entirely."""
+    transport: str = "auto"
+    """Frontend ↔ worker transport for :class:`WorkerServer`: ``"shm"``
+    (shared-memory SPSC rings + doorbell pipes), ``"socket"`` (socketpair
+    streams), or ``"auto"`` — shm when :func:`repro.serve.shm.shm_available`
+    says the platform supports it, socketpair otherwise.  Ignored by the
+    single-process server."""
+    shm_ring_bytes: int = 1 << 22
+    """Capacity of each shm ring's data region (one request + one
+    response ring per worker).  Must comfortably exceed the largest IPC
+    record (``max_frame_bytes``); records above half the capacity are
+    rejected with TOO_LARGE."""
 
 
 class McCuckooServer:

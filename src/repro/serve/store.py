@@ -158,6 +158,38 @@ class ShardedLogStore:
                 out[pos] = None if value is _MISSING else value
         return out
 
+    def get_many_u64(self, keys_u64: Any) -> List[Optional[Any]]:
+        """Batched get over an already-canonical ``uint64`` key array.
+
+        The zero-copy transport path: a worker hands the BATCH key run
+        here as a NumPy view straight over its shared-memory ring slot,
+        the array is shard-routed with one vectorized pass
+        (:meth:`~repro.core.sharded.ShardRouter.shard_of_array`), and the
+        per-shard subarrays feed the index kernels without a list
+        round-trip.  Callers must hold the NumPy engine (the worker gates
+        on ``engine.use_numpy``).
+        """
+        from .._numpy import numpy_or_none
+
+        np = numpy_or_none()
+        shards = self._router.shard_of_array(keys_u64)
+        out: List[Optional[Any]] = [None] * len(keys_u64)
+        matched = 0
+        for shard in self.owned:
+            mask = shards == shard
+            if not mask.any():
+                continue
+            idx = np.nonzero(mask)[0]
+            matched += len(idx)
+            values = self.shard(shard).get_many_u64(keys_u64[idx], default=_MISSING)
+            for pos, value in zip(idx.tolist(), values):
+                out[pos] = None if value is _MISSING else value
+        if matched != len(out):
+            raise ConfigurationError(
+                "key run contains keys routed to shards outside this slice"
+            )
+        return out
+
     def put(self, key: KeyLike, value: Any) -> "PutResult":
         outcome = self.shard_for(key).put(key, value)
         return PutResult(

@@ -13,15 +13,27 @@ in parallel across cores instead of time-slicing one GIL.
 Topology and transport::
 
     client ──TCP──▶ frontend (asyncio, routing, supervision)
-                       │ socketpair per worker, CRC'd frames, pipelined
+                       │ per worker: SPSC shm ring pair + pipe doorbell
+                       │ (or socketpair fallback), CRC'd frames, pipelined
                        ├──▶ worker 0: shards {0, N, 2N, ...}
                        ├──▶ worker 1: shards {1, N+1, ...}
                        └──▶ ...
 
-* **IPC framing** reuses the wire codec's ``u32 len + u32 crc32 + body``
-  frame; the body is ``u32 req_id + u8 kind + payload``.  ``REQUEST``
-  payloads are ordinary protocol request/reply bodies (magic included),
-  ``CONTROL`` payloads are JSON (handshake, stats, disarm, ping, stop).
+* **IPC framing** reuses the wire codec's CRC'd envelope; the body is
+  ``u32 req_id + u8 kind + payload``.  ``REQUEST`` payloads are ordinary
+  protocol request/reply bodies (magic included), ``CONTROL`` payloads
+  are JSON (handshake, stats, disarm, ping, stop), and ``BATCH_KEYS``
+  payloads are raw little-endian u64 key runs (all-GET batch runs) that
+  the worker reads as a **zero-copy NumPy view** straight off the
+  transport buffer.
+* **Transports**: ``ServerConfig.transport`` picks ``"shm"`` (a
+  :class:`~repro.serve.shm.ShmTransport` ring pair per worker — one
+  memcpy per frame, no kernel round trip) or ``"socket"`` (the original
+  socketpair framing, the fallback on platforms without
+  ``multiprocessing.shared_memory``); ``"auto"`` resolves per platform.
+  Both transports carry the identical CRC'd bodies, so the protocol
+  codecs, fault consult sites, and the faultgen audit are
+  transport-agnostic.
 * **Pipelining**: the frontend tags every in-flight op with a request id,
   so one worker connection carries many outstanding ops; replies resolve
   futures by id.  A BATCH is forwarded as *one* IPC frame per worker run
@@ -70,12 +82,14 @@ import zlib
 from dataclasses import dataclass
 from typing import Any, Dict, List, Optional, Tuple
 
+from .._numpy import numpy_or_none
 from ..core.errors import ConfigurationError, ReproError
 from ..core.sharded import ShardRouter, shards_of_worker
 from ..faults import FaultPlan, InjectedCrash
 from ..maintenance import MaintenanceConfig, MaintenanceDaemon
 from .protocol import (
     FRAME_OVERHEAD,
+    KEY_RUN_COUNT,
     BatchReply,
     BatchRequest,
     DeleteReply,
@@ -92,13 +106,25 @@ from .protocol import (
     StatsReply,
     StatsRequest,
     ValueReply,
+    decode_key_run,
+    decode_key_run_header,
     decode_reply,
     decode_request,
+    encode_key_run,
     encode_reply,
     encode_request,
     read_frame,
 )
 from .server import McCuckooServer, ServerConfig
+from .shm import (
+    DEFAULT_RING_BYTES,
+    RingFrameTooLarge,
+    RingFullError,
+    ShmTransport,
+    resolve_transport,
+    ring_doorbell,
+    wait_doorbell,
+)
 from .stats import ServeStats
 from .store import ShardedLogStore
 
@@ -108,6 +134,9 @@ _CRC = struct.Struct(">I")
 
 KIND_REQUEST = 0
 KIND_CONTROL = 1
+#: an all-GET batch run as a raw little-endian u64 key array — the
+#: zero-copy fast path (see :func:`repro.serve.protocol.encode_key_run`)
+KIND_BATCH_KEYS = 2
 
 #: req_id 0 is reserved for unsolicited worker → frontend CONTROL events
 #: (the hello handshake and the dying last-gasp).
@@ -198,6 +227,11 @@ class WorkerSpec:
     compact_at: float = -1.0
     compact_min_records: int = 128
     checkpoint_every: int = 0
+    transport: str = "socket"
+    epoch: int = 1
+    """This incarnation's generation: every shm ring slot is stamped with
+    it, and slots from other generations are discarded on pop — a
+    restarted worker can never replay a dead predecessor's request."""
 
     @property
     def shards(self) -> Tuple[int, ...]:
@@ -220,7 +254,8 @@ def _child_entry(spec: WorkerSpec, child_sock, parent_sock) -> None:
     parent_sock.close()
     code = 1
     try:
-        code = _ShardWorker(spec, child_sock).run()
+        channel = _SocketWorkerChannel(child_sock, spec.max_ipc_bytes)
+        code = _ShardWorker(spec, channel).run()
     except BaseException:
         code = 1
     finally:
@@ -228,14 +263,127 @@ def _child_entry(spec: WorkerSpec, child_sock, parent_sock) -> None:
         os._exit(code)
 
 
+def _child_entry_shm(
+    spec: WorkerSpec, shm: ShmTransport, door_rfd: int, door_wfd: int,
+    close_fds: Tuple[int, ...],
+) -> None:
+    # the fork duplicated the frontend's doorbell ends too; close them so
+    # this process's death is observable as pipe EOF on both sides
+    for fd in close_fds:
+        try:
+            os.close(fd)
+        except OSError:
+            pass
+    code = 1
+    try:
+        channel = _ShmChildChannel(shm, spec.epoch, door_rfd, door_wfd)
+        code = _ShardWorker(spec, channel).run()
+    except BaseException:
+        code = 1
+    finally:
+        os._exit(code)
+
+
+class _SocketWorkerChannel:
+    """Child side of the socketpair fallback: blocking CRC'd framing."""
+
+    def __init__(self, sock: socket.socket, max_bytes: int) -> None:
+        self._in = sock.makefile("rb")
+        self._out = sock.makefile("wb")
+        self._max_bytes = max_bytes
+
+    def recv(self) -> Optional[Tuple[int, int, bytes]]:
+        """The next ``(req_id, kind, payload)``, or ``None`` on EOF."""
+        body = _read_frame_sync(self._in, self._max_bytes)
+        if not body:
+            return None
+        return unpack_ipc(body)
+
+    def send(self, req_id: int, kind: int, payload: bytes,
+             block: bool = True) -> None:
+        self._out.write(pack_ipc(req_id, kind, payload))
+        self._out.flush()
+
+    def done(self) -> None:
+        """Release the last received frame (no-op: recv already copied)."""
+
+
+class _ShmChildChannel:
+    """Child side of the shm transport: pop requests, push responses.
+
+    ``recv`` hands ``BATCH_KEYS`` payloads out as a **memoryview aliasing
+    ring memory** — the caller must finish consuming it (the NumPy view
+    feeds the lookup kernel synchronously) before ``done()`` releases the
+    slot back to the producer.  ``REQUEST``/``CONTROL`` payloads are
+    copied to ``bytes`` at recv time instead, because decoded values
+    (e.g. ``PutRequest.value``) outlive the slot.
+    """
+
+    #: bound on a blocking response push; exceeding it means the frontend
+    #: stopped draining (it is gone, or wedged beyond saving)
+    SEND_DEADLINE_S = 10.0
+
+    def __init__(self, shm: ShmTransport, epoch: int,
+                 door_rfd: int, door_wfd: int) -> None:
+        self._requests = shm.request
+        self._responses = shm.response
+        self._epoch = epoch
+        self._door_rfd = door_rfd
+        self._door_wfd = door_wfd
+        self._ppid = os.getppid()
+        self._hold = False
+
+    def recv(self) -> Optional[Tuple[int, int, Any]]:
+        assert not self._hold, "previous BATCH_KEYS slot was never released"
+        while True:
+            record = self._requests.pop()  # ProtocolError on a torn write
+            if record is not None:
+                epoch, view = record
+                if epoch != self._epoch:
+                    # another generation's slot: count it and never apply
+                    self._requests.note_stale()
+                    self._requests.advance()
+                    continue
+                req_id, kind = _IPC_HEAD.unpack_from(view, 0)
+                payload: Any = view[_IPC_HEAD.size:]
+                if kind == KIND_BATCH_KEYS:
+                    self._hold = True  # zero-copy: released by done()
+                else:
+                    payload = bytes(payload)
+                    self._requests.advance()
+                return req_id, kind, payload
+            state = wait_doorbell(self._door_rfd, 1.0)
+            if state == "eof":
+                return None  # frontend closed its doorbell end
+            if state == "timeout" and os.getppid() != self._ppid:
+                return None  # frontend died without closing the pipe
+
+    def done(self) -> None:
+        if self._hold:
+            self._requests.advance()
+            self._hold = False
+
+    def send(self, req_id: int, kind: int, payload: bytes,
+             block: bool = True) -> None:
+        body = _IPC_HEAD.pack(req_id, kind) + payload
+        deadline = time.monotonic() + self.SEND_DEADLINE_S
+        while not self._responses.try_push(body, self._epoch):
+            if not block:
+                return  # best-effort (the dying last-gasp)
+            if os.getppid() != self._ppid or time.monotonic() > deadline:
+                raise BrokenPipeError(
+                    "frontend is gone; response ring is not draining"
+                )
+            time.sleep(0.0005)
+        ring_doorbell(self._door_wfd)
+
+
 class _ShardWorker:
     """Synchronous FIFO apply loop owning one shard group (child side)."""
 
-    def __init__(self, spec: WorkerSpec, sock: socket.socket) -> None:
+    def __init__(self, spec: WorkerSpec, channel) -> None:
         self.spec = spec
-        self._sock = sock
-        self._in = sock.makefile("rb")
-        self._out = sock.makefile("wb")
+        self._channel = channel
         self.stats = ServeStats()
         self.faults = (
             FaultPlan.parse(spec.fault_spec, seed=spec.fault_seed)
@@ -341,7 +489,7 @@ class _ShardWorker:
                 "counters": self.stats.snapshot(),
                 "faults": (self.faults.fired_counts()
                            if self.faults is not None else {}),
-            })
+            }, block=False)
         except Exception:
             pass
         os._exit(code)
@@ -439,25 +587,32 @@ class _ShardWorker:
             "recovered_records": self.recovered_records,
         })
         while True:
-            body = _read_frame_sync(self._in, self.spec.max_ipc_bytes)
-            if not body:
+            item = self._channel.recv()
+            if item is None:
                 return 0  # frontend went away
-            req_id, kind, payload = unpack_ipc(body)
-            if kind == KIND_CONTROL:
-                if not self._handle_control(req_id, payload):
-                    return 0
-                continue
-            request = decode_request(payload)
-            reply = self._apply(request)
-            self._send(req_id, KIND_REQUEST,
-                       encode_reply(reply)[FRAME_OVERHEAD:])
+            req_id, kind, payload = item
+            try:
+                if kind == KIND_CONTROL:
+                    if not self._handle_control(req_id, payload):
+                        return 0
+                elif kind == KIND_BATCH_KEYS:
+                    reply: Reply = self._apply_key_run(payload)
+                    self._send(req_id, KIND_REQUEST,
+                               encode_reply(reply)[FRAME_OVERHEAD:])
+                else:
+                    reply = self._apply(decode_request(payload))
+                    self._send(req_id, KIND_REQUEST,
+                               encode_reply(reply)[FRAME_OVERHEAD:])
+            finally:
+                # releases a zero-copy BATCH_KEYS slot; no-op otherwise
+                self._channel.done()
 
     def _send(self, req_id: int, kind: int, payload: bytes) -> None:
-        self._out.write(pack_ipc(req_id, kind, payload))
-        self._out.flush()
+        self._channel.send(req_id, kind, payload)
 
-    def _send_event(self, payload: dict) -> None:
-        self._send(EVENT_ID, KIND_CONTROL, json.dumps(payload).encode())
+    def _send_event(self, payload: dict, block: bool = True) -> None:
+        self._channel.send(EVENT_ID, KIND_CONTROL,
+                           json.dumps(payload).encode(), block=block)
 
     def _handle_control(self, req_id: int, payload: bytes) -> bool:
         """Returns False when the worker should exit (stop command)."""
@@ -496,6 +651,43 @@ class _ShardWorker:
                 self._apply_simple(op) for op in request.ops
             ))
         return self._apply_simple(request)
+
+    def _apply_key_run(self, payload) -> Reply:
+        """Serve an all-GET run shipped as a raw u64 key array.
+
+        With the NumPy engine the payload — still sitting in the
+        transport buffer — is wrapped as a ``uint64`` view and fed to the
+        store's vectorized kernel directly (zero copies, zero per-op
+        decode); the pure-Python engine unpacks it into ints and takes
+        the ordinary batched get.  Replies are per-op, exactly as if the
+        run had arrived as a BATCH of GETs.
+        """
+        count = decode_key_run_header(payload)
+        try:
+            np = numpy_or_none()
+            if np is not None and self.store.engine.use_numpy(count):
+                keys_u64 = np.frombuffer(
+                    payload, dtype="<u8", count=count,
+                    offset=KEY_RUN_COUNT.size,
+                )
+                values = self.store.get_many_u64(keys_u64)
+            else:
+                values = self.store.get_many(decode_key_run(payload))
+        except Exception as error:
+            self.stats.internal_errors += 1
+            return BatchReply(tuple(
+                ErrorReply(ErrorCode.INTERNAL, str(error))
+                for _ in range(count)
+            ))
+        replies: List[SimpleReply] = []
+        for value in values:
+            hit = value is not None
+            self.stats.note_get(hit)
+            replies.append(
+                ValueReply(found=True, value=bytes(value)) if hit
+                else ValueReply(found=False)
+            )
+        return BatchReply(tuple(replies))
 
     def _apply_simple(self, request) -> SimpleReply:
         try:
@@ -561,9 +753,16 @@ class _ShardWorker:
 
 
 class WorkerHandle:
-    """One live worker process plus its pipelined IPC link."""
+    """One live worker process plus its pipelined IPC link.
 
-    def __init__(self, spec: WorkerSpec, on_death, on_event) -> None:
+    The link is either an asyncio socketpair stream (fallback transport)
+    or an :class:`~repro.serve.shm.ShmTransport` ring pair plus doorbell
+    pipes (``spec.transport == "shm"``); both resolve reply futures by
+    request id through the same dispatch.
+    """
+
+    def __init__(self, spec: WorkerSpec, on_death, on_event,
+                 shm: Optional[ShmTransport] = None) -> None:
         self.spec = spec
         self.worker_id = spec.worker_id
         self._on_death = on_death
@@ -572,6 +771,13 @@ class WorkerHandle:
         self._reader: Optional[asyncio.StreamReader] = None
         self._writer: Optional[asyncio.StreamWriter] = None
         self._reader_task: Optional[asyncio.Task] = None
+        self._shm = shm
+        self._epoch = spec.epoch
+        self._loop: Optional[asyncio.AbstractEventLoop] = None
+        self._door_req_w = -1
+        self._door_resp_r = -1
+        self._hello_future: Optional[asyncio.Future] = None
+        self._link_closed = False
         self._pending: Dict[int, Tuple[asyncio.Future, int]] = {}
         self._next_id = 1
         self.pending_ops = 0
@@ -580,6 +786,9 @@ class WorkerHandle:
         self.hello: Dict[str, Any] = {}
 
     async def spawn(self) -> None:
+        if self.spec.transport == "shm":
+            await self._spawn_shm()
+            return
         context = multiprocessing.get_context("fork")
         parent_sock, child_sock = socket.socketpair()
         process = context.Process(
@@ -603,6 +812,42 @@ class WorkerHandle:
         self.alive = True
         self._reader_task = asyncio.create_task(self._read_loop())
 
+    async def _spawn_shm(self) -> None:
+        """Fork the worker with the ring pair inherited directly (no
+        pickling: the fork start method shares the mapped segments) and
+        fresh per-generation doorbell pipes."""
+        assert self._shm is not None
+        loop = asyncio.get_running_loop()
+        self._loop = loop
+        req_r, req_w = os.pipe()
+        resp_r, resp_w = os.pipe()
+        os.set_blocking(req_w, False)
+        os.set_blocking(resp_r, False)
+        context = multiprocessing.get_context("fork")
+        process = context.Process(
+            target=_child_entry_shm,
+            args=(self.spec, self._shm, req_r, resp_w, (req_w, resp_r)),
+            daemon=True,
+        )
+        process.start()
+        # close the child's ends so its death is observable as pipe EOF
+        os.close(req_r)
+        os.close(resp_w)
+        self._process = process
+        self._door_req_w = req_w
+        self._door_resp_r = resp_r
+        self._hello_future = loop.create_future()
+        loop.add_reader(resp_r, self._on_shm_readable)
+        try:
+            self.hello = await asyncio.wait_for(self._hello_future,
+                                                timeout=30.0)
+        except BaseException:
+            self._teardown_shm_link()
+            if process.is_alive():
+                process.terminate()
+            raise
+        self.alive = True
+
     # ------------------------------------------------------------------
 
     async def _read_loop(self) -> None:
@@ -613,16 +858,7 @@ class WorkerHandle:
                 if not body:
                     break
                 req_id, kind, payload = unpack_ipc(body)
-                if req_id == EVENT_ID and kind == KIND_CONTROL:
-                    self._on_event(self, json.loads(payload.decode()))
-                    continue
-                entry = self._pending.pop(req_id, None)
-                if entry is None:
-                    continue  # reply to an op whose waiter timed out
-                future, ops = entry
-                self.pending_ops -= ops
-                if not future.done():
-                    future.set_result((kind, payload))
+                self._dispatch_frame(req_id, kind, payload)
         except (ConnectionError, OSError, ProtocolError, asyncio.CancelledError):
             pass
         finally:
@@ -631,6 +867,107 @@ class WorkerHandle:
             self.alive = False
             if was_alive:
                 self._on_death(self)
+
+    def _on_shm_readable(self) -> None:
+        """Doorbell callback: drain the pipe, then the response ring.
+
+        Pipe EOF (the worker died — its doorbell write end closed) still
+        drains the ring first, so responses the worker published before
+        dying are delivered rather than failed.
+        """
+        if self._link_closed:
+            return
+        eof = False
+        try:
+            while True:
+                data = os.read(self._door_resp_r, 65536)
+                if not data:
+                    eof = True
+                    break
+                if len(data) < 65536:
+                    break
+        except BlockingIOError:
+            pass
+        except OSError:
+            eof = True
+        self._drain_responses()
+        if eof:
+            self._shm_link_down()
+
+    def _drain_responses(self) -> None:
+        assert self._shm is not None
+        ring = self._shm.response
+        while True:
+            try:
+                record = ring.pop()
+            except ProtocolError:
+                # torn worker write: nothing past it is trustworthy
+                ring.drain_all()
+                return
+            if record is None:
+                return
+            epoch, view = record
+            if epoch != self._epoch:
+                ring.note_stale()
+                ring.advance()
+                continue
+            req_id, kind = _IPC_HEAD.unpack_from(view, 0)
+            payload = bytes(view[_IPC_HEAD.size:])
+            ring.advance()
+            self._dispatch_frame(req_id, kind, payload)
+
+    def _dispatch_frame(self, req_id: int, kind: int, payload: bytes) -> None:
+        """Shared by both transports: events and reply-future resolution."""
+        if req_id == EVENT_ID and kind == KIND_CONTROL:
+            event = json.loads(payload.decode())
+            if (self._hello_future is not None
+                    and not self._hello_future.done()
+                    and event.get("event") == "hello"):
+                self._hello_future.set_result(event)
+                return
+            self._on_event(self, event)
+            return
+        entry = self._pending.pop(req_id, None)
+        if entry is None:
+            return  # reply to an op whose waiter timed out
+        future, ops = entry
+        self.pending_ops -= ops
+        if not future.done():
+            future.set_result((kind, payload))
+
+    def _teardown_shm_link(self) -> None:
+        if self._link_closed:
+            return
+        self._link_closed = True
+        if self._loop is not None and self._door_resp_r >= 0:
+            try:
+                self._loop.remove_reader(self._door_resp_r)
+            except Exception:
+                pass
+        for fd in (self._door_req_w, self._door_resp_r):
+            if fd >= 0:
+                try:
+                    os.close(fd)
+                except OSError:
+                    pass
+        self._door_req_w = self._door_resp_r = -1
+
+    def _shm_link_down(self) -> None:
+        """Worker death on the shm transport (the socket path's read-loop
+        ``finally``): deliver what it published, fail the rest."""
+        if self._link_closed:
+            return
+        self._drain_responses()
+        self._teardown_shm_link()
+        if self._hello_future is not None and not self._hello_future.done():
+            self._hello_future.set_exception(WorkerDiedError(
+                f"worker {self.worker_id} died during the handshake"
+            ))
+        self._fail_pending()
+        was_alive = self.alive
+        self.alive = False
+        if was_alive:
+            self._on_death(self)
 
     def _fail_pending(self) -> None:
         error = WorkerDiedError(
@@ -645,15 +982,28 @@ class WorkerHandle:
     # ------------------------------------------------------------------
 
     def _submit(self, kind: int, payload: bytes, ops: int) -> asyncio.Future:
-        if not self.alive or self._writer is None:
+        if not self.alive:
             raise WorkerDiedError(f"worker {self.worker_id} is down")
         req_id = self._next_id
         self._next_id += 1
+        if self.spec.transport == "shm":
+            assert self._shm is not None
+            # push before any bookkeeping: on failure the op was simply
+            # never submitted (RingFullError surfaces as per-op BUSY)
+            if not self._shm.request.try_push(
+                    _IPC_HEAD.pack(req_id, kind) + payload, self._epoch):
+                raise RingFullError(
+                    f"worker {self.worker_id} request ring is full"
+                )
+            ring_doorbell(self._door_req_w)
+        else:
+            if self._writer is None:
+                raise WorkerDiedError(f"worker {self.worker_id} is down")
+            self._writer.write(pack_ipc(req_id, kind, payload))
         future: asyncio.Future = asyncio.get_running_loop().create_future()
         self._pending[req_id] = (future, ops)
         self.pending_ops += ops
         self.ops_routed += ops
-        self._writer.write(pack_ipc(req_id, kind, payload))
         return future
 
     async def call(self, request_body: bytes, ops: int = 1) -> bytes:
@@ -705,7 +1055,14 @@ class WorkerHandle:
 
 
 class WorkerPool:
-    """Spawns, routes to, and supervises the shard worker processes."""
+    """Spawns, routes to, and supervises the shard worker processes.
+
+    With ``transport="shm"`` the pool owns one persistent
+    :class:`~repro.serve.shm.ShmTransport` ring pair per worker slot: the
+    rings outlive worker incarnations (a restart bumps the slot's u16
+    epoch and drains stale slots via ``begin_generation``), and the pool
+    unlinks the segments at :meth:`stop`.
+    """
 
     RESTART_ATTEMPTS = 5
 
@@ -715,11 +1072,17 @@ class WorkerPool:
         n_workers: int,
         stats: ServeStats,
         log_dir: str,
+        transport: str = "socket",
+        ring_bytes: int = DEFAULT_RING_BYTES,
     ) -> None:
         self.config = config
         self.n_workers = n_workers
         self.stats = stats
         self.log_dir = log_dir
+        self.transport = transport
+        self._ring_bytes = ring_bytes
+        self._transports: List[Optional[ShmTransport]] = [None] * n_workers
+        self._epochs = [1] * n_workers
         self._handles: List[Optional[WorkerHandle]] = [None] * n_workers
         self._restarting: Dict[int, asyncio.Task] = {}
         self.restart_counts = [0] * n_workers
@@ -730,6 +1093,22 @@ class WorkerPool:
             {"counters": {}, "faults": {}} for _ in range(n_workers)
         ]
         self._stopping = False
+
+    def _transport_for(self, worker_id: int) -> ShmTransport:
+        pair = self._transports[worker_id]
+        if pair is None:
+            pair = ShmTransport.create(self._ring_bytes)
+            pair.set_epoch(self._epochs[worker_id])
+            self._transports[worker_id] = pair
+        return pair
+
+    def ring_stale_discarded(self) -> int:
+        """Total stale-generation ring slots dropped across the pool."""
+        return sum(
+            pair.stale_discarded()
+            for pair in self._transports
+            if pair is not None
+        )
 
     def _spec(self, worker_id: int) -> WorkerSpec:
         plan = self.config.fault_plan
@@ -753,7 +1132,16 @@ class WorkerPool:
                                  if maintenance is not None else 128),
             checkpoint_every=(maintenance.checkpoint_every
                               if maintenance is not None else 0),
+            transport=self.transport,
+            epoch=self._epochs[worker_id],
         )
+
+    def _make_handle(self, worker_id: int) -> WorkerHandle:
+        shm = (self._transport_for(worker_id)
+               if self.transport == "shm" else None)
+        return WorkerHandle(self._spec(worker_id),
+                            self._handle_death, self._handle_event,
+                            shm=shm)
 
     # ------------------------------------------------------------------
     # lifecycle
@@ -762,8 +1150,7 @@ class WorkerPool:
     async def start(self) -> None:
         try:
             for worker_id in range(self.n_workers):
-                handle = WorkerHandle(self._spec(worker_id),
-                                      self._handle_death, self._handle_event)
+                handle = self._make_handle(worker_id)
                 await handle.spawn()
                 self._handles[worker_id] = handle
         except BaseException:
@@ -784,6 +1171,10 @@ class WorkerPool:
             if handle is not None:
                 await handle.shutdown()
         self._handles = [None] * self.n_workers
+        for worker_id, pair in enumerate(self._transports):
+            if pair is not None:
+                pair.destroy()
+                self._transports[worker_id] = None
 
     # ------------------------------------------------------------------
     # routing
@@ -829,16 +1220,26 @@ class WorkerPool:
             )
 
     async def _restart(self, worker_id: int) -> None:
-        """Fork a replacement; its durable log files drive recovery."""
+        """Fork a replacement; its durable log files drive recovery.
+
+        On the shm transport every attempt starts a new *generation*:
+        the slot epoch is bumped and ``begin_generation`` drains both
+        rings, so a restarted worker can never replay a pre-crash
+        request (and the frontend drops any response the dead — or a
+        failed-spawn — incarnation left behind)."""
         try:
             for attempt in range(self.RESTART_ATTEMPTS):
                 if self._stopping:
                     return
                 try:
-                    handle = WorkerHandle(
-                        self._spec(worker_id),
-                        self._handle_death, self._handle_event,
-                    )
+                    if self.transport == "shm":
+                        self._epochs[worker_id] = (
+                            (self._epochs[worker_id] % 0xFFFF) + 1
+                        )
+                        self._transport_for(worker_id).begin_generation(
+                            self._epochs[worker_id]
+                        )
+                    handle = self._make_handle(worker_id)
                     await handle.spawn()
                 except Exception:
                     await asyncio.sleep(0.05 * (attempt + 1))
@@ -924,6 +1325,41 @@ class WorkerPool:
         return totals
 
 
+class _BatchWaiter:
+    """Completion latch for one client batch's ops in the run aggregator.
+
+    Each op the batch hands to the aggregator bumps ``remaining``; every
+    per-op resolution (a worker sub-reply, a BUSY rejection, a death
+    error) decrements it, and ``wait`` unblocks when the batch's ops are
+    all answered.  One batch awaiting its latch never waits on another
+    batch's ops, even though their ops travel in shared frames.
+    """
+
+    __slots__ = ("remaining", "_event")
+
+    def __init__(self) -> None:
+        self.remaining = 0
+        self._event = asyncio.Event()
+        self._event.set()
+
+    def add(self) -> None:
+        self.remaining += 1
+        self._event.clear()
+
+    def done_one(self) -> None:
+        self.remaining -= 1
+        if self.remaining <= 0:
+            self._event.set()
+
+    async def wait(self) -> None:
+        await self._event.wait()
+
+
+#: where one aggregated op's answer lands: (batch reply slots, slot
+#: index, the owning batch's completion latch)
+_OpSink = Tuple[List[Optional[SimpleReply]], int, _BatchWaiter]
+
+
 class WorkerServer(McCuckooServer):
     """Multi-process McCuckoo server: asyncio frontend + N shard workers.
 
@@ -942,6 +1378,10 @@ class WorkerServer(McCuckooServer):
         if n_workers <= 0:
             raise ConfigurationError("n_workers must be positive")
         super().__init__(config)
+        #: the resolved worker transport ("shm" or "socket"); resolving
+        #: here makes an explicit ``transport="shm"`` on an unsupported
+        #: platform fail at construction, not mid-serve
+        self.transport = resolve_transport(self.config.transport)
         # more workers than shards would leave idle processes owning
         # nothing; clamp so every worker owns at least one shard
         self.n_workers = min(n_workers, self.config.n_shards)
@@ -949,6 +1389,11 @@ class WorkerServer(McCuckooServer):
                                    seed=self.config.seed)
         self._pool: Optional[WorkerPool] = None
         self._log_dir: Optional[str] = None
+        # tick-coalescing run aggregator: batch ops from every client
+        # connection admitted in the same event-loop tick share one
+        # frame per worker (see _enqueue_op/_flush_runs)
+        self._run_pending: Dict[int, List[Tuple[Any, _OpSink]]] = {}
+        self._flush_scheduled = False
 
     def _make_store(self) -> Optional[ShardedLogStore]:
         return None  # shards live in the worker processes
@@ -967,7 +1412,9 @@ class WorkerServer(McCuckooServer):
         import tempfile
         self._log_dir = tempfile.mkdtemp(prefix="mccuckoo-worker-logs-")
         self._pool = WorkerPool(self.config, self.n_workers, self.stats,
-                                self._log_dir)
+                                self._log_dir,
+                                transport=self.transport,
+                                ring_bytes=self.config.shm_ring_bytes)
         await self._pool.start()
 
     async def _stop_backend(self) -> None:
@@ -1007,6 +1454,14 @@ class WorkerServer(McCuckooServer):
         self.stats.busy_rejections += 1
         return ErrorReply(ErrorCode.BUSY, str(error))
 
+    def _ring_busy_reply(self, worker_id: int) -> ErrorReply:
+        """Ring-full backpressure: the transport itself is the queue."""
+        self.stats.busy_rejections += 1
+        return ErrorReply(
+            ErrorCode.BUSY,
+            f"worker {worker_id} request ring is full",
+        )
+
     async def _handle_request(self, request: Request) -> Reply:
         if isinstance(request, StatsRequest):
             self.stats.stats_calls += 1
@@ -1039,49 +1494,34 @@ class WorkerServer(McCuckooServer):
             reply_body = await handle.call(
                 encode_request(request)[FRAME_OVERHEAD:], ops=1
             )
+        except RingFullError:
+            return self._ring_busy_reply(worker_id)
+        except RingFrameTooLarge as error:
+            return ErrorReply(ErrorCode.TOO_LARGE, str(error))
         except WorkerDiedError as error:
             return ErrorReply(ErrorCode.UNAVAILABLE, str(error))
         return decode_reply(reply_body)
 
     async def _handle_batch(self, request: BatchRequest) -> BatchReply:
-        """Run-grouped forwarding: between STATS barriers, each worker's
-        ops form ONE sub-batch frame (their relative order preserved, so
-        per-key order is intact — a key always maps to one worker).
-        Ops past a worker's free capacity draw per-op BUSY; a worker
-        death fails its whole run with per-op UNAVAILABLE."""
+        """Tick-coalesced forwarding: each op joins a per-worker run
+        SHARED with every other client batch admitted in the same
+        event-loop tick, and one flush per tick sends each worker ONE
+        frame (relative op order preserved, so per-key order is intact
+        — a key always maps to one worker).  Coalescing across
+        connections amortises the fixed per-frame cost — encode, ring
+        push, doorbell, worker wakeup, reply decode — over every
+        concurrent client, which is what keeps two workers from losing
+        to one on a starved box.  Ops past a worker's free capacity
+        draw per-op BUSY; a worker death fails its whole run with
+        per-op UNAVAILABLE."""
         replies: List[Optional[SimpleReply]] = [None] * len(request.ops)
-        runs: Dict[int, List[Tuple[int, Any]]] = {}
-        outstanding: List[Tuple[List[int], "asyncio.Future"]] = []
-
-        def flush_runs() -> None:
-            for worker_id, run in runs.items():
-                self._send_run(worker_id, run, replies, outstanding)
-            runs.clear()
-
-        async def drain() -> None:
-            for indices, future in outstanding:
-                try:
-                    kind, payload = await future
-                    batch = decode_reply(payload)
-                    assert isinstance(batch, BatchReply)
-                    for index, sub in zip(indices, batch.replies):
-                        replies[index] = sub
-                except WorkerDiedError as error:
-                    for index in indices:
-                        replies[index] = ErrorReply(ErrorCode.UNAVAILABLE,
-                                                    str(error))
-                except Exception as error:
-                    self.stats.internal_errors += 1
-                    for index in indices:
-                        replies[index] = ErrorReply(ErrorCode.INTERNAL,
-                                                    str(error))
-            outstanding.clear()
-
+        waiter = _BatchWaiter()
         for index, op in enumerate(request.ops):
             if isinstance(op, StatsRequest):
-                # barrier: everything before the STATS must be visible
-                flush_runs()
-                await drain()
+                # barrier: everything before the STATS must be visible,
+                # so flush the shared runs early and wait for OUR ops
+                self._flush_runs()
+                await waiter.wait()
                 self.stats.stats_calls += 1
                 replies[index] = StatsReply(await self._merged_stats())
                 continue
@@ -1090,45 +1530,99 @@ class WorkerServer(McCuckooServer):
                 if injected is not None:
                     replies[index] = injected
                     continue
-            runs.setdefault(self._worker_of_key(op.key), []).append(
-                (index, op)
-            )
-        flush_runs()
-        await drain()
+            waiter.add()
+            self._enqueue_op(self._worker_of_key(op.key), op,
+                             (replies, index, waiter))
+        await waiter.wait()
         assert all(reply is not None for reply in replies)
         return BatchReply(tuple(replies))  # type: ignore[arg-type]
 
-    def _send_run(
-        self,
-        worker_id: int,
-        run: List[Tuple[int, Any]],
-        replies: List[Optional[SimpleReply]],
-        outstanding: List[Tuple[List[int], "asyncio.Future"]],
-    ) -> None:
+    def _enqueue_op(self, worker_id: int, op: Any, sink: _OpSink) -> None:
+        self._run_pending.setdefault(worker_id, []).append((op, sink))
+        if not self._flush_scheduled:
+            self._flush_scheduled = True
+            asyncio.get_running_loop().call_soon(self._flush_runs)
+
+    def _flush_runs(self) -> None:
+        self._flush_scheduled = False
+        pending, self._run_pending = self._run_pending, {}
+        for worker_id, run in pending.items():
+            self._send_run(worker_id, run)
+
+    @staticmethod
+    def _resolve_op(sink: _OpSink, reply: SimpleReply) -> None:
+        slots, index, waiter = sink
+        slots[index] = reply
+        waiter.done_one()
+
+    def _send_run(self, worker_id: int,
+                  run: List[Tuple[Any, _OpSink]]) -> None:
         try:
             handle = self.pool.handle_for_worker(worker_id)
         except WorkerUnavailableError as error:
-            for index, _ in run:
-                replies[index] = self._worker_down_reply(error)
+            for _, sink in run:
+                self._resolve_op(sink, self._worker_down_reply(error))
             return
         free = max(0, self.config.writer_queue_depth - handle.pending_ops)
         admitted, rejected = run[:free], run[free:]
-        for index, _ in rejected:
-            replies[index] = self._worker_busy_reply(worker_id)
+        for _, sink in rejected:
+            self._resolve_op(sink, self._worker_busy_reply(worker_id))
         if not admitted:
             return
-        sub_batch = BatchRequest(tuple(op for _, op in admitted))
+        # All-GET runs go as a raw u64 key array (KIND_BATCH_KEYS): the
+        # worker answers with the same BatchReply shape, but reads the
+        # keys straight out of the transport buffer — on the shm ring
+        # that is a zero-copy NumPy view with no per-op decode.
+        if all(isinstance(op, GetRequest) for op, _ in admitted):
+            kind = KIND_BATCH_KEYS
+            body = encode_key_run([op.key for op, _ in admitted])
+        else:
+            kind = KIND_REQUEST
+            sub_batch = BatchRequest(tuple(op for op, _ in admitted))
+            body = encode_request(sub_batch)[FRAME_OVERHEAD:]
         try:
-            future = handle._submit(
-                KIND_REQUEST,
-                encode_request(sub_batch)[FRAME_OVERHEAD:],
-                ops=len(admitted),
-            )
-        except WorkerDiedError as error:
-            for index, _ in admitted:
-                replies[index] = ErrorReply(ErrorCode.UNAVAILABLE, str(error))
+            future = handle._submit(kind, body, ops=len(admitted))
+        except RingFullError:
+            for _, sink in admitted:
+                self._resolve_op(sink, self._ring_busy_reply(worker_id))
             return
-        outstanding.append(([index for index, _ in admitted], future))
+        except RingFrameTooLarge as error:
+            reply = ErrorReply(ErrorCode.TOO_LARGE, str(error))
+            for _, sink in admitted:
+                self._resolve_op(sink, reply)
+            return
+        except WorkerDiedError as error:
+            reply = ErrorReply(ErrorCode.UNAVAILABLE, str(error))
+            for _, sink in admitted:
+                self._resolve_op(sink, reply)
+            return
+        future.add_done_callback(
+            lambda fut, admitted=admitted: self._complete_run(fut, admitted)
+        )
+
+    def _complete_run(self, future: "asyncio.Future",
+                      admitted: List[Tuple[Any, _OpSink]]) -> None:
+        try:
+            _kind, payload = future.result()
+            batch = decode_reply(payload)
+            if (not isinstance(batch, BatchReply)
+                    or len(batch.replies) != len(admitted)):
+                raise ProtocolError(
+                    f"worker {type(batch).__name__} reply does not match "
+                    f"a {len(admitted)}-op run"
+                )
+            for (_, sink), sub in zip(admitted, batch.replies):
+                self._resolve_op(sink, sub)
+        except (WorkerDiedError, asyncio.CancelledError) as error:
+            reply = ErrorReply(ErrorCode.UNAVAILABLE,
+                               str(error) or "worker call cancelled")
+            for _, sink in admitted:
+                self._resolve_op(sink, reply)
+        except Exception as error:
+            self.stats.internal_errors += 1
+            reply = ErrorReply(ErrorCode.INTERNAL, str(error))
+            for _, sink in admitted:
+                self._resolve_op(sink, reply)
 
     # ------------------------------------------------------------------
     # merged stats
@@ -1138,6 +1632,8 @@ class WorkerServer(McCuckooServer):
         per_worker = await self.pool.collect_stats()
         gauges: Dict[str, float] = {
             "connections_active": self._connections,
+            "transport_shm": 1 if self.transport == "shm" else 0,
+            "ring_stale_discarded": self.pool.ring_stale_discarded(),
             "workers": self.n_workers,
             "workers_up": sum(
                 1 for _, handle in self.pool.live_handles()
@@ -1238,6 +1734,7 @@ class WorkerServer(McCuckooServer):
 
 
 __all__ = [
+    "KIND_BATCH_KEYS",
     "KIND_CONTROL",
     "KIND_REQUEST",
     "WorkerDiedError",

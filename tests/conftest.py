@@ -9,6 +9,7 @@ the default run is byte-identical to the suite before seeding existed.
     PYTEST_SEED=1234 python -m pytest tests/
 """
 
+import os
 import random
 
 import pytest
@@ -19,8 +20,30 @@ from repro.workloads import distinct_keys
 from .seeding import base_seed as _base_seed
 
 
+def pytest_addoption(parser):
+    parser.addoption(
+        "--transport",
+        default=None,
+        choices=("auto", "shm", "socket"),
+        help="pin the serve-layer worker transport for every server the "
+             "suite starts with transport='auto' (sets "
+             "REPRO_SERVE_TRANSPORT; the CI transport matrix runs "
+             "tests/serve once per value)",
+    )
+
+
+def pytest_configure(config):
+    transport = config.getoption("--transport")
+    if transport and transport != "auto":
+        os.environ["REPRO_SERVE_TRANSPORT"] = transport
+
+
 def pytest_report_header(config):
-    return f"PYTEST_SEED={_base_seed()} (set PYTEST_SEED=<n> to replay)"
+    header = f"PYTEST_SEED={_base_seed()} (set PYTEST_SEED=<n> to replay)"
+    transport = config.getoption("--transport")
+    if transport:
+        header += f"  serve-transport={transport}"
+    return header
 
 
 @pytest.fixture(scope="session")

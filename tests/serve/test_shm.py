@@ -1,0 +1,405 @@
+"""Shared-memory transport: ring mechanics, epochs, and transport parity.
+
+The unit half exercises :class:`~repro.serve.shm.ShmRing` directly —
+wrap-around at every offset, backpressure, torn-write detection, and the
+generation (epoch) machinery the worker supervisor leans on.  The
+integration half forks real worker processes and checks that the shm and
+socketpair transports are observably equivalent, that ring-full pressure
+surfaces as BUSY, and that a killed worker never replays a pre-crash
+request.
+"""
+
+import asyncio
+
+import pytest
+
+from repro.core.errors import ConfigurationError
+from repro.serve import (
+    McCuckooClient,
+    RetryPolicy,
+    ServerBusyError,
+    ServerConfig,
+    WorkerServer,
+)
+from repro.serve.faultgen import FaultgenConfig, run_faultgen
+from repro.serve.protocol import ProtocolError
+from repro.serve.shm import (
+    SLOT_OVERHEAD,
+    RingFrameTooLarge,
+    ShmRing,
+    ShmTransport,
+    resolve_transport,
+    shm_available,
+)
+from repro.serve.shm import _HEADER_BYTES  # noqa: F401  (test-only poke)
+from tests.seeding import derive
+
+pytestmark = pytest.mark.skipif(
+    not shm_available(), reason="multiprocessing.shared_memory unavailable"
+)
+
+
+def run(coro):
+    return asyncio.run(coro)
+
+
+def config(**overrides) -> ServerConfig:
+    defaults = dict(n_shards=4, expected_items=4096, seed=derive(900))
+    defaults.update(overrides)
+    return ServerConfig(**defaults)
+
+
+@pytest.fixture
+def ring():
+    ring = ShmRing.create(4096)
+    yield ring
+    ring.close()
+    ring.unlink()
+
+
+def pop_bytes(ring):
+    record = ring.pop()
+    if record is None:
+        return None
+    epoch, view = record
+    body = bytes(view)
+    ring.advance()
+    return epoch, body
+
+
+class TestRingMechanics:
+    def test_roundtrip_preserves_bytes(self, ring):
+        assert ring.try_push(b"hello", epoch=1)
+        assert pop_bytes(ring) == (1, b"hello")
+        assert ring.pop() is None
+
+    def test_fifo_order(self, ring):
+        bodies = [bytes([i]) * (i + 1) for i in range(32)]
+        for body in bodies:
+            assert ring.try_push(body, epoch=3)
+        assert [pop_bytes(ring)[1] for _ in bodies] == bodies
+
+    def test_wraparound_at_every_offset(self, ring):
+        # varied odd sizes keep the cursors cycling through every
+        # alignment of the 4096-byte data area, including slots that
+        # land exactly on the boundary and remnants under 4 bytes
+        sizes = [1, 7, 33, 100, 255, 512, 1023]
+        pushed = popped = 0
+        for step in range(2000):
+            body = bytes([step % 251]) * sizes[step % len(sizes)]
+            assert ring.try_push(body, epoch=1), f"full at step {step}"
+            pushed += len(body)
+            got = pop_bytes(ring)
+            assert got == (1, body), f"mismatch at step {step}"
+            popped += len(body)
+        assert ring.used() == 0
+        assert ring.head == ring.tail
+        assert ring.head > ring.capacity  # the cursors really did wrap
+
+    def test_exact_boundary_fit(self, ring):
+        # a record whose slot ends exactly at the top of the data area,
+        # followed by one that must start back at offset zero
+        first = ring.capacity - SLOT_OVERHEAD - (SLOT_OVERHEAD + 100)
+        filler = b"\x11" * 100
+        assert ring.try_push(filler, epoch=1)
+        assert pop_bytes(ring) == (1, filler)
+        body = b"\x22" * (ring.capacity // 2 - SLOT_OVERHEAD)
+        assert ring.try_push(body, epoch=1)  # wraps via a skip marker
+        assert pop_bytes(ring) == (1, body)
+        assert first > 0  # sanity: the geometry above is non-degenerate
+
+    def test_full_ring_rejects_then_recovers(self, ring):
+        body = b"\x5a" * 1024
+        accepted = 0
+        while ring.try_push(body, epoch=1):
+            accepted += 1
+        assert accepted >= 2  # 4096-byte ring holds a few 1KiB records
+        assert ring.try_push(body, epoch=1) is False  # transient, no raise
+        assert pop_bytes(ring) == (1, body)
+        assert ring.try_push(body, epoch=1)  # space reclaimed by advance
+
+    def test_oversized_record_is_permanent_error(self, ring):
+        with pytest.raises(RingFrameTooLarge):
+            ring.try_push(b"\x00" * (ring.capacity // 2 + 1), epoch=1)
+        # the ring stays usable afterwards
+        assert ring.try_push(b"ok", epoch=1)
+        assert pop_bytes(ring) == (1, b"ok")
+
+    def test_torn_producer_write_fails_crc(self, ring):
+        assert ring.try_push(b"A" * 64, epoch=1)
+        # corrupt one body byte behind the producer's back
+        ring._buf[_HEADER_BYTES + SLOT_OVERHEAD + 10] ^= 0xFF
+        with pytest.raises(ProtocolError, match="CRC"):
+            ring.pop()
+
+
+class TestRingEpochs:
+    def test_pop_reports_the_producer_epoch(self, ring):
+        ring.try_push(b"old", epoch=1)
+        ring.try_push(b"new", epoch=2)
+        assert pop_bytes(ring) == (1, b"old")
+        assert pop_bytes(ring) == (2, b"new")
+
+    def test_begin_generation_drains_stale_slots(self):
+        pair = ShmTransport.create(4096)
+        try:
+            pair.set_epoch(1)
+            for i in range(3):
+                assert pair.request.try_push(b"req%d" % i, epoch=1)
+            assert pair.response.try_push(b"resp", epoch=1)
+            dropped = pair.begin_generation(2)
+            assert dropped == 4
+            assert pair.stale_discarded() >= 4
+            assert pair.request.pop() is None
+            assert pair.response.pop() is None
+            # the new generation flows normally
+            assert pair.request.try_push(b"fresh", epoch=2)
+            epoch, view = pair.request.pop()
+            body = bytes(view)
+            view.release()  # the slot view must not outlive the segment
+            pair.request.advance()
+            assert (epoch, body) == (2, b"fresh")
+        finally:
+            pair.destroy()
+
+    def test_begin_generation_survives_a_torn_stale_slot(self):
+        pair = ShmTransport.create(4096)
+        try:
+            pair.set_epoch(1)
+            assert pair.request.try_push(b"B" * 32, epoch=1)
+            pair.request._buf[_HEADER_BYTES + SLOT_OVERHEAD] ^= 0xFF
+            pair.begin_generation(2)  # must not raise
+            assert pair.request.pop() is None  # cursor reset to the tail
+        finally:
+            pair.destroy()
+
+
+class TestTransportSelection:
+    def test_socket_always_resolves(self):
+        assert resolve_transport("socket") == "socket"
+
+    def test_auto_resolves_to_shm_here(self, monkeypatch):
+        monkeypatch.delenv("REPRO_SERVE_TRANSPORT", raising=False)
+        assert resolve_transport("auto") == "shm"
+
+    def test_auto_honours_environment_override(self, monkeypatch):
+        monkeypatch.setenv("REPRO_SERVE_TRANSPORT", "socket")
+        assert resolve_transport("auto") == "socket"
+
+    def test_unknown_transport_rejected(self):
+        with pytest.raises(ConfigurationError):
+            resolve_transport("pigeon")
+
+    def test_explicit_shm_errors_when_unavailable(self, monkeypatch):
+        import repro.serve.shm as shm_mod
+
+        monkeypatch.setattr(shm_mod, "_SHM_PROBE", False)
+        with pytest.raises(ConfigurationError):
+            resolve_transport("shm")
+        with pytest.raises(ConfigurationError):
+            WorkerServer(config(transport="shm"), n_workers=2)
+
+    def test_worker_server_records_resolved_transport(self):
+        assert WorkerServer(config(transport="shm"),
+                            n_workers=2).transport == "shm"
+        assert WorkerServer(config(transport="socket"),
+                            n_workers=2).transport == "socket"
+
+
+def _seeded_ops(seed: int, n_ops: int, n_keys: int):
+    """A deterministic mixed op stream, chunked so that some chunks are
+    pure GET runs (the KIND_BATCH_KEYS fast path) and some are mixed."""
+    import random
+
+    rng = random.Random(seed)
+    chunks = []
+    for chunk_id in range(n_ops // 16):
+        if chunk_id % 3 == 0:  # pure-GET chunk → key-run fast path
+            chunks.append([("get", rng.randrange(n_keys)) for _ in range(16)])
+        else:
+            chunk = []
+            for _ in range(16):
+                key = rng.randrange(n_keys)
+                roll = rng.random()
+                if roll < 0.5:
+                    chunk.append(("put", key,
+                                  b"v%d-%d" % (key, rng.randrange(1000))))
+                elif roll < 0.7:
+                    chunk.append(("delete", key))
+                else:
+                    chunk.append(("get", key))
+            chunks.append(chunk)
+    return chunks
+
+
+def _normalize(reply):
+    return (type(reply).__name__, getattr(reply, "found", None),
+            getattr(reply, "value", None), getattr(reply, "created", None),
+            getattr(reply, "deleted", None), getattr(reply, "code", None))
+
+
+class TestTransportEquivalence:
+    def test_same_op_stream_same_replies_on_both_transports(self):
+        seed = derive(901)
+        chunks = _seeded_ops(seed, n_ops=640, n_keys=96)
+
+        async def drive(transport):
+            server = WorkerServer(
+                config(seed=seed, transport=transport), n_workers=2
+            )
+            observed = []
+            async with server:
+                host, port = server.address
+                async with McCuckooClient(host, port) as client:
+                    for chunk in chunks:
+                        for reply in await client.batch(chunk):
+                            observed.append(_normalize(reply))
+                    stats = await client.stats()
+            counters = {name: stats.get(name) for name in
+                        ("gets", "puts", "deletes", "get_hits",
+                         "store_items")}
+            return observed, counters
+
+        shm_replies, shm_counters = run(drive("shm"))
+        socket_replies, socket_counters = run(drive("socket"))
+        assert shm_replies == socket_replies
+        assert shm_counters == socket_counters
+
+    def test_scalar_ops_equivalent_across_transports(self):
+        seed = derive(902)
+
+        async def drive(transport):
+            server = WorkerServer(
+                config(seed=seed, transport=transport), n_workers=2
+            )
+            out = []
+            async with server:
+                host, port = server.address
+                async with McCuckooClient(host, port) as client:
+                    for key in range(60):
+                        out.append(await client.put(key, b"x%d" % key))
+                    for key in range(80):
+                        out.append(await client.get(key))
+                    for key in range(0, 60, 7):
+                        out.append(await client.delete(key))
+            return out
+
+        assert run(drive("shm")) == run(drive("socket"))
+
+
+class TestRingBackpressure:
+    def test_ring_full_surfaces_as_busy(self):
+        # a minimum-size ring, a frontend queue too deep to trip first,
+        # and a stalled worker: pushes outrun pops, so some scalar puts
+        # must come back BUSY while the rest land normally
+        async def scenario():
+            server = WorkerServer(
+                config(
+                    transport="shm",
+                    shm_ring_bytes=4096,
+                    writer_queue_depth=100_000,
+                    write_stall=0.005,
+                ),
+                n_workers=1,
+            )
+            async with server:
+                host, port = server.address
+                async with McCuckooClient(host, port, pool_size=32) as client:
+                    value = b"\x5a" * 512
+                    results = await asyncio.gather(
+                        *(client.put(key, value) for key in range(64)),
+                        return_exceptions=True,
+                    )
+            ok = sum(1 for r in results if r is True)
+            busy = sum(1 for r in results if isinstance(r, ServerBusyError))
+            unexpected = [r for r in results
+                          if r is not True
+                          and not isinstance(r, ServerBusyError)]
+            assert not unexpected
+            return ok, busy
+
+        ok, busy = run(scenario())
+        assert ok > 0, "no put made it through the stalled ring"
+        assert busy > 0, "a 4KiB ring never filled under a 5ms write stall"
+
+    def test_oversized_batch_value_reports_too_large(self):
+        # a record bigger than half the ring can never fit: the op must
+        # fail loudly (TOO_LARGE), not wedge the transport
+        async def scenario():
+            server = WorkerServer(
+                config(transport="shm", shm_ring_bytes=4096,
+                       max_frame_bytes=1 << 20),
+                n_workers=1,
+            )
+            async with server:
+                host, port = server.address
+                async with McCuckooClient(host, port) as client:
+                    from repro.serve.client import ServeError
+
+                    with pytest.raises(ServeError):
+                        await client.put(1, b"\x00" * 3000)
+                    # the transport survives the rejection
+                    assert await client.put(2, b"small") is True
+                    assert await client.get(2) == b"small"
+
+        run(scenario())
+
+
+class TestKillWorkerNoReplay:
+    def test_killed_worker_never_replays_a_pre_crash_request(self):
+        # kill each worker after 120 applied ops, repeatedly, over the shm
+        # transport.  The faultgen audit fails on any duplicate apply: a
+        # replayed put or delete would surface as a phantom value (or a
+        # lost acknowledged write) on its key.
+        fg = FaultgenConfig(
+            n_ops=600,
+            n_keys=96,
+            concurrency=4,
+            seed=derive(903),
+            faults="kill_worker=120",
+            run_timeout=60.0,
+            n_workers=2,
+            transport="shm",
+        )
+        report = run(run_faultgen(fg))
+        assert report.transport == "shm"
+        assert report.worker_restarts >= 1, "the kill rule never fired"
+        assert report.lost_acked_writes == 0
+        assert report.phantom_values == 0
+        assert report.ok, report.failures
+
+    def test_restart_generation_discards_inflight_requests(self):
+        # park requests in a dead worker's request ring, restart, and
+        # check the stale-slot gauge: the replacement must not consume
+        # them (they belong to the previous epoch)
+        async def scenario():
+            server = WorkerServer(
+                config(transport="shm", write_stall=0.01,
+                       writer_queue_depth=100_000, durable=True),
+                n_workers=1,
+            )
+            async with server:
+                host, port = server.address
+                retry = RetryPolicy(max_attempts=6, base_delay=0.01,
+                                    deadline=10.0, seed=derive(904))
+                async with McCuckooClient(host, port, retry=retry) as client:
+                    await client.put(0, b"seed")
+                    handle = server.pool.handle_for_worker(0)
+                    # queue a burst the stalled worker cannot drain, then
+                    # kill it with requests still sitting in the ring
+                    pending = [
+                        asyncio.ensure_future(client.put(k, b"burst"))
+                        for k in range(1, 40)
+                    ]
+                    await asyncio.sleep(0.02)
+                    handle._process.kill()
+                    await asyncio.gather(*pending, return_exceptions=True)
+                    await server.pool.await_restarts()
+                    await server.pool.barrier()
+                    stats = await client.stats()
+                    assert stats["worker_restarts"] >= 1
+                    assert stats["ring_stale_discarded"] >= 1
+                    # the store still serves reads after the generation flip
+                    assert await client.get(0) == b"seed"
+
+        run(scenario())
