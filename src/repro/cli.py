@@ -171,6 +171,11 @@ def _build_parser() -> argparse.ArgumentParser:
                        choices=("python", "numpy", "auto"),
                        help="batch-kernel backend for the shard indexes "
                             "(default: auto = numpy when installed)")
+    serve.add_argument("--replicas", type=int, default=0,
+                       help="per-shard read replicas (0 or 1; needs "
+                            "--workers >= 2): acked writes are mirrored "
+                            "to the next worker ring-wise, and reads "
+                            "fail over to it while the owner is down")
     serve.add_argument("--compact-at", type=float, default=None,
                        help="garbage-ratio threshold for background "
                             "compaction (enables the maintenance daemon)")
@@ -240,6 +245,32 @@ def _build_parser() -> argparse.ArgumentParser:
                           choices=("auto", "shm", "socket"),
                           help="worker transport for the driven server "
                                "(with --workers N)")
+    faultgen.add_argument("--migrate", action="store_true",
+                          help="run live shard migrations during the drive "
+                               "(with --workers >= 2); the audit must hold "
+                               "across routing flips")
+
+    reshard = sub.add_parser(
+        "reshard",
+        help="live-migration demo: load a worker server, move a shard, "
+             "verify every key survived",
+    )
+    reshard.add_argument("--shards", type=int, default=4)
+    reshard.add_argument("--workers", type=int, default=2)
+    reshard.add_argument("--keys", type=int, default=2_000)
+    reshard.add_argument("--value-size", type=int, default=64)
+    reshard.add_argument("--seed", type=int, default=0)
+    reshard.add_argument("--shard", type=int, default=0,
+                         help="shard to migrate")
+    reshard.add_argument("--target", type=int, default=None,
+                         help="destination worker (default: the next "
+                              "worker ring-wise after the current owner)")
+    reshard.add_argument("--transport", default="auto",
+                         choices=("auto", "shm", "socket"))
+    reshard.add_argument("--faults", default="",
+                         help="fault-plan spec, e.g. "
+                              "'kill_worker_during=migration:3@0'")
+    reshard.add_argument("--fault-seed", type=int, default=0)
 
     bench_serve = sub.add_parser(
         "bench-serve",
@@ -569,10 +600,15 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         engine=args.engine,
         maintenance=maintenance,
         transport=args.transport,
+        replicas=args.replicas,
     )
 
     if args.workers < 0:
         print("repro serve: error: --workers must be >= 0", file=sys.stderr)
+        return 2
+    if args.replicas and args.workers < 2:
+        print("repro serve: error: --replicas needs --workers >= 2",
+              file=sys.stderr)
         return 2
     try:
         if args.workers > 0:
@@ -722,6 +758,12 @@ def _cmd_faultgen(args: argparse.Namespace) -> int:
         config = dataclasses.replace(config, n_workers=args.workers)
     if args.transport != "auto":
         config = dataclasses.replace(config, transport=args.transport)
+    if args.migrate:
+        if config.n_workers < 2:
+            print("repro faultgen: error: --migrate needs --workers >= 2",
+                  file=sys.stderr)
+            return 2
+        config = dataclasses.replace(config, migrate=True)
     try:
         report = asyncio.run(run_faultgen(config))
     except KeyboardInterrupt:
@@ -736,12 +778,80 @@ def _cmd_faultgen(args: argparse.Namespace) -> int:
         maintenance = " --maintenance" if config.maintenance else ""
         transport = (f" --transport {config.transport}"
                      if config.transport != "auto" else "")
+        migrate = " --migrate" if config.migrate else ""
         print(f"reproduce with: repro faultgen --seed {config.seed} "
               f"--ops {config.n_ops} --keys {config.n_keys} "
               f"--concurrency {config.concurrency}"
-              f"{workers}{maintenance}{transport}",
+              f"{workers}{maintenance}{transport}{migrate}",
               file=sys.stderr)
     return 0 if report.ok else 1
+
+
+def _cmd_reshard(args: argparse.Namespace) -> int:
+    """Standalone live-migration demo: load, migrate, verify, report."""
+    import asyncio
+
+    from .serve import McCuckooClient, ServerConfig, WorkerServer
+
+    if args.workers < 2:
+        print("repro reshard: error: --workers must be >= 2", file=sys.stderr)
+        return 2
+    if not 0 <= args.shard < args.shards:
+        print(f"repro reshard: error: --shard must be in [0, {args.shards})",
+              file=sys.stderr)
+        return 2
+    fault_plan = None
+    if args.faults:
+        from .faults import FaultPlan
+
+        try:
+            fault_plan = FaultPlan.parse(args.faults, seed=args.fault_seed)
+        except ReproError as error:
+            print(f"repro reshard: error: {error}", file=sys.stderr)
+            return 2
+    config = ServerConfig(
+        n_shards=args.shards,
+        expected_items=max(4096, 4 * args.keys),
+        seed=args.seed,
+        durable=True,
+        fault_plan=fault_plan,
+        transport=args.transport,
+    )
+
+    async def run() -> int:
+        from .serve.loadgen import value_bytes
+
+        async with WorkerServer(config, n_workers=args.workers) as server:
+            host, port = server.address
+            target = args.target
+            if target is None:
+                owner = server.routing.worker_of_shard(args.shard)
+                target = (owner + 1) % server.n_workers
+            async with McCuckooClient(host, port) as client:
+                expected = {}
+                for key in range(1, args.keys + 1):
+                    value = value_bytes(key, 0, args.value_size)
+                    if await client.put(key, value):
+                        expected[key] = value
+                report = await server.reshard(args.shard, target)
+                print(report.render())
+                await server.pool.await_restarts()
+                await server.drain_writes()
+                lost = 0
+                for key, value in expected.items():
+                    if await client.get(key) != value:
+                        lost += 1
+                print(f"verify: {len(expected)} acked keys, {lost} lost")
+                return 0 if lost == 0 else 1
+
+    try:
+        return asyncio.run(run())
+    except KeyboardInterrupt:
+        print("\nreshard interrupted")
+        return 130
+    except (ReproError, OSError) as error:
+        print(f"repro reshard: error: {error}", file=sys.stderr)
+        return 2
 
 
 def _cmd_bench_serve(args: argparse.Namespace) -> int:
@@ -915,6 +1025,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         return _cmd_loadgen(args)
     if args.command == "faultgen":
         return _cmd_faultgen(args)
+    if args.command == "reshard":
+        return _cmd_reshard(args)
     if args.command == "bench-serve":
         return _cmd_bench_serve(args)
     if args.command == "compact":

@@ -91,10 +91,81 @@ class ShardRouter:
 
 
 def worker_of_shard(shard: int, n_workers: int) -> int:
-    """Round-robin shard → worker-process assignment."""
+    """Round-robin shard → worker-process assignment (routing epoch 0)."""
     if n_workers <= 0:
         raise ConfigurationError("n_workers must be positive")
     return shard % n_workers
+
+
+class RoutingTable:
+    """Epoch-versioned shard → worker map for live resharding.
+
+    Epoch 0 is exactly the static round-robin assignment
+    (:func:`worker_of_shard`), so a table nobody reshards behaves
+    bit-identically to the fixed map the worker pool has always used.
+    A migration commits by calling :meth:`reassign`, which installs an
+    overlay entry and bumps :attr:`epoch` — the version number the
+    serving layer stamps into migration frames and the faultgen audit
+    uses to attribute acknowledged writes to the right owner.
+
+    Invariants (property-tested in ``tests/core``): every shard maps to
+    exactly one worker at every epoch, and the per-worker groups remain
+    a disjoint partition of the shard space after any reassignment
+    sequence.
+    """
+
+    def __init__(self, n_shards: int, n_workers: int) -> None:
+        if n_shards <= 0:
+            raise ConfigurationError("n_shards must be positive")
+        if n_workers <= 0:
+            raise ConfigurationError("n_workers must be positive")
+        self.n_shards = n_shards
+        self.n_workers = n_workers
+        self.epoch = 0
+        self._overlay: dict = {}
+
+    def worker_of_shard(self, shard: int) -> int:
+        """The worker currently owning ``shard`` (overlay over the base)."""
+        if not 0 <= shard < self.n_shards:
+            raise ConfigurationError(
+                f"shard {shard} out of range for {self.n_shards} shards"
+            )
+        worker = self._overlay.get(shard)
+        if worker is not None:
+            return worker
+        return worker_of_shard(shard, self.n_workers)
+
+    def shards_of_worker(self, worker: int) -> Tuple[int, ...]:
+        """The shard group ``worker`` owns at the current epoch."""
+        if not 0 <= worker < self.n_workers:
+            raise ConfigurationError(
+                f"worker {worker} out of range for {self.n_workers} workers"
+            )
+        return tuple(
+            shard for shard in range(self.n_shards)
+            if self.worker_of_shard(shard) == worker
+        )
+
+    def reassign(self, shard: int, worker: int) -> int:
+        """Atomically move ``shard`` to ``worker``; returns the new epoch.
+
+        This is the migration commit point: callers flip it only after
+        the target holds every acknowledged write (fence + final delta).
+        """
+        self.worker_of_shard(shard)  # range check
+        if not 0 <= worker < self.n_workers:
+            raise ConfigurationError(
+                f"worker {worker} out of range for {self.n_workers} workers"
+            )
+        self._overlay[shard] = worker
+        self.epoch += 1
+        return self.epoch
+
+    def assignment(self) -> Tuple[int, ...]:
+        """The full shard → worker vector at the current epoch."""
+        return tuple(
+            self.worker_of_shard(shard) for shard in range(self.n_shards)
+        )
 
 
 def shards_of_worker(worker: int, n_shards: int, n_workers: int) -> Tuple[int, ...]:

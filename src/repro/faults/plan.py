@@ -70,11 +70,16 @@ Rule grammar (``FaultPlan.parse``) — rules separated by ``;`` or ``,``:
     recovery must detect the torn artifact via its CRC and fall back to a
     full log replay.
 ``kill_worker_during=SITE:N[@WORKER]``
-    SITE is ``compaction`` or ``checkpoint``.  The N-th consult of that
-    maintenance boundary in worker WORKER kills the whole worker process
-    via ``os._exit`` — mid-compaction (old log file intact on disk) or
-    mid-checkpoint-write (torn checkpoint file on disk).  The supervisor
-    restarts the worker from its durable files.
+    SITE is ``compaction``, ``checkpoint``, or ``migration``.  The N-th
+    consult of that maintenance boundary in worker WORKER kills the whole
+    worker process via ``os._exit`` — mid-compaction (old log file intact
+    on disk), mid-checkpoint-write (torn checkpoint file on disk), or at
+    a live-resharding phase boundary (the migration coordinator must
+    abort or complete without losing an acknowledged write).  The
+    supervisor restarts the worker from its durable files.  Migration
+    phases consult in a fixed order per role (source: snapshot, delta,
+    fence, delta, release; target: install, apply, apply, activate), so
+    N selects a deterministic phase boundary to die at.
 
 Example spec::
 
@@ -135,7 +140,7 @@ class FaultRule:
     )
 
     #: valid SITE values for ``kill_worker_during``
-    MAINTENANCE_SITES = ("compaction", "checkpoint")
+    MAINTENANCE_SITES = ("compaction", "checkpoint", "migration")
 
     def __init__(
         self,
@@ -429,7 +434,8 @@ class FaultPlan:
 
     def should_kill_maintenance(self, site: str, worker_id: int = 0) -> bool:
         """Consulted at worker maintenance boundaries (``site`` is
-        ``compaction`` or ``checkpoint``); True kills the worker process."""
+        ``compaction``, ``checkpoint``, or ``migration``); True kills the
+        worker process."""
         if not self._armed:
             return False
         for rule in self.rules:

@@ -11,7 +11,9 @@ generator reporting ops/sec with p50/p95/p99 latency
 same frontend onto N supervised shard worker processes for true
 multi-core parallelism, carried over shared-memory SPSC rings
 (:mod:`~repro.serve.shm`) where the platform supports them, socketpair
-streams otherwise.
+streams otherwise.  :mod:`~repro.serve.resharding` migrates shards
+between live workers (snapshot → delta → fence → flip) and the worker
+server can host per-shard read replicas for owner-down degradation.
 """
 
 from .client import (
@@ -36,21 +38,29 @@ from .protocol import (
     DeleteRequest,
     ErrorCode,
     ErrorReply,
+    FenceFrame,
     GetRequest,
+    MigrateFrame,
     Opcode,
     ProtocolError,
     PutReply,
     PutRequest,
+    ReplicaFrame,
     StatsReply,
     StatsRequest,
     ValueReply,
+    decode_migration_frame,
     decode_reply,
     decode_request,
+    encode_fence,
+    encode_migrate,
+    encode_replica,
     encode_reply,
     encode_request,
     read_frame,
     write_frame,
 )
+from .resharding import MigrationReport, ReshardCoordinator
 from .server import McCuckooServer, ServerConfig
 from .shm import (
     RingFrameTooLarge,
@@ -63,6 +73,7 @@ from .shm import (
 from .stats import ServeStats
 from .store import ShardedLogStore
 from .workers import (
+    MigrationError,
     WorkerDiedError,
     WorkerPool,
     WorkerServer,
@@ -80,7 +91,13 @@ __all__ = [
     "ErrorReply",
     "FaultgenConfig",
     "FaultgenReport",
+    "FenceFrame",
     "GetRequest",
+    "MigrateFrame",
+    "MigrationError",
+    "MigrationReport",
+    "ReplicaFrame",
+    "ReshardCoordinator",
     "LoadReport",
     "LoadgenConfig",
     "McCuckooClient",
@@ -110,8 +127,12 @@ __all__ = [
     "WorkerSpec",
     "WorkerUnavailableError",
     "build_workload",
+    "decode_migration_frame",
     "decode_reply",
     "decode_request",
+    "encode_fence",
+    "encode_migrate",
+    "encode_replica",
     "encode_reply",
     "encode_request",
     "read_frame",

@@ -91,6 +91,13 @@ class FaultgenConfig:
     """Worker transport for the driven server ("auto"/"shm"/"socket");
     only meaningful with ``n_workers > 0``.  The audit is
     transport-agnostic — both carry the same CRC'd frames."""
+    migrate: bool = False
+    """Run live shard migrations *during* the drive (worker mode with
+    ≥ 2 workers; ignored otherwise): a background task repeatedly moves
+    a shard to the next worker ring-wise while the drivers hammer it.
+    The audit model is parameterized by the routing epoch — an
+    acknowledged write must survive the move, on whichever worker owns
+    the shard at read-back time."""
 
     def __post_init__(self) -> None:
         if self.n_ops <= 0 or self.n_keys <= 0:
@@ -141,6 +148,9 @@ class FaultgenReport:
     verified_keys: int = 0
     lost_acked_writes: int = 0
     phantom_values: int = 0
+    migrations_committed: int = 0
+    migrations_aborted: int = 0
+    routing_epoch: int = 0
     hung: bool = False
     failures: List[str] = field(default_factory=list)
 
@@ -163,6 +173,9 @@ class FaultgenReport:
                or "(none fired)"),
             f"  recovery  shard_recoveries={self.shard_recoveries}  "
             f"worker_restarts={self.worker_restarts}",
+            f"  reshard   committed={self.migrations_committed}  "
+            f"aborted={self.migrations_aborted}  "
+            f"routing_epoch={self.routing_epoch}",
             f"  client    retries={self.retries}  "
             f"reads_checked={self.reads_checked}",
             f"  verify    keys={self.verified_keys}  "
@@ -191,24 +204,32 @@ class _KeyState:
       unresolved (``acked_only``): reads run inline at the server and do
       NOT flush the writer queue, so a timed-out write can legally apply
       *after* a read observed the older value.
+    * The owner map is no longer static: a live migration re-homes the
+      key's shard mid-run.  Each transition is stamped with the routing
+      epoch it happened under, and a read may only collapse the set when
+      its epoch is **at least** the state's — a read that raced an older
+      epoch must not overrule a write acknowledged under a newer one.
     """
 
-    __slots__ = ("acceptable", "acked_only")
+    __slots__ = ("acceptable", "acked_only", "epoch")
 
     def __init__(self) -> None:
         self.acceptable: Set[bytes] = {_ABSENT}
         self.acked_only = True  # no unacked write is still unresolved
+        self.epoch = 0  # routing epoch of the newest recorded transition
 
-    def acked_write(self, value: bytes) -> None:
+    def acked_write(self, value: bytes, epoch: int = 0) -> None:
         self.acceptable = {value}
         self.acked_only = True
+        self.epoch = max(self.epoch, epoch)
 
-    def unacked_write(self, value: bytes) -> None:
+    def unacked_write(self, value: bytes, epoch: int = 0) -> None:
         self.acceptable.add(value)
         self.acked_only = False
+        self.epoch = max(self.epoch, epoch)
 
-    def observed(self, value: bytes) -> None:
-        if self.acked_only:
+    def observed(self, value: bytes, epoch: int = 0) -> None:
+        if self.acked_only and epoch >= self.epoch:
             self.acceptable = {value}
 
 
@@ -279,13 +300,31 @@ async def _drive_and_verify(
         seed=config.seed,
     )
     states: Dict[int, _KeyState] = {}
+    epoch_of = (
+        (lambda: server.routing_epoch)
+        if isinstance(server, WorkerServer) else (lambda: 0)
+    )
     async with McCuckooClient(host, port, pool_size=config.concurrency,
                               retry=retry) as client:
         workers = [
-            _worker(client, config, worker_id, states, report)
+            _worker(client, config, worker_id, states, report, epoch_of)
             for worker_id in range(config.concurrency)
         ]
-        await asyncio.gather(*workers)
+        migrator: "asyncio.Task | None" = None
+        if (config.migrate and isinstance(server, WorkerServer)
+                and server.n_workers >= 2):
+            migrator = asyncio.create_task(
+                _migrator(server, config, report))
+        try:
+            await asyncio.gather(*workers)
+        finally:
+            if migrator is not None:
+                migrator.cancel()
+                try:
+                    await migrator
+                except asyncio.CancelledError:
+                    pass
+        report.routing_epoch = epoch_of()
 
         # --------------------------------------------------------------
         # verification: stop injecting (in every process), reach
@@ -334,12 +373,45 @@ async def _drive_and_verify(
                 )
 
 
+async def _migrator(
+    server: WorkerServer,
+    config: FaultgenConfig,
+    report: FaultgenReport,
+) -> None:
+    """Move shards between workers while the drivers are hammering them.
+
+    Each round migrates shard ``round % n_shards`` from its current
+    owner to the next worker ring-wise.  Injected faults may abort a
+    round (counted, not failed) — the audit only cares that no
+    acknowledged write is lost either way."""
+    for round_no in range(3):
+        await asyncio.sleep(0.1)
+        shard = round_no % config.n_shards
+        owner = server.routing.worker_of_shard(shard)
+        target = (owner + 1) % server.n_workers
+        try:
+            outcome = await server.reshard(shard, target)
+        except asyncio.CancelledError:
+            raise
+        except Exception as error:  # a coordinator bug, not an injected fault
+            report.failures.append(
+                f"migrator: reshard({shard}, {target}) raised "
+                f"{type(error).__name__}: {error}"
+            )
+            return
+        if outcome.committed:
+            report.migrations_committed += 1
+        else:
+            report.migrations_aborted += 1
+
+
 async def _worker(
     client: McCuckooClient,
     config: FaultgenConfig,
     worker_id: int,
     states: Dict[int, _KeyState],
     report: FaultgenReport,
+    epoch_of,
 ) -> None:
     """Drive this worker's share of ops over the keys it owns."""
     rng = random.Random((config.seed * 0x9E3779B1) ^ (worker_id * 0x85EBCA6B))
@@ -360,40 +432,47 @@ async def _worker(
                                 config.value_size)
             acked = await _issue(client.put(key, value), report)
             if acked:
-                state.acked_write(value)
+                state.acked_write(value, epoch_of())
             else:
-                state.unacked_write(value)
+                state.unacked_write(value, epoch_of())
         elif roll < 0.75:  # delete
             acked = await _issue(client.delete(key), report)
             if acked:
-                state.acked_write(_ABSENT)
+                state.acked_write(_ABSENT, epoch_of())
             else:
-                state.unacked_write(_ABSENT)
+                state.unacked_write(_ABSENT, epoch_of())
         else:  # get: audit mid-run and collapse the acceptable set
+            epoch_before = epoch_of()
             try:
                 value = await client.get(key)
             except (ServeError, ConnectionError, OSError):
                 report.ops_unacked += 1
                 continue
+            epoch_after = epoch_of()
             report.ops_acked += 1
             report.reads_checked += 1
             observed = _ABSENT if value is None else value
+            if epoch_before != epoch_after:
+                # the read was in flight across a routing flip: it may
+                # legally have been served by either side of the
+                # migration, so it neither convicts nor collapses
+                continue
             if observed not in state.acceptable:
-                if state.acked_only:
+                if state.acked_only and epoch_after >= state.epoch:
                     report.lost_acked_writes += 1
                     report.failures.append(
                         f"key {key:#x}: mid-run read lost an acknowledged "
                         f"write — expected {_render_values(state.acceptable)},"
                         f" read {_render_values({observed})}"
                     )
-                else:
+                elif not state.acked_only:
                     report.phantom_values += 1
                     report.failures.append(
                         f"key {key:#x}: mid-run phantom — read "
                         f"{_render_values({observed})}, acceptable "
                         f"{_render_values(state.acceptable)}"
                     )
-            state.observed(observed)
+            state.observed(observed, epoch_after)
 
 
 async def _issue(operation, report: FaultgenReport) -> bool:

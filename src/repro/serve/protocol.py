@@ -382,6 +382,176 @@ def decode_reply(body: bytes) -> Reply:
 
 
 # ----------------------------------------------------------------------
+# migration frames (worker IPC only): MIGRATE / FENCE / REPLICA
+# ----------------------------------------------------------------------
+
+#: migration-control opcodes — deliberately outside both the request and
+#: reply opcode ranges, so a migration body fed to :func:`decode_request`
+#: or :func:`decode_reply` fails as an unknown opcode instead of being
+#: misread as client traffic
+OP_MIGRATE = 0x30
+OP_FENCE = 0x31
+OP_REPLICA = 0x32
+
+#: the live-resharding phase machine, in coordinator order.  ``snapshot``
+#: /``delta``/``release`` run on the source worker, ``install``/``apply``
+#: /``activate`` on the target; ``abort`` is best-effort cleanup after a
+#: failed (uncommitted) migration.
+MIGRATE_PHASES = (
+    "snapshot", "install", "delta", "apply", "activate", "release", "abort",
+)
+FENCE_ACTIONS = ("fence", "ack")
+REPLICA_ACTIONS = ("apply", "ack")
+
+
+@dataclass(frozen=True)
+class MigrateFrame:
+    """One migration phase step for a shard, stamped with the routing
+    epoch the coordinator observed when it issued the step."""
+
+    phase: str
+    shard: int
+    epoch: int
+    payload: bytes = b""
+
+
+@dataclass(frozen=True)
+class FenceFrame:
+    """Write fence for a shard mid-migration.  FIFO application makes the
+    acked fence a drain barrier: every write submitted to the worker
+    before it has been applied by the time the ack is read."""
+
+    action: str
+    shard: int
+    epoch: int
+
+
+@dataclass(frozen=True)
+class ReplicaFrame:
+    """Read-replica maintenance: ``apply`` carries an encoded write
+    request body to shadow onto the replica's copy of ``shard``."""
+
+    action: str
+    shard: int
+    epoch: int
+    payload: bytes = b""
+
+
+MigrationFrame = Union[MigrateFrame, FenceFrame, ReplicaFrame]
+
+
+def _migration_prefix(opcode: int, index: int, shard: int, epoch: int) -> bytes:
+    if not 0 <= shard <= 0xFFFFFFFF:
+        raise ProtocolError(f"shard {shard} does not fit in u32")
+    if not 0 <= epoch <= 0xFFFFFFFF:
+        raise ProtocolError(f"routing epoch {epoch} does not fit in u32")
+    return (
+        struct.pack(">BB", MAGIC, VERSION)
+        + _U8.pack(opcode)
+        + _U8.pack(index)
+        + _U32.pack(shard)
+        + _U32.pack(epoch)
+    )
+
+
+def encode_migrate(frame: MigrateFrame) -> bytes:
+    """Encode a MIGRATE body (no length/CRC prefix — the IPC envelope
+    adds those).  The routing epoch is written twice — header and
+    trailer — so a frame whose epoch field was damaged in a way the
+    transport CRC missed still fails closed at decode."""
+    if frame.phase not in MIGRATE_PHASES:
+        raise ProtocolError(f"unknown migration phase {frame.phase!r}")
+    return (
+        _migration_prefix(OP_MIGRATE, MIGRATE_PHASES.index(frame.phase),
+                          frame.shard, frame.epoch)
+        + _U32.pack(len(frame.payload))
+        + frame.payload
+        + _U32.pack(frame.epoch)
+    )
+
+
+def encode_fence(frame: FenceFrame) -> bytes:
+    """Encode a FENCE body (epoch echoed in the trailer, as MIGRATE)."""
+    if frame.action not in FENCE_ACTIONS:
+        raise ProtocolError(f"unknown fence action {frame.action!r}")
+    return (
+        _migration_prefix(OP_FENCE, FENCE_ACTIONS.index(frame.action),
+                          frame.shard, frame.epoch)
+        + _U32.pack(frame.epoch)
+    )
+
+
+def encode_replica(frame: ReplicaFrame) -> bytes:
+    """Encode a REPLICA body (epoch echoed in the trailer, as MIGRATE)."""
+    if frame.action not in REPLICA_ACTIONS:
+        raise ProtocolError(f"unknown replica action {frame.action!r}")
+    return (
+        _migration_prefix(OP_REPLICA, REPLICA_ACTIONS.index(frame.action),
+                          frame.shard, frame.epoch)
+        + _U32.pack(len(frame.payload))
+        + frame.payload
+        + _U32.pack(frame.epoch)
+    )
+
+
+def decode_migration_frame(body: bytes) -> MigrationFrame:
+    """Decode a MIGRATE/FENCE/REPLICA body; strict by construction.
+
+    Everything suspicious is a :class:`ProtocolError`: a non-migration
+    opcode, an out-of-range phase/action selector, a truncated payload,
+    trailing bytes, and — the one migration adds over the base protocol —
+    an *epoch confusion*: the trailer echo disagreeing with the header
+    epoch.  A malformed migration frame must never decode into a
+    different-but-valid routing instruction.
+    """
+    cursor = _Cursor(body)
+    _check_header(cursor)
+    opcode = cursor.u8()
+    index = cursor.u8()
+    shard = cursor.u32()
+    epoch = cursor.u32()
+    if opcode == OP_MIGRATE:
+        if index >= len(MIGRATE_PHASES):
+            raise ProtocolError(f"unknown migration phase index {index}")
+        payload = cursor.blob()
+        echo = cursor.u32()
+        if echo != epoch:
+            raise ProtocolError(
+                f"migration frame epoch confusion: header epoch {epoch}, "
+                f"trailer epoch {echo}"
+            )
+        frame: MigrationFrame = MigrateFrame(
+            MIGRATE_PHASES[index], shard, epoch, payload
+        )
+    elif opcode == OP_FENCE:
+        if index >= len(FENCE_ACTIONS):
+            raise ProtocolError(f"unknown fence action index {index}")
+        echo = cursor.u32()
+        if echo != epoch:
+            raise ProtocolError(
+                f"fence frame epoch confusion: header epoch {epoch}, "
+                f"trailer epoch {echo}"
+            )
+        frame = FenceFrame(FENCE_ACTIONS[index], shard, epoch)
+    elif opcode == OP_REPLICA:
+        if index >= len(REPLICA_ACTIONS):
+            raise ProtocolError(f"unknown replica action index {index}")
+        payload = cursor.blob()
+        echo = cursor.u32()
+        if echo != epoch:
+            raise ProtocolError(
+                f"replica frame epoch confusion: header epoch {epoch}, "
+                f"trailer epoch {echo}"
+            )
+        frame = ReplicaFrame(REPLICA_ACTIONS[index], shard, epoch, payload)
+    else:
+        raise ProtocolError(f"unknown migration opcode {opcode:#x}")
+    if not cursor.exhausted:
+        raise ProtocolError("trailing bytes after migration frame")
+    return frame
+
+
+# ----------------------------------------------------------------------
 # zero-copy GET key runs (worker IPC only)
 # ----------------------------------------------------------------------
 

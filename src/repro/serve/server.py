@@ -109,6 +109,15 @@ class ServerConfig:
     response ring per worker).  Must comfortably exceed the largest IPC
     record (``max_frame_bytes``); records above half the capacity are
     rejected with TOO_LARGE."""
+    replicas: int = 0
+    """Per-shard read replicas (:class:`WorkerServer` only; 0 disables).
+    With ``replicas=1`` every shard is shadowed on the next worker
+    (``(owner + 1) % n_workers``): acknowledged writes are forwarded to
+    the replica off the ack path (best-effort, lag surfaced as the
+    ``replica_lag`` gauge), and a GET whose owner is down is served
+    read-only from the replica instead of erroring UNAVAILABLE.  Writes
+    to a dead owner still draw BUSY — the shard degrades to read-only,
+    it does not fork a second writer.  Requires ``n_workers >= 2``."""
 
 
 class McCuckooServer:

@@ -56,6 +56,13 @@ class ServeStats:
     per-worker restart/queue/routing breakdowns ride in ``gauges`` as
     ``worker<N>_*`` entries."""
 
+    replica_applies: int = 0
+    """Writes a worker applied to a shard it hosts as a read replica
+    (forwarded asynchronously after the owner's ack)."""
+    replica_reads: int = 0
+    """Reads the frontend served from a replica because the shard's
+    owner was down (read-only degradation)."""
+
     gauges: Dict[str, float] = field(default_factory=dict)
     """Point-in-time values merged into the snapshot (queue depth, load...)."""
 

@@ -225,6 +225,46 @@ class ShardedLogStore:
             shard, crashed.log_bytes, checkpoint=crashed.checkpoint_bytes
         )
 
+    # ------------------------------------------------------------------
+    # dynamic ownership (live resharding)
+    # ------------------------------------------------------------------
+
+    def adopt_shard(
+        self, shard: int, data: bytes = b"", checkpoint: Optional[bytes] = None
+    ) -> Optional[RecoveryReport]:
+        """Take ownership of a previously-foreign shard slot.
+
+        The migration target (and a lazily-promoted read replica) calls
+        this to start hosting a shard mid-flight: with ``data`` the shard
+        is recovered from the streamed log image exactly as a crashed
+        shard would be; without it a fresh empty shard is instantiated.
+        Adopting an already-owned shard is a :class:`ConfigurationError`
+        — ownership is exclusive, and a double-adopt means two writers.
+        """
+        if not 0 <= shard < self.n_shards:
+            raise ConfigurationError(
+                f"shard {shard} out of range for {self.n_shards} shards"
+            )
+        if self._shards[shard] is not None:
+            raise ConfigurationError(f"shard {shard} is already owned")
+        self._shards[shard] = self._make_shard(shard)
+        self.owned = tuple(sorted(set(self.owned) | {shard}))
+        if data:
+            return self.load_shard_from_bytes(shard, data, checkpoint=checkpoint)
+        return None
+
+    def release_shard(self, shard: int) -> None:
+        """Drop ownership of a shard (the migration source, post-flip).
+
+        The shard store is discarded wholesale; routing a key here
+        afterwards raises, exactly as for any foreign shard.  Callers
+        must have stopped directing traffic at this slice first (the
+        coordinator flips routing before releasing).
+        """
+        self.shard(shard)  # ownership check
+        self._shards[shard] = None
+        self.owned = tuple(s for s in self.owned if s != shard)
+
     def load_shard_from_bytes(
         self, shard: int, data: bytes, checkpoint: Optional[bytes] = None
     ) -> RecoveryReport:

@@ -84,7 +84,9 @@ from typing import Any, Dict, List, Optional, Tuple
 
 from .._numpy import numpy_or_none
 from ..core.errors import ConfigurationError, ReproError
-from ..core.sharded import ShardRouter, shards_of_worker
+from ..core.sharded import (
+    RoutingTable, ShardRouter, shards_of_worker, worker_of_shard,
+)
 from ..faults import FaultPlan, InjectedCrash
 from ..maintenance import MaintenanceConfig, MaintenanceDaemon
 from .protocol import (
@@ -96,11 +98,14 @@ from .protocol import (
     DeleteRequest,
     ErrorCode,
     ErrorReply,
+    FenceFrame,
     GetRequest,
+    MigrateFrame,
     ProtocolError,
     PutReply,
     PutRequest,
     Reply,
+    ReplicaFrame,
     Request,
     SimpleReply,
     StatsReply,
@@ -108,9 +113,13 @@ from .protocol import (
     ValueReply,
     decode_key_run,
     decode_key_run_header,
+    decode_migration_frame,
     decode_reply,
     decode_request,
+    encode_fence,
     encode_key_run,
+    encode_migrate,
+    encode_replica,
     encode_reply,
     encode_request,
     read_frame,
@@ -137,6 +146,13 @@ KIND_CONTROL = 1
 #: an all-GET batch run as a raw little-endian u64 key array — the
 #: zero-copy fast path (see :func:`repro.serve.protocol.encode_key_run`)
 KIND_BATCH_KEYS = 2
+#: a MIGRATE/FENCE/REPLICA body (:func:`repro.serve.protocol.
+#: decode_migration_frame`) — live-resharding and replica traffic rides
+#: the same CRC'd IPC envelope on both transports
+KIND_MIGRATE = 3
+
+#: u64 log-byte marks inside migration payloads (source-log coordinates)
+_MARK = struct.Struct(">Q")
 
 #: req_id 0 is reserved for unsolicited worker → frontend CONTROL events
 #: (the hello handshake and the dying last-gasp).
@@ -147,7 +163,7 @@ _MERGED_COUNTERS = (
     "gets", "get_hits", "get_misses",
     "puts", "put_creates", "put_updates", "put_kicks", "put_stashed",
     "deletes", "delete_hits", "delete_misses",
-    "injected_crashes", "shard_recoveries",
+    "injected_crashes", "shard_recoveries", "replica_applies",
 )
 
 
@@ -157,6 +173,11 @@ class WorkerDiedError(ReproError):
 
 class WorkerUnavailableError(ReproError):
     """The op's worker is down and its replacement is still booting."""
+
+
+class MigrationError(ReproError):
+    """A migration phase step failed on the worker side (the coordinator
+    aborts or — post-commit — skips the best-effort cleanup step)."""
 
 
 # ----------------------------------------------------------------------
@@ -231,10 +252,23 @@ class WorkerSpec:
     epoch: int = 1
     """This incarnation's generation: every shm ring slot is stamped with
     it, and slots from other generations are discarded on pop — a
-    restarted worker can never replay a dead predecessor's request."""
+    restarted worker can never replay a dead predecessor's request.
+    Distinct from the *routing* epoch stamped into migration frames."""
+    owned_shards: Optional[Tuple[int, ...]] = None
+    """The shard group this worker owns, per the frontend's routing table
+    at spawn time.  ``None`` means the static round-robin assignment
+    (routing epoch 0); after a live migration the pool passes the
+    reassigned group explicitly, so a restarted worker re-hosts the
+    shards it actually owns — including migrated-in ones."""
+    replica_shards: Tuple[int, ...] = ()
+    """Shards this worker hosts as read-only replicas (shadow copies fed
+    by forwarded writes; never log-sinked — the owner's durable file
+    stays the single on-disk authority)."""
 
     @property
     def shards(self) -> Tuple[int, ...]:
+        if self.owned_shards is not None:
+            return self.owned_shards
         return shards_of_worker(self.worker_id, self.n_shards, self.n_workers)
 
     @property
@@ -394,13 +428,21 @@ class _ShardWorker:
         self._sinks: Dict[int, Any] = {}
         self.recovered_shards: List[int] = []
         self.recovered_records = 0
+        #: shards mid-migration away from this worker — maintenance is
+        #: suspended for them so ``log_bytes`` stays append-only and the
+        #: coordinator's delta marks remain valid byte offsets
+        self._migrating_out: set = set()
+        #: shard → {"buffer": bytearray, "checkpoint": bytes} for shards
+        #: mid-migration *into* this worker (see ``_migrate_apply``)
+        self._inbound: Dict[int, Dict[str, Any]] = {}
+        owned = sorted(set(spec.shards) | set(spec.replica_shards))
         self.store = ShardedLogStore(
             n_shards=spec.n_shards,
             expected_items=spec.expected_items,
             seed=spec.seed,
             durable=spec.durable,
             faults=self.faults,
-            owned=list(spec.shards),
+            owned=owned,
         )
         self.daemon: Optional[MaintenanceDaemon] = None
         if spec.maintenance_enabled:
@@ -561,6 +603,12 @@ class _ShardWorker:
         """
         if self.daemon is None:
             return
+        if shard in self._migrating_out or shard in self._inbound:
+            # Mid-migration the log must stay append-only: compaction
+            # would rewrite it and invalidate the coordinator's delta
+            # marks.  Maintenance resumes once the shard is released
+            # (source), activated (target), or the migration aborts.
+            return
         try:
             self.daemon.maybe_run(self.store.shard(shard), shard)
         except InjectedCrash:
@@ -583,6 +631,7 @@ class _ShardWorker:
             "worker": self.spec.worker_id,
             "pid": os.getpid(),
             "shards": list(self.spec.shards),
+            "replica_shards": list(self.spec.replica_shards),
             "recovered_shards": self.recovered_shards,
             "recovered_records": self.recovered_records,
         })
@@ -599,6 +648,21 @@ class _ShardWorker:
                     reply: Reply = self._apply_key_run(payload)
                     self._send(req_id, KIND_REQUEST,
                                encode_reply(reply)[FRAME_OVERHEAD:])
+                elif kind == KIND_MIGRATE:
+                    try:
+                        out = self._handle_migration(
+                            decode_migration_frame(bytes(payload)))
+                    except Exception as error:
+                        # A failed phase step must never wedge the link:
+                        # answer with an ErrorReply (KIND_REQUEST) that
+                        # WorkerHandle.migrate surfaces as MigrationError.
+                        self.stats.internal_errors += 1
+                        body = encode_reply(
+                            ErrorReply(ErrorCode.INTERNAL, str(error))
+                        )[FRAME_OVERHEAD:]
+                        self._send(req_id, KIND_REQUEST, body)
+                    else:
+                        self._send(req_id, KIND_MIGRATE, out)
                 else:
                     reply = self._apply(decode_request(payload))
                     self._send(req_id, KIND_REQUEST,
@@ -640,6 +704,184 @@ class _ShardWorker:
             answer = {"error": f"unknown control command {cmd!r}"}
         self._send(req_id, KIND_CONTROL, json.dumps(answer).encode())
         return True
+
+    # ------------------------------------------------------------------
+    # live shard migration (worker side)
+    # ------------------------------------------------------------------
+
+    def _migration_interrupt(self) -> None:
+        """Honour ``kill_worker_during=migration`` at a phase boundary.
+
+        Consulted once per migration frame (abort excluded), in the fixed
+        coordinator phase order, so rule count N selects an exact crash
+        point: source consults at snapshot=1, delta=2, fence=3, final
+        delta=4, release=5; target at install=1, apply=2, final apply=3,
+        activate=4.
+        """
+        if self.faults is not None and self.faults.should_kill_maintenance(
+                "migration", self.spec.worker_id):
+            self._last_gasp_exit(25)
+
+    def _handle_migration(self, frame) -> bytes:
+        if isinstance(frame, FenceFrame):
+            if frame.action != "fence":
+                raise MigrationError(f"unexpected fence action {frame.action!r}")
+            self._migration_interrupt()
+            # FIFO drain barrier: by the time this ack is read, every
+            # write enqueued before the fence has been applied above.
+            return encode_fence(FenceFrame("ack", frame.shard, frame.epoch))
+        if isinstance(frame, ReplicaFrame):
+            return self._handle_replica(frame)
+        assert isinstance(frame, MigrateFrame)
+        if frame.phase != "abort":
+            self._migration_interrupt()
+        handler = {
+            "snapshot": self._migrate_snapshot,
+            "install": self._migrate_install,
+            "delta": self._migrate_delta,
+            "apply": self._migrate_apply,
+            "activate": self._migrate_activate,
+            "release": self._migrate_release,
+            "abort": self._migrate_abort,
+        }[frame.phase]
+        payload = handler(frame.shard, frame.payload)
+        return encode_migrate(
+            MigrateFrame(frame.phase, frame.shard, frame.epoch, payload))
+
+    # -- source-side phases --------------------------------------------
+
+    def _migrate_snapshot(self, shard: int, payload: bytes) -> bytes:
+        """Freeze maintenance for the shard and ship its full log image.
+
+        The returned mark is the image length in bytes; later ``delta``
+        requests pass a mark back and receive only the records appended
+        since (valid because maintenance — which would rewrite the log —
+        is suspended until release/abort).
+        """
+        self._migrating_out.add(shard)
+        data = self.store.shard(shard).log_bytes
+        return _MARK.pack(len(data)) + data
+
+    def _migrate_delta(self, shard: int, payload: bytes) -> bytes:
+        (mark,) = _MARK.unpack(payload[:_MARK.size])
+        data = self.store.shard(shard).log_bytes
+        if mark > len(data):
+            raise MigrationError(
+                f"delta mark {mark} beyond log end {len(data)} "
+                f"(shard {shard} log was rewritten mid-migration)"
+            )
+        return _MARK.pack(len(data)) + data[mark:]
+
+    def _migrate_release(self, shard: int, payload: bytes) -> bytes:
+        """Post-commit: drop the shard (the target owns it now)."""
+        self._migrating_out.discard(shard)
+        sink = self._sinks.pop(shard, None)
+        if sink is not None:
+            sink.close()
+        self.store.release_shard(shard)
+        return b""
+
+    # -- target-side phases --------------------------------------------
+
+    def _migrate_install(self, shard: int, payload: bytes) -> bytes:
+        """Adopt the shard from the snapshot image and prime delta replay.
+
+        The checkpoint is taken against the *target's own* post-recovery
+        image (recovery may reduce the source log), and the delta buffer
+        starts from that image's bytes: each subsequent ``apply`` appends
+        the source tail (records are self-delimiting, so concatenation is
+        a valid log) and replays only the tail via the checkpoint.
+        """
+        data = payload[_MARK.size:]
+        self.store.adopt_shard(shard, data)
+        target = self.store.shard(shard)
+        artifact = target.take_checkpoint()
+        self._inbound[shard] = {
+            "buffer": bytearray(target.log_bytes),
+            "checkpoint": artifact,
+        }
+        return b""
+
+    def _migrate_apply(self, shard: int, payload: bytes) -> bytes:
+        entry = self._inbound.get(shard)
+        if entry is None:
+            raise MigrationError(f"apply for shard {shard} without install")
+        tail = payload[_MARK.size:]
+        if tail:
+            entry["buffer"].extend(tail)
+            self.store.load_shard_from_bytes(
+                shard, bytes(entry["buffer"]),
+                checkpoint=entry["checkpoint"],
+            )
+            target = self.store.shard(shard)
+            entry["checkpoint"] = target.take_checkpoint()
+            entry["buffer"] = bytearray(target.log_bytes)
+        return b""
+
+    def _migrate_activate(self, shard: int, payload: bytes) -> bytes:
+        """Post-commit: take over the shard's durable file and sink.
+
+        The file swap goes through a temp file + ``os.replace`` (same
+        torn-write model as compaction commit) so a kill mid-activate
+        leaves either the source's complete image or the target's —
+        never a mix.  The source's stale checkpoint file can no longer
+        validate against the rewritten image, so it is dropped.
+        """
+        self._inbound.pop(shard, None)
+        if not (self.spec.durable and self.spec.log_dir is not None):
+            return b""
+        target = self.store.shard(shard)
+        path = self.spec.log_path(shard)
+        tmp = path + ".mig"
+        with open(tmp, "wb") as handle:
+            handle.write(target.log_bytes)
+            handle.flush()
+        os.replace(tmp, path)
+        try:
+            os.unlink(self.spec.ckpt_path(shard))
+        except OSError:
+            pass
+        old = self._sinks.pop(shard, None)
+        if old is not None:
+            old.close()
+        sink = open(path, "ab")
+        self._sinks[shard] = sink
+        target.attach_log_sink(sink, already_synced=True)
+        return b""
+
+    def _migrate_abort(self, shard: int, payload: bytes) -> bytes:
+        """Roll back either role's in-progress state (idempotent)."""
+        self._migrating_out.discard(shard)
+        entry = self._inbound.pop(shard, None)
+        if (entry is not None and shard in self.store.owned
+                and shard not in self.spec.shards
+                and shard not in self.spec.replica_shards):
+            sink = self._sinks.pop(shard, None)
+            if sink is not None:
+                sink.close()
+            self.store.release_shard(shard)
+        return b""
+
+    # -- read replicas -------------------------------------------------
+
+    def _handle_replica(self, frame) -> bytes:
+        if frame.action != "apply":
+            raise MigrationError(f"unexpected replica action {frame.action!r}")
+        request = decode_request(frame.payload)
+        if not isinstance(request, (PutRequest, DeleteRequest)):
+            raise MigrationError(
+                f"replica apply carries {type(request).__name__}")
+        shard = self.store.shard_index(request.key)
+        if shard not in self.store.owned:
+            # lazily shadow a shard this worker was not spawned with
+            # (e.g. routing moved the owner after spawn)
+            self.store.adopt_shard(shard)
+        if isinstance(request, PutRequest):
+            self.store.put(request.key, request.value)
+        else:
+            self.store.delete(request.key)
+        self.stats.replica_applies += 1
+        return encode_replica(ReplicaFrame("ack", shard, frame.epoch))
 
     # ------------------------------------------------------------------
     # op application
@@ -1021,6 +1263,24 @@ class WorkerHandle:
             raise ProtocolError("worker answered CONTROL with a REQUEST")
         return json.loads(payload.decode())
 
+    async def migrate(self, body: bytes):
+        """Submit an encoded migration/fence/replica frame body.
+
+        Returns the decoded answer frame.  A worker-side phase failure
+        comes back as an ErrorReply on the REQUEST kind and is raised
+        here as :class:`MigrationError`.
+        """
+        kind, payload = await self._submit(KIND_MIGRATE, body, ops=0)
+        if kind == KIND_REQUEST:
+            reply = decode_reply(payload)
+            message = (reply.message if isinstance(reply, ErrorReply)
+                       else repr(reply))
+            raise MigrationError(
+                f"worker {self.worker_id}: {message}")
+        if kind != KIND_MIGRATE:
+            raise ProtocolError("worker answered MIGRATE with CONTROL")
+        return decode_migration_frame(payload)
+
     # ------------------------------------------------------------------
 
     async def shutdown(self, graceful: bool = True) -> None:
@@ -1074,12 +1334,14 @@ class WorkerPool:
         log_dir: str,
         transport: str = "socket",
         ring_bytes: int = DEFAULT_RING_BYTES,
+        routing: Optional[RoutingTable] = None,
     ) -> None:
         self.config = config
         self.n_workers = n_workers
         self.stats = stats
         self.log_dir = log_dir
         self.transport = transport
+        self.routing = routing
         self._ring_bytes = ring_bytes
         self._transports: List[Optional[ShmTransport]] = [None] * n_workers
         self._epochs = [1] * n_workers
@@ -1110,6 +1372,20 @@ class WorkerPool:
             if pair is not None
         )
 
+    def _replica_shards(self, worker_id: int) -> Tuple[int, ...]:
+        """Shards this worker shadows: the next worker ring-wise after
+        each shard's owner (so an owner death leaves a warm read copy)."""
+        if self.config.replicas <= 0 or self.n_workers < 2:
+            return ()
+        routing = self.routing
+        shards = []
+        for shard in range(self.config.n_shards):
+            owner = (routing.worker_of_shard(shard) if routing is not None
+                     else worker_of_shard(shard, self.n_workers))
+            if owner != worker_id and (owner + 1) % self.n_workers == worker_id:
+                shards.append(shard)
+        return tuple(shards)
+
     def _spec(self, worker_id: int) -> WorkerSpec:
         plan = self.config.fault_plan
         maintenance = self.config.maintenance
@@ -1134,6 +1410,9 @@ class WorkerPool:
                               if maintenance is not None else 0),
             transport=self.transport,
             epoch=self._epochs[worker_id],
+            owned_shards=(self.routing.shards_of_worker(worker_id)
+                          if self.routing is not None else None),
+            replica_shards=self._replica_shards(worker_id),
         )
 
     def _make_handle(self, worker_id: int) -> WorkerHandle:
@@ -1387,6 +1666,16 @@ class WorkerServer(McCuckooServer):
         self.n_workers = min(n_workers, self.config.n_shards)
         self._router = ShardRouter(self.config.n_shards,
                                    seed=self.config.seed)
+        #: dynamic shard → worker map; migrations bump its epoch at the
+        #: routing flip (the migration commit point)
+        self._routing = RoutingTable(self.config.n_shards, self.n_workers)
+        #: shard → cleared Event while a migration fence holds writes to
+        #: that shard; lifted (set + removed) when the migration ends
+        self._fences: Dict[int, asyncio.Event] = {}
+        self.migrations = {"started": 0, "committed": 0, "aborted": 0}
+        self._migrations_active = 0
+        self._replica_pending = 0
+        self._replica_errors = 0
         self._pool: Optional[WorkerPool] = None
         self._log_dir: Optional[str] = None
         # tick-coalescing run aggregator: batch ops from every client
@@ -1414,7 +1703,8 @@ class WorkerServer(McCuckooServer):
         self._pool = WorkerPool(self.config, self.n_workers, self.stats,
                                 self._log_dir,
                                 transport=self.transport,
-                                ring_bytes=self.config.shm_ring_bytes)
+                                ring_bytes=self.config.shm_ring_bytes,
+                                routing=self._routing)
         await self._pool.start()
 
     async def _stop_backend(self) -> None:
@@ -1436,11 +1726,108 @@ class WorkerServer(McCuckooServer):
             await self._pool.broadcast_disarm()
 
     # ------------------------------------------------------------------
+    # dynamic routing, fences, replicas
+    # ------------------------------------------------------------------
+
+    @property
+    def routing(self) -> RoutingTable:
+        return self._routing
+
+    @property
+    def routing_epoch(self) -> int:
+        return self._routing.epoch
+
+    @property
+    def replicas(self) -> int:
+        """Effective replica count (0 with a single worker: a replica on
+        the owner itself would protect nothing)."""
+        return self.config.replicas if self.n_workers >= 2 else 0
+
+    def replica_of_shard(self, shard: int) -> Optional[int]:
+        if self.replicas <= 0:
+            return None
+        return (self._routing.worker_of_shard(shard) + 1) % self.n_workers
+
+    def fence_shard(self, shard: int) -> None:
+        """Hold new writes to ``shard`` until :meth:`lift_fence`.
+
+        Reads keep flowing; fenced writes park on the event and recompute
+        their worker from the routing table once it is lifted, so a write
+        admitted during a migration lands on whichever side owns the
+        shard *after* the flip.
+        """
+        if shard not in self._fences:
+            self._fences[shard] = asyncio.Event()
+
+    def lift_fence(self, shard: int) -> None:
+        event = self._fences.pop(shard, None)
+        if event is not None:
+            event.set()
+
+    async def _await_fence(self, shard: int) -> None:
+        while shard in self._fences:
+            await self._fences[shard].wait()
+
+    async def reshard(self, shard: int, target_worker: int):
+        """Migrate ``shard`` to ``target_worker`` live; returns the
+        :class:`~repro.serve.resharding.MigrationReport`."""
+        from .resharding import ReshardCoordinator
+        return await ReshardCoordinator(self).migrate_shard(
+            shard, target_worker)
+
+    def note_migration_start(self) -> None:
+        self.migrations["started"] += 1
+        self._migrations_active += 1
+
+    def note_migration_end(self, committed: bool) -> None:
+        self.migrations["committed" if committed else "aborted"] += 1
+        self._migrations_active -= 1
+
+    def _maybe_replicate(self, request) -> None:
+        """Fire-and-forget: mirror one acked write to the shard's replica.
+
+        Replication is asynchronous by design — the ack already went out
+        on the owner's durable write, so replica lag costs staleness on
+        failover reads, never durability.  ``_replica_pending`` is the
+        lag gauge; submit failures only bump ``_replica_errors`` (the
+        owner's log remains the source of truth).
+        """
+        if self.replicas <= 0:
+            return
+        shard = self._router.shard_of(request.key)
+        replica = self.replica_of_shard(shard)
+        if replica is None:
+            return
+        try:
+            handle = self.pool.handle_for_worker(replica)
+            body = encode_replica(ReplicaFrame(
+                "apply", shard, self._routing.epoch,
+                encode_request(request)[FRAME_OVERHEAD:],
+            ))
+            future = handle._submit(KIND_MIGRATE, body, ops=0)
+        except (WorkerUnavailableError, WorkerDiedError, RingFullError,
+                RingFrameTooLarge, ProtocolError):
+            self._replica_errors += 1
+            return
+        self._replica_pending += 1
+        future.add_done_callback(self._replica_done)
+
+    def _replica_done(self, future: "asyncio.Future") -> None:
+        self._replica_pending -= 1
+        try:
+            kind, _payload = future.result()
+        except Exception:
+            self._replica_errors += 1
+            return
+        if kind != KIND_MIGRATE:
+            self._replica_errors += 1
+
+    # ------------------------------------------------------------------
     # dispatch: forward over the pool
     # ------------------------------------------------------------------
 
     def _worker_of_key(self, key: int) -> int:
-        return self._router.worker_of(key, self.n_workers)
+        return self._routing.worker_of_shard(self._router.shard_of(key))
 
     def _worker_busy_reply(self, worker_id: int) -> ErrorReply:
         self.stats.busy_rejections += 1
@@ -1483,10 +1870,16 @@ class WorkerServer(McCuckooServer):
         return await self._forward(request)
 
     async def _forward(self, request) -> Reply:
-        worker_id = self._worker_of_key(request.key)
+        shard = self._router.shard_of(request.key)
+        is_write = isinstance(request, (PutRequest, DeleteRequest))
+        if is_write and shard in self._fences:
+            await self._await_fence(shard)
+        worker_id = self._routing.worker_of_shard(shard)
         try:
             handle = self.pool.handle_for_worker(worker_id)
         except WorkerUnavailableError as error:
+            if not is_write:
+                return await self._replica_read(request, shard, error)
             return self._worker_down_reply(error)
         if handle.pending_ops >= self.config.writer_queue_depth:
             return self._worker_busy_reply(worker_id)
@@ -1499,7 +1892,34 @@ class WorkerServer(McCuckooServer):
         except RingFrameTooLarge as error:
             return ErrorReply(ErrorCode.TOO_LARGE, str(error))
         except WorkerDiedError as error:
+            if not is_write:
+                return await self._replica_read(request, shard, error)
             return ErrorReply(ErrorCode.UNAVAILABLE, str(error))
+        reply = decode_reply(reply_body)
+        if is_write and isinstance(reply, (PutReply, DeleteReply)):
+            self._maybe_replicate(request)
+        return reply
+
+    async def _replica_read(self, request, shard: int,
+                            error: Exception) -> Reply:
+        """Owner-down GET failover: serve from the shard's read replica.
+
+        The replica applies acked writes asynchronously, so a failover
+        read may be stale by the replica lag; writes are never failed
+        over (the shard degrades to read-only until the owner restarts).
+        """
+        replica = self.replica_of_shard(shard)
+        if replica is None:
+            return self._worker_down_reply(error)
+        try:
+            handle = self.pool.handle_for_worker(replica)
+            reply_body = await handle.call(
+                encode_request(request)[FRAME_OVERHEAD:], ops=1
+            )
+        except (WorkerUnavailableError, WorkerDiedError, RingFullError,
+                RingFrameTooLarge):
+            return self._worker_down_reply(error)
+        self.stats.replica_reads += 1
         return decode_reply(reply_body)
 
     async def _handle_batch(self, request: BatchRequest) -> BatchReply:
@@ -1526,6 +1946,13 @@ class WorkerServer(McCuckooServer):
                 replies[index] = StatsReply(await self._merged_stats())
                 continue
             if isinstance(op, (PutRequest, DeleteRequest)):
+                # migration fence: park the write until the routing flip,
+                # then route by the post-flip table (no awaits between
+                # the fence check and the enqueue below, so a write can
+                # never slip under a fence raised this tick)
+                shard = self._router.shard_of(op.key)
+                if shard in self._fences:
+                    await self._await_fence(shard)
                 injected = self._injected_busy()
                 if injected is not None:
                     replies[index] = injected
@@ -1555,11 +1982,35 @@ class WorkerServer(McCuckooServer):
         slots[index] = reply
         waiter.done_one()
 
+    def _reroute_gets(self, worker_id: int,
+                      run: List[Tuple[Any, _OpSink]],
+                      error: Exception) -> None:
+        """Owner-down run salvage: resend the GETs to the replica worker.
+
+        Writes in the run draw the usual down-reply (read-only
+        degradation); ``rerouted=True`` on the resend stops a dead
+        replica from bouncing the ops around the ring forever.
+        """
+        gets: List[Tuple[Any, _OpSink]] = []
+        for op, sink in run:
+            if isinstance(op, GetRequest):
+                gets.append((op, sink))
+            else:
+                self._resolve_op(sink, self._worker_down_reply(error))
+        if gets:
+            self.stats.replica_reads += len(gets)
+            self._send_run((worker_id + 1) % self.n_workers, gets,
+                           rerouted=True)
+
     def _send_run(self, worker_id: int,
-                  run: List[Tuple[Any, _OpSink]]) -> None:
+                  run: List[Tuple[Any, _OpSink]],
+                  rerouted: bool = False) -> None:
         try:
             handle = self.pool.handle_for_worker(worker_id)
         except WorkerUnavailableError as error:
+            if not rerouted and self.replicas > 0:
+                self._reroute_gets(worker_id, run, error)
+                return
             for _, sink in run:
                 self._resolve_op(sink, self._worker_down_reply(error))
             return
@@ -1611,7 +2062,10 @@ class WorkerServer(McCuckooServer):
                     f"worker {type(batch).__name__} reply does not match "
                     f"a {len(admitted)}-op run"
                 )
-            for (_, sink), sub in zip(admitted, batch.replies):
+            for (op, sink), sub in zip(admitted, batch.replies):
+                if (isinstance(op, (PutRequest, DeleteRequest))
+                        and isinstance(sub, (PutReply, DeleteReply))):
+                    self._maybe_replicate(op)
                 self._resolve_op(sink, sub)
         except (WorkerDiedError, asyncio.CancelledError) as error:
             reply = ErrorReply(ErrorCode.UNAVAILABLE,
@@ -1644,6 +2098,15 @@ class WorkerServer(McCuckooServer):
                 for _, handle in self.pool.live_handles()
                 if handle is not None
             ),
+            "routing_epoch": self._routing.epoch,
+            "migrations_started": self.migrations["started"],
+            "migrations_committed": self.migrations["committed"],
+            "migrations_aborted": self.migrations["aborted"],
+            "migrations_active": self._migrations_active,
+            "fenced_shards": len(self._fences),
+            "replica_enabled": 1 if self.replicas > 0 else 0,
+            "replica_lag": self._replica_pending,
+            "replica_errors": self._replica_errors,
         }
         for worker_id, handle in self.pool.live_handles():
             gauges[f"worker{worker_id}_up"] = 1 if handle is not None else 0
@@ -1736,7 +2199,9 @@ class WorkerServer(McCuckooServer):
 __all__ = [
     "KIND_BATCH_KEYS",
     "KIND_CONTROL",
+    "KIND_MIGRATE",
     "KIND_REQUEST",
+    "MigrationError",
     "WorkerDiedError",
     "WorkerHandle",
     "WorkerPool",

@@ -33,6 +33,12 @@ def pytest_addoption(parser):
 
 
 def pytest_configure(config):
+    config.addinivalue_line(
+        "markers",
+        "timeout(seconds): per-test wall-clock limit, enforced when "
+        "pytest-timeout is installed (the CI reshard matrix installs it; "
+        "a bare checkout ignores the mark)",
+    )
     transport = config.getoption("--transport")
     if transport and transport != "auto":
         os.environ["REPRO_SERVE_TRANSPORT"] = transport

@@ -6,6 +6,7 @@ from repro import ConcurrentMcCuckoo, DeletionMode
 from repro.core import check_mccuckoo
 from repro.core.errors import ConfigurationError
 from repro.core.sharded import (
+    RoutingTable,
     ShardedMcCuckoo,
     ShardRouter,
     shards_of_worker,
@@ -255,3 +256,108 @@ class TestWorkerAssignment:
     def test_worker_of_rejects_nonpositive_workers(self):
         with pytest.raises(ConfigurationError):
             ShardRouter(4, seed=0).worker_of(1, 0)
+
+
+class TestRoutingProperties:
+    """Seeded property sweep over the whole routing surface (ownership
+    must partition, stay stable, and agree between scalar and batched
+    paths — the invariants live resharding leans on)."""
+
+    @pytest.mark.parametrize("case", range(12))
+    def test_every_shard_owned_by_exactly_one_worker(self, case, rng):
+        n_shards = rng.randrange(1, 33) + case
+        n_workers = rng.randrange(1, 9)
+        groups = [shards_of_worker(worker, n_shards, n_workers)
+                  for worker in range(n_workers)]
+        flat = [shard for group in groups for shard in group]
+        assert sorted(flat) == list(range(n_shards))
+        assert len(flat) == len(set(flat))
+        for worker, group in enumerate(groups):
+            assert group == tuple(sorted(group))
+            for shard in group:
+                assert worker_of_shard(shard, n_workers) == worker
+
+    @pytest.mark.parametrize("case", range(8))
+    def test_partitions_stable_across_instances(self, case, rng):
+        seed = rng.randrange(2**32) + case
+        n_shards = rng.randrange(1, 17)
+        keys = [rng.randrange(2**63) for _ in range(300)]
+        before = ShardRouter(n_shards, seed=seed)
+        after = ShardRouter(n_shards, seed=seed)
+        assert [before.shard_of(key) for key in keys] == [
+            after.shard_of(key) for key in keys
+        ]
+
+    @pytest.mark.parametrize("case", range(8))
+    def test_shard_of_many_agrees_with_scalar(self, case, rng):
+        router = ShardRouter(rng.randrange(1, 13), seed=rng.randrange(2**32))
+        keys = [rng.randrange(-2**31, 2**63) for _ in range(257 + case)]
+        assert router.shard_of_many(keys) == [
+            router.shard_of(key) for key in keys
+        ]
+
+    @pytest.mark.parametrize("case", range(6))
+    def test_worker_of_composes_for_random_shapes(self, case, rng):
+        router = ShardRouter(rng.randrange(1, 13), seed=rng.randrange(2**32))
+        n_workers = rng.randrange(1, 7) + case % 2
+        for key in (rng.randrange(2**63) for _ in range(200)):
+            assert router.worker_of(key, n_workers) == worker_of_shard(
+                router.shard_of(key), n_workers
+            )
+
+
+class TestRoutingTable:
+    """Epoch-versioned dynamic overlay used by live resharding."""
+
+    def test_epoch_zero_matches_static_assignment(self):
+        table = RoutingTable(7, 3)
+        assert table.epoch == 0
+        for shard in range(7):
+            assert table.worker_of_shard(shard) == worker_of_shard(shard, 3)
+        for worker in range(3):
+            assert table.shards_of_worker(worker) == shards_of_worker(
+                worker, 7, 3
+            )
+
+    def test_reassign_bumps_epoch_and_moves_ownership(self):
+        table = RoutingTable(4, 2)
+        assert table.reassign(0, 1) == 1
+        assert table.epoch == 1
+        assert table.worker_of_shard(0) == 1
+        assert 0 in table.shards_of_worker(1)
+        assert 0 not in table.shards_of_worker(0)
+
+    @pytest.mark.parametrize("case", range(8))
+    def test_partition_invariant_survives_random_reassignments(
+            self, case, rng):
+        n_shards = rng.randrange(1, 17) + case
+        n_workers = rng.randrange(1, 6)
+        table = RoutingTable(n_shards, n_workers)
+        last_epoch = 0
+        for _ in range(25):
+            shard = rng.randrange(n_shards)
+            worker = rng.randrange(n_workers)
+            epoch = table.reassign(shard, worker)
+            assert epoch == last_epoch + 1  # every move is a new epoch
+            last_epoch = epoch
+            groups = [table.shards_of_worker(w) for w in range(n_workers)]
+            flat = sorted(s for group in groups for s in group)
+            assert flat == list(range(n_shards))
+            assert table.worker_of_shard(shard) == worker
+            assert table.assignment()[shard] == worker
+
+    def test_rejects_out_of_range_arguments(self):
+        table = RoutingTable(4, 2)
+        for call in (
+            lambda: table.worker_of_shard(4),
+            lambda: table.worker_of_shard(-1),
+            lambda: table.shards_of_worker(2),
+            lambda: table.reassign(4, 0),
+            lambda: table.reassign(0, 2),
+        ):
+            with pytest.raises(ConfigurationError):
+                call()
+        with pytest.raises(ConfigurationError):
+            RoutingTable(0, 1)
+        with pytest.raises(ConfigurationError):
+            RoutingTable(1, 0)

@@ -38,11 +38,22 @@ from repro.serve import (
     read_frame,
 )
 from repro.serve.protocol import (
+    FENCE_ACTIONS,
+    MIGRATE_PHASES,
+    REPLICA_ACTIONS,
     DeleteRequest,
+    FenceFrame,
+    MigrateFrame,
     PutReply,
+    ReplicaFrame,
     StatsReply,
     ValueReply,
+    decode_migration_frame,
+    encode_fence,
+    encode_migrate,
+    encode_replica,
 )
+from repro.serve.workers import KIND_MIGRATE, pack_ipc
 from tests.seeding import derive
 
 BODY_OFFSET = 8  # u32 length + u32 crc32
@@ -236,4 +247,128 @@ class TestServerUnderFuzz:
                     assert not isinstance(reply, ErrorReply)
                 finally:
                     writer.close()
+        run(scenario())
+
+
+class TestMigrationFrameFuzz:
+    """The resharding control frames must fail closed: a damaged
+    MIGRATE/FENCE/REPLICA body raises ProtocolError — it can never decode
+    into a *different-but-valid* routing instruction (silent routing
+    corruption is how a migration loses a shard)."""
+
+    FRAMES = [
+        encode_migrate(MigrateFrame("snapshot", 3, 7)),
+        encode_migrate(MigrateFrame("install", 0, 1, b"log-image-bytes")),
+        encode_migrate(MigrateFrame("delta", 2, 9, b"\x00" * 8)),
+        encode_migrate(MigrateFrame("apply", 2, 9, b"tail")),
+        encode_migrate(MigrateFrame("activate", 1, 4)),
+        encode_migrate(MigrateFrame("release", 1, 4)),
+        encode_migrate(MigrateFrame("abort", 5, 2)),
+        encode_fence(FenceFrame("fence", 6, 11)),
+        encode_fence(FenceFrame("ack", 6, 11)),
+        encode_replica(ReplicaFrame(
+            "apply", 0, 3, body_of(encode_request(PutRequest(9, b"v"))))),
+        encode_replica(ReplicaFrame("ack", 0, 3)),
+    ]
+
+    def test_round_trips(self):
+        for body in self.FRAMES:
+            frame = decode_migration_frame(body)
+            if isinstance(frame, MigrateFrame):
+                assert encode_migrate(frame) == body
+            elif isinstance(frame, FenceFrame):
+                assert encode_fence(frame) == body
+            else:
+                assert encode_replica(frame) == body
+
+    def test_every_truncation_point_raises(self):
+        for body in self.FRAMES:
+            for cut in range(len(body)):
+                with pytest.raises(ProtocolError):
+                    decode_migration_frame(body[:cut])
+
+    def test_trailing_bytes_raise(self):
+        for body in self.FRAMES:
+            with pytest.raises(ProtocolError):
+                decode_migration_frame(body + b"\x00")
+
+    def test_epoch_confusion_raises(self):
+        """A header/trailer epoch mismatch — the one corruption the CRC
+        layer cannot rule out once a frame is re-packed — fails closed."""
+        for body in self.FRAMES:
+            damaged = bytearray(body)
+            damaged[-1] ^= 0x01  # trailer echo no longer matches header
+            with pytest.raises(ProtocolError, match="epoch confusion"):
+                decode_migration_frame(bytes(damaged))
+
+    def test_unknown_phase_and_action_indexes_raise(self):
+        for body, n_valid in (
+            (encode_migrate(MigrateFrame("snapshot", 1, 2)),
+             len(MIGRATE_PHASES)),
+            (encode_fence(FenceFrame("fence", 1, 2)), len(FENCE_ACTIONS)),
+            (encode_replica(ReplicaFrame("apply", 1, 2)),
+             len(REPLICA_ACTIONS)),
+        ):
+            damaged = bytearray(body)
+            damaged[3] = n_valid  # selector byte just past the table
+            with pytest.raises(ProtocolError, match="index"):
+                decode_migration_frame(bytes(damaged))
+
+    def test_encode_rejects_unknown_names_and_oversized_fields(self):
+        with pytest.raises(ProtocolError):
+            encode_migrate(MigrateFrame("teleport", 0, 0))
+        with pytest.raises(ProtocolError):
+            encode_fence(FenceFrame("open", 0, 0))
+        with pytest.raises(ProtocolError):
+            encode_replica(ReplicaFrame("drop", 0, 0))
+        with pytest.raises(ProtocolError):
+            encode_migrate(MigrateFrame("snapshot", 1 << 32, 0))
+        with pytest.raises(ProtocolError):
+            encode_migrate(MigrateFrame("snapshot", 0, 1 << 32))
+
+    def test_request_decoder_rejects_migration_bodies(self):
+        """Migration opcodes live outside the client opcode space: a
+        migration frame leaking into the request path is an unknown
+        opcode, never a misread client op."""
+        for body in self.FRAMES:
+            for decode in (decode_request, decode_reply):
+                with pytest.raises(ProtocolError):
+                    decode(body)
+
+    def test_seeded_mutations_never_escape_protocol_error(self):
+        rng = random.Random(derive(0xF1A7))
+        originals = {bytes(body) for body in self.FRAMES}
+        for _ in range(3000):
+            body = bytearray(rng.choice(self.FRAMES))
+            for _ in range(rng.randrange(1, 4)):
+                body[rng.randrange(len(body))] = rng.randrange(256)
+            try:
+                frame = decode_migration_frame(bytes(body))
+            except ProtocolError:
+                continue
+            # decodable mutants must re-encode to exactly the mutated
+            # bytes (i.e. the mutation landed inside payload/shard/epoch
+            # fields and the frame is still self-consistent) — never to
+            # some third frame
+            if isinstance(frame, MigrateFrame):
+                encoded = encode_migrate(frame)
+            elif isinstance(frame, FenceFrame):
+                encoded = encode_fence(frame)
+            else:
+                encoded = encode_replica(frame)
+            assert encoded == bytes(body)
+
+    def test_crc_layer_catches_transport_flips(self):
+        """Through the IPC envelope (pack_ipc → read_frame), a flipped
+        bit in a migration frame is caught by the CRC before the codec
+        ever sees it."""
+        rng = random.Random(derive(0xF1A8))
+        async def scenario():
+            for _ in range(200):
+                body = rng.choice(self.FRAMES)
+                envelope = bytearray(pack_ipc(5, KIND_MIGRATE, bytes(body)))
+                envelope[BODY_OFFSET + rng.randrange(
+                    len(envelope) - BODY_OFFSET)] ^= rng.randrange(1, 256)
+                with pytest.raises(ProtocolError, match="checksum"):
+                    await asyncio.wait_for(read_frame(feed(bytes(envelope))), 5)
         run(scenario())
