@@ -18,6 +18,11 @@ processes over real TCP), saves the machine-readable baseline to
   so explicitly (``headline.gate_skipped = "cpus<4"``), and no
   best-of-sweep speedup is recorded: a sub-1.0 ratio on a starved box
   reads as a regression when it is just a core count.
+* **Shared reads**: at the 95%-GET mix the shared-memory image read
+  path must deliver >= 1.5x the ring transport's GET throughput on a
+  box with >= 2 cores (``headline.shared_vs_ring_get_95``); on 1-cpu
+  boxes the gate is skipped with ``headline.read_gate_skipped`` — the
+  zero-hop path's win is overlap, which needs a core for each side.
 
 Set ``BENCH_SERVE_QUICK=1`` for the seconds-scale CI smoke configuration
 (workers 0/1/2, 5k ops) — the committed baseline is produced at exactly
@@ -48,6 +53,10 @@ MAX_REGRESSION = 0.30
 #: w2/w1 floor for the shm transport: nominally 1.0 ("two workers never
 #: lose to one"), with a small noise allowance for best-of-1 CI runs.
 MIN_W2_VS_W1_SHM = 0.9
+
+#: shared/ring GET-throughput floor at the 95%-read mix, on boxes with
+#: >= 2 cpus (skipped — with the reason recorded — everywhere else).
+MIN_SHARED_VS_RING_GET = 1.5
 
 
 def test_serve_workers_throughput():
@@ -101,6 +110,27 @@ def test_serve_workers_throughput():
                   else "sweep lacks workers=1 and workers=4 points")
         print(f"scaling gate (>=2x at 4 workers): SKIPPED — {reason}; "
               "see headline.gate_skipped in BENCH_serve.json")
+
+    # shared-read gate: at the 95%-GET mix the shared-memory image path
+    # must beat the ring transport by >= 1.5x GET throughput — but only
+    # where the frontend and the workers can actually run concurrently;
+    # on a 1-cpu box the headline carries read_gate_skipped instead
+    headline = report["headline"]
+    shared_vs_ring = headline.get("shared_vs_ring_get_95")
+    if headline.get("read_gate_skipped"):
+        print("shared-read gate (>=1.5x get/s at 95% reads): SKIPPED — "
+              f"{headline['read_gate_skipped']}"
+              + (f" (measured {shared_vs_ring:.2f}x)"
+                 if shared_vs_ring else ""))
+    elif shared_vs_ring is not None:
+        print(f"shared-read gate: shared/ring = {shared_vs_ring:.2f}x "
+              "get/s at 95% reads (floor 1.5)")
+        assert shared_vs_ring >= MIN_SHARED_VS_RING_GET, (
+            f"shared read path reached only {shared_vs_ring:.2f}x of the "
+            "ring's GET throughput at the 95%-read mix (need >= "
+            f"{MIN_SHARED_VS_RING_GET}x) — the zero-hop path is not "
+            "paying for itself"
+        )
 
     RESULTS_DIR.mkdir(exist_ok=True)
     # refresh the committed baseline only at the shape CI compares against

@@ -1,0 +1,43 @@
+#!/usr/bin/env bash
+# Regenerate every committed benchmark baseline, then export CSVs.
+#
+#   benchmarks/run_all.sh            # quick (CI-shape) runs, ~minutes
+#   FULL=1 benchmarks/run_all.sh     # full-size sweeps, much longer
+#
+# Baselines land in benchmarks/results/ as BENCH_core.json,
+# BENCH_serve.json and BENCH_recovery.json — the same files the CI
+# regression gates compare against — plus a CSV per row table from
+# to_csv.py.  The serve sweep includes the ring-vs-shared read-mix
+# crossover (see docs/performance.md); its >=1.5x gate self-reports as
+# skipped on boxes with fewer than 2 CPUs.
+
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+export PYTHONPATH=src
+
+RESULTS=benchmarks/results
+mkdir -p "$RESULTS"
+
+if [[ -n "${FULL:-}" ]]; then
+    QUICK=()
+else
+    QUICK=(--quick)
+fi
+
+echo "== bench-core =="
+python -m repro bench-core "${QUICK[@]}" -o "$RESULTS/BENCH_core.json"
+
+echo "== bench-serve (worker sweep + read-mix crossover) =="
+python -m repro bench-serve "${QUICK[@]}" -o "$RESULTS/BENCH_serve.json"
+
+echo "== bench-recovery =="
+python -m repro bench-recovery "${QUICK[@]}" -o "$RESULTS/BENCH_recovery.json"
+
+echo "== csv export =="
+python benchmarks/to_csv.py \
+    "$RESULTS/BENCH_core.json" \
+    "$RESULTS/BENCH_serve.json" \
+    "$RESULTS/BENCH_recovery.json"
+
+echo "done: baselines + CSVs under $RESULTS/"

@@ -171,6 +171,13 @@ def _build_parser() -> argparse.ArgumentParser:
                        choices=("python", "numpy", "auto"),
                        help="batch-kernel backend for the shard indexes "
                             "(default: auto = numpy when installed)")
+    serve.add_argument("--read-path", default="auto",
+                       choices=("auto", "ring", "shared"),
+                       help="GET path with --workers: 'shared' answers "
+                            "reads from seqlock'd shared-memory index "
+                            "images without waking the worker; 'ring' "
+                            "round-trips every op; auto honours "
+                            "REPRO_SERVE_READ_PATH (default ring)")
     serve.add_argument("--replicas", type=int, default=0,
                        help="per-shard read replicas (0 or 1; needs "
                             "--workers >= 2): acked writes are mirrored "
@@ -196,6 +203,10 @@ def _build_parser() -> argparse.ArgumentParser:
                          help="ops pipelined per BATCH frame")
     loadgen.add_argument("--value-size", type=int, default=64)
     loadgen.add_argument("--zipf-s", type=float, default=0.99)
+    loadgen.add_argument("--mix", default=None,
+                         help="op-mix override for mixed-style workloads, "
+                              "e.g. 'get=0.95,put=0.05' (kinds: get/put/"
+                              "delete; weights need not sum to 1)")
     loadgen.add_argument("--seed", type=int, default=0)
     loadgen.add_argument("--standalone", action="store_true",
                          help="start an in-process server first (demo mode)")
@@ -214,6 +225,10 @@ def _build_parser() -> argparse.ArgumentParser:
                          help="with --standalone: worker transport for the "
                               "in-process server; also labels the report "
                               "so per-transport ops/s rows are attributable")
+    loadgen.add_argument("--read-path", default="auto",
+                         choices=("auto", "ring", "shared"),
+                         help="with --standalone --workers N: GET path for "
+                              "the in-process server")
 
     faultgen = sub.add_parser(
         "faultgen",
@@ -245,6 +260,11 @@ def _build_parser() -> argparse.ArgumentParser:
                           choices=("auto", "shm", "socket"),
                           help="worker transport for the driven server "
                                "(with --workers N)")
+    faultgen.add_argument("--read-path", default="auto",
+                          choices=("auto", "ring", "shared"),
+                          help="GET path for the driven server (with "
+                               "--workers N); the audit must hold on the "
+                               "shared-image path too")
     faultgen.add_argument("--migrate", action="store_true",
                           help="run live shard migrations during the drive "
                                "(with --workers >= 2); the audit must hold "
@@ -290,6 +310,11 @@ def _build_parser() -> argparse.ArgumentParser:
     bench_serve.add_argument("--shards", type=int, default=None)
     bench_serve.add_argument("--repeats", type=int, default=None)
     bench_serve.add_argument("--seed", type=int, default=None)
+    bench_serve.add_argument("--read-path", default=None,
+                             choices=("ring", "shared", "both"),
+                             help="read path(s) for the multi-worker "
+                                  "sweeps (default: both when the host "
+                                  "has >= 2 CPUs)")
     bench_serve.add_argument("--transport", default=None,
                              choices=("auto", "shm", "socket"),
                              help="worker transport for the multi-worker "
@@ -600,6 +625,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         engine=args.engine,
         maintenance=maintenance,
         transport=args.transport,
+        read_path=args.read_path,
         replicas=args.replicas,
     )
 
@@ -651,7 +677,20 @@ def _cmd_loadgen(args: argparse.Namespace) -> int:
     import asyncio
 
     from .serve import LoadgenConfig, run_loadgen
+    from .serve.loadgen import parse_mix
 
+    mix = {}
+    if args.mix is not None:
+        try:
+            ratios = parse_mix(args.mix)
+        except ValueError as error:
+            print(f"repro loadgen: error: {error}", file=sys.stderr)
+            return 2
+        mix = {
+            "get_ratio": ratios["get"],
+            "put_ratio": ratios["put"],
+            "delete_ratio": ratios["delete"],
+        }
     config = LoadgenConfig(
         workload=args.workload,
         n_ops=args.ops,
@@ -661,6 +700,7 @@ def _cmd_loadgen(args: argparse.Namespace) -> int:
         value_size=args.value_size,
         zipf_s=args.zipf_s,
         seed=args.seed,
+        **mix,
     )
 
     retry = None
@@ -694,6 +734,7 @@ def _cmd_loadgen(args: argparse.Namespace) -> int:
                 host=args.host, port=0,
                 expected_items=max(4096, 2 * args.keys),
                 transport=args.transport,
+                read_path=args.read_path,
             )
             if args.workers > 0:
                 from .serve import WorkerServer
@@ -758,6 +799,8 @@ def _cmd_faultgen(args: argparse.Namespace) -> int:
         config = dataclasses.replace(config, n_workers=args.workers)
     if args.transport != "auto":
         config = dataclasses.replace(config, transport=args.transport)
+    if args.read_path != "auto":
+        config = dataclasses.replace(config, read_path=args.read_path)
     if args.migrate:
         if config.n_workers < 2:
             print("repro faultgen: error: --migrate needs --workers >= 2",
@@ -778,11 +821,13 @@ def _cmd_faultgen(args: argparse.Namespace) -> int:
         maintenance = " --maintenance" if config.maintenance else ""
         transport = (f" --transport {config.transport}"
                      if config.transport != "auto" else "")
+        read_path = (f" --read-path {config.read_path}"
+                     if config.read_path != "auto" else "")
         migrate = " --migrate" if config.migrate else ""
         print(f"reproduce with: repro faultgen --seed {config.seed} "
               f"--ops {config.n_ops} --keys {config.n_keys} "
               f"--concurrency {config.concurrency}"
-              f"{workers}{maintenance}{transport}{migrate}",
+              f"{workers}{maintenance}{transport}{read_path}{migrate}",
               file=sys.stderr)
     return 0 if report.ok else 1
 
@@ -895,6 +940,10 @@ def _cmd_bench_serve(args: argparse.Namespace) -> int:
         overrides["seed"] = args.seed
     if args.transport is not None:
         overrides["transport"] = args.transport
+    if args.read_path is not None:
+        overrides["read_paths"] = (("ring", "shared")
+                                   if args.read_path == "both"
+                                   else (args.read_path,))
     if overrides:
         config = dataclasses.replace(config, **overrides)
     try:

@@ -3,10 +3,13 @@
 from .concurrent_table import ConcurrentMcCuckoo
 from .interleave import InterleaveReport, InterleavingHarness
 from .paths import find_cuckoo_path
+from .seqlock import SeqlockContentionError, SeqlockRegion
 
 __all__ = [
     "ConcurrentMcCuckoo",
     "InterleaveReport",
     "InterleavingHarness",
+    "SeqlockContentionError",
+    "SeqlockRegion",
     "find_cuckoo_path",
 ]

@@ -23,6 +23,7 @@ from ..core.mccuckoo import McCuckoo
 from ..core.results import InsertOutcome, InsertStatus, LookupOutcome
 from ..hashing import KeyLike
 from .paths import find_cuckoo_path
+from .seqlock import SeqlockRegion
 
 
 class ConcurrentMcCuckoo:
@@ -34,6 +35,7 @@ class ConcurrentMcCuckoo:
         self.version = 0  # even: quiescent; odd: writer mid-step
         self.last_outcome: Optional[InsertOutcome] = None
         self.last_delete = None
+        self._seqlock = SeqlockRegion(lambda: self.version)
 
     # -- writer side -------------------------------------------------------
 
@@ -170,16 +172,24 @@ class ConcurrentMcCuckoo:
     # -- reader side -------------------------------------------------------
 
     def lookup(self, key: KeyLike, max_retries: int = 16) -> LookupOutcome:
-        """Optimistic seqlock read: retry while the writer is mid-step."""
-        for _ in range(max_retries):
-            before = self.version
-            if before % 2 == 1:
-                continue  # writer mid-step; a real reader would spin
-            outcome = self.table.lookup(key)
-            if self.version == before:
-                return outcome
-        # Fall back to an uncontended read (the harness never hits this).
-        return self.table.lookup(key)
+        """Optimistic seqlock read: retry while the writer is mid-step.
+
+        The retry count is returned on the outcome (``outcome.retries``)
+        and accumulated in :attr:`lookup_retries`.  Exhausting the budget
+        raises :class:`SeqlockContentionError` — a value read under a
+        moving version must never be returned as if it were coherent.
+        """
+        outcome, retries = self._seqlock.read(
+            lambda: self.table.lookup(key), max_retries=max_retries
+        )
+        if retries:
+            object.__setattr__(outcome, "retries", retries)
+        return outcome
+
+    @property
+    def lookup_retries(self) -> int:
+        """Cumulative seqlock retries burned by :meth:`lookup` calls."""
+        return self._seqlock.retries
 
     def get(self, key: KeyLike, default: Any = None) -> Any:
         outcome = self.lookup(key)

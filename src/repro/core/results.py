@@ -55,6 +55,9 @@ class LookupOutcome:
     from_stash: bool = False
     checked_stash: bool = False
     buckets_read: int = 0
+    retries: int = 0
+    """Seqlock validation retries burned before this outcome was accepted
+    (only ever non-zero for reads through a concurrent/shared front)."""
 
     # The generated __init__ of a frozen dataclass routes every field
     # through object.__setattr__ (~1.5us per instance), which dominates the
@@ -73,6 +76,7 @@ class LookupOutcome:
         fields["from_stash"] = False
         fields["checked_stash"] = False
         fields["buckets_read"] = buckets_read
+        fields["retries"] = 0
         return self
 
     @classmethod
@@ -85,6 +89,7 @@ class LookupOutcome:
         fields["from_stash"] = False
         fields["checked_stash"] = False
         fields["buckets_read"] = buckets_read
+        fields["retries"] = 0
         return self
 
 

@@ -72,6 +72,45 @@ class LoadgenConfig:
             raise ValueError("mix ratios must have a positive sum")
 
 
+def parse_mix(spec: str) -> Dict[str, float]:
+    """Parse a ``--mix`` value like ``"get=0.95,put=0.05"`` into ratios.
+
+    Returns a complete ``{"get", "put", "delete"}`` dict (kinds absent
+    from the spec are 0.0), ready to splat into
+    :class:`LoadgenConfig`'s ``*_ratio`` fields.  Ratios need not sum to
+    one — they are weights — but must be non-negative with a positive
+    sum, and every kind may appear at most once.
+    """
+    ratios = {"get": 0.0, "put": 0.0, "delete": 0.0}
+    seen = set()
+    for chunk in spec.split(","):
+        chunk = chunk.strip()
+        if not chunk:
+            continue
+        kind, _, raw = chunk.partition("=")
+        kind = kind.strip().lower()
+        if kind not in ratios:
+            raise ValueError(
+                f"unknown op kind {kind!r} in mix {spec!r}; "
+                f"expected get/put/delete"
+            )
+        if kind in seen:
+            raise ValueError(f"op kind {kind!r} appears twice in mix {spec!r}")
+        seen.add(kind)
+        try:
+            ratio = float(raw)
+        except ValueError:
+            raise ValueError(
+                f"mix entry {chunk!r} is not KIND=RATIO"
+            ) from None
+        if ratio < 0 or not math.isfinite(ratio):
+            raise ValueError(f"mix ratio for {kind!r} must be >= 0 and finite")
+        ratios[kind] = ratio
+    if sum(ratios.values()) <= 0:
+        raise ValueError(f"mix {spec!r} must have a positive ratio sum")
+    return ratios
+
+
 def value_bytes(key: int, version: int, size: int) -> bytes:
     """Deterministic payload: (key, version) header padded to ``size``."""
     header = struct.pack(">QQ", key & (2**64 - 1), version & (2**64 - 1))
@@ -288,6 +327,13 @@ class LoadReport:
                 "errors": self.errors,
             },
             "per_kind": dict(sorted(self.per_kind.items())),
+            "per_kind_ops_per_sec": {
+                # completed ops only (kind_latency samples), so per-kind
+                # throughput decomposes the headline ops_per_sec exactly
+                kind: (summary["count"] / self.elapsed_s
+                       if self.elapsed_s > 0 else 0.0)
+                for kind, summary in sorted(self.kind_latency.items())
+            },
             "kind_latency": {
                 kind: dict(summary)
                 for kind, summary in sorted(self.kind_latency.items())

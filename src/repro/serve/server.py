@@ -109,6 +109,15 @@ class ServerConfig:
     response ring per worker).  Must comfortably exceed the largest IPC
     record (``max_frame_bytes``); records above half the capacity are
     rejected with TOO_LARGE."""
+    read_path: str = "auto"
+    """How the :class:`WorkerServer` frontend answers GETs: ``"shared"``
+    serves them straight from each worker's seqlock'd shared-memory index
+    image (:mod:`repro.serve.shared_image`), falling back to the ring
+    transport whenever a region cannot be validated; ``"ring"`` always
+    forwards to the worker; ``"auto"`` honours the
+    ``REPRO_SERVE_READ_PATH`` environment variable and otherwise stays on
+    the ring.  Ignored by the single-process server (its store is already
+    in-process)."""
     replicas: int = 0
     """Per-shard read replicas (:class:`WorkerServer` only; 0 disables).
     With ``replicas=1`` every shard is shadowed on the next worker

@@ -125,6 +125,13 @@ from .protocol import (
     read_frame,
 )
 from .server import McCuckooServer, ServerConfig
+from .shared_image import (
+    ImageLayout,
+    ShardImagePublisher,
+    SharedImageReader,
+    SharedIndexImage,
+    resolve_read_path,
+)
 from .shm import (
     DEFAULT_RING_BYTES,
     RingFrameTooLarge,
@@ -284,12 +291,13 @@ class WorkerSpec:
         return os.path.join(self.log_dir, f"shard-{shard}.ckpt")
 
 
-def _child_entry(spec: WorkerSpec, child_sock, parent_sock) -> None:
+def _child_entry(spec: WorkerSpec, child_sock, parent_sock,
+                 image: Optional[SharedIndexImage] = None) -> None:
     parent_sock.close()
     code = 1
     try:
         channel = _SocketWorkerChannel(child_sock, spec.max_ipc_bytes)
-        code = _ShardWorker(spec, channel).run()
+        code = _ShardWorker(spec, channel, image=image).run()
     except BaseException:
         code = 1
     finally:
@@ -300,6 +308,7 @@ def _child_entry(spec: WorkerSpec, child_sock, parent_sock) -> None:
 def _child_entry_shm(
     spec: WorkerSpec, shm: ShmTransport, door_rfd: int, door_wfd: int,
     close_fds: Tuple[int, ...],
+    image: Optional[SharedIndexImage] = None,
 ) -> None:
     # the fork duplicated the frontend's doorbell ends too; close them so
     # this process's death is observable as pipe EOF on both sides
@@ -311,7 +320,7 @@ def _child_entry_shm(
     code = 1
     try:
         channel = _ShmChildChannel(shm, spec.epoch, door_rfd, door_wfd)
-        code = _ShardWorker(spec, channel).run()
+        code = _ShardWorker(spec, channel, image=image).run()
     except BaseException:
         code = 1
     finally:
@@ -415,7 +424,8 @@ class _ShmChildChannel:
 class _ShardWorker:
     """Synchronous FIFO apply loop owning one shard group (child side)."""
 
-    def __init__(self, spec: WorkerSpec, channel) -> None:
+    def __init__(self, spec: WorkerSpec, channel,
+                 image: Optional[SharedIndexImage] = None) -> None:
         self.spec = spec
         self._channel = channel
         self.stats = ServeStats()
@@ -464,6 +474,32 @@ class _ShardWorker:
         if spec.durable and spec.log_dir is not None:
             for shard in spec.shards:
                 self._open_shard_log(shard)
+        #: shards whose index image this worker exports (owned, non-replica;
+        #: migrations add/remove membership at their commit points)
+        self._publishable = set(spec.shards)
+        self.publisher: Optional[ShardImagePublisher] = None
+        if image is not None:
+            stall = (self.faults.publish_stall
+                     if self.faults is not None else None)
+            self.publisher = ShardImagePublisher(image, stall_hook=stall)
+            # Publish before the hello handshake: by the time the frontend
+            # routes any request here, every recovered shard is exported.
+            for shard in spec.shards:
+                self._publish_shard(shard)
+
+    def _publish_shard(self, shard: int) -> None:
+        """Export one owned shard's image; never raises into the op path.
+
+        A publish that dies mid-bracket leaves the region's seqlock
+        version odd, which readers treat as permanent churn and fall back
+        — degraded throughput, never a torn read.
+        """
+        if self.publisher is None or shard not in self._publishable:
+            return
+        try:
+            self.publisher.publish(shard, self.store.shard(shard))
+        except Exception:
+            self.stats.internal_errors += 1
 
     # ------------------------------------------------------------------
     # durable log files
@@ -773,8 +809,18 @@ class _ShardWorker:
         return _MARK.pack(len(data)) + data[mark:]
 
     def _migrate_release(self, shard: int, payload: bytes) -> bytes:
-        """Post-commit: drop the shard (the target owns it now)."""
+        """Post-commit: drop the shard (the target owns it now).
+
+        The shared image is invalidated *before* the store slot is
+        dropped: the frontend already routes the shard to the target (the
+        commit-point flip), and marking the source region unservable
+        guarantees even a racing reader that snapshotted stale routing
+        cannot be served from it past this point.
+        """
         self._migrating_out.discard(shard)
+        self._publishable.discard(shard)
+        if self.publisher is not None:
+            self.publisher.forget(shard)
         sink = self._sinks.pop(shard, None)
         if sink is not None:
             sink.close()
@@ -828,6 +874,13 @@ class _ShardWorker:
         validate against the rewritten image, so it is dropped.
         """
         self._inbound.pop(shard, None)
+        # The shard is this worker's now (routing flipped at commit):
+        # publish its image so shared reads resume without a ring hop.
+        # Until this lands, the target's region reads unservable (all
+        # zeros / stale generation) and the frontend falls back — reads
+        # degrade through the migration window, they never go stale.
+        self._publishable.add(shard)
+        self._publish_shard(shard)
         if not (self.spec.durable and self.spec.log_dir is not None):
             return b""
         target = self.store.shard(shard)
@@ -856,6 +909,9 @@ class _ShardWorker:
         if (entry is not None and shard in self.store.owned
                 and shard not in self.spec.shards
                 and shard not in self.spec.replica_shards):
+            self._publishable.discard(shard)
+            if self.publisher is not None:
+                self.publisher.forget(shard)
             sink = self._sinks.pop(shard, None)
             if sink is not None:
                 sink.close()
@@ -977,6 +1033,11 @@ class _ShardWorker:
                 self.stats.shard_recoveries += 1
                 if self.spec.log_dir is not None:
                     self._attach_sink(shard)
+                # The recovered store is a fresh object with a fresh log;
+                # republish so the image tracks the surviving state (the
+                # publisher detects the log-identity change and rebuilds
+                # its mirror under the seqlock).
+                self._publish_shard(shard)
             return ErrorReply(ErrorCode.INTERNAL, str(error))
         if self.faults is not None and self.faults.should_kill_worker(
                 self.spec.worker_id):
@@ -986,6 +1047,13 @@ class _ShardWorker:
             # fired/counter accounting observable without acking the op.
             self._last_gasp_exit(23)
         self._run_maintenance(shard)
+        # Publish-before-ack: the image is refreshed before this reply
+        # leaves the worker, so a frontend shared read issued after the
+        # ack always sees the write (read-your-writes holds).  This also
+        # covers a compaction the maintenance tick just committed — the
+        # log swap rebuilds the mirror, so the image can never mix old
+        # and new log bytes.
+        self._publish_shard(shard)
         return reply
 
 
@@ -1004,11 +1072,13 @@ class WorkerHandle:
     """
 
     def __init__(self, spec: WorkerSpec, on_death, on_event,
-                 shm: Optional[ShmTransport] = None) -> None:
+                 shm: Optional[ShmTransport] = None,
+                 image: Optional[SharedIndexImage] = None) -> None:
         self.spec = spec
         self.worker_id = spec.worker_id
         self._on_death = on_death
         self._on_event = on_event
+        self._image = image
         self._process: Optional[multiprocessing.process.BaseProcess] = None
         self._reader: Optional[asyncio.StreamReader] = None
         self._writer: Optional[asyncio.StreamWriter] = None
@@ -1035,7 +1105,7 @@ class WorkerHandle:
         parent_sock, child_sock = socket.socketpair()
         process = context.Process(
             target=_child_entry,
-            args=(self.spec, child_sock, parent_sock),
+            args=(self.spec, child_sock, parent_sock, self._image),
             daemon=True,
         )
         process.start()
@@ -1068,7 +1138,8 @@ class WorkerHandle:
         context = multiprocessing.get_context("fork")
         process = context.Process(
             target=_child_entry_shm,
-            args=(self.spec, self._shm, req_r, resp_w, (req_w, resp_r)),
+            args=(self.spec, self._shm, req_r, resp_w, (req_w, resp_r),
+                  self._image),
             daemon=True,
         )
         process.start()
@@ -1335,6 +1406,7 @@ class WorkerPool:
         transport: str = "socket",
         ring_bytes: int = DEFAULT_RING_BYTES,
         routing: Optional[RoutingTable] = None,
+        read_path: str = "ring",
     ) -> None:
         self.config = config
         self.n_workers = n_workers
@@ -1342,8 +1414,13 @@ class WorkerPool:
         self.log_dir = log_dir
         self.transport = transport
         self.routing = routing
+        self.read_path = read_path
         self._ring_bytes = ring_bytes
         self._transports: List[Optional[ShmTransport]] = [None] * n_workers
+        #: per-worker shared index images (read_path="shared" only);
+        #: created pre-fork so the child inherits the mapping, and — like
+        #: the ring transports — they outlive worker incarnations
+        self._images: List[Optional[SharedIndexImage]] = [None] * n_workers
         self._epochs = [1] * n_workers
         self._handles: List[Optional[WorkerHandle]] = [None] * n_workers
         self._restarting: Dict[int, asyncio.Task] = {}
@@ -1363,6 +1440,18 @@ class WorkerPool:
             pair.set_epoch(self._epochs[worker_id])
             self._transports[worker_id] = pair
         return pair
+
+    def image_for(self, worker_id: int) -> Optional[SharedIndexImage]:
+        """The worker's shared index image (``None`` on the ring path)."""
+        if self.read_path != "shared":
+            return None
+        image = self._images[worker_id]
+        if image is None:
+            image = SharedIndexImage.create(ImageLayout.for_store(
+                self.config.n_shards, self.config.expected_items
+            ))
+            self._images[worker_id] = image
+        return image
 
     def ring_stale_discarded(self) -> int:
         """Total stale-generation ring slots dropped across the pool."""
@@ -1420,7 +1509,7 @@ class WorkerPool:
                if self.transport == "shm" else None)
         return WorkerHandle(self._spec(worker_id),
                             self._handle_death, self._handle_event,
-                            shm=shm)
+                            shm=shm, image=self.image_for(worker_id))
 
     # ------------------------------------------------------------------
     # lifecycle
@@ -1454,6 +1543,10 @@ class WorkerPool:
             if pair is not None:
                 pair.destroy()
                 self._transports[worker_id] = None
+        for worker_id, image in enumerate(self._images):
+            if image is not None:
+                image.destroy()
+                self._images[worker_id] = None
 
     # ------------------------------------------------------------------
     # routing
@@ -1661,6 +1754,10 @@ class WorkerServer(McCuckooServer):
         #: here makes an explicit ``transport="shm"`` on an unsupported
         #: platform fail at construction, not mid-serve
         self.transport = resolve_transport(self.config.transport)
+        #: the resolved GET read path ("shared" or "ring"); like the
+        #: transport, an explicit ``read_path="shared"`` on a platform
+        #: without shared memory fails here, not mid-serve
+        self.read_path = resolve_read_path(self.config.read_path)
         # more workers than shards would leave idle processes owning
         # nothing; clamp so every worker owns at least one shard
         self.n_workers = min(n_workers, self.config.n_shards)
@@ -1677,6 +1774,7 @@ class WorkerServer(McCuckooServer):
         self._replica_pending = 0
         self._replica_errors = 0
         self._pool: Optional[WorkerPool] = None
+        self._readers: List[Optional[SharedImageReader]] = []
         self._log_dir: Optional[str] = None
         # tick-coalescing run aggregator: batch ops from every client
         # connection admitted in the same event-loop tick share one
@@ -1704,10 +1802,16 @@ class WorkerServer(McCuckooServer):
                                 self._log_dir,
                                 transport=self.transport,
                                 ring_bytes=self.config.shm_ring_bytes,
-                                routing=self._routing)
+                                routing=self._routing,
+                                read_path=self.read_path)
+        self._readers = [None] * self.n_workers
         await self._pool.start()
 
     async def _stop_backend(self) -> None:
+        for reader in self._readers:
+            if reader is not None:
+                reader.close()
+        self._readers = []
         if self._pool is not None:
             await self._pool.stop()
             self._pool = None
@@ -1829,6 +1933,92 @@ class WorkerServer(McCuckooServer):
     def _worker_of_key(self, key: int) -> int:
         return self._routing.worker_of_shard(self._router.shard_of(key))
 
+    # -- shared read path (read_path="shared") -------------------------
+
+    def _reader_for(self, worker_id: int) -> Optional[SharedImageReader]:
+        if self.read_path != "shared" or not self._readers:
+            return None
+        reader = self._readers[worker_id]
+        if reader is None:
+            image = self.pool.image_for(worker_id)
+            if image is None:
+                return None
+            reader = SharedImageReader(image)
+            self._readers[worker_id] = reader
+        return reader
+
+    def _shared_get(
+        self, worker_id: int, shard: int, key: int
+    ) -> Optional[Tuple[bool, bytes]]:
+        """One GET off the worker's image; ``None`` → take the ring path.
+
+        Gated on the owner handle being alive: a dead owner's image is
+        still coherent (publish-before-ack means it covers every acked
+        write), but sending the read down the normal path keeps the
+        replica-failover semantics identical across read paths.  Fenced
+        shards also fall back — mid-migration the ring path's fence/flip
+        interplay is the audited one.
+        """
+        if shard in self._fences or self._pool is None:
+            return None
+        handle = self._pool._handles[worker_id]
+        if handle is None or not handle.alive:
+            return None
+        reader = self._reader_for(worker_id)
+        if reader is None:
+            return None
+        before = reader.retries
+        result = reader.get(shard, key)
+        self.stats.shared_read_retries += reader.retries - before
+        if result is None:
+            self.stats.shared_read_fallbacks += 1
+            return None
+        self.stats.shared_reads += 1
+        return result
+
+    def _shared_run(
+        self, worker_id: int, run: List[Tuple[Any, _OpSink]]
+    ) -> List[Tuple[Any, _OpSink]]:
+        """Resolve an all-GET run's ops straight from the worker's image.
+
+        Each shard's sub-run is validated under one seqlock bracket;
+        returns the ops that still need the ring (everything, when the
+        image is unusable outright).
+        """
+        if self._pool is None:
+            return run
+        handle = self._pool._handles[worker_id]
+        if handle is None or not handle.alive:
+            return run
+        reader = self._reader_for(worker_id)
+        if reader is None:
+            return run
+        by_shard: Dict[int, List[Tuple[Any, _OpSink]]] = {}
+        leftover: List[Tuple[Any, _OpSink]] = []
+        for op, sink in run:
+            shard = self._router.shard_of(op.key)
+            if shard in self._fences:
+                leftover.append((op, sink))
+            else:
+                by_shard.setdefault(shard, []).append((op, sink))
+        for shard, group in by_shard.items():
+            before = reader.retries
+            results = reader.get_run(shard, [op.key for op, _ in group])
+            self.stats.shared_read_retries += reader.retries - before
+            if results is None:
+                self.stats.shared_read_fallbacks += len(group)
+                leftover.extend(group)
+                continue
+            self.stats.shared_reads += len(group)
+            for (op, sink), (found, value) in zip(group, results):
+                self.stats.note_get(hit=found)
+                self._resolve_op(
+                    sink,
+                    ValueReply(found=True, value=value) if found
+                    else ValueReply(found=False),
+                )
+        return leftover
+
     def _worker_busy_reply(self, worker_id: int) -> ErrorReply:
         self.stats.busy_rejections += 1
         return ErrorReply(
@@ -1875,6 +2065,13 @@ class WorkerServer(McCuckooServer):
         if is_write and shard in self._fences:
             await self._await_fence(shard)
         worker_id = self._routing.worker_of_shard(shard)
+        if self.read_path == "shared" and isinstance(request, GetRequest):
+            shared = self._shared_get(worker_id, shard, request.key)
+            if shared is not None:
+                found, value = shared
+                self.stats.note_get(hit=found)
+                return (ValueReply(found=True, value=value) if found
+                        else ValueReply(found=False))
         try:
             handle = self.pool.handle_for_worker(worker_id)
         except WorkerUnavailableError as error:
@@ -2005,6 +2202,11 @@ class WorkerServer(McCuckooServer):
     def _send_run(self, worker_id: int,
                   run: List[Tuple[Any, _OpSink]],
                   rerouted: bool = False) -> None:
+        if (self.read_path == "shared" and not rerouted
+                and all(isinstance(op, GetRequest) for op, _ in run)):
+            run = self._shared_run(worker_id, run)
+            if not run:
+                return
         try:
             handle = self.pool.handle_for_worker(worker_id)
         except WorkerUnavailableError as error:
@@ -2087,6 +2289,7 @@ class WorkerServer(McCuckooServer):
         gauges: Dict[str, float] = {
             "connections_active": self._connections,
             "transport_shm": 1 if self.transport == "shm" else 0,
+            "read_path_shared": 1 if self.read_path == "shared" else 0,
             "ring_stale_discarded": self.pool.ring_stale_discarded(),
             "workers": self.n_workers,
             "workers_up": sum(

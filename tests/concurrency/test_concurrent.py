@@ -1,7 +1,11 @@
 """One-writer-many-readers tests: no reader ever misses a stored item."""
 
 from repro import ConcurrentMcCuckoo, McCuckoo
-from repro.concurrency import InterleaveReport, InterleavingHarness
+from repro.concurrency import (
+    InterleaveReport,
+    InterleavingHarness,
+    SeqlockContentionError,
+)
 from repro.core import check_mccuckoo
 from repro.workloads import distinct_keys
 
@@ -97,13 +101,52 @@ class TestStepwiseInterleaving:
 
 
 class TestSeqlockReader:
-    def test_reader_retries_on_odd_version(self):
+    def test_reader_raises_on_stuck_odd_version(self):
+        """A version stuck odd exhausts the retry budget loudly — the
+        reader must never silently return a potentially torn value."""
         table = concurrent_table(seed=336)
         table.insert(1, "x")
         table.version += 1  # simulate writer mid-step
+        try:
+            table.lookup(1, max_retries=4)
+        except SeqlockContentionError as exc:
+            assert exc.retries == 4
+        else:
+            raise AssertionError("expected SeqlockContentionError")
+        assert table.lookup_retries >= 4
+        table.version += 1  # writer finishes; reads validate again
         outcome = table.lookup(1)
-        assert outcome.found  # fell through to the uncontended read
-        table.version += 1
+        assert outcome.found
+        assert outcome.retries == 0
+
+    def test_reader_retry_under_writer_churn(self):
+        """Forced writer churn: every other probe's first read attempt is
+        invalidated by a full writer pass landing mid-read.  The probes
+        must retry (surfaced via ``lookup_retries``) and never return a
+        missing key or a torn-move value."""
+        table = concurrent_table(n_buckets=48, seed=340)
+        harness = InterleavingHarness(table, probe_sample=6, seed=341)
+        report = InterleaveReport()
+
+        inner = table.table.lookup
+        churn = {"count": 0}
+
+        def churned_lookup(key):
+            result = inner(key)
+            churn["count"] += 1
+            if churn["count"] % 2 == 1:
+                table.version += 2  # a whole writer pass landed mid-read
+            return result
+
+        table.table.lookup = churned_lookup
+        keys = distinct_keys(int(table.table.capacity * 0.6), seed=342)
+        for key in keys:
+            harness.insert_with_probes(key, key & 0xFF, report=report)
+        assert report.probes > 500
+        assert report.linearizable
+        assert report.missed_keys == []
+        assert report.wrong_values == []
+        assert table.lookup_retries > 0
 
     def test_len_passthrough(self):
         table = concurrent_table(seed=337)

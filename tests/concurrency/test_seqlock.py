@@ -1,0 +1,76 @@
+"""SeqlockRegion protocol tests: torn reads never validate, loudly or not.
+
+The region under test is a plain dict mutated by a scripted "writer"
+that interleaves with the reader at exact points (the version-load
+callback), so every schedule here is deterministic — including the one
+where the writer lands mid-read and the reader's first snapshot is torn.
+"""
+
+import pytest
+
+from repro.concurrency import SeqlockContentionError, SeqlockRegion
+
+
+class TestSeqlockRegion:
+    def test_uncontended_read(self):
+        region = SeqlockRegion(lambda: 0)
+        result, spent = region.read(lambda: 42)
+        assert result == 42
+        assert spent == 0
+        assert region.retries == 0
+
+    def test_rejects_nonpositive_budget(self):
+        with pytest.raises(ValueError):
+            SeqlockRegion(lambda: 0, max_retries=0)
+        region = SeqlockRegion(lambda: 0)
+        with pytest.raises(ValueError):
+            region.read(lambda: 1, max_retries=0)
+
+    def test_stuck_odd_version_raises(self):
+        region = SeqlockRegion(lambda: 7, max_retries=3)
+        with pytest.raises(SeqlockContentionError) as info:
+            region.read(lambda: "never")
+        assert info.value.retries == 3
+        assert region.retries == 3
+
+    def test_torn_pair_never_validates(self):
+        """A writer updates (a, b) non-atomically while the reader is
+        mid-read.  The validated result must be a consistent pair — the
+        torn (new a, old b) view the reader actually computed on its
+        first attempt is thrown away."""
+        state = {"version": 0, "a": 0, "b": 0}
+        script = iter(["tear", "finish"])
+
+        def load_version() -> int:
+            action = next(script, None)
+            if action == "tear":  # writer starts: a updated, version odd
+                state["a"] += 1
+                state["version"] += 1
+            elif action == "finish":  # writer completes: b updated, even
+                state["b"] += 1
+                state["version"] += 1
+            return state["version"]
+
+        region = SeqlockRegion(load_version)
+        (a, b), spent = region.read(lambda: (state["a"], state["b"]))
+        assert a == b == 1
+        assert spent >= 1
+        assert region.retries == spent
+
+    def test_version_move_between_snapshots_retries(self):
+        """An even→even version jump across the read (a full writer pass
+        landed) also invalidates: unchanged is the rule, not just even."""
+        versions = iter([0, 2, 2, 2])
+        region = SeqlockRegion(lambda: next(versions))
+        calls = []
+        result, spent = region.read(lambda: calls.append(1) or len(calls))
+        assert result == 2  # second attempt's view
+        assert spent == 1
+        assert len(calls) == 2
+
+    def test_retries_accumulate_across_reads(self):
+        versions = iter([1, 0, 0, 1, 0, 0])
+        region = SeqlockRegion(lambda: next(versions))
+        region.read(lambda: None)
+        region.read(lambda: None)
+        assert region.retries == 2

@@ -30,6 +30,15 @@ def pytest_addoption(parser):
              "REPRO_SERVE_TRANSPORT; the CI transport matrix runs "
              "tests/serve once per value)",
     )
+    parser.addoption(
+        "--read-path",
+        default=None,
+        choices=("auto", "ring", "shared"),
+        help="pin the serve-layer GET path for every server the suite "
+             "starts with read_path='auto' (sets REPRO_SERVE_READ_PATH; "
+             "the CI matrix runs tests/serve once with 'shared' so the "
+             "whole serve suite exercises the shared-image read path)",
+    )
 
 
 def pytest_configure(config):
@@ -42,6 +51,9 @@ def pytest_configure(config):
     transport = config.getoption("--transport")
     if transport and transport != "auto":
         os.environ["REPRO_SERVE_TRANSPORT"] = transport
+    read_path = config.getoption("--read-path")
+    if read_path and read_path != "auto":
+        os.environ["REPRO_SERVE_READ_PATH"] = read_path
 
 
 def pytest_report_header(config):
@@ -49,6 +61,9 @@ def pytest_report_header(config):
     transport = config.getoption("--transport")
     if transport:
         header += f"  serve-transport={transport}"
+    read_path = config.getoption("--read-path")
+    if read_path:
+        header += f"  serve-read-path={read_path}"
     return header
 
 

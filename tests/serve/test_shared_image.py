@@ -1,0 +1,309 @@
+"""Shared-memory index images: layout, publisher/reader, seqlock safety.
+
+These tests drive :mod:`repro.serve.shared_image` directly — one process
+playing both the worker (publisher) and the frontend (reader) over a real
+``multiprocessing.shared_memory`` segment — so every torn-state scenario
+is deterministic: the stall hook and monkeypatched publish steps let us
+observe the exact half-applied region states a concurrent reader could
+race against, and prove the seqlock never lets one validate.
+"""
+
+import struct
+
+import pytest
+
+from repro.core.errors import ConfigurationError
+from repro.serve.shared_image import (
+    IMAGE_LAYOUT_VERSION,
+    ImageLayout,
+    ShardImagePublisher,
+    SharedImageReader,
+    SharedIndexImage,
+    resolve_read_path,
+)
+from repro.serve.shm import shm_available
+from repro.serve.store import ShardedLogStore
+
+pytestmark = pytest.mark.skipif(
+    not shm_available(), reason="multiprocessing.shared_memory unavailable"
+)
+
+N_SHARDS = 2
+EXPECTED_ITEMS = 256
+
+
+def value_for(key: int) -> bytes:
+    return b"v%08d" % key
+
+
+@pytest.fixture
+def rig():
+    store = ShardedLogStore(n_shards=N_SHARDS, expected_items=EXPECTED_ITEMS,
+                            seed=5)
+    image = SharedIndexImage.create(
+        ImageLayout.for_store(N_SHARDS, EXPECTED_ITEMS)
+    )
+    publisher = ShardImagePublisher(image)
+    reader = SharedImageReader(image)
+    yield store, image, publisher, reader
+    reader.close()
+    image.destroy()
+
+
+def publish_all(publisher: ShardImagePublisher, store: ShardedLogStore):
+    for shard in range(store.n_shards):
+        publisher.publish(shard, store.shard(shard))
+
+
+def region_generation(image: SharedIndexImage, shard: int) -> int:
+    base = image.layout.region_offset(shard)
+    return struct.unpack_from("<I", image.buf, base + 8)[0]
+
+
+class TestResolveReadPath:
+    def test_explicit_values(self):
+        assert resolve_read_path("ring") == "ring"
+        assert resolve_read_path("shared") == "shared"
+
+    def test_unknown_rejected(self):
+        with pytest.raises(ConfigurationError):
+            resolve_read_path("mmap")
+
+    def test_auto_defaults_to_ring(self, monkeypatch):
+        monkeypatch.delenv("REPRO_SERVE_READ_PATH", raising=False)
+        assert resolve_read_path("auto") == "ring"
+
+    def test_auto_honours_environment(self, monkeypatch):
+        monkeypatch.setenv("REPRO_SERVE_READ_PATH", "shared")
+        assert resolve_read_path("auto") == "shared"
+        monkeypatch.setenv("REPRO_SERVE_READ_PATH", "ring")
+        assert resolve_read_path("auto") == "ring"
+        monkeypatch.setenv("REPRO_SERVE_READ_PATH", "bogus")
+        assert resolve_read_path("auto") == "ring"
+
+
+class TestImageLayout:
+    def test_header_round_trip(self):
+        layout = ImageLayout.for_store(4, 1024)
+        image = SharedIndexImage.create(layout)
+        try:
+            parsed = ImageLayout.from_header(image.buf)
+            assert parsed.n_shards == layout.n_shards
+            assert parsed.max_slots == layout.max_slots
+            assert parsed.counter_bits == layout.counter_bits
+            assert parsed.max_stash == layout.max_stash
+            assert parsed.log_capacity == layout.log_capacity
+            assert parsed.region_stride == layout.region_stride
+        finally:
+            image.destroy()
+
+    def test_attach_by_name_sees_same_layout(self):
+        layout = ImageLayout.for_store(2, 256)
+        image = SharedIndexImage.create(layout)
+        try:
+            attached = SharedIndexImage.attach(image.name)
+            assert attached.layout.segment_bytes == layout.segment_bytes
+            attached.close()
+        finally:
+            image.destroy()
+
+    def test_region_offset_bounds(self):
+        layout = ImageLayout.for_store(2, 256)
+        with pytest.raises(ConfigurationError):
+            layout.region_offset(-1)
+        with pytest.raises(ConfigurationError):
+            layout.region_offset(2)
+
+    def test_bad_magic_rejected(self):
+        layout = ImageLayout.for_store(1, 64)
+        image = SharedIndexImage.create(layout)
+        try:
+            struct.pack_into("<I", image.buf, 0, 0xDEADBEEF)
+            with pytest.raises(ConfigurationError):
+                ImageLayout.from_header(image.buf)
+        finally:
+            image.destroy()
+
+    def test_layout_version_is_versioned(self):
+        assert IMAGE_LAYOUT_VERSION >= 1
+
+
+class TestPublisherReader:
+    def test_hit_miss_update_delete(self, rig):
+        store, _, publisher, reader = rig
+        keys = list(range(1, 61))
+        for key in keys:
+            store.put(key, value_for(key))
+        publish_all(publisher, store)
+
+        for key in keys:
+            shard = store.shard_index(key)
+            assert reader.get(shard, key) == (True, value_for(key))
+        for key in range(1000, 1010):
+            assert reader.get(store.shard_index(key), key) == (False, b"")
+
+        store.put(keys[0], b"updated")
+        store.delete(keys[1])
+        publish_all(publisher, store)
+        assert reader.get(store.shard_index(keys[0]), keys[0]) == (
+            True, b"updated")
+        assert reader.get(store.shard_index(keys[1]), keys[1]) == (False, b"")
+
+    def test_get_run_matches_scalar_gets(self, rig):
+        store, _, publisher, reader = rig
+        present = list(range(1, 41))
+        for key in present:
+            store.put(key, value_for(key))
+        publish_all(publisher, store)
+
+        probe = present + list(range(5000, 5040))  # wide enough to vectorize
+        by_shard = {}
+        for key in probe:
+            by_shard.setdefault(store.shard_index(key), []).append(key)
+        for shard, shard_keys in by_shard.items():
+            results = reader.get_run(shard, shard_keys)
+            assert results is not None
+            for key, got in zip(shard_keys, results):
+                assert got == reader.get(shard, key)
+                expected = (True, value_for(key)) if key in set(present) \
+                    else (False, b"")
+                assert got == expected
+
+    def test_unpublished_region_falls_back(self, rig):
+        store, _, publisher, reader = rig
+        store.put(7, value_for(7))
+        publish_all(publisher, store)
+        shard = store.shard_index(7)
+        publisher.unpublish(shard)
+        assert reader.get(shard, 7) is None
+        # unpublish is cheap to undo: the next publish re-serves
+        publisher.publish(shard, store.shard(shard))
+        assert reader.get(shard, 7) == (True, value_for(7))
+
+    def test_forget_drops_mirror_state(self, rig):
+        store, _, publisher, reader = rig
+        store.put(7, value_for(7))
+        publish_all(publisher, store)
+        shard = store.shard_index(7)
+        publisher.forget(shard)
+        assert reader.get(shard, 7) is None
+
+    def test_out_of_range_shard_falls_back(self, rig):
+        _, _, _, reader = rig
+        assert reader.get(99, 7) is None
+        assert reader.get_run(99, [7]) is None
+
+    def test_non_bytes_value_falls_back(self, rig):
+        store, _, publisher, reader = rig
+        store.put(3, 12345)  # not a bytes payload: only the ring can serve it
+        publish_all(publisher, store)
+        assert reader.get(store.shard_index(3), 3) is None
+
+    def test_publisher_restart_bumps_generation(self, rig):
+        store, image, publisher, reader = rig
+        store.put(11, value_for(11))
+        publish_all(publisher, store)
+        shard = store.shard_index(11)
+        before = region_generation(image, shard)
+        # a restarted worker builds a fresh publisher over the same segment
+        publisher2 = ShardImagePublisher(image)
+        publisher2.publish(shard, store.shard(shard))
+        assert region_generation(image, shard) > before
+        assert reader.get(shard, 11) == (True, value_for(11))
+
+
+class TestSeqlockSafety:
+    def test_odd_version_is_never_served(self, rig):
+        store, image, publisher, reader = rig
+        store.put(9, value_for(9))
+        publish_all(publisher, store)
+        shard = store.shard_index(9)
+        base = image.layout.region_offset(shard)
+        version = struct.unpack_from("<Q", image.buf, base)[0]
+        struct.pack_into("<Q", image.buf, base, version | 1)
+        before = reader.retries
+        assert reader.get(shard, 9) is None
+        assert reader.retries > before  # spun the full budget, then fell back
+        struct.pack_into("<Q", image.buf, base, (version | 1) + 1)
+        assert reader.get(shard, 9) == (True, value_for(9))
+
+    def test_half_applied_publish_is_never_served(self, rig):
+        """The stall hook parks the publisher mid-``_write_index`` — keys
+        written, offsets/counters not.  A reader probing that exact state
+        must fall back, and must serve correctly once the bracket closes."""
+        store, image, _, reader = rig
+        keys = list(range(1, 31))
+        for key in keys:
+            store.put(key, value_for(key))
+
+        observed = []
+
+        def stall(shard: int) -> float:
+            for key in keys:
+                if store.shard_index(key) == shard:
+                    observed.append(reader.get(shard, key))
+            return 0.0  # observe, don't sleep
+
+        publisher = ShardImagePublisher(image, stall_hook=stall)
+        publish_all(publisher, store)
+        assert observed  # the hook did run inside the bracket
+        assert all(result is None for result in observed)
+        for key in keys:
+            shard = store.shard_index(key)
+            assert reader.get(shard, key) == (True, value_for(key))
+
+    def test_crashed_publish_leaves_region_unservable(self, rig):
+        store, image, publisher, reader = rig
+        store.put(13, value_for(13))
+        publish_all(publisher, store)
+        shard = store.shard_index(13)
+        original = publisher._write_index
+
+        def boom(base, table, mirror):
+            original(base, table, mirror)
+            raise RuntimeError("publisher dies mid-publish")
+
+        publisher._write_index = boom
+        store.put(13, b"newer")
+        with pytest.raises(RuntimeError):
+            publisher.publish(shard, store.shard(shard))
+        # version is still odd: neither the old nor the half-new state
+        # is servable, so readers take the ring
+        assert reader.get(shard, 13) is None
+        publisher._write_index = original
+        publisher.publish(shard, store.shard(shard))  # re-enters odd version
+        assert reader.get(shard, 13) == (True, b"newer")
+
+    def test_compaction_swap_bumps_generation(self, rig):
+        store, image, publisher, reader = rig
+        keys = list(range(1, 25))
+        for key in keys:
+            store.put(key, value_for(key))
+        for key in keys:
+            store.put(key, value_for(key + 1000))  # garbage to collect
+        publish_all(publisher, store)
+        shard0_keys = [k for k in keys if store.shard_index(k) == 0]
+        before = region_generation(image, 0)
+        store.shard(0).compact()
+        publisher.publish(0, store.shard(0))
+        assert region_generation(image, 0) > before
+        for key in shard0_keys:
+            assert reader.get(0, key) == (True, value_for(key + 1000))
+
+    def test_log_overflow_marks_region_unservable(self):
+        layout = ImageLayout(n_shards=1, max_slots=3 * 4096,
+                             log_capacity=512)
+        image = SharedIndexImage.create(layout)
+        try:
+            store = ShardedLogStore(n_shards=1, expected_items=128, seed=9)
+            publisher = ShardImagePublisher(image)
+            reader = SharedImageReader(image)
+            store.put(1, b"x" * 400)
+            publisher.publish(0, store.shard(0))
+            assert reader.get(0, 1) == (True, b"x" * 400)
+            store.put(2, b"y" * 400)  # mirror would exceed log_capacity
+            publisher.publish(0, store.shard(0))
+            assert reader.get(0, 1) is None
+            assert reader.get(0, 2) is None
+        finally:
+            image.destroy()

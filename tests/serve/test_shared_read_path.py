@@ -1,0 +1,191 @@
+"""End-to-end shared read path: a WorkerServer answering GETs from the
+seqlock'd shared-memory index images.
+
+Same real-process, real-TCP style as test_workers.py; the assertions
+pivot on the ``shared_reads``/``shared_read_fallbacks`` stats so each
+scenario proves reads actually took (or correctly refused) the zero-hop
+path — not just that the answers were right.
+"""
+
+import asyncio
+
+import pytest
+
+from repro.faults import FaultPlan
+from repro.serve import (
+    McCuckooClient,
+    RetryPolicy,
+    ServerConfig,
+    WorkerServer,
+)
+from repro.serve.faultgen import DEFAULT_FAULT_SPEC, FaultgenConfig, run_faultgen
+from repro.serve.shm import shm_available
+from tests.seeding import derive
+
+pytestmark = pytest.mark.skipif(
+    not shm_available(), reason="multiprocessing.shared_memory unavailable"
+)
+
+
+def run(coro):
+    return asyncio.run(coro)
+
+
+def config(**overrides) -> ServerConfig:
+    defaults = dict(n_shards=4, expected_items=4096, seed=derive(700),
+                    read_path="shared")
+    defaults.update(overrides)
+    return ServerConfig(**defaults)
+
+
+class TestSharedReadPath:
+    def test_read_your_writes_and_stats(self):
+        async def scenario():
+            async with WorkerServer(config(), n_workers=2) as server:
+                host, port = server.address
+                async with McCuckooClient(host, port) as client:
+                    for key in range(60):
+                        assert await client.put(key, b"v%d" % key) is True
+                    for key in range(60):
+                        assert await client.get(key) == b"v%d" % key
+                    assert await client.get(10_000) is None
+                    # publish-before-ack: an acked overwrite/delete is
+                    # immediately visible on the shared path
+                    await client.put(3, b"updated")
+                    assert await client.get(3) == b"updated"
+                    await client.delete(4)
+                    assert await client.get(4) is None
+                    stats = await client.stats()
+                return stats
+
+        stats = run(scenario())
+        assert stats["read_path_shared"] == 1
+        assert stats["shared_reads"] >= 60
+        assert stats["shared_read_fallbacks"] == 0
+
+    def test_all_get_batch_takes_shared_path(self):
+        async def scenario():
+            async with WorkerServer(config(), n_workers=2) as server:
+                host, port = server.address
+                async with McCuckooClient(host, port) as client:
+                    for key in range(64):
+                        await client.put(key, b"b%d" % key)
+                    ops = [("get", key) for key in range(64)]
+                    replies = await client.batch(ops)
+                    stats = await client.stats()
+                return replies, stats
+
+        replies, stats = run(scenario())
+        assert [reply.value for reply in replies] == [
+            b"b%d" % k for k in range(64)
+        ]
+        assert stats["shared_reads"] >= 64
+
+    def test_mixed_batch_gets_still_ring(self):
+        # a run with a write in it must take the ordered ring path whole
+        async def scenario():
+            async with WorkerServer(config(), n_workers=2) as server:
+                host, port = server.address
+                async with McCuckooClient(host, port) as client:
+                    await client.put(1, b"one")
+                    replies = await client.batch(
+                        [("get", 1), ("put", 2, b"two"), ("get", 2)]
+                    )
+                return replies
+
+        replies = run(scenario())
+        assert replies[0].value == b"one"
+        assert replies[2].value == b"two"
+
+    def test_ring_default_publishes_nothing(self):
+        async def scenario():
+            async with WorkerServer(config(read_path="ring"),
+                                    n_workers=2) as server:
+                host, port = server.address
+                async with McCuckooClient(host, port) as client:
+                    await client.put(1, b"x")
+                    assert await client.get(1) == b"x"
+                    stats = await client.stats()
+                return stats
+
+        stats = run(scenario())
+        assert stats["read_path_shared"] == 0
+        assert stats["shared_reads"] == 0
+
+    def test_worker_restart_keeps_shared_path_correct(self):
+        plan = FaultPlan.parse("kill_worker=25", seed=derive(703))
+        retry = RetryPolicy(max_attempts=8, deadline=10.0, seed=derive(704))
+
+        async def scenario():
+            server = WorkerServer(config(durable=True, fault_plan=plan),
+                                  n_workers=2)
+            async with server:
+                host, port = server.address
+                async with McCuckooClient(host, port, retry=retry) as client:
+                    for key in range(60):
+                        await client.put(key, b"d%d" % key)
+                    await server.disarm_faults()
+                    await server.pool.await_restarts()
+                    await server.drain_writes()
+                    # restarted workers republished into the same
+                    # segment; every acked write must still be visible
+                    for key in range(60):
+                        assert await client.get(key) == b"d%d" % key
+                    stats = await client.stats()
+                return stats
+
+        stats = run(scenario())
+        assert stats["worker_restarts"] >= 1
+        assert stats["shared_reads"] > 0
+
+    def test_migration_commit_invalidates_source_image(self):
+        async def scenario():
+            async with WorkerServer(config(durable=True),
+                                    n_workers=2) as server:
+                host, port = server.address
+                async with McCuckooClient(host, port) as client:
+                    for key in range(80):
+                        await client.put(key, b"m%d" % key)
+                    shard = 0
+                    source = server.routing.worker_of_shard(shard)
+                    target = (source + 1) % server.n_workers
+                    report = await server.reshard(shard, target)
+                    assert report.committed, report.render()
+                    await server.pool.await_restarts()
+                    await server.drain_writes()
+                    for key in range(80):
+                        assert await client.get(key) == b"m%d" % key
+                    stats = await client.stats()
+                return stats
+
+        stats = run(scenario())
+        # post-migration reads of the moved shard come from the target's
+        # region (or the ring while it warms up) — never the stale source
+        assert stats["shared_reads"] > 0
+
+
+class TestSharedReadPathFaultgen:
+    def test_audit_with_publisher_stalls_and_kills(self):
+        """The zero-loss/zero-staleness audit must hold while the fault
+        plan stalls publishers mid-``_write_index`` (holding regions in
+        their half-applied state) and kills workers mid-publish."""
+        faults = (DEFAULT_FAULT_SPEC +
+                  "; kill_worker=150; stall_publisher=0:0.01:7"
+                  "; stall_publisher=1:0.01:11")
+        report = run(run_faultgen(FaultgenConfig(
+            n_ops=600, n_keys=96, concurrency=4, seed=derive(701),
+            n_workers=2, faults=faults, read_path="shared",
+            run_timeout=60.0,
+        )))
+        assert report.ok, report.render()
+        assert report.read_path == "shared"
+        assert report.shared_reads > 0
+
+    def test_audit_with_migrations_on_shared_path(self):
+        report = run(run_faultgen(FaultgenConfig(
+            n_ops=600, n_keys=96, concurrency=4, seed=derive(702),
+            n_workers=2, migrate=True, read_path="shared",
+            faults=DEFAULT_FAULT_SPEC + "; stall_publisher=0:0.01:9",
+            run_timeout=60.0,
+        )))
+        assert report.ok, report.render()
