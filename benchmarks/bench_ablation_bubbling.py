@@ -1,0 +1,73 @@
+"""Bubbling-up insertion (Kuszmaul, arXiv 2501.02312): the load frontier.
+
+Two claims are asserted, matching docs/performance.md:
+
+* frontier: on the single-copy d=4 baseline with a short kick budget,
+  bucket labels push the first-failure load past 0.96 while the random
+  walk gives out near 0.93 — at ordinary per-insert kick cost;
+* copies-load: inside McCuckoo the stash absorbs failed walks, so at d=3
+  labels cannot move the frontier (the ~0.92 threshold is what it is) but
+  they prove exhaustion early and slash the kicks burnt on hopeless
+  inserts; at d=4 the main table itself carries 0.97.
+"""
+
+from repro.analysis import Scale
+from repro.analysis.experiments import ablation_bubbling
+from repro.baselines import CuckooTable
+from repro.core import FailurePolicy
+from repro.workloads import distinct_keys
+
+FRONTIER_BUCKETS = 8000
+
+
+def _scale(bench_scale):
+    return Scale(n_single=max(400, bench_scale.n_single // 2),
+                 repeats=bench_scale.repeats, n_queries=bench_scale.n_queries)
+
+
+def test_ablation_bubbling(benchmark, bench_scale, save_result):
+    result = ablation_bubbling(_scale(bench_scale),
+                               frontier_buckets=FRONTIER_BUCKETS)
+    save_result(result)
+
+    frontier = {row["policy"]: row
+                for row in result.filter_rows(section="frontier")}
+    # the headline: labels move the first-failure frontier past 0.96
+    # where the random walk stalls near 0.93 ...
+    assert frontier["bubbling"]["fill"] >= 0.96
+    assert frontier["random-walk"]["fill"] <= 0.935
+    assert frontier["bubbling"]["fill"] >= frontier["mincounter"]["fill"]
+    assert frontier["porat-shalem"]["fill"] >= frontier["random-walk"]["fill"]
+    # ... at bounded insert cost (kicks stay O(1) per insert, not maxloop)
+    for row in frontier.values():
+        assert row["kicks_per_insert"] < 2.0
+
+    by_cell = {(row["d"], row["policy"], row["load"]): row
+               for row in result.filter_rows(section="copies-load")}
+    top = max(row["load"] for row in result.filter_rows(section="copies-load"))
+    # d=3: the threshold is below the offered load for *every* policy —
+    # same main-table fill, same stash growth — but bubbling's exhaustion
+    # proof stops burning the kick budget on hopeless walks
+    assert abs(by_cell[(3, "bubbling", top)]["fill"]
+               - by_cell[(3, "random-walk", top)]["fill"]) < 0.01
+    assert (by_cell[(3, "bubbling", top)]["kicks_per_insert"]
+            < by_cell[(3, "random-walk", top)]["kicks_per_insert"] * 0.5)
+    # d=4: the frontier itself moves — 0.97 lands in the main table
+    assert by_cell[(4, "bubbling", top)]["fill"] >= top - 0.005
+    assert by_cell[(4, "bubbling", top)]["stash_items"] <= 2
+    assert (by_cell[(4, "bubbling", top)]["kicks_per_insert"]
+            <= by_cell[(4, "random-walk", top)]["kicks_per_insert"])
+
+    table = CuckooTable(500, d=4, maxloop=80, seed=140,
+                        on_failure=FailurePolicy.FAIL, kick_policy="bubbling")
+    keys = distinct_keys(int(table.capacity * 0.95), seed=141)
+    state = {"i": 0}
+
+    def bubbling_insert():
+        if state["i"] < len(keys):
+            table.put(keys[state["i"]])
+            state["i"] += 1
+        else:
+            table.lookup(keys[0])
+
+    benchmark(bubbling_insert)

@@ -18,6 +18,7 @@ import random
 from repro._numpy import numpy_available
 from repro.analysis.bench_core import (
     BenchCoreConfig,
+    compare_highload_to_baseline,
     compare_to_baseline,
     load_report,
     render_report,
@@ -59,12 +60,34 @@ def test_core_throughput(benchmark):
     # for the NumPy backend by regressing against the committed baseline
     baseline_path = RESULTS_DIR / "BENCH_core.json"
     if baseline_path.exists():
+        baseline = load_report(str(baseline_path))
         ok, message = compare_to_baseline(
-            report, load_report(str(baseline_path)),
+            report, baseline,
             max_regression=MAX_PYTHON_REGRESSION, backend="python",
         )
         print(f"baseline check: {message}")
         assert ok, f"python-backend regression: {message}"
+        # the high-load frontier may not recede: every (load, phase, batch)
+        # cell in the committed baseline must still exist and hold its
+        # throughput floor
+        ok, message = compare_highload_to_baseline(
+            report, baseline,
+            max_regression=MAX_PYTHON_REGRESSION, backend="python",
+        )
+        print(f"highload baseline check: {message}")
+        assert ok, f"high-load regression: {message}"
+
+    # the frontier rows exist and insertion cost stays bounded: filling a
+    # d=4 table to 0.95+ with the bubbling policy must not burn the kick
+    # budget on ordinary inserts
+    highload_puts = [row for row in report["highload_rows"]
+                     if row["phase"] == "put" and row["batch"] == 1]
+    assert highload_puts, "bench-core produced no high-load put rows"
+    for row in highload_puts:
+        assert row["kicks_per_insert"] < 2.0, (
+            f"unbounded insert cost at load {row['load']} "
+            f"({row['backend']}): {row['kicks_per_insert']:.2f} kicks/insert"
+        )
 
     RESULTS_DIR.mkdir(exist_ok=True)
     write_report(report, str(RESULTS_DIR / "BENCH_core.json"))

@@ -3,6 +3,7 @@
 #
 #   benchmarks/run_all.sh            # quick (CI-shape) runs, ~minutes
 #   FULL=1 benchmarks/run_all.sh     # full-size sweeps, much longer
+#   benchmarks/run_all.sh --plots    # also render results/plots/ charts
 #
 # Baselines land in benchmarks/results/ as BENCH_core.json,
 # BENCH_serve.json and BENCH_recovery.json — the same files the CI
@@ -25,6 +26,14 @@ else
     QUICK=(--quick)
 fi
 
+PLOTS=0
+for arg in "$@"; do
+    case "$arg" in
+        --plots) PLOTS=1 ;;
+        *) echo "run_all.sh: unknown argument: $arg" >&2; exit 2 ;;
+    esac
+done
+
 echo "== bench-core =="
 python -m repro bench-core "${QUICK[@]}" -o "$RESULTS/BENCH_core.json"
 
@@ -39,5 +48,10 @@ python benchmarks/to_csv.py \
     "$RESULTS/BENCH_core.json" \
     "$RESULTS/BENCH_serve.json" \
     "$RESULTS/BENCH_recovery.json"
+
+if [[ "$PLOTS" == 1 ]]; then
+    echo "== plots =="
+    python benchmarks/plot.py
+fi
 
 echo "done: baselines + CSVs under $RESULTS/"

@@ -53,6 +53,14 @@ class BenchCoreConfig:
     backends: Tuple[str, ...] = ("python",)
     """Engine backends to measure; every (phase, load, batch) cell is
     repeated per backend and rows are tagged with it."""
+    highload_loads: Tuple[float, ...] = (0.95, 0.97)
+    """Fills for the high-load frontier section.  The main d=3 grid cannot
+    reach these (the d=3 threshold is ~0.918), so this section runs on a
+    separate d=4 table under the ``bubbling`` kick policy; empty disables
+    the section."""
+    highload_buckets: int = 10_000
+    highload_d: int = 4
+    highload_policy: str = "bubbling"
 
     @classmethod
     def quick(cls) -> "BenchCoreConfig":
@@ -64,6 +72,8 @@ class BenchCoreConfig:
             load_factors=(0.9,),
             batch_sizes=(64, 256),
             repeats=2,
+            highload_loads=(0.95,),
+            highload_buckets=2_000,
         )
 
 
@@ -243,6 +253,97 @@ def _bench_deletes(config: BenchCoreConfig, rows: List[BenchRow],
                              speedup=rate / scalar_rate, backend=backend))
 
 
+def _bench_highload(config: BenchCoreConfig, rows: List[BenchRow],
+                    backend: str) -> None:
+    """Frontier cells: d=4 + ``bubbling`` at loads the d=3 grid can't hold.
+
+    Per load this times the full scalar fill from empty (put), a batched
+    ``put_many`` fill, and scalar + batched lookups over the resident
+    keys.  Rows carry the policy/d/kick cost in ``extra`` so the committed
+    baseline also documents the insert-cost side of the frontier claim.
+    """
+    batch = max(config.batch_sizes)
+    for load in config.highload_loads:
+
+        def make_table() -> McCuckoo:
+            return McCuckoo(config.highload_buckets, d=config.highload_d,
+                            seed=config.seed, mem=MemoryModel(),
+                            engine=backend,
+                            kick_policy=config.highload_policy)
+
+        rng = random.Random(config.seed + 31)
+        sizing = make_table()
+        target = int(load * sizing.capacity)
+        keys = [rng.getrandbits(64) for _ in range(target)]
+        extra_base = {"d": config.highload_d,
+                      "policy": config.highload_policy}
+
+        def scalar_put() -> Tuple[float, int]:
+            table = make_table()
+            put = table.put
+            start = time.perf_counter()
+            for key in keys:
+                put(key)
+            elapsed = time.perf_counter() - start
+            scalar_put.kicks = table.total_kicks / max(1, len(keys))
+            scalar_put.stash = len(table.stash) if table.stash else 0
+            return elapsed, len(keys)
+
+        best, n_ops = _best_of_timed(config.repeats, scalar_put)
+        scalar_rate = n_ops / best
+        rows.append(BenchRow(
+            "put", load, 1, n_ops, best, scalar_rate, backend=backend,
+            extra={**extra_base,
+                   "kicks_per_insert": round(scalar_put.kicks, 3),
+                   "stash_items": scalar_put.stash}))
+
+        def batched_put() -> Tuple[float, int]:
+            table = make_table()
+            put_many = table.put_many
+            chunks = _chunks([(key, None) for key in keys], batch)
+            start = time.perf_counter()
+            for chunk in chunks:
+                put_many(chunk)
+            return time.perf_counter() - start, len(keys)
+
+        best, n_ops = _best_of_timed(config.repeats, batched_put)
+        rate = n_ops / best
+        rows.append(BenchRow("put", load, batch, n_ops, best, rate,
+                             speedup=rate / scalar_rate, backend=backend,
+                             extra=dict(extra_base)))
+
+        table = make_table()
+        for key in keys:
+            table.put(key)
+        queries = [keys[rng.randrange(len(keys))]
+                   for _ in range(config.n_lookups)]
+
+        def scalar_lookup() -> int:
+            lookup = table.lookup
+            for key in queries:
+                lookup(key)
+            return len(queries)
+
+        best, n_ops = _best_of(config.repeats, scalar_lookup)
+        scalar_rate = n_ops / best
+        rows.append(BenchRow("lookup", load, 1, n_ops, best, scalar_rate,
+                             backend=backend, extra=dict(extra_base)))
+
+        query_chunks = _chunks(queries, batch)
+
+        def batched_lookup() -> int:
+            lookup_many = table.lookup_many
+            for chunk in query_chunks:
+                lookup_many(chunk)
+            return len(queries)
+
+        best, n_ops = _best_of(config.repeats, batched_lookup)
+        rate = n_ops / best
+        rows.append(BenchRow("lookup", load, batch, n_ops, best, rate,
+                             speedup=rate / scalar_rate, backend=backend,
+                             extra=dict(extra_base)))
+
+
 def _headline_for(rows: List[BenchRow], phases: Sequence[str],
                   deepest: float, backend: str) -> Dict[str, Any]:
     headline: Dict[str, Any] = {}
@@ -282,6 +383,7 @@ def run_bench_core(config: Optional[BenchCoreConfig] = None,
 
         config = dataclasses.replace(config, repeats=1)
     rows: List[BenchRow] = []
+    highload_rows: List[BenchRow] = []
     for backend in config.backends:
         for phase, bench in (("lookup", _bench_lookups), ("put", _bench_puts),
                              ("delete", _bench_deletes)):
@@ -300,6 +402,13 @@ def run_bench_core(config: Optional[BenchCoreConfig] = None,
                 bench(config, rows, backend)
             if verbose:
                 print(f"[{phase} ({backend}): "
+                      f"{time.perf_counter() - start:.1f}s]",
+                      file=sys.stderr)
+        if config.highload_loads:
+            start = time.perf_counter()
+            _bench_highload(config, highload_rows, backend)
+            if verbose:
+                print(f"[highload ({backend}): "
                       f"{time.perf_counter() - start:.1f}s]",
                       file=sys.stderr)
 
@@ -326,6 +435,10 @@ def run_bench_core(config: Optional[BenchCoreConfig] = None,
             "batch_sizes": list(config.batch_sizes),
             "repeats": config.repeats,
             "backends": list(config.backends),
+            "highload_loads": list(config.highload_loads),
+            "highload_buckets": config.highload_buckets,
+            "highload_d": config.highload_d,
+            "highload_policy": config.highload_policy,
         },
         "environment": {
             "python": platform.python_version(),
@@ -347,6 +460,21 @@ def run_bench_core(config: Optional[BenchCoreConfig] = None,
                    if row.speedup is not None else {}),
             }
             for row in rows
+        ],
+        "highload_rows": [
+            {
+                "phase": row.phase,
+                "load": row.load,
+                "batch": row.batch,
+                "backend": row.backend,
+                "n_ops": row.n_ops,
+                "best_seconds": round(row.best_seconds, 6),
+                "ops_per_sec": round(row.ops_per_sec, 1),
+                **({"speedup": round(row.speedup, 3)}
+                   if row.speedup is not None else {}),
+                **row.extra,
+            }
+            for row in highload_rows
         ],
     }
 
@@ -372,6 +500,22 @@ def render_report(report: Dict[str, Any]) -> str:
                  if f"{phase}_speedup" in headline]
         lines.append(f"headline [{backend}] (load {headline['load']}): "
                      + "  ".join(parts))
+    highload = report.get("highload_rows", [])
+    if highload:
+        config = report.get("config", {})
+        lines.append(
+            f"high-load frontier (d={config.get('highload_d', '?')}, "
+            f"policy {config.get('highload_policy', '?')}):")
+        for row in highload:
+            speedup = f"{row['speedup']:.2f}x" if "speedup" in row else "  -"
+            batch = "scalar" if row["batch"] == 1 else str(row["batch"])
+            extras = ""
+            if "kicks_per_insert" in row:
+                extras = (f"  kicks/ins {row['kicks_per_insert']:.2f}"
+                          f"  stash {row.get('stash_items', 0)}")
+            lines.append(f"{row['phase']:<8s} {row['load']:.2f} {batch:>6s} "
+                         f"{row.get('backend', 'python'):>8s} "
+                         f"{row['ops_per_sec']:>10,.0f}  {speedup:>6s}{extras}")
     return "\n".join(lines)
 
 
@@ -422,6 +566,57 @@ def compare_to_baseline(
     cell, ratio, then = worst
     floor = 1.0 - max_regression
     message = (f"{backend} {cell[0]}@load{cell[1]}/bs{cell[2]}: "
+               f"{current[cell]:,.0f} ops/s vs baseline {then:,.0f} "
+               f"({ratio:.2f}x, floor {floor:.2f}x)")
+    return ratio >= floor, message
+
+
+def compare_highload_to_baseline(
+    report: Dict[str, Any],
+    baseline: Dict[str, Any],
+    max_regression: float = 0.30,
+    backend: str = "python",
+) -> Tuple[bool, str]:
+    """(ok, message) gate for the high-load frontier section.
+
+    Two assertions: every baseline (phase, load, batch) frontier cell must
+    still exist — the frontier cannot silently recede to lower loads — and
+    throughput per shared cell must stay within ``max_regression`` of the
+    committed number.  Shape-mismatched baselines are skipped like
+    :func:`compare_to_baseline`; baselines predating the section pass."""
+    if not baseline.get("highload_rows"):
+        return True, "baseline has no high-load section; skipped"
+    shape_keys = ("highload_buckets", "highload_d", "highload_policy",
+                  "highload_loads", "seed", "n_lookups")
+    current_shape = {key: report["config"].get(key) for key in shape_keys}
+    baseline_shape = {key: baseline["config"].get(key) for key in shape_keys}
+    if current_shape != baseline_shape:
+        return True, f"high-load shape differs ({baseline_shape}); skipped"
+
+    def cells(document: Dict[str, Any]) -> Dict[Tuple, float]:
+        return {
+            (row["phase"], row["load"], row["batch"]): row["ops_per_sec"]
+            for row in document.get("highload_rows", [])
+            if row.get("backend", "python") == backend
+        }
+
+    current = cells(report)
+    reference = cells(baseline)
+    if not reference:
+        return True, f"no {backend}-backend high-load baseline cells; skipped"
+    missing = sorted(set(reference) - set(current))
+    if missing:
+        return False, (f"high-load frontier receded: baseline cells "
+                       f"{missing} absent from this run")
+    worst: Optional[Tuple[Tuple, float, float]] = None
+    for cell in sorted(reference):
+        ratio = current[cell] / reference[cell]
+        if worst is None or ratio < worst[1]:
+            worst = (cell, ratio, reference[cell])
+    assert worst is not None
+    cell, ratio, then = worst
+    floor = 1.0 - max_regression
+    message = (f"{backend} highload {cell[0]}@load{cell[1]}/bs{cell[2]}: "
                f"{current[cell]:,.0f} ops/s vs baseline {then:,.0f} "
                f"({ratio:.2f}x, floor {floor:.2f}x)")
     return ratio >= floor, message

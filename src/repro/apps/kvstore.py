@@ -391,12 +391,17 @@ class LogStructuredStore:
         faults: Optional[FaultPlan] = None,
         shard_id: int = 0,
         engine: EngineLike = None,
+        kick_policy: Optional[str] = None,
     ) -> None:
         if expected_items <= 0:
             raise ValueError("expected_items must be positive")
         self.mem = mem if mem is not None else MemoryModel()
         self.engine = EngineConfig.coerce(engine)
+        self.kick_policy = kick_policy
         n_buckets = max(8, expected_items // 2)  # d=3 -> ~66 % initial load
+        index_kwargs = {}
+        if kick_policy is not None:
+            index_kwargs["kick_policy"] = kick_policy
         self._index = ResizableMcCuckoo(
             n_buckets,
             d=3,
@@ -405,6 +410,7 @@ class LogStructuredStore:
             deletion_mode=DeletionMode.RESET,
             mem=self.mem,
             engine=self.engine,
+            **index_kwargs,
         )
         self._seed = seed
         self._log = (
@@ -692,10 +698,19 @@ class LogStructuredStore:
                 tombstones_replayed=sum(1 for r in records if r.is_tombstone),
             )
             return self._rebuild(
-                records, report, durable=False, seed=self._seed, engine=self.engine
+                records,
+                report,
+                durable=False,
+                seed=self._seed,
+                engine=self.engine,
+                kick_policy=self.kick_policy,
             )
         return self.recover_from_bytes(
-            data, durable=self.durable, seed=self._seed, engine=self.engine
+            data,
+            durable=self.durable,
+            seed=self._seed,
+            engine=self.engine,
+            kick_policy=self.kick_policy,
         )
 
     @classmethod
@@ -708,6 +723,7 @@ class LogStructuredStore:
         faults: Optional[FaultPlan] = None,
         shard_id: int = 0,
         engine: EngineLike = None,
+        kick_policy: Optional[str] = None,
     ) -> "LogStructuredStore":
         """Rebuild a store from a serialized (possibly torn) log image.
 
@@ -726,6 +742,7 @@ class LogStructuredStore:
             faults=faults,
             shard_id=shard_id,
             engine=engine,
+            kick_policy=kick_policy,
         )
 
     @classmethod
@@ -736,6 +753,7 @@ class LogStructuredStore:
         seed: int = 1,
         durable: bool = True,
         engine: EngineLike = None,
+        kick_policy: Optional[str] = None,
     ) -> "LogStructuredStore":
         """Load a log image *verbatim*: every surviving record is kept in
         the in-memory image byte-for-byte (minus a torn tail), with the
@@ -754,6 +772,7 @@ class LogStructuredStore:
             mem=MemoryModel(),
             durable=durable,
             engine=engine,
+            kick_policy=kick_policy,
         )
         kept = len(data) - report.bytes_truncated
         if isinstance(store._log, DurableValueLog):
@@ -789,6 +808,7 @@ class LogStructuredStore:
         faults: Optional[FaultPlan] = None,
         shard_id: int = 0,
         engine: EngineLike = None,
+        kick_policy: Optional[str] = None,
     ) -> "LogStructuredStore":
         """Checkpointed crash recovery: restore the index, replay the tail.
 
@@ -819,6 +839,7 @@ class LogStructuredStore:
                 faults=faults,
                 shard_id=shard_id,
                 engine=engine,
+                kick_policy=kick_policy,
             )
             if checkpoint is not None:
                 recovered.recovery_report.checkpoint_invalid = True
@@ -837,6 +858,7 @@ class LogStructuredStore:
                 faults=faults,
                 shard_id=shard_id,
                 engine=engine,
+                kick_policy=kick_policy,
             )
             recovered.recovery_report.checkpoint_invalid = True
             return recovered
@@ -849,6 +871,7 @@ class LogStructuredStore:
         recovered = cls.__new__(cls)
         recovered.mem = mem
         recovered.engine = coerced
+        recovered.kick_policy = kick_policy
         recovered._index = index
         recovered._seed = seed
         recovered._live = payload["live"]
@@ -920,6 +943,7 @@ class LogStructuredStore:
         faults: Optional[FaultPlan] = None,
         shard_id: int = 0,
         engine: EngineLike = None,
+        kick_policy: Optional[str] = None,
     ) -> "LogStructuredStore":
         """Reduce replayed records to final state and load a fresh store."""
         final: Dict[Key, Any] = {}
@@ -938,6 +962,7 @@ class LogStructuredStore:
             durable=durable,
             shard_id=shard_id,
             engine=engine,
+            kick_policy=kick_policy,
         )
         for key, value in final.items():
             recovered.put(key, value)

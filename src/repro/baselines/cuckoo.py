@@ -16,11 +16,12 @@ stash (which turns this class into the CHS baseline, see
 from __future__ import annotations
 
 import random
-from typing import Any, Dict, Iterator, List, Optional, Tuple
+from typing import Any, Dict, Iterator, List, Optional, Tuple, Union
 
 from ..core.config import FailurePolicy
 from ..core.errors import ConfigurationError, TableFullError
 from ..core.interface import HashTable
+from ..core.policies import KickPolicy, make_policy
 from ..core.results import DeleteOutcome, InsertOutcome, InsertStatus, LookupOutcome
 from ..core.stash import OnChipStash
 from ..hashing import DEFAULT_FAMILY, HashFamily, Key, KeyLike
@@ -44,6 +45,7 @@ class CuckooTable(HashTable):
         stash_capacity: int = 4,
         growth_factor: float = 2.0,
         max_rehash_attempts: int = 8,
+        kick_policy: Union[KickPolicy, str, None] = None,
         mem: Optional[MemoryModel] = None,
     ) -> None:
         super().__init__(mem)
@@ -53,6 +55,10 @@ class CuckooTable(HashTable):
             raise ConfigurationError("cuckoo hashing needs d >= 2")
         if strategy not in ("random", "bfs"):
             raise ConfigurationError("strategy must be 'random' or 'bfs'")
+        if kick_policy is not None and strategy == "bfs":
+            raise ConfigurationError(
+                "kick_policy only steers the random-walk strategy, not bfs"
+            )
         self.d = d
         self.n_buckets = n_buckets
         self.maxloop = maxloop
@@ -63,6 +69,12 @@ class CuckooTable(HashTable):
         self._growth_factor = growth_factor
         self._max_rehash_attempts = max_rehash_attempts
         self._rng = random.Random(seed ^ 0xC0C0)
+        # None keeps the original inline uniform-random walk (bit-identical);
+        # a policy instance or registry name switches to the hook-driven walk.
+        if isinstance(kick_policy, str):
+            self._policy: Optional[KickPolicy] = make_policy(kick_policy)
+        else:
+            self._policy = kick_policy
         self._stash: Optional[OnChipStash] = None
         if on_failure is FailurePolicy.STASH:
             self._stash = OnChipStash(stash_capacity, self.mem)
@@ -77,6 +89,8 @@ class CuckooTable(HashTable):
         self._functions = self._family.functions(self.d, self._seed)
         self._keys: List[Optional[Key]] = [None] * total
         self._values: List[Any] = [None] * total
+        if self._policy is not None:
+            self._policy.attach(total, self.mem)
         self._n_main = 0
 
     # ------------------------------------------------------------------
@@ -145,7 +159,15 @@ class CuckooTable(HashTable):
         kicks = 0
         while kicks < self.maxloop:
             choices = [bucket for bucket in cands if bucket != prev_bucket]
-            victim_bucket = choices[self._rng.randrange(len(choices))]
+            if self._policy is None:
+                victim_bucket = choices[self._rng.randrange(len(choices))]
+            else:
+                if self._policy.exhausted(choices):
+                    break
+                victim_bucket = self._policy.choose(choices, self._rng)
+                self._policy.record_eviction(
+                    victim_bucket, [b for b in cands if b != victim_bucket]
+                )
             victim_key, victim_value = self._keys[victim_bucket], self._values[
                 victim_bucket
             ]

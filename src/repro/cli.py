@@ -59,6 +59,7 @@ from .analysis import ALL_EXPERIMENTS, Scale, render, run_core_sweep
 from .analysis.sweep import make_schemes
 from .core import DeletionMode
 from .core.errors import ReproError
+from .core.policies import POLICIES as CORE_POLICIES
 from .memory.latency import PAPER_FPGA
 from .memory.model import OpStats
 from .serve.loadgen import WORKLOADS as LOADGEN_WORKLOADS
@@ -138,6 +139,12 @@ def _build_parser() -> argparse.ArgumentParser:
                             choices=("python", "numpy", "auto", "both"),
                             help="engine backend to measure; 'both' runs "
                                  "python and numpy side by side")
+    bench_core.add_argument("--loads", default=None,
+                            help="comma-separated high-load fills for the "
+                                 "d=4 bubbling section, e.g. '0.95,0.97' "
+                                 "(overrides the config default)")
+    bench_core.add_argument("--no-highload", action="store_true",
+                            help="skip the d=4 bubbling high-load section")
     bench_core.add_argument("--profile", action="store_true",
                             help="one repeat per cell under cProfile; "
                                  "print top-20 cumulative to stderr")
@@ -171,6 +178,11 @@ def _build_parser() -> argparse.ArgumentParser:
                        choices=("python", "numpy", "auto"),
                        help="batch-kernel backend for the shard indexes "
                             "(default: auto = numpy when installed)")
+    serve.add_argument("--kick-policy", default=None,
+                       choices=sorted(CORE_POLICIES),
+                       help="victim-selection policy for the shard indexes "
+                            "(default random-walk; 'bubbling' sustains "
+                            "higher index load before resizing)")
     serve.add_argument("--read-path", default="auto",
                        choices=("auto", "ring", "shared"),
                        help="GET path with --workers: 'shared' answers "
@@ -569,6 +581,16 @@ def _cmd_bench_core(args: argparse.Namespace) -> int:
         overrides["backends"] = ("python", "numpy")
     else:
         overrides["backends"] = (args.backend,)
+    if args.loads is not None:
+        try:
+            overrides["highload_loads"] = tuple(
+                float(load) for load in args.loads.split(",") if load.strip()
+            )
+        except ValueError:
+            print(f"bad --loads value: {args.loads!r}", file=sys.stderr)
+            return 2
+    if args.no_highload:
+        overrides["highload_loads"] = ()
     if overrides:
         config = dataclasses.replace(config, **overrides)
     phases = tuple(
@@ -623,6 +645,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         durable=args.durable or maintenance is not None,
         fault_plan=fault_plan,
         engine=args.engine,
+        kick_policy=args.kick_policy,
         maintenance=maintenance,
         transport=args.transport,
         read_path=args.read_path,

@@ -20,6 +20,7 @@ from .resize import ResizableMcCuckoo
 from .sharded import (ShardedMcCuckoo, ShardRouter, shards_of_worker,
                       worker_of_shard)
 from .policies import (
+    BubblingPolicy,
     KickPolicy,
     MinCounterPolicy,
     RandomWalkPolicy,
@@ -42,6 +43,7 @@ __all__ = [
     "BatchResult",
     "BitArray",
     "BlockedMcCuckoo",
+    "BubblingPolicy",
     "ConfigurationError",
     "EngineConfig",
     "DeleteOutcome",

@@ -18,7 +18,17 @@ Insertion, lookup and deletion follow Algorithms 1–3 of the paper.
 from __future__ import annotations
 
 import random
-from typing import Any, Dict, Iterable, Iterator, List, Optional, Sequence, Tuple
+from typing import (
+    Any,
+    Dict,
+    Iterable,
+    Iterator,
+    List,
+    Optional,
+    Sequence,
+    Tuple,
+    Union,
+)
 
 from ..hashing import DEFAULT_FAMILY, HashFamily, Key, KeyLike
 from ..memory.model import MemoryModel
@@ -31,7 +41,7 @@ from .errors import (
     UnsupportedOperationError,
 )
 from .interface import HashTable
-from .policies import KickPolicy, RandomWalkPolicy
+from .policies import KickPolicy, RandomWalkPolicy, make_policy
 from .results import DeleteOutcome, InsertOutcome, InsertStatus, LookupOutcome
 from .stash import OffChipStash
 
@@ -53,7 +63,7 @@ class BlockedMcCuckoo(HashTable):
         family: Optional[HashFamily] = None,
         seed: int = 0,
         maxloop: int = 500,
-        kick_policy: Optional[KickPolicy] = None,
+        kick_policy: Union[KickPolicy, str, None] = None,
         on_failure: FailurePolicy = FailurePolicy.STASH,
         stash_buckets: int = 64,
         deletion_mode: DeletionMode = DeletionMode.DISABLED,
@@ -86,7 +96,12 @@ class BlockedMcCuckoo(HashTable):
         self._seed = seed
         self._functions = self._family.functions(d, seed)
         self._rng = random.Random(seed ^ 0xB10C)
-        self._policy = kick_policy if kick_policy is not None else RandomWalkPolicy()
+        if kick_policy is None:
+            self._policy: KickPolicy = RandomWalkPolicy()
+        elif isinstance(kick_policy, str):
+            self._policy = make_policy(kick_policy)
+        else:
+            self._policy = kick_policy
         n_bucket_total = d * n_buckets
         n_slot_total = n_bucket_total * slots
         bits = 2 if d <= 3 else 4
@@ -316,8 +331,12 @@ class BlockedMcCuckoo(HashTable):
         prev_bucket: Optional[int] = None
         while kicks < self.maxloop:
             choices = [bucket for bucket in cands if bucket != prev_bucket]
+            if self._policy.exhausted(choices):
+                break
             victim_bucket = self._policy.choose(choices, self._rng)
-            self._policy.on_kick(victim_bucket)
+            self._policy.record_eviction(
+                victim_bucket, [b for b in cands if b != victim_bucket]
+            )
             victim_slot = self._rng.randrange(self.slots)
             keys, values, slotmaps, _ = self._read_bucket(victim_bucket)
             victim_key = keys[victim_slot]

@@ -20,7 +20,17 @@ from __future__ import annotations
 
 import random
 from itertools import repeat
-from typing import Any, Dict, Iterable, Iterator, List, Optional, Sequence, Tuple
+from typing import (
+    Any,
+    Dict,
+    Iterable,
+    Iterator,
+    List,
+    Optional,
+    Sequence,
+    Tuple,
+    Union,
+)
 
 from .._numpy import numpy_or_none
 from ..hashing import DEFAULT_FAMILY, MASK64, HashFamily, Key, KeyLike, canonical_key
@@ -36,7 +46,7 @@ from .errors import (
     UnsupportedOperationError,
 )
 from .interface import HashTable
-from .policies import KickPolicy, RandomWalkPolicy
+from .policies import KickPolicy, RandomWalkPolicy, make_policy
 from .results import DeleteOutcome, InsertOutcome, InsertStatus, LookupOutcome
 from .stash import OffChipStash
 
@@ -86,7 +96,7 @@ class McCuckoo(HashTable):
         family: Optional[HashFamily] = None,
         seed: int = 0,
         maxloop: int = 500,
-        kick_policy: Optional[KickPolicy] = None,
+        kick_policy: Union[KickPolicy, str, None] = None,
         on_failure: FailurePolicy = FailurePolicy.STASH,
         stash_buckets: int = 64,
         deletion_mode: DeletionMode = DeletionMode.DISABLED,
@@ -122,7 +132,12 @@ class McCuckoo(HashTable):
         self._engine_numpy = self.engine.resolve() == "numpy"
         self._engine_min_batch = self.engine.min_batch
         self._rng = random.Random(seed ^ 0x5EED)
-        self._policy = kick_policy if kick_policy is not None else RandomWalkPolicy()
+        if kick_policy is None:
+            self._policy: KickPolicy = RandomWalkPolicy()
+        elif isinstance(kick_policy, str):
+            self._policy = make_policy(kick_policy)
+        else:
+            self._policy = kick_policy
         # A wear-aware policy needs a meter to read; give it one even if
         # the caller did not ask for wear accounting explicitly.
         if wear_meter is None and getattr(self._policy, "wants_wear", False):
@@ -386,8 +401,15 @@ class McCuckoo(HashTable):
         prev_bucket: Optional[int] = None
         while kicks < self.maxloop:
             choices = [bucket for bucket in cands if bucket != prev_bucket]
+            if self._policy.exhausted(choices):
+                # Labeled policies (bubbling) can tell the region is stuck;
+                # give the displaced item to the failure path immediately
+                # instead of burning the rest of maxloop.
+                break
             victim_bucket = self._policy.choose(choices, self._rng)
-            self._policy.on_kick(victim_bucket)
+            self._policy.record_eviction(
+                victim_bucket, [b for b in cands if b != victim_bucket]
+            )
             victim_key, victim_value, _, _ = self._read_entry(victim_bucket)
             assert victim_key is not None
             self._write_entry(

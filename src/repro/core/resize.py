@@ -33,6 +33,7 @@ from .engine import EngineLike
 from .errors import ConfigurationError
 from .interface import HashTable
 from .mccuckoo import McCuckoo
+from .policies import KickPolicy
 from .results import DeleteOutcome, InsertOutcome, LookupOutcome
 
 
@@ -73,6 +74,12 @@ class ResizableMcCuckoo(HashTable):
         self.growth_factor = growth_factor
         self.migrate_batch = migrate_batch
         self._seed = seed
+        if isinstance(table_kwargs.get("kick_policy"), KickPolicy):
+            raise ConfigurationError(
+                "pass kick_policy by registry name (a string): during a "
+                "resize the active and retiring generations coexist, and a "
+                "shared policy instance cannot be attached to both tables"
+            )
         self._table_kwargs = dict(
             d=d,
             maxloop=maxloop,

@@ -201,10 +201,17 @@ class ShardedMcCuckoo(HashTable):
         mem: Optional[MemoryModel] = None,
         shared_accounting: bool = True,
         engine: EngineLike = None,
+        kick_policy: Optional[str] = None,
     ) -> None:
         super().__init__(mem)
         if n_buckets_per_shard <= 0:
             raise ConfigurationError("n_buckets_per_shard must be positive")
+        if kick_policy is not None and not isinstance(kick_policy, str):
+            raise ConfigurationError(
+                "pass kick_policy by registry name (a string): each shard "
+                "needs its own policy instance, so a shared instance cannot "
+                "be attached to all of them"
+            )
         self._router = ShardRouter(n_shards, seed=seed)
         self.n_shards = n_shards
         self.engine = EngineConfig.coerce(engine)
@@ -221,6 +228,7 @@ class ShardedMcCuckoo(HashTable):
                 stash_buckets=stash_buckets,
                 mem=self.mem if shared_accounting else MemoryModel(),
                 engine=self.engine,
+                kick_policy=kick_policy,
             )
             for index in range(n_shards)
         ]

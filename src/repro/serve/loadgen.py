@@ -23,7 +23,15 @@ import time
 from dataclasses import dataclass, field
 from typing import Dict, Iterator, List, Optional, Sequence, Tuple
 
-from ..workloads import OpKind, TraceGenerator, YCSBConfig, YCSBWorkload, ZipfSampler
+from ..workloads import (
+    DiurnalLoadGenerator,
+    HotKeyChurnGenerator,
+    OpKind,
+    TraceGenerator,
+    YCSBConfig,
+    YCSBWorkload,
+    ZipfSampler,
+)
 from ..workloads.keys import distinct_keys
 from .client import (
     McCuckooClient,
@@ -37,8 +45,8 @@ from .protocol import ErrorCode, ErrorReply
 #: ops are client batch tuples: ("get", key) / ("put", key, value) / ("delete", key)
 Op = Tuple
 
-WORKLOADS = ("zipf", "uniform", "mixed", "ycsb-A", "ycsb-B", "ycsb-C", "ycsb-D",
-             "ycsb-F")
+WORKLOADS = ("zipf", "uniform", "mixed", "churn", "diurnal", "ycsb-A",
+             "ycsb-B", "ycsb-C", "ycsb-D", "ycsb-F")
 
 
 @dataclass(frozen=True)
@@ -129,6 +137,10 @@ def build_workload(config: LoadgenConfig) -> Tuple[List[Op], List[Op]]:
         return _build_ycsb(config)
     if config.workload == "mixed":
         return [], _build_mixed(config)
+    if config.workload == "churn":
+        return _build_churn(config)
+    if config.workload == "diurnal":
+        return [], _build_diurnal(config)
     return _build_skewed(config)
 
 
@@ -187,6 +199,40 @@ def _build_mixed(config: LoadgenConfig) -> List[Op]:
         seed=config.seed,
     )
     return list(_map_trace(iter(trace), config))
+
+
+def _build_churn(config: LoadgenConfig) -> Tuple[List[Op], List[Op]]:
+    """Rotating-hot-set churn; the generator's preload INSERTs become the
+    warm-up phase and its get/update/replace mix becomes the timed ops."""
+    generator = HotKeyChurnGenerator(
+        config.n_ops,
+        n_keys=config.n_keys,
+        hot_size=max(1, config.n_keys // 16),
+        rotate_every=max(1, config.n_ops // 8),
+        zipf_s=config.zipf_s,
+        get_ratio=config.get_ratio,
+        update_ratio=config.put_ratio,
+        churn_ratio=config.delete_ratio,
+        seed=config.seed,
+        preload=True,
+    )
+    ops = list(_map_trace(iter(generator), config))
+    return ops[:config.n_keys], ops[config.n_keys:]
+
+
+def _build_diurnal(config: LoadgenConfig) -> List[Op]:
+    """Day-cycle occupancy ramp: two periods between n_keys/4 and n_keys,
+    starting from an empty store (there is nothing to preload)."""
+    generator = DiurnalLoadGenerator(
+        config.n_ops,
+        base_keys=max(1, config.n_keys // 4),
+        peak_keys=config.n_keys,
+        period=max(2, config.n_ops // 2),
+        get_ratio=config.get_ratio,
+        zipf_s=config.zipf_s,
+        seed=config.seed,
+    )
+    return list(_map_trace(iter(generator), config))
 
 
 def _map_trace(trace: Iterator, config: LoadgenConfig) -> Iterator[Op]:

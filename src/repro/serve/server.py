@@ -89,6 +89,11 @@ class ServerConfig:
     engine: str = "auto"
     """Batch-kernel backend for the shard indexes ("python", "numpy",
     "auto"); "auto" uses the NumPy engine when the extra is installed."""
+    kick_policy: Optional[str] = None
+    """Victim-selection policy for the shard indexes, by registry name
+    (see :data:`repro.core.policies.POLICIES`).  ``"bubbling"`` sustains
+    higher index loads before resizing; ``None`` keeps the library default
+    (random-walk)."""
     fault_plan: Optional[FaultPlan] = None
     """Deterministic fault injection (:mod:`repro.faults`): consulted by
     the store at append boundaries, by each writer loop per iteration, by
@@ -160,6 +165,7 @@ class McCuckooServer:
             durable=self.config.durable or self._faults is not None,
             faults=self._faults,
             engine=self.config.engine,
+            kick_policy=self.config.kick_policy,
         )
 
     # ------------------------------------------------------------------

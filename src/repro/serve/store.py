@@ -52,11 +52,13 @@ class ShardedLogStore:
         faults: Optional[FaultPlan] = None,
         owned: Optional[List[int]] = None,
         engine: EngineLike = "auto",
+        kick_policy: Optional[str] = None,
     ) -> None:
         if expected_items <= 0:
             raise ConfigurationError("expected_items must be positive")
         self._router = ShardRouter(n_shards, seed=seed)
         self._seed = seed
+        self.kick_policy = kick_policy
         # The serving layer defaults to "auto": NumPy kernels when the
         # extra is installed, the pure-Python engine otherwise.  Library
         # tables keep "python" as their default; a server opts the whole
@@ -93,6 +95,7 @@ class ShardedLogStore:
             faults=self._faults,
             shard_id=index,
             engine=self.engine,
+            kick_policy=self.kick_policy,
         )
 
     # ------------------------------------------------------------------
@@ -284,6 +287,7 @@ class ShardedLogStore:
             faults=self._faults,
             shard_id=shard,
             engine=self.engine,
+            kick_policy=self.kick_policy,
         )
         self._shards[shard] = recovered
         report = recovered.recovery_report

@@ -271,6 +271,10 @@ class WorkerSpec:
     """Shards this worker hosts as read-only replicas (shadow copies fed
     by forwarded writes; never log-sinked — the owner's durable file
     stays the single on-disk authority)."""
+    kick_policy: Optional[str] = None
+    """Victim-selection policy (registry name) for the shard indexes;
+    travels as a string so the spec stays picklable and every restarted
+    worker builds a fresh policy instance per shard."""
 
     @property
     def shards(self) -> Tuple[int, ...]:
@@ -453,6 +457,7 @@ class _ShardWorker:
             durable=spec.durable,
             faults=self.faults,
             owned=owned,
+            kick_policy=spec.kick_policy,
         )
         self.daemon: Optional[MaintenanceDaemon] = None
         if spec.maintenance_enabled:
@@ -1502,6 +1507,7 @@ class WorkerPool:
             owned_shards=(self.routing.shards_of_worker(worker_id)
                           if self.routing is not None else None),
             replica_shards=self._replica_shards(worker_id),
+            kick_policy=self.config.kick_policy,
         )
 
     def _make_handle(self, worker_id: int) -> WorkerHandle:

@@ -5,6 +5,7 @@ from .adversarial import (
     expected_capacity_of_window,
     mine_colliding_keys,
 )
+from .churn import DiurnalLoadGenerator, HotKeyChurnGenerator
 from .docwords import (
     DocWordsConfig,
     DocWordsGenerator,
@@ -22,7 +23,9 @@ __all__ = [
     "attack_overload_factor",
     "expected_capacity_of_window",
     "mine_colliding_keys",
+    "DiurnalLoadGenerator",
     "DocWordsGenerator",
+    "HotKeyChurnGenerator",
     "OpKind",
     "TraceGenerator",
     "TraceOp",

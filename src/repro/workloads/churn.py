@@ -1,0 +1,211 @@
+"""Time-varying workloads: hot-key churn and diurnal load ramps.
+
+The static generators in this package hold their key popularity and table
+occupancy fixed for a whole run.  Real caches and KV front-ends do neither:
+the popular ("hot") keys rotate as content trends, and offered occupancy
+swings with the day cycle.  Both effects matter specifically at high load —
+a table parked at 0.95+ fill sees every popularity shift as a burst of
+displacements, and a load ramp exercises the insert frontier again and
+again instead of once.
+
+Both generators emit :class:`~repro.workloads.traces.TraceOp` streams, so
+they replay through :func:`repro.workloads.traces.replay` (shadow-dict
+validation included) and drive the live server through ``repro loadgen``
+(workloads ``churn`` and ``diurnal``).
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from typing import Iterator, List
+
+from ..hashing import Key
+from .keys import distinct_keys, key_stream
+from .traces import OpKind, TraceOp
+from .zipf import ZipfSampler
+
+
+class HotKeyChurnGenerator:
+    """A rotating Zipf hot set over a fixed-size working set.
+
+    At any instant a window of ``hot_size`` keys is "hot": ``hot_fraction``
+    of operations target it with Zipf-distributed popularity (rank 0 is the
+    hottest key), the rest pick uniformly from the whole working set.
+    Every ``rotate_every`` operations the window shifts by its own size, so
+    yesterday's hot keys go cold and previously idle keys take the traffic.
+
+    Operations on the chosen key are ``get_ratio`` lookups and
+    ``update_ratio`` upserts; ``churn_ratio`` operations instead *replace*
+    a key — delete one working-set member and insert a brand-new key in
+    its place — so the key population itself turns over while occupancy
+    stays constant (the high-load property under test).
+
+    With ``preload`` (default) the stream begins with one INSERT per
+    working-set key, so replaying the whole iterator against an empty
+    table is self-contained; front-ends that preload separately (the load
+    generator) can slice those off as the warm-up phase.
+    """
+
+    def __init__(
+        self,
+        n_ops: int,
+        n_keys: int = 1024,
+        hot_size: int = 64,
+        rotate_every: int = 512,
+        hot_fraction: float = 0.9,
+        zipf_s: float = 1.0,
+        get_ratio: float = 0.7,
+        update_ratio: float = 0.2,
+        churn_ratio: float = 0.1,
+        seed: int = 0,
+        preload: bool = True,
+    ) -> None:
+        if n_ops <= 0 or n_keys <= 0:
+            raise ValueError("n_ops and n_keys must be positive")
+        if not 0 < hot_size <= n_keys:
+            raise ValueError("hot_size must be in [1, n_keys]")
+        if rotate_every <= 0:
+            raise ValueError("rotate_every must be positive")
+        if not 0.0 <= hot_fraction <= 1.0:
+            raise ValueError("hot_fraction must be in [0, 1]")
+        ratios = (get_ratio, update_ratio, churn_ratio)
+        if any(r < 0 for r in ratios) or sum(ratios) <= 0:
+            raise ValueError("ratios must be non-negative with a positive sum")
+        self.n_ops = n_ops
+        self.n_keys = n_keys
+        self.hot_size = hot_size
+        self.rotate_every = rotate_every
+        self.hot_fraction = hot_fraction
+        self.zipf_s = zipf_s
+        self._weights = ratios
+        self._seed = seed
+        self.preload = preload
+
+    def hot_window_start(self, op_index: int) -> int:
+        """Working-set index where the hot window begins at ``op_index``."""
+        return (op_index // self.rotate_every * self.hot_size) % self.n_keys
+
+    def __iter__(self) -> Iterator[TraceOp]:
+        rng = random.Random(self._seed)
+        zipf = ZipfSampler(self.hot_size, s=self.zipf_s, seed=self._seed + 1)
+        live: List[Key] = list(distinct_keys(self.n_keys, seed=self._seed))
+        live_set = set(live)
+        fresh = key_stream(seed=self._seed ^ 0xC0FFEE)
+        value = 0
+        if self.preload:
+            for key in live:
+                yield TraceOp(OpKind.INSERT, key, value)
+                value += 1
+        kinds = (OpKind.LOOKUP, OpKind.UPDATE, OpKind.DELETE)
+        for i in range(self.n_ops):
+            if rng.random() < self.hot_fraction:
+                index = (self.hot_window_start(i) + zipf.sample()) % self.n_keys
+            else:
+                index = rng.randrange(self.n_keys)
+            kind = rng.choices(kinds, weights=self._weights)[0]
+            if kind is OpKind.LOOKUP:
+                yield TraceOp(OpKind.LOOKUP, live[index])
+            elif kind is OpKind.UPDATE:
+                yield TraceOp(OpKind.UPDATE, live[index], value)
+                value += 1
+            else:
+                # churn: retire this key and bring a never-seen one into
+                # the same working-set slot (occupancy is unchanged)
+                old = live[index]
+                key = next(fresh)
+                while key in live_set:
+                    key = next(fresh)
+                live[index] = key
+                live_set.discard(old)
+                live_set.add(key)
+                yield TraceOp(OpKind.DELETE, old)
+                yield TraceOp(OpKind.INSERT, key, value)
+                value += 1
+
+
+class DiurnalLoadGenerator:
+    """A day-cycle occupancy ramp between ``base_keys`` and ``peak_keys``.
+
+    The target working-set size follows a raised-cosine wave with the given
+    ``period`` (in operations), starting at the trough.  Each step emits
+    whatever moves actual occupancy toward the target — INSERTs of fresh
+    keys on the ramp up, DELETEs of random residents on the ramp down —
+    and otherwise a background LOOKUP (``zipf_s`` skewed over residents;
+    0 means uniform).  ``get_ratio`` interleaves extra lookups even while
+    ramping, so reads never fully starve.
+
+    Replaying several periods against a table sized for ``peak_keys`` at
+    high fill exercises the insertion frontier once per simulated day
+    rather than once per run, which is what shakes out policies whose
+    bookkeeping goes stale after deletions.
+    """
+
+    def __init__(
+        self,
+        n_ops: int,
+        base_keys: int = 256,
+        peak_keys: int = 2048,
+        period: int = 4096,
+        get_ratio: float = 0.5,
+        zipf_s: float = 0.0,
+        seed: int = 0,
+    ) -> None:
+        if n_ops <= 0:
+            raise ValueError("n_ops must be positive")
+        if not 0 < base_keys <= peak_keys:
+            raise ValueError("need 0 < base_keys <= peak_keys")
+        if period <= 1:
+            raise ValueError("period must be > 1")
+        if not 0.0 <= get_ratio < 1.0:
+            raise ValueError("get_ratio must be in [0, 1)")
+        self.n_ops = n_ops
+        self.base_keys = base_keys
+        self.peak_keys = peak_keys
+        self.period = period
+        self.get_ratio = get_ratio
+        self.zipf_s = zipf_s
+        self._seed = seed
+
+    def target_keys(self, op_index: int) -> int:
+        """Intended working-set size at ``op_index`` (trough at index 0)."""
+        phase = 2.0 * math.pi * (op_index % self.period) / self.period
+        span = self.peak_keys - self.base_keys
+        return self.base_keys + round(span * 0.5 * (1.0 - math.cos(phase)))
+
+    def __iter__(self) -> Iterator[TraceOp]:
+        rng = random.Random(self._seed)
+        zipf = (ZipfSampler(self.peak_keys, s=self.zipf_s,
+                            seed=self._seed + 1)
+                if self.zipf_s > 0 else None)
+        fresh = key_stream(seed=self._seed ^ 0xD1A1)
+        live: List[Key] = []
+        live_set = set()
+        value = 0
+        for i in range(self.n_ops):
+            target = self.target_keys(i)
+            if live and rng.random() < self.get_ratio:
+                yield TraceOp(OpKind.LOOKUP, self._pick(live, rng, zipf))
+            elif len(live) < target or not live:
+                key = next(fresh)
+                while key in live_set:
+                    key = next(fresh)
+                live.append(key)
+                live_set.add(key)
+                yield TraceOp(OpKind.INSERT, key, value)
+                value += 1
+            elif len(live) > target:
+                index = rng.randrange(len(live))
+                key = live[index]
+                live[index] = live[-1]
+                live.pop()
+                live_set.discard(key)
+                yield TraceOp(OpKind.DELETE, key)
+            else:
+                yield TraceOp(OpKind.LOOKUP, self._pick(live, rng, zipf))
+
+    def _pick(self, live: List[Key], rng: random.Random,
+              zipf: "ZipfSampler | None") -> Key:
+        if zipf is not None:
+            return live[zipf.sample() % len(live)]
+        return live[rng.randrange(len(live))]

@@ -176,7 +176,7 @@ class TestAblations:
     def test_kick_policy_rows(self):
         result = ablation_kick_policy(TINY, loads=(0.85,))
         policies = {row["policy"] for row in result.rows}
-        assert policies == {"random-walk", "mincounter"}
+        assert policies == {"random-walk", "mincounter", "bubbling"}
 
     def test_deletion_mode_rows(self):
         result = ablation_deletion_mode(TINY)

@@ -1,0 +1,180 @@
+"""Bubbling-up insertion: high-load invariants, bit-identity, the frontier.
+
+Three claims pin the tentpole down:
+
+* tables driven with ``kick_policy="bubbling"`` to 0.95+ offered load keep
+  every structural invariant and answer every lookup correctly, for d=3
+  and d=4 across all deletion modes;
+* the labeled-slot machinery is invisible when unused — a default table
+  and an explicit ``RandomWalkPolicy`` table are bit-identical, so the
+  policy hooks provably did not perturb the rng stream;
+* on the single-copy d=4 baseline the labels move the first-failure
+  frontier measurably past the random walk's.
+
+Seeds derive from ``PYTEST_SEED`` so the whole file re-randomises with
+the suite.
+"""
+
+import pytest
+
+from repro.baselines import CuckooTable
+from repro.core import (
+    BlockedMcCuckoo,
+    DeletionMode,
+    FailurePolicy,
+    McCuckoo,
+    RandomWalkPolicy,
+    check_mccuckoo,
+)
+from repro.core.errors import ConfigurationError
+from repro.core.resize import ResizableMcCuckoo
+from repro.core.sharded import ShardedMcCuckoo
+from repro.workloads import distinct_keys, missing_keys, sample_keys
+from tests.seeding import derive
+
+MODES = (DeletionMode.DISABLED, DeletionMode.RESET, DeletionMode.TOMBSTONE)
+
+
+@pytest.mark.parametrize("mode", MODES, ids=lambda m: m.name.lower())
+@pytest.mark.parametrize("d", (3, 4))
+class TestHighLoadInvariants:
+    """Fill to 0.95+ offered load with bubbling; everything must stay sound."""
+
+    def _filled(self, d, mode, seed):
+        table = McCuckoo(400, d=d, maxloop=100, seed=seed,
+                         kick_policy="bubbling", stash_buckets=64,
+                         deletion_mode=mode)
+        keys = distinct_keys(int(0.96 * table.capacity), seed=seed + 1)
+        inserted = []
+        for key in keys:
+            if not table.put(key, key & 0xFFFF).failed:
+                inserted.append(table._canonical(key))
+        assert len(table) >= int(0.95 * table.capacity)
+        return table, inserted
+
+    def test_invariants_and_lookups_at_high_load(self, d, mode):
+        table, inserted = self._filled(d, mode, seed=derive(5100 + d))
+        check_mccuckoo(table)
+        for key in sample_keys(inserted, 400, seed=derive(41)):
+            outcome = table.lookup(key)
+            assert outcome.found and outcome.value == key & 0xFFFF
+        for key in missing_keys(200, set(inserted), seed=derive(42)):
+            assert not table.lookup(key).found
+
+    def test_deletion_churn_keeps_invariants(self, d, mode):
+        if mode is DeletionMode.DISABLED:
+            pytest.skip("deletion disabled")
+        table, inserted = self._filled(d, mode, seed=derive(5200 + d))
+        victims = sample_keys(inserted, len(inserted) // 10, seed=derive(43))
+        for key in set(victims):
+            assert table.delete(key).deleted
+        check_mccuckoo(table)
+        remaining = set(inserted) - set(victims)
+        for key in sample_keys(sorted(remaining), 200, seed=derive(44)):
+            assert table.lookup(key).found
+        for key in set(victims):
+            assert not table.lookup(key).found
+
+
+class TestBitIdentity:
+    """kick_policy=None must stay byte-for-byte the pre-bubbling default."""
+
+    def test_mccuckoo_default_is_random_walk(self):
+        seed = derive(5300)
+        keys = distinct_keys(1000, seed=seed + 1)
+        default = McCuckoo(400, d=3, seed=seed, stash_buckets=64)
+        explicit = McCuckoo(400, d=3, seed=seed, stash_buckets=64,
+                            kick_policy=RandomWalkPolicy())
+        for key in keys:
+            assert default.put(key) == explicit.put(key)
+        assert bytes(default._counters._data) == bytes(explicit._counters._data)
+        assert sorted(default.items()) == sorted(explicit.items())
+        assert default.total_kicks == explicit.total_kicks
+
+    def test_cuckoo_explicit_random_walk_matches_inline_path(self):
+        seed = derive(5301)
+        keys = distinct_keys(1100, seed=seed + 1)
+        default = CuckooTable(400, d=3, maxloop=200, seed=seed,
+                              on_failure=FailurePolicy.FAIL)
+        explicit = CuckooTable(400, d=3, maxloop=200, seed=seed,
+                               on_failure=FailurePolicy.FAIL,
+                               kick_policy=RandomWalkPolicy())
+        for key in keys:
+            assert default.put(key) == explicit.put(key)
+        assert sorted(default.items()) == sorted(explicit.items())
+
+    def test_string_and_instance_coercion_agree(self):
+        seed = derive(5302)
+        keys = distinct_keys(900, seed=seed + 1)
+        by_name = McCuckoo(300, d=3, seed=seed, kick_policy="bubbling",
+                           stash_buckets=32)
+        from repro.core import BubblingPolicy
+
+        by_instance = McCuckoo(300, d=3, seed=seed,
+                               kick_policy=BubblingPolicy(),
+                               stash_buckets=32)
+        for key in keys:
+            assert by_name.put(key) == by_instance.put(key)
+        assert sorted(by_name.items()) == sorted(by_instance.items())
+
+
+class TestFrontier:
+    def test_bubbling_moves_d4_first_failure_load(self):
+        seed = derive(5400)
+
+        def first_failure(policy):
+            table = CuckooTable(2000, d=4, maxloop=80, seed=seed,
+                                on_failure=FailurePolicy.FAIL,
+                                kick_policy=policy)
+            inserted = 0
+            for key in distinct_keys(table.capacity, seed=seed + 7):
+                if table.put(key).failed:
+                    break
+                inserted += 1
+            return inserted / table.capacity
+
+        walk = first_failure(None)
+        bubbling = first_failure("bubbling")
+        assert bubbling >= walk + 0.01, (walk, bubbling)
+        assert bubbling >= 0.945, bubbling
+
+    def test_blocked_table_accepts_policy_string(self):
+        table = BlockedMcCuckoo(60, d=3, slots=3, seed=derive(5401),
+                                kick_policy="bubbling", stash_buckets=16)
+        keys = distinct_keys(int(table.capacity * 0.9), seed=derive(5402))
+        for key in keys:
+            table.put(key, key)
+        for key in sample_keys(keys, 100, seed=derive(5403)):
+            assert table.lookup(key).found
+
+
+class TestConfigPlumbing:
+    def test_resizable_rejects_policy_instances(self):
+        with pytest.raises(ConfigurationError, match="registry name"):
+            ResizableMcCuckoo(64, seed=derive(5500),
+                              kick_policy=RandomWalkPolicy())
+
+    def test_resizable_threads_policy_string_through_growth(self):
+        table = ResizableMcCuckoo(32, seed=derive(5501),
+                                  kick_policy="bubbling")
+        keys = distinct_keys(600, seed=derive(5502))
+        for key in keys:
+            table.put(key, key)
+        assert table.generations > 0
+        assert type(table.active_table._policy).name == "bubbling"
+        for key in sample_keys(keys, 100, seed=derive(5503)):
+            assert table.lookup(key).found
+
+    def test_sharded_rejects_policy_instances(self):
+        with pytest.raises(ConfigurationError):
+            ShardedMcCuckoo(4, 64, seed=derive(5504),
+                            kick_policy=RandomWalkPolicy())
+
+    def test_sharded_accepts_policy_name(self):
+        table = ShardedMcCuckoo(4, 64, seed=derive(5505),
+                                kick_policy="bubbling")
+        keys = distinct_keys(400, seed=derive(5506))
+        for key in keys:
+            table.put(key, key)
+        for key in sample_keys(keys, 100, seed=derive(5507)):
+            assert table.lookup(key).found

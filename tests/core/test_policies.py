@@ -1,4 +1,4 @@
-"""Tests for kick policies (random-walk and MinCounter)."""
+"""Tests for kick policies (random-walk, MinCounter, bubbling)."""
 
 import random
 
@@ -6,6 +6,7 @@ import pytest
 
 from repro.core.errors import ConfigurationError
 from repro.core.policies import (
+    BubblingPolicy,
     MinCounterPolicy,
     RandomWalkPolicy,
     make_policy,
@@ -95,10 +96,110 @@ class TestMinCounter:
             policy.choose([], random.Random(0))
 
 
+class TestBubbling:
+    def _attached(self, n=64, **kwargs):
+        mem = MemoryModel()
+        policy = BubblingPolicy(**kwargs)
+        policy.attach(n, mem)
+        return policy, mem
+
+    def test_unknown_variant_rejected(self):
+        with pytest.raises(ConfigurationError):
+            BubblingPolicy(variant="depth-first")
+
+    def test_give_up_at_validated(self):
+        with pytest.raises(ConfigurationError):
+            BubblingPolicy(give_up_at=0)
+
+    def test_requires_attach(self):
+        with pytest.raises(ConfigurationError):
+            BubblingPolicy().choose([1], random.Random(0))
+        with pytest.raises(ConfigurationError):
+            BubblingPolicy().exhausted([1])
+
+    def test_empty_candidates_rejected(self):
+        policy, _ = self._attached()
+        with pytest.raises(ValueError):
+            policy.choose([], random.Random(0))
+
+    def test_chooses_lowest_label_first_on_ties(self):
+        policy, _ = self._attached()
+        rng = random.Random(1)
+        # all labels zero: deterministic first-lowest, no rng consumed
+        state = rng.getstate()
+        assert policy.choose([5, 2, 9], rng) == 5
+        assert rng.getstate() == state
+        policy._labels.set(5, 3)
+        assert policy.choose([5, 2, 9], rng) == 2
+
+    def test_kuszmaul_raises_full_others_from_zero(self):
+        policy, _ = self._attached()
+        policy.record_eviction(4, [7, 9])
+        # an eviction proves 7 and 9 were full: distance >= 1 each
+        assert policy._labels.get(7) == 1
+        assert policy._labels.get(9) == 1
+        # victim = max(old, 1 + min(others)) = 2
+        assert policy._labels.get(4) == 2
+
+    def test_kuszmaul_labels_never_decrease(self):
+        policy, _ = self._attached()
+        policy._labels.set(4, 7)
+        policy.record_eviction(4, [7, 9])
+        assert policy._labels.get(4) == 7
+
+    def test_porat_shalem_self_increment_only(self):
+        policy, _ = self._attached(variant="porat-shalem")
+        policy.record_eviction(4, [7, 9])
+        assert policy._labels.get(4) == 1
+        assert policy._labels.get(7) == 0
+        assert policy._labels.get(9) == 0
+
+    def test_labels_saturate_at_bit_width(self):
+        policy, _ = self._attached(variant="porat-shalem", bits=8)
+        for _ in range(300):
+            policy.record_eviction(4, [7])
+        assert policy._labels.get(4) == 255
+
+    def test_exhausted_when_all_candidates_at_threshold(self):
+        policy, _ = self._attached(give_up_at=3)
+        assert not policy.exhausted([1, 2])
+        policy._labels.set(1, 3)
+        assert not policy.exhausted([1, 2])  # bucket 2 still promising
+        policy._labels.set(2, 5)
+        assert policy.exhausted([1, 2])
+        assert not policy.exhausted([])
+
+    def test_give_up_at_derived_from_table_size(self):
+        policy, _ = self._attached(n=64)
+        assert policy.give_up_at == max(4, 2 * (64).bit_length())
+        # re-attach (rehash/resize) re-derives for the new size
+        policy.attach(1 << 14, MemoryModel())
+        assert policy.give_up_at == 2 * 15
+
+    def test_explicit_give_up_at_survives_reattach(self):
+        policy, _ = self._attached(give_up_at=9)
+        policy.attach(1 << 14, MemoryModel())
+        assert policy.give_up_at == 9
+
+    def test_labels_charged_onchip(self):
+        policy, mem = self._attached()
+        policy.choose([0, 1], random.Random(5))
+        assert mem.on_chip.reads == 2
+        policy.record_eviction(0, [1])
+        assert mem.on_chip.writes >= 1
+
+    def test_attach_resets_labels(self):
+        policy, _ = self._attached()
+        policy._labels.set(3, 9)
+        policy.attach(64, MemoryModel())
+        assert policy._labels.get(3) == 0
+
+
 class TestRegistry:
     def test_make_known_policies(self):
         assert isinstance(make_policy("random-walk"), RandomWalkPolicy)
         assert isinstance(make_policy("mincounter"), MinCounterPolicy)
+        assert isinstance(make_policy("bubbling"), BubblingPolicy)
 
     def test_make_unknown_policy(self):
         with pytest.raises(ConfigurationError):

@@ -131,6 +131,38 @@ class TestSeededStreams:
 
 
 @requires_numpy
+@pytest.mark.parametrize("mode", MODES, ids=lambda m: m.name.lower())
+@pytest.mark.parametrize("d", (3, 4))
+class TestBubblingTwins:
+    """The labeled-slot policy is deterministic state: twin tables driven
+    to 0.95+ load must agree byte-for-byte — including the label array —
+    on both backends, for d=3 and d=4 under every deletion mode."""
+
+    def test_high_load_stream(self, mode, d):
+        py, np_ = twin_engines(mode, CounterCharging.PER_COUNTER,
+                               n_buckets=120, d=d, kick_policy="bubbling",
+                               maxloop=60, stash_buckets=8)
+        rng = random.Random(derive(38) ^ d)
+        live = []
+        target = int(0.96 * py.capacity)
+        while len(py) < target:
+            pairs = [(rng.getrandbits(64), rng.randrange(1000))
+                     for _ in range(60)]
+            live.extend(key for key, _ in pairs)
+            assert py.put_many(pairs) == np_.put_many(pairs)
+            queries = [rng.choice(live) if rng.random() < 0.7
+                       else rng.getrandbits(64) for _ in range(80)]
+            assert py.lookup_many(queries) == np_.lookup_many(queries)
+            if mode is not DeletionMode.DISABLED:
+                victims = [rng.choice(live) for _ in range(10)]
+                assert py.delete_many(victims) == np_.delete_many(victims)
+            assert_same_state(py, np_)
+            assert bytes(py._policy._labels._data) == \
+                bytes(np_._policy._labels._data)
+        assert py.total_kicks == np_.total_kicks > 0
+
+
+@requires_numpy
 class TestHigherLayers:
     def test_d4_generic_path(self):
         """d=4 exercises the non-unrolled probe loop on both backends."""

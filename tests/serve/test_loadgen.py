@@ -60,6 +60,43 @@ class TestBuildWorkload:
         with pytest.raises(ValueError, match="workload"):
             LoadgenConfig(workload="nope")
 
+    def test_churn_preloads_and_turns_keys_over(self):
+        preload, ops = build_workload(
+            LoadgenConfig(workload="churn", n_ops=1200, n_keys=160,
+                          seed=derive(11))
+        )
+        assert len(preload) == 160
+        assert all(op[0] == "put" for op in preload)
+        kinds = {op[0] for op in ops}
+        assert kinds == {"get", "put", "delete"}
+        # churn inserts brand-new keys, not just the preloaded set
+        preloaded = {op[1] for op in preload}
+        fresh_puts = [op for op in ops
+                      if op[0] == "put" and op[1] not in preloaded]
+        assert fresh_puts
+
+    def test_churn_reproducible(self):
+        cfg = LoadgenConfig(workload="churn", n_ops=600, n_keys=80,
+                            seed=derive(12))
+        assert build_workload(cfg) == build_workload(cfg)
+
+    def test_diurnal_ramps_occupancy(self):
+        preload, ops = build_workload(
+            LoadgenConfig(workload="diurnal", n_ops=2000, n_keys=128,
+                          seed=derive(13))
+        )
+        assert preload == []  # the ramp-up IS the preload
+        kinds = {op[0] for op in ops}
+        assert kinds == {"get", "put", "delete"}
+        live, high_water = set(), 0
+        for op in ops:
+            if op[0] == "put":
+                live.add(op[1])
+            elif op[0] == "delete":
+                live.discard(op[1])
+            high_water = max(high_water, len(live))
+        assert high_water > 128 // 2  # climbs well past base occupancy
+
     def test_value_bytes_deterministic_and_sized(self):
         assert value_bytes(1, 2, 64) == value_bytes(1, 2, 64)
         assert len(value_bytes(1, 2, 64)) == 64

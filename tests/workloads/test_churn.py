@@ -1,0 +1,169 @@
+"""Tests for the time-varying workloads: hot-key churn and diurnal ramps."""
+
+import pytest
+
+from repro import DeletionMode, McCuckoo
+from repro.workloads import (
+    DiurnalLoadGenerator,
+    HotKeyChurnGenerator,
+    OpKind,
+    replay,
+)
+from tests.seeding import derive
+
+
+class TestHotKeyChurn:
+    def test_rejects_bad_parameters(self):
+        with pytest.raises(ValueError):
+            HotKeyChurnGenerator(0)
+        with pytest.raises(ValueError):
+            HotKeyChurnGenerator(10, n_keys=100, hot_size=101)
+        with pytest.raises(ValueError):
+            HotKeyChurnGenerator(10, rotate_every=0)
+        with pytest.raises(ValueError):
+            HotKeyChurnGenerator(10, hot_fraction=1.5)
+        with pytest.raises(ValueError):
+            HotKeyChurnGenerator(10, get_ratio=0, update_ratio=0,
+                                 churn_ratio=0)
+
+    def test_deterministic(self):
+        seed = derive(6100)
+        make = lambda: list(  # noqa: E731
+            HotKeyChurnGenerator(400, n_keys=64, seed=seed))
+        assert make() == make()
+
+    def test_preload_covers_working_set_once(self):
+        gen = HotKeyChurnGenerator(100, n_keys=50, hot_size=8,
+                                   seed=derive(6101))
+        ops = list(gen)
+        preload = ops[:50]
+        assert all(op.kind is OpKind.INSERT for op in preload)
+        assert len({op.key for op in preload}) == 50
+        body = ops[50:]
+        assert not any(op.kind is OpKind.LOOKUP_MISSING for op in body)
+
+    def test_no_preload_starts_with_traffic(self):
+        ops = list(HotKeyChurnGenerator(60, n_keys=32, hot_size=8,
+                                        seed=derive(6102),
+                                        preload=False, churn_ratio=0.0))
+        assert len(ops) == 60
+        assert any(op.kind is not OpKind.INSERT for op in ops[:5])
+
+    def test_hot_window_rotates(self):
+        gen = HotKeyChurnGenerator(100, n_keys=128, hot_size=16,
+                                   rotate_every=25, seed=derive(6103))
+        starts = [gen.hot_window_start(i) for i in (0, 25, 50, 75)]
+        assert starts == [0, 16, 32, 48]
+        # wraps around the working set
+        assert gen.hot_window_start(25 * 8) == 0
+
+    def test_traffic_concentrates_on_current_window(self):
+        n_keys, hot_size = 256, 16
+        gen = HotKeyChurnGenerator(
+            600, n_keys=n_keys, hot_size=hot_size, rotate_every=10_000,
+            hot_fraction=1.0, churn_ratio=0.0, seed=derive(6104))
+        ops = list(gen)
+        preload = {op.key: i for i, op in enumerate(ops[:n_keys])}
+        window = set(range(hot_size))  # window 0 never rotates here
+        in_window = sum(1 for op in ops[n_keys:]
+                        if preload[op.key] in window)
+        assert in_window == len(ops) - n_keys
+
+    def test_churn_pairs_delete_with_fresh_insert(self):
+        gen = HotKeyChurnGenerator(
+            300, n_keys=64, seed=derive(6105),
+            get_ratio=0.0, update_ratio=0.0, churn_ratio=1.0)
+        ops = list(gen)
+        preload, body = ops[:64], ops[64:]
+        seen = {op.key for op in preload}
+        for delete_op, insert_op in zip(body[::2], body[1::2]):
+            assert delete_op.kind is OpKind.DELETE
+            assert insert_op.kind is OpKind.INSERT
+            assert delete_op.key in seen
+            assert insert_op.key not in seen
+            seen.discard(delete_op.key)
+            seen.add(insert_op.key)
+        # occupancy is conserved by construction
+        assert len(seen) == 64
+
+    def test_replay_clean_against_mccuckoo(self):
+        table = McCuckoo(128, d=3, seed=derive(6106),
+                         deletion_mode=DeletionMode.TOMBSTONE,
+                         stash_buckets=32)
+        gen = HotKeyChurnGenerator(800, n_keys=256, seed=derive(6107))
+        stats = replay(table, iter(gen))
+        assert stats.false_negatives == 0
+        assert stats.false_positives == 0
+        assert stats.deletes > 0 and stats.lookups > 0
+
+
+class TestDiurnal:
+    def test_rejects_bad_parameters(self):
+        with pytest.raises(ValueError):
+            DiurnalLoadGenerator(0)
+        with pytest.raises(ValueError):
+            DiurnalLoadGenerator(10, base_keys=0)
+        with pytest.raises(ValueError):
+            DiurnalLoadGenerator(10, base_keys=20, peak_keys=10)
+        with pytest.raises(ValueError):
+            DiurnalLoadGenerator(10, period=1)
+        with pytest.raises(ValueError):
+            DiurnalLoadGenerator(10, get_ratio=1.0)
+
+    def test_deterministic(self):
+        seed = derive(6200)
+        make = lambda: list(  # noqa: E731
+            DiurnalLoadGenerator(500, base_keys=16, peak_keys=64,
+                                 period=200, seed=seed))
+        assert make() == make()
+
+    def test_target_wave_shape(self):
+        gen = DiurnalLoadGenerator(10, base_keys=100, peak_keys=500,
+                                   period=1000)
+        assert gen.target_keys(0) == 100          # trough at phase 0
+        assert gen.target_keys(500) == 500        # peak half a period in
+        assert gen.target_keys(1000) == 100       # periodic
+        assert 100 < gen.target_keys(250) < 500
+
+    def test_occupancy_tracks_target(self):
+        period = 400
+        gen = DiurnalLoadGenerator(2 * period, base_keys=20, peak_keys=120,
+                                   period=period, get_ratio=0.3,
+                                   seed=derive(6201))
+        live = set()
+        for i, op in enumerate(gen):
+            if op.kind is OpKind.INSERT:
+                assert op.key not in live
+                live.add(op.key)
+            elif op.kind is OpKind.DELETE:
+                assert op.key in live
+                live.discard(op.key)
+            else:
+                assert op.key in live
+        # after two full periods we are back near the trough; lookups
+        # interleave so allow slack proportional to the read share
+        assert len(live) <= gen.target_keys(0) / (1 - gen.get_ratio) + 5
+
+    def test_reaches_peak_occupancy(self):
+        period = 300
+        gen = DiurnalLoadGenerator(period, base_keys=10, peak_keys=80,
+                                   period=period, get_ratio=0.2,
+                                   seed=derive(6202))
+        live, high_water = set(), 0
+        for op in gen:
+            if op.kind is OpKind.INSERT:
+                live.add(op.key)
+            elif op.kind is OpKind.DELETE:
+                live.discard(op.key)
+            high_water = max(high_water, len(live))
+        assert high_water >= 70  # ~peak_keys, minus read interleaving
+
+    def test_replay_clean_against_mccuckoo(self):
+        table = McCuckoo(64, d=3, seed=derive(6203),
+                         deletion_mode=DeletionMode.RESET, stash_buckets=32)
+        gen = DiurnalLoadGenerator(1200, base_keys=16, peak_keys=128,
+                                   period=400, zipf_s=0.9, seed=derive(6204))
+        stats = replay(table, iter(gen))
+        assert stats.false_negatives == 0
+        assert stats.false_positives == 0
+        assert stats.deletes > 0 and stats.inserts > stats.deletes
